@@ -1,0 +1,57 @@
+//! Figure 2: statistics on the transition probabilities of user feedback
+//! types (Product-like preset).
+//!
+//! (a) the 2×2 active/passive transition matrix — paper: marginal active
+//!     0.0876, P(a|a) = 0.5588, P(a|p) = 0.0488;
+//! (b) P(active) by exact previous-6 feedback pattern;
+//! (c) P(active) by the number of active actions in the near history.
+
+use uae_data::{active_rate_by_active_count, active_rate_by_pattern, transition_matrix};
+use uae_eval::{HarnessConfig, Preset, TextTable};
+
+fn main() {
+    let cfg = HarnessConfig::full();
+    let ds = uae_data::generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
+
+    println!("=== Fig. 2(a): feedback-type transition matrix ===\n");
+    let stats = transition_matrix(&ds);
+    let mut t = TextTable::new(&["", "next active", "next passive"]);
+    t.add_row(vec![
+        "current active".into(),
+        format!("{:.4}", stats.active_after_active),
+        format!("{:.4}", stats.passive_after_active),
+    ]);
+    t.add_row(vec![
+        "current passive".into(),
+        format!("{:.4}", stats.active_after_passive),
+        format!("{:.4}", stats.passive_after_passive),
+    ]);
+    println!("{}", t.render());
+    println!(
+        "marginal P(active) = {:.4}   [paper: 0.0876; P(a|a)=0.5588, P(a|p)=0.0488]\n",
+        stats.marginal_active
+    );
+
+    println!("=== Fig. 2(b): P(active) by previous-6 feedback pattern (top/bottom) ===\n");
+    let rows = active_rate_by_pattern(&ds, 6, 30);
+    let mut t = TextTable::new(&["pattern (old→new)", "P(active)", "support"]);
+    let shown: Vec<_> = rows
+        .iter()
+        .take(8)
+        .chain(rows.iter().rev().take(4).rev())
+        .collect();
+    for (pat, rate, n) in shown {
+        t.add_row(vec![pat.clone(), format!("{rate:.4}"), n.to_string()]);
+    }
+    println!("{}", t.render());
+
+    println!("=== Fig. 2(c): P(active) by #active actions in the last 6 steps ===\n");
+    let mut t = TextTable::new(&["#active in history", "P(active)", "support"]);
+    for (k, (rate, n)) in active_rate_by_active_count(&ds, 6).into_iter().enumerate() {
+        if n > 0 {
+            t.add_row(vec![k.to_string(), format!("{rate:.4}"), n.to_string()]);
+        }
+    }
+    println!("{}", t.render());
+    println!("Shape check: P(active) increases with the number of recent active actions.");
+}

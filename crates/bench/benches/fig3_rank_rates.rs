@@ -1,0 +1,33 @@
+//! Figure 3: user feedback rates w.r.t. the play rank of the recommended
+//! playlist (Product-like preset).
+//!
+//! Paper observations: (1) the active-feedback rate decreases as rank grows
+//! (users gradually lose attention); (2) passive feedback dominates at every
+//! rank.
+
+use uae_data::feedback_by_rank;
+use uae_eval::{HarnessConfig, Preset, TextTable};
+
+fn main() {
+    let cfg = HarnessConfig::full();
+    let ds = uae_data::generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
+    println!("=== Fig. 3: feedback rates by play rank ===\n");
+    let mut t = TextTable::new(&[
+        "Rank",
+        "Active rate",
+        "Passive rate",
+        "Mean true α (ext.)",
+        "Support",
+    ]);
+    for r in feedback_by_rank(&ds, 25) {
+        t.add_row(vec![
+            r.rank.to_string(),
+            format!("{:.4}", r.active_rate),
+            format!("{:.4}", r.passive_rate),
+            format!("{:.4}", r.mean_attention),
+            r.support.to_string(),
+        ]);
+    }
+    println!("{}", t.render());
+    println!("Shape check: active rate and true attention decline with rank; passive dominates everywhere.");
+}

@@ -1,0 +1,29 @@
+//! Figure 6: analysis of the re-weight parameter γ in Eq. (19).
+//!
+//! (a) the analytical re-weighting curves for γ ∈ {5, 10, 15, 20, 25};
+//! (b, c) AUC / GAUC of DCN-V2 + UAE as γ varies, with plain DCN-V2 as the
+//! reference. Oracle-preference evaluation is used so the weighting's
+//! de-noising effect is measurable at simulator scale.
+
+use uae_eval::{paper_gammas, render_reweight_curves, run_gamma_sweep, HarnessConfig};
+use uae_models::LabelMode;
+
+fn main() {
+    println!("=== Fig. 6(a): re-weight function w = 1 − (α̂+1)^(−γ) ===\n");
+    println!("{}", render_reweight_curves(&paper_gammas(), 10));
+
+    let mut cfg = HarnessConfig::full();
+    cfg.data_scale = 0.18;
+    cfg.seeds.truncate(3);
+    cfg.label_mode = LabelMode::OraclePreference;
+    println!(
+        "=== Fig. 6(b, c): DCN-V2 + UAE vs. γ (scale {:.2}, {} seeds, Product preset) ===\n",
+        cfg.data_scale,
+        cfg.seeds.len()
+    );
+    let start = std::time::Instant::now();
+    let sweep = run_gamma_sweep(&cfg, &paper_gammas());
+    println!("{}", sweep.render());
+    println!("best γ by AUC: {}   [{:?}]", sweep.best_gamma(), start.elapsed());
+    println!("Paper shape: +UAE ≥ base for γ ≥ 10; optimum near γ = 15; insensitive for large γ.");
+}

@@ -1,0 +1,30 @@
+//! Figure 7: online A/B performance for seven consecutive days.
+//!
+//! Paper: UAE deployed on Huawei Music increases users' play count and play
+//! time by over 2% on average across a week of live traffic. Here both arms
+//! serve *simulated* traffic: control = DCN-V2, treatment = DCN-V2 + UAE,
+//! paired session skeletons to cut variance (see `uae_eval::ab`).
+
+use uae_eval::{run_ab_test, AbConfig, HarnessConfig};
+use uae_models::LabelMode;
+
+fn main() {
+    let mut cfg = HarnessConfig::full();
+    cfg.data_scale = 0.18;
+    cfg.label_mode = LabelMode::OraclePreference;
+    let ab = AbConfig {
+        days: 7,
+        sessions_per_day: 400,
+        candidates: 15,
+        ..Default::default()
+    };
+    println!(
+        "=== Fig. 7: 7-day A/B test (DCN-V2 vs DCN-V2+UAE, {} sessions/day, slate {}) ===\n",
+        ab.sessions_per_day, ab.candidates
+    );
+    let start = std::time::Instant::now();
+    let outcome = run_ab_test(&cfg, &ab);
+    println!("{}", outcome.render());
+    println!("[{:?}]", start.elapsed());
+    println!("Paper shape: positive uplift every day, averaging > 2% on both metrics.");
+}

@@ -1,0 +1,1 @@
+//! Benchmark-only crate; all content lives in the benches/ directory.

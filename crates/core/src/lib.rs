@@ -1,0 +1,46 @@
+//! # uae-core
+//!
+//! The paper's primary contribution: **UAE**, an unbiased user-attention
+//! estimator for music recommendation built on sequential PU-learning,
+//! together with every attention baseline it is compared against and an
+//! empirical validation of its theory.
+//!
+//! * [`uae::Uae`] — the dual-estimator model (GRU₁+MLP₁ attention network,
+//!   GRU₂+MLP₂ sequential propensity network) trained with alternating
+//!   optimization (Algorithm 1); also hosts the SAR baseline variant.
+//! * [`risks`] — the paper's risk functions (Eq. 3/4/5/16/17) as weight
+//!   grids over padded session batches.
+//! * [`baselines`] — PN and NDB (biased learned baselines).
+//! * [`estimator`] — the `AttentionEstimator` trait and EDM.
+//! * [`reweight`] — Eq. (19), attention → downstream confidence weights.
+//! * [`theory`] — closed-form and Monte-Carlo checks of Theorems 1–6.
+//!
+//! ```no_run
+//! use uae_core::{AttentionEstimator, Uae, UaeConfig, downstream_weights};
+//! use uae_data::{generate, SimConfig};
+//!
+//! let ds = generate(&SimConfig::product(0.2), 0);
+//! let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+//! let mut uae = Uae::new(&ds.schema, UaeConfig::default());
+//! uae.fit(&ds, &sessions);
+//! let alpha_hat = uae.predict(&ds, &sessions);
+//! let weights = downstream_weights(&alpha_hat, 15.0); // feed to uae-models
+//! ```
+
+pub mod baselines;
+pub mod estimator;
+pub mod networks;
+pub mod reweight;
+pub mod risks;
+pub mod theory;
+pub mod uae;
+
+pub use baselines::BiasedAttentionBaseline;
+pub use estimator::{AttentionEstimator, Edm, FitReport};
+pub use networks::{AttentionNet, LocalPropensityNet, PropensityNet};
+pub use reweight::{downstream_weights, reweight, reweight_curve};
+pub use risks::{
+    ideal_attention_weights, masked_sequence_bce, ndb_weights, pn_weights,
+    uae_attention_weights, uae_propensity_weights, WeightGrid,
+};
+pub use uae::{Uae, UaeConfig};

@@ -1,0 +1,294 @@
+//! The two neural networks of UAE (Fig. 4, right side of the paper).
+//!
+//! * [`AttentionNet`] (`g`, parameters Θ_g): GRU₁ over the per-step feature
+//!   vectors followed by MLP₁ → attention logit per step.
+//! * [`PropensityNet`] (`h`, parameters Θ_h): GRU₂ over the observed feedback
+//!   history `e_{t-1}` followed by MLP₂ over `z₁(x_t) ⊕ z₂(e_{t-1}) ⊕
+//!   e_{t-1}` → propensity logit per step. In Algorithm 1 the propensity
+//!   phase optimises Θ_h only, so `z₁` is *detached* before entering MLP₂.
+//! * [`LocalPropensityNet`]: the SAR baseline's propensity head — an MLP over
+//!   the *current* features only (no feedback history), implementing the
+//!   classical local-feature labelling assumption the paper argues against.
+
+use uae_data::{FeatureSchema, SeqBatch};
+use uae_nn::{Activation, FieldEmbeddings, GruCell, Mlp};
+use uae_tensor::{Matrix, Params, Rng, Tape, Var};
+
+/// Per-step outputs of an attention forward pass.
+pub struct AttentionForward {
+    /// `logits[t]`: `batch × 1` attention logits (σ → α̂).
+    pub logits: Vec<Var>,
+    /// `z1[t]`: `batch × hidden` sequence representations (GRU₁ states).
+    pub z1: Vec<Var>,
+}
+
+/// The attention network `g` (GRU₁ + MLP₁).
+pub struct AttentionNet {
+    emb: FieldEmbeddings,
+    gru: GruCell,
+    head: Mlp,
+    num_dense: usize,
+}
+
+impl AttentionNet {
+    pub fn new(
+        name: &str,
+        schema: &FeatureSchema,
+        embed_dim: usize,
+        gru_hidden: usize,
+        mlp_hidden: &[usize],
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let emb = FieldEmbeddings::new(
+            &format!("{name}.emb"),
+            &schema.cat_cardinalities,
+            embed_dim,
+            params,
+            rng,
+        );
+        let in_dim = emb.concat_dim() + schema.num_dense();
+        let gru = GruCell::new(&format!("{name}.gru1"), in_dim, gru_hidden, params, rng);
+        let head = Mlp::new(
+            &format!("{name}.mlp1"),
+            gru_hidden,
+            mlp_hidden,
+            1,
+            Activation::Relu,
+            Activation::None,
+            params,
+            rng,
+        );
+        AttentionNet {
+            emb,
+            gru,
+            head,
+            num_dense: schema.num_dense(),
+        }
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.gru.hidden()
+    }
+
+    /// Builds the per-step input `x_t` (embeddings ⧺ dense) on the tape.
+    fn step_input(&self, tape: &mut Tape, params: &Params, batch: &SeqBatch, t: usize) -> Var {
+        let fields = self.emb.forward_fields(tape, params, &batch.cat[t]);
+        let emb = tape.concat_cols(&fields);
+        debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
+        let dense = tape.input(batch.dense[t].clone());
+        tape.concat_cols(&[emb, dense])
+    }
+
+    /// Full forward over a padded session batch.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, batch: &SeqBatch) -> AttentionForward {
+        let mut h = self.gru.zero_state(tape, batch.batch);
+        let mut logits = Vec::with_capacity(batch.steps);
+        let mut z1 = Vec::with_capacity(batch.steps);
+        for t in 0..batch.steps {
+            let x = self.step_input(tape, params, batch, t);
+            let mask = tape.input(Matrix::col_vector(&batch.mask[t]));
+            h = self.gru.step_masked(tape, params, x, h, mask);
+            z1.push(h);
+            logits.push(self.head.forward(tape, params, h));
+        }
+        AttentionForward { logits, z1 }
+    }
+}
+
+/// The sequential propensity network `h` (GRU₂ + MLP₂).
+pub struct PropensityNet {
+    gru: GruCell,
+    head: Mlp,
+}
+
+impl PropensityNet {
+    pub fn new(
+        name: &str,
+        attention_hidden: usize,
+        gru_hidden: usize,
+        mlp_hidden: &[usize],
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        // GRU₂ consumes the scalar e_{t-1}.
+        let gru = GruCell::new(&format!("{name}.gru2"), 1, gru_hidden, params, rng);
+        let head = Mlp::new(
+            &format!("{name}.mlp2"),
+            attention_hidden + gru_hidden + 1,
+            mlp_hidden,
+            1,
+            Activation::Relu,
+            Activation::None,
+            params,
+            rng,
+        );
+        PropensityNet { gru, head }
+    }
+
+    /// Forward over a padded batch. `z1_detached[t]` must be *values* of the
+    /// attention representations re-entered as constants (Θ_g is frozen in
+    /// the propensity phase of Algorithm 1).
+    pub fn forward(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        batch: &SeqBatch,
+        z1_detached: &[Var],
+    ) -> Vec<Var> {
+        assert_eq!(z1_detached.len(), batch.steps);
+        let mut h = self.gru.zero_state(tape, batch.batch);
+        let mut logits = Vec::with_capacity(batch.steps);
+        for t in 0..batch.steps {
+            let prev_e = tape.input(Matrix::col_vector(&batch.prev_e[t]));
+            let mask = tape.input(Matrix::col_vector(&batch.mask[t]));
+            h = self.gru.step_masked(tape, params, prev_e, h, mask);
+            let cat = tape.concat_cols(&[z1_detached[t], h, prev_e]);
+            logits.push(self.head.forward(tape, params, cat));
+        }
+        logits
+    }
+}
+
+/// SAR's propensity head: embeddings + MLP over *current* features only.
+pub struct LocalPropensityNet {
+    emb: FieldEmbeddings,
+    head: Mlp,
+    num_dense: usize,
+}
+
+impl LocalPropensityNet {
+    pub fn new(
+        name: &str,
+        schema: &FeatureSchema,
+        embed_dim: usize,
+        mlp_hidden: &[usize],
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let emb = FieldEmbeddings::new(
+            &format!("{name}.emb"),
+            &schema.cat_cardinalities,
+            embed_dim,
+            params,
+            rng,
+        );
+        let head = Mlp::new(
+            &format!("{name}.mlp"),
+            emb.concat_dim() + schema.num_dense(),
+            mlp_hidden,
+            1,
+            Activation::Relu,
+            Activation::None,
+            params,
+            rng,
+        );
+        LocalPropensityNet {
+            emb,
+            head,
+            num_dense: schema.num_dense(),
+        }
+    }
+
+    /// Per-step logits using only `x_t`.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, batch: &SeqBatch) -> Vec<Var> {
+        (0..batch.steps)
+            .map(|t| {
+                let fields = self.emb.forward_fields(tape, params, &batch.cat[t]);
+                let emb = tape.concat_cols(&fields);
+                debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
+                let dense = tape.input(batch.dense[t].clone());
+                let x = tape.concat_cols(&[emb, dense]);
+                self.head.forward(tape, params, x)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, seq_batches, SimConfig};
+
+    fn batch() -> (uae_data::Dataset, SeqBatch) {
+        let ds = generate(&SimConfig::tiny(), 1);
+        let sessions: Vec<usize> = (0..4).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        let mut batches = seq_batches(&ds, &sessions, 4, 12, &mut rng);
+        (ds, batches.remove(0))
+    }
+
+    #[test]
+    fn attention_forward_shapes() {
+        let (ds, b) = batch();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = Params::new();
+        let net = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let out = net.forward(&mut tape, &params, &b);
+        assert_eq!(out.logits.len(), b.steps);
+        assert_eq!(out.z1.len(), b.steps);
+        for t in 0..b.steps {
+            assert_eq!(tape.value(out.logits[t]).shape(), (b.batch, 1));
+            assert_eq!(tape.value(out.z1[t]).shape(), (b.batch, net.hidden()));
+        }
+    }
+
+    #[test]
+    fn propensity_forward_shapes_and_grad_separation() {
+        let (ds, b) = batch();
+        let mut rng = Rng::seed_from_u64(3);
+        let mut params_g = Params::new();
+        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params_g, &mut rng);
+        let mut params_h = Params::new();
+        let h = PropensityNet::new("h", 8, 6, &[8], &mut params_h, &mut rng);
+
+        let mut tape = Tape::new();
+        let gf = g.forward(&mut tape, &params_g, &b);
+        // Detach z1: re-enter values as constants.
+        let z1_detached: Vec<Var> = gf
+            .z1
+            .iter()
+            .map(|&z| {
+                let v = tape.value(z).clone();
+                tape.input(v)
+            })
+            .collect();
+        let logits = h.forward(&mut tape, &params_h, &b, &z1_detached);
+        assert_eq!(logits.len(), b.steps);
+        // Sum all propensity logits and backprop into Θ_h only.
+        let mut total = tape.sum_all(logits[0]);
+        for &l in &logits[1..] {
+            let s = tape.sum_all(l);
+            total = tape.add(total, s);
+        }
+        params_g.zero_grads();
+        params_h.zero_grads();
+        tape.backward(total, &mut params_h);
+        assert!(params_h.grad_norm() > 0.0, "Θ_h got no gradient");
+        assert_eq!(params_g.grad_norm(), 0.0, "Θ_g must stay frozen");
+    }
+
+    #[test]
+    fn local_propensity_ignores_history() {
+        // Two batches identical except for feedback history must produce the
+        // same local-propensity logits (that is SAR's defining limitation).
+        let (ds, b) = batch();
+        let mut b2 = b.clone();
+        for t in 0..b2.steps {
+            for i in 0..b2.batch {
+                b2.prev_e[t][i] = 1.0 - b2.prev_e[t][i];
+            }
+        }
+        let mut rng = Rng::seed_from_u64(4);
+        let mut params = Params::new();
+        let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], &mut params, &mut rng);
+        let mut t1 = Tape::new();
+        let l1 = net.forward(&mut t1, &params, &b);
+        let mut t2 = Tape::new();
+        let l2 = net.forward(&mut t2, &params, &b2);
+        for t in 0..b.steps {
+            assert_eq!(t1.value(l1[t]).data(), t2.value(l2[t]).data());
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Eq. (19): turning estimated attention into confidence weights for
+//! passive training samples of the downstream recommender.
+
+/// The paper's power-law re-weighting function
+/// `w = 1 − (α̂ + 1)^(−γ)`, mapping `α̂ ∈ [0, 1]` to `w ∈ [0, 1)`.
+///
+/// Monotone increasing in `α̂`; larger `γ` pushes weights toward 1 (passive
+/// samples trusted more). The paper finds γ ≈ 15 optimal and the curve
+/// insensitive for γ ≥ 10 (Fig. 6).
+pub fn reweight(alpha_hat: f32, gamma: f32) -> f32 {
+    assert!(gamma > 0.0, "gamma must be positive");
+    1.0 - (alpha_hat.clamp(0.0, 1.0) + 1.0).powf(-gamma)
+}
+
+/// Applies [`reweight`] to a vector of attention estimates.
+pub fn downstream_weights(alpha_hat: &[f32], gamma: f32) -> Vec<f32> {
+    alpha_hat.iter().map(|&a| reweight(a, gamma)).collect()
+}
+
+/// Samples of the re-weight curve for a γ (Fig. 6(a)); `steps + 1` points
+/// from α̂ = 0 to α̂ = 1.
+pub fn reweight_curve(gamma: f32, steps: usize) -> Vec<(f32, f32)> {
+    (0..=steps)
+        .map(|i| {
+            let a = i as f32 / steps as f32;
+            (a, reweight(a, gamma))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bounds_hold_for_all_gamma() {
+        for &gamma in &[1.0f32, 5.0, 10.0, 15.0, 20.0, 25.0] {
+            for i in 0..=20 {
+                let a = i as f32 / 20.0;
+                let w = reweight(a, gamma);
+                // Mathematically w < 1; in f32 large γ saturates to 1.0.
+                assert!((0.0..=1.0).contains(&w), "gamma={gamma} a={a} w={w}");
+            }
+            // w(0; γ) = 0: a surely-unattended passive sample is dropped.
+            assert!(reweight(0.0, gamma).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn monotone_in_alpha() {
+        for &gamma in &[5.0f32, 15.0, 25.0] {
+            let curve = reweight_curve(gamma, 50);
+            for w in curve.windows(2) {
+                assert!(w[1].1 >= w[0].1, "gamma={gamma}: {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn larger_gamma_gives_larger_weights() {
+        for i in 1..20 {
+            let a = i as f32 / 20.0;
+            assert!(reweight(a, 25.0) > reweight(a, 5.0), "a={a}");
+        }
+    }
+
+    #[test]
+    fn known_values() {
+        // w(0; γ) = 1 − 1 = 0 for every γ.
+        assert!(reweight(0.0, 15.0).abs() < 1e-6);
+        // w(1; γ) = 1 − 2^{−γ}.
+        assert!((reweight(1.0, 1.0) - 0.5).abs() < 1e-6);
+        assert!((reweight(1.0, 2.0) - 0.75).abs() < 1e-6);
+        // γ = 15 at α̂ = 0.5: 1 − 1.5^{−15} ≈ 0.99977.
+        assert!((reweight(0.5, 15.0) - (1.0 - 1.5f32.powf(-15.0))).abs() < 1e-6);
+    }
+
+    #[test]
+    fn out_of_range_alpha_is_clamped() {
+        assert_eq!(reweight(-0.5, 10.0), reweight(0.0, 10.0));
+        assert_eq!(reweight(1.5, 10.0), reweight(1.0, 10.0));
+    }
+
+    #[test]
+    fn vector_helper_matches_scalar() {
+        let alphas = [0.1f32, 0.4, 0.9];
+        let ws = downstream_weights(&alphas, 15.0);
+        for (a, w) in alphas.iter().zip(&ws) {
+            assert_eq!(*w, reweight(*a, 15.0));
+        }
+    }
+}

@@ -1,0 +1,287 @@
+//! The risk functions of the paper, expressed as per-step positive/negative
+//! weight grids over padded session batches.
+//!
+//! Every risk in §III–§IV reduces to
+//! `Σ_t Σ_i [pos_w[t][i]·ℓ⁺(z_t,i) + neg_w[t][i]·ℓ⁻(z_t,i)] / |S|`
+//! with masked (padded) entries carrying zero weight:
+//!
+//! | Risk | pos weight | neg weight |
+//! |---|---|---|
+//! | PN (Eq. 4) | `e` | `1−e` |
+//! | NDB (Eq. 5) | `e` | `d·(1−e)` |
+//! | UAE attention (Eq. 10/16) | `e/p̂` | `1 − e/p̂` |
+//! | UAE propensity (Eq. 14/17) | `e/α̂` | `1 − e/α̂` |
+//! | ideal (Eq. 3, oracle) | `α` | `1−α` |
+
+use uae_data::SeqBatch;
+use uae_tensor::{Tape, Var};
+
+/// A `[t][i]` grid of per-step weights.
+pub type WeightGrid = Vec<Vec<f32>>;
+
+/// Assembles the masked weighted-BCE loss over a sequence batch: one fused
+/// BCE per step (scalar), summed on the tape. `divisor` is typically the
+/// number of valid steps (`|S|` restricted to the batch).
+pub fn masked_sequence_bce(
+    tape: &mut Tape,
+    logits: &[Var],
+    pos_w: &WeightGrid,
+    neg_w: &WeightGrid,
+    divisor: f32,
+    clamp_nonneg: bool,
+) -> Var {
+    assert_eq!(logits.len(), pos_w.len());
+    assert_eq!(logits.len(), neg_w.len());
+    assert!(!logits.is_empty(), "empty sequence loss");
+    let mut total: Option<Var> = None;
+    for (t, &z) in logits.iter().enumerate() {
+        let l = tape.weighted_bce(z, &pos_w[t], &neg_w[t], divisor, clamp_nonneg);
+        total = Some(match total {
+            Some(acc) => tape.add(acc, l),
+            None => l,
+        });
+    }
+    total.expect("at least one step")
+}
+
+fn zero_grid(batch: &SeqBatch) -> WeightGrid {
+    vec![vec![0.0; batch.batch]; batch.steps]
+}
+
+/// PN (ordinary supervised learning, Eq. 4): all passives are negatives.
+pub fn pn_weights(batch: &SeqBatch) -> (WeightGrid, WeightGrid) {
+    let mut pos = zero_grid(batch);
+    let mut neg = zero_grid(batch);
+    for t in 0..batch.steps {
+        for i in 0..batch.batch {
+            if batch.mask[t][i] > 0.0 {
+                pos[t][i] = batch.e[t][i];
+                neg[t][i] = 1.0 - batch.e[t][i];
+            }
+        }
+    }
+    (pos, neg)
+}
+
+/// NDB (Eq. 5): a passive step is a negative only when the previous `window`
+/// steps were all passive (`d_t = 1`); other passive steps are dropped.
+pub fn ndb_weights(batch: &SeqBatch, window: usize) -> (WeightGrid, WeightGrid) {
+    let mut pos = zero_grid(batch);
+    let mut neg = zero_grid(batch);
+    for i in 0..batch.batch {
+        let mut run_passive = 0usize; // consecutive passives ending at t-1
+        for t in 0..batch.steps {
+            if batch.mask[t][i] == 0.0 {
+                continue;
+            }
+            let e = batch.e[t][i];
+            if e > 0.0 {
+                pos[t][i] = 1.0;
+            } else if run_passive >= window {
+                neg[t][i] = 1.0;
+            }
+            run_passive = if e > 0.0 { 0 } else { run_passive + 1 };
+        }
+    }
+    (pos, neg)
+}
+
+/// UAE's unbiased attention risk (Eq. 10/16) with clipped estimated
+/// propensities: `pos = e/p̂`, `neg = 1 − e/p̂`.
+///
+/// `p_hat[t][i]` are the current propensity estimates; they are clipped from
+/// below at `clip` (the variance-control technique of §V-A/§VI-A).
+pub fn uae_attention_weights(
+    batch: &SeqBatch,
+    p_hat: &WeightGrid,
+    clip: f32,
+) -> (WeightGrid, WeightGrid) {
+    assert!(clip > 0.0, "propensity clip must be positive");
+    let mut pos = zero_grid(batch);
+    let mut neg = zero_grid(batch);
+    for t in 0..batch.steps {
+        for i in 0..batch.batch {
+            if batch.mask[t][i] > 0.0 {
+                let inv = batch.e[t][i] / p_hat[t][i].max(clip);
+                pos[t][i] = inv;
+                neg[t][i] = 1.0 - inv;
+            }
+        }
+    }
+    (pos, neg)
+}
+
+/// UAE's unbiased propensity risk (Eq. 14/17) with clipped estimated
+/// attention: `pos = e/α̂`, `neg = 1 − e/α̂`.
+pub fn uae_propensity_weights(
+    batch: &SeqBatch,
+    alpha_hat: &WeightGrid,
+    clip: f32,
+) -> (WeightGrid, WeightGrid) {
+    assert!(clip > 0.0, "attention clip must be positive");
+    let mut pos = zero_grid(batch);
+    let mut neg = zero_grid(batch);
+    for t in 0..batch.steps {
+        for i in 0..batch.batch {
+            if batch.mask[t][i] > 0.0 {
+                let inv = batch.e[t][i] / alpha_hat[t][i].max(clip);
+                pos[t][i] = inv;
+                neg[t][i] = 1.0 - inv;
+            }
+        }
+    }
+    (pos, neg)
+}
+
+/// The infeasible ideal risk (Eq. 3) using the simulator's true α — used to
+/// validate Theorem 1 and as an oracle ablation.
+pub fn ideal_attention_weights(batch: &SeqBatch) -> (WeightGrid, WeightGrid) {
+    let mut pos = zero_grid(batch);
+    let mut neg = zero_grid(batch);
+    for t in 0..batch.steps {
+        for i in 0..batch.batch {
+            if batch.mask[t][i] > 0.0 {
+                pos[t][i] = batch.true_alpha[t][i];
+                neg[t][i] = 1.0 - batch.true_alpha[t][i];
+            }
+        }
+    }
+    (pos, neg)
+}
+
+/// Oracle variant of the attention risk using the *true* propensities — for
+/// ablations separating estimator error from weighting-scheme error.
+pub fn oracle_propensity_attention_weights(
+    batch: &SeqBatch,
+    clip: f32,
+) -> (WeightGrid, WeightGrid) {
+    let p: WeightGrid = batch.true_propensity.clone();
+    uae_attention_weights(batch, &p, clip)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, seq_batches, SimConfig};
+    use uae_tensor::Rng;
+
+    fn batch() -> SeqBatch {
+        let ds = generate(&SimConfig::tiny(), 9);
+        let sessions: Vec<usize> = (0..6).collect();
+        let mut rng = Rng::seed_from_u64(1);
+        seq_batches(&ds, &sessions, 6, 15, &mut rng).remove(0)
+    }
+
+    #[test]
+    fn pn_weights_partition_valid_steps() {
+        let b = batch();
+        let (pos, neg) = pn_weights(&b);
+        for t in 0..b.steps {
+            for i in 0..b.batch {
+                if b.mask[t][i] > 0.0 {
+                    assert_eq!(pos[t][i] + neg[t][i], 1.0);
+                    assert_eq!(pos[t][i], b.e[t][i]);
+                } else {
+                    assert_eq!(pos[t][i] + neg[t][i], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ndb_negatives_require_long_passive_runs() {
+        let b = batch();
+        let (pos, neg) = ndb_weights(&b, 10);
+        for i in 0..b.batch {
+            let mut run = 0usize;
+            for t in 0..b.steps {
+                if b.mask[t][i] == 0.0 {
+                    continue;
+                }
+                if b.e[t][i] > 0.0 {
+                    assert_eq!(pos[t][i], 1.0);
+                    assert_eq!(neg[t][i], 0.0);
+                    run = 0;
+                } else {
+                    assert_eq!(pos[t][i], 0.0);
+                    assert_eq!(neg[t][i], if run >= 10 { 1.0 } else { 0.0 }, "t={t} i={i}");
+                    run += 1;
+                }
+            }
+        }
+        // With window 0 NDB degenerates to PN.
+        let (pos0, neg0) = ndb_weights(&b, 0);
+        let (pn_pos, pn_neg) = pn_weights(&b);
+        assert_eq!(pos0, pn_pos);
+        assert_eq!(neg0, pn_neg);
+    }
+
+    #[test]
+    fn uae_attention_weights_active_rows_get_inverse_propensity() {
+        let b = batch();
+        let p_hat: WeightGrid = vec![vec![0.25; b.batch]; b.steps];
+        let (pos, neg) = uae_attention_weights(&b, &p_hat, 0.05);
+        for t in 0..b.steps {
+            for i in 0..b.batch {
+                if b.mask[t][i] == 0.0 {
+                    assert_eq!((pos[t][i], neg[t][i]), (0.0, 0.0));
+                } else if b.e[t][i] > 0.0 {
+                    assert_eq!(pos[t][i], 4.0);
+                    assert_eq!(neg[t][i], -3.0); // the negative correction
+                } else {
+                    assert_eq!(pos[t][i], 0.0);
+                    assert_eq!(neg[t][i], 1.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clipping_bounds_inverse_weights() {
+        let b = batch();
+        let p_hat: WeightGrid = vec![vec![1e-6; b.batch]; b.steps];
+        let (pos, _) = uae_attention_weights(&b, &p_hat, 0.1);
+        for t in 0..b.steps {
+            for i in 0..b.batch {
+                assert!(pos[t][i] <= 10.0 + 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn masked_sequence_bce_ignores_padding() {
+        // A batch with weights only on valid steps must be insensitive to the
+        // logit values at padded slots.
+        let b = batch();
+        let (pos, neg) = pn_weights(&b);
+        let build = |pad_value: f32| {
+            let mut tape = Tape::new();
+            let logits: Vec<Var> = (0..b.steps)
+                .map(|t| {
+                    let vals: Vec<f32> = (0..b.batch)
+                        .map(|i| if b.mask[t][i] > 0.0 { 0.3 } else { pad_value })
+                        .collect();
+                    tape.input(uae_tensor::Matrix::col_vector(&vals))
+                })
+                .collect();
+            let loss =
+                masked_sequence_bce(&mut tape, &logits, &pos, &neg, b.valid_steps() as f32, false);
+            tape.value(loss).item()
+        };
+        assert!((build(0.0) - build(100.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ideal_weights_use_true_alpha() {
+        let b = batch();
+        let (pos, neg) = ideal_attention_weights(&b);
+        for t in 0..b.steps {
+            for i in 0..b.batch {
+                if b.mask[t][i] > 0.0 {
+                    assert_eq!(pos[t][i], b.true_alpha[t][i]);
+                    assert!((pos[t][i] + neg[t][i] - 1.0).abs() < 1e-6);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! UAE: the Unbiased Attention Estimator with alternating optimization
+//! (Algorithm 1 of the paper).
+
+use uae_data::{seq_batches, Dataset, SeqBatch};
+use uae_nn::{Adam, Optimizer};
+use uae_tensor::{sigmoid, Params, Rng, Tape, Var};
+
+use crate::estimator::{AttentionEstimator, FitReport};
+use crate::networks::{AttentionNet, LocalPropensityNet, PropensityNet};
+use crate::risks::{
+    masked_sequence_bce, uae_attention_weights, uae_propensity_weights, WeightGrid,
+};
+
+/// Hyper-parameters of UAE (defaults follow §VI-A scaled to the simulator:
+/// embedding 8, Adam, `N_a = 1`, `N_p = 2`, risk clipping on).
+#[derive(Debug, Clone)]
+pub struct UaeConfig {
+    pub embed_dim: usize,
+    /// GRU hidden width (the paper tunes {64, 128, 256} at production scale).
+    pub gru_hidden: usize,
+    pub mlp_hidden: Vec<usize>,
+    pub lr_attention: f32,
+    pub lr_propensity: f32,
+    /// Outer epochs (`N_e` in Algorithm 1).
+    pub epochs: usize,
+    /// Attention-minimizer passes per epoch (`N_a`).
+    pub n_a: usize,
+    /// Propensity-minimizer passes per epoch (`N_p`).
+    pub n_p: usize,
+    /// Sessions per padded batch.
+    pub session_batch: usize,
+    /// Sessions are truncated to this many steps during training.
+    pub max_len: usize,
+    /// Lower clip for estimated propensities in Eq. (16) weights.
+    pub propensity_clip: f32,
+    /// Lower clip for estimated attention in Eq. (17) weights.
+    pub attention_clip: f32,
+    /// Per-example non-negative risk correction ("risk-clipped technique").
+    pub clamp_nonneg: bool,
+    pub grad_clip: Option<f32>,
+    pub seed: u64,
+}
+
+impl Default for UaeConfig {
+    fn default() -> Self {
+        UaeConfig {
+            embed_dim: 8,
+            gru_hidden: 32,
+            mlp_hidden: vec![32],
+            lr_attention: 1e-3,
+            lr_propensity: 1e-3,
+            epochs: 8,
+            n_a: 1,
+            n_p: 2,
+            session_batch: 64,
+            max_len: 30,
+            propensity_clip: 0.1,
+            attention_clip: 0.1,
+            clamp_nonneg: true,
+            grad_clip: Some(5.0),
+            seed: 0,
+        }
+    }
+}
+
+/// How the propensity side of the alternating optimization is modelled.
+pub(crate) enum PropensityHead {
+    /// UAE: GRU₂ over feedback history + MLP₂ over `z₁ ⊕ z₂ ⊕ e_{t-1}`.
+    Sequential(PropensityNet),
+    /// SAR: MLP over current features only (local labelling assumption).
+    Local(LocalPropensityNet),
+}
+
+/// The UAE model: attention network `g`, propensity head `h`, and the
+/// alternating learning algorithm. Also implements the SAR baseline when
+/// constructed with [`Uae::new_sar`] (identical algorithm, local propensity).
+pub struct Uae {
+    pub(crate) g: AttentionNet,
+    pub(crate) params_g: Params,
+    pub(crate) h: PropensityHead,
+    pub(crate) params_h: Params,
+    pub(crate) cfg: UaeConfig,
+    name: &'static str,
+}
+
+impl Uae {
+    /// Builds UAE with the sequential propensity estimator.
+    pub fn new(schema: &uae_data::FeatureSchema, cfg: UaeConfig) -> Self {
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7561_6531);
+        let mut params_g = Params::new();
+        let g = AttentionNet::new(
+            "uae.g",
+            schema,
+            cfg.embed_dim,
+            cfg.gru_hidden,
+            &cfg.mlp_hidden,
+            &mut params_g,
+            &mut rng,
+        );
+        let mut params_h = Params::new();
+        let h = PropensityNet::new(
+            "uae.h",
+            cfg.gru_hidden,
+            cfg.gru_hidden.max(4) / 2,
+            &cfg.mlp_hidden,
+            &mut params_h,
+            &mut rng,
+        );
+        Uae {
+            g,
+            params_g,
+            h: PropensityHead::Sequential(h),
+            params_h,
+            cfg,
+            name: "UAE",
+        }
+    }
+
+    /// Builds the SAR baseline: same alternating optimization, but the
+    /// propensity depends on the current features only.
+    pub fn new_sar(schema: &uae_data::FeatureSchema, cfg: UaeConfig) -> Self {
+        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7361_7233);
+        let mut params_g = Params::new();
+        let g = AttentionNet::new(
+            "sar.g",
+            schema,
+            cfg.embed_dim,
+            cfg.gru_hidden,
+            &cfg.mlp_hidden,
+            &mut params_g,
+            &mut rng,
+        );
+        let mut params_h = Params::new();
+        let h = LocalPropensityNet::new(
+            "sar.h",
+            schema,
+            cfg.embed_dim,
+            &cfg.mlp_hidden,
+            &mut params_h,
+            &mut rng,
+        );
+        Uae {
+            g,
+            params_g,
+            h: PropensityHead::Local(h),
+            params_h,
+            cfg,
+            name: "SAR",
+        }
+    }
+
+    /// Forward of the propensity head with detached `z₁`.
+    fn propensity_logits(
+        &self,
+        tape: &mut Tape,
+        batch: &SeqBatch,
+        z1: &[Var],
+    ) -> Vec<Var> {
+        match &self.h {
+            PropensityHead::Sequential(net) => {
+                let z1_detached: Vec<Var> = z1
+                    .iter()
+                    .map(|&z| {
+                        let v = tape.value(z).clone();
+                        tape.input(v)
+                    })
+                    .collect();
+                net.forward(tape, &self.params_h, batch, &z1_detached)
+            }
+            PropensityHead::Local(net) => net.forward(tape, &self.params_h, batch),
+        }
+    }
+
+    /// σ of per-step logits as a `[t][i]` grid.
+    fn probs_grid(tape: &Tape, logits: &[Var]) -> WeightGrid {
+        logits
+            .iter()
+            .map(|&l| tape.value(l).data().iter().map(|&z| sigmoid(z)).collect())
+            .collect()
+    }
+
+    /// One gradient step of the attention phase on `batch`; returns the loss.
+    fn attention_step(&mut self, batch: &SeqBatch, opt: &mut Adam) -> f64 {
+        let mut tape = Tape::new();
+        let gf = self.g.forward(&mut tape, &self.params_g, batch);
+        let h_logits = self.propensity_logits(&mut tape, batch, &gf.z1);
+        let p_hat = Self::probs_grid(&tape, &h_logits);
+        let (pos, neg) = uae_attention_weights(batch, &p_hat, self.cfg.propensity_clip);
+        let divisor = batch.valid_steps().max(1) as f32;
+        let loss = masked_sequence_bce(
+            &mut tape,
+            &gf.logits,
+            &pos,
+            &neg,
+            divisor,
+            self.cfg.clamp_nonneg,
+        );
+        let value = tape.value(loss).item() as f64;
+        self.params_g.zero_grads();
+        tape.backward(loss, &mut self.params_g);
+        if let Some(c) = self.cfg.grad_clip {
+            self.params_g.clip_grad_norm(c);
+        }
+        opt.step(&mut self.params_g);
+        value
+    }
+
+    /// One gradient step of the propensity phase on `batch`.
+    fn propensity_step(&mut self, batch: &SeqBatch, opt: &mut Adam) -> f64 {
+        let mut tape = Tape::new();
+        let gf = self.g.forward(&mut tape, &self.params_g, batch);
+        let alpha_hat = Self::probs_grid(&tape, &gf.logits);
+        let h_logits = self.propensity_logits(&mut tape, batch, &gf.z1);
+        let (pos, neg) = uae_propensity_weights(batch, &alpha_hat, self.cfg.attention_clip);
+        let divisor = batch.valid_steps().max(1) as f32;
+        let loss = masked_sequence_bce(
+            &mut tape,
+            &h_logits,
+            &pos,
+            &neg,
+            divisor,
+            self.cfg.clamp_nonneg,
+        );
+        let value = tape.value(loss).item() as f64;
+        self.params_h.zero_grads();
+        tape.backward(loss, &mut self.params_h);
+        if let Some(c) = self.cfg.grad_clip {
+            self.params_h.clip_grad_norm(c);
+        }
+        opt.step(&mut self.params_h);
+        value
+    }
+
+    /// The attention network's parameter arena (Θ_g) — for persistence via
+    /// `uae_tensor::save_params` / `load_params`.
+    pub fn attention_params(&self) -> &Params {
+        &self.params_g
+    }
+
+    /// Mutable access to Θ_g (to load persisted parameters).
+    pub fn attention_params_mut(&mut self) -> &mut Params {
+        &mut self.params_g
+    }
+
+    /// The propensity head's parameter arena (Θ_h).
+    pub fn propensity_params(&self) -> &Params {
+        &self.params_h
+    }
+
+    /// Mutable access to Θ_h.
+    pub fn propensity_params_mut(&mut self) -> &mut Params {
+        &mut self.params_h
+    }
+
+    /// Predicted propensities `p̂` per event (flat order) — exposed for the
+    /// theory benches and diagnostics; downstream recommendation only needs
+    /// the attention side (Remark 3).
+    pub fn predict_propensity(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(1);
+        let max_len = dataset
+            .sessions
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(1);
+        let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
+        let mut out = flat_slots(dataset, sessions);
+        for b in &batches {
+            let mut tape = Tape::new();
+            let gf = self.g.forward(&mut tape, &self.params_g, &b.clone());
+            let h_logits = self.propensity_logits(&mut tape, b, &gf.z1);
+            scatter_predictions(&tape, &h_logits, b, dataset, sessions, &mut out);
+        }
+        out
+    }
+}
+
+/// Allocates the flat output vector (one slot per event).
+pub(crate) fn flat_slots(dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
+    let n: usize = sessions.iter().map(|&s| dataset.sessions[s].len()).sum();
+    vec![0.5; n]
+}
+
+/// Writes σ(logits) into the flat vector using the batch's origin map.
+pub(crate) fn scatter_predictions(
+    tape: &Tape,
+    logits: &[Var],
+    batch: &SeqBatch,
+    dataset: &Dataset,
+    sessions: &[usize],
+    out: &mut [f32],
+) {
+    // Prefix offsets of each session position in flat order.
+    let mut offsets = Vec::with_capacity(sessions.len() + 1);
+    let mut acc = 0usize;
+    for &s in sessions {
+        offsets.push(acc);
+        acc += dataset.sessions[s].len();
+    }
+    for (t, &l) in logits.iter().enumerate() {
+        let vals = tape.value(l);
+        for i in 0..batch.batch {
+            if batch.mask[t][i] > 0.0 {
+                let (pos, step) = batch.origin[t][i];
+                out[offsets[pos] + step] = sigmoid(vals.get(i, 0));
+            }
+        }
+    }
+}
+
+impl AttentionEstimator for Uae {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Algorithm 1: per epoch, `N_a` attention passes then `N_p` propensity
+    /// passes, each a full sweep over shuffled session batches.
+    fn fit(&mut self, dataset: &Dataset, sessions: &[usize]) -> FitReport {
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x6669_7400);
+        let batches = seq_batches(
+            dataset,
+            sessions,
+            self.cfg.session_batch,
+            self.cfg.max_len,
+            &mut rng,
+        );
+        let mut opt_g = Adam::new(self.cfg.lr_attention);
+        let mut opt_h = Adam::new(self.cfg.lr_propensity);
+        let mut report = FitReport::default();
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        for _epoch in 0..self.cfg.epochs {
+            // Phase 1: unbiased attention risk minimizer (lines 3–7).
+            let mut att_loss = 0.0;
+            let mut att_steps = 0usize;
+            for _ in 0..self.cfg.n_a {
+                rng.shuffle(&mut order);
+                for &bi in &order {
+                    att_loss += self.attention_step(&batches[bi], &mut opt_g);
+                    att_steps += 1;
+                }
+            }
+            // Phase 2: unbiased propensity risk minimizer (lines 8–12).
+            let mut pro_loss = 0.0;
+            let mut pro_steps = 0usize;
+            for _ in 0..self.cfg.n_p {
+                rng.shuffle(&mut order);
+                for &bi in &order {
+                    pro_loss += self.propensity_step(&batches[bi], &mut opt_h);
+                    pro_steps += 1;
+                }
+            }
+            report
+                .attention_loss
+                .push(att_loss / att_steps.max(1) as f64);
+            report
+                .propensity_loss
+                .push(pro_loss / pro_steps.max(1) as f64);
+        }
+        report
+    }
+
+    fn predict(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
+        let mut rng = Rng::seed_from_u64(2);
+        let max_len = dataset
+            .sessions
+            .iter()
+            .map(|s| s.len())
+            .max()
+            .unwrap_or(1);
+        let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
+        let mut out = flat_slots(dataset, sessions);
+        for b in &batches {
+            let mut tape = Tape::new();
+            let gf = self.g.forward(&mut tape, &self.params_g, b);
+            scatter_predictions(&tape, &gf.logits, b, dataset, sessions, &mut out);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, FlatData, SimConfig};
+
+    fn fast_cfg(seed: u64) -> UaeConfig {
+        UaeConfig {
+            gru_hidden: 12,
+            mlp_hidden: vec![12],
+            epochs: 2,
+            session_batch: 32,
+            max_len: 20,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fit_reduces_attention_risk_and_predicts_in_range() {
+        let ds = generate(&SimConfig::product(0.15), 77);
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut uae = Uae::new(&ds.schema, fast_cfg(1));
+        let report = uae.fit(&ds, &sessions);
+        assert_eq!(report.attention_loss.len(), 2);
+        assert_eq!(report.propensity_loss.len(), 2);
+        let pred = uae.predict(&ds, &sessions);
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        assert_eq!(pred.len(), flat.len());
+        assert!(pred.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        // Predictions must not be constant.
+        let (min, max) = pred
+            .iter()
+            .fold((1.0f32, 0.0f32), |(lo, hi), &p| (lo.min(p), hi.max(p)));
+        assert!(max - min > 0.05, "constant predictions: [{min}, {max}]");
+    }
+
+    #[test]
+    fn learned_attention_beats_chance_against_ground_truth() {
+        let ds = generate(&SimConfig::product(0.25), 78);
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut cfg = fast_cfg(2);
+        cfg.epochs = 3;
+        let mut uae = Uae::new(&ds.schema, cfg);
+        uae.fit(&ds, &sessions);
+        let pred = uae.predict(&ds, &sessions);
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        let auc = uae_metrics::auc(&pred, &flat.true_attention).unwrap();
+        assert!(auc > 0.6, "UAE attention AUC = {auc}");
+    }
+
+    #[test]
+    fn sar_variant_trains_and_predicts() {
+        let ds = generate(&SimConfig::product(0.1), 79);
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut sar = Uae::new_sar(&ds.schema, fast_cfg(3));
+        assert_eq!(sar.name(), "SAR");
+        sar.fit(&ds, &sessions);
+        let pred = sar.predict(&ds, &sessions);
+        assert!(pred.iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn propensity_predictions_reflect_sequential_dependence() {
+        // After fitting, p̂ should be higher following an active action than
+        // following a passive one (Fig. 2(a)'s structure).
+        let ds = generate(&SimConfig::product(0.25), 80);
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut cfg = fast_cfg(4);
+        cfg.epochs = 3;
+        let mut uae = Uae::new(&ds.schema, cfg);
+        uae.fit(&ds, &sessions);
+        let p_hat = uae.predict_propensity(&ds, &sessions);
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        let mut after_active = (0.0f64, 0usize);
+        let mut after_passive = (0.0f64, 0usize);
+        let mut idx = 0usize;
+        for &s in &sessions {
+            let events = &ds.sessions[s].events;
+            for t in 0..events.len() {
+                if t > 0 {
+                    if events[t - 1].e() {
+                        after_active.0 += p_hat[idx] as f64;
+                        after_active.1 += 1;
+                    } else {
+                        after_passive.0 += p_hat[idx] as f64;
+                        after_passive.1 += 1;
+                    }
+                }
+                idx += 1;
+            }
+        }
+        assert_eq!(idx, flat.len());
+        let a = after_active.0 / after_active.1 as f64;
+        let p = after_passive.0 / after_passive.1 as f64;
+        assert!(a > p + 0.05, "p̂|active={a:.3} vs p̂|passive={p:.3}");
+    }
+}

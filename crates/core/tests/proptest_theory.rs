@@ -1,0 +1,111 @@
+//! Property-based tests of UAE's risk functions and theory module: the
+//! closed-form identities of the paper hold for *arbitrary* populations, not
+//! just the hand-picked ones in the unit tests.
+
+use proptest::prelude::*;
+use uae_core::theory::{
+    attention_risk_bias, attention_risk_variance, ideal_attention_risk, log_losses,
+    unbiased_attention_risk,
+};
+use uae_core::{downstream_weights, reweight};
+
+/// A random population of (g, α, p) triples bounded away from 0/1.
+fn population() -> impl Strategy<Value = Vec<(f32, f32, f32)>> {
+    proptest::collection::vec(
+        (0.05f32..0.95, 0.05f32..0.95, 0.05f32..0.95),
+        5..80,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Theorem 1 in closed form: plugging E[e] = p·α into the unbiased risk
+    /// recovers the ideal risk *exactly* (no Monte-Carlo needed), for any
+    /// population and any predictor.
+    #[test]
+    fn theorem_1_closed_form(pop in population()) {
+        let g: Vec<f32> = pop.iter().map(|t| t.0).collect();
+        let alpha: Vec<f32> = pop.iter().map(|t| t.1).collect();
+        let p: Vec<f32> = pop.iter().map(|t| t.2).collect();
+        let ideal = ideal_attention_risk(&g, &alpha);
+        // E[unbiased] = (1/n) Σ (E[e]/p)·ℓ⁺ + (1 − E[e]/p)·ℓ⁻ with E[e] = p·α.
+        let n = g.len() as f64;
+        let expectation: f64 = g.iter().zip(&alpha).zip(&p).map(|((&gi, &a), &pi)| {
+            let (lp, ln) = log_losses(gi);
+            let ratio = (pi * a) as f64 / pi as f64;
+            ratio * lp + (1.0 - ratio) * ln
+        }).sum::<f64>() / n;
+        prop_assert!((expectation - ideal).abs() < 3e-6 * ideal.max(1.0)); // f32 rounding in (p·α)/p
+    }
+
+    /// Theorem 5 closed form: the bias formula equals the exact expectation
+    /// gap for any misestimated p̂.
+    #[test]
+    fn theorem_5_closed_form(pop in population(), factor in 0.4f32..2.5) {
+        let g: Vec<f32> = pop.iter().map(|t| t.0).collect();
+        let alpha: Vec<f32> = pop.iter().map(|t| t.1).collect();
+        let p: Vec<f32> = pop.iter().map(|t| t.2).collect();
+        let p_hat: Vec<f32> = p.iter().map(|&x| (x * factor).clamp(0.01, 0.999)).collect();
+        let ideal = ideal_attention_risk(&g, &alpha);
+        let n = g.len() as f64;
+        // Exact E[R(p̂)].
+        let expectation: f64 = g.iter().zip(alpha.iter().zip(p.iter().zip(&p_hat)))
+            .map(|(&gi, (&a, (&pi, &phi)))| {
+                let (lp, ln) = log_losses(gi);
+                let ratio = (pi * a / phi) as f64;
+                ratio * lp + (1.0 - ratio) * ln
+            }).sum::<f64>() / n;
+        let measured = (expectation - ideal).abs();
+        let formula = attention_risk_bias(&g, &alpha, &p, &p_hat);
+        prop_assert!((measured - formula).abs() < 1e-6 * formula.max(1.0),
+            "measured {measured} formula {formula}");
+    }
+
+    /// Theorem 3: the variance formula is non-negative and vanishes exactly
+    /// when every propensity is 1 and α ∈ {0, 1} — otherwise positive.
+    #[test]
+    fn theorem_3_nonnegative(pop in population()) {
+        let g: Vec<f32> = pop.iter().map(|t| t.0).collect();
+        let alpha: Vec<f32> = pop.iter().map(|t| t.1).collect();
+        let p: Vec<f32> = pop.iter().map(|t| t.2).collect();
+        let v = attention_risk_variance(&g, &alpha, &p);
+        prop_assert!(v >= 0.0);
+        // 1/p ≥ 1 ≥ α with strict inequality somewhere here (α, p < 0.95).
+        prop_assert!(v > 0.0);
+    }
+
+    /// The empirical unbiased risk is finite for any realisation of e, and
+    /// equals the PN risk when all propensities are 1.
+    #[test]
+    fn unit_propensities_reduce_to_pn(pop in population(), e_bits in proptest::collection::vec(any::<bool>(), 80)) {
+        let g: Vec<f32> = pop.iter().map(|t| t.0).collect();
+        let e: Vec<bool> = e_bits.into_iter().take(g.len()).collect();
+        prop_assume!(e.len() == g.len());
+        let ones = vec![1.0f32; g.len()];
+        let unb = unbiased_attention_risk(&g, &e, &ones);
+        let pn = uae_core::theory::pn_attention_risk(&g, &e);
+        prop_assert!((unb - pn).abs() < 1e-9);
+    }
+
+    /// Eq. 19 re-weighting: bounded, monotone in α̂, monotone in γ.
+    #[test]
+    fn reweight_properties(a1 in 0.0f32..1.0, a2 in 0.0f32..1.0, g1 in 0.5f32..30.0, g2 in 0.5f32..30.0) {
+        let (alo, ahi) = if a1 <= a2 { (a1, a2) } else { (a2, a1) };
+        let (glo, ghi) = if g1 <= g2 { (g1, g2) } else { (g2, g1) };
+        prop_assert!(reweight(alo, glo) <= reweight(ahi, glo) + 1e-6);
+        prop_assert!(reweight(alo, glo) <= reweight(alo, ghi) + 1e-6);
+        let w = reweight(a1, g1);
+        prop_assert!((0.0..=1.0).contains(&w));
+    }
+
+    /// Vectorised weights agree with the scalar function.
+    #[test]
+    fn downstream_weights_elementwise(alphas in proptest::collection::vec(0.0f32..1.0, 1..50), gamma in 1.0f32..25.0) {
+        let ws = downstream_weights(&alphas, gamma);
+        prop_assert_eq!(ws.len(), alphas.len());
+        for (&a, &w) in alphas.iter().zip(&ws) {
+            prop_assert_eq!(w, reweight(a, gamma));
+        }
+    }
+}

@@ -1,0 +1,462 @@
+//! Train/validation/test splits and mini-batch assembly.
+//!
+//! Two batch layouts are needed:
+//! * **flat** event batches for the downstream CTR recommenders (each event
+//!   is an i.i.d. sample), and
+//! * **padded sequence** batches for UAE's GRUs (each session is a sample;
+//!   steps beyond a session's length are masked).
+
+use uae_tensor::{Matrix, Rng};
+
+use crate::schema::Dataset;
+
+/// Session-index split of a dataset.
+#[derive(Debug, Clone)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// Random 8:1:1-style split by session (the paper's 30-Music protocol).
+pub fn split_by_ratio(dataset: &Dataset, train: f64, val: f64, rng: &mut Rng) -> Split {
+    assert!(train > 0.0 && val >= 0.0 && train + val < 1.0);
+    let mut order: Vec<usize> = (0..dataset.sessions.len()).collect();
+    rng.shuffle(&mut order);
+    let n = order.len();
+    let n_train = ((n as f64) * train).round() as usize;
+    let n_val = ((n as f64) * val).round() as usize;
+    Split {
+        train: order[..n_train].to_vec(),
+        val: order[n_train..(n_train + n_val).min(n)].to_vec(),
+        test: order[(n_train + n_val).min(n)..].to_vec(),
+    }
+}
+
+/// Day-based split (the paper's Product protocol: first 7 days train, next
+/// day validation, final day test).
+pub fn split_by_day(dataset: &Dataset, train_days: u32, val_days: u32) -> Split {
+    let mut split = Split {
+        train: vec![],
+        val: vec![],
+        test: vec![],
+    };
+    for (i, s) in dataset.sessions.iter().enumerate() {
+        if s.day < train_days {
+            split.train.push(i);
+        } else if s.day < train_days + val_days {
+            split.val.push(i);
+        } else {
+            split.test.push(i);
+        }
+    }
+    split
+}
+
+/// Flattened events of a set of sessions, ready for per-event models.
+#[derive(Debug, Clone)]
+pub struct FlatData {
+    /// `cat[field][sample]` categorical values.
+    pub cat: Vec<Vec<usize>>,
+    /// `n × d` dense features.
+    pub dense: Matrix,
+    /// Observed feedback labels `y` (the industry construction).
+    pub label: Vec<bool>,
+    /// Observed feedback types `e` (1 = active).
+    pub active: Vec<bool>,
+    /// User of each event (GAUC groups).
+    pub user: Vec<u32>,
+    /// Ground-truth preference (oracle evaluation mode).
+    pub true_preference: Vec<bool>,
+    /// Ground-truth attention indicator.
+    pub true_attention: Vec<bool>,
+    /// Ground-truth attention probability α (theory checks only).
+    pub true_alpha: Vec<f32>,
+    /// Ground-truth sequential propensity p (theory checks only).
+    pub true_propensity: Vec<f32>,
+    /// `(session index within the split order, step)` of each event, so
+    /// sequence-level attention predictions can be joined back.
+    pub origin: Vec<(usize, usize)>,
+}
+
+impl FlatData {
+    /// Flattens the listed sessions of `dataset` (in the given order).
+    pub fn from_sessions(dataset: &Dataset, sessions: &[usize]) -> Self {
+        let fields = dataset.schema.num_cat_fields();
+        let d = dataset.schema.num_dense();
+        let n: usize = sessions
+            .iter()
+            .map(|&s| dataset.sessions[s].len())
+            .sum();
+        let mut cat = vec![Vec::with_capacity(n); fields];
+        let mut dense = Vec::with_capacity(n * d);
+        let mut label = Vec::with_capacity(n);
+        let mut active = Vec::with_capacity(n);
+        let mut user = Vec::with_capacity(n);
+        let mut true_preference = Vec::with_capacity(n);
+        let mut true_attention = Vec::with_capacity(n);
+        let mut true_alpha = Vec::with_capacity(n);
+        let mut true_propensity = Vec::with_capacity(n);
+        let mut origin = Vec::with_capacity(n);
+        for (si, &s) in sessions.iter().enumerate() {
+            let session = &dataset.sessions[s];
+            for (t, ev) in session.events.iter().enumerate() {
+                for (f, slot) in cat.iter_mut().enumerate() {
+                    slot.push(ev.cat[f] as usize);
+                }
+                dense.extend_from_slice(&ev.dense);
+                label.push(ev.y());
+                active.push(ev.e());
+                user.push(session.user);
+                true_preference.push(ev.truth.preference);
+                true_attention.push(ev.truth.attention);
+                true_alpha.push(ev.truth.attention_prob);
+                true_propensity.push(ev.truth.propensity);
+                origin.push((si, t));
+            }
+        }
+        FlatData {
+            cat,
+            dense: Matrix::from_vec(n, d, dense),
+            label,
+            active,
+            user,
+            true_preference,
+            true_attention,
+            true_alpha,
+            true_propensity,
+            origin,
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.label.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.label.is_empty()
+    }
+
+    /// Extracts the rows at `idx` as a batch (categoricals per field, dense
+    /// matrix, and labels/flags).
+    pub fn gather(&self, idx: &[usize]) -> FlatBatch {
+        let fields = self.cat.len();
+        let d = self.dense.cols();
+        let mut cat = vec![Vec::with_capacity(idx.len()); fields];
+        let mut dense = Vec::with_capacity(idx.len() * d);
+        let mut label = Vec::with_capacity(idx.len());
+        let mut active = Vec::with_capacity(idx.len());
+        for &i in idx {
+            for (f, slot) in cat.iter_mut().enumerate() {
+                slot.push(self.cat[f][i]);
+            }
+            dense.extend_from_slice(self.dense.row(i));
+            label.push(self.label[i]);
+            active.push(self.active[i]);
+        }
+        FlatBatch {
+            cat,
+            dense: Matrix::from_vec(idx.len(), d, dense),
+            label,
+            active,
+            indices: idx.to_vec(),
+        }
+    }
+}
+
+/// A mini-batch of flattened events.
+#[derive(Debug, Clone)]
+pub struct FlatBatch {
+    pub cat: Vec<Vec<usize>>,
+    pub dense: Matrix,
+    pub label: Vec<bool>,
+    pub active: Vec<bool>,
+    /// Positions in the parent [`FlatData`] (for joining per-event weights).
+    pub indices: Vec<usize>,
+}
+
+impl FlatBatch {
+    pub fn len(&self) -> usize {
+        self.label.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.label.is_empty()
+    }
+}
+
+/// Shuffled mini-batch index lists covering `0..n` exactly once.
+pub fn minibatch_indices(n: usize, batch_size: usize, rng: &mut Rng) -> Vec<Vec<usize>> {
+    assert!(batch_size > 0);
+    let mut order: Vec<usize> = (0..n).collect();
+    rng.shuffle(&mut order);
+    order
+        .chunks(batch_size)
+        .map(|chunk| chunk.to_vec())
+        .collect()
+}
+
+/// A padded batch of sessions for sequence models.
+///
+/// All per-step tensors are indexed `[t]` with `batch` rows; `mask[t][i]` is
+/// 1.0 while step `t` exists in session `i` and 0.0 afterwards.
+#[derive(Debug, Clone)]
+pub struct SeqBatch {
+    pub batch: usize,
+    pub steps: usize,
+    /// `cat[t][field][sample]`.
+    pub cat: Vec<Vec<Vec<usize>>>,
+    /// `dense[t]`: `batch × d`.
+    pub dense: Vec<Matrix>,
+    /// Validity masks.
+    pub mask: Vec<Vec<f32>>,
+    /// Observed feedback type `e_t` (1.0 active).
+    pub e: Vec<Vec<f32>>,
+    /// Previous feedback `e_{t-1}` (0.0 at t = 0) — the propensity network's
+    /// recurrent input.
+    pub prev_e: Vec<Vec<f32>>,
+    /// Ground-truth attention probability (theory checks only).
+    pub true_alpha: Vec<Vec<f32>>,
+    /// Ground-truth propensity (theory checks only).
+    pub true_propensity: Vec<Vec<f32>>,
+    /// Ground-truth attention indicator.
+    pub true_attention: Vec<Vec<f32>>,
+    /// `(session position in the split order, step)` of each (t, i) slot.
+    pub origin: Vec<Vec<(usize, usize)>>,
+    /// Which dataset session index each batch row came from.
+    pub session_rows: Vec<usize>,
+}
+
+impl SeqBatch {
+    /// Number of real (unpadded) steps in the batch.
+    pub fn valid_steps(&self) -> usize {
+        self.mask
+            .iter()
+            .map(|m| m.iter().filter(|&&v| v > 0.0).count())
+            .sum()
+    }
+}
+
+/// Builds padded sequence batches over the listed sessions.
+///
+/// Sessions are bucketed by length (after truncation to `max_len`) to limit
+/// padding waste, then grouped into batches of at most `batch_size`.
+pub fn seq_batches(
+    dataset: &Dataset,
+    sessions: &[usize],
+    batch_size: usize,
+    max_len: usize,
+    rng: &mut Rng,
+) -> Vec<SeqBatch> {
+    assert!(batch_size > 0 && max_len > 0);
+    let fields = dataset.schema.num_cat_fields();
+    let d = dataset.schema.num_dense();
+    // (split position, session index, truncated length), bucketed by length.
+    let mut entries: Vec<(usize, usize, usize)> = sessions
+        .iter()
+        .enumerate()
+        .map(|(pos, &s)| (pos, s, dataset.sessions[s].len().min(max_len)))
+        .collect();
+    rng.shuffle(&mut entries);
+    entries.sort_by_key(|&(_, _, len)| len);
+
+    let mut batches = Vec::new();
+    for chunk in entries.chunks(batch_size) {
+        let batch = chunk.len();
+        let steps = chunk.iter().map(|&(_, _, len)| len).max().unwrap_or(0);
+        let mut cat = vec![vec![vec![0usize; batch]; fields]; steps];
+        let mut dense = vec![Matrix::zeros(batch, d); steps];
+        let mut mask = vec![vec![0.0f32; batch]; steps];
+        let mut e = vec![vec![0.0f32; batch]; steps];
+        let mut prev_e = vec![vec![0.0f32; batch]; steps];
+        let mut true_alpha = vec![vec![0.0f32; batch]; steps];
+        let mut true_propensity = vec![vec![1.0f32; batch]; steps];
+        let mut true_attention = vec![vec![0.0f32; batch]; steps];
+        let mut origin = vec![vec![(usize::MAX, usize::MAX); batch]; steps];
+        let mut session_rows = Vec::with_capacity(batch);
+        for (i, &(pos, s, len)) in chunk.iter().enumerate() {
+            session_rows.push(s);
+            let events = &dataset.sessions[s].events;
+            for (t, ev) in events.iter().take(len).enumerate() {
+                for (f, field_slot) in cat[t].iter_mut().enumerate() {
+                    field_slot[i] = ev.cat[f] as usize;
+                }
+                dense[t].row_mut(i).copy_from_slice(&ev.dense);
+                mask[t][i] = 1.0;
+                e[t][i] = ev.e() as u8 as f32;
+                if t + 1 < len {
+                    prev_e[t + 1][i] = ev.e() as u8 as f32;
+                }
+                true_alpha[t][i] = ev.truth.attention_prob;
+                true_propensity[t][i] = ev.truth.propensity;
+                true_attention[t][i] = ev.truth.attention as u8 as f32;
+                origin[t][i] = (pos, t);
+            }
+        }
+        batches.push(SeqBatch {
+            batch,
+            steps,
+            cat,
+            dense,
+            mask,
+            e,
+            prev_e,
+            true_alpha,
+            true_propensity,
+            true_attention,
+            origin,
+            session_rows,
+        });
+    }
+    batches
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::gen::generate;
+
+    fn tiny() -> Dataset {
+        generate(&SimConfig::tiny(), 99)
+    }
+
+    #[test]
+    fn ratio_split_partitions_sessions() {
+        let ds = tiny();
+        let mut rng = Rng::seed_from_u64(1);
+        let split = split_by_ratio(&ds, 0.8, 0.1, &mut rng);
+        let total = split.train.len() + split.val.len() + split.test.len();
+        assert_eq!(total, ds.sessions.len());
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(&split.val)
+            .chain(&split.test)
+            .copied()
+            .collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), total, "splits overlap");
+        // Rough proportions.
+        assert!(split.train.len() > split.val.len() * 4);
+    }
+
+    #[test]
+    fn day_split_respects_day_field() {
+        let ds = tiny();
+        let split = split_by_day(&ds, 7, 1);
+        for &i in &split.train {
+            assert!(ds.sessions[i].day < 7);
+        }
+        for &i in &split.val {
+            assert_eq!(ds.sessions[i].day, 7);
+        }
+        for &i in &split.test {
+            assert!(ds.sessions[i].day >= 8);
+        }
+        assert_eq!(
+            split.train.len() + split.val.len() + split.test.len(),
+            ds.sessions.len()
+        );
+    }
+
+    #[test]
+    fn flat_data_flattens_all_events() {
+        let ds = tiny();
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        assert_eq!(flat.len(), ds.num_events());
+        assert_eq!(flat.dense.shape(), (flat.len(), ds.schema.num_dense()));
+        assert_eq!(flat.cat.len(), ds.schema.num_cat_fields());
+        // Spot-check the first event round-trips.
+        let ev = &ds.sessions[0].events[0];
+        for f in 0..flat.cat.len() {
+            assert_eq!(flat.cat[f][0], ev.cat[f] as usize);
+        }
+        assert_eq!(flat.dense.row(0), &ev.dense[..]);
+        assert_eq!(flat.label[0], ev.y());
+    }
+
+    #[test]
+    fn gather_extracts_requested_rows() {
+        let ds = tiny();
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        let idx = [3usize, 0, 7];
+        let batch = flat.gather(&idx);
+        assert_eq!(batch.len(), 3);
+        for (bi, &i) in idx.iter().enumerate() {
+            assert_eq!(batch.dense.row(bi), flat.dense.row(i));
+            assert_eq!(batch.label[bi], flat.label[i]);
+            for f in 0..flat.cat.len() {
+                assert_eq!(batch.cat[f][bi], flat.cat[f][i]);
+            }
+        }
+        assert_eq!(batch.indices, idx);
+    }
+
+    #[test]
+    fn minibatches_cover_everything_once() {
+        let mut rng = Rng::seed_from_u64(2);
+        let batches = minibatch_indices(25, 8, &mut rng);
+        assert_eq!(batches.len(), 4); // 8+8+8+1
+        let mut seen: Vec<usize> = batches.into_iter().flatten().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn seq_batches_pad_and_mask_correctly() {
+        let ds = tiny();
+        let sessions: Vec<usize> = (0..ds.sessions.len().min(20)).collect();
+        let mut rng = Rng::seed_from_u64(3);
+        let batches = seq_batches(&ds, &sessions, 6, 25, &mut rng);
+        let mut covered = 0usize;
+        for b in &batches {
+            assert!(b.batch <= 6);
+            for t in 0..b.steps {
+                for i in 0..b.batch {
+                    let valid = b.mask[t][i] > 0.0;
+                    let session = &ds.sessions[b.session_rows[i]];
+                    let within = t < session.len().min(25);
+                    assert_eq!(valid, within, "mask mismatch at t={t} i={i}");
+                    if valid {
+                        let ev = &session.events[t];
+                        assert_eq!(b.e[t][i], ev.e() as u8 as f32);
+                        assert_eq!(b.dense[t].row(i), &ev.dense[..]);
+                        covered += 1;
+                        if t > 0 {
+                            let prev = &session.events[t - 1];
+                            assert_eq!(b.prev_e[t][i], prev.e() as u8 as f32);
+                        } else {
+                            assert_eq!(b.prev_e[0][i], 0.0);
+                        }
+                    } else {
+                        // Padding is inert.
+                        assert_eq!(b.e[t][i], 0.0);
+                    }
+                }
+            }
+        }
+        let expected: usize = sessions
+            .iter()
+            .map(|&s| ds.sessions[s].len().min(25))
+            .sum();
+        assert_eq!(covered, expected);
+        let total_valid: usize = batches.iter().map(|b| b.valid_steps()).sum();
+        assert_eq!(total_valid, expected);
+    }
+
+    #[test]
+    fn seq_batches_truncate_to_max_len() {
+        let ds = tiny();
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut rng = Rng::seed_from_u64(4);
+        let batches = seq_batches(&ds, &sessions, 8, 5, &mut rng);
+        for b in &batches {
+            assert!(b.steps <= 5);
+        }
+    }
+}

@@ -1,0 +1,694 @@
+//! The generative session simulator.
+//!
+//! Implements the causal chain the paper identifies in real music-streaming
+//! logs:
+//!
+//! ```text
+//!   features X ──► attention  a ~ Bernoulli(α(X))
+//!   (X, E^{t-1}, a=1) ──► active action e ~ Bernoulli(p(X, E^{t-1}))
+//!   e = 0 always when a = 0   (you cannot press a button you don't notice)
+//!   active + preference ──► Like/Share/Download;  active + ¬pref ──► Skip/Dislike
+//!   passive ──► Auto-play, recorded with label y = 1 regardless of truth
+//! ```
+//!
+//! which yields `E[e] = p·α` (Proposition 1) by construction. Every event
+//! records the true `α`, `p`, `a` and preference so that downstream crates
+//! can verify the paper's Theorems 1–6 empirically.
+//!
+//! [`Simulator`] exposes the population and behaviour model interactively so
+//! the online A/B harness (Fig. 7) can let a *recommender under test* choose
+//! the next song and observe the simulated user's response; [`generate`]
+//! drives the same machinery with the default (popularity-based) exposure
+//! policy to produce offline training logs.
+
+use uae_tensor::{sigmoid, Rng};
+
+use crate::config::SimConfig;
+use crate::schema::{Dataset, Event, Feedback, FeatureSchema, Session, Truth};
+
+/// Per-user latent state.
+struct UserLatent {
+    /// Engagement trait in (0, 1): drives both attention and session counts.
+    engagement: f32,
+    /// Activeness trait (standard-normal-ish): drives propensity.
+    activeness: f32,
+    /// Preference vector.
+    theta: Vec<f32>,
+    // Demographics (categorical feature values).
+    gender: u32,
+    age: u32,
+    country: u32,
+    device: u32,
+}
+
+/// Per-song latent state.
+struct SongLatent {
+    phi: Vec<f32>,
+    artist: u32,
+    album: u32,
+    genre: u32,
+    language: u32,
+    /// Log-popularity in [0, 1] (zipf rank based).
+    popularity: f32,
+    /// Normalised age of the song.
+    age: f32,
+}
+
+fn clamp01(x: f32) -> f32 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Builds the feature schema for a configuration.
+pub fn schema_for(config: &SimConfig) -> FeatureSchema {
+    let cat_names: Vec<String>;
+    let cat_cardinalities: Vec<usize>;
+    if config.product_feedback {
+        cat_names = vec![
+            "user_id", "gender", "age_bucket", "country", "device", "engagement_bucket",
+            "song_id", "artist", "album", "genre", "language", "hour", "day_of_week", "network",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
+        cat_cardinalities = vec![
+            config.num_users,
+            3,
+            7,
+            20,
+            5,
+            5,
+            config.num_songs,
+            config.num_artists,
+            config.num_albums,
+            config.num_genres,
+            8,
+            24,
+            7,
+            3,
+        ];
+    } else {
+        cat_names = vec!["user_id", "song_id", "artist", "genre", "hour", "day_of_week"]
+            .into_iter()
+            .map(String::from)
+            .collect();
+        cat_cardinalities = vec![
+            config.num_users,
+            config.num_songs,
+            config.num_artists,
+            config.num_genres,
+            24,
+            7,
+        ];
+    }
+    debug_assert_eq!(cat_names.len(), cat_cardinalities.len());
+
+    // Product logs carry richer context (Table III: 44 features vs 12);
+    // the 30-Music-like preset keeps the six core dense signals only.
+    let base_dense: &[&str] = if config.product_feedback {
+        &[
+            "rank_norm",
+            "song_popularity",
+            "appeal_score",
+            "user_engagement",
+            "hour_sin",
+            "hour_cos",
+            "song_age",
+            "user_daily_plays",
+        ]
+    } else {
+        &[
+            "rank_norm",
+            "song_popularity",
+            "appeal_score",
+            "user_engagement",
+            "hour_sin",
+            "song_age",
+        ]
+    };
+    let mut dense_names: Vec<String> = base_dense.iter().map(|s| s.to_string()).collect();
+    for i in 0..config.num_distractor_dense {
+        dense_names.push(format!("distractor_{i}"));
+    }
+    FeatureSchema {
+        cat_cardinalities,
+        cat_names,
+        dense_names,
+        feedback_types: if config.product_feedback { 6 } else { 3 },
+    }
+}
+
+/// Ambient context of one session (sampled once per session).
+#[derive(Debug, Clone, Copy)]
+pub struct SessionContext {
+    pub day: u32,
+    pub start_hour: u32,
+    pub network: u32,
+}
+
+/// The simulated population and behaviour model.
+pub struct Simulator {
+    config: SimConfig,
+    users: Vec<UserLatent>,
+    songs: Vec<SongLatent>,
+    user_weights: Vec<f64>,
+    latent_scale: f32,
+}
+
+impl Simulator {
+    /// Builds the population deterministically from `(config, seed)`.
+    pub fn new(config: SimConfig, seed: u64) -> Self {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x7565_6165); // "ueae"
+        let users: Vec<UserLatent> = (0..config.num_users)
+            .map(|_| UserLatent {
+                engagement: sigmoid(rng.normal_with(-1.0, 1.4) as f32),
+                activeness: rng.normal_with(0.0, 0.8) as f32,
+                theta: (0..config.latent_dim)
+                    .map(|_| rng.normal() as f32)
+                    .collect(),
+                gender: rng.below(3) as u32,
+                age: rng.below(7) as u32,
+                country: rng.zipf(20, 1.2) as u32,
+                device: rng.below(5) as u32,
+            })
+            .collect();
+        let songs: Vec<SongLatent> = (0..config.num_songs)
+            .map(|_| SongLatent {
+                phi: (0..config.latent_dim)
+                    .map(|_| rng.normal() as f32)
+                    .collect(),
+                artist: rng.zipf(config.num_artists, 1.1) as u32,
+                album: rng.below(config.num_albums) as u32,
+                genre: rng.zipf(config.num_genres, 1.05) as u32,
+                language: rng.zipf(8, 1.3) as u32,
+                popularity: rng.uniform_f32(),
+                age: rng.uniform_f32(),
+            })
+            .collect();
+        let user_weights: Vec<f64> = users.iter().map(|u| 0.3 + u.engagement as f64).collect();
+        let latent_scale = 1.0 / (config.latent_dim as f32).sqrt();
+        Simulator {
+            config,
+            users,
+            songs,
+            user_weights,
+            latent_scale,
+        }
+    }
+
+    pub fn config(&self) -> &SimConfig {
+        &self.config
+    }
+
+    pub fn schema(&self) -> FeatureSchema {
+        schema_for(&self.config)
+    }
+
+    pub fn num_users(&self) -> usize {
+        self.users.len()
+    }
+
+    pub fn num_songs(&self) -> usize {
+        self.songs.len()
+    }
+
+    /// Samples a user, weighted by engagement (engaged users listen more).
+    pub fn sample_user(&self, rng: &mut Rng) -> usize {
+        rng.weighted_choice(&self.user_weights)
+            .expect("non-empty user population")
+    }
+
+    /// Samples per-session context: diurnal start hour and network type.
+    pub fn sample_context(&self, day: u32, rng: &mut Rng) -> SessionContext {
+        let hour_weights: Vec<f64> = (0..24)
+            .map(|h| 1.0 + 3.0 * (-((h as f64 - 20.0) / 4.0).powi(2)).exp())
+            .collect();
+        SessionContext {
+            day,
+            start_hour: rng.weighted_choice(&hour_weights).unwrap() as u32,
+            network: rng.below(3) as u32,
+        }
+    }
+
+    /// Samples a session length from the configured distribution.
+    pub fn sample_length(&self, rng: &mut Rng) -> usize {
+        self.config.min_session_len + rng.poisson(self.config.mean_extra_len)
+    }
+
+    /// Popularity-skewed (zipf) song choice, ignoring the user.
+    pub fn sample_song(&self, rng: &mut Rng) -> usize {
+        rng.zipf(self.config.num_songs, self.config.popularity_exponent)
+    }
+
+    /// The default (production) exposure policy: with probability
+    /// `exposure_tilt` the served song is personalised — rejection-sampled
+    /// toward the user's preferences — otherwise pure popularity.
+    pub fn sample_song_for(&self, user: usize, rng: &mut Rng) -> usize {
+        let song = self.sample_song(rng);
+        if !rng.bernoulli(self.config.exposure_tilt) {
+            return song;
+        }
+        let mut best = song;
+        let mut best_pref = self.preference_prob(user, song);
+        for _ in 0..4 {
+            if best_pref > 0.5 {
+                break;
+            }
+            let cand = self.sample_song(rng);
+            let pref = self.preference_prob(user, cand);
+            if pref > best_pref {
+                best = cand;
+                best_pref = pref;
+            }
+        }
+        best
+    }
+
+    /// `c` candidate songs for a serving decision (with replacement).
+    pub fn candidate_songs(&self, c: usize, rng: &mut Rng) -> Vec<usize> {
+        (0..c).map(|_| self.sample_song(rng)).collect()
+    }
+
+    /// The true preference probability of `(user, song)`.
+    pub fn preference_prob(&self, user: usize, song: usize) -> f32 {
+        let dot: f32 = self.users[user]
+            .theta
+            .iter()
+            .zip(&self.songs[song].phi)
+            .map(|(a, b)| a * b)
+            .sum::<f32>()
+            * self.latent_scale;
+        sigmoid(1.6 * dot - 0.2)
+    }
+
+    /// The true attention probability α(X) at step `t`.
+    pub fn attention_prob(&self, user: usize, song: usize, t: usize, hour: u32) -> f32 {
+        let user_l = &self.users[user];
+        let pref = self.preference_prob(user, song);
+        let rank_norm = (t as f32 / 30.0).min(1.5);
+        let hour_factor = ((hour as f32 / 24.0) * std::f32::consts::TAU).sin();
+        let ap = &self.config.attention;
+        sigmoid(
+            ap.bias
+                + ap.engagement * (user_l.engagement - 0.5)
+                + ap.appeal * (pref - 0.5)
+                - ap.rank * rank_norm
+                + ap.hour * hour_factor,
+        )
+    }
+
+    /// The base acting logit `z(X, E^{t-1})` shared by both preference
+    /// branches.
+    fn acting_logit(&self, user: usize, t: usize, history_e: &[bool]) -> f32 {
+        let last_active = history_e.last().copied().unwrap_or(false);
+        let recent_active = history_e
+            .iter()
+            .rev()
+            .take(6)
+            .skip(1)
+            .filter(|&&e| e)
+            .count() as f32;
+        let rank_norm = (t as f32 / 30.0).min(1.5);
+        let pp = &self.config.propensity;
+        pp.bias
+            + if last_active { pp.last_active } else { 0.0 }
+            + pp.recent_active * recent_active
+            + pp.activeness * self.users[user].activeness
+            + if t == 0 { pp.first_song } else { 0.0 }
+            - pp.rank * rank_norm
+    }
+
+    /// Probability of acting when attending a *preferred* song.
+    pub fn act_prob_preferred(&self, user: usize, t: usize, history_e: &[bool]) -> f32 {
+        sigmoid(self.acting_logit(user, t, history_e) + self.config.propensity.like_eagerness)
+    }
+
+    /// Probability of acting (skipping) when attending a *disliked* song.
+    pub fn act_prob_disliked(&self, user: usize, t: usize, history_e: &[bool]) -> f32 {
+        sigmoid(self.acting_logit(user, t, history_e) + self.config.propensity.skip_eagerness)
+    }
+
+    /// The true sequential propensity p(X, E^{t-1}) at step `t`: the
+    /// marginal over the latent preference (Definition 1 conditions on
+    /// features and feedback history, not on the unobserved preference).
+    pub fn propensity(&self, user: usize, song: usize, t: usize, history_e: &[bool]) -> f32 {
+        let pref = self.preference_prob(user, song);
+        pref * self.act_prob_preferred(user, t, history_e)
+            + (1.0 - pref) * self.act_prob_disliked(user, t, history_e)
+    }
+
+    /// The feature vector `(categorical, dense)` for an event.
+    ///
+    /// Dense features carry observation noise drawn from `rng`, mirroring
+    /// real logs where features are noisy proxies of the latent state.
+    pub fn features(
+        &self,
+        user: usize,
+        song: usize,
+        t: usize,
+        ctx: SessionContext,
+        rng: &mut Rng,
+    ) -> (Vec<u32>, Vec<f32>) {
+        let user_l = &self.users[user];
+        let song_l = &self.songs[song];
+        let hour = self.hour_at(ctx, t);
+        let engagement_bucket = (user_l.engagement * 5.0).min(4.999) as u32;
+        let cat: Vec<u32> = if self.config.product_feedback {
+            vec![
+                user as u32,
+                user_l.gender,
+                user_l.age,
+                user_l.country,
+                user_l.device,
+                engagement_bucket,
+                song as u32,
+                song_l.artist,
+                song_l.album,
+                song_l.genre,
+                song_l.language,
+                hour,
+                ctx.day % 7,
+                ctx.network,
+            ]
+        } else {
+            vec![
+                user as u32,
+                song as u32,
+                song_l.artist,
+                song_l.genre,
+                hour,
+                ctx.day % 7,
+            ]
+        };
+        let pref = self.preference_prob(user, song);
+        let rank_norm = (t as f32 / 30.0).min(1.5);
+        let appeal_obs =
+            clamp01(pref + rng.normal_with(0.0, self.config.appeal_noise as f64) as f32);
+        let engagement_obs = clamp01(user_l.engagement + rng.normal_with(0.0, 0.08) as f32);
+        let mut dense: Vec<f32> = if self.config.product_feedback {
+            vec![
+                rank_norm,
+                song_l.popularity,
+                appeal_obs,
+                engagement_obs,
+                ((hour as f32 / 24.0) * std::f32::consts::TAU).sin(),
+                ((hour as f32 / 24.0) * std::f32::consts::TAU).cos(),
+                song_l.age,
+                clamp01(0.2 + 0.6 * user_l.engagement + rng.normal_with(0.0, 0.1) as f32),
+            ]
+        } else {
+            vec![
+                rank_norm,
+                song_l.popularity,
+                appeal_obs,
+                engagement_obs,
+                ((hour as f32 / 24.0) * std::f32::consts::TAU).sin(),
+                song_l.age,
+            ]
+        };
+        for _ in 0..self.config.num_distractor_dense {
+            dense.push(rng.normal() as f32);
+        }
+        (cat, dense)
+    }
+
+    /// The wall-clock hour at step `t` of a session.
+    pub fn hour_at(&self, ctx: SessionContext, t: usize) -> u32 {
+        (ctx.start_hour + (t / 12) as u32) % 24
+    }
+
+    /// Simulates the user's response to playing `song` at step `t`,
+    /// returning the observed feedback and the hidden truth.
+    pub fn outcome(
+        &self,
+        user: usize,
+        song: usize,
+        t: usize,
+        history_e: &[bool],
+        ctx: SessionContext,
+        rng: &mut Rng,
+    ) -> (Feedback, Truth) {
+        let hour = self.hour_at(ctx, t);
+        let pref_prob = self.preference_prob(user, song);
+        let preference = rng.bernoulli(pref_prob as f64);
+        let alpha = self.attention_prob(user, song, t, hour);
+        let attention = rng.bernoulli(alpha as f64);
+        let propensity = self.propensity(user, song, t, history_e);
+        // Conditional on the realized preference, the acting probability is
+        // branch-specific; the recorded `propensity` is their pref-weighted
+        // marginal, so E[e | X, E^{t-1}] = p·α still holds exactly.
+        let act_prob = if preference {
+            self.act_prob_preferred(user, t, history_e)
+        } else {
+            self.act_prob_disliked(user, t, history_e)
+        };
+        let is_active = attention && rng.bernoulli(act_prob as f64);
+        let feedback = if !is_active {
+            Feedback::AutoPlay
+        } else if preference {
+            if self.config.product_feedback {
+                match rng.weighted_choice(&[0.6, 0.15, 0.25]).unwrap() {
+                    0 => Feedback::Like,
+                    1 => Feedback::Share,
+                    _ => Feedback::Download,
+                }
+            } else {
+                Feedback::Like
+            }
+        } else if self.config.product_feedback && rng.bernoulli(0.12) {
+            Feedback::Dislike
+        } else {
+            Feedback::Skip
+        };
+        (
+            feedback,
+            Truth {
+                attention,
+                attention_prob: alpha,
+                propensity,
+                preference,
+                preference_prob: pref_prob,
+            },
+        )
+    }
+
+    /// Generates one complete session under the default exposure policy.
+    pub fn generate_session(&self, day: u32, rng: &mut Rng) -> Session {
+        let user = self.sample_user(rng);
+        let ctx = self.sample_context(day, rng);
+        let length = self.sample_length(rng);
+        let mut events = Vec::with_capacity(length);
+        let mut history_e: Vec<bool> = Vec::with_capacity(length);
+        for t in 0..length {
+            let song = self.sample_song_for(user, rng);
+            let (feedback, truth) = self.outcome(user, song, t, &history_e, ctx, rng);
+            history_e.push(feedback.is_active());
+            let (cat, dense) = self.features(user, song, t, ctx, rng);
+            events.push(Event {
+                song: song as u32,
+                cat,
+                dense,
+                feedback,
+                truth,
+            });
+        }
+        Session {
+            user: user as u32,
+            day,
+            events,
+        }
+    }
+}
+
+/// Generates a full dataset. Deterministic in `(config, seed)`.
+pub fn generate(config: &SimConfig, seed: u64) -> Dataset {
+    let sim = Simulator::new(config.clone(), seed);
+    let mut rng = Rng::seed_from_u64(seed ^ 0x6461_7461); // "data"
+    let sessions: Vec<Session> = (0..config.num_sessions)
+        .map(|_| {
+            let day = rng.below(config.days as usize) as u32;
+            sim.generate_session(day, &mut rng)
+        })
+        .collect();
+    Dataset {
+        name: config.name.clone(),
+        schema: sim.schema(),
+        sessions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = SimConfig::tiny();
+        let a = generate(&cfg, 7);
+        let b = generate(&cfg, 7);
+        assert_eq!(a.sessions.len(), b.sessions.len());
+        for (sa, sb) in a.sessions.iter().zip(&b.sessions) {
+            assert_eq!(sa.user, sb.user);
+            assert_eq!(sa.events.len(), sb.events.len());
+            for (ea, eb) in sa.events.iter().zip(&sb.events) {
+                assert_eq!(ea.feedback, eb.feedback);
+                assert_eq!(ea.cat, eb.cat);
+                assert_eq!(ea.dense, eb.dense);
+                assert_eq!(ea.truth, eb.truth);
+            }
+        }
+        let c = generate(&cfg, 8);
+        let fingerprint = |d: &Dataset| {
+            d.sessions
+                .iter()
+                .flat_map(|s| s.events.iter())
+                .filter(|e| e.e())
+                .count()
+        };
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn feature_vectors_match_schema() {
+        for cfg in [SimConfig::tiny(), SimConfig::thirty_music(0.05)] {
+            let ds = generate(&cfg, 1);
+            for s in &ds.sessions {
+                assert!(s.len() >= cfg.min_session_len);
+                for ev in &s.events {
+                    assert_eq!(ev.cat.len(), ds.schema.num_cat_fields());
+                    assert_eq!(ev.dense.len(), ds.schema.num_dense());
+                    for (f, &v) in ev.cat.iter().enumerate() {
+                        assert!(
+                            (v as usize) < ds.schema.cat_cardinalities[f],
+                            "field {f} value {v} >= {}",
+                            ds.schema.cat_cardinalities[f]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pu_structure_holds_active_implies_attention() {
+        let ds = generate(&SimConfig::tiny(), 3);
+        for ev in ds.sessions.iter().flat_map(|s| &s.events) {
+            if ev.e() {
+                assert!(ev.truth.attention, "active feedback without attention");
+            }
+            assert!((0.0..=1.0).contains(&ev.truth.attention_prob));
+            assert!((0.0..=1.0).contains(&ev.truth.propensity));
+            assert!((0.0..=1.0).contains(&ev.truth.preference_prob));
+        }
+    }
+
+    #[test]
+    fn passive_events_are_autoplay_with_positive_label() {
+        let ds = generate(&SimConfig::tiny(), 4);
+        for ev in ds.sessions.iter().flat_map(|s| &s.events) {
+            if !ev.e() {
+                assert_eq!(ev.feedback, Feedback::AutoPlay);
+                assert!(ev.y(), "auto-play must be recorded positive");
+            }
+        }
+    }
+
+    #[test]
+    fn attention_declines_with_rank() {
+        let ds = generate(&SimConfig::product(0.3), 5);
+        let mut early = (0.0f64, 0usize);
+        let mut late = (0.0f64, 0usize);
+        for s in &ds.sessions {
+            for (t, ev) in s.events.iter().enumerate() {
+                if t < 5 {
+                    early.0 += ev.truth.attention_prob as f64;
+                    early.1 += 1;
+                } else if t >= 15 {
+                    late.0 += ev.truth.attention_prob as f64;
+                    late.1 += 1;
+                }
+            }
+        }
+        let early_rate = early.0 / early.1 as f64;
+        let late_rate = late.0 / late.1 as f64;
+        // With the (realistically) low, bimodal attention distribution the
+        // decay is compressed in absolute terms but must stay visible.
+        assert!(
+            early_rate > late_rate + 0.04,
+            "early={early_rate:.3} late={late_rate:.3}"
+        );
+    }
+
+    #[test]
+    fn thirty_music_uses_three_feedback_types() {
+        let ds = generate(&SimConfig::thirty_music(0.1), 6);
+        let mut seen = std::collections::HashSet::new();
+        for ev in ds.sessions.iter().flat_map(|s| &s.events) {
+            seen.insert(ev.feedback);
+        }
+        assert!(seen.contains(&Feedback::AutoPlay));
+        assert!(!seen.contains(&Feedback::Share));
+        assert!(!seen.contains(&Feedback::Download));
+        assert!(!seen.contains(&Feedback::Dislike));
+    }
+
+    #[test]
+    fn expectation_identity_e_equals_p_alpha() {
+        // Proposition 1: E[e] = p·α. Group events by (rounded p·α) and check
+        // the empirical active rate matches.
+        let ds = generate(&SimConfig::product(0.5), 11);
+        let mut bins: std::collections::HashMap<usize, (f64, f64)> = Default::default();
+        for ev in ds.sessions.iter().flat_map(|s| &s.events) {
+            let expect = (ev.truth.propensity * ev.truth.attention_prob) as f64;
+            let bin = (expect * 20.0) as usize;
+            let entry = bins.entry(bin).or_insert((0.0, 0.0));
+            entry.0 += if ev.e() { 1.0 } else { 0.0 };
+            entry.1 += 1.0;
+        }
+        for (bin, (active, total)) in bins {
+            if total < 500.0 {
+                continue;
+            }
+            let empirical = active / total;
+            let centre = (bin as f64 + 0.5) / 20.0;
+            assert!(
+                (empirical - centre).abs() < 0.05,
+                "bin {bin}: empirical {empirical:.3} vs expected ≈{centre:.3} (n={total})"
+            );
+        }
+    }
+
+    #[test]
+    fn simulator_exposes_consistent_probabilities() {
+        let sim = Simulator::new(SimConfig::tiny(), 17);
+        let mut rng = Rng::seed_from_u64(0);
+        let ctx = sim.sample_context(0, &mut rng);
+        let user = sim.sample_user(&mut rng);
+        let song = sim.sample_song(&mut rng);
+        // Propensity after an active action exceeds propensity after passive.
+        let p_active = sim.propensity(user, song, 3, &[false, false, true]);
+        let p_passive = sim.propensity(user, song, 3, &[false, false, false]);
+        assert!(p_active > p_passive);
+        // Attention decays with rank at fixed context.
+        let hour = sim.hour_at(ctx, 0);
+        assert!(
+            sim.attention_prob(user, song, 0, hour) > sim.attention_prob(user, song, 25, hour)
+        );
+        // Preference is symmetric in call count (pure function).
+        assert_eq!(
+            sim.preference_prob(user, song),
+            sim.preference_prob(user, song)
+        );
+    }
+
+    #[test]
+    fn generate_session_respects_exposure_policy_hooks() {
+        let sim = Simulator::new(SimConfig::tiny(), 18);
+        let mut rng = Rng::seed_from_u64(1);
+        let session = sim.generate_session(2, &mut rng);
+        assert_eq!(session.day, 2);
+        assert!(session.len() >= sim.config().min_session_len);
+        let cands = sim.candidate_songs(20, &mut rng);
+        assert_eq!(cands.len(), 20);
+        assert!(cands.iter().all(|&c| c < sim.num_songs()));
+    }
+}

@@ -1,0 +1,37 @@
+//! # uae-data
+//!
+//! Data model and generative simulator for the UAE reproduction.
+//!
+//! Real music-streaming logs (the paper's 30-Music and Huawei Product
+//! datasets) are unavailable, so [`gen::generate`] synthesises sessions from
+//! a generative model implementing the exact causal structure the paper
+//! analyses — features → attention `a ~ Bern(α)` → active action
+//! `e | a=1 ~ Bern(p)` with sequential propensity `p(X, E^{t-1})` — so that
+//! `E[e] = p·α` (Proposition 1) holds by construction and ground truth is
+//! available for validating Theorems 1–6.
+//!
+//! * [`schema`] — feedback taxonomy (Table I), events, sessions, datasets.
+//! * [`config`] — simulator knobs and the 30-Music / Product presets.
+//! * [`gen`] — the session simulator.
+//! * [`stats`] — the statistics behind Figures 2(a–c) and 3 and Table III.
+//! * [`batch`] — splits, flat event batches, padded sequence batches.
+
+pub mod batch;
+pub mod config;
+pub mod gen;
+pub mod io;
+pub mod schema;
+pub mod stats;
+
+pub use batch::{
+    minibatch_indices, seq_batches, split_by_day, split_by_ratio, FlatBatch, FlatData, SeqBatch,
+    Split,
+};
+pub use config::{AttentionParams, PropensityParams, SimConfig};
+pub use gen::{generate, schema_for, SessionContext, Simulator};
+pub use io::{from_tsv, to_tsv, ParseError};
+pub use schema::{Dataset, DatasetSummary, Event, Feedback, FeatureSchema, Session, Truth};
+pub use stats::{
+    active_rate_by_active_count, active_rate_by_pattern, feedback_by_rank, transition_matrix,
+    RankRates, TransitionStats,
+};

@@ -1,0 +1,319 @@
+//! Core data model: feedback taxonomy (Table I of the paper), events,
+//! sessions, and datasets.
+
+/// A user feedback action on one recommended song.
+///
+/// The mapping to the paper's binary abstractions (Table I):
+///
+/// | Feedback  | type `e`    | attention `a` | label `y`      |
+/// |-----------|-------------|---------------|----------------|
+/// | Skip      | 1 (active)  | 1             | 0 (negative)   |
+/// | Dislike   | 1 (active)  | 1             | 0 (negative)   |
+/// | Like      | 1 (active)  | 1             | 1 (positive)   |
+/// | Share     | 1 (active)  | 1             | 1 (positive)   |
+/// | Download  | 1 (active)  | 1             | 1 (positive)   |
+/// | Auto-play | 0 (passive) | ? (unknown)   | 1 (unreliable) |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    Like,
+    Share,
+    Download,
+    Skip,
+    Dislike,
+    AutoPlay,
+}
+
+impl Feedback {
+    /// The observable feedback-type variable `e` (1 = active).
+    pub fn is_active(self) -> bool {
+        !matches!(self, Feedback::AutoPlay)
+    }
+
+    /// The feedback label `y` as constructed by the industry rule the paper
+    /// critiques: positives are Like/Share/Download **and auto-play**.
+    pub fn label(self) -> bool {
+        !matches!(self, Feedback::Skip | Feedback::Dislike)
+    }
+
+    /// Whether the label is *known reliable* (`e = 1 ⇒ a = 1`).
+    pub fn label_is_reliable(self) -> bool {
+        self.is_active()
+    }
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Feedback::Like => "Like",
+            Feedback::Share => "Share",
+            Feedback::Download => "Download",
+            Feedback::Skip => "Skip",
+            Feedback::Dislike => "Dislike",
+            Feedback::AutoPlay => "Auto-play",
+        }
+    }
+
+    /// All feedback variants, actives first.
+    pub fn all() -> [Feedback; 6] {
+        [
+            Feedback::Like,
+            Feedback::Share,
+            Feedback::Download,
+            Feedback::Skip,
+            Feedback::Dislike,
+            Feedback::AutoPlay,
+        ]
+    }
+}
+
+/// Simulator ground truth attached to every event.
+///
+/// Real logs cannot observe any of this (that unobservability is the paper's
+/// whole problem); the simulator records it so the reproduction can verify
+/// unbiasedness claims (Theorems 1–6) directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Truth {
+    /// The latent attention indicator `a`.
+    pub attention: bool,
+    /// The true attention probability `α = Pr(a=1 | X)`.
+    pub attention_prob: f32,
+    /// The true sequential propensity `p = Pr(e=1 | X, E, a=1)`.
+    pub propensity: f32,
+    /// Whether the user genuinely likes this song.
+    pub preference: bool,
+    /// The true preference probability.
+    pub preference_prob: f32,
+}
+
+/// One listening event: features, observed feedback, and hidden truth.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Song index (also appears as a categorical feature).
+    pub song: u32,
+    /// Categorical feature values, one per schema field.
+    pub cat: Vec<u32>,
+    /// Dense feature values.
+    pub dense: Vec<f32>,
+    /// The observed feedback action.
+    pub feedback: Feedback,
+    /// Simulator ground truth (never shown to estimators during training).
+    pub truth: Truth,
+}
+
+impl Event {
+    /// The observable feedback-type variable `e`.
+    pub fn e(&self) -> bool {
+        self.feedback.is_active()
+    }
+
+    /// The constructed feedback label `y`.
+    pub fn y(&self) -> bool {
+        self.feedback.label()
+    }
+}
+
+/// A chronologically ordered interaction session of one user.
+#[derive(Debug, Clone)]
+pub struct Session {
+    pub user: u32,
+    /// Zero-based simulated day the session occurred on (for day-based
+    /// splits mirroring the Product dataset protocol).
+    pub day: u32,
+    pub events: Vec<Event>,
+}
+
+impl Session {
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// Names and cardinalities of the feature space.
+#[derive(Debug, Clone)]
+pub struct FeatureSchema {
+    /// Cardinality of each categorical field.
+    pub cat_cardinalities: Vec<usize>,
+    /// Human-readable categorical field names (same length).
+    pub cat_names: Vec<String>,
+    /// Number of dense features.
+    pub dense_names: Vec<String>,
+    /// Number of distinct feedback types this dataset exposes.
+    pub feedback_types: usize,
+}
+
+impl FeatureSchema {
+    /// Total feature count as reported in the paper's Table III
+    /// (categorical + dense fields).
+    pub fn num_features(&self) -> usize {
+        self.cat_cardinalities.len() + self.dense_names.len()
+    }
+
+    pub fn num_cat_fields(&self) -> usize {
+        self.cat_cardinalities.len()
+    }
+
+    pub fn num_dense(&self) -> usize {
+        self.dense_names.len()
+    }
+}
+
+/// A complete dataset: schema plus sessions.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    pub name: String,
+    pub schema: FeatureSchema,
+    pub sessions: Vec<Session>,
+}
+
+/// Row of the paper's Table III.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    pub name: String,
+    pub sessions: usize,
+    pub users: usize,
+    pub songs: usize,
+    pub features: usize,
+    pub feedback_types: usize,
+    pub events: usize,
+    pub active_rate: f64,
+}
+
+impl Dataset {
+    /// Number of listening events `|S|`.
+    pub fn num_events(&self) -> usize {
+        self.sessions.iter().map(Session::len).sum()
+    }
+
+    /// Statistics row matching Table III (plus event count / active rate).
+    pub fn summary(&self) -> DatasetSummary {
+        let mut users = std::collections::HashSet::new();
+        let mut songs = std::collections::HashSet::new();
+        let mut events = 0usize;
+        let mut active = 0usize;
+        for s in &self.sessions {
+            users.insert(s.user);
+            for ev in &s.events {
+                songs.insert(ev.song);
+                events += 1;
+                if ev.e() {
+                    active += 1;
+                }
+            }
+        }
+        DatasetSummary {
+            name: self.name.clone(),
+            sessions: self.sessions.len(),
+            users: users.len(),
+            songs: songs.len(),
+            features: self.schema.num_features(),
+            feedback_types: self.schema.feedback_types,
+            events,
+            active_rate: if events > 0 {
+                active as f64 / events as f64
+            } else {
+                0.0
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_mapping() {
+        use Feedback::*;
+        // e column.
+        for f in [Like, Share, Download, Skip, Dislike] {
+            assert!(f.is_active(), "{f:?}");
+        }
+        assert!(!AutoPlay.is_active());
+        // y column.
+        for f in [Like, Share, Download, AutoPlay] {
+            assert!(f.label(), "{f:?}");
+        }
+        for f in [Skip, Dislike] {
+            assert!(!f.label(), "{f:?}");
+        }
+        // reliability: exactly the active rows.
+        for f in Feedback::all() {
+            assert_eq!(f.label_is_reliable(), f.is_active());
+        }
+    }
+
+    #[test]
+    fn summary_counts_distinct_users_and_songs() {
+        let truth = Truth {
+            attention: true,
+            attention_prob: 1.0,
+            propensity: 1.0,
+            preference: true,
+            preference_prob: 1.0,
+        };
+        let ev = |song: u32, fb: Feedback| Event {
+            song,
+            cat: vec![],
+            dense: vec![],
+            feedback: fb,
+            truth,
+        };
+        let ds = Dataset {
+            name: "t".into(),
+            schema: FeatureSchema {
+                cat_cardinalities: vec![4, 5],
+                cat_names: vec!["a".into(), "b".into()],
+                dense_names: vec!["d".into()],
+                feedback_types: 3,
+            },
+            sessions: vec![
+                Session {
+                    user: 1,
+                    day: 0,
+                    events: vec![ev(10, Feedback::Like), ev(11, Feedback::AutoPlay)],
+                },
+                Session {
+                    user: 1,
+                    day: 1,
+                    events: vec![ev(10, Feedback::Skip)],
+                },
+                Session {
+                    user: 2,
+                    day: 0,
+                    events: vec![ev(12, Feedback::AutoPlay)],
+                },
+            ],
+        };
+        let s = ds.summary();
+        assert_eq!(s.sessions, 3);
+        assert_eq!(s.users, 2);
+        assert_eq!(s.songs, 3);
+        assert_eq!(s.features, 3);
+        assert_eq!(s.feedback_types, 3);
+        assert_eq!(s.events, 4);
+        assert!((s.active_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn event_e_y_shortcuts_match_feedback() {
+        let truth = Truth {
+            attention: false,
+            attention_prob: 0.2,
+            propensity: 0.1,
+            preference: false,
+            preference_prob: 0.3,
+        };
+        let ev = Event {
+            song: 0,
+            cat: vec![],
+            dense: vec![],
+            feedback: Feedback::AutoPlay,
+            truth,
+        };
+        assert!(!ev.e());
+        assert!(ev.y());
+    }
+}

@@ -1,0 +1,235 @@
+//! Dataset statistics reproducing the paper's motivating figures.
+//!
+//! * [`transition_matrix`] — Fig. 2(a): P(next feedback type | current type).
+//! * [`active_rate_by_pattern`] — Fig. 2(b): P(active | last-6 pattern).
+//! * [`active_rate_by_active_count`] — Fig. 2(c): P(active | #active in
+//!   near history).
+//! * [`feedback_by_rank`] — Fig. 3: active/passive rates vs. play rank.
+
+use crate::schema::Dataset;
+
+/// Fig. 2(a): first-order transition statistics between active (`a`) and
+/// passive (`p`) feedback.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransitionStats {
+    /// Marginal probability of an active action.
+    pub marginal_active: f64,
+    /// P(active | previous active).
+    pub active_after_active: f64,
+    /// P(active | previous passive).
+    pub active_after_passive: f64,
+    /// P(passive | previous active).
+    pub passive_after_active: f64,
+    /// P(passive | previous passive).
+    pub passive_after_passive: f64,
+}
+
+/// Computes Fig. 2(a) over all consecutive event pairs of every session.
+pub fn transition_matrix(dataset: &Dataset) -> TransitionStats {
+    let mut total = 0usize;
+    let mut active = 0usize;
+    // [prev][next] counts with 0 = passive, 1 = active.
+    let mut counts = [[0usize; 2]; 2];
+    for s in &dataset.sessions {
+        let es: Vec<bool> = s.events.iter().map(|e| e.e()).collect();
+        for &e in &es {
+            total += 1;
+            active += e as usize;
+        }
+        for w in es.windows(2) {
+            counts[w[0] as usize][w[1] as usize] += 1;
+        }
+    }
+    let row = |prev: usize, next: usize| -> f64 {
+        let denom = counts[prev][0] + counts[prev][1];
+        if denom == 0 {
+            0.0
+        } else {
+            counts[prev][next] as f64 / denom as f64
+        }
+    };
+    TransitionStats {
+        marginal_active: if total == 0 {
+            0.0
+        } else {
+            active as f64 / total as f64
+        },
+        active_after_active: row(1, 1),
+        active_after_passive: row(0, 1),
+        passive_after_active: row(1, 0),
+        passive_after_passive: row(0, 0),
+    }
+}
+
+/// Fig. 2(b): probability of an active action conditioned on the exact
+/// pattern of the previous `window` feedback types. Keys are strings like
+/// `"ppappa"` (oldest → newest); only patterns with ≥ `min_support`
+/// occurrences are returned.
+pub fn active_rate_by_pattern(
+    dataset: &Dataset,
+    window: usize,
+    min_support: usize,
+) -> Vec<(String, f64, usize)> {
+    let mut counts: std::collections::HashMap<String, (usize, usize)> = Default::default();
+    for s in &dataset.sessions {
+        let es: Vec<bool> = s.events.iter().map(|e| e.e()).collect();
+        for t in window..es.len() {
+            let pattern: String = es[t - window..t]
+                .iter()
+                .map(|&e| if e { 'a' } else { 'p' })
+                .collect();
+            let entry = counts.entry(pattern).or_insert((0, 0));
+            entry.0 += es[t] as usize;
+            entry.1 += 1;
+        }
+    }
+    let mut rows: Vec<(String, f64, usize)> = counts
+        .into_iter()
+        .filter(|(_, (_, n))| *n >= min_support)
+        .map(|(pat, (a, n))| (pat, a as f64 / n as f64, n))
+        .collect();
+    rows.sort_by(|x, y| y.1.partial_cmp(&x.1).unwrap());
+    rows
+}
+
+/// Fig. 2(c): probability of an active action as a function of the number of
+/// active actions among the previous `window` steps. Index `k` of the result
+/// is `(P(active | k recent actives), support)`.
+pub fn active_rate_by_active_count(dataset: &Dataset, window: usize) -> Vec<(f64, usize)> {
+    let mut agg = vec![(0usize, 0usize); window + 1];
+    for s in &dataset.sessions {
+        let es: Vec<bool> = s.events.iter().map(|e| e.e()).collect();
+        for t in window..es.len() {
+            let k = es[t - window..t].iter().filter(|&&e| e).count();
+            agg[k].0 += es[t] as usize;
+            agg[k].1 += 1;
+        }
+    }
+    agg.into_iter()
+        .map(|(a, n)| (if n == 0 { 0.0 } else { a as f64 / n as f64 }, n))
+        .collect()
+}
+
+/// One row of Fig. 3: rates at a given play rank.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RankRates {
+    pub rank: usize,
+    pub active_rate: f64,
+    pub passive_rate: f64,
+    /// Mean true attention probability at this rank (simulator extension).
+    pub mean_attention: f64,
+    pub support: usize,
+}
+
+/// Fig. 3: feedback rates by play rank, up to `max_rank`.
+pub fn feedback_by_rank(dataset: &Dataset, max_rank: usize) -> Vec<RankRates> {
+    let mut active = vec![0usize; max_rank];
+    let mut total = vec![0usize; max_rank];
+    let mut attention = vec![0.0f64; max_rank];
+    for s in &dataset.sessions {
+        for (t, ev) in s.events.iter().take(max_rank).enumerate() {
+            total[t] += 1;
+            active[t] += ev.e() as usize;
+            attention[t] += ev.truth.attention_prob as f64;
+        }
+    }
+    (0..max_rank)
+        .filter(|&t| total[t] > 0)
+        .map(|t| RankRates {
+            rank: t + 1,
+            active_rate: active[t] as f64 / total[t] as f64,
+            passive_rate: 1.0 - active[t] as f64 / total[t] as f64,
+            mean_attention: attention[t] / total[t] as f64,
+            support: total[t],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SimConfig;
+    use crate::gen::generate;
+
+    fn product_dataset() -> Dataset {
+        generate(&SimConfig::product(0.5), 20240)
+    }
+
+    #[test]
+    fn transition_matrix_rows_sum_to_one() {
+        let stats = transition_matrix(&product_dataset());
+        assert!((stats.active_after_active + stats.passive_after_active - 1.0).abs() < 1e-9);
+        assert!((stats.active_after_passive + stats.passive_after_passive - 1.0).abs() < 1e-9);
+    }
+
+    /// The headline calibration check: the Product preset must land near the
+    /// paper's published Figure 2(a) numbers (0.0876 / 0.5588 / 0.0488).
+    #[test]
+    fn product_preset_matches_figure_2a_targets() {
+        let stats = transition_matrix(&product_dataset());
+        assert!(
+            (stats.marginal_active - 0.0876).abs() < 0.03,
+            "marginal_active={:.4}",
+            stats.marginal_active
+        );
+        assert!(
+            (stats.active_after_active - 0.5588).abs() < 0.12,
+            "active_after_active={:.4}",
+            stats.active_after_active
+        );
+        assert!(
+            (stats.active_after_passive - 0.0488).abs() < 0.025,
+            "active_after_passive={:.4}",
+            stats.active_after_passive
+        );
+    }
+
+    #[test]
+    fn more_recent_actives_raise_active_probability() {
+        // Fig. 2(c)'s monotone trend (allowing small noise in the tail).
+        let rates = active_rate_by_active_count(&product_dataset(), 6);
+        assert!(rates[0].1 > 100, "support too small");
+        assert!(rates[1].0 > rates[0].0, "{rates:?}");
+        assert!(rates[2].0 > rates[1].0, "{rates:?}");
+    }
+
+    #[test]
+    fn all_active_pattern_beats_all_passive_pattern() {
+        // Fig. 2(b): "aaaaaa" history ≫ "pppppp" history.
+        let rows = active_rate_by_pattern(&product_dataset(), 4, 20);
+        let get = |pat: &str| rows.iter().find(|(p, _, _)| p == pat).map(|r| r.1);
+        let all_p = get("pppp").expect("pppp pattern present");
+        if let Some(all_a) = get("aaaa") {
+            assert!(all_a > all_p * 3.0, "aaaa={all_a:.3} pppp={all_p:.3}");
+        }
+        // The mostly-active patterns, when present, outrank all-passive.
+        assert!(rows.last().unwrap().1 <= rows.first().unwrap().1);
+    }
+
+    #[test]
+    fn active_rate_declines_with_rank() {
+        // Fig. 3's shape: rank-1 active rate noticeably above rank-20.
+        let rows = feedback_by_rank(&product_dataset(), 20);
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(first.active_rate > last.active_rate, "{rows:?}");
+        assert!(first.mean_attention > last.mean_attention + 0.04);
+        // Passive dominates at every rank (the paper's observation (2)).
+        for r in &rows {
+            assert!(r.passive_rate > 0.5, "rank {}: {r:?}", r.rank);
+        }
+    }
+
+    #[test]
+    fn empty_dataset_degenerates_gracefully() {
+        let ds = Dataset {
+            name: "empty".into(),
+            schema: crate::gen::schema_for(&SimConfig::tiny()),
+            sessions: vec![],
+        };
+        let stats = transition_matrix(&ds);
+        assert_eq!(stats.marginal_active, 0.0);
+        assert!(feedback_by_rank(&ds, 5).is_empty());
+        assert!(active_rate_by_pattern(&ds, 3, 1).is_empty());
+    }
+}

@@ -1,0 +1,156 @@
+//! Fig. 5: convergence curves of DCN-V2 with and without UAE.
+//!
+//! Trains both variants for a fixed number of epochs (no early stopping),
+//! over several seeds, and reports the per-epoch mean train/validation AUC
+//! with 95% t-distribution confidence half-widths — exactly the quantities
+//! plotted in the paper's Figure 5.
+
+use uae_metrics::{confidence_half_width, mean};
+use uae_models::{ModelKind, TrainConfig};
+
+use crate::harness::{over_seeds, prepare, AttentionMethod, HarnessConfig, Preset};
+use crate::table::TextTable;
+
+/// One epoch's aggregate across seeds.
+#[derive(Debug, Clone, Copy)]
+pub struct EpochPoint {
+    pub epoch: usize,
+    pub train_auc_mean: f64,
+    pub train_auc_ci95: f64,
+    pub val_auc_mean: f64,
+    pub val_auc_ci95: f64,
+}
+
+/// Curves for one variant (Base or +UAE).
+#[derive(Debug, Clone)]
+pub struct ConvergenceCurve {
+    pub variant: &'static str,
+    pub points: Vec<EpochPoint>,
+}
+
+/// The Fig. 5 experiment output.
+#[derive(Debug, Clone)]
+pub struct Convergence {
+    pub base: ConvergenceCurve,
+    pub uae: ConvergenceCurve,
+}
+
+/// Runs the convergence study on the Product preset (as in the paper) with
+/// `epochs` fixed epochs per run.
+pub fn run_convergence(cfg: &HarnessConfig, epochs: usize) -> Convergence {
+    let data = prepare(Preset::Product, cfg);
+    let fixed = HarnessConfig {
+        train: TrainConfig {
+            epochs,
+            early_stop_patience: None,
+            ..cfg.train.clone()
+        },
+        ..cfg.clone()
+    };
+    // seed → (base history, uae history) of (train_auc, val_auc) per epoch
+    let per_seed = over_seeds(&cfg.seeds, |seed| {
+        let base = crate::harness::run_model(ModelKind::DcnV2, None, &data, &fixed, seed);
+        let w = AttentionMethod::Uae
+            .weights(&data, &fixed, seed)
+            .expect("weights");
+        let ours = crate::harness::run_model(ModelKind::DcnV2, Some(&w), &data, &fixed, seed);
+        let series = |report: &uae_models::TrainReport| -> Vec<(f64, f64)> {
+            report
+                .history
+                .iter()
+                .map(|r| (r.train_auc.unwrap_or(0.5), r.val_auc.unwrap_or(0.5)))
+                .collect()
+        };
+        (series(&base.report), series(&ours.report))
+    });
+
+    let collect = |pick: &dyn Fn(&(Vec<(f64, f64)>, Vec<(f64, f64)>)) -> &Vec<(f64, f64)>,
+                   variant: &'static str| {
+        let mut points = Vec::with_capacity(epochs);
+        for epoch in 0..epochs {
+            let train: Vec<f64> = per_seed
+                .iter()
+                .filter_map(|s| pick(s).get(epoch).map(|&(t, _)| t))
+                .collect();
+            let val: Vec<f64> = per_seed
+                .iter()
+                .filter_map(|s| pick(s).get(epoch).map(|&(_, v)| v))
+                .collect();
+            points.push(EpochPoint {
+                epoch,
+                train_auc_mean: mean(&train),
+                train_auc_ci95: confidence_half_width(&train, 0.95),
+                val_auc_mean: mean(&val),
+                val_auc_ci95: confidence_half_width(&val, 0.95),
+            });
+        }
+        ConvergenceCurve { variant, points }
+    };
+    Convergence {
+        base: collect(&|s| &s.0, "DCN-V2"),
+        uae: collect(&|s| &s.1, "DCN-V2 + UAE"),
+    }
+}
+
+impl Convergence {
+    /// Renders the two curves as the series behind Fig. 5's two panels.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut t = TextTable::new(&[
+            "Epoch",
+            "Base train",
+            "±95%",
+            "UAE train",
+            "±95%",
+            "Base val",
+            "±95%",
+            "UAE val",
+            "±95%",
+        ]);
+        for (b, u) in self.base.points.iter().zip(&self.uae.points) {
+            t.add_row(vec![
+                format!("{}", b.epoch + 1),
+                format!("{:.4}", b.train_auc_mean),
+                format!("{:.4}", b.train_auc_ci95),
+                format!("{:.4}", u.train_auc_mean),
+                format!("{:.4}", u.train_auc_ci95),
+                format!("{:.4}", b.val_auc_mean),
+                format!("{:.4}", b.val_auc_ci95),
+                format!("{:.4}", u.val_auc_mean),
+                format!("{:.4}", u.val_auc_ci95),
+            ]);
+        }
+        out.push_str(&t.render());
+        out
+    }
+
+    /// The paper's headline claims about Fig. 5: the UAE arm ends at a
+    /// higher validation AUC.
+    pub fn uae_ends_higher(&self) -> bool {
+        match (self.base.points.last(), self.uae.points.last()) {
+            (Some(b), Some(u)) => u.val_auc_mean > b.val_auc_mean,
+            _ => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convergence_produces_full_curves() {
+        let mut cfg = HarnessConfig::fast();
+        cfg.data_scale = 0.05;
+        let conv = run_convergence(&cfg, 2);
+        assert_eq!(conv.base.points.len(), 2);
+        assert_eq!(conv.uae.points.len(), 2);
+        for p in conv.base.points.iter().chain(&conv.uae.points) {
+            assert!(p.train_auc_mean > 0.0 && p.train_auc_mean <= 1.0);
+            assert!(p.val_auc_ci95 >= 0.0);
+        }
+        let rendered = conv.render();
+        assert!(rendered.contains("Epoch"));
+        assert!(rendered.lines().count() >= 4);
+    }
+}

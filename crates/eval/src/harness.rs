@@ -1,0 +1,359 @@
+//! Shared experiment plumbing: datasets, splits, attention methods, and
+//! single training runs.
+
+use uae_core::{downstream_weights, AttentionEstimator, BiasedAttentionBaseline, Edm, Uae, UaeConfig};
+use uae_data::{
+    generate, split_by_day, split_by_ratio, Dataset, FlatData, SimConfig, Split,
+};
+use uae_models::{
+    evaluate, train, EvalResult, LabelMode, ModelConfig, ModelKind, TrainConfig, TrainReport,
+};
+use uae_tensor::Rng;
+
+/// Which of the paper's two datasets to synthesise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Preset {
+    ThirtyMusic,
+    Product,
+}
+
+impl Preset {
+    pub fn name(self) -> &'static str {
+        match self {
+            Preset::ThirtyMusic => "30-Music",
+            Preset::Product => "Product",
+        }
+    }
+
+    pub fn config(self, scale: f64) -> SimConfig {
+        match self {
+            Preset::ThirtyMusic => SimConfig::thirty_music(scale),
+            Preset::Product => SimConfig::product(scale),
+        }
+    }
+
+    /// The paper's split protocol: 8:1:1 random sessions for 30-Music,
+    /// 7+1+1 days for Product.
+    pub fn split(self, dataset: &Dataset, rng: &mut Rng) -> Split {
+        match self {
+            Preset::ThirtyMusic => split_by_ratio(dataset, 0.8, 0.1, rng),
+            Preset::Product => split_by_day(dataset, 7, 1),
+        }
+    }
+
+    pub fn both() -> [Preset; 2] {
+        [Preset::ThirtyMusic, Preset::Product]
+    }
+}
+
+/// Global harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Simulator scale factor (1.0 = the preset's default size).
+    pub data_scale: f64,
+    /// Seed for dataset generation (fixed across model seeds, as in the
+    /// paper: the data is fixed; the model initialisation varies).
+    pub data_seed: u64,
+    /// Model-training seeds (the paper uses five).
+    pub seeds: Vec<u64>,
+    /// Eq. (19)'s γ for attention-derived weights.
+    pub gamma: f32,
+    pub model: ModelConfig,
+    pub train: TrainConfig,
+    pub uae: UaeConfig,
+    /// Evaluation label mode. `Observed` is the paper's offline protocol
+    /// (AUC/GAUC against constructed feedback labels); `OraclePreference`
+    /// scores against the simulator's true preferences — an extension that
+    /// exposes the de-noising mechanism directly (see DESIGN.md §5).
+    pub label_mode: LabelMode,
+}
+
+impl HarnessConfig {
+    /// Full-size harness used by the benches (minutes per table).
+    pub fn full() -> Self {
+        HarnessConfig {
+            data_scale: 0.35,
+            data_seed: 2024,
+            seeds: vec![11, 22, 33, 44, 55],
+            gamma: 15.0,
+            model: ModelConfig::default(),
+            train: TrainConfig {
+                epochs: 8,
+                batch_size: 512,
+                early_stop_patience: Some(2),
+                ..Default::default()
+            },
+            uae: UaeConfig::default(),
+            label_mode: LabelMode::Observed,
+        }
+    }
+
+    /// Small harness for tests (seconds per table).
+    pub fn fast() -> Self {
+        HarnessConfig {
+            data_scale: 0.08,
+            data_seed: 7,
+            seeds: vec![1],
+            gamma: 15.0,
+            model: ModelConfig {
+                hidden: vec![32, 16],
+                ..Default::default()
+            },
+            train: TrainConfig {
+                epochs: 2,
+                batch_size: 256,
+                early_stop_patience: None,
+                ..Default::default()
+            },
+            uae: UaeConfig {
+                gru_hidden: 12,
+                mlp_hidden: vec![12],
+                epochs: 1,
+                ..Default::default()
+            },
+            label_mode: LabelMode::OraclePreference,
+        }
+    }
+}
+
+/// A synthesised dataset with its split and flattened views.
+pub struct PreparedData {
+    pub preset: Preset,
+    pub dataset: Dataset,
+    pub split: Split,
+    pub train: FlatData,
+    pub val: FlatData,
+    pub test: FlatData,
+}
+
+/// Generates, splits, and flattens one preset's dataset.
+pub fn prepare(preset: Preset, cfg: &HarnessConfig) -> PreparedData {
+    let dataset = generate(&preset.config(cfg.data_scale), cfg.data_seed);
+    let mut rng = Rng::seed_from_u64(cfg.data_seed ^ 0x73_706c);
+    let split = preset.split(&dataset, &mut rng);
+    let train = FlatData::from_sessions(&dataset, &split.train);
+    let val = FlatData::from_sessions(&dataset, &split.val);
+    let test = FlatData::from_sessions(&dataset, &split.test);
+    PreparedData {
+        preset,
+        dataset,
+        split,
+        train,
+        val,
+        test,
+    }
+}
+
+/// The attention-weighting methods compared in Tables IV–V.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttentionMethod {
+    /// No re-weighting (the "Base" rows).
+    Base,
+    /// Exponential-decay heuristic.
+    Edm,
+    /// Negative-sampling heuristic of Zhang et al.
+    Ndb,
+    /// Naive PU baseline: all passives negative.
+    Pn,
+    /// PU-learning with local-feature propensities.
+    Sar,
+    /// The paper's contribution.
+    Uae,
+    /// Ground-truth attention probabilities (simulator-only upper bound).
+    Oracle,
+}
+
+impl AttentionMethod {
+    pub fn name(self) -> &'static str {
+        match self {
+            AttentionMethod::Base => "Base",
+            AttentionMethod::Edm => "+EDM",
+            AttentionMethod::Ndb => "+NDB",
+            AttentionMethod::Pn => "+PN",
+            AttentionMethod::Sar => "+SAR",
+            AttentionMethod::Uae => "+UAE",
+            AttentionMethod::Oracle => "+Oracle",
+        }
+    }
+
+    /// The Table V column order (baselines then ours).
+    pub fn table5() -> [AttentionMethod; 6] {
+        [
+            AttentionMethod::Base,
+            AttentionMethod::Edm,
+            AttentionMethod::Ndb,
+            AttentionMethod::Pn,
+            AttentionMethod::Sar,
+            AttentionMethod::Uae,
+        ]
+    }
+
+    /// Estimated attention probabilities `α̂` for every *training* event of
+    /// `data` (flat order), or `None` for [`AttentionMethod::Base`].
+    ///
+    /// Fitting uses only observed feedback of the training sessions; the
+    /// oracle method reads the simulator's truth instead.
+    pub fn attention_scores(
+        self,
+        data: &PreparedData,
+        cfg: &HarnessConfig,
+        seed: u64,
+    ) -> Option<Vec<f32>> {
+        let sessions = &data.split.train;
+        let uae_cfg = UaeConfig {
+            seed,
+            ..cfg.uae.clone()
+        };
+        match self {
+            AttentionMethod::Base => None,
+            AttentionMethod::Oracle => Some(data.train.true_alpha.clone()),
+            AttentionMethod::Edm => Some(Edm::default().predict(&data.dataset, sessions)),
+            AttentionMethod::Pn => {
+                // The paper's PN treats the attention of every unlabeled
+                // (passive) sample as exactly zero, i.e. passive events are
+                // discarded (w(0; γ) = 0). Active events keep weight 1
+                // through Eq. (18) regardless.
+                Some(vec![0.0; data.train.len()])
+            }
+            AttentionMethod::Ndb => {
+                let mut est = BiasedAttentionBaseline::ndb(&data.dataset.schema, uae_cfg, 10);
+                est.fit(&data.dataset, sessions);
+                Some(est.predict(&data.dataset, sessions))
+            }
+            AttentionMethod::Sar => {
+                let mut est = Uae::new_sar(&data.dataset.schema, uae_cfg);
+                est.fit(&data.dataset, sessions);
+                Some(est.predict(&data.dataset, sessions))
+            }
+            AttentionMethod::Uae => {
+                let mut est = Uae::new(&data.dataset.schema, uae_cfg);
+                est.fit(&data.dataset, sessions);
+                Some(est.predict(&data.dataset, sessions))
+            }
+        }
+    }
+
+    /// Downstream per-event weights (Eq. 19 over [`Self::attention_scores`]).
+    pub fn weights(
+        self,
+        data: &PreparedData,
+        cfg: &HarnessConfig,
+        seed: u64,
+    ) -> Option<Vec<f32>> {
+        self.attention_scores(data, cfg, seed)
+            .map(|alpha| downstream_weights(&alpha, cfg.gamma))
+    }
+}
+
+/// Result of one (model, method, seed) training run.
+pub struct RunOutcome {
+    pub result: EvalResult,
+    pub report: TrainReport,
+}
+
+/// Trains `kind` with the given pre-computed weights and evaluates on test.
+pub fn run_model(
+    kind: ModelKind,
+    weights: Option<&[f32]>,
+    data: &PreparedData,
+    cfg: &HarnessConfig,
+    seed: u64,
+) -> RunOutcome {
+    let mut rng = Rng::seed_from_u64(seed ^ 0x6d6f_6465);
+    let (model, mut params) = kind.build(&data.dataset.schema, &cfg.model, &mut rng);
+    let train_cfg = TrainConfig {
+        seed,
+        ..cfg.train.clone()
+    };
+    let report = train(
+        model.as_ref(),
+        &mut params,
+        &data.train,
+        weights,
+        Some(&data.val),
+        cfg.label_mode,
+        &train_cfg,
+    );
+    let result = evaluate(
+        model.as_ref(),
+        &params,
+        &data.test,
+        cfg.label_mode,
+        cfg.train.batch_size,
+    );
+    RunOutcome { result, report }
+}
+
+/// Fans `f` out over the harness seeds on scoped threads, returning results
+/// in seed order.
+pub fn over_seeds<T: Send>(
+    seeds: &[u64],
+    f: impl Fn(u64) -> T + Sync,
+) -> Vec<T> {
+    let f = &f;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| scope.spawn(move || f(seed)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("seed thread")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn prepare_builds_consistent_views() {
+        let cfg = HarnessConfig::fast();
+        let data = prepare(Preset::Product, &cfg);
+        assert_eq!(data.preset.name(), "Product");
+        let total = data.train.len() + data.val.len() + data.test.len();
+        assert_eq!(total, data.dataset.num_events());
+        assert!(data.train.len() > data.test.len());
+    }
+
+    #[test]
+    fn thirty_music_uses_ratio_split() {
+        let cfg = HarnessConfig::fast();
+        let data = prepare(Preset::ThirtyMusic, &cfg);
+        let n = data.dataset.sessions.len() as f64;
+        let frac = data.split.train.len() as f64 / n;
+        assert!((frac - 0.8).abs() < 0.05, "train fraction {frac}");
+    }
+
+    #[test]
+    fn base_method_has_no_weights_and_oracle_uses_truth() {
+        let cfg = HarnessConfig::fast();
+        let data = prepare(Preset::Product, &cfg);
+        assert!(AttentionMethod::Base.weights(&data, &cfg, 0).is_none());
+        let oracle = AttentionMethod::Oracle.attention_scores(&data, &cfg, 0).unwrap();
+        assert_eq!(oracle, data.train.true_alpha);
+    }
+
+    #[test]
+    fn run_model_produces_sane_metrics() {
+        let cfg = HarnessConfig::fast();
+        let data = prepare(Preset::Product, &cfg);
+        let out = run_model(ModelKind::Fm, None, &data, &cfg, 1);
+        assert!(out.result.auc > 0.4 && out.result.auc < 1.0);
+        assert!(out.result.gauc > 0.3 && out.result.gauc <= 1.0);
+        assert!(!out.report.history.is_empty());
+    }
+
+    #[test]
+    fn over_seeds_preserves_order() {
+        let out = over_seeds(&[3, 1, 2], |s| s * 10);
+        assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn edm_weights_are_valid_probability_weights() {
+        let cfg = HarnessConfig::fast();
+        let data = prepare(Preset::Product, &cfg);
+        let w = AttentionMethod::Edm.weights(&data, &cfg, 0).unwrap();
+        assert_eq!(w.len(), data.train.len());
+        assert!(w.iter().all(|&x| (0.0..=1.0).contains(&x)));
+    }
+}

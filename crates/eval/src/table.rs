@@ -1,0 +1,117 @@
+//! Plain-text table rendering for the experiment harness.
+
+/// A simple aligned text table.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    pub fn add_row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.header.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders with column alignment and a separator under the header.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for c in 0..cols {
+                widths[c] = widths[c].max(row[c].chars().count());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (c, cell) in cells.iter().enumerate() {
+                if c > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(cell);
+                for _ in cell.chars().count()..widths[c] {
+                    line.push(' ');
+                }
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats an AUC-like metric as the paper does: percentage with two
+/// decimals and the "%" omitted (e.g. 0.7417 → "74.17").
+pub fn pct(x: f64) -> String {
+    format!("{:.2}", x * 100.0)
+}
+
+/// Formats a RelaImpr value with two decimals (already in percent).
+pub fn rela(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Appends the paper's significance marker (`*` when p < 0.05).
+pub fn starred(value: String, significant: bool) -> String {
+    if significant {
+        format!("{value}*")
+    } else {
+        value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(&["Model", "AUC"]);
+        t.add_row(vec!["FM".into(), "74.90".into()]);
+        t.add_row(vec!["Wide&Deep".into(), "73.84".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Model"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // AUC column aligned: both values start at the same offset.
+        let off2 = lines[2].find("74.90").unwrap();
+        let off3 = lines[3].find("73.84").unwrap();
+        assert_eq!(off2, off3);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn rejects_jagged_rows() {
+        let mut t = TextTable::new(&["a", "b"]);
+        t.add_row(vec!["x".into()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(pct(0.7417), "74.17");
+        assert_eq!(rela(1.0877), "1.09");
+        assert_eq!(starred("74.17".into(), true), "74.17*");
+        assert_eq!(starred("74.17".into(), false), "74.17");
+    }
+}

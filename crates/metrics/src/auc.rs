@@ -1,0 +1,218 @@
+//! Area under the ROC curve and the paper's derived metrics.
+
+/// Tie-aware AUC via the rank-sum (Mann-Whitney) formulation.
+///
+/// `scores[i]` is the model score and `labels[i]` the binary relevance of
+/// example `i`. Returns `None` when the labels are all-positive or
+/// all-negative (AUC undefined).
+pub fn auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len(), "auc: length mismatch");
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Sort indices by score; average ranks across ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        // Ranks are 1-based; ties share the average rank of their block.
+        let avg_rank = (i + 1 + j + 1) as f64 / 2.0;
+        for &idx in &order[i..=j] {
+            if labels[idx] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos = pos as f64;
+    let neg = neg as f64;
+    Some((rank_sum_pos - pos * (pos + 1.0) / 2.0) / (pos * neg))
+}
+
+/// Group AUC (Zhu et al., KDD 2017): a weighted average of per-group AUCs.
+///
+/// `groups[i]` identifies the user of example `i`. Following the paper, each
+/// group's weight is its number of positive examples ("clicks"); groups where
+/// AUC is undefined (single-class) are skipped. Returns `None` if every group
+/// is skipped.
+pub fn gauc(scores: &[f32], labels: &[bool], groups: &[u32]) -> Option<f64> {
+    assert_eq!(scores.len(), labels.len());
+    assert_eq!(scores.len(), groups.len());
+    // Bucket example indices per group. BTreeMap keeps the floating-point
+    // summation order deterministic across runs.
+    let mut buckets: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, &g) in groups.iter().enumerate() {
+        buckets.entry(g).or_default().push(i);
+    }
+    let mut weighted = 0.0f64;
+    let mut total_weight = 0.0f64;
+    for bucket in buckets.values() {
+        let s: Vec<f32> = bucket.iter().map(|&i| scores[i]).collect();
+        let l: Vec<bool> = bucket.iter().map(|&i| labels[i]).collect();
+        if let Some(a) = auc(&s, &l) {
+            let clicks = l.iter().filter(|&&x| x).count() as f64;
+            weighted += clicks * a;
+            total_weight += clicks;
+        }
+    }
+    if total_weight > 0.0 {
+        Some(weighted / total_weight)
+    } else {
+        None
+    }
+}
+
+/// RelaImpr (Yan et al., ICML 2014): relative improvement over a baseline,
+/// measured against the random-strategy floor of 0.5.
+///
+/// ```text
+/// RelaImpr = (metric_eval − 0.5) / (metric_base − 0.5) − 1   [× 100%]
+/// ```
+pub fn rela_impr(evaluated: f64, base: f64) -> f64 {
+    ((evaluated - 0.5) / (base - 0.5) - 1.0) * 100.0
+}
+
+/// Mean binary cross-entropy (log loss) of probabilistic predictions,
+/// clamped away from 0/1 for stability.
+pub fn log_loss(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0f64;
+    for (&p, &y) in probs.iter().zip(labels) {
+        let p = (p as f64).clamp(1e-7, 1.0 - 1e-7);
+        total -= if y { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probs.len() as f64
+}
+
+/// Classification accuracy at a 0.5 threshold.
+pub fn accuracy(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let hits = probs
+        .iter()
+        .zip(labels)
+        .filter(|(&p, &y)| (p >= 0.5) == y)
+        .count();
+    hits as f64 / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(1.0));
+    }
+
+    #[test]
+    fn inverted_ranking_gives_zero() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let labels = [false, false, true, true];
+        assert_eq!(auc(&scores, &labels), Some(0.0));
+    }
+
+    #[test]
+    fn constant_scores_give_half() {
+        let scores = [0.5; 6];
+        let labels = [true, false, true, false, true, false];
+        assert_eq!(auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn single_class_is_undefined() {
+        assert_eq!(auc(&[0.1, 0.9], &[true, true]), None);
+        assert_eq!(auc(&[0.1, 0.9], &[false, false]), None);
+    }
+
+    #[test]
+    fn known_small_case() {
+        // pairs: (0.8,+) vs {0.4−: win, 0.6−: win}, (0.5,+) vs {0.4−: win,
+        // 0.6−: loss} → 3/4.
+        let scores = [0.8, 0.5, 0.4, 0.6];
+        let labels = [true, true, false, false];
+        assert_eq!(auc(&scores, &labels), Some(0.75));
+    }
+
+    #[test]
+    fn tie_between_classes_counts_half() {
+        let scores = [0.5, 0.5];
+        let labels = [true, false];
+        assert_eq!(auc(&scores, &labels), Some(0.5));
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform() {
+        let scores = [0.11, 0.92, 0.35, 0.64, 0.5, 0.77];
+        let labels = [false, true, false, true, false, true];
+        let base = auc(&scores, &labels).unwrap();
+        let transformed: Vec<f32> = scores.iter().map(|&s| (5.0 * s).exp()).collect();
+        let after = auc(&transformed, &labels).unwrap();
+        assert!((base - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gauc_weights_groups_by_positives() {
+        // Group 1: perfect (1 positive). Group 2: inverted (2 positives).
+        let scores = [0.9, 0.1, 0.1, 0.2, 0.9];
+        let labels = [true, false, true, true, false];
+        let groups = [1, 1, 2, 2, 2];
+        let g = gauc(&scores, &labels, &groups).unwrap();
+        // (1·1.0 + 2·0.0) / 3
+        assert!((g - 1.0 / 3.0).abs() < 1e-12, "g={g}");
+    }
+
+    #[test]
+    fn gauc_skips_single_class_groups() {
+        let scores = [0.9, 0.1, 0.3, 0.7];
+        let labels = [true, true, false, true];
+        let groups = [1, 1, 2, 2];
+        // Group 1 all-positive → skipped; group 2 perfect.
+        assert_eq!(gauc(&scores, &labels, &groups), Some(1.0));
+    }
+
+    #[test]
+    fn gauc_none_when_all_groups_degenerate() {
+        let scores = [0.9, 0.1];
+        let labels = [true, true];
+        let groups = [1, 2];
+        assert_eq!(gauc(&scores, &labels, &groups), None);
+    }
+
+    #[test]
+    fn rela_impr_matches_paper_definition() {
+        // 74.17 vs 73.91 AUC → +1.09% (Table V, AutoInt on 30-Music).
+        let r = rela_impr(0.7417, 0.7391);
+        assert!((r - 1.0877).abs() < 0.01, "r={r}");
+        assert_eq!(rela_impr(0.75, 0.75), 0.0);
+        assert!(rela_impr(0.7, 0.75) < 0.0);
+    }
+
+    #[test]
+    fn log_loss_basics() {
+        assert!(log_loss(&[0.99, 0.01], &[true, false]) < 0.05);
+        assert!(log_loss(&[0.01, 0.99], &[true, false]) > 3.0);
+        // Never infinite even at hard 0/1.
+        assert!(log_loss(&[0.0, 1.0], &[true, false]).is_finite());
+    }
+
+    #[test]
+    fn accuracy_counts_threshold_hits() {
+        let acc = accuracy(&[0.9, 0.2, 0.6, 0.4], &[true, false, false, true]);
+        assert_eq!(acc, 0.5);
+    }
+}

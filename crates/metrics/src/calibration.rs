@@ -1,0 +1,101 @@
+//! Probability-calibration diagnostics.
+//!
+//! The paper evaluates attention prediction only indirectly (via downstream
+//! recommendation), because ground-truth attention is unobservable in real
+//! logs. Our simulator *does* know the truth, so the harness additionally
+//! reports Brier score and expected calibration error of the estimated
+//! attention probabilities — a reproduction-only extension documented in
+//! DESIGN.md.
+
+/// Brier score: mean squared error of probabilistic predictions.
+pub fn brier_score(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    probs
+        .iter()
+        .zip(labels)
+        .map(|(&p, &y)| {
+            let d = p as f64 - if y { 1.0 } else { 0.0 };
+            d * d
+        })
+        .sum::<f64>()
+        / probs.len() as f64
+}
+
+/// Expected calibration error with `bins` equal-width probability bins.
+pub fn expected_calibration_error(probs: &[f32], labels: &[bool], bins: usize) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    assert!(bins > 0);
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_acc = vec![0.0f64; bins];
+    let mut bin_n = vec![0usize; bins];
+    for (&p, &y) in probs.iter().zip(labels) {
+        let b = ((p as f64 * bins as f64) as usize).min(bins - 1);
+        bin_conf[b] += p as f64;
+        bin_acc[b] += if y { 1.0 } else { 0.0 };
+        bin_n[b] += 1;
+    }
+    let n = probs.len() as f64;
+    (0..bins)
+        .filter(|&b| bin_n[b] > 0)
+        .map(|b| {
+            let k = bin_n[b] as f64;
+            (k / n) * ((bin_conf[b] / k) - (bin_acc[b] / k)).abs()
+        })
+        .sum()
+}
+
+/// Mean predicted probability minus base rate — a quick bias diagnostic for
+/// attention estimates (positive = over-estimation).
+pub fn probability_bias(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(probs.len(), labels.len());
+    if probs.is_empty() {
+        return 0.0;
+    }
+    let mean_p = probs.iter().map(|&p| p as f64).sum::<f64>() / probs.len() as f64;
+    let rate = labels.iter().filter(|&&y| y).count() as f64 / labels.len() as f64;
+    mean_p - rate
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn brier_perfect_and_worst() {
+        assert_eq!(brier_score(&[1.0, 0.0], &[true, false]), 0.0);
+        assert_eq!(brier_score(&[0.0, 1.0], &[true, false]), 1.0);
+        let mid = brier_score(&[0.5, 0.5], &[true, false]);
+        assert!((mid - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ece_zero_for_perfectly_calibrated_bins() {
+        // 100 samples at p=0.25 with 25% positives: perfectly calibrated.
+        let probs = vec![0.25f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!(ece < 1e-9, "ece={ece}");
+    }
+
+    #[test]
+    fn ece_detects_overconfidence() {
+        let probs = vec![0.95f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect(); // 50%
+        let ece = expected_calibration_error(&probs, &labels, 10);
+        assert!((ece - 0.45).abs() < 1e-6, "ece={ece}");
+    }
+
+    #[test]
+    fn probability_bias_sign() {
+        let labels = [true, false, false, false]; // base rate 0.25
+        assert!(probability_bias(&[0.9, 0.9, 0.9, 0.9], &labels) > 0.5);
+        assert!(probability_bias(&[0.0, 0.0, 0.0, 0.0], &labels) < 0.0);
+        assert!(probability_bias(&[0.25; 4], &labels).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,24 @@
+//! # uae-metrics
+//!
+//! Evaluation metrics and statistical tooling used throughout the paper's
+//! experiments:
+//!
+//! * [`auc::auc`] / [`auc::gauc`] / [`auc::rela_impr`] — the three numbers in
+//!   Tables IV and V.
+//! * [`stats`] — means, t-tests (the paper's `*` significance markers) and
+//!   t-distribution confidence bands (Fig. 5).
+//! * [`calibration`] — Brier / ECE diagnostics for attention probabilities, a
+//!   reproduction-only extension enabled by the simulator's ground truth.
+
+pub mod auc;
+pub mod calibration;
+pub mod ranking;
+pub mod stats;
+
+pub use auc::{accuracy, auc, gauc, log_loss, rela_impr};
+pub use calibration::{brier_score, expected_calibration_error, probability_bias};
+pub use ranking::{grouped_mean, hit_rate_at_k, ndcg_at_k, reciprocal_rank};
+pub use stats::{
+    confidence_half_width, mean, paired_t_test, std_dev, student_t_cdf, student_t_quantile,
+    variance, welch_t_test, TTest,
+};

@@ -1,0 +1,188 @@
+//! Top-k ranking metrics for serving-style evaluation.
+//!
+//! The paper's offline protocol uses AUC/GAUC, but its online deployment
+//! (Fig. 7) is a ranking system; the A/B simulator and downstream users of
+//! this library evaluate slates, so the standard top-k metrics are provided:
+//! NDCG@k, HitRate@k and MRR over per-query (per-user / per-slate) groups.
+
+/// Discounted cumulative gain of binary relevance at the given ranked order.
+fn dcg_at_k(relevance_in_rank_order: &[bool], k: usize) -> f64 {
+    relevance_in_rank_order
+        .iter()
+        .take(k)
+        .enumerate()
+        .filter(|(_, &r)| r)
+        .map(|(i, _)| 1.0 / ((i + 2) as f64).log2())
+        .sum()
+}
+
+/// Sorts item indices by descending score (ties broken by index for
+/// determinism).
+fn ranked_indices(scores: &[f32]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("NaN score")
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// NDCG@k of one query: scores and binary relevance, any order.
+///
+/// Returns `None` when there are no relevant items (NDCG undefined).
+pub fn ndcg_at_k(scores: &[f32], relevant: &[bool], k: usize) -> Option<f64> {
+    assert_eq!(scores.len(), relevant.len());
+    let total_relevant = relevant.iter().filter(|&&r| r).count();
+    if total_relevant == 0 || k == 0 {
+        return None;
+    }
+    let order = ranked_indices(scores);
+    let ranked: Vec<bool> = order.iter().map(|&i| relevant[i]).collect();
+    let ideal: Vec<bool> = {
+        let mut v = vec![true; total_relevant.min(k)];
+        v.resize(k.min(relevant.len()), false);
+        v
+    };
+    let idcg = dcg_at_k(&ideal, k);
+    Some(dcg_at_k(&ranked, k) / idcg)
+}
+
+/// HitRate@k of one query: 1 if any relevant item appears in the top k.
+pub fn hit_rate_at_k(scores: &[f32], relevant: &[bool], k: usize) -> Option<f64> {
+    assert_eq!(scores.len(), relevant.len());
+    if !relevant.iter().any(|&r| r) || k == 0 {
+        return None;
+    }
+    let order = ranked_indices(scores);
+    Some(order.iter().take(k).any(|&i| relevant[i]) as u8 as f64)
+}
+
+/// Mean reciprocal rank of one query: 1/rank of the first relevant item.
+pub fn reciprocal_rank(scores: &[f32], relevant: &[bool]) -> Option<f64> {
+    assert_eq!(scores.len(), relevant.len());
+    if !relevant.iter().any(|&r| r) {
+        return None;
+    }
+    let order = ranked_indices(scores);
+    order
+        .iter()
+        .position(|&i| relevant[i])
+        .map(|pos| 1.0 / (pos + 1) as f64)
+}
+
+/// Averages a per-query metric over groups (queries with no relevant items
+/// are skipped, as is standard).
+pub fn grouped_mean(
+    scores: &[f32],
+    relevant: &[bool],
+    groups: &[u32],
+    metric: impl Fn(&[f32], &[bool]) -> Option<f64>,
+) -> Option<f64> {
+    assert_eq!(scores.len(), relevant.len());
+    assert_eq!(scores.len(), groups.len());
+    let mut buckets: std::collections::BTreeMap<u32, Vec<usize>> = Default::default();
+    for (i, &g) in groups.iter().enumerate() {
+        buckets.entry(g).or_default().push(i);
+    }
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for idx in buckets.values() {
+        let s: Vec<f32> = idx.iter().map(|&i| scores[i]).collect();
+        let r: Vec<bool> = idx.iter().map(|&i| relevant[i]).collect();
+        if let Some(v) = metric(&s, &r) {
+            total += v;
+            n += 1;
+        }
+    }
+    if n > 0 {
+        Some(total / n as f64)
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_has_ndcg_one() {
+        let scores = [0.9, 0.8, 0.2, 0.1];
+        let relevant = [true, true, false, false];
+        assert!((ndcg_at_k(&scores, &relevant, 4).unwrap() - 1.0).abs() < 1e-12);
+        assert!((ndcg_at_k(&scores, &relevant, 2).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_has_known_ndcg() {
+        // One relevant item ranked last of 3, k = 3:
+        // DCG = 1/log2(4) = 0.5, IDCG = 1 → 0.5.
+        let scores = [0.9, 0.8, 0.1];
+        let relevant = [false, false, true];
+        assert!((ndcg_at_k(&scores, &relevant, 3).unwrap() - 0.5).abs() < 1e-12);
+        // Out of the top-k entirely → 0.
+        assert_eq!(ndcg_at_k(&scores, &relevant, 2), Some(0.0));
+    }
+
+    #[test]
+    fn ndcg_undefined_without_relevant_items() {
+        assert_eq!(ndcg_at_k(&[0.5, 0.6], &[false, false], 2), None);
+        assert_eq!(ndcg_at_k(&[0.5], &[true], 0), None);
+    }
+
+    #[test]
+    fn hit_rate_counts_top_k_membership() {
+        let scores = [0.9, 0.5, 0.1];
+        let relevant = [false, true, false];
+        assert_eq!(hit_rate_at_k(&scores, &relevant, 1), Some(0.0));
+        assert_eq!(hit_rate_at_k(&scores, &relevant, 2), Some(1.0));
+        assert_eq!(hit_rate_at_k(&scores, &relevant, 3), Some(1.0));
+        assert_eq!(hit_rate_at_k(&scores, &[false; 3], 2), None);
+    }
+
+    #[test]
+    fn reciprocal_rank_of_first_relevant() {
+        let scores = [0.9, 0.8, 0.7, 0.6];
+        let relevant = [false, false, true, true];
+        assert!((reciprocal_rank(&scores, &relevant).unwrap() - 1.0 / 3.0).abs() < 1e-12);
+        let relevant = [true, false, false, false];
+        assert_eq!(reciprocal_rank(&scores, &relevant), Some(1.0));
+        assert_eq!(reciprocal_rank(&scores, &[false; 4]), None);
+    }
+
+    #[test]
+    fn ties_break_deterministically() {
+        let scores = [0.5, 0.5, 0.5];
+        let relevant = [false, true, false];
+        // Ties broken by index: rank order 0, 1, 2.
+        assert!((reciprocal_rank(&scores, &relevant).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grouped_mean_averages_only_defined_groups() {
+        let scores = [0.9, 0.1, 0.3, 0.7, 0.2, 0.8];
+        let relevant = [true, false, false, false, true, false];
+        let groups = [1, 1, 2, 2, 3, 3];
+        // Group 1: first relevant at rank 1 → RR 1.0; group 2: no relevant →
+        // skipped; group 3: relevant ranked 2nd → RR 0.5.
+        let mrr = grouped_mean(&scores, &relevant, &groups, reciprocal_rank).unwrap();
+        assert!((mrr - 0.75).abs() < 1e-12);
+        // All groups undefined → None.
+        assert_eq!(
+            grouped_mean(&scores, &[false; 6], &groups, reciprocal_rank),
+            None
+        );
+    }
+
+    #[test]
+    fn ndcg_monotone_in_ranking_quality() {
+        let relevant = [true, false, true, false, false];
+        let good = [0.9, 0.2, 0.8, 0.1, 0.3];
+        let bad = [0.1, 0.9, 0.2, 0.8, 0.7];
+        assert!(
+            ndcg_at_k(&good, &relevant, 5).unwrap() > ndcg_at_k(&bad, &relevant, 5).unwrap()
+        );
+    }
+}

@@ -1,0 +1,347 @@
+//! Summary statistics and significance tests.
+//!
+//! The paper reports means over five random seeds, marks improvements with a
+//! `*` when a t-test yields p < 0.05, and draws 95% confidence bands from the
+//! t-distribution (Fig. 5). This module implements exactly those tools with
+//! an exact Student-t CDF via the regularized incomplete beta function.
+
+/// Sample mean. Returns 0.0 for an empty slice.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Unbiased (n−1) sample variance. Returns 0.0 for fewer than two samples.
+pub fn variance(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    xs.iter().map(|&x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+}
+
+/// Sample standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    variance(xs).sqrt()
+}
+
+/// Natural log of the gamma function (Lanczos approximation, |err| < 1e-10).
+pub fn ln_gamma(x: f64) -> f64 {
+    // Coefficients for g = 7, n = 9.
+    const COEFFS: [f64; 9] = [
+        0.999_999_999_999_809_93,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_13,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEFFS[0];
+    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized incomplete beta function `I_x(a, b)` via Lentz's continued
+/// fraction (Numerical Recipes §6.4).
+pub fn reg_inc_beta(a: f64, b: f64, x: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&x), "reg_inc_beta: x out of [0,1]");
+    if x == 0.0 {
+        return 0.0;
+    }
+    if x == 1.0 {
+        return 1.0;
+    }
+    let ln_front = ln_gamma(a + b) - ln_gamma(a) - ln_gamma(b) + a * x.ln() + b * (1.0 - x).ln();
+    let front = ln_front.exp();
+    // Use the symmetry relation to keep the continued fraction convergent.
+    // `<=` (not `<`) so x exactly at the switch point cannot recurse forever.
+    if x <= (a + 1.0) / (a + b + 2.0) {
+        front * beta_cf(a, b, x) / a
+    } else {
+        1.0 - reg_inc_beta(b, a, 1.0 - x)
+    }
+}
+
+fn beta_cf(a: f64, b: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 300;
+    const EPS: f64 = 1e-14;
+    const TINY: f64 = 1e-30;
+    let qab = a + b;
+    let qap = a + 1.0;
+    let qam = a - 1.0;
+    let mut c = 1.0;
+    let mut d = 1.0 - qab * x / qap;
+    if d.abs() < TINY {
+        d = TINY;
+    }
+    d = 1.0 / d;
+    let mut h = d;
+    for m in 1..=MAX_ITER {
+        let m = m as f64;
+        let m2 = 2.0 * m;
+        // Even step.
+        let aa = m * (b - m) * x / ((qam + m2) * (a + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        h *= d * c;
+        // Odd step.
+        let aa = -(a + m) * (qab + m) * x / ((a + m2) * (qap + m2));
+        d = 1.0 + aa * d;
+        if d.abs() < TINY {
+            d = TINY;
+        }
+        c = 1.0 + aa / c;
+        if c.abs() < TINY {
+            c = TINY;
+        }
+        d = 1.0 / d;
+        let delta = d * c;
+        h *= delta;
+        if (delta - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    h
+}
+
+/// CDF of Student's t-distribution with `df` degrees of freedom.
+pub fn student_t_cdf(t: f64, df: f64) -> f64 {
+    assert!(df > 0.0);
+    let x = df / (df + t * t);
+    let p = 0.5 * reg_inc_beta(df / 2.0, 0.5, x);
+    if t > 0.0 {
+        1.0 - p
+    } else {
+        p
+    }
+}
+
+/// Inverse CDF (quantile) of Student's t by bisection — used for the 95%
+/// confidence bands of Fig. 5. Accurate to ~1e-8.
+pub fn student_t_quantile(p: f64, df: f64) -> f64 {
+    assert!((0.0..1.0).contains(&p) && p > 0.0);
+    let (mut lo, mut hi) = (-1e3, 1e3);
+    for _ in 0..200 {
+        let mid = 0.5 * (lo + hi);
+        if student_t_cdf(mid, df) < p {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Result of a two-sample t-test.
+#[derive(Debug, Clone, Copy)]
+pub struct TTest {
+    pub t_statistic: f64,
+    pub degrees_of_freedom: f64,
+    /// Two-sided p-value.
+    pub p_value: f64,
+}
+
+impl TTest {
+    /// True when the two-sided p-value is below `alpha` (the paper uses 0.05).
+    pub fn significant(&self, alpha: f64) -> bool {
+        self.p_value < alpha
+    }
+}
+
+/// Welch's unequal-variance two-sample t-test.
+///
+/// Returns `None` when either sample has < 2 points or both variances vanish.
+pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() < 2 || b.len() < 2 {
+        return None;
+    }
+    let (ma, mb) = (mean(a), mean(b));
+    let (va, vb) = (variance(a), variance(b));
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let se2 = va / na + vb / nb;
+    if se2 <= 0.0 {
+        return None;
+    }
+    let t = (ma - mb) / se2.sqrt();
+    // Welch–Satterthwaite degrees of freedom.
+    let df = se2 * se2
+        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTest {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: p,
+    })
+}
+
+/// Paired t-test over per-seed differences (the setup matching the paper's
+/// "five runs with different random seeds" comparisons).
+pub fn paired_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
+    if a.len() != b.len() || a.len() < 2 {
+        return None;
+    }
+    let diffs: Vec<f64> = a.iter().zip(b).map(|(&x, &y)| x - y).collect();
+    let md = mean(&diffs);
+    let sd = std_dev(&diffs);
+    if sd <= 0.0 {
+        return None;
+    }
+    let n = diffs.len() as f64;
+    let t = md / (sd / n.sqrt());
+    let df = n - 1.0;
+    let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
+    Some(TTest {
+        t_statistic: t,
+        degrees_of_freedom: df,
+        p_value: p,
+    })
+}
+
+/// Half-width of the `level` (e.g. 0.95) t-confidence interval of the mean.
+pub fn confidence_half_width(xs: &[f64], level: f64) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let q = student_t_quantile(0.5 + level / 2.0, n - 1.0);
+    q * std_dev(xs) / n.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_variance_basics() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_eq!(mean(&xs), 5.0);
+        assert!((variance(&xs) - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(variance(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn ln_gamma_matches_factorials() {
+        for n in 1..10u64 {
+            let fact: f64 = (1..n).map(|k| k as f64).product();
+            assert!(
+                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-9,
+                "n={n}"
+            );
+        }
+        // Γ(0.5) = √π.
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reg_inc_beta_boundaries_and_symmetry() {
+        assert_eq!(reg_inc_beta(2.0, 3.0, 0.0), 0.0);
+        assert_eq!(reg_inc_beta(2.0, 3.0, 1.0), 1.0);
+        // I_x(a,b) = 1 − I_{1−x}(b,a)
+        let x = 0.37;
+        let lhs = reg_inc_beta(2.5, 1.5, x);
+        let rhs = 1.0 - reg_inc_beta(1.5, 2.5, 1.0 - x);
+        assert!((lhs - rhs).abs() < 1e-10);
+        // I_x(1,1) = x (uniform CDF).
+        assert!((reg_inc_beta(1.0, 1.0, 0.42) - 0.42).abs() < 1e-10);
+    }
+
+    #[test]
+    fn student_t_cdf_known_values() {
+        // t(df=1) is Cauchy: CDF(1) = 0.75.
+        assert!((student_t_cdf(1.0, 1.0) - 0.75).abs() < 1e-8);
+        // Symmetric around 0.
+        assert!((student_t_cdf(0.0, 7.0) - 0.5).abs() < 1e-12);
+        let p = student_t_cdf(2.0, 10.0) + student_t_cdf(-2.0, 10.0);
+        assert!((p - 1.0).abs() < 1e-10);
+        // Classic table value: P(T ≤ 2.228 | df=10) ≈ 0.975.
+        assert!((student_t_cdf(2.228, 10.0) - 0.975).abs() < 1e-3);
+    }
+
+    #[test]
+    fn student_t_quantile_inverts_cdf() {
+        for &(p, df) in &[(0.975, 4.0), (0.95, 9.0), (0.6, 30.0)] {
+            let q = student_t_quantile(p, df);
+            assert!((student_t_cdf(q, df) - p).abs() < 1e-7, "p={p} df={df}");
+        }
+        // 97.5% quantile at df=4 is the classic 2.776.
+        assert!((student_t_quantile(0.975, 4.0) - 2.776).abs() < 1e-3);
+    }
+
+    #[test]
+    fn welch_detects_separated_samples() {
+        let a = [10.0, 10.1, 9.9, 10.2, 10.0];
+        let b = [8.0, 8.1, 7.9, 8.2, 8.0];
+        let test = welch_t_test(&a, &b).unwrap();
+        assert!(test.significant(0.05), "p={}", test.p_value);
+        assert!(test.t_statistic > 0.0);
+    }
+
+    #[test]
+    fn welch_accepts_identical_distributions() {
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let b = [1.1, 2.1, 2.9, 4.0, 4.9];
+        let test = welch_t_test(&a, &b).unwrap();
+        assert!(!test.significant(0.05), "p={}", test.p_value);
+    }
+
+    #[test]
+    fn welch_degenerate_inputs_are_none() {
+        assert!(welch_t_test(&[1.0], &[1.0, 2.0]).is_none());
+        assert!(welch_t_test(&[1.0, 1.0], &[2.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn paired_test_is_more_sensitive_than_welch_on_correlated_seeds() {
+        // Same per-seed noise, small per-seed uplift.
+        let base = [0.70, 0.72, 0.68, 0.71, 0.69];
+        let uplift = [0.004, 0.006, 0.005, 0.007, 0.003];
+        let ours: Vec<f64> = base.iter().zip(uplift).map(|(&x, u)| x + u).collect();
+        let paired = paired_t_test(&ours, &base).unwrap();
+        assert!(paired.significant(0.05), "p={}", paired.p_value);
+        let welch = welch_t_test(&ours, &base).unwrap();
+        assert!(paired.p_value < welch.p_value);
+    }
+
+    #[test]
+    fn paired_test_degenerate_inputs_are_none() {
+        // Constant differences have zero variance → undefined statistic.
+        let base = [0.70, 0.72, 0.68];
+        let ours: Vec<f64> = base.iter().map(|&x| x + 0.005).collect();
+        assert!(paired_t_test(&ours, &base).is_none());
+        // Length mismatch and single sample.
+        assert!(paired_t_test(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(paired_t_test(&[1.0], &[2.0]).is_none());
+    }
+
+    #[test]
+    fn confidence_half_width_shrinks_with_n() {
+        let small = [1.0, 2.0, 3.0];
+        let large: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
+        assert!(
+            confidence_half_width(&large, 0.95) < confidence_half_width(&small, 0.95)
+        );
+        assert_eq!(confidence_half_width(&[1.0], 0.95), 0.0);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests of the evaluation metrics and statistics.
+
+use proptest::prelude::*;
+use uae_metrics::{
+    auc, brier_score, confidence_half_width, gauc, log_loss, mean, rela_impr, stats,
+    student_t_cdf, variance, welch_t_test,
+};
+
+fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {
+    proptest::collection::vec((0.0f32..1.0, any::<bool>()), 4..60).prop_map(|pairs| {
+        let (s, l): (Vec<f32>, Vec<bool>) = pairs.into_iter().unzip();
+        (s, l)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// AUC, when defined, lies in [0, 1]; reversing the scores reflects it
+    /// around 0.5.
+    #[test]
+    fn auc_bounds_and_reflection((scores, labels) in scored_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            prop_assert!((0.0..=1.0).contains(&a));
+            let negated: Vec<f32> = scores.iter().map(|&s| -s).collect();
+            let reflected = auc(&negated, &labels).unwrap();
+            prop_assert!((a + reflected - 1.0).abs() < 1e-9);
+        }
+    }
+
+    /// AUC is invariant under strictly monotone transforms of the scores.
+    #[test]
+    fn auc_monotone_invariance((scores, labels) in scored_labels()) {
+        if let Some(a) = auc(&scores, &labels) {
+            let transformed: Vec<f32> = scores.iter().map(|&s| (3.0 * s).exp() + 1.0).collect();
+            let b = auc(&transformed, &labels).unwrap();
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    /// GAUC of a single group equals plain AUC (up to the rounding of the
+    /// weighted average a·k/k).
+    #[test]
+    fn gauc_single_group_is_auc((scores, labels) in scored_labels()) {
+        let groups = vec![7u32; scores.len()];
+        match (gauc(&scores, &labels, &groups), auc(&scores, &labels)) {
+            (Some(g), Some(a)) => prop_assert!((g - a).abs() < 1e-12),
+            (g, a) => prop_assert_eq!(g, a),
+        }
+    }
+
+    /// Brier score is bounded by [0, 1]; log loss is non-negative.
+    #[test]
+    fn probabilistic_metrics_bounds((scores, labels) in scored_labels()) {
+        let b = brier_score(&scores, &labels);
+        prop_assert!((0.0..=1.0).contains(&b));
+        prop_assert!(log_loss(&scores, &labels) >= 0.0);
+    }
+
+    /// RelaImpr is 0 at equality, positive iff evaluated > base (above 0.5).
+    #[test]
+    fn rela_impr_sign(base in 0.51f64..0.99, delta in -0.2f64..0.2) {
+        let evaluated = (base + delta).clamp(0.501, 0.999);
+        let r = rela_impr(evaluated, base);
+        if evaluated > base {
+            prop_assert!(r > 0.0);
+        } else if evaluated < base {
+            prop_assert!(r < 0.0);
+        } else {
+            prop_assert!(r.abs() < 1e-12);
+        }
+    }
+
+    /// Student-t CDF is monotone in t and symmetric around zero.
+    #[test]
+    fn t_cdf_monotone_and_symmetric(t1 in -6.0f64..6.0, t2 in -6.0f64..6.0, df in 1.0f64..60.0) {
+        let (lo, hi) = if t1 <= t2 { (t1, t2) } else { (t2, t1) };
+        prop_assert!(student_t_cdf(lo, df) <= student_t_cdf(hi, df) + 1e-12);
+        let sym = student_t_cdf(t1, df) + student_t_cdf(-t1, df);
+        prop_assert!((sym - 1.0).abs() < 1e-9);
+    }
+
+    /// Welch p-values lie in [0, 1]; the test is symmetric in its arguments.
+    #[test]
+    fn welch_symmetry(
+        a in proptest::collection::vec(-5.0f64..5.0, 3..12),
+        b in proptest::collection::vec(-5.0f64..5.0, 3..12),
+    ) {
+        if let (Some(ab), Some(ba)) = (welch_t_test(&a, &b), welch_t_test(&b, &a)) {
+            prop_assert!((0.0..=1.0).contains(&ab.p_value));
+            prop_assert!((ab.p_value - ba.p_value).abs() < 1e-9);
+            prop_assert!((ab.t_statistic + ba.t_statistic).abs() < 1e-9);
+        }
+    }
+
+    /// Shifting a sample shifts the mean and leaves the variance unchanged.
+    #[test]
+    fn mean_variance_shift(
+        xs in proptest::collection::vec(-10.0f64..10.0, 2..30),
+        shift in -5.0f64..5.0,
+    ) {
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + shift).collect();
+        prop_assert!((mean(&shifted) - mean(&xs) - shift).abs() < 1e-9);
+        prop_assert!((variance(&shifted) - variance(&xs)).abs() < 1e-8);
+    }
+
+    /// Confidence half-widths are non-negative and scale with the level.
+    #[test]
+    fn confidence_widths_ordered(xs in proptest::collection::vec(-3.0f64..3.0, 3..20)) {
+        let w90 = confidence_half_width(&xs, 0.90);
+        let w99 = confidence_half_width(&xs, 0.99);
+        prop_assert!(w90 >= 0.0);
+        prop_assert!(w99 >= w90 - 1e-12);
+    }
+
+    /// The regularized incomplete beta is a CDF in x: bounded and monotone.
+    #[test]
+    fn reg_inc_beta_is_cdf(a in 0.2f64..10.0, b in 0.2f64..10.0, x1 in 0.0f64..1.0, x2 in 0.0f64..1.0) {
+        let (lo, hi) = if x1 <= x2 { (x1, x2) } else { (x2, x1) };
+        let flo = stats::reg_inc_beta(a, b, lo);
+        let fhi = stats::reg_inc_beta(a, b, hi);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&flo));
+        prop_assert!(flo <= fhi + 1e-9, "a={a} b={b} lo={lo} hi={hi}");
+    }
+}

@@ -1,0 +1,163 @@
+//! Shared input encoding: categorical field embeddings plus dense features.
+
+use uae_data::{FeatureSchema, FlatBatch};
+use uae_nn::FieldEmbeddings;
+use uae_tensor::{Matrix, Params, Rng, Tape, Var};
+
+/// Embedding-based feature encoder shared by all deep models.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    emb: FieldEmbeddings,
+    num_dense: usize,
+}
+
+/// The encoded views of a batch that different architectures consume.
+pub struct Encoded {
+    /// Per-field embeddings, each `batch × k`.
+    pub fields: Vec<Var>,
+    /// Concatenated embeddings, `batch × (F·k)`.
+    pub emb_concat: Var,
+    /// Dense features, `batch × d`.
+    pub dense: Var,
+    /// `emb_concat ⧺ dense`, `batch × (F·k + d)` — the usual deep input.
+    pub full: Var,
+    pub batch: usize,
+}
+
+impl Encoder {
+    pub fn new(
+        name: &str,
+        schema: &FeatureSchema,
+        embed_dim: usize,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        Encoder {
+            emb: FieldEmbeddings::new(name, &schema.cat_cardinalities, embed_dim, params, rng),
+            num_dense: schema.num_dense(),
+        }
+    }
+
+    pub fn embed_dim(&self) -> usize {
+        self.emb.dim()
+    }
+
+    pub fn num_fields(&self) -> usize {
+        self.emb.num_fields()
+    }
+
+    pub fn num_dense(&self) -> usize {
+        self.num_dense
+    }
+
+    /// Width of [`Encoded::full`].
+    pub fn full_dim(&self) -> usize {
+        self.emb.concat_dim() + self.num_dense
+    }
+
+    /// Encodes a flat batch onto the tape.
+    pub fn encode(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Encoded {
+        let fields = self.emb.forward_fields(tape, params, &batch.cat);
+        let emb_concat = tape.concat_cols(&fields);
+        let dense = tape.input(batch.dense.clone());
+        let full = tape.concat_cols(&[emb_concat, dense]);
+        Encoded {
+            fields,
+            emb_concat,
+            dense,
+            full,
+            batch: batch.len(),
+        }
+    }
+}
+
+/// First-order (width-1) embeddings plus a dense linear term and a global
+/// bias — the "wide"/linear component of FM, Wide&Deep and DeepFM.
+#[derive(Debug, Clone)]
+pub struct LinearTerm {
+    weights: FieldEmbeddings,
+    dense_w: uae_tensor::ParamId,
+    bias: uae_tensor::ParamId,
+}
+
+impl LinearTerm {
+    pub fn new(
+        name: &str,
+        schema: &FeatureSchema,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        LinearTerm {
+            weights: FieldEmbeddings::new(
+                &format!("{name}.w1"),
+                &schema.cat_cardinalities,
+                1,
+                params,
+                rng,
+            ),
+            dense_w: params.add(
+                format!("{name}.dense_w"),
+                uae_nn::init::xavier_uniform(schema.num_dense().max(1), 1, rng),
+            ),
+            bias: params.add(format!("{name}.bias"), Matrix::zeros(1, 1)),
+        }
+    }
+
+    /// `batch × 1` linear logit.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
+        let ones = self.weights.forward_fields(tape, params, &batch.cat);
+        // Sum of per-field scalar weights.
+        let mut acc = ones[0];
+        for &f in &ones[1..] {
+            acc = tape.add(acc, f);
+        }
+        let dense = tape.input(batch.dense.clone());
+        let dw = tape.param(params, self.dense_w);
+        let dterm = tape.matmul(dense, dw);
+        let sum = tape.add(acc, dterm);
+        let b = tape.param(params, self.bias);
+        tape.add_row(sum, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, FlatData, SimConfig};
+
+    fn batch() -> (uae_data::Dataset, FlatBatch) {
+        let ds = generate(&SimConfig::tiny(), 1);
+        let flat = FlatData::from_sessions(&ds, &[0, 1]);
+        let idx: Vec<usize> = (0..6).collect();
+        let b = flat.gather(&idx);
+        (ds, b)
+    }
+
+    #[test]
+    fn encoded_shapes_are_consistent() {
+        let (ds, b) = batch();
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = Params::new();
+        let enc = Encoder::new("e", &ds.schema, 4, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let out = enc.encode(&mut tape, &params, &b);
+        assert_eq!(out.fields.len(), ds.schema.num_cat_fields());
+        assert_eq!(
+            tape.value(out.emb_concat).shape(),
+            (6, 4 * ds.schema.num_cat_fields())
+        );
+        assert_eq!(tape.value(out.dense).shape(), (6, ds.schema.num_dense()));
+        assert_eq!(tape.value(out.full).shape(), (6, enc.full_dim()));
+    }
+
+    #[test]
+    fn linear_term_is_scalar_per_sample() {
+        let (ds, b) = batch();
+        let mut rng = Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let lin = LinearTerm::new("l", &ds.schema, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let out = lin.forward(&mut tape, &params, &b);
+        assert_eq!(tape.value(out).shape(), (6, 1));
+    }
+}

@@ -1,0 +1,151 @@
+//! Factorization Machines (Rendle, ICDM 2010) and DeepFM (Guo et al., IJCAI
+//! 2017).
+
+use uae_data::{FeatureSchema, FlatBatch};
+use uae_nn::{Activation, Mlp};
+use uae_tensor::{Params, Rng, Tape, Var};
+
+use crate::encoder::{Encoder, LinearTerm};
+use crate::recommender::{ModelConfig, Recommender};
+
+/// Second-order FM interaction over per-field embeddings:
+/// `0.5 · Σ_k [(Σ_f v_fk)² − Σ_f v_fk²]`, returned as `batch × 1`.
+pub(crate) fn fm_second_order(tape: &mut Tape, fields: &[Var]) -> Var {
+    assert!(!fields.is_empty());
+    // Σ_f e_f and Σ_f e_f².
+    let mut sum = fields[0];
+    let mut sum_sq = tape.square(fields[0]);
+    for &f in &fields[1..] {
+        sum = tape.add(sum, f);
+        let sq = tape.square(f);
+        sum_sq = tape.add(sum_sq, sq);
+    }
+    let sq_sum = tape.square(sum);
+    let diff = tape.sub(sq_sum, sum_sq);
+    let rs = tape.row_sum(diff);
+    tape.scale(rs, 0.5)
+}
+
+/// Plain factorization machine: global bias + first-order terms + pairwise
+/// embedding interactions.
+pub struct Fm {
+    linear: LinearTerm,
+    encoder: Encoder,
+}
+
+impl Fm {
+    pub fn new(
+        schema: &FeatureSchema,
+        config: &ModelConfig,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        Fm {
+            linear: LinearTerm::new("fm.lin", schema, params, rng),
+            encoder: Encoder::new("fm.emb", schema, config.embed_dim, params, rng),
+        }
+    }
+}
+
+impl Recommender for Fm {
+    fn name(&self) -> &'static str {
+        "FM"
+    }
+
+    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
+        let lin = self.linear.forward(tape, params, batch);
+        let enc = self.encoder.encode(tape, params, batch);
+        let second = fm_second_order(tape, &enc.fields);
+        tape.add(lin, second)
+    }
+}
+
+/// DeepFM: the FM above plus a deep MLP over the shared embeddings.
+pub struct DeepFm {
+    linear: LinearTerm,
+    encoder: Encoder,
+    deep: Mlp,
+}
+
+impl DeepFm {
+    pub fn new(
+        schema: &FeatureSchema,
+        config: &ModelConfig,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let encoder = Encoder::new("deepfm.emb", schema, config.embed_dim, params, rng);
+        let deep = Mlp::new(
+            "deepfm.deep",
+            encoder.full_dim(),
+            &config.hidden,
+            1,
+            Activation::Relu,
+            Activation::None,
+            params,
+            rng,
+        );
+        DeepFm {
+            linear: LinearTerm::new("deepfm.lin", schema, params, rng),
+            encoder,
+            deep,
+        }
+    }
+}
+
+impl Recommender for DeepFm {
+    fn name(&self) -> &'static str {
+        "DeepFM"
+    }
+
+    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
+        let lin = self.linear.forward(tape, params, batch);
+        let enc = self.encoder.encode(tape, params, batch);
+        let second = fm_second_order(tape, &enc.fields);
+        let deep = self.deep.forward(tape, params, enc.full);
+        let fm = tape.add(lin, second);
+        tape.add(fm, deep)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::Matrix;
+
+    #[test]
+    fn second_order_matches_manual_pairwise_sum() {
+        // Two samples, three fields, k = 2.
+        let mut tape = Tape::new();
+        let f0 = tape.input(Matrix::from_vec(2, 2, vec![1., 2., 0.5, -1.]));
+        let f1 = tape.input(Matrix::from_vec(2, 2, vec![3., -1., 2., 0.]));
+        let f2 = tape.input(Matrix::from_vec(2, 2, vec![0., 1., 1., 1.]));
+        let out = fm_second_order(&mut tape, &[f0, f1, f2]);
+        // Manual: Σ_{i<j} <v_i, v_j> per sample.
+        let vals = [
+            [[1.0f32, 2.0], [3.0, -1.0], [0.0, 1.0]],
+            [[0.5, -1.0], [2.0, 0.0], [1.0, 1.0]],
+        ];
+        for (s, v) in vals.iter().enumerate() {
+            let mut expect = 0.0;
+            for i in 0..3 {
+                for j in (i + 1)..3 {
+                    expect += v[i][0] * v[j][0] + v[i][1] * v[j][1];
+                }
+            }
+            assert!(
+                (tape.value(out).get(s, 0) - expect).abs() < 1e-5,
+                "sample {s}: got {} want {expect}",
+                tape.value(out).get(s, 0)
+            );
+        }
+    }
+
+    #[test]
+    fn second_order_single_field_is_zero() {
+        let mut tape = Tape::new();
+        let f0 = tape.input(Matrix::from_vec(1, 3, vec![1., -2., 3.]));
+        let out = fm_second_order(&mut tape, &[f0]);
+        assert!(tape.value(out).item().abs() < 1e-6);
+    }
+}

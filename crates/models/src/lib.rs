@@ -1,0 +1,37 @@
+//! # uae-models
+//!
+//! The seven base recommendation models of the paper's Table IV — FM,
+//! Wide&Deep, DeepFM, YoutubeNet, DCN, AutoInt, DCN-V2 — implemented on the
+//! `uae-nn`/`uae-tensor` substrate, plus the weighted trainer implementing
+//! the downstream risk of Eq. (18).
+//!
+//! ```no_run
+//! use uae_data::{generate, split_by_ratio, FlatData, SimConfig};
+//! use uae_models::{evaluate, train, LabelMode, ModelConfig, ModelKind, TrainConfig};
+//! use uae_tensor::Rng;
+//!
+//! let ds = generate(&SimConfig::product(0.2), 0);
+//! let mut rng = Rng::seed_from_u64(0);
+//! let split = split_by_ratio(&ds, 0.8, 0.1, &mut rng);
+//! let train_data = FlatData::from_sessions(&ds, &split.train);
+//! let test_data = FlatData::from_sessions(&ds, &split.test);
+//! let (model, mut params) = ModelKind::DcnV2.build(&ds.schema, &ModelConfig::default(), &mut rng);
+//! train(model.as_ref(), &mut params, &train_data, None, None,
+//!       LabelMode::Observed, &TrainConfig::default());
+//! let result = evaluate(model.as_ref(), &params, &test_data, LabelMode::Observed, 512);
+//! println!("AUC = {:.4}", result.auc);
+//! ```
+
+pub mod autoint;
+pub mod dcn;
+pub mod encoder;
+pub mod fm;
+pub mod recommender;
+pub mod trainer;
+pub mod wide_deep;
+
+pub use encoder::{Encoded, Encoder, LinearTerm};
+pub use recommender::{ModelConfig, ModelKind, Recommender};
+pub use trainer::{
+    evaluate, predict, train, EpochRecord, EvalResult, LabelMode, TrainConfig, TrainReport,
+};

@@ -1,0 +1,179 @@
+//! The `Recommender` abstraction and the model zoo of the paper's Table IV.
+
+use uae_data::{FeatureSchema, FlatBatch};
+use uae_tensor::{Params, Rng, Tape, Var};
+
+/// Shared hyper-parameters of all base models.
+///
+/// The paper fixes embedding size 8 and MLP hidden layers (256, 128, 64) at
+/// production scale; the defaults here are proportionally smaller to match
+/// the scaled-down datasets (and the harness can restore the paper's sizes).
+#[derive(Debug, Clone)]
+pub struct ModelConfig {
+    pub embed_dim: usize,
+    pub hidden: Vec<usize>,
+    pub cross_layers: usize,
+    pub attn_heads: usize,
+    pub attn_head_dim: usize,
+    pub attn_layers: usize,
+}
+
+impl Default for ModelConfig {
+    fn default() -> Self {
+        ModelConfig {
+            embed_dim: 8,
+            hidden: vec![64, 32],
+            cross_layers: 2,
+            attn_heads: 2,
+            attn_head_dim: 8,
+            attn_layers: 1,
+        }
+    }
+}
+
+impl ModelConfig {
+    /// The paper's full-size configuration (embedding 8, MLP 256-128-64).
+    pub fn paper_scale() -> Self {
+        ModelConfig {
+            embed_dim: 8,
+            hidden: vec![256, 128, 64],
+            cross_layers: 3,
+            attn_heads: 2,
+            attn_head_dim: 16,
+            attn_layers: 2,
+        }
+    }
+}
+
+/// A CTR-style model scoring individual listening events.
+pub trait Recommender {
+    /// Model family name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Computes `batch × 1` logits for the events in `batch`.
+    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var;
+}
+
+/// The seven base models of Table IV.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ModelKind {
+    Fm,
+    WideDeep,
+    DeepFm,
+    YoutubeNet,
+    Dcn,
+    AutoInt,
+    DcnV2,
+}
+
+impl ModelKind {
+    /// All base models, in the column order of Table IV.
+    pub fn all() -> [ModelKind; 7] {
+        [
+            ModelKind::Fm,
+            ModelKind::WideDeep,
+            ModelKind::DeepFm,
+            ModelKind::YoutubeNet,
+            ModelKind::Dcn,
+            ModelKind::AutoInt,
+            ModelKind::DcnV2,
+        ]
+    }
+
+    /// The display name used in tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Fm => "FM",
+            ModelKind::WideDeep => "Wide&Deep",
+            ModelKind::DeepFm => "DeepFM",
+            ModelKind::YoutubeNet => "YoutubeNet",
+            ModelKind::Dcn => "DCN",
+            ModelKind::AutoInt => "AutoInt",
+            ModelKind::DcnV2 => "DCN-V2",
+        }
+    }
+
+    /// Instantiates the model, registering its parameters into a fresh arena.
+    pub fn build(
+        self,
+        schema: &FeatureSchema,
+        config: &ModelConfig,
+        rng: &mut Rng,
+    ) -> (Box<dyn Recommender + Send + Sync>, Params) {
+        let mut params = Params::new();
+        let model: Box<dyn Recommender + Send + Sync> = match self {
+            ModelKind::Fm => Box::new(crate::fm::Fm::new(schema, config, &mut params, rng)),
+            ModelKind::WideDeep => Box::new(crate::wide_deep::WideDeep::new(
+                schema,
+                config,
+                &mut params,
+                rng,
+            )),
+            ModelKind::DeepFm => {
+                Box::new(crate::fm::DeepFm::new(schema, config, &mut params, rng))
+            }
+            ModelKind::YoutubeNet => Box::new(crate::wide_deep::YoutubeNet::new(
+                schema,
+                config,
+                &mut params,
+                rng,
+            )),
+            ModelKind::Dcn => Box::new(crate::dcn::Dcn::new(schema, config, &mut params, rng)),
+            ModelKind::AutoInt => Box::new(crate::autoint::AutoInt::new(
+                schema,
+                config,
+                &mut params,
+                rng,
+            )),
+            ModelKind::DcnV2 => Box::new(crate::dcn::DcnV2::new(schema, config, &mut params, rng)),
+        };
+        (model, params)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, FlatData, SimConfig};
+
+    /// Every model must produce finite per-event logits of the right shape
+    /// and respond to its parameters (non-zero gradients).
+    #[test]
+    fn all_models_forward_and_backward() {
+        let ds = generate(&SimConfig::tiny(), 5);
+        let sessions: Vec<usize> = (0..4).collect();
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        let idx: Vec<usize> = (0..8).collect();
+        let batch = flat.gather(&idx);
+        for kind in ModelKind::all() {
+            let mut rng = Rng::seed_from_u64(7);
+            let (model, mut params) = kind.build(&ds.schema, &ModelConfig::default(), &mut rng);
+            assert_eq!(model.name(), kind.name());
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, &params, &batch);
+            assert_eq!(tape.value(logits).shape(), (8, 1), "{}", kind.name());
+            assert!(
+                tape.value(logits).data().iter().all(|v| v.is_finite()),
+                "{}",
+                kind.name()
+            );
+            let pos: Vec<f32> = batch.label.iter().map(|&y| y as u8 as f32).collect();
+            let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+            let loss = tape.weighted_bce(logits, &pos, &neg, 8.0, false);
+            params.zero_grads();
+            tape.backward(loss, &mut params);
+            assert!(
+                params.grad_norm() > 0.0,
+                "{} produced zero gradients",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn model_names_are_unique() {
+        let names: std::collections::HashSet<_> =
+            ModelKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

@@ -1,0 +1,410 @@
+//! Training and evaluation of downstream recommenders with per-event sample
+//! weights — Eq. (18) of the paper.
+//!
+//! Every risk reduces to a weighted binary cross-entropy: an active event
+//! always has weight 1; a passive (auto-play) event has weight `w ∈ [0, 1)`
+//! supplied by an attention model (UAE or a baseline). `w ≡ 1` recovers the
+//! industry-standard "Base" training.
+
+use uae_data::FlatData;
+use uae_metrics::{auc, gauc};
+use uae_nn::{Adam, Optimizer};
+use uae_tensor::{sigmoid, Params, Rng, Tape};
+
+use crate::recommender::Recommender;
+
+/// Which labels evaluation uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LabelMode {
+    /// The observed feedback label `y` (industry construction; noisy for
+    /// passive events). This is what the paper's offline protocol measures.
+    Observed,
+    /// The simulator's ground-truth preference — available only because our
+    /// substrate is a simulator; used as the primary harness metric since it
+    /// measures what the recommender is actually for.
+    OraclePreference,
+}
+
+impl LabelMode {
+    /// Extracts the evaluation labels for a dataset view.
+    pub fn labels(self, data: &FlatData) -> Vec<bool> {
+        match self {
+            LabelMode::Observed => data.label.clone(),
+            LabelMode::OraclePreference => data.true_preference.clone(),
+        }
+    }
+}
+
+/// Hyper-parameters of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    pub batch_size: usize,
+    pub learning_rate: f32,
+    /// Global gradient-norm clip (None = no clipping).
+    pub clip_norm: Option<f32>,
+    /// Stop after this many epochs without val-AUC improvement and restore
+    /// the best parameters (None = always run all epochs).
+    pub early_stop_patience: Option<usize>,
+    /// Cap on the number of examples used for per-epoch AUC tracking.
+    pub eval_subsample: usize,
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 10,
+            batch_size: 512,
+            learning_rate: 1e-3,
+            clip_norm: Some(10.0),
+            early_stop_patience: Some(3),
+            eval_subsample: 50_000,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-epoch measurements (Fig. 5's convergence curves).
+#[derive(Debug, Clone, Copy)]
+pub struct EpochRecord {
+    pub epoch: usize,
+    pub train_loss: f64,
+    pub train_auc: Option<f64>,
+    pub val_auc: Option<f64>,
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    pub history: Vec<EpochRecord>,
+    pub best_epoch: usize,
+    pub best_val_auc: Option<f64>,
+}
+
+/// Sigmoid scores of `model` over all events of `data`.
+pub fn predict(
+    model: &dyn Recommender,
+    params: &Params,
+    data: &FlatData,
+    batch_size: usize,
+) -> Vec<f32> {
+    let mut scores = Vec::with_capacity(data.len());
+    let mut start = 0;
+    while start < data.len() {
+        let end = (start + batch_size).min(data.len());
+        let idx: Vec<usize> = (start..end).collect();
+        let batch = data.gather(&idx);
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, params, &batch);
+        scores.extend(tape.value(logits).data().iter().map(|&z| sigmoid(z)));
+        start = end;
+    }
+    scores
+}
+
+/// AUC / GAUC of a model on a dataset view under a label mode.
+#[derive(Debug, Clone, Copy)]
+pub struct EvalResult {
+    pub auc: f64,
+    pub gauc: f64,
+    pub log_loss: f64,
+}
+
+/// Evaluates `model` on `data`.
+pub fn evaluate(
+    model: &dyn Recommender,
+    params: &Params,
+    data: &FlatData,
+    mode: LabelMode,
+    batch_size: usize,
+) -> EvalResult {
+    let scores = predict(model, params, data, batch_size);
+    let labels = mode.labels(data);
+    EvalResult {
+        auc: auc(&scores, &labels).unwrap_or(0.5),
+        gauc: gauc(&scores, &labels, &data.user).unwrap_or(0.5),
+        log_loss: uae_metrics::log_loss(&scores, &labels),
+    }
+}
+
+fn subsampled_auc(
+    model: &dyn Recommender,
+    params: &Params,
+    data: &FlatData,
+    mode: LabelMode,
+    cap: usize,
+    batch_size: usize,
+    rng: &mut Rng,
+) -> Option<f64> {
+    if data.is_empty() {
+        return None;
+    }
+    let labels = mode.labels(data);
+    if data.len() <= cap {
+        let scores = predict(model, params, data, batch_size);
+        return auc(&scores, &labels);
+    }
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    rng.shuffle(&mut idx);
+    idx.truncate(cap);
+    let batch = data.gather(&idx);
+    let sub = FlatData {
+        cat: batch.cat,
+        dense: batch.dense,
+        label: idx.iter().map(|&i| data.label[i]).collect(),
+        active: idx.iter().map(|&i| data.active[i]).collect(),
+        user: idx.iter().map(|&i| data.user[i]).collect(),
+        true_preference: idx.iter().map(|&i| data.true_preference[i]).collect(),
+        true_attention: idx.iter().map(|&i| data.true_attention[i]).collect(),
+        true_alpha: idx.iter().map(|&i| data.true_alpha[i]).collect(),
+        true_propensity: idx.iter().map(|&i| data.true_propensity[i]).collect(),
+        origin: idx.iter().map(|&i| data.origin[i]).collect(),
+    };
+    let scores = predict(model, params, &sub, batch_size);
+    let sub_labels = mode.labels(&sub);
+    auc(&scores, &sub_labels)
+}
+
+/// Trains a recommender with Eq. (18)'s weighted cross-entropy.
+///
+/// `sample_weights[i]` is the confidence weight of event `i` (1.0 for active
+/// events under every method; passive events receive the attention-derived
+/// weight). `None` means all-ones (the "Base" rows of Tables IV–V).
+/// Validation (if provided) is measured under `val_mode` each epoch and
+/// drives early stopping.
+pub fn train(
+    model: &dyn Recommender,
+    params: &mut Params,
+    train_data: &FlatData,
+    sample_weights: Option<&[f32]>,
+    val: Option<&FlatData>,
+    val_mode: LabelMode,
+    cfg: &TrainConfig,
+) -> TrainReport {
+    if let Some(w) = sample_weights {
+        assert_eq!(w.len(), train_data.len(), "weight/event count mismatch");
+    }
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7472_6169);
+    let mut opt = Adam::new(cfg.learning_rate);
+    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut best_val = f64::NEG_INFINITY;
+    let mut best_epoch = 0usize;
+    let mut best_params: Option<Params> = None;
+    let mut bad_epochs = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for idx in uae_data::minibatch_indices(train_data.len(), cfg.batch_size, &mut rng) {
+            let batch = train_data.gather(&idx);
+            let mut pos = Vec::with_capacity(idx.len());
+            let mut neg = Vec::with_capacity(idx.len());
+            for (bi, &i) in idx.iter().enumerate() {
+                let w = match sample_weights {
+                    Some(ws) if !batch.active[bi] => ws[i],
+                    _ => 1.0,
+                };
+                let y = batch.label[bi] as u8 as f32;
+                pos.push(w * y);
+                neg.push(w * (1.0 - y));
+            }
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, params, &batch);
+            let loss = tape.weighted_bce(logits, &pos, &neg, idx.len() as f32, false);
+            loss_sum += tape.value(loss).item() as f64;
+            batches += 1;
+            params.zero_grads();
+            tape.backward(loss, params);
+            if let Some(c) = cfg.clip_norm {
+                params.clip_grad_norm(c);
+            }
+            opt.step(params);
+        }
+        let train_auc = subsampled_auc(
+            model,
+            params,
+            train_data,
+            LabelMode::Observed,
+            cfg.eval_subsample,
+            cfg.batch_size,
+            &mut rng,
+        );
+        let val_auc = val.and_then(|v| {
+            subsampled_auc(
+                model,
+                params,
+                v,
+                val_mode,
+                cfg.eval_subsample,
+                cfg.batch_size,
+                &mut rng,
+            )
+        });
+        history.push(EpochRecord {
+            epoch,
+            train_loss: loss_sum / batches.max(1) as f64,
+            train_auc,
+            val_auc,
+        });
+        if let Some(v) = val_auc {
+            if v > best_val {
+                best_val = v;
+                best_epoch = epoch;
+                bad_epochs = 0;
+                if cfg.early_stop_patience.is_some() {
+                    best_params = Some(params.clone());
+                }
+            } else {
+                bad_epochs += 1;
+                if let Some(patience) = cfg.early_stop_patience {
+                    if bad_epochs > patience {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    if let Some(best) = best_params {
+        *params = best;
+    }
+    TrainReport {
+        history,
+        best_epoch,
+        best_val_auc: if best_val.is_finite() {
+            Some(best_val)
+        } else {
+            None
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recommender::{ModelConfig, ModelKind};
+    use uae_data::{generate, split_by_ratio, SimConfig};
+
+    fn small_setup() -> (uae_data::Dataset, FlatData, FlatData) {
+        let ds = generate(&SimConfig::product(0.12), 42);
+        let mut rng = Rng::seed_from_u64(1);
+        let split = split_by_ratio(&ds, 0.8, 0.1, &mut rng);
+        let train = FlatData::from_sessions(&ds, &split.train);
+        let test = FlatData::from_sessions(&ds, &split.test);
+        (ds, train, test)
+    }
+
+    #[test]
+    fn training_learns_better_than_random() {
+        let (ds, train_data, test) = small_setup();
+        let mut rng = Rng::seed_from_u64(5);
+        let (model, mut params) =
+            ModelKind::YoutubeNet.build(&ds.schema, &ModelConfig::default(), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 3,
+            batch_size: 256,
+            early_stop_patience: None,
+            ..Default::default()
+        };
+        let report = train(
+            model.as_ref(),
+            &mut params,
+            &train_data,
+            None,
+            None,
+            LabelMode::Observed,
+            &cfg,
+        );
+        assert_eq!(report.history.len(), 3);
+        // Loss decreases over epochs.
+        assert!(report.history[2].train_loss < report.history[0].train_loss);
+        let result = evaluate(model.as_ref(), &params, &test, LabelMode::Observed, 512);
+        assert!(result.auc > 0.55, "auc={}", result.auc);
+        assert!(result.log_loss.is_finite());
+    }
+
+    #[test]
+    fn predict_outputs_probabilities_for_every_event() {
+        let (ds, train_data, _) = small_setup();
+        let mut rng = Rng::seed_from_u64(6);
+        let (model, params) = ModelKind::Fm.build(&ds.schema, &ModelConfig::default(), &mut rng);
+        let scores = predict(model.as_ref(), &params, &train_data, 128);
+        assert_eq!(scores.len(), train_data.len());
+        assert!(scores.iter().all(|&s| (0.0..=1.0).contains(&s)));
+    }
+
+    #[test]
+    fn zero_weights_on_passive_events_change_the_model() {
+        let (ds, train_data, _) = small_setup();
+        let cfg = TrainConfig {
+            epochs: 1,
+            batch_size: 256,
+            early_stop_patience: None,
+            ..Default::default()
+        };
+        let run = |weights: Option<Vec<f32>>| {
+            let mut rng = Rng::seed_from_u64(7);
+            let (model, mut params) =
+                ModelKind::Fm.build(&ds.schema, &ModelConfig::default(), &mut rng);
+            train(
+                model.as_ref(),
+                &mut params,
+                &train_data,
+                weights.as_deref(),
+                None,
+                LabelMode::Observed,
+                &cfg,
+            );
+            predict(model.as_ref(), &params, &train_data, 512)
+        };
+        let base = run(None);
+        let zeroed = run(Some(vec![0.0; train_data.len()]));
+        let diff: f32 = base
+            .iter()
+            .zip(&zeroed)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f32>()
+            / base.len() as f32;
+        assert!(diff > 1e-4, "weights had no effect: {diff}");
+    }
+
+    #[test]
+    fn early_stopping_restores_best_parameters() {
+        let (ds, train_data, test) = small_setup();
+        let mut rng = Rng::seed_from_u64(8);
+        let (model, mut params) =
+            ModelKind::Fm.build(&ds.schema, &ModelConfig::default(), &mut rng);
+        let cfg = TrainConfig {
+            epochs: 6,
+            batch_size: 256,
+            early_stop_patience: Some(1),
+            ..Default::default()
+        };
+        let report = train(
+            model.as_ref(),
+            &mut params,
+            &train_data,
+            None,
+            Some(&test),
+            LabelMode::Observed,
+            &cfg,
+        );
+        assert!(report.best_val_auc.is_some());
+        assert!(report.best_epoch < report.history.len());
+    }
+
+    #[test]
+    fn label_modes_pick_different_columns() {
+        let (_, train_data, _) = small_setup();
+        let observed = LabelMode::Observed.labels(&train_data);
+        let oracle = LabelMode::OraclePreference.labels(&train_data);
+        assert_eq!(observed.len(), oracle.len());
+        // The whole point of the paper: these disagree on many passive events.
+        let disagreements = observed
+            .iter()
+            .zip(&oracle)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(disagreements > observed.len() / 20, "{disagreements}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Cross layers for DCN (Wang et al., ADKDD 2017) and DCN-V2 (Wang et al.,
+//! WWW 2021) — two of the base recommenders in the paper's Table IV, DCN-V2
+//! being the strongest one.
+
+use uae_tensor::{Matrix, ParamId, Params, Rng, Tape, Var};
+
+use crate::init;
+
+/// DCN-v1 cross layer: `x_{l+1} = x₀ · (x_lᵀ w) + b + x_l`, with a *vector*
+/// weight `w ∈ R^d` so the feature crossing is rank-1.
+#[derive(Debug, Clone)]
+pub struct CrossLayerV1 {
+    w: ParamId,
+    b: ParamId,
+    dim: usize,
+}
+
+impl CrossLayerV1 {
+    pub fn new(name: &str, dim: usize, params: &mut Params, rng: &mut Rng) -> Self {
+        CrossLayerV1 {
+            w: params.add(format!("{name}.w"), init::xavier_uniform(dim, 1, rng)),
+            b: params.add(format!("{name}.b"), Matrix::zeros(1, dim)),
+            dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `x0`, `x` are `batch × dim`.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, x0: Var, x: Var) -> Var {
+        let w = tape.param(params, self.w);
+        let xw = tape.matmul(x, w); // batch × 1
+        let crossed = tape.mul_col(x0, xw); // x0 scaled per sample
+        let b = tape.param(params, self.b);
+        let crossed = tape.add_row(crossed, b);
+        tape.add(crossed, x)
+    }
+}
+
+/// DCN-V2 cross layer: `x_{l+1} = x₀ ∘ (W x_l + b) + x_l`, with a full
+/// *matrix* weight `W ∈ R^{d×d}` (the "improved" crossing).
+#[derive(Debug, Clone)]
+pub struct CrossLayerV2 {
+    w: ParamId,
+    b: ParamId,
+    dim: usize,
+}
+
+impl CrossLayerV2 {
+    pub fn new(name: &str, dim: usize, params: &mut Params, rng: &mut Rng) -> Self {
+        CrossLayerV2 {
+            w: params.add(format!("{name}.w"), init::xavier_uniform(dim, dim, rng)),
+            b: params.add(format!("{name}.b"), Matrix::zeros(1, dim)),
+            dim,
+        }
+    }
+
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `x0`, `x` are `batch × dim`.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, x0: Var, x: Var) -> Var {
+        let w = tape.param(params, self.w);
+        let xw = tape.matmul(x, w); // batch × dim
+        let b = tape.param(params, self.b);
+        let xwb = tape.add_row(xw, b);
+        let crossed = tape.mul(x0, xwb);
+        tape.add(crossed, x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::gradcheck::check_params;
+
+    #[test]
+    fn v1_with_zero_weights_is_identity() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut params = Params::new();
+        let layer = CrossLayerV1::new("c", 3, &mut params, &mut rng);
+        // Zero the weight; bias is already zero.
+        let w = params.ids().next().unwrap();
+        params.value_mut(w).fill_zero();
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(4, 3, 1.0, &mut rng));
+        let y = layer.forward(&mut tape, &params, x, x);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn v2_with_zero_weights_is_identity() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = Params::new();
+        let layer = CrossLayerV2::new("c", 3, &mut params, &mut rng);
+        let w = params.ids().next().unwrap();
+        params.value_mut(w).fill_zero();
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(4, 3, 1.0, &mut rng));
+        let y = layer.forward(&mut tape, &params, x, x);
+        assert_eq!(tape.value(y), tape.value(x));
+    }
+
+    #[test]
+    fn v1_matches_manual_formula() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let layer = CrossLayerV1::new("c", 2, &mut params, &mut rng);
+        let ids: Vec<_> = params.ids().collect();
+        *params.value_mut(ids[0]) = Matrix::col_vector(&[0.5, -1.0]);
+        *params.value_mut(ids[1]) = Matrix::row_vector(&[0.1, 0.2]);
+        let x0 = Matrix::row_vector(&[2.0, 3.0]);
+        let x = Matrix::row_vector(&[1.0, 4.0]);
+        let mut tape = Tape::new();
+        let x0v = tape.input(x0);
+        let xv = tape.input(x);
+        let y = layer.forward(&mut tape, &params, x0v, xv);
+        // x·w = 0.5 − 4 = −3.5; x0·(−3.5) = (−7, −10.5); +b = (−6.9, −10.3);
+        // +x = (−5.9, −6.3)
+        let out = tape.value(y).row(0);
+        assert!((out[0] - -5.9).abs() < 1e-5, "{out:?}");
+        assert!((out[1] - -6.3).abs() < 1e-5, "{out:?}");
+    }
+
+    #[test]
+    fn both_layers_gradcheck() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut params = Params::new();
+        let l1 = CrossLayerV1::new("c1", 3, &mut params, &mut rng);
+        let l2 = CrossLayerV2::new("c2", 3, &mut params, &mut rng);
+        let x = Matrix::randn(4, 3, 0.6, &mut rng);
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let x0 = tape.input(x.clone());
+            let h1 = l1.forward(tape, params, x0, x0);
+            let h2 = l2.forward(tape, params, x0, h1);
+            let sq = tape.square(h2);
+            tape.mean_all(sq)
+        });
+        assert!(check.passes(4e-2), "max_rel_err={}", check.max_rel_err);
+    }
+}

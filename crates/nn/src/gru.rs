@@ -1,0 +1,259 @@
+//! Gated recurrent units (Cho et al., 2014) — the sequence encoder used by
+//! both of UAE's networks (GRU₁ over feature sequences for the attention
+//! model `g`, GRU₂ over feedback history for the propensity model `h`).
+
+use uae_tensor::{Matrix, ParamId, Params, Rng, Tape, Var};
+
+use crate::init;
+
+/// A single GRU cell with input dimension `in_dim` and state size `hidden`.
+///
+/// Update equations (reset gate `r`, update gate `z`, candidate `n`):
+///
+/// ```text
+/// r  = σ(x·W_r + h·U_r + b_r)
+/// z  = σ(x·W_z + h·U_z + b_z)
+/// n  = tanh(x·W_n + r ∘ (h·U_n) + b_n)
+/// h' = z ∘ h + (1 − z) ∘ n
+/// ```
+#[derive(Debug, Clone)]
+pub struct GruCell {
+    w_r: ParamId,
+    u_r: ParamId,
+    b_r: ParamId,
+    w_z: ParamId,
+    u_z: ParamId,
+    b_z: ParamId,
+    w_n: ParamId,
+    u_n: ParamId,
+    b_n: ParamId,
+    in_dim: usize,
+    hidden: usize,
+}
+
+impl GruCell {
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        hidden: usize,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let gate = |suffix: &str, params: &mut Params, rng: &mut Rng| {
+            (
+                params.add(
+                    format!("{name}.w_{suffix}"),
+                    init::xavier_uniform(in_dim, hidden, rng),
+                ),
+                params.add(
+                    format!("{name}.u_{suffix}"),
+                    init::xavier_uniform(hidden, hidden, rng),
+                ),
+                params.add(format!("{name}.b_{suffix}"), Matrix::zeros(1, hidden)),
+            )
+        };
+        let (w_r, u_r, b_r) = gate("r", params, rng);
+        let (w_z, u_z, b_z) = gate("z", params, rng);
+        let (w_n, u_n, b_n) = gate("n", params, rng);
+        GruCell {
+            w_r,
+            u_r,
+            b_r,
+            w_z,
+            u_z,
+            b_z,
+            w_n,
+            u_n,
+            b_n,
+            in_dim,
+            hidden,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// One recurrence step: `x` is `batch × in_dim`, `h` is `batch × hidden`.
+    pub fn step(&self, tape: &mut Tape, params: &Params, x: Var, h: Var) -> Var {
+        let gate = |tape: &mut Tape, w, u, b| {
+            let xw = {
+                let wv = tape.param(params, w);
+                tape.matmul(x, wv)
+            };
+            let hu = {
+                let uv = tape.param(params, u);
+                tape.matmul(h, uv)
+            };
+            let s = tape.add(xw, hu);
+            let bv = tape.param(params, b);
+            tape.add_row(s, bv)
+        };
+        let r = gate(tape, self.w_r, self.u_r, self.b_r);
+        let r = tape.sigmoid(r);
+        let z = gate(tape, self.w_z, self.u_z, self.b_z);
+        let z = tape.sigmoid(z);
+        // Candidate with reset applied to the recurrent term.
+        let xw = {
+            let wv = tape.param(params, self.w_n);
+            tape.matmul(x, wv)
+        };
+        let hu = {
+            let uv = tape.param(params, self.u_n);
+            tape.matmul(h, uv)
+        };
+        let rhu = tape.mul(r, hu);
+        let pre = tape.add(xw, rhu);
+        let bv = tape.param(params, self.b_n);
+        let pre = tape.add_row(pre, bv);
+        let n = tape.tanh(pre);
+        // h' = z∘h + (1−z)∘n
+        let zh = tape.mul(z, h);
+        let omz = tape.one_minus(z);
+        let zn = tape.mul(omz, n);
+        tape.add(zh, zn)
+    }
+
+    /// One step with a per-sample validity mask (`batch × 1`, 1 = real step,
+    /// 0 = padding): padded samples carry their previous state forward
+    /// unchanged, so padding never contaminates the recurrence.
+    pub fn step_masked(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        x: Var,
+        h: Var,
+        mask: Var,
+    ) -> Var {
+        let candidate = self.step(tape, params, x, h);
+        let kept = tape.mul_col(candidate, mask);
+        let inv = tape.one_minus(mask);
+        let carried = tape.mul_col(h, inv);
+        tape.add(kept, carried)
+    }
+
+    /// Zero initial state for a batch.
+    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Var {
+        tape.input(Matrix::zeros(batch, self.hidden))
+    }
+
+    /// Unrolls the cell over a sequence of `batch × in_dim` inputs with
+    /// matching `batch × 1` masks, returning the hidden state *after* each
+    /// step. `xs` and `masks` must have equal length.
+    pub fn unroll(
+        &self,
+        tape: &mut Tape,
+        params: &Params,
+        xs: &[Var],
+        masks: &[Var],
+    ) -> Vec<Var> {
+        assert_eq!(xs.len(), masks.len(), "unroll: xs/masks length mismatch");
+        let batch = if xs.is_empty() {
+            0
+        } else {
+            tape.value(xs[0]).rows()
+        };
+        let mut h = self.zero_state(tape, batch);
+        let mut states = Vec::with_capacity(xs.len());
+        for (&x, &m) in xs.iter().zip(masks) {
+            h = self.step_masked(tape, params, x, h, m);
+            states.push(h);
+        }
+        states
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::gradcheck::check_params;
+
+    #[test]
+    fn step_shapes() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 3, 4, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(5, 3, 1.0, &mut rng));
+        let h0 = cell.zero_state(&mut tape, 5);
+        let h1 = cell.step(&mut tape, &params, x, h0);
+        assert_eq!(tape.value(h1).shape(), (5, 4));
+    }
+
+    #[test]
+    fn hidden_state_stays_bounded() {
+        // GRU state is a convex combination of tanh outputs, so |h| ≤ 1.
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 2, 3, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let mut h = cell.zero_state(&mut tape, 4);
+        for _ in 0..20 {
+            let x = tape.input(Matrix::randn(4, 2, 3.0, &mut rng));
+            h = cell.step(&mut tape, &params, x, h);
+        }
+        assert!(tape.value(h).data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
+    }
+
+    #[test]
+    fn masked_step_freezes_padded_rows() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 2, 3, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let x0 = tape.input(Matrix::randn(2, 2, 1.0, &mut rng));
+        let h0 = cell.zero_state(&mut tape, 2);
+        let h1 = cell.step(&mut tape, &params, x0, h0);
+        let x1 = tape.input(Matrix::randn(2, 2, 1.0, &mut rng));
+        let mask = tape.input(Matrix::col_vector(&[1.0, 0.0]));
+        let h2 = cell.step_masked(&mut tape, &params, x1, h1, mask);
+        // Row 1 was masked: carried forward unchanged.
+        assert_eq!(tape.value(h2).row(1), tape.value(h1).row(1));
+        // Row 0 was live: changed.
+        assert_ne!(tape.value(h2).row(0), tape.value(h1).row(0));
+    }
+
+    #[test]
+    fn unroll_returns_one_state_per_step() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 2, 3, &mut params, &mut rng);
+        let mut tape = Tape::new();
+        let xs: Vec<Var> = (0..5)
+            .map(|_| tape.input(Matrix::randn(3, 2, 1.0, &mut rng)))
+            .collect();
+        let masks: Vec<Var> = (0..5)
+            .map(|_| tape.input(Matrix::filled(3, 1, 1.0)))
+            .collect();
+        let states = cell.unroll(&mut tape, &params, &xs, &masks);
+        assert_eq!(states.len(), 5);
+        for s in states {
+            assert_eq!(tape.value(s).shape(), (3, 3));
+        }
+    }
+
+    #[test]
+    fn gru_gradients_check_numerically_through_two_steps() {
+        let mut rng = Rng::seed_from_u64(5);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 2, 3, &mut params, &mut rng);
+        let x0 = Matrix::randn(3, 2, 0.8, &mut rng);
+        let x1 = Matrix::randn(3, 2, 0.8, &mut rng);
+        let mask = Matrix::col_vector(&[1.0, 1.0, 0.0]);
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let x0v = tape.input(x0.clone());
+            let x1v = tape.input(x1.clone());
+            let m = tape.input(mask.clone());
+            let h0 = cell.zero_state(tape, 3);
+            let h1 = cell.step(tape, params, x0v, h0);
+            let h2 = cell.step_masked(tape, params, x1v, h1, m);
+            let sq = tape.square(h2);
+            tape.mean_all(sq)
+        });
+        assert!(check.passes(5e-2), "max_rel_err={}", check.max_rel_err);
+    }
+}

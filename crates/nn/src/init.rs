@@ -1,0 +1,54 @@
+//! Weight initialisation schemes.
+
+use uae_tensor::{Matrix, Rng};
+
+/// Xavier/Glorot uniform: `U(±√(6/(fan_in+fan_out)))` — the default for
+/// sigmoid/tanh-heavy nets (GRUs, output heads).
+pub fn xavier_uniform(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let limit = (6.0 / (rows + cols) as f32).sqrt();
+    Matrix::rand_uniform(rows, cols, limit, rng)
+}
+
+/// He/Kaiming normal: `N(0, √(2/fan_in))` — for ReLU MLP stacks.
+pub fn he_normal(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    let std = (2.0 / rows as f32).sqrt();
+    Matrix::randn(rows, cols, std, rng)
+}
+
+/// Small-variance normal for embedding tables (the paper uses dim-8
+/// embeddings; CTR practice initialises them near zero).
+pub fn embedding_init(rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+    Matrix::randn(rows, cols, 0.05, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_respects_limit() {
+        let mut rng = Rng::seed_from_u64(1);
+        let m = xavier_uniform(50, 70, &mut rng);
+        let limit = (6.0 / 120.0f32).sqrt();
+        assert!(m.data().iter().all(|&x| x.abs() <= limit));
+        // Not degenerate.
+        assert!(m.squared_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_std_tracks_fan_in() {
+        let mut rng = Rng::seed_from_u64(2);
+        let m = he_normal(200, 200, &mut rng);
+        let std = (m.squared_norm() / m.len() as f32).sqrt();
+        let expect = (2.0f32 / 200.0).sqrt();
+        assert!((std - expect).abs() < 0.02 * expect.max(0.05));
+    }
+
+    #[test]
+    fn embedding_init_is_small() {
+        let mut rng = Rng::seed_from_u64(3);
+        let m = embedding_init(100, 8, &mut rng);
+        let std = (m.squared_norm() / m.len() as f32).sqrt();
+        assert!(std < 0.1);
+    }
+}

@@ -1,0 +1,27 @@
+//! # uae-nn
+//!
+//! Neural-network building blocks over the [`uae_tensor`] autodiff tape:
+//! exactly the layers needed by the paper's models.
+//!
+//! * [`linear::Linear`] / [`linear::Mlp`] — dense stacks (all models).
+//! * [`embedding::FieldEmbeddings`] — per-field categorical embeddings.
+//! * [`gru::GruCell`] — the sequence encoder of both UAE networks.
+//! * [`attention::InteractingLayer`] — AutoInt's field self-attention.
+//! * [`cross::CrossLayerV1`] / [`cross::CrossLayerV2`] — DCN / DCN-V2.
+//! * [`optim::Adam`] / [`optim::Sgd`] — optimizers.
+//! * [`init`] — Xavier / He / embedding initialisation.
+
+pub mod attention;
+pub mod cross;
+pub mod embedding;
+pub mod gru;
+pub mod init;
+pub mod linear;
+pub mod optim;
+
+pub use attention::InteractingLayer;
+pub use cross::{CrossLayerV1, CrossLayerV2};
+pub use embedding::FieldEmbeddings;
+pub use gru::GruCell;
+pub use linear::{Activation, Linear, Mlp};
+pub use optim::{Adam, Optimizer, Sgd};

@@ -1,0 +1,255 @@
+//! Fully connected layers and MLP stacks.
+
+use uae_tensor::{Params, Rng, Tape, Var};
+
+use crate::init;
+
+/// Activation applied between (or after) linear layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (logits out).
+    None,
+    Relu,
+    Tanh,
+    Sigmoid,
+}
+
+impl Activation {
+    /// Applies the activation on the tape.
+    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::None => x,
+            Activation::Relu => tape.relu(x),
+            Activation::Tanh => tape.tanh(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+}
+
+/// A dense layer `y = x·W + b`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    w: uae_tensor::ParamId,
+    b: uae_tensor::ParamId,
+    in_dim: usize,
+    out_dim: usize,
+}
+
+impl Linear {
+    /// Registers a new layer's parameters in `params`.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), uae_tensor::Matrix::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    /// As [`Linear::new`] but with He initialisation (use before ReLU).
+    pub fn new_he(
+        name: &str,
+        in_dim: usize,
+        out_dim: usize,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), init::he_normal(in_dim, out_dim, rng));
+        let b = params.add(format!("{name}.b"), uae_tensor::Matrix::zeros(1, out_dim));
+        Linear {
+            w,
+            b,
+            in_dim,
+            out_dim,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.in_dim
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.out_dim
+    }
+
+    /// `x·W + b` for a `batch × in_dim` input.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
+        let w = tape.param(params, self.w);
+        let b = tape.param(params, self.b);
+        let z = tape.matmul(x, w);
+        tape.add_row(z, b)
+    }
+}
+
+/// A multi-layer perceptron with a hidden activation and a final activation.
+///
+/// The paper's implementation detail fixes hidden layers at `(256, 128, 64)`;
+/// the harness scales these down proportionally with dataset size.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Linear>,
+    hidden_activation: Activation,
+    output_activation: Activation,
+}
+
+impl Mlp {
+    /// Builds an MLP mapping `in_dim` through `hidden` to `out_dim`.
+    pub fn new(
+        name: &str,
+        in_dim: usize,
+        hidden: &[usize],
+        out_dim: usize,
+        hidden_activation: Activation,
+        output_activation: Activation,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
+        let mut layers = Vec::with_capacity(hidden.len() + 1);
+        let mut prev = in_dim;
+        for (i, &h) in hidden.iter().enumerate() {
+            let layer = if hidden_activation == Activation::Relu {
+                Linear::new_he(&format!("{name}.{i}"), prev, h, params, rng)
+            } else {
+                Linear::new(&format!("{name}.{i}"), prev, h, params, rng)
+            };
+            layers.push(layer);
+            prev = h;
+        }
+        layers.push(Linear::new(
+            &format!("{name}.out"),
+            prev,
+            out_dim,
+            params,
+            rng,
+        ));
+        Mlp {
+            layers,
+            hidden_activation,
+            output_activation,
+        }
+    }
+
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("MLP has layers").out_dim()
+    }
+
+    /// Forward pass on the tape.
+    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
+        let mut h = x;
+        let last = self.layers.len() - 1;
+        for (i, layer) in self.layers.iter().enumerate() {
+            h = layer.forward(tape, params, h);
+            h = if i < last {
+                self.hidden_activation.apply(tape, h)
+            } else {
+                self.output_activation.apply(tape, h)
+            };
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::gradcheck::check_params;
+    use uae_tensor::Matrix;
+
+    #[test]
+    fn linear_forward_shape_and_bias() {
+        let mut rng = Rng::seed_from_u64(1);
+        let mut params = Params::new();
+        let lin = Linear::new("l", 3, 2, &mut params, &mut rng);
+        assert_eq!((lin.in_dim(), lin.out_dim()), (3, 2));
+        // Set a recognisable bias.
+        let b = params.ids().nth(1).unwrap();
+        params.value_mut(b).data_mut().copy_from_slice(&[10.0, 20.0]);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::zeros(4, 3));
+        let y = lin.forward(&mut tape, &params, x);
+        assert_eq!(tape.value(y).shape(), (4, 2));
+        // x = 0 ⇒ output = bias broadcast.
+        for r in 0..4 {
+            assert_eq!(tape.value(y).row(r), &[10.0, 20.0]);
+        }
+    }
+
+    #[test]
+    fn mlp_shapes_compose() {
+        let mut rng = Rng::seed_from_u64(2);
+        let mut params = Params::new();
+        let mlp = Mlp::new(
+            "m",
+            5,
+            &[8, 4],
+            1,
+            Activation::Relu,
+            Activation::None,
+            &mut params,
+            &mut rng,
+        );
+        assert_eq!(mlp.in_dim(), 5);
+        assert_eq!(mlp.out_dim(), 1);
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(7, 5, 1.0, &mut rng));
+        let y = mlp.forward(&mut tape, &params, x);
+        assert_eq!(tape.value(y).shape(), (7, 1));
+    }
+
+    #[test]
+    fn mlp_gradients_check_numerically() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut params = Params::new();
+        let mlp = Mlp::new(
+            "m",
+            3,
+            &[4],
+            1,
+            Activation::Tanh,
+            Activation::None,
+            &mut params,
+            &mut rng,
+        );
+        let x = Matrix::randn(6, 3, 0.8, &mut rng);
+        let pos: Vec<f32> = (0..6).map(|i| (i % 2) as f32).collect();
+        let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let xv = tape.input(x.clone());
+            let z = mlp.forward(tape, params, xv);
+            tape.weighted_bce(z, &pos, &neg, 6.0, false)
+        });
+        assert!(check.passes(3e-2), "max_rel_err={}", check.max_rel_err);
+    }
+
+    #[test]
+    fn sigmoid_output_activation_bounds_output() {
+        let mut rng = Rng::seed_from_u64(4);
+        let mut params = Params::new();
+        let mlp = Mlp::new(
+            "m",
+            2,
+            &[],
+            1,
+            Activation::Relu,
+            Activation::Sigmoid,
+            &mut params,
+            &mut rng,
+        );
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::randn(10, 2, 5.0, &mut rng));
+        let y = mlp.forward(&mut tape, &params, x);
+        assert!(tape.value(y).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+}

@@ -1,0 +1,52 @@
+//! # uae-tensor
+//!
+//! A minimal, dependency-free dense-tensor and reverse-mode autodiff engine,
+//! sized exactly for the models in *"Modeling User Attention in Music
+//! Recommendation"* (ICDE 2024): GRUs, MLPs, embedding tables, factorization
+//! machines, cross networks, and field self-attention.
+//!
+//! ## Components
+//!
+//! * [`matrix::Matrix`] — dense row-major `f32` matrices (2-D, with a packed
+//!   convention for batched 3-D used by [`tape::Tape::batched_matmul`]).
+//! * [`rng::Rng`] — deterministic xoshiro256++ PRNG; the sole randomness
+//!   source in the workspace.
+//! * [`params::Params`] — arena of trainable parameters + gradient buffers.
+//! * [`tape::Tape`] — eager autodiff tape; one fused
+//!   [`tape::Tape::weighted_bce`] op expresses every risk function in the
+//!   paper as per-example positive/negative weights.
+//! * [`gradcheck`] — finite-difference gradient verification, exported so
+//!   downstream crates can check their composed architectures.
+//!
+//! ## Example
+//!
+//! ```
+//! use uae_tensor::{Matrix, Params, Rng, Tape};
+//!
+//! let mut rng = Rng::seed_from_u64(0);
+//! let mut params = Params::new();
+//! let w = params.add("w", Matrix::randn(2, 1, 0.1, &mut rng));
+//!
+//! // One gradient step of logistic regression on two examples.
+//! let mut tape = Tape::new();
+//! let x = tape.input(Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]));
+//! let wv = tape.param(&params, w);
+//! let logits = tape.matmul(x, wv);
+//! let loss = tape.weighted_bce(logits, &[1.0, 0.0], &[0.0, 1.0], 2.0, false);
+//! params.zero_grads();
+//! tape.backward(loss, &mut params);
+//! assert!(params.grad_norm() > 0.0);
+//! ```
+
+pub mod gradcheck;
+pub mod matrix;
+pub mod params;
+pub mod rng;
+pub mod serialize;
+pub mod tape;
+
+pub use matrix::Matrix;
+pub use params::{ParamId, Params};
+pub use rng::Rng;
+pub use serialize::{decode_params, load_params, save_params, DecodeError};
+pub use tape::{sigmoid, softplus, Tape, Var};

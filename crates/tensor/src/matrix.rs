@@ -1,0 +1,503 @@
+//! Dense row-major `f32` matrices.
+//!
+//! [`Matrix`] is the single value type flowing through the autodiff tape.
+//! Vectors are 1×n or n×1 matrices; scalars are 1×1. A "batched 3-D" tensor
+//! of shape `(batch, m, n)` is stored as a `(batch·m) × n` matrix and
+//! interpreted by the batched ops in [`crate::tape`].
+
+use crate::rng::Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// An all-zeros matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    /// A matrix filled with a constant.
+    pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
+    }
+
+    /// Builds a matrix from row-major data. Panics if the length mismatches.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "Matrix::from_vec: {} values for a {rows}x{cols} matrix",
+            data.len()
+        );
+        Matrix { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// A single-row matrix from a slice.
+    pub fn row_vector(values: &[f32]) -> Self {
+        Matrix::from_vec(1, values.len(), values.to_vec())
+    }
+
+    /// A single-column matrix from a slice.
+    pub fn col_vector(values: &[f32]) -> Self {
+        Matrix::from_vec(values.len(), 1, values.to_vec())
+    }
+
+    /// A 1×1 matrix.
+    pub fn scalar(value: f32) -> Self {
+        Matrix::from_vec(1, 1, vec![value])
+    }
+
+    /// Gaussian-initialised matrix with the given standard deviation.
+    pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(rng.normal_with(0.0, std as f64) as f32);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Uniform-initialised matrix on `[-limit, limit]`.
+    pub fn rand_uniform(rows: usize, cols: usize, limit: f32, rng: &mut Rng) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for _ in 0..rows * cols {
+            data.push(rng.range_f64(-limit as f64, limit as f64) as f32);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Total number of elements.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Raw row-major data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw row-major data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        debug_assert!(r < self.rows && c < self.cols);
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// The value of a 1×1 matrix.
+    pub fn item(&self) -> f32 {
+        assert_eq!(self.shape(), (1, 1), "item() on a non-scalar matrix");
+        self.data[0]
+    }
+
+    /// A view of row `r`.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        debug_assert!(r < self.rows);
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// A mutable view of row `r`.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        debug_assert!(r < self.rows);
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self · rhs`.
+    pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        // i-k-j loop order: streams through `rhs` rows, cache friendly.
+        for i in 0..self.rows {
+            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+            for k in 0..self.cols {
+                let a = self.data[i * self.cols + k];
+                if a == 0.0 {
+                    continue;
+                }
+                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · rhs` without materialising the transpose.
+    pub fn matmul_tn(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_tn: ({}x{})ᵀ · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        for k in 0..self.rows {
+            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
+            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
+            for (i, &a) in lhs_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
+                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · rhsᵀ` without materialising the transpose.
+    pub fn matmul_nt(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_nt: {}x{} · ({}x{})ᵀ",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        for i in 0..self.rows {
+            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
+            for j in 0..rhs.rows {
+                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
+                let mut acc = 0.0f32;
+                for (&a, &b) in lhs_row.iter().zip(rhs_row) {
+                    acc += a * b;
+                }
+                out.data[i * rhs.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// The explicit transpose.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Element-wise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise combination of two same-shape matrices.
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+        assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// `self += rhs` element-wise.
+    pub fn add_assign(&mut self, rhs: &Matrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += b;
+        }
+    }
+
+    /// `self += scale · rhs` element-wise (AXPY).
+    pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a += scale * b;
+        }
+    }
+
+    /// Multiplies every element by `s` in place.
+    pub fn scale_in_place(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    /// Sets every element to zero, keeping the allocation.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(0.0);
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Mean of all elements (0.0 for an empty matrix).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.data.len() as f32
+        }
+    }
+
+    /// Squared Frobenius norm.
+    pub fn squared_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum()
+    }
+
+    /// Horizontal concatenation of matrices with equal row counts.
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_cols of nothing");
+        let rows = parts[0].rows;
+        for p in parts {
+            assert_eq!(p.rows, rows, "concat_cols row mismatch");
+        }
+        let cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = Matrix::zeros(rows, cols);
+        for r in 0..rows {
+            let dst = &mut out.data[r * cols..(r + 1) * cols];
+            let mut offset = 0;
+            for p in parts {
+                dst[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation of matrices with equal column counts.
+    pub fn concat_rows(parts: &[&Matrix]) -> Matrix {
+        assert!(!parts.is_empty(), "concat_rows of nothing");
+        let cols = parts[0].cols;
+        let rows: usize = parts.iter().map(|p| p.rows).sum();
+        let mut data = Vec::with_capacity(rows * cols);
+        for p in parts {
+            assert_eq!(p.cols, cols, "concat_rows col mismatch");
+            data.extend_from_slice(&p.data);
+        }
+        Matrix { rows, cols, data }
+    }
+
+    /// Copies columns `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
+        assert!(start <= end && end <= self.cols, "slice_cols out of range");
+        let width = end - start;
+        let mut out = Matrix::zeros(self.rows, width);
+        for r in 0..self.rows {
+            out.row_mut(r)
+                .copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Gathers the listed rows into a new matrix.
+    pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zeros(indices.len(), self.cols);
+        for (i, &idx) in indices.iter().enumerate() {
+            assert!(idx < self.rows, "gather_rows index {idx} >= {}", self.rows);
+            out.row_mut(i).copy_from_slice(self.row(idx));
+        }
+        out
+    }
+
+    /// Maximum absolute element-wise difference to another matrix.
+    pub fn max_abs_diff(&self, rhs: &Matrix) -> f32 {
+        assert_eq!(self.shape(), rhs.shape());
+        self.data
+            .iter()
+            .zip(&rhs.data)
+            .map(|(&a, &b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(rows: usize, cols: usize, vals: &[f32]) -> Matrix {
+        Matrix::from_vec(rows, cols, vals.to_vec())
+    }
+
+    #[test]
+    fn matmul_small_known_result() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c, m(2, 2, &[58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn matmul_tn_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(1);
+        let a = Matrix::randn(4, 3, 1.0, &mut rng);
+        let b = Matrix::randn(4, 5, 1.0, &mut rng);
+        let fast = a.matmul_tn(&b);
+        let slow = a.transpose().matmul(&b);
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    fn matmul_nt_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from_u64(2);
+        let a = Matrix::randn(4, 3, 1.0, &mut rng);
+        let b = Matrix::randn(5, 3, 1.0, &mut rng);
+        let fast = a.matmul_nt(&b);
+        let slow = a.matmul(&b.transpose());
+        assert!(fast.max_abs_diff(&slow) < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul")]
+    fn matmul_shape_mismatch_panics() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose(), m(3, 2, &[1., 4., 2., 5., 3., 6.]));
+    }
+
+    #[test]
+    fn concat_and_slice_cols_round_trip() {
+        let a = m(2, 2, &[1., 2., 5., 6.]);
+        let b = m(2, 1, &[3., 7.]);
+        let c = Matrix::concat_cols(&[&a, &b]);
+        assert_eq!(c, m(2, 3, &[1., 2., 3., 5., 6., 7.]));
+        assert_eq!(c.slice_cols(0, 2), a);
+        assert_eq!(c.slice_cols(2, 3), b);
+    }
+
+    #[test]
+    fn concat_rows_stacks() {
+        let a = m(1, 2, &[1., 2.]);
+        let b = m(2, 2, &[3., 4., 5., 6.]);
+        assert_eq!(
+            Matrix::concat_rows(&[&a, &b]),
+            m(3, 2, &[1., 2., 3., 4., 5., 6.])
+        );
+    }
+
+    #[test]
+    fn gather_rows_picks_and_repeats() {
+        let a = m(3, 2, &[1., 2., 3., 4., 5., 6.]);
+        let g = a.gather_rows(&[2, 0, 2]);
+        assert_eq!(g, m(3, 2, &[5., 6., 1., 2., 5., 6.]));
+    }
+
+    #[test]
+    fn sum_mean_norm() {
+        let a = m(2, 2, &[1., 2., 3., 4.]);
+        assert_eq!(a.sum(), 10.0);
+        assert_eq!(a.mean(), 2.5);
+        assert_eq!(a.squared_norm(), 30.0);
+    }
+
+    #[test]
+    fn add_scaled_is_axpy() {
+        let mut a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[10., 20., 30.]);
+        a.add_scaled(&b, 0.5);
+        assert_eq!(a, m(1, 3, &[6., 12., 18.]));
+    }
+
+    #[test]
+    fn zip_map_applies_pairwise() {
+        let a = m(1, 3, &[1., 2., 3.]);
+        let b = m(1, 3, &[4., 5., 6.]);
+        assert_eq!(a.zip_map(&b, |x, y| x * y), m(1, 3, &[4., 10., 18.]));
+    }
+
+    #[test]
+    fn item_requires_scalar() {
+        assert_eq!(Matrix::scalar(3.5).item(), 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-scalar")]
+    fn item_panics_on_matrix() {
+        let _ = Matrix::zeros(2, 1).item();
+    }
+
+    #[test]
+    fn randn_respects_std() {
+        let mut rng = Rng::seed_from_u64(3);
+        let a = Matrix::randn(100, 100, 0.1, &mut rng);
+        let mean = a.mean();
+        let var = a.squared_norm() / a.len() as f32 - mean * mean;
+        assert!(mean.abs() < 0.01);
+        assert!((var.sqrt() - 0.1).abs() < 0.01);
+    }
+}

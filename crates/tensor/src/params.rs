@@ -1,0 +1,160 @@
+//! Trainable parameter storage.
+//!
+//! A [`Params`] arena owns every trainable matrix of a model together with a
+//! same-shaped gradient buffer. The autodiff tape references parameters by
+//! [`ParamId`]; `Tape::backward` accumulates into `Params::grads`, and the
+//! optimizers in `uae-nn` update `Params::values` from them.
+
+use crate::matrix::Matrix;
+
+/// Opaque handle to one parameter matrix inside a [`Params`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// The arena index (useful for optimizer state keyed by parameter).
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An arena of named trainable parameters with gradient buffers.
+#[derive(Debug, Clone, Default)]
+pub struct Params {
+    values: Vec<Matrix>,
+    grads: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl Params {
+    /// An empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a parameter and returns its handle.
+    pub fn add(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        let id = ParamId(self.values.len());
+        self.grads.push(Matrix::zeros(value.rows(), value.cols()));
+        self.values.push(value);
+        self.names.push(name.into());
+        id
+    }
+
+    /// Number of registered parameter matrices.
+    pub fn count(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total number of trainable scalars.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(Matrix::len).sum()
+    }
+
+    /// The current value of a parameter.
+    pub fn value(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to the value (used by optimizers).
+    pub fn value_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// The accumulated gradient of a parameter.
+    pub fn grad(&self, id: ParamId) -> &Matrix {
+        &self.grads[id.0]
+    }
+
+    /// Mutable access to the gradient buffer.
+    pub fn grad_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.grads[id.0]
+    }
+
+    /// The name given at registration.
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// All parameter handles, in registration order.
+    pub fn ids(&self) -> impl Iterator<Item = ParamId> {
+        (0..self.values.len()).map(ParamId)
+    }
+
+    /// Zeroes every gradient buffer (call before each backward pass).
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill_zero();
+        }
+    }
+
+    /// Simultaneous access to one parameter's value and gradient.
+    pub fn value_and_grad_mut(&mut self, id: ParamId) -> (&mut Matrix, &Matrix) {
+        // Split borrows across the two vectors.
+        (&mut self.values[id.0], &self.grads[id.0])
+    }
+
+    /// Global L2 norm of all gradients.
+    pub fn grad_norm(&self) -> f32 {
+        self.grads
+            .iter()
+            .map(Matrix::squared_norm)
+            .sum::<f32>()
+            .sqrt()
+    }
+
+    /// Scales all gradients so their global norm is at most `max_norm`.
+    ///
+    /// Returns the pre-clipping norm.
+    pub fn clip_grad_norm(&mut self, max_norm: f32) -> f32 {
+        let norm = self.grad_norm();
+        if norm > max_norm && norm > 0.0 {
+            let scale = max_norm / norm;
+            for g in &mut self.grads {
+                g.scale_in_place(scale);
+            }
+        }
+        norm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_lookup() {
+        let mut p = Params::new();
+        let a = p.add("w", Matrix::filled(2, 3, 1.0));
+        let b = p.add("b", Matrix::zeros(1, 3));
+        assert_eq!(p.count(), 2);
+        assert_eq!(p.num_scalars(), 9);
+        assert_eq!(p.name(a), "w");
+        assert_eq!(p.value(b).shape(), (1, 3));
+        assert_eq!(p.grad(a).shape(), (2, 3));
+    }
+
+    #[test]
+    fn zero_grads_resets() {
+        let mut p = Params::new();
+        let a = p.add("w", Matrix::zeros(1, 2));
+        p.grad_mut(a).data_mut()[0] = 5.0;
+        p.zero_grads();
+        assert_eq!(p.grad(a).data(), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn clip_grad_norm_scales_down_only_when_needed() {
+        let mut p = Params::new();
+        let a = p.add("w", Matrix::zeros(1, 2));
+        p.grad_mut(a).data_mut().copy_from_slice(&[3.0, 4.0]);
+        let norm = p.clip_grad_norm(10.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        assert_eq!(p.grad(a).data(), &[3.0, 4.0]);
+        let norm = p.clip_grad_norm(1.0);
+        assert!((norm - 5.0).abs() < 1e-6);
+        let clipped = p.grad(a).data();
+        assert!((clipped[0] - 0.6).abs() < 1e-6);
+        assert!((clipped[1] - 0.8).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,347 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Every stochastic component in this workspace (weight initialisation, the
+//! session simulator, batch shuffling, …) draws from [`Rng`], a hand-rolled
+//! xoshiro256++ generator. Rolling ~100 lines of PRNG instead of depending on
+//! the `rand` crate keeps every table in the paper reproduction bit-for-bit
+//! reproducible regardless of upstream crate versions, and keeps the runtime
+//! dependency set empty (see DESIGN.md §5).
+
+/// A seedable xoshiro256++ pseudo-random number generator.
+///
+/// Not cryptographically secure; statistically strong enough for simulation
+/// and ML initialisation (passes BigCrush per the reference authors).
+#[derive(Debug, Clone)]
+pub struct Rng {
+    state: [u64; 4],
+    /// Cached second normal variate from Box-Muller.
+    spare_normal: Option<f64>,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl Rng {
+    /// Creates a generator from a 64-bit seed.
+    ///
+    /// The four words of xoshiro state are produced by a splitmix64 expansion
+    /// of the seed, as recommended by the xoshiro authors, so that nearby
+    /// seeds give uncorrelated streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let state = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Rng {
+            state,
+            spare_normal: None,
+        }
+    }
+
+    /// Derives an independent child generator (for fan-out across threads or
+    /// sub-tasks) without consuming correlated state.
+    pub fn fork(&mut self) -> Self {
+        Rng::seed_from_u64(self.next_u64() ^ 0x5851_F42D_4C95_7F2D)
+    }
+
+    /// The raw 64-bit output of xoshiro256++.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.state;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    pub fn uniform(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f32(&mut self) -> f32 {
+        self.uniform() as f32
+    }
+
+    /// Uniform in `[lo, hi)`.
+    #[inline]
+    pub fn range_f64(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`. `n` must be nonzero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method for unbiased sampling.
+    #[inline]
+    pub fn below(&mut self, n: usize) -> usize {
+        debug_assert!(n > 0, "Rng::below(0)");
+        let n = n as u64;
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n {
+                return (m >> 64) as usize;
+            }
+            // Rejection branch: only taken when low < n.
+            let threshold = n.wrapping_neg() % n;
+            if low >= threshold {
+                return (m >> 64) as usize;
+            }
+        }
+    }
+
+    /// Bernoulli draw with success probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform() < p
+    }
+
+    /// Standard normal variate via Box-Muller (with caching of the spare).
+    pub fn normal(&mut self) -> f64 {
+        if let Some(z) = self.spare_normal.take() {
+            return z;
+        }
+        // Draw u in (0, 1] to avoid ln(0).
+        let u = 1.0 - self.uniform();
+        let v = self.uniform();
+        let r = (-2.0 * u.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * v;
+        self.spare_normal = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Normal variate with the given mean and standard deviation.
+    #[inline]
+    pub fn normal_with(&mut self, mean: f64, std: f64) -> f64 {
+        mean + std * self.normal()
+    }
+
+    /// Geometric-ish session length: `min + Poisson(lambda)` approximated by
+    /// inversion for small lambda, normal approximation otherwise.
+    pub fn poisson(&mut self, lambda: f64) -> usize {
+        if lambda <= 0.0 {
+            return 0;
+        }
+        if lambda < 30.0 {
+            // Knuth inversion.
+            let l = (-lambda).exp();
+            let mut k = 0usize;
+            let mut p = 1.0;
+            loop {
+                p *= self.uniform();
+                if p <= l {
+                    return k;
+                }
+                k += 1;
+            }
+        } else {
+            let x = self.normal_with(lambda, lambda.sqrt());
+            x.max(0.0).round() as usize
+        }
+    }
+
+    /// Samples an index proportionally to the non-negative weights.
+    ///
+    /// Returns `None` when the weights sum to zero (or the slice is empty).
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if !(total > 0.0) {
+            return None;
+        }
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target < 0.0 {
+                return Some(i);
+            }
+        }
+        // Floating-point slack: fall back to the last positive weight.
+        weights.iter().rposition(|&w| w > 0.0)
+    }
+
+    /// Fisher-Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.below(i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Zipf-like popularity sample over `[0, n)` with exponent `s` using
+    /// inverse-CDF on the continuous approximation (good enough for
+    /// generating skewed song popularity).
+    pub fn zipf(&mut self, n: usize, s: f64) -> usize {
+        debug_assert!(n > 0);
+        if n == 1 {
+            return 0;
+        }
+        let u = 1.0 - self.uniform(); // (0, 1]
+        if (s - 1.0).abs() < 1e-9 {
+            let x = (n as f64).powf(u);
+            return (x as usize).min(n - 1).saturating_sub(1).min(n - 1);
+        }
+        let exp = 1.0 - s;
+        // Inverse CDF of p(x) ∝ x^{-s} on [1, n].
+        let x = ((n as f64).powf(exp) * u + (1.0 - u)).powf(1.0 / exp);
+        (x as usize - 1).min(n - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn uniform_in_unit_interval_and_roughly_uniform() {
+        let mut rng = Rng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        for _ in 0..n {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn below_is_in_range_and_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let x = rng.below(10);
+            assert!(x < 10);
+            seen[x] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::seed_from_u64(11);
+        let n = 50_000;
+        let (mut sum, mut sq) = (0.0, 0.0);
+        for _ in 0..n {
+            let z = rng.normal();
+            sum += z;
+            sq += z * z;
+        }
+        let mean = sum / n as f64;
+        let var = sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.02, "mean={mean}");
+        assert!((var - 1.0).abs() < 0.05, "var={var}");
+    }
+
+    #[test]
+    fn bernoulli_frequency_tracks_p() {
+        let mut rng = Rng::seed_from_u64(13);
+        let n = 50_000;
+        let hits = (0..n).filter(|_| rng.bernoulli(0.3)).count();
+        let rate = hits as f64 / n as f64;
+        assert!((rate - 0.3).abs() < 0.01, "rate={rate}");
+    }
+
+    #[test]
+    fn poisson_mean_tracks_lambda() {
+        let mut rng = Rng::seed_from_u64(17);
+        for &lambda in &[0.5, 3.0, 12.0, 60.0] {
+            let n = 20_000;
+            let total: usize = (0..n).map(|_| rng.poisson(lambda)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.05 * lambda.max(1.0),
+                "lambda={lambda} mean={mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = Rng::seed_from_u64(19);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[rng.weighted_choice(&weights).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.2, "ratio={ratio}");
+    }
+
+    #[test]
+    fn weighted_choice_zero_total_is_none() {
+        let mut rng = Rng::seed_from_u64(23);
+        assert_eq!(rng.weighted_choice(&[0.0, 0.0]), None);
+        assert_eq!(rng.weighted_choice(&[]), None);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = Rng::seed_from_u64(29);
+        let mut xs: Vec<u32> = (0..100).collect();
+        rng.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(xs, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zipf_is_skewed_toward_low_indices() {
+        let mut rng = Rng::seed_from_u64(31);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..50_000 {
+            counts[rng.zipf(100, 1.2)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut parent = Rng::seed_from_u64(37);
+        let mut a = parent.fork();
+        let mut b = parent.fork();
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+}

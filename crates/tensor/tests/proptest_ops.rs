@@ -1,0 +1,144 @@
+//! Property-based tests of the matrix kernels and the autodiff engine.
+
+use proptest::prelude::*;
+use uae_tensor::gradcheck::check_params;
+use uae_tensor::{Matrix, Params, Rng, Tape};
+
+fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-2.0f32..2.0, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Matrix product distributes over addition: A·(B + C) = A·B + A·C.
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+        c in matrix_strategy(4, 2),
+    ) {
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+    }
+
+    /// (A·B)ᵀ = Bᵀ·Aᵀ, via the fused transpose kernels.
+    #[test]
+    fn matmul_transpose_identity(
+        a in matrix_strategy(3, 4),
+        b in matrix_strategy(4, 2),
+    ) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-4);
+        // And the fused variants agree with the explicit ones.
+        prop_assert!(a.matmul_nt(&b.transpose()).max_abs_diff(&a.matmul(&b)) < 1e-4);
+        prop_assert!(a.transpose().matmul_tn(&b).max_abs_diff(&a.transpose().transpose().matmul(&b)) < 1e-4);
+    }
+
+    /// concat_cols then slice_cols round-trips.
+    #[test]
+    fn concat_slice_roundtrip(
+        a in matrix_strategy(3, 2),
+        b in matrix_strategy(3, 5),
+    ) {
+        let cat = Matrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(cat.slice_cols(0, 2), a);
+        prop_assert_eq!(cat.slice_cols(2, 7), b);
+    }
+
+    /// Forward values of the tape equal direct matrix computation.
+    #[test]
+    fn tape_forward_matches_direct(
+        a in matrix_strategy(2, 3),
+        b in matrix_strategy(3, 2),
+    ) {
+        let mut tape = Tape::new();
+        let av = tape.input(a.clone());
+        let bv = tape.input(b.clone());
+        let prod = tape.matmul(av, bv);
+        prop_assert!(tape.value(prod).max_abs_diff(&a.matmul(&b)) < 1e-5);
+        let sig = tape.sigmoid(prod);
+        let direct = a.matmul(&b).map(uae_tensor::sigmoid);
+        prop_assert!(tape.value(sig).max_abs_diff(&direct) < 1e-5);
+    }
+
+    /// The analytic gradients of a random two-layer network check against
+    /// finite differences for arbitrary weights within range.
+    #[test]
+    fn random_network_gradcheck(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let w1 = params.add("w1", Matrix::randn(3, 4, 0.4, &mut rng));
+        let w2 = params.add("w2", Matrix::randn(4, 1, 0.4, &mut rng));
+        let x = Matrix::randn(5, 3, 0.8, &mut rng);
+        let pos: Vec<f32> = (0..5).map(|i| (i % 2) as f32).collect();
+        let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let xv = tape.input(x.clone());
+            let w1v = tape.param(params, w1);
+            let h = tape.matmul(xv, w1v);
+            let h = tape.tanh(h);
+            let w2v = tape.param(params, w2);
+            let z = tape.matmul(h, w2v);
+            tape.weighted_bce(z, &pos, &neg, 5.0, false)
+        });
+        prop_assert!(check.passes(5e-2), "seed {} err {}", seed, check.max_rel_err);
+    }
+
+    /// weighted_bce with (y, 1−y) weights equals the mean of per-element
+    /// stable BCE.
+    #[test]
+    fn weighted_bce_matches_reference(
+        logits in proptest::collection::vec(-5.0f32..5.0, 1..20),
+        labels in proptest::collection::vec(any::<bool>(), 20),
+    ) {
+        let n = logits.len();
+        let labels = &labels[..n];
+        let pos: Vec<f32> = labels.iter().map(|&y| y as u8 as f32).collect();
+        let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+        let mut tape = Tape::new();
+        let z = tape.input(Matrix::col_vector(&logits));
+        let loss = tape.weighted_bce(z, &pos, &neg, n as f32, false);
+        let reference: f32 = logits
+            .iter()
+            .zip(labels)
+            .map(|(&z, &y)| if y { uae_tensor::softplus(-z) } else { uae_tensor::softplus(z) })
+            .sum::<f32>() / n as f32;
+        prop_assert!((tape.value(loss).item() - reference).abs() < 1e-4);
+    }
+
+    /// Gradient accumulation: two backward passes accumulate exactly twice
+    /// the gradient of one.
+    #[test]
+    fn backward_accumulates(seed in 0u64..500) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let mut params = Params::new();
+        let w = params.add("w", Matrix::randn(2, 1, 1.0, &mut rng));
+        let x = Matrix::randn(3, 2, 1.0, &mut rng);
+        let build = |tape: &mut Tape, params: &Params| {
+            let xv = tape.input(x.clone());
+            let wv = tape.param(params, w);
+            let z = tape.matmul(xv, wv);
+            let s = tape.square(z);
+            tape.mean_all(s)
+        };
+        params.zero_grads();
+        let mut t1 = Tape::new();
+        let l1 = build(&mut t1, &params);
+        t1.backward(l1, &mut params);
+        let once = params.grad(w).clone();
+        let mut t2 = Tape::new();
+        let l2 = build(&mut t2, &params);
+        t2.backward(l2, &mut params);
+        let twice = params.grad(w).clone();
+        for (a, b) in once.data().iter().zip(twice.data()) {
+            prop_assert!((2.0 * a - b).abs() < 1e-5 + 1e-4 * a.abs());
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Online A/B simulation (the paper's Fig. 7 protocol): serves paired
+//! simulated traffic for a week with a control arm (plain DCN-V2) and a
+//! treatment arm (DCN-V2 + UAE re-weighting), reporting daily relative
+//! uplift in play count and play time.
+//!
+//! Run with: `cargo run --release --example ab_simulation`
+
+use uae::eval::{run_ab_test, AbConfig, HarnessConfig};
+
+fn main() {
+    let mut cfg = HarnessConfig::full();
+    cfg.data_scale = 0.15;
+    cfg.seeds = vec![11];
+    let ab = AbConfig {
+        days: 7,
+        sessions_per_day: 150,
+        candidates: 12,
+        ..Default::default()
+    };
+    println!(
+        "training control (DCN-V2) and treatment (DCN-V2 + UAE), then serving {} days × {} sessions/day, slate size {}...",
+        ab.days, ab.sessions_per_day, ab.candidates
+    );
+    let outcome = run_ab_test(&cfg, &ab);
+    println!("\n{}", outcome.render());
+    if outcome.mean_count_uplift() > 0.0 && outcome.mean_time_uplift() > 0.0 {
+        println!("treatment wins on both engagement metrics, as in the paper's deployment.");
+    } else {
+        println!("note: at this small scale the uplift can be noisy; the bench harness runs larger traffic.");
+    }
+}

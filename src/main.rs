@@ -1,0 +1,106 @@
+//! `uae` — command-line entry point for the reproduction harness.
+//!
+//! ```text
+//! uae stats                 # Table III + Figs. 2–3 statistics
+//! uae table4 [--fast]      # Table IV (oracle protocol)
+//! uae table5 [--fast]      # Table V (both protocols)
+//! uae fig5   [--fast]      # convergence curves
+//! uae fig6   [--fast]      # γ sweep
+//! uae fig7   [--fast]      # 7-day A/B simulation
+//! uae export <path.tsv>     # dump a simulated Product dataset to TSV
+//! ```
+//!
+//! `--fast` uses the reduced test-scale configuration. The bench targets in
+//! `crates/bench` print the same artifacts with their own knobs; this binary
+//! exists so downstream users can drive the harness without `cargo bench`.
+
+use uae::data::{feedback_by_rank, generate, to_tsv, transition_matrix};
+use uae::eval::{
+    paper_gammas, render_reweight_curves, run_ab_test, run_convergence, run_gamma_sweep,
+    run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig, Preset,
+};
+use uae::models::LabelMode;
+
+fn config(fast: bool) -> HarnessConfig {
+    if fast {
+        let mut cfg = HarnessConfig::fast();
+        cfg.data_scale = 0.08;
+        cfg
+    } else {
+        HarnessConfig::full()
+    }
+}
+
+fn cmd_stats(cfg: &HarnessConfig) {
+    for preset in Preset::both() {
+        let ds = generate(&preset.config(cfg.data_scale), cfg.data_seed);
+        let s = ds.summary();
+        println!(
+            "{}: {} sessions, {} users, {} songs, {} features, {} feedback types, {} events",
+            s.name, s.sessions, s.users, s.songs, s.features, s.feedback_types, s.events
+        );
+        let t = transition_matrix(&ds);
+        println!(
+            "  P(active) = {:.4}   P(a|a) = {:.4}   P(a|p) = {:.4}",
+            t.marginal_active, t.active_after_active, t.active_after_passive
+        );
+        let ranks = feedback_by_rank(&ds, 10);
+        let series: Vec<String> = ranks
+            .iter()
+            .map(|r| format!("{:.3}", r.active_rate))
+            .collect();
+        println!("  active rate by rank 1..10: {}", series.join(" "));
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let fast = args.iter().any(|a| a == "--fast");
+    let mut cfg = config(fast);
+    match args.first().map(String::as_str) {
+        Some("stats") => cmd_stats(&cfg),
+        Some("table4") => {
+            cfg.label_mode = LabelMode::OraclePreference;
+            println!("{}", run_table4(&cfg).render());
+        }
+        Some("table5") => {
+            let methods = AttentionMethod::table5();
+            for mode in [LabelMode::Observed, LabelMode::OraclePreference] {
+                cfg.label_mode = mode;
+                println!("--- labels: {mode:?} ---");
+                println!("{}", run_table5(&cfg).render(&methods));
+            }
+        }
+        Some("fig5") => {
+            cfg.label_mode = LabelMode::OraclePreference;
+            let epochs = if fast { 3 } else { 12 };
+            println!("{}", run_convergence(&cfg, epochs).render());
+        }
+        Some("fig6") => {
+            cfg.label_mode = LabelMode::OraclePreference;
+            println!("{}", render_reweight_curves(&paper_gammas(), 10));
+            println!("{}", run_gamma_sweep(&cfg, &paper_gammas()).render());
+        }
+        Some("fig7") => {
+            cfg.label_mode = LabelMode::OraclePreference;
+            let ab = AbConfig {
+                sessions_per_day: if fast { 20 } else { 300 },
+                ..Default::default()
+            };
+            println!("{}", run_ab_test(&cfg, &ab).render());
+        }
+        Some("export") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("product.uae.tsv");
+            let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
+            std::fs::write(path, to_tsv(&ds)).expect("write dataset dump");
+            println!("wrote {} sessions to {path}", ds.sessions.len());
+        }
+        _ => {
+            eprintln!(
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export [path]> [--fast]\n\
+                 Regenerates the paper's tables/figures; see README.md."
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Integration checks of the paper's theory (Theorems 1–5) against the
+//! *actual simulator output*, not a synthetic population: the recorded
+//! per-event (α, p) of a generated dataset drive the Monte-Carlo
+//! expectations.
+
+use uae::core::theory::{
+    attention_risk_bias, attention_risk_variance, ideal_attention_risk, pn_attention_risk,
+    risk_distribution, unbiased_attention_risk,
+};
+use uae::data::{generate, FlatData, SimConfig};
+use uae::tensor::Rng;
+
+fn simulated_truth() -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let ds = generate(&SimConfig::product(0.15), 31337);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    // A one-sided fixed predictor (g < 0.5) avoids sign cancellation in the
+    // bias sums (see uae-core::theory unit tests).
+    let g: Vec<f32> = flat.true_alpha.iter().map(|&a| 0.08 + 0.35 * a).collect();
+    (g, flat.true_alpha, flat.true_propensity)
+}
+
+#[test]
+fn theorem_1_holds_on_simulated_sessions() {
+    let (g, alpha, p) = simulated_truth();
+    let ideal = ideal_attention_risk(&g, &alpha);
+    let mut rng = Rng::seed_from_u64(1);
+    let (mean, _) = risk_distribution(&alpha, &p, 250, &mut rng, |e| {
+        unbiased_attention_risk(&g, e, &p)
+    });
+    let rel = (mean - ideal).abs() / ideal;
+    assert!(rel < 0.02, "ideal={ideal:.5} mc={mean:.5} rel={rel:.4}");
+}
+
+#[test]
+fn pn_is_more_biased_than_the_unbiased_estimator() {
+    let (g, alpha, p) = simulated_truth();
+    let ideal = ideal_attention_risk(&g, &alpha);
+    let mut rng = Rng::seed_from_u64(2);
+    let (unb, _) = risk_distribution(&alpha, &p, 250, &mut rng, |e| {
+        unbiased_attention_risk(&g, e, &p)
+    });
+    let (pn, _) = risk_distribution(&alpha, &p, 250, &mut rng, |e| pn_attention_risk(&g, e));
+    assert!(
+        (pn - ideal).abs() > 5.0 * (unb - ideal).abs(),
+        "pn gap {:.5} vs unbiased gap {:.5}",
+        (pn - ideal).abs(),
+        (unb - ideal).abs()
+    );
+}
+
+#[test]
+fn theorem_3_variance_matches_on_simulated_sessions() {
+    let (g, alpha, p) = simulated_truth();
+    let analytic = attention_risk_variance(&g, &alpha, &p);
+    let mut rng = Rng::seed_from_u64(3);
+    let (_, empirical) = risk_distribution(&alpha, &p, 1200, &mut rng, |e| {
+        unbiased_attention_risk(&g, e, &p)
+    });
+    let ratio = empirical / analytic;
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "analytic {analytic:.3e} empirical {empirical:.3e} ratio {ratio:.3}"
+    );
+}
+
+#[test]
+fn theorem_5_underestimation_hurts_more_on_simulated_sessions() {
+    let (g, alpha, p) = simulated_truth();
+    let over: Vec<f32> = p.iter().map(|&x| (x * 1.4).min(0.999)).collect();
+    let under: Vec<f32> = p.iter().map(|&x| (x / 1.4).max(1e-3)).collect();
+    let bias_over = attention_risk_bias(&g, &alpha, &p, &over);
+    let bias_under = attention_risk_bias(&g, &alpha, &p, &under);
+    assert!(
+        bias_under > bias_over,
+        "under={bias_under:.5} over={bias_over:.5}"
+    );
+}
+
+#[test]
+fn proposition_1_expectation_identity_on_generated_feedback() {
+    // E[e] = p·α over the events the simulator actually emitted.
+    let ds = generate(&SimConfig::product(0.3), 555);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    let expected: f64 = flat
+        .true_alpha
+        .iter()
+        .zip(&flat.true_propensity)
+        .map(|(&a, &p)| (a * p) as f64)
+        .sum::<f64>()
+        / flat.len() as f64;
+    let observed =
+        flat.active.iter().filter(|&&e| e).count() as f64 / flat.len() as f64;
+    assert!(
+        (expected - observed).abs() < 0.01,
+        "E[p·α]={expected:.4} vs observed active rate {observed:.4}"
+    );
+}
