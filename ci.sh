@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 gate plus lint. Everything runs offline against the vendored
+# proptest/criterion stubs; no registry access is required.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test -q --features proptest (property suites)"
+cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core \
+    --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "CI OK"

@@ -139,11 +139,11 @@ impl PropensityNet {
         assert_eq!(z1_detached.len(), batch.steps);
         let mut h = self.gru.zero_state(tape, batch.batch);
         let mut logits = Vec::with_capacity(batch.steps);
-        for t in 0..batch.steps {
+        for (t, &z1) in z1_detached.iter().enumerate() {
             let prev_e = tape.input(Matrix::col_vector(&batch.prev_e[t]));
             let mask = tape.input(Matrix::col_vector(&batch.mask[t]));
             h = self.gru.step_masked(tape, params, prev_e, h, mask);
-            let cat = tape.concat_cols(&[z1_detached[t], h, prev_e]);
+            let cat = tape.concat_cols(&[z1, h, prev_e]);
             logits.push(self.head.forward(tape, params, cat));
         }
         logits

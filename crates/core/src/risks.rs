@@ -241,9 +241,9 @@ mod tests {
         let b = batch();
         let p_hat: WeightGrid = vec![vec![1e-6; b.batch]; b.steps];
         let (pos, _) = uae_attention_weights(&b, &p_hat, 0.1);
-        for t in 0..b.steps {
-            for i in 0..b.batch {
-                assert!(pos[t][i] <= 10.0 + 1e-5);
+        for row in &pos {
+            for &w in row {
+                assert!(w <= 10.0 + 1e-5);
             }
         }
     }

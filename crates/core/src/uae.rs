@@ -3,6 +3,10 @@
 
 use uae_data::{seq_batches, Dataset, SeqBatch};
 use uae_nn::{Adam, Optimizer};
+use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnapshot};
+use uae_runtime::sentinel::{self, Anomaly};
+use uae_runtime::supervisor::{Recovery, Supervisor};
+use uae_runtime::UaeError;
 use uae_tensor::{sigmoid, Params, Rng, Tape, Var};
 
 use crate::estimator::{AttentionEstimator, FitReport};
@@ -179,8 +183,16 @@ impl Uae {
             .collect()
     }
 
-    /// One gradient step of the attention phase on `batch`; returns the loss.
-    fn attention_step(&mut self, batch: &SeqBatch, opt: &mut Adam) -> f64 {
+    /// One gradient step of the attention phase on `batch`; returns the
+    /// loss. With `guard` set, finiteness sentinels run on the loss (before
+    /// backward) and on the gradient norm (before the optimizer step), so a
+    /// tripped sentinel leaves the parameters untouched.
+    fn attention_step(
+        &mut self,
+        batch: &SeqBatch,
+        opt: &mut Adam,
+        guard: bool,
+    ) -> Result<f64, Anomaly> {
         let mut tape = Tape::new();
         let gf = self.g.forward(&mut tape, &self.params_g, batch);
         let h_logits = self.propensity_logits(&mut tape, batch, &gf.z1);
@@ -196,17 +208,31 @@ impl Uae {
             self.cfg.clamp_nonneg,
         );
         let value = tape.value(loss).item() as f64;
+        if guard {
+            sentinel::check_loss(value)?;
+        }
         self.params_g.zero_grads();
         tape.backward(loss, &mut self.params_g);
-        if let Some(c) = self.cfg.grad_clip {
-            self.params_g.clip_grad_norm(c);
+        let norm = match self.cfg.grad_clip {
+            Some(c) => self.params_g.clip_grad_norm(c),
+            None if guard => self.params_g.grad_norm(),
+            None => 0.0,
+        };
+        if guard {
+            sentinel::check_grad_norm(norm)?;
         }
         opt.step(&mut self.params_g);
-        value
+        Ok(value)
     }
 
-    /// One gradient step of the propensity phase on `batch`.
-    fn propensity_step(&mut self, batch: &SeqBatch, opt: &mut Adam) -> f64 {
+    /// One gradient step of the propensity phase on `batch` (same sentinel
+    /// contract as [`Uae::attention_step`]).
+    fn propensity_step(
+        &mut self,
+        batch: &SeqBatch,
+        opt: &mut Adam,
+        guard: bool,
+    ) -> Result<f64, Anomaly> {
         let mut tape = Tape::new();
         let gf = self.g.forward(&mut tape, &self.params_g, batch);
         let alpha_hat = Self::probs_grid(&tape, &gf.logits);
@@ -222,13 +248,21 @@ impl Uae {
             self.cfg.clamp_nonneg,
         );
         let value = tape.value(loss).item() as f64;
+        if guard {
+            sentinel::check_loss(value)?;
+        }
         self.params_h.zero_grads();
         tape.backward(loss, &mut self.params_h);
-        if let Some(c) = self.cfg.grad_clip {
-            self.params_h.clip_grad_norm(c);
+        let norm = match self.cfg.grad_clip {
+            Some(c) => self.params_h.clip_grad_norm(c),
+            None if guard => self.params_h.grad_norm(),
+            None => 0.0,
+        };
+        if guard {
+            sentinel::check_grad_norm(norm)?;
         }
         opt.step(&mut self.params_h);
-        value
+        Ok(value)
     }
 
     /// The attention network's parameter arena (Θ_g) — for persistence via
@@ -252,6 +286,170 @@ impl Uae {
         &mut self.params_h
     }
 
+    /// Restores both arenas, both optimizers, the RNG, and the fit
+    /// bookkeeping from a snapshot.
+    fn restore_fit_snapshot(
+        &mut self,
+        snap: &TrainSnapshot,
+        opt_g: &mut Adam,
+        opt_h: &mut Adam,
+        rng: &mut Rng,
+        report: &mut FitReport,
+        order: &mut Vec<usize>,
+    ) -> Result<(), UaeError> {
+        snap.restore_arena(0, &mut self.params_g)?;
+        snap.restore_arena(1, &mut self.params_h)?;
+        let missing = CheckpointError::Corrupt("missing optimizer state");
+        opt_g.restore(snap.optimizers.first().cloned().ok_or(missing.clone())?);
+        opt_h.restore(snap.optimizers.get(1).cloned().ok_or(missing)?);
+        rng.restore(snap.rng);
+        let bk = FitBookkeeping::decode(&snap.extra)?;
+        report.attention_loss = bk.attention_loss;
+        report.propensity_loss = bk.propensity_loss;
+        *order = bk.order;
+        self.cfg.grad_clip = bk.grad_clip;
+        Ok(())
+    }
+
+    /// Algorithm 1 under a fault-tolerant [`Supervisor`]: the alternating
+    /// loop checkpoints both networks (and both Adam states, the RNG, the
+    /// batch-order permutation, and the loss history) at the supervisor's
+    /// cadence, guards every attention/propensity step with finiteness
+    /// sentinels, and on anomaly rolls back to the last good checkpoint with
+    /// both learning rates halved and `grad_clip` tightened, retrying within
+    /// a bounded budget before failing with
+    /// [`UaeError::NumericalDivergence`].
+    ///
+    /// Resuming from a mid-run snapshot (via [`Supervisor::with_resume`]) is
+    /// bit-identical to an uninterrupted run.
+    pub fn fit_supervised(
+        &mut self,
+        dataset: &Dataset,
+        sessions: &[usize],
+        sup: &mut Supervisor,
+    ) -> Result<FitReport, UaeError> {
+        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x6669_7400);
+        let batches = seq_batches(
+            dataset,
+            sessions,
+            self.cfg.session_batch,
+            self.cfg.max_len,
+            &mut rng,
+        );
+        let mut opt_g = Adam::new(self.cfg.lr_attention);
+        let mut opt_h = Adam::new(self.cfg.lr_propensity);
+        let mut report = FitReport::default();
+        let mut order: Vec<usize> = (0..batches.len()).collect();
+        let mut start_epoch = 0usize;
+        let mut step = 0u64;
+
+        if let Some(snap) = sup.take_resume() {
+            self.restore_fit_snapshot(
+                &snap, &mut opt_g, &mut opt_h, &mut rng, &mut report, &mut order,
+            )?;
+            start_epoch = snap.epoch as usize;
+            step = snap.step;
+        }
+
+        'run: loop {
+            // Rollback mutates `start_epoch` and re-enters via `continue 'run`,
+            // which is exactly when the new bound takes effect.
+            #[allow(clippy::mut_range_bound)]
+            for epoch in start_epoch..self.cfg.epochs {
+                let mut att = (0.0f64, 0usize);
+                let mut pro = (0.0f64, 0usize);
+                let mut anomaly: Option<Anomaly> = None;
+                'phases: {
+                    // Phase 1: unbiased attention risk minimizer (lines 3–7).
+                    for _ in 0..self.cfg.n_a {
+                        rng.shuffle(&mut order);
+                        for &bi in &order {
+                            match self.attention_step(&batches[bi], &mut opt_g, sup.enabled()) {
+                                Ok(v) => {
+                                    att.0 += v;
+                                    att.1 += 1;
+                                    step += 1;
+                                }
+                                Err(a) => {
+                                    anomaly = Some(a);
+                                    break 'phases;
+                                }
+                            }
+                        }
+                    }
+                    // Phase 2: unbiased propensity risk minimizer (lines 8–12).
+                    for _ in 0..self.cfg.n_p {
+                        rng.shuffle(&mut order);
+                        for &bi in &order {
+                            match self.propensity_step(&batches[bi], &mut opt_h, sup.enabled()) {
+                                Ok(v) => {
+                                    pro.0 += v;
+                                    pro.1 += 1;
+                                    step += 1;
+                                }
+                                Err(a) => {
+                                    anomaly = Some(a);
+                                    break 'phases;
+                                }
+                            }
+                        }
+                    }
+                }
+                // Sentinel 3: never accept a checkpoint with poisoned arenas.
+                if anomaly.is_none() && sup.enabled() && sup.should_checkpoint(epoch) {
+                    anomaly = sentinel::check_params(&self.params_g)
+                        .and_then(|()| sentinel::check_params(&self.params_h))
+                        .err();
+                }
+                if let Some(a) = anomaly {
+                    match sup.on_anomaly(epoch, step as usize, &a) {
+                        Recovery::Rollback {
+                            snapshot,
+                            lr_scale,
+                            clip_scale,
+                        } => {
+                            self.restore_fit_snapshot(
+                                &snapshot, &mut opt_g, &mut opt_h, &mut rng, &mut report,
+                                &mut order,
+                            )?;
+                            opt_g.set_learning_rate(opt_g.learning_rate() * lr_scale);
+                            opt_h.set_learning_rate(opt_h.learning_rate() * lr_scale);
+                            self.cfg.grad_clip = Some(
+                                (self.cfg.grad_clip.unwrap_or(EMERGENCY_CLIP) * clip_scale)
+                                    .max(MIN_CLIP),
+                            );
+                            start_epoch = snapshot.epoch as usize;
+                            step = snapshot.step;
+                            continue 'run;
+                        }
+                        Recovery::Abort(e) => return Err(e),
+                    }
+                }
+                report.attention_loss.push(att.0 / att.1.max(1) as f64);
+                report.propensity_loss.push(pro.0 / pro.1.max(1) as f64);
+                if sup.should_checkpoint(epoch) {
+                    let bk = FitBookkeeping {
+                        attention_loss: report.attention_loss.clone(),
+                        propensity_loss: report.propensity_loss.clone(),
+                        order: order.clone(),
+                        grad_clip: self.cfg.grad_clip,
+                    };
+                    let snap = TrainSnapshot::capture(
+                        (epoch + 1) as u64,
+                        step,
+                        &[&self.params_g, &self.params_h],
+                        &[&opt_g, &opt_h],
+                        &rng,
+                        bk.encode(),
+                    );
+                    sup.record(snap)?;
+                }
+            }
+            break 'run;
+        }
+        Ok(report)
+    }
+
     /// Predicted propensities `p̂` per event (flat order) — exposed for the
     /// theory benches and diagnostics; downstream recommendation only needs
     /// the attention side (Remark 3).
@@ -272,6 +470,78 @@ impl Uae {
             scatter_predictions(&tape, &h_logits, b, dataset, sessions, &mut out);
         }
         out
+    }
+}
+
+/// Clip norm switched on when a run configured without clipping diverges.
+const EMERGENCY_CLIP: f32 = 5.0;
+/// Gradient clipping is never tightened below this.
+const MIN_CLIP: f32 = 1e-3;
+
+/// Fit-loop bookkeeping carried inside a checkpoint's `extra` bytes. The
+/// batch-order permutation must be included because `Rng::shuffle` permutes
+/// in place: replaying the shuffles bit-identically requires starting from
+/// the same permutation, not just the same RNG state.
+struct FitBookkeeping {
+    attention_loss: Vec<f64>,
+    propensity_loss: Vec<f64>,
+    order: Vec<usize>,
+    grad_clip: Option<f32>,
+}
+
+impl FitBookkeeping {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        let put_losses = |w: &mut ByteWriter, xs: &[f64]| {
+            w.put_u32(xs.len() as u32);
+            for &x in xs {
+                w.put_f64(x);
+            }
+        };
+        put_losses(&mut w, &self.attention_loss);
+        put_losses(&mut w, &self.propensity_loss);
+        w.put_u32(self.order.len() as u32);
+        for &i in &self.order {
+            w.put_u32(i as u32);
+        }
+        match self.grad_clip {
+            Some(c) => {
+                w.put_bool(true);
+                w.put_f32(c);
+            }
+            None => w.put_bool(false),
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let get_losses = |r: &mut ByteReader| -> Result<Vec<f64>, CheckpointError> {
+            let n = r.get_u32()? as usize;
+            let mut xs = Vec::with_capacity(n.min(4096));
+            for _ in 0..n {
+                xs.push(r.get_f64()?);
+            }
+            Ok(xs)
+        };
+        let attention_loss = get_losses(&mut r)?;
+        let propensity_loss = get_losses(&mut r)?;
+        let n = r.get_u32()? as usize;
+        let mut order = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            order.push(r.get_u32()? as usize);
+        }
+        let grad_clip = if r.get_bool()? {
+            Some(r.get_f32()?)
+        } else {
+            None
+        };
+        Ok(FitBookkeeping {
+            attention_loss,
+            propensity_loss,
+            order,
+            grad_clip,
+        })
     }
 }
 
@@ -314,49 +584,12 @@ impl AttentionEstimator for Uae {
     }
 
     /// Algorithm 1: per epoch, `N_a` attention passes then `N_p` propensity
-    /// passes, each a full sweep over shuffled session batches.
+    /// passes, each a full sweep over shuffled session batches. Runs without
+    /// fault tolerance; see [`Uae::fit_supervised`] for the checkpointed,
+    /// sentinel-guarded variant.
     fn fit(&mut self, dataset: &Dataset, sessions: &[usize]) -> FitReport {
-        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x6669_7400);
-        let batches = seq_batches(
-            dataset,
-            sessions,
-            self.cfg.session_batch,
-            self.cfg.max_len,
-            &mut rng,
-        );
-        let mut opt_g = Adam::new(self.cfg.lr_attention);
-        let mut opt_h = Adam::new(self.cfg.lr_propensity);
-        let mut report = FitReport::default();
-        let mut order: Vec<usize> = (0..batches.len()).collect();
-        for _epoch in 0..self.cfg.epochs {
-            // Phase 1: unbiased attention risk minimizer (lines 3–7).
-            let mut att_loss = 0.0;
-            let mut att_steps = 0usize;
-            for _ in 0..self.cfg.n_a {
-                rng.shuffle(&mut order);
-                for &bi in &order {
-                    att_loss += self.attention_step(&batches[bi], &mut opt_g);
-                    att_steps += 1;
-                }
-            }
-            // Phase 2: unbiased propensity risk minimizer (lines 8–12).
-            let mut pro_loss = 0.0;
-            let mut pro_steps = 0usize;
-            for _ in 0..self.cfg.n_p {
-                rng.shuffle(&mut order);
-                for &bi in &order {
-                    pro_loss += self.propensity_step(&batches[bi], &mut opt_h);
-                    pro_steps += 1;
-                }
-            }
-            report
-                .attention_loss
-                .push(att_loss / att_steps.max(1) as f64);
-            report
-                .propensity_loss
-                .push(pro_loss / pro_steps.max(1) as f64);
-        }
-        report
+        self.fit_supervised(dataset, sessions, &mut Supervisor::disabled())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     fn predict(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {

@@ -2,6 +2,8 @@
 //! closed-form identities of the paper hold for *arbitrary* populations, not
 //! just the hand-picked ones in the unit tests.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uae_core::theory::{
     attention_risk_bias, attention_risk_variance, ideal_attention_risk, log_losses,

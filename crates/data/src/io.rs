@@ -367,6 +367,38 @@ mod tests {
         assert!(matches!(from_tsv("x", &text), Err(ParseError::BadEvent(..))));
     }
 
+    /// Deterministic mutation fuzzing: every single-character corruption of a
+    /// valid dump must either parse or fail with a typed [`ParseError`] —
+    /// never panic. (The exhaustive random version lives in
+    /// `tests/proptest_io.rs` behind the `proptest` feature.)
+    #[test]
+    fn mutated_dumps_never_panic() {
+        let ds = generate(&SimConfig::tiny(), 11);
+        let text = to_tsv(&ds);
+        let bytes = text.as_bytes();
+        let mut rng = uae_tensor::Rng::seed_from_u64(42);
+        for trial in 0..500 {
+            let mut mutated = bytes.to_vec();
+            let pos = rng.below(mutated.len());
+            match trial % 4 {
+                // Overwrite with a printable byte.
+                0 => mutated[pos] = b' ' + (rng.below(94) as u8),
+                // Delete a byte.
+                1 => {
+                    mutated.remove(pos);
+                }
+                // Duplicate a byte.
+                2 => mutated.insert(pos, mutated[pos]),
+                // Truncate.
+                _ => mutated.truncate(pos),
+            }
+            if let Ok(s) = String::from_utf8(mutated) {
+                // Must return (Ok or Err), not unwind.
+                let _ = from_tsv("mutated", &s);
+            }
+        }
+    }
+
     #[test]
     fn feedback_tokens_round_trip() {
         for f in Feedback::all() {

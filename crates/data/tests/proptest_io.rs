@@ -1,0 +1,78 @@
+//! Property-based tests of the TSV interchange parser: arbitrary and
+//! systematically mutated inputs must never panic, and valid dumps must
+//! round-trip exactly.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use uae_data::{from_tsv, generate, to_tsv, SimConfig};
+
+/// Printable-ASCII text of up to `max` bytes, salted with the bytes the
+/// format cares about (tabs, newlines, '#', ':', ',').
+fn text_strategy(max: usize) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0u8..96, 0..max).prop_map(|codes| {
+        const SALT: &[u8] = b"\t\n#:, ";
+        codes
+            .into_iter()
+            .map(|c| {
+                if (c as usize) < SALT.len() {
+                    SALT[c as usize] as char
+                } else {
+                    (b' ' + (c - SALT.len() as u8)) as char
+                }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Totally arbitrary text: the parser must return, not unwind.
+    #[test]
+    fn arbitrary_text_never_panics(text in text_strategy(400)) {
+        let _ = from_tsv("fuzz", &text);
+    }
+
+    /// Single-point mutations of a valid dump: parse or typed error, never
+    /// a panic.
+    #[test]
+    fn mutated_valid_dump_never_panics(
+        seed in 0u64..50,
+        pos_frac in 0.0f64..1.0,
+        kind in 0u8..4,
+        byte in 0x20u8..0x7f,
+    ) {
+        let ds = generate(&SimConfig::tiny(), seed);
+        let text = to_tsv(&ds);
+        let mut bytes = text.into_bytes();
+        prop_assume!(!bytes.is_empty());
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        match kind {
+            0 => bytes[pos] = byte,
+            1 => { bytes.remove(pos); }
+            2 => bytes.insert(pos, byte),
+            _ => bytes.truncate(pos),
+        }
+        if let Ok(s) = String::from_utf8(bytes) {
+            let _ = from_tsv("mutated", &s);
+        }
+    }
+
+    /// Unmutated dumps always parse and preserve every observable field.
+    #[test]
+    fn valid_dump_round_trips(seed in 0u64..50) {
+        let ds = generate(&SimConfig::tiny(), seed);
+        let back = from_tsv(&ds.name, &to_tsv(&ds)).expect("valid dump parses");
+        prop_assert_eq!(back.sessions.len(), ds.sessions.len());
+        for (a, b) in ds.sessions.iter().zip(&back.sessions) {
+            prop_assert_eq!(a.user, b.user);
+            prop_assert_eq!(a.day, b.day);
+            prop_assert_eq!(a.events.len(), b.events.len());
+            for (ea, eb) in a.events.iter().zip(&b.events) {
+                prop_assert_eq!(ea.feedback, eb.feedback);
+                prop_assert_eq!(ea.song, eb.song);
+                prop_assert_eq!(&ea.cat, &eb.cat);
+                prop_assert_eq!(&ea.dense, &eb.dense);
+            }
+        }
+    }
+}

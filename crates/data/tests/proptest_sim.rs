@@ -1,6 +1,8 @@
 //! Property-based tests of the simulator's structural invariants across
 //! random configurations and seeds.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uae_data::{generate, seq_batches, split_by_ratio, FlatData, SimConfig};
 use uae_tensor::Rng;

@@ -8,7 +8,7 @@
 use uae_metrics::{confidence_half_width, mean};
 use uae_models::{ModelKind, TrainConfig};
 
-use crate::harness::{over_seeds, prepare, AttentionMethod, HarnessConfig, Preset};
+use crate::harness::{over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, Preset};
 use crate::table::TextTable;
 
 /// One epoch's aggregate across seeds.
@@ -33,6 +33,8 @@ pub struct ConvergenceCurve {
 pub struct Convergence {
     pub base: ConvergenceCurve,
     pub uae: ConvergenceCurve,
+    /// Per-seed fault report from the panic-isolated fan-out.
+    pub faults: Vec<String>,
 }
 
 /// Runs the convergence study on the Product preset (as in the paper) with
@@ -48,7 +50,8 @@ pub fn run_convergence(cfg: &HarnessConfig, epochs: usize) -> Convergence {
         ..cfg.clone()
     };
     // seed → (base history, uae history) of (train_auc, val_auc) per epoch
-    let per_seed = over_seeds(&cfg.seeds, |seed| {
+    type SeedSeries = (Vec<(f64, f64)>, Vec<(f64, f64)>);
+    let fan = over_seeds_isolated(&cfg.seeds, |seed| {
         let base = crate::harness::run_model(ModelKind::DcnV2, None, &data, &fixed, seed);
         let w = AttentionMethod::Uae
             .weights(&data, &fixed, seed)
@@ -63,9 +66,10 @@ pub fn run_convergence(cfg: &HarnessConfig, epochs: usize) -> Convergence {
         };
         (series(&base.report), series(&ours.report))
     });
+    let faults = fan.fault_report();
+    let per_seed = fan.values();
 
-    let collect = |pick: &dyn Fn(&(Vec<(f64, f64)>, Vec<(f64, f64)>)) -> &Vec<(f64, f64)>,
-                   variant: &'static str| {
+    let collect = |pick: &dyn Fn(&SeedSeries) -> &Vec<(f64, f64)>, variant: &'static str| {
         let mut points = Vec::with_capacity(epochs);
         for epoch in 0..epochs {
             let train: Vec<f64> = per_seed
@@ -89,6 +93,7 @@ pub fn run_convergence(cfg: &HarnessConfig, epochs: usize) -> Convergence {
     Convergence {
         base: collect(&|s| &s.0, "DCN-V2"),
         uae: collect(&|s| &s.1, "DCN-V2 + UAE"),
+        faults,
     }
 }
 

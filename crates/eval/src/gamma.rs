@@ -8,7 +8,7 @@ use uae_core::downstream_weights;
 use uae_metrics::mean;
 use uae_models::ModelKind;
 
-use crate::harness::{over_seeds, prepare, AttentionMethod, HarnessConfig, Preset};
+use crate::harness::{over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, Preset};
 use crate::table::TextTable;
 
 /// One γ's aggregate.
@@ -26,6 +26,8 @@ pub struct GammaSweep {
     /// Reference: plain DCN-V2 without UAE.
     pub base_auc: Vec<f64>,
     pub base_gauc: Vec<f64>,
+    /// Per-seed fault report from the panic-isolated fan-out.
+    pub faults: Vec<String>,
 }
 
 /// The γ grid the paper sweeps.
@@ -38,7 +40,7 @@ pub fn paper_gammas() -> [f32; 5] {
 pub fn run_gamma_sweep(cfg: &HarnessConfig, gammas: &[f32]) -> GammaSweep {
     let data = prepare(Preset::Product, cfg);
     // seed → (base (auc, gauc), per-γ (auc, gauc))
-    let per_seed = over_seeds(&cfg.seeds, |seed| {
+    let fan = over_seeds_isolated(&cfg.seeds, |seed| {
         let alpha = AttentionMethod::Uae
             .attention_scores(&data, cfg, seed)
             .expect("scores");
@@ -53,6 +55,8 @@ pub fn run_gamma_sweep(cfg: &HarnessConfig, gammas: &[f32]) -> GammaSweep {
             .collect();
         ((base.result.auc, base.result.gauc), sweep)
     });
+    let faults = fan.fault_report();
+    let per_seed = fan.values();
     let mut points: Vec<GammaPoint> = gammas
         .iter()
         .map(|&gamma| GammaPoint {
@@ -75,6 +79,7 @@ pub fn run_gamma_sweep(cfg: &HarnessConfig, gammas: &[f32]) -> GammaSweep {
         points,
         base_auc,
         base_gauc,
+        faults,
     }
 }
 

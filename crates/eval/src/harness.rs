@@ -8,6 +8,7 @@ use uae_data::{
 use uae_models::{
     evaluate, train, EvalResult, LabelMode, ModelConfig, ModelKind, TrainConfig, TrainReport,
 };
+use uae_runtime::UaeError;
 use uae_tensor::Rng;
 
 /// Which of the paper's two datasets to synthesise.
@@ -284,20 +285,175 @@ pub fn run_model(
     RunOutcome { result, report }
 }
 
+/// What happened to one seed of a panic-isolated fan-out.
+#[derive(Debug, Clone)]
+pub enum SeedOutcome<T> {
+    /// The seed completed on its first attempt.
+    Ok(T),
+    /// The original seed panicked; a derived recovery seed succeeded.
+    Recovered { recovery_seed: u64, value: T },
+    /// Both the original seed and its recovery attempt panicked
+    /// ([`UaeError::SeedPanic`]).
+    Failed(UaeError),
+}
+
+impl<T> SeedOutcome<T> {
+    /// The produced value, if any attempt succeeded.
+    pub fn value(&self) -> Option<&T> {
+        match self {
+            SeedOutcome::Ok(v) | SeedOutcome::Recovered { value: v, .. } => Some(v),
+            SeedOutcome::Failed(_) => None,
+        }
+    }
+
+    /// Consumes the outcome into its value, if any attempt succeeded.
+    pub fn into_value(self) -> Option<T> {
+        match self {
+            SeedOutcome::Ok(v) | SeedOutcome::Recovered { value: v, .. } => Some(v),
+            SeedOutcome::Failed(_) => None,
+        }
+    }
+
+    /// The typed error of a failed seed.
+    pub fn error(&self) -> Option<&UaeError> {
+        match self {
+            SeedOutcome::Failed(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// Per-seed outcomes of [`over_seeds_isolated`], in seed order.
+#[derive(Debug)]
+pub struct SeedFanout<T> {
+    pub seeds: Vec<u64>,
+    pub outcomes: Vec<SeedOutcome<T>>,
+}
+
+impl<T> SeedFanout<T> {
+    /// True when every seed produced a value on its first attempt.
+    pub fn all_clean(&self) -> bool {
+        self.outcomes
+            .iter()
+            .all(|o| matches!(o, SeedOutcome::Ok(_)))
+    }
+
+    /// Human-readable fault report: one line per recovered or failed seed
+    /// (empty for a clean run).
+    pub fn fault_report(&self) -> Vec<String> {
+        self.seeds
+            .iter()
+            .zip(&self.outcomes)
+            .filter_map(|(&seed, o)| match o {
+                SeedOutcome::Ok(_) => None,
+                SeedOutcome::Recovered { recovery_seed, .. } => Some(format!(
+                    "seed {seed}: panicked, recovered with derived seed {recovery_seed}"
+                )),
+                SeedOutcome::Failed(e) => Some(format!("seed {seed}: {e}")),
+            })
+            .collect()
+    }
+
+    /// Surviving values in seed order (failed seeds are dropped, so a table
+    /// aggregates over n−k seeds instead of crashing).
+    pub fn values(self) -> Vec<T> {
+        self.outcomes
+            .into_iter()
+            .filter_map(SeedOutcome::into_value)
+            .collect()
+    }
+}
+
+/// The replacement seed tried when a seed thread panics: a fixed XOR with
+/// the splitmix64 increment, so it is deterministic, never equal to the
+/// original, and far away in seed space.
+pub fn derive_recovery_seed(seed: u64) -> u64 {
+    seed ^ 0x9E37_79B9_7F4A_7C15
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Fans `f` out over the harness seeds on scoped threads with panic
+/// isolation: a panicking seed is caught, retried once with
+/// [`derive_recovery_seed`], and reported as a [`SeedOutcome`] instead of
+/// propagating — so one diverged seed degrades a table run gracefully.
+pub fn over_seeds_isolated<T: Send>(
+    seeds: &[u64],
+    f: impl Fn(u64) -> T + Sync,
+) -> SeedFanout<T> {
+    let f = &f;
+    let attempt = move |seed: u64| -> Result<T, String> {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(seed)))
+            .map_err(panic_message)
+    };
+    let outcomes = std::thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                scope.spawn(move || match attempt(seed) {
+                    Ok(v) => SeedOutcome::Ok(v),
+                    Err(first) => {
+                        let recovery_seed = derive_recovery_seed(seed);
+                        match attempt(recovery_seed) {
+                            Ok(value) => SeedOutcome::Recovered {
+                                recovery_seed,
+                                value,
+                            },
+                            Err(second) => SeedOutcome::Failed(UaeError::SeedPanic {
+                                seed,
+                                recovery_seed: Some(recovery_seed),
+                                message: format!("{first}; retry: {second}"),
+                            }),
+                        }
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .zip(seeds)
+            .map(|(h, &seed)| {
+                h.join().unwrap_or_else(|payload| {
+                    // catch_unwind already fenced the closure; reaching here
+                    // means the thread died outside it. Degrade, don't crash.
+                    SeedOutcome::Failed(UaeError::SeedPanic {
+                        seed,
+                        recovery_seed: None,
+                        message: panic_message(payload),
+                    })
+                })
+            })
+            .collect()
+    });
+    SeedFanout {
+        seeds: seeds.to_vec(),
+        outcomes,
+    }
+}
+
 /// Fans `f` out over the harness seeds on scoped threads, returning results
 /// in seed order.
+///
+/// Legacy strict variant of [`over_seeds_isolated`]: a seed that panics
+/// twice (original + recovery attempt) panics here too, with the full fault
+/// report in the message.
 pub fn over_seeds<T: Send>(
     seeds: &[u64],
     f: impl Fn(u64) -> T + Sync,
 ) -> Vec<T> {
-    let f = &f;
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = seeds
-            .iter()
-            .map(|&seed| scope.spawn(move || f(seed)))
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("seed thread")).collect()
-    })
+    let fan = over_seeds_isolated(seeds, f);
+    if fan.outcomes.iter().any(|o| o.error().is_some()) {
+        panic!("seed fan-out failed: {}", fan.fault_report().join("; "));
+    }
+    fan.values()
 }
 
 #[cfg(test)]
@@ -346,6 +502,73 @@ mod tests {
     fn over_seeds_preserves_order() {
         let out = over_seeds(&[3, 1, 2], |s| s * 10);
         assert_eq!(out, vec![30, 10, 20]);
+    }
+
+    #[test]
+    fn isolated_fanout_survives_an_injected_panic() {
+        // Seed 2 panics; its derived recovery seed succeeds. The other
+        // seeds are untouched and order is preserved.
+        let fan = over_seeds_isolated(&[1, 2, 3], |s| {
+            if s == 2 {
+                panic!("injected divergence");
+            }
+            s.wrapping_mul(10)
+        });
+        assert!(!fan.all_clean());
+        assert!(matches!(fan.outcomes[0], SeedOutcome::Ok(10)));
+        assert!(matches!(fan.outcomes[2], SeedOutcome::Ok(30)));
+        match &fan.outcomes[1] {
+            SeedOutcome::Recovered {
+                recovery_seed,
+                value,
+            } => {
+                assert_eq!(*recovery_seed, derive_recovery_seed(2));
+                assert_eq!(*value, derive_recovery_seed(2).wrapping_mul(10));
+            }
+            other => panic!("expected recovery, got {other:?}"),
+        }
+        let report = fan.fault_report();
+        assert_eq!(report.len(), 1);
+        assert!(report[0].contains("recovered"), "{}", report[0]);
+        assert_eq!(fan.values().len(), 3);
+    }
+
+    #[test]
+    fn isolated_fanout_degrades_when_recovery_also_panics() {
+        let bad = 2u64;
+        let fan = over_seeds_isolated(&[1, bad, 3], |s| {
+            if s == bad || s == derive_recovery_seed(bad) {
+                panic!("hard failure");
+            }
+            s
+        });
+        assert!(fan.outcomes[1].error().is_some());
+        match fan.outcomes[1].error() {
+            Some(UaeError::SeedPanic {
+                seed,
+                recovery_seed,
+                message,
+            }) => {
+                assert_eq!(*seed, bad);
+                assert_eq!(*recovery_seed, Some(derive_recovery_seed(bad)));
+                assert!(message.contains("hard failure"));
+            }
+            other => panic!("expected SeedPanic, got {other:?}"),
+        }
+        // Surviving seeds still aggregate.
+        assert_eq!(fan.values(), vec![1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seed fan-out failed")]
+    fn strict_over_seeds_panics_with_fault_report() {
+        let bad = 5u64;
+        over_seeds(&[bad], |s: u64| -> u64 {
+            if s == bad || s == derive_recovery_seed(bad) {
+                panic!("boom");
+            }
+            s
+        });
     }
 
     #[test]

@@ -29,8 +29,8 @@ pub use ab::{run_ab_test, AbConfig, AbDay, AbOutcome};
 pub use convergence::{run_convergence, Convergence, ConvergenceCurve, EpochPoint};
 pub use gamma::{paper_gammas, render_reweight_curves, run_gamma_sweep, GammaPoint, GammaSweep};
 pub use harness::{
-    over_seeds, prepare, run_model, AttentionMethod, HarnessConfig, PreparedData, Preset,
-    RunOutcome,
+    derive_recovery_seed, over_seeds, over_seeds_isolated, prepare, run_model, AttentionMethod,
+    HarnessConfig, PreparedData, Preset, RunOutcome, SeedFanout, SeedOutcome,
 };
 pub use table::{pct, rela, starred, TextTable};
 pub use table4::{run_table4, Table4, Table4Entry};

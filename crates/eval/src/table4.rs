@@ -4,7 +4,7 @@
 use uae_metrics::{mean, paired_t_test, rela_impr};
 use uae_models::ModelKind;
 
-use crate::harness::{over_seeds, prepare, AttentionMethod, HarnessConfig, Preset};
+use crate::harness::{over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, Preset};
 use crate::table::{pct, rela, starred, TextTable};
 
 /// Per-(dataset, model) aggregate of the Base and +UAE variants.
@@ -42,19 +42,23 @@ impl Table4Entry {
 #[derive(Debug, Clone, Default)]
 pub struct Table4 {
     pub entries: Vec<Table4Entry>,
+    /// Per-seed fault report from the panic-isolated fan-out (empty when
+    /// every seed ran clean; failed seeds are dropped from the aggregates).
+    pub faults: Vec<String>,
 }
 
 /// Runs the Table IV experiment grid.
 ///
 /// For each dataset and seed, UAE is fitted once and its weights are shared
 /// by all seven models (matching the paper: UAE is model-agnostic). Seeds
-/// run on parallel threads.
+/// run on parallel panic-isolated threads; a seed that dies twice is
+/// reported in [`Table4::faults`] and excluded from the aggregates.
 pub fn run_table4(cfg: &HarnessConfig) -> Table4 {
     let mut table = Table4::default();
     for preset in Preset::both() {
         let data = prepare(preset, cfg);
         // seed → per-model (base, uae) metrics
-        let per_seed = over_seeds(&cfg.seeds, |seed| {
+        let fan = over_seeds_isolated(&cfg.seeds, |seed| {
             let uae_weights = AttentionMethod::Uae
                 .weights(&data, cfg, seed)
                 .expect("UAE produces weights");
@@ -74,6 +78,10 @@ pub fn run_table4(cfg: &HarnessConfig) -> Table4 {
                 })
                 .collect::<Vec<_>>()
         });
+        table
+            .faults
+            .extend(fan.fault_report().into_iter().map(|f| format!("[{}] {f}", preset.name())));
+        let per_seed = fan.values();
         for (mi, kind) in ModelKind::all().into_iter().enumerate() {
             let mut entry = Table4Entry {
                 dataset: preset.name(),
@@ -126,7 +134,7 @@ impl Table4 {
                             .entries
                             .iter()
                             .find(|e| e.dataset == dataset && e.model == kind)
-                            .map(|e| f(e))
+                            .map(f)
                             .unwrap_or_else(|| "-".to_string());
                         cells.push(cell);
                     }
@@ -211,6 +219,7 @@ mod tests {
         assert!(entry.auc_significant().is_none());
         let table = Table4 {
             entries: vec![entry],
+            faults: vec![],
         };
         let rendered = table.render();
         assert!(rendered.contains("[Product] AUC"));

@@ -7,7 +7,9 @@
 use uae_metrics::{auc, brier_score, expected_calibration_error, mean, paired_t_test, rela_impr};
 use uae_models::ModelKind;
 
-use crate::harness::{over_seeds, prepare, AttentionMethod, HarnessConfig, Preset, PreparedData};
+use crate::harness::{
+    over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, Preset, PreparedData,
+};
 use crate::table::{pct, rela, starred, TextTable};
 
 /// Aggregate for one (dataset, base model, method) cell.
@@ -38,6 +40,9 @@ pub struct AttentionQuality {
 pub struct Table5 {
     pub entries: Vec<Table5Entry>,
     pub quality: Vec<AttentionQuality>,
+    /// Per-seed fault report from the panic-isolated fan-out (empty when
+    /// every seed ran clean; failed seeds are dropped from the aggregates).
+    pub faults: Vec<String>,
 }
 
 /// The base models Table V uses (the two strongest from Table IV).
@@ -70,7 +75,7 @@ pub fn run_table5_with(cfg: &HarnessConfig, methods: &[AttentionMethod]) -> Tabl
         let data = prepare(preset, cfg);
         // seed → (per (method, model) metrics, per method quality)
         type SeedOut = (Vec<(usize, usize, f64, f64)>, Vec<(usize, f64, f64, f64)>);
-        let per_seed: Vec<SeedOut> = over_seeds(&cfg.seeds, |seed| {
+        let fan = over_seeds_isolated(&cfg.seeds, |seed| {
             let mut cells = Vec::new();
             let mut quality = Vec::new();
             for (qi, &method) in methods.iter().enumerate() {
@@ -88,6 +93,10 @@ pub fn run_table5_with(cfg: &HarnessConfig, methods: &[AttentionMethod]) -> Tabl
             }
             (cells, quality)
         });
+        table
+            .faults
+            .extend(fan.fault_report().into_iter().map(|f| format!("[{}] {f}", preset.name())));
+        let per_seed: Vec<SeedOut> = fan.values();
         for (qi, &method) in methods.iter().enumerate() {
             for (mi, kind) in table5_models().into_iter().enumerate() {
                 let mut entry = Table5Entry {

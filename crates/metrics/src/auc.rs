@@ -12,9 +12,12 @@ pub fn auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
     if pos == 0 || neg == 0 {
         return None;
     }
-    // Sort indices by score; average ranks across ties.
+    // Sort indices by score; average ranks across ties. `total_cmp` is the
+    // IEEE 754 total order, so NaN scores never panic: they sort above +inf
+    // (i.e. a NaN is treated as the most confident positive prediction),
+    // which degrades the metric instead of aborting the evaluation.
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("NaN score"));
+    order.sort_by(|&a, &b| scores[a].total_cmp(&scores[b]));
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
     while i < order.len() {
@@ -191,6 +194,28 @@ mod tests {
         let labels = [true, true];
         let groups = [1, 2];
         assert_eq!(gauc(&scores, &labels, &groups), None);
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_rank_highest() {
+        // A NaN score sorts above +inf under total_cmp, so the NaN'd example
+        // is ranked as the top prediction. With the NaN on a negative example
+        // every positive loses that pairwise comparison.
+        let scores = [0.8, 0.5, f32::NAN, 0.1];
+        let labels = [true, true, false, false];
+        let a = auc(&scores, &labels).expect("defined");
+        assert!(a.is_finite());
+        // Positives win only against the 0.1 negative: 2 of 4 pairs.
+        assert!((a - 0.5).abs() < 1e-12, "a={a}");
+    }
+
+    #[test]
+    fn nan_scores_in_gauc_do_not_panic() {
+        let scores = [f32::NAN, 0.1, 0.3, 0.7];
+        let labels = [true, false, false, true];
+        let groups = [1, 1, 2, 2];
+        let g = gauc(&scores, &labels, &groups).expect("defined");
+        assert!(g.is_finite());
     }
 
     #[test]

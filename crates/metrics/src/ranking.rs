@@ -17,15 +17,12 @@ fn dcg_at_k(relevance_in_rank_order: &[bool], k: usize) -> f64 {
 }
 
 /// Sorts item indices by descending score (ties broken by index for
-/// determinism).
+/// determinism). Uses the IEEE 754 total order so NaN scores never panic:
+/// a NaN sorts above +inf, i.e. it ranks first — a divergent model gets a
+/// degraded metric, not an aborted evaluation.
 fn ranked_indices(scores: &[f32]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
-    order.sort_by(|&a, &b| {
-        scores[b]
-            .partial_cmp(&scores[a])
-            .expect("NaN score")
-            .then(a.cmp(&b))
-    });
+    order.sort_by(|&a, &b| scores[b].total_cmp(&scores[a]).then(a.cmp(&b)));
     order
 }
 
@@ -174,6 +171,18 @@ mod tests {
             grouped_mean(&scores, &[false; 6], &groups, reciprocal_rank),
             None
         );
+    }
+
+    #[test]
+    fn nan_scores_do_not_panic_and_rank_first() {
+        // NaN sorts above +inf in the descending total order, so a NaN'd
+        // item occupies rank 1 instead of crashing the evaluation.
+        let scores = [0.9, f32::NAN, 0.1];
+        let relevant = [true, false, false];
+        let rr = reciprocal_rank(&scores, &relevant).expect("defined");
+        assert!((rr - 0.5).abs() < 1e-12, "rr={rr}");
+        assert_eq!(hit_rate_at_k(&scores, &relevant, 1), Some(0.0));
+        assert!(ndcg_at_k(&scores, &relevant, 3).unwrap().is_finite());
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Property-based tests of the evaluation metrics and statistics.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uae_metrics::{
     auc, brier_score, confidence_half_width, gauc, log_loss, mean, rela_impr, stats,

@@ -33,5 +33,6 @@ pub mod wide_deep;
 pub use encoder::{Encoded, Encoder, LinearTerm};
 pub use recommender::{ModelConfig, ModelKind, Recommender};
 pub use trainer::{
-    evaluate, predict, train, EpochRecord, EvalResult, LabelMode, TrainConfig, TrainReport,
+    evaluate, predict, train, train_supervised, EpochRecord, EvalResult, LabelMode, TrainConfig,
+    TrainReport,
 };

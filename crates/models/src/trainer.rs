@@ -9,7 +9,11 @@
 use uae_data::FlatData;
 use uae_metrics::{auc, gauc};
 use uae_nn::{Adam, Optimizer};
-use uae_tensor::{sigmoid, Params, Rng, Tape};
+use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnapshot};
+use uae_runtime::sentinel;
+use uae_runtime::supervisor::{FaultEvent, Recovery, Supervisor};
+use uae_runtime::UaeError;
+use uae_tensor::{save_params, sigmoid, Params, Rng, Tape};
 
 use crate::recommender::Recommender;
 
@@ -80,6 +84,9 @@ pub struct TrainReport {
     pub history: Vec<EpochRecord>,
     pub best_epoch: usize,
     pub best_val_auc: Option<f64>,
+    /// Anomalies the supervisor recovered from during this run (empty when
+    /// training ran clean or the supervisor was disabled).
+    pub faults: Vec<FaultEvent>,
 }
 
 /// Sigmoid scores of `model` over all events of `data`.
@@ -166,6 +173,117 @@ fn subsampled_auc(
     auc(&scores, &sub_labels)
 }
 
+/// Trainer bookkeeping that must travel inside a checkpoint so a resumed (or
+/// rolled-back) run replays exactly: the loss history, early-stopping state,
+/// best-so-far parameters, and the current (possibly tightened) clip norm.
+struct Bookkeeping {
+    history: Vec<EpochRecord>,
+    best_val: f64,
+    best_epoch: u64,
+    bad_epochs: u64,
+    /// `save_params` blob of the best-validation parameters, if tracked.
+    best_params: Vec<u8>,
+    clip: Option<f32>,
+}
+
+impl Bookkeeping {
+    fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_u32(self.history.len() as u32);
+        for rec in &self.history {
+            w.put_u64(rec.epoch as u64);
+            w.put_f64(rec.train_loss);
+            put_opt_f64(&mut w, rec.train_auc);
+            put_opt_f64(&mut w, rec.val_auc);
+        }
+        w.put_f64(self.best_val);
+        w.put_u64(self.best_epoch);
+        w.put_u64(self.bad_epochs);
+        w.put_bytes(&self.best_params);
+        match self.clip {
+            Some(c) => {
+                w.put_bool(true);
+                w.put_f32(c);
+            }
+            None => w.put_bool(false),
+        }
+        w.into_bytes()
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, CheckpointError> {
+        let mut r = ByteReader::new(bytes);
+        let n = r.get_u32()? as usize;
+        let mut history = Vec::with_capacity(n.min(4096));
+        for _ in 0..n {
+            history.push(EpochRecord {
+                epoch: r.get_u64()? as usize,
+                train_loss: r.get_f64()?,
+                train_auc: get_opt_f64(&mut r)?,
+                val_auc: get_opt_f64(&mut r)?,
+            });
+        }
+        let best_val = r.get_f64()?;
+        let best_epoch = r.get_u64()?;
+        let bad_epochs = r.get_u64()?;
+        let best_params = r.get_bytes()?;
+        let clip = if r.get_bool()? {
+            Some(r.get_f32()?)
+        } else {
+            None
+        };
+        Ok(Bookkeeping {
+            history,
+            best_val,
+            best_epoch,
+            bad_epochs,
+            best_params,
+            clip,
+        })
+    }
+}
+
+fn put_opt_f64(w: &mut ByteWriter, x: Option<f64>) {
+    match x {
+        Some(v) => {
+            w.put_bool(true);
+            w.put_f64(v);
+        }
+        None => w.put_bool(false),
+    }
+}
+
+fn get_opt_f64(r: &mut ByteReader) -> Result<Option<f64>, CheckpointError> {
+    Ok(if r.get_bool()? {
+        Some(r.get_f64()?)
+    } else {
+        None
+    })
+}
+
+/// Clip norm the runtime switches on when a run without clipping diverges.
+const EMERGENCY_CLIP: f32 = 5.0;
+/// Gradient clipping is never tightened below this.
+const MIN_CLIP: f32 = 1e-3;
+
+/// Restores parameters, optimizer, and RNG from a snapshot and decodes the
+/// trainer bookkeeping carried in its `extra` bytes.
+fn restore_snapshot(
+    snap: &TrainSnapshot,
+    params: &mut Params,
+    opt: &mut Adam,
+    rng: &mut Rng,
+) -> Result<Bookkeeping, UaeError> {
+    snap.restore_arena(0, params)?;
+    let state = snap
+        .optimizers
+        .first()
+        .cloned()
+        .ok_or(CheckpointError::Corrupt("missing optimizer state"))?;
+    opt.restore(state);
+    rng.restore(snap.rng);
+    Ok(Bookkeeping::decode(&snap.extra)?)
+}
+
 /// Trains a recommender with Eq. (18)'s weighted cross-entropy.
 ///
 /// `sample_weights[i]` is the confidence weight of event `i` (1.0 for active
@@ -173,6 +291,10 @@ fn subsampled_auc(
 /// weight). `None` means all-ones (the "Base" rows of Tables IV–V).
 /// Validation (if provided) is measured under `val_mode` each epoch and
 /// drives early stopping.
+///
+/// Runs without fault tolerance; see [`train_supervised`] for the
+/// checkpointed, sentinel-guarded variant. Panics if `sample_weights` has
+/// the wrong length.
 pub fn train(
     model: &dyn Recommender,
     params: &mut Params,
@@ -182,93 +304,294 @@ pub fn train(
     val_mode: LabelMode,
     cfg: &TrainConfig,
 ) -> TrainReport {
+    let mut sup = Supervisor::disabled();
+    train_supervised(
+        model,
+        params,
+        train_data,
+        sample_weights,
+        val,
+        val_mode,
+        cfg,
+        &mut sup,
+    )
+    .unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// [`train`] under a fault-tolerant [`Supervisor`].
+///
+/// With an enabled supervisor the run additionally:
+///
+/// * checkpoints parameters + Adam moments + RNG + early-stopping state at
+///   the supervisor's cadence (resuming from such a snapshot via
+///   [`Supervisor::with_resume`] is bit-identical to never stopping),
+/// * checks loss finiteness after every forward pass (before backward) and
+///   gradient-norm finiteness after every backward pass (before the
+///   optimizer step), so parameters are never silently poisoned,
+/// * on anomaly rolls back to the last good checkpoint with the learning
+///   rate halved and the clip norm tightened (compounding per retry), and
+/// * fails with [`UaeError::NumericalDivergence`] once the bounded retry
+///   budget is exhausted.
+#[allow(clippy::too_many_arguments)]
+pub fn train_supervised(
+    model: &dyn Recommender,
+    params: &mut Params,
+    train_data: &FlatData,
+    sample_weights: Option<&[f32]>,
+    val: Option<&FlatData>,
+    val_mode: LabelMode,
+    cfg: &TrainConfig,
+    sup: &mut Supervisor,
+) -> Result<TrainReport, UaeError> {
     if let Some(w) = sample_weights {
-        assert_eq!(w.len(), train_data.len(), "weight/event count mismatch");
+        if w.len() != train_data.len() {
+            return Err(UaeError::ShapeMismatch {
+                context: "sample_weights/event count".into(),
+                expected: train_data.len(),
+                found: w.len(),
+            });
+        }
     }
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7472_6169);
     let mut opt = Adam::new(cfg.learning_rate);
-    let mut history = Vec::with_capacity(cfg.epochs);
+    let mut current_clip = cfg.clip_norm;
+    let mut history: Vec<EpochRecord> = Vec::with_capacity(cfg.epochs);
     let mut best_val = f64::NEG_INFINITY;
     let mut best_epoch = 0usize;
     let mut best_params: Option<Params> = None;
     let mut bad_epochs = 0usize;
+    let mut start_epoch = 0usize;
+    let mut global_step = 0u64;
 
-    for epoch in 0..cfg.epochs {
-        let mut loss_sum = 0.0f64;
-        let mut batches = 0usize;
-        for idx in uae_data::minibatch_indices(train_data.len(), cfg.batch_size, &mut rng) {
-            let batch = train_data.gather(&idx);
-            let mut pos = Vec::with_capacity(idx.len());
-            let mut neg = Vec::with_capacity(idx.len());
-            for (bi, &i) in idx.iter().enumerate() {
-                let w = match sample_weights {
-                    Some(ws) if !batch.active[bi] => ws[i],
-                    _ => 1.0,
-                };
-                let y = batch.label[bi] as u8 as f32;
-                pos.push(w * y);
-                neg.push(w * (1.0 - y));
-            }
-            let mut tape = Tape::new();
-            let logits = model.forward(&mut tape, params, &batch);
-            let loss = tape.weighted_bce(logits, &pos, &neg, idx.len() as f32, false);
-            loss_sum += tape.value(loss).item() as f64;
-            batches += 1;
-            params.zero_grads();
-            tape.backward(loss, params);
-            if let Some(c) = cfg.clip_norm {
-                params.clip_grad_norm(c);
-            }
-            opt.step(params);
-        }
-        let train_auc = subsampled_auc(
-            model,
+    // Unpacks a restored bookkeeping record into the loop-local state.
+    // Returns the epoch to (re)start from.
+    let apply_bookkeeping = |bk: Bookkeeping,
+                             params: &Params,
+                             history: &mut Vec<EpochRecord>,
+                             best_val: &mut f64,
+                             best_epoch: &mut usize,
+                             bad_epochs: &mut usize,
+                             best_params: &mut Option<Params>,
+                             current_clip: &mut Option<f32>|
+     -> Result<(), UaeError> {
+        *history = bk.history;
+        *best_val = bk.best_val;
+        *best_epoch = bk.best_epoch as usize;
+        *bad_epochs = bk.bad_epochs as usize;
+        *best_params = if bk.best_params.is_empty() {
+            None
+        } else {
+            let mut p = params.clone();
+            uae_tensor::load_params(&mut p, &bk.best_params)?;
+            Some(p)
+        };
+        *current_clip = bk.clip;
+        Ok(())
+    };
+
+    if let Some(snap) = sup.take_resume() {
+        let bk = restore_snapshot(&snap, params, &mut opt, &mut rng)?;
+        apply_bookkeeping(
+            bk,
             params,
-            train_data,
-            LabelMode::Observed,
-            cfg.eval_subsample,
-            cfg.batch_size,
-            &mut rng,
-        );
-        let val_auc = val.and_then(|v| {
-            subsampled_auc(
+            &mut history,
+            &mut best_val,
+            &mut best_epoch,
+            &mut bad_epochs,
+            &mut best_params,
+            &mut current_clip,
+        )?;
+        start_epoch = snap.epoch as usize;
+        global_step = snap.step;
+    }
+
+    'run: loop {
+        // Rollback mutates `start_epoch` and re-enters via `continue 'run`,
+        // which is exactly when the new bound takes effect.
+        #[allow(clippy::mut_range_bound)]
+        for epoch in start_epoch..cfg.epochs {
+            let mut loss_sum = 0.0f64;
+            let mut batches = 0usize;
+            let mut anomaly: Option<sentinel::Anomaly> = None;
+            'epoch: for idx in
+                uae_data::minibatch_indices(train_data.len(), cfg.batch_size, &mut rng)
+            {
+                let batch = train_data.gather(&idx);
+                let mut pos = Vec::with_capacity(idx.len());
+                let mut neg = Vec::with_capacity(idx.len());
+                for (bi, &i) in idx.iter().enumerate() {
+                    let w = match sample_weights {
+                        Some(ws) if !batch.active[bi] => ws[i],
+                        _ => 1.0,
+                    };
+                    let y = batch.label[bi] as u8 as f32;
+                    pos.push(w * y);
+                    neg.push(w * (1.0 - y));
+                }
+                let mut tape = Tape::new();
+                let logits = model.forward(&mut tape, params, &batch);
+                let loss = tape.weighted_bce(logits, &pos, &neg, idx.len() as f32, false);
+                let loss_val = tape.value(loss).item() as f64;
+                // Sentinel 1: a non-finite loss aborts before backward.
+                if sup.enabled() {
+                    if let Err(a) = sentinel::check_loss(loss_val) {
+                        anomaly = Some(a);
+                        break 'epoch;
+                    }
+                }
+                loss_sum += loss_val;
+                batches += 1;
+                params.zero_grads();
+                tape.backward(loss, params);
+                let norm = match current_clip {
+                    Some(c) => params.clip_grad_norm(c),
+                    None if sup.enabled() => params.grad_norm(),
+                    None => 0.0,
+                };
+                // Sentinel 2: a non-finite gradient aborts before the step.
+                if sup.enabled() {
+                    if let Err(a) = sentinel::check_grad_norm(norm) {
+                        anomaly = Some(a);
+                        break 'epoch;
+                    }
+                }
+                opt.step(params);
+                global_step += 1;
+            }
+            if let Some(a) = anomaly {
+                match sup.on_anomaly(epoch, global_step as usize, &a) {
+                    Recovery::Rollback {
+                        snapshot,
+                        lr_scale,
+                        clip_scale,
+                    } => {
+                        let bk = restore_snapshot(&snapshot, params, &mut opt, &mut rng)?;
+                        let restored_clip = bk.clip;
+                        apply_bookkeeping(
+                            bk,
+                            params,
+                            &mut history,
+                            &mut best_val,
+                            &mut best_epoch,
+                            &mut bad_epochs,
+                            &mut best_params,
+                            &mut current_clip,
+                        )?;
+                        opt.set_learning_rate(opt.learning_rate() * lr_scale);
+                        current_clip =
+                            Some((restored_clip.unwrap_or(EMERGENCY_CLIP) * clip_scale).max(MIN_CLIP));
+                        start_epoch = snapshot.epoch as usize;
+                        global_step = snapshot.step;
+                        continue 'run;
+                    }
+                    Recovery::Abort(e) => return Err(e),
+                }
+            }
+            let train_auc = subsampled_auc(
                 model,
                 params,
-                v,
-                val_mode,
+                train_data,
+                LabelMode::Observed,
                 cfg.eval_subsample,
                 cfg.batch_size,
                 &mut rng,
-            )
-        });
-        history.push(EpochRecord {
-            epoch,
-            train_loss: loss_sum / batches.max(1) as f64,
-            train_auc,
-            val_auc,
-        });
-        if let Some(v) = val_auc {
-            if v > best_val {
-                best_val = v;
-                best_epoch = epoch;
-                bad_epochs = 0;
-                if cfg.early_stop_patience.is_some() {
-                    best_params = Some(params.clone());
-                }
-            } else {
-                bad_epochs += 1;
-                if let Some(patience) = cfg.early_stop_patience {
-                    if bad_epochs > patience {
-                        break;
+            );
+            let val_auc = val.and_then(|v| {
+                subsampled_auc(
+                    model,
+                    params,
+                    v,
+                    val_mode,
+                    cfg.eval_subsample,
+                    cfg.batch_size,
+                    &mut rng,
+                )
+            });
+            history.push(EpochRecord {
+                epoch,
+                train_loss: loss_sum / batches.max(1) as f64,
+                train_auc,
+                val_auc,
+            });
+            let mut stop_early = false;
+            if let Some(v) = val_auc {
+                if v > best_val {
+                    best_val = v;
+                    best_epoch = epoch;
+                    bad_epochs = 0;
+                    if cfg.early_stop_patience.is_some() {
+                        best_params = Some(params.clone());
+                    }
+                } else {
+                    bad_epochs += 1;
+                    if let Some(patience) = cfg.early_stop_patience {
+                        if bad_epochs > patience {
+                            stop_early = true;
+                        }
                     }
                 }
             }
+            if !stop_early && sup.should_checkpoint(epoch) {
+                // Sentinel 3: never accept a poisoned checkpoint.
+                if let Err(a) = sentinel::check_params(params) {
+                    match sup.on_anomaly(epoch, global_step as usize, &a) {
+                        Recovery::Rollback {
+                            snapshot,
+                            lr_scale,
+                            clip_scale,
+                        } => {
+                            let bk = restore_snapshot(&snapshot, params, &mut opt, &mut rng)?;
+                            let restored_clip = bk.clip;
+                            apply_bookkeeping(
+                                bk,
+                                params,
+                                &mut history,
+                                &mut best_val,
+                                &mut best_epoch,
+                                &mut bad_epochs,
+                                &mut best_params,
+                                &mut current_clip,
+                            )?;
+                            opt.set_learning_rate(opt.learning_rate() * lr_scale);
+                            current_clip = Some(
+                                (restored_clip.unwrap_or(EMERGENCY_CLIP) * clip_scale)
+                                    .max(MIN_CLIP),
+                            );
+                            start_epoch = snapshot.epoch as usize;
+                            global_step = snapshot.step;
+                            continue 'run;
+                        }
+                        Recovery::Abort(e) => return Err(e),
+                    }
+                }
+                let bk = Bookkeeping {
+                    history: history.clone(),
+                    best_val,
+                    best_epoch: best_epoch as u64,
+                    bad_epochs: bad_epochs as u64,
+                    best_params: best_params.as_ref().map(save_params).unwrap_or_default(),
+                    clip: current_clip,
+                };
+                let snap = TrainSnapshot::capture(
+                    (epoch + 1) as u64,
+                    global_step,
+                    &[&*params],
+                    &[&opt],
+                    &rng,
+                    bk.encode(),
+                );
+                sup.record(snap)?;
+            }
+            if stop_early {
+                break;
+            }
         }
+        break 'run;
     }
     if let Some(best) = best_params {
         *params = best;
     }
-    TrainReport {
+    Ok(TrainReport {
         history,
         best_epoch,
         best_val_auc: if best_val.is_finite() {
@@ -276,7 +599,8 @@ pub fn train(
         } else {
             None
         },
-    }
+        faults: sup.faults().to_vec(),
+    })
 }
 
 #[cfg(test)]

@@ -167,10 +167,10 @@ mod tests {
         let packed = tape.reshape(cat, 2 * 3, 2);
         let fields = emb.forward_fields(&mut tape, &params, &ids);
         for b in 0..2 {
-            for f in 0..3 {
+            for (f, field) in fields.iter().enumerate() {
                 assert_eq!(
                     tape.value(packed).row(b * 3 + f),
-                    tape.value(fields[f]).row(b),
+                    tape.value(*field).row(b),
                     "b={b} f={f}"
                 );
             }

@@ -24,4 +24,4 @@ pub use cross::{CrossLayerV1, CrossLayerV2};
 pub use embedding::FieldEmbeddings;
 pub use gru::GruCell;
 pub use linear::{Activation, Linear, Mlp};
-pub use optim::{Adam, Optimizer, Sgd};
+pub use optim::{Adam, AdamState, Optimizer, Sgd};

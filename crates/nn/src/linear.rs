@@ -102,6 +102,7 @@ pub struct Mlp {
 
 impl Mlp {
     /// Builds an MLP mapping `in_dim` through `hidden` to `out_dim`.
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         in_dim: usize,

@@ -1,0 +1,129 @@
+//! The workspace-wide typed error taxonomy.
+//!
+//! Public train/eval entry points return [`UaeError`] instead of panicking on
+//! data-dependent conditions: malformed log imports, incompatible parameter
+//! blobs, numerical divergence, corrupt checkpoints, and panicking seed
+//! threads all map to a variant that callers can match on.
+
+use crate::checkpoint::CheckpointError;
+
+/// Every failure mode a training or evaluation run can surface.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UaeError {
+    /// A session-log import failed (`uae_data::io::from_tsv`).
+    Parse(uae_data::ParseError),
+    /// A parameter blob failed to decode or did not match the receiving
+    /// arena (`uae_tensor::serialize`).
+    Decode(uae_tensor::DecodeError),
+    /// A checkpoint container failed to decode.
+    Checkpoint(CheckpointError),
+    /// Runtime tensor-shape mismatch on untrusted input (e.g. a sample
+    /// weight vector whose length does not match the dataset).
+    ShapeMismatch {
+        context: String,
+        expected: usize,
+        found: usize,
+    },
+    /// Training diverged (non-finite loss, gradient, or parameters) and the
+    /// bounded rollback/retry budget could not recover it.
+    NumericalDivergence {
+        context: String,
+        epoch: usize,
+        step: usize,
+        detail: String,
+        retries_used: usize,
+    },
+    /// A fanned-out seed thread panicked (and, if retried, its recovery
+    /// attempt panicked too).
+    SeedPanic {
+        seed: u64,
+        recovery_seed: Option<u64>,
+        message: String,
+    },
+}
+
+impl std::fmt::Display for UaeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UaeError::Parse(e) => write!(f, "log import failed: {e}"),
+            UaeError::Decode(e) => write!(f, "parameter blob rejected: {e}"),
+            UaeError::Checkpoint(e) => write!(f, "checkpoint rejected: {e}"),
+            UaeError::ShapeMismatch {
+                context,
+                expected,
+                found,
+            } => write!(f, "{context}: expected length {expected}, got {found}"),
+            UaeError::NumericalDivergence {
+                context,
+                epoch,
+                step,
+                detail,
+                retries_used,
+            } => write!(
+                f,
+                "{context} diverged at epoch {epoch} step {step} ({detail}) \
+                 after {retries_used} rollback retries"
+            ),
+            UaeError::SeedPanic {
+                seed,
+                recovery_seed,
+                message,
+            } => match recovery_seed {
+                Some(r) => write!(
+                    f,
+                    "seed {seed} panicked and recovery seed {r} panicked too: {message}"
+                ),
+                None => write!(f, "seed {seed} panicked: {message}"),
+            },
+        }
+    }
+}
+
+impl std::error::Error for UaeError {}
+
+impl From<uae_data::ParseError> for UaeError {
+    fn from(e: uae_data::ParseError) -> Self {
+        UaeError::Parse(e)
+    }
+}
+
+impl From<uae_tensor::DecodeError> for UaeError {
+    fn from(e: uae_tensor::DecodeError) -> Self {
+        UaeError::Decode(e)
+    }
+}
+
+impl From<CheckpointError> for UaeError {
+    fn from(e: CheckpointError) -> Self {
+        UaeError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_name_the_failure_site() {
+        let e = UaeError::NumericalDivergence {
+            context: "trainer".into(),
+            epoch: 3,
+            step: 17,
+            detail: "loss = NaN".into(),
+            retries_used: 2,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("epoch 3"), "{msg}");
+        assert!(msg.contains("loss = NaN"), "{msg}");
+
+        let e: UaeError = uae_tensor::DecodeError::BadMagic.into();
+        assert!(e.to_string().contains("parameter blob"));
+
+        let e = UaeError::SeedPanic {
+            seed: 7,
+            recovery_seed: Some(99),
+            message: "boom".into(),
+        };
+        assert!(e.to_string().contains("recovery seed 99"));
+    }
+}

@@ -1,0 +1,33 @@
+//! # uae-runtime
+//!
+//! Fault-tolerant training runtime for the UAE reproduction: the pieces that
+//! keep long table runs alive when a seed diverges, a batch is poisoned, or
+//! the process is interrupted.
+//!
+//! * [`error::UaeError`] — the workspace-wide typed error taxonomy
+//!   (data parse, shape mismatch, numerical divergence, checkpoint decode,
+//!   seed-thread panic).
+//! * [`checkpoint::TrainSnapshot`] — versioned binary checkpoints bundling
+//!   parameter arenas, Adam moments, the full RNG state, and trainer
+//!   bookkeeping; resuming from one is bit-identical to never stopping.
+//! * [`sentinel`] — per-step finiteness checks on loss, gradient norm, and
+//!   parameters, ordered so parameters are never silently poisoned.
+//! * [`supervisor::Supervisor`] — the rollback/retry state machine: on
+//!   anomaly, restore the last-good snapshot, halve the learning rate,
+//!   tighten gradient clipping, and retry within a bounded budget before
+//!   failing with a typed error.
+//!
+//! The trainers in `uae-models` and `uae-core` drive these hooks; the
+//! evaluation harness in `uae-eval` layers panic-isolated seed fan-out on
+//! top (`over_seeds_isolated`), so one bad seed degrades a table to
+//! "n−1 seeds + fault report" instead of a crashed run.
+
+pub mod checkpoint;
+pub mod error;
+pub mod sentinel;
+pub mod supervisor;
+
+pub use checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnapshot};
+pub use error::UaeError;
+pub use sentinel::Anomaly;
+pub use supervisor::{FaultEvent, Recovery, Supervisor, SupervisorConfig};

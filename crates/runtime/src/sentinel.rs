@@ -1,0 +1,92 @@
+//! Numerical sentinels: cheap per-step finiteness checks.
+//!
+//! The checks are ordered so parameters are never poisoned silently:
+//!
+//! 1. the **loss** is checked right after the forward pass — a NaN loss
+//!    aborts the step *before* backpropagation,
+//! 2. the **gradient norm** is checked after backward — a non-finite
+//!    gradient aborts the step *before* the optimizer applies it,
+//! 3. the **parameters** are checked when a checkpoint is accepted, so the
+//!    last-good snapshot is always finite.
+//!
+//! A tripped sentinel surfaces an [`Anomaly`]; the
+//! [`Supervisor`](crate::supervisor::Supervisor) decides whether to roll
+//! back and retry or to fail with a typed error.
+
+use uae_tensor::Params;
+
+/// What a sentinel observed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Anomaly {
+    /// The scalar training loss came back NaN or ±∞.
+    NonFiniteLoss { loss: f64 },
+    /// The global gradient norm (pre-clip) is NaN or ±∞.
+    NonFiniteGradient { norm: f32 },
+    /// At least one parameter value is NaN or ±∞ after an update.
+    NonFiniteParams,
+}
+
+impl std::fmt::Display for Anomaly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Anomaly::NonFiniteLoss { loss } => write!(f, "non-finite loss = {loss}"),
+            Anomaly::NonFiniteGradient { norm } => write!(f, "non-finite grad norm = {norm}"),
+            Anomaly::NonFiniteParams => write!(f, "non-finite parameter values"),
+        }
+    }
+}
+
+/// Checks a forward-pass loss.
+#[inline]
+pub fn check_loss(loss: f64) -> Result<(), Anomaly> {
+    if loss.is_finite() {
+        Ok(())
+    } else {
+        Err(Anomaly::NonFiniteLoss { loss })
+    }
+}
+
+/// Checks a post-backward gradient norm.
+#[inline]
+pub fn check_grad_norm(norm: f32) -> Result<(), Anomaly> {
+    if norm.is_finite() {
+        Ok(())
+    } else {
+        Err(Anomaly::NonFiniteGradient { norm })
+    }
+}
+
+/// Checks every parameter value in an arena.
+pub fn check_params(params: &Params) -> Result<(), Anomaly> {
+    if params.values_all_finite() {
+        Ok(())
+    } else {
+        Err(Anomaly::NonFiniteParams)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::Matrix;
+
+    #[test]
+    fn finite_values_pass() {
+        assert_eq!(check_loss(0.693), Ok(()));
+        assert_eq!(check_grad_norm(12.5), Ok(()));
+        let mut p = Params::new();
+        p.add("w", Matrix::filled(2, 2, 0.5));
+        assert_eq!(check_params(&p), Ok(()));
+    }
+
+    #[test]
+    fn non_finite_values_trip() {
+        assert!(check_loss(f64::NAN).is_err());
+        assert!(check_loss(f64::INFINITY).is_err());
+        assert!(check_grad_norm(f32::NAN).is_err());
+        let mut p = Params::new();
+        let w = p.add("w", Matrix::filled(2, 2, 0.5));
+        p.value_mut(w).data_mut()[3] = f32::NAN;
+        assert_eq!(check_params(&p), Err(Anomaly::NonFiniteParams));
+    }
+}

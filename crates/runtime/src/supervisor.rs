@@ -1,0 +1,347 @@
+//! The training supervisor: checkpoint cadence, anomaly bookkeeping, and the
+//! bounded rollback/retry policy.
+//!
+//! A trainer owns a [`Supervisor`] for the duration of one `fit`/`train`
+//! call and consults it at three points:
+//!
+//! * **start** — [`Supervisor::take_resume`] hands back a snapshot to resume
+//!   from (if the caller provided one),
+//! * **end of epoch** — [`Supervisor::should_checkpoint`] +
+//!   [`Supervisor::record`] capture the last-good state (and optionally
+//!   persist it to disk),
+//! * **on anomaly** — [`Supervisor::on_anomaly`] either returns a
+//!   [`Recovery::Rollback`] holding the last-good snapshot together with
+//!   cumulative learning-rate / clip-norm backoff factors, or — once the
+//!   retry budget is exhausted — a [`Recovery::Abort`] with a typed
+//!   [`UaeError::NumericalDivergence`].
+//!
+//! A disabled supervisor ([`Supervisor::disabled`]) turns every hook into a
+//! no-op so the legacy panic-free fast path stays byte-for-byte identical to
+//! the pre-runtime trainer.
+
+use std::path::PathBuf;
+
+use crate::checkpoint::TrainSnapshot;
+use crate::error::UaeError;
+use crate::sentinel::Anomaly;
+
+/// Tunables for the fault-tolerant runtime.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Master switch; `false` makes every hook a no-op.
+    pub enabled: bool,
+    /// Snapshot every `checkpoint_every` completed epochs (1 = every epoch).
+    pub checkpoint_every: usize,
+    /// Maximum rollback retries before aborting with a typed error.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied per retry (compounds).
+    pub lr_backoff: f32,
+    /// Gradient-clip-norm multiplier applied per retry (compounds); the
+    /// trainer floors the result at a small positive value.
+    pub clip_backoff: f32,
+    /// If set, every recorded snapshot is also written to
+    /// `<dir>/latest.uaec` (atomically) for cross-process resume.
+    pub persist_dir: Option<PathBuf>,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        SupervisorConfig {
+            enabled: true,
+            checkpoint_every: 1,
+            max_retries: 3,
+            lr_backoff: 0.5,
+            clip_backoff: 0.5,
+            persist_dir: None,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// A configuration whose supervisor does nothing.
+    pub fn disabled() -> Self {
+        SupervisorConfig {
+            enabled: false,
+            ..SupervisorConfig::default()
+        }
+    }
+}
+
+/// One recorded fault, kept for post-hoc reporting in harness tables.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Epoch (zero-based) in which the anomaly fired.
+    pub epoch: usize,
+    /// Optimizer step within the run at which the anomaly fired.
+    pub step: usize,
+    /// Human-readable description of what tripped.
+    pub anomaly: String,
+    /// What the supervisor did about it.
+    pub action: String,
+}
+
+/// The supervisor's verdict after an anomaly.
+#[derive(Debug)]
+pub enum Recovery {
+    /// Restore the snapshot, scale the learning rate and clip norm by the
+    /// given cumulative factors, and continue training.
+    Rollback {
+        snapshot: TrainSnapshot,
+        lr_scale: f32,
+        clip_scale: f32,
+    },
+    /// Retry budget exhausted (or no checkpoint to roll back to).
+    Abort(UaeError),
+}
+
+/// Per-run fault-tolerance state machine. See the module docs for the
+/// trainer-side protocol.
+#[derive(Debug)]
+pub struct Supervisor {
+    cfg: SupervisorConfig,
+    context: String,
+    resume: Option<TrainSnapshot>,
+    last_good: Option<TrainSnapshot>,
+    retries: usize,
+    faults: Vec<FaultEvent>,
+}
+
+impl Supervisor {
+    /// A supervisor with the given policy, labelled with the trainer name
+    /// that appears in error messages (e.g. `"trainer"`, `"uae.fit"`).
+    pub fn new(cfg: SupervisorConfig, context: impl Into<String>) -> Self {
+        Supervisor {
+            cfg,
+            context: context.into(),
+            resume: None,
+            last_good: None,
+            retries: 0,
+            faults: Vec::new(),
+        }
+    }
+
+    /// A no-op supervisor: no checkpoints, no sentinels, legacy behaviour.
+    pub fn disabled() -> Self {
+        Supervisor::new(SupervisorConfig::disabled(), "disabled")
+    }
+
+    /// Seeds the supervisor with a snapshot to resume from; the trainer
+    /// collects it via [`Supervisor::take_resume`] before its first epoch.
+    pub fn with_resume(mut self, snapshot: TrainSnapshot) -> Self {
+        self.resume = Some(snapshot);
+        self
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.cfg.enabled
+    }
+
+    pub fn config(&self) -> &SupervisorConfig {
+        &self.cfg
+    }
+
+    /// Hands the resume snapshot to the trainer (at most once). The snapshot
+    /// also becomes the initial last-good state so an anomaly in the very
+    /// first resumed epoch can still roll back.
+    pub fn take_resume(&mut self) -> Option<TrainSnapshot> {
+        let snap = self.resume.take()?;
+        self.last_good = Some(snap.clone());
+        Some(snap)
+    }
+
+    /// Whether the epoch that just completed (zero-based) should be
+    /// checkpointed.
+    pub fn should_checkpoint(&self, completed_epoch: usize) -> bool {
+        self.cfg.enabled && (completed_epoch + 1).is_multiple_of(self.cfg.checkpoint_every.max(1))
+    }
+
+    /// Accepts a snapshot as the new last-good state and, if configured,
+    /// persists it to `<persist_dir>/latest.uaec`.
+    pub fn record(&mut self, snapshot: TrainSnapshot) -> Result<(), UaeError> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        if let Some(dir) = &self.cfg.persist_dir {
+            std::fs::create_dir_all(dir).map_err(|e| {
+                crate::checkpoint::CheckpointError::Io(e.to_string())
+            })?;
+            snapshot.write_to(&dir.join("latest.uaec"))?;
+        }
+        self.last_good = Some(snapshot);
+        Ok(())
+    }
+
+    /// The most recently accepted snapshot, if any.
+    pub fn last_good(&self) -> Option<&TrainSnapshot> {
+        self.last_good.as_ref()
+    }
+
+    /// Reports an anomaly and returns what the trainer must do next.
+    pub fn on_anomaly(&mut self, epoch: usize, step: usize, anomaly: &Anomaly) -> Recovery {
+        self.retries += 1;
+        let budget_left = self.retries <= self.cfg.max_retries;
+        match (&self.last_good, budget_left) {
+            (Some(snap), true) => {
+                let lr_scale = self.cfg.lr_backoff.powi(self.retries as i32);
+                let clip_scale = self.cfg.clip_backoff.powi(self.retries as i32);
+                self.faults.push(FaultEvent {
+                    epoch,
+                    step,
+                    anomaly: anomaly.to_string(),
+                    action: format!(
+                        "rollback to epoch {} (retry {}/{}, lr ×{lr_scale})",
+                        snap.epoch, self.retries, self.cfg.max_retries
+                    ),
+                });
+                Recovery::Rollback {
+                    snapshot: snap.clone(),
+                    lr_scale,
+                    clip_scale,
+                }
+            }
+            (last_good, _) => {
+                let reason = if last_good.is_none() {
+                    "no checkpoint to roll back to"
+                } else {
+                    "retry budget exhausted"
+                };
+                self.faults.push(FaultEvent {
+                    epoch,
+                    step,
+                    anomaly: anomaly.to_string(),
+                    action: format!("abort ({reason})"),
+                });
+                Recovery::Abort(UaeError::NumericalDivergence {
+                    context: self.context.clone(),
+                    epoch,
+                    step,
+                    detail: anomaly.to_string(),
+                    retries_used: self.retries - 1,
+                })
+            }
+        }
+    }
+
+    /// Rollback retries consumed so far.
+    pub fn retries_used(&self) -> usize {
+        self.retries
+    }
+
+    /// Every fault the supervisor has seen, in order.
+    pub fn faults(&self) -> &[FaultEvent] {
+        &self.faults
+    }
+
+    /// Consumes the supervisor, yielding its fault log.
+    pub fn into_faults(self) -> Vec<FaultEvent> {
+        self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_tensor::{Rng, RngState};
+
+    fn snap(epoch: u64) -> TrainSnapshot {
+        TrainSnapshot {
+            epoch,
+            step: epoch * 10,
+            arenas: vec![],
+            optimizers: vec![],
+            rng: Rng::seed_from_u64(epoch).state(),
+            extra: vec![],
+        }
+    }
+
+    #[test]
+    fn checkpoint_cadence_respects_every() {
+        let sup = Supervisor::new(
+            SupervisorConfig {
+                checkpoint_every: 3,
+                ..SupervisorConfig::default()
+            },
+            "t",
+        );
+        let marks: Vec<usize> = (0..9).filter(|&e| sup.should_checkpoint(e)).collect();
+        assert_eq!(marks, vec![2, 5, 8]);
+        assert!(!Supervisor::disabled().should_checkpoint(0));
+    }
+
+    #[test]
+    fn rollback_backoff_compounds_then_aborts() {
+        let mut sup = Supervisor::new(
+            SupervisorConfig {
+                max_retries: 2,
+                ..SupervisorConfig::default()
+            },
+            "t",
+        );
+        sup.record(snap(4)).unwrap();
+        let anomaly = Anomaly::NonFiniteLoss { loss: f64::NAN };
+
+        match sup.on_anomaly(5, 51, &anomaly) {
+            Recovery::Rollback {
+                snapshot, lr_scale, ..
+            } => {
+                assert_eq!(snapshot.epoch, 4);
+                assert_eq!(lr_scale, 0.5);
+            }
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        match sup.on_anomaly(5, 51, &anomaly) {
+            Recovery::Rollback { lr_scale, .. } => assert_eq!(lr_scale, 0.25),
+            other => panic!("expected rollback, got {other:?}"),
+        }
+        match sup.on_anomaly(5, 51, &anomaly) {
+            Recovery::Abort(UaeError::NumericalDivergence {
+                retries_used, ..
+            }) => assert_eq!(retries_used, 2),
+            other => panic!("expected abort, got {other:?}"),
+        }
+        assert_eq!(sup.faults().len(), 3);
+        assert!(sup.faults()[2].action.contains("abort"));
+    }
+
+    #[test]
+    fn anomaly_without_checkpoint_aborts_immediately() {
+        let mut sup = Supervisor::new(SupervisorConfig::default(), "t");
+        match sup.on_anomaly(0, 3, &Anomaly::NonFiniteParams) {
+            Recovery::Abort(UaeError::NumericalDivergence { epoch, step, .. }) => {
+                assert_eq!((epoch, step), (0, 3));
+            }
+            other => panic!("expected abort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn take_resume_also_seeds_last_good() {
+        let mut sup =
+            Supervisor::new(SupervisorConfig::default(), "t").with_resume(snap(7));
+        let resumed = sup.take_resume().expect("resume snapshot");
+        assert_eq!(resumed.epoch, 7);
+        assert!(sup.take_resume().is_none());
+        assert_eq!(sup.last_good().map(|s| s.epoch), Some(7));
+    }
+
+    #[test]
+    fn record_persists_latest_when_configured() {
+        let dir = std::env::temp_dir().join(format!(
+            "uae-sup-test-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let mut sup = Supervisor::new(
+            SupervisorConfig {
+                persist_dir: Some(dir.clone()),
+                ..SupervisorConfig::default()
+            },
+            "t",
+        );
+        sup.record(snap(2)).unwrap();
+        let loaded = TrainSnapshot::read_from(&dir.join("latest.uaec")).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded.epoch, 2);
+        let _: RngState = loaded.rng; // field survives the round trip typed
+    }
+}

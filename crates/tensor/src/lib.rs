@@ -47,6 +47,6 @@ pub mod tape;
 
 pub use matrix::Matrix;
 pub use params::{ParamId, Params};
-pub use rng::Rng;
+pub use rng::{Rng, RngState};
 pub use serialize::{decode_params, load_params, save_params, DecodeError};
 pub use tape::{sigmoid, softplus, Tape, Var};

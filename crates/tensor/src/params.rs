@@ -103,6 +103,22 @@ impl Params {
             .sqrt()
     }
 
+    /// True when every parameter value is finite (no NaN / ±∞) — the
+    /// integrity gate the fault-tolerant runtime applies before accepting a
+    /// checkpoint and after every optimizer step.
+    pub fn values_all_finite(&self) -> bool {
+        self.values
+            .iter()
+            .all(|m| m.data().iter().all(|x| x.is_finite()))
+    }
+
+    /// True when every accumulated gradient entry is finite.
+    pub fn grads_all_finite(&self) -> bool {
+        self.grads
+            .iter()
+            .all(|m| m.data().iter().all(|x| x.is_finite()))
+    }
+
     /// Scales all gradients so their global norm is at most `max_norm`.
     ///
     /// Returns the pre-clipping norm.

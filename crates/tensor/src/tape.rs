@@ -309,7 +309,7 @@ impl Tape {
     pub fn batched_matmul(&mut self, a: Var, b: Var, batch: usize, trans_b: bool) -> Var {
         let av = self.value(a);
         let bv = self.value(b);
-        assert!(batch > 0 && av.rows() % batch == 0 && bv.rows() % batch == 0);
+        assert!(batch > 0 && av.rows().is_multiple_of(batch) && bv.rows().is_multiple_of(batch));
         let m = av.rows() / batch;
         let p = av.cols();
         let (n, out_cols);

@@ -1,5 +1,7 @@
 //! Property-based tests of the matrix kernels and the autodiff engine.
 
+#![cfg(feature = "proptest")]
+
 use proptest::prelude::*;
 use uae_tensor::gradcheck::check_params;
 use uae_tensor::{Matrix, Params, Rng, Tape};

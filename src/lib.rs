@@ -42,4 +42,5 @@ pub use uae_eval as eval;
 pub use uae_metrics as metrics;
 pub use uae_models as models;
 pub use uae_nn as nn;
+pub use uae_runtime as runtime;
 pub use uae_tensor as tensor;

@@ -1,0 +1,195 @@
+//! Offline stand-in for the [`criterion`](https://crates.io/crates/criterion)
+//! benchmark harness.
+//!
+//! The workspace must build with no registry access, so the real criterion
+//! cannot be downloaded. This crate implements the API subset used by
+//! `uae-bench`: `Criterion::bench_function`, `Bencher::{iter, iter_batched}`,
+//! `BatchSize`, the builder knobs `sample_size`/`measurement_time`/
+//! `warm_up_time`, and the `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement is intentionally simple — median of per-sample mean iteration
+//! times over `sample_size` samples, printed as plain text. No statistical
+//! regression analysis, plots, or baselines.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortises setup cost. The stub runs one routine call
+/// per setup regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Drives timed iterations of one benchmark.
+pub struct Bencher {
+    samples: usize,
+    measurement: Duration,
+    warm_up: Duration,
+    /// Mean nanoseconds per iteration of each sample.
+    sample_means: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `f` in a loop, recording per-iteration cost.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses.
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+        }
+        // Calibrate iterations per sample from a single timed call.
+        let once = Instant::now();
+        std::hint::black_box(f());
+        let per_call = once.elapsed().max(Duration::from_nanos(1));
+        let budget = self.measurement.as_nanos() / self.samples.max(1) as u128;
+        let iters = (budget / per_call.as_nanos()).clamp(1, 1_000_000) as usize;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.sample_means.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(routine(setup()));
+        }
+        for _ in 0..self.samples {
+            let input = setup();
+            let start = Instant::now();
+            std::hint::black_box(routine(input));
+            self.sample_means.push(start.elapsed().as_nanos() as f64);
+        }
+    }
+
+    fn median_ns(&mut self) -> f64 {
+        if self.sample_means.is_empty() {
+            return 0.0;
+        }
+        self.sample_means
+            .sort_by(|a, b| a.partial_cmp(b).expect("finite timing"));
+        self.sample_means[self.sample_means.len() / 2]
+    }
+}
+
+/// The benchmark context handed to `criterion_group!` targets.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(1),
+            warm_up_time: Duration::from_millis(200),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one named benchmark and prints its median iteration time.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut bencher = Bencher {
+            samples: self.sample_size,
+            measurement: self.measurement_time,
+            warm_up: self.warm_up_time,
+            sample_means: Vec::new(),
+        };
+        f(&mut bencher);
+        let ns = bencher.median_ns();
+        if ns >= 1_000_000.0 {
+            println!("{id:<40} {:>12.3} ms/iter", ns / 1e6);
+        } else if ns >= 1_000.0 {
+            println!("{id:<40} {:>12.3} µs/iter", ns / 1e3);
+        } else {
+            println!("{id:<40} {:>12.1} ns/iter", ns);
+        }
+        self
+    }
+}
+
+/// Groups benchmark target functions, matching both criterion forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion: $crate::Criterion = $cfg;
+                $target(&mut criterion);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut criterion = $crate::Criterion::default();
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Entry point running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_and_chains() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(5))
+            .warm_up_time(Duration::from_millis(1));
+        let mut runs = 0usize;
+        c.bench_function("noop", |b| b.iter(|| std::hint::black_box(1 + 1)))
+            .bench_function("batched", |b| {
+                b.iter_batched(
+                    || vec![1u8; 16],
+                    |v| {
+                        runs += 1;
+                        v.len()
+                    },
+                    BatchSize::SmallInput,
+                )
+            });
+        assert!(runs >= 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! This workspace must build and test with **no network access** (the tier-1
+//! gate is `cargo build --release && cargo test -q` in an air-gapped
+//! container), so the real proptest cannot be downloaded. This crate
+//! implements the subset of its API that the workspace's property tests use —
+//! `proptest!`, `prop_assert*!`, `prop_assume!`, range/tuple/vec strategies,
+//! `prop_map`, `any::<bool>()` and `ProptestConfig::with_cases` — on top of a
+//! small deterministic splitmix64 generator.
+//!
+//! Differences from the real crate, by design:
+//!
+//! * **No shrinking.** A failing case reports the sampled values via the
+//!   assertion message only.
+//! * **Deterministic.** Every test function derives its RNG seed from its
+//!   fully-qualified name, so failures reproduce exactly across runs.
+//! * Only the strategies used in this repository are implemented.
+
+pub mod collection;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! The subset of `proptest::prelude` the workspace uses.
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Defines property tests. Mirrors the real macro's surface:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0.0f32..1.0, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner = $crate::test_runner::TestRunner::new(
+                    config,
+                    concat!(module_path!(), "::", stringify!($name)),
+                );
+                for _ in 0..runner.cases() {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), runner.rng());)*
+                    // The closure gives `prop_assume!` an early exit per case.
+                    #[allow(clippy::redundant_closure_call)]
+                    (|| $body)();
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a property test (panics; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Skips the current case when its sampled inputs don't satisfy a
+/// precondition. Must run inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return;
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pair() -> impl Strategy<Value = (f64, bool)> {
+        (0.0f64..1.0, any::<bool>()).prop_map(|(x, b)| (x * 2.0, b))
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 0.25f32..0.75, n in 3usize..10, k in 5u64..100) {
+            prop_assert!((0.25..0.75).contains(&x));
+            prop_assert!((3..10).contains(&n));
+            prop_assert!((5..100).contains(&k));
+        }
+
+        #[test]
+        fn vec_and_map_compose(xs in crate::collection::vec(0.0f64..1.0, 2..6), (y, flag) in pair()) {
+            prop_assert!(xs.len() >= 2 && xs.len() < 6);
+            prop_assert!(xs.iter().all(|v| (0.0..1.0).contains(v)));
+            prop_assert!((0.0..2.0).contains(&y));
+            prop_assume!(flag);
+            prop_assert!(flag);
+        }
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_name() {
+        let mut a = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        let mut b = crate::test_runner::TestRunner::new(ProptestConfig::with_cases(4), "x");
+        let s = 0.0f64..1.0;
+        for _ in 0..16 {
+            assert_eq!(s.sample(a.rng()).to_bits(), s.sample(b.rng()).to_bits());
+        }
+    }
+}

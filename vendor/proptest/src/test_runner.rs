@@ -1,0 +1,85 @@
+//! Deterministic case generation for the `proptest!` macro.
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A tiny splitmix64 generator. Statistically fine for test-input sampling
+/// and fully deterministic given the seed.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Uniform integer in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "TestRng::below(0)");
+        // Multiply-shift; bias is ≪ 2⁻⁶⁴ per draw, irrelevant for tests.
+        ((self.next_u64() as u128 * n as u128) >> 64) as u64
+    }
+}
+
+/// Drives the per-test case loop (used by the `proptest!` expansion).
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Seeds the runner from the test's fully-qualified name so every test
+    /// has an independent, reproducible stream.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        let mut seed = 0xCBF2_9CE4_8422_2325u64; // FNV-1a offset basis
+        for b in name.bytes() {
+            seed ^= b as u64;
+            seed = seed.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner {
+            config,
+            rng: TestRng::from_seed(seed),
+        }
+    }
+
+    pub fn cases(&self) -> u32 {
+        self.config.cases
+    }
+
+    pub fn rng(&mut self) -> &mut TestRng {
+        &mut self.rng
+    }
+}
