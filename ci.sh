@@ -14,6 +14,30 @@ echo "==> cargo test -q --features proptest (property suites)"
 cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core \
     --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest
 
+# The compute backend must be bit-identical at every thread count; run the
+# kernel-level and end-to-end determinism suites under both settings to catch
+# any env-path nondeterminism the scoped-override tests could miss.
+echo "==> determinism suites under UAE_NUM_THREADS=1 and =4"
+for nt in 1 4; do
+    UAE_NUM_THREADS=$nt cargo test -q -p uae-tensor --test parallel_determinism
+    UAE_NUM_THREADS=$nt cargo test -q -p uae-core --test thread_determinism
+done
+
+echo "==> bench smoke (perf_backend emits BENCH_perf.json)"
+cp BENCH_perf.json /tmp/BENCH_perf.committed.json
+UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_backend >/dev/null
+python3 -c "
+import json, sys
+with open('BENCH_perf.json') as f:
+    doc = json.load(f)
+for cfg in ('serial_baseline', 'blocked_1t', 'blocked_4t'):
+    assert doc['configs'][cfg]['gru_epoch_ms'] > 0, cfg
+assert 'derived' in doc
+print('BENCH_perf.json valid:', ', '.join(doc['configs']))
+"
+# The smoke run overwrites the committed (full-size) numbers; restore them.
+mv /tmp/BENCH_perf.committed.json BENCH_perf.json
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

@@ -189,18 +189,19 @@ impl Uae {
     /// tripped sentinel leaves the parameters untouched.
     fn attention_step(
         &mut self,
+        tape: &mut Tape,
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
     ) -> Result<f64, Anomaly> {
-        let mut tape = Tape::new();
-        let gf = self.g.forward(&mut tape, &self.params_g, batch);
-        let h_logits = self.propensity_logits(&mut tape, batch, &gf.z1);
-        let p_hat = Self::probs_grid(&tape, &h_logits);
+        tape.clear();
+        let gf = self.g.forward(tape, &self.params_g, batch);
+        let h_logits = self.propensity_logits(tape, batch, &gf.z1);
+        let p_hat = Self::probs_grid(tape, &h_logits);
         let (pos, neg) = uae_attention_weights(batch, &p_hat, self.cfg.propensity_clip);
         let divisor = batch.valid_steps().max(1) as f32;
         let loss = masked_sequence_bce(
-            &mut tape,
+            tape,
             &gf.logits,
             &pos,
             &neg,
@@ -229,18 +230,19 @@ impl Uae {
     /// contract as [`Uae::attention_step`]).
     fn propensity_step(
         &mut self,
+        tape: &mut Tape,
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
     ) -> Result<f64, Anomaly> {
-        let mut tape = Tape::new();
-        let gf = self.g.forward(&mut tape, &self.params_g, batch);
-        let alpha_hat = Self::probs_grid(&tape, &gf.logits);
-        let h_logits = self.propensity_logits(&mut tape, batch, &gf.z1);
+        tape.clear();
+        let gf = self.g.forward(tape, &self.params_g, batch);
+        let alpha_hat = Self::probs_grid(tape, &gf.logits);
+        let h_logits = self.propensity_logits(tape, batch, &gf.z1);
         let (pos, neg) = uae_propensity_weights(batch, &alpha_hat, self.cfg.attention_clip);
         let divisor = batch.valid_steps().max(1) as f32;
         let loss = masked_sequence_bce(
-            &mut tape,
+            tape,
             &h_logits,
             &pos,
             &neg,
@@ -351,6 +353,9 @@ impl Uae {
             step = snap.step;
         }
 
+        // One tape reused for every step of the alternating optimization;
+        // cleared per step so buffers cycle through the scratch pool.
+        let mut tape = Tape::new();
         'run: loop {
             // Rollback mutates `start_epoch` and re-enters via `continue 'run`,
             // which is exactly when the new bound takes effect.
@@ -364,7 +369,7 @@ impl Uae {
                     for _ in 0..self.cfg.n_a {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.attention_step(&batches[bi], &mut opt_g, sup.enabled()) {
+                            match self.attention_step(&mut tape, &batches[bi], &mut opt_g, sup.enabled()) {
                                 Ok(v) => {
                                     att.0 += v;
                                     att.1 += 1;
@@ -381,7 +386,7 @@ impl Uae {
                     for _ in 0..self.cfg.n_p {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.propensity_step(&batches[bi], &mut opt_h, sup.enabled()) {
+                            match self.propensity_step(&mut tape, &batches[bi], &mut opt_h, sup.enabled()) {
                                 Ok(v) => {
                                     pro.0 += v;
                                     pro.1 += 1;
@@ -463,9 +468,10 @@ impl Uae {
             .unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
         let mut out = flat_slots(dataset, sessions);
+        let mut tape = Tape::new();
         for b in &batches {
-            let mut tape = Tape::new();
-            let gf = self.g.forward(&mut tape, &self.params_g, &b.clone());
+            tape.clear();
+            let gf = self.g.forward(&mut tape, &self.params_g, b);
             let h_logits = self.propensity_logits(&mut tape, b, &gf.z1);
             scatter_predictions(&tape, &h_logits, b, dataset, sessions, &mut out);
         }
@@ -602,8 +608,9 @@ impl AttentionEstimator for Uae {
             .unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
         let mut out = flat_slots(dataset, sessions);
+        let mut tape = Tape::new();
         for b in &batches {
-            let mut tape = Tape::new();
+            tape.clear();
             let gf = self.g.forward(&mut tape, &self.params_g, b);
             scatter_predictions(&tape, &gf.logits, b, dataset, sessions, &mut out);
         }

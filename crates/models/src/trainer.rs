@@ -98,11 +98,14 @@ pub fn predict(
 ) -> Vec<f32> {
     let mut scores = Vec::with_capacity(data.len());
     let mut start = 0;
+    // One tape reused across batches: `clear` keeps the node arena and
+    // returns matrix buffers to the scratch pool.
+    let mut tape = Tape::new();
     while start < data.len() {
         let end = (start + batch_size).min(data.len());
         let idx: Vec<usize> = (start..end).collect();
         let batch = data.gather(&idx);
-        let mut tape = Tape::new();
+        tape.clear();
         let logits = model.forward(&mut tape, params, &batch);
         scores.extend(tape.value(logits).data().iter().map(|&z| sigmoid(z)));
         start = end;
@@ -405,6 +408,9 @@ pub fn train_supervised(
         global_step = snap.step;
     }
 
+    // Reused across every batch of the run; cleared per batch so matrix
+    // buffers cycle through the scratch pool instead of the allocator.
+    let mut tape = Tape::new();
     'run: loop {
         // Rollback mutates `start_epoch` and re-enters via `continue 'run`,
         // which is exactly when the new bound takes effect.
@@ -428,7 +434,7 @@ pub fn train_supervised(
                     pos.push(w * y);
                     neg.push(w * (1.0 - y));
                 }
-                let mut tape = Tape::new();
+                tape.clear();
                 let logits = model.forward(&mut tape, params, &batch);
                 let loss = tape.weighted_bce(logits, &pos, &neg, idx.len() as f32, false);
                 let loss_val = tape.value(loss).item() as f64;

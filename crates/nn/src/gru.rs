@@ -78,38 +78,46 @@ impl GruCell {
         self.hidden
     }
 
+    /// Pushes the cell's nine parameter matrices onto the tape once,
+    /// returning handles for repeated [`GruCell::step_with`] calls. A
+    /// time-loop that re-pushed parameters every step would snapshot (clone)
+    /// all nine matrices per timestep; hoisting makes that once per unroll.
+    pub fn param_vars(&self, tape: &mut Tape, params: &Params) -> GruVars {
+        GruVars {
+            w_r: tape.param(params, self.w_r),
+            u_r: tape.param(params, self.u_r),
+            b_r: tape.param(params, self.b_r),
+            w_z: tape.param(params, self.w_z),
+            u_z: tape.param(params, self.u_z),
+            b_z: tape.param(params, self.b_z),
+            w_n: tape.param(params, self.w_n),
+            u_n: tape.param(params, self.u_n),
+            b_n: tape.param(params, self.b_n),
+        }
+    }
+
     /// One recurrence step: `x` is `batch × in_dim`, `h` is `batch × hidden`.
     pub fn step(&self, tape: &mut Tape, params: &Params, x: Var, h: Var) -> Var {
+        let vars = self.param_vars(tape, params);
+        self.step_with(tape, &vars, x, h)
+    }
+
+    /// One recurrence step against pre-pushed parameter handles.
+    pub fn step_with(&self, tape: &mut Tape, vars: &GruVars, x: Var, h: Var) -> Var {
         let gate = |tape: &mut Tape, w, u, b| {
-            let xw = {
-                let wv = tape.param(params, w);
-                tape.matmul(x, wv)
-            };
-            let hu = {
-                let uv = tape.param(params, u);
-                tape.matmul(h, uv)
-            };
-            let s = tape.add(xw, hu);
-            let bv = tape.param(params, b);
-            tape.add_row(s, bv)
+            let xwb = tape.linear(x, w, b);
+            let hu = tape.matmul(h, u);
+            tape.add(xwb, hu)
         };
-        let r = gate(tape, self.w_r, self.u_r, self.b_r);
+        let r = gate(tape, vars.w_r, vars.u_r, vars.b_r);
         let r = tape.sigmoid(r);
-        let z = gate(tape, self.w_z, self.u_z, self.b_z);
+        let z = gate(tape, vars.w_z, vars.u_z, vars.b_z);
         let z = tape.sigmoid(z);
         // Candidate with reset applied to the recurrent term.
-        let xw = {
-            let wv = tape.param(params, self.w_n);
-            tape.matmul(x, wv)
-        };
-        let hu = {
-            let uv = tape.param(params, self.u_n);
-            tape.matmul(h, uv)
-        };
+        let xwb = tape.linear(x, vars.w_n, vars.b_n);
+        let hu = tape.matmul(h, vars.u_n);
         let rhu = tape.mul(r, hu);
-        let pre = tape.add(xw, rhu);
-        let bv = tape.param(params, self.b_n);
-        let pre = tape.add_row(pre, bv);
+        let pre = tape.add(xwb, rhu);
         let n = tape.tanh(pre);
         // h' = z∘h + (1−z)∘n
         let zh = tape.mul(z, h);
@@ -129,7 +137,20 @@ impl GruCell {
         h: Var,
         mask: Var,
     ) -> Var {
-        let candidate = self.step(tape, params, x, h);
+        let vars = self.param_vars(tape, params);
+        self.step_masked_with(tape, &vars, x, h, mask)
+    }
+
+    /// As [`GruCell::step_masked`] against pre-pushed parameter handles.
+    pub fn step_masked_with(
+        &self,
+        tape: &mut Tape,
+        vars: &GruVars,
+        x: Var,
+        h: Var,
+        mask: Var,
+    ) -> Var {
+        let candidate = self.step_with(tape, vars, x, h);
         let kept = tape.mul_col(candidate, mask);
         let inv = tape.one_minus(mask);
         let carried = tape.mul_col(h, inv);
@@ -157,14 +178,30 @@ impl GruCell {
         } else {
             tape.value(xs[0]).rows()
         };
+        let vars = self.param_vars(tape, params);
         let mut h = self.zero_state(tape, batch);
         let mut states = Vec::with_capacity(xs.len());
         for (&x, &m) in xs.iter().zip(masks) {
-            h = self.step_masked(tape, params, x, h, m);
+            h = self.step_masked_with(tape, &vars, x, h, m);
             states.push(h);
         }
         states
     }
+}
+
+/// Tape handles for a [`GruCell`]'s nine parameters, pushed once per tape by
+/// [`GruCell::param_vars`] and shared across every timestep of an unroll.
+#[derive(Debug, Clone, Copy)]
+pub struct GruVars {
+    w_r: Var,
+    u_r: Var,
+    b_r: Var,
+    w_z: Var,
+    u_z: Var,
+    b_z: Var,
+    w_n: Var,
+    u_n: Var,
+    b_n: Var,
 }
 
 #[cfg(test)]

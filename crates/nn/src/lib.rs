@@ -22,6 +22,6 @@ pub mod optim;
 pub use attention::InteractingLayer;
 pub use cross::{CrossLayerV1, CrossLayerV2};
 pub use embedding::FieldEmbeddings;
-pub use gru::GruCell;
+pub use gru::{GruCell, GruVars};
 pub use linear::{Activation, Linear, Mlp};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};

@@ -80,12 +80,11 @@ impl Linear {
         self.out_dim
     }
 
-    /// `x·W + b` for a `batch × in_dim` input.
+    /// `x·W + b` for a `batch × in_dim` input (fused single-kernel op).
     pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
         let w = tape.param(params, self.w);
         let b = tape.param(params, self.b);
-        let z = tape.matmul(x, w);
-        tape.add_row(z, b)
+        tape.linear(x, w, b)
     }
 }
 

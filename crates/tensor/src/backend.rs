@@ -1,0 +1,901 @@
+//! Deterministic parallel compute backend.
+//!
+//! Everything hot in the workspace — the matmul family on [`crate::Matrix`],
+//! the batched attention products, and the backward-pass gradient products in
+//! [`crate::Tape`] — funnels through this module. It provides three things:
+//!
+//! 1. **Cache-blocked kernels** (`matmul`, `matmul_tn`, `matmul_nt`, and the
+//!    bias-fused `matmul_bias`) with tight, bounds-check-free inner loops the
+//!    compiler can vectorize. A `Naive` kernel mode reproduces the seed's
+//!    simple triple loops for verification and benchmarking baselines.
+//! 2. **A scoped-thread worker pool** (`std::thread::scope`, dependency-free)
+//!    that row-partitions work. Row partitioning never splits the f32
+//!    accumulation of a single output element, so results are **bit-identical
+//!    for every thread count** — the property PR 1's bit-identical
+//!    checkpoint/resume guarantee relies on. Thread count comes from
+//!    `UAE_NUM_THREADS` (default: available parallelism); tests can pin it
+//!    per-thread with [`with_num_threads`].
+//! 3. **A scratch-buffer pool** (thread-local, size-class bucketed) that
+//!    recycles every dropped [`crate::Matrix`]'s allocation, so tape
+//!    forward/backward reuses activation and gradient buffers across steps
+//!    instead of hitting the allocator for every op.
+//!
+//! # Determinism argument
+//!
+//! A parallel region hands each worker a contiguous, disjoint range of
+//! *output rows*. Every output element is produced by exactly one worker
+//! running exactly the serial per-row code, with the same k-ascending
+//! accumulation order. No partial sums ever cross a thread boundary, so the
+//! result is byte-identical to the single-threaded run. (Contrast with
+//! split-K or atomic-accumulation schemes, which reorder float addition.)
+//!
+//! Pooled buffers are handed out with their *length* set but contents
+//! unspecified (stale initialized floats from an earlier use); every consumer
+//! fully overwrites them before the matrix is readable, so reuse cannot leak
+//! state into results.
+
+#![allow(clippy::too_many_arguments)]
+
+use std::cell::{Cell, RefCell};
+use std::sync::OnceLock;
+
+// --------------------------------------------------------------------- config
+
+/// Which matmul kernels run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMode {
+    /// Cache-blocked, unrolled kernels (default).
+    Blocked,
+    /// The seed's reference triple loops (for verification / baselines).
+    Naive,
+}
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+    static MODE_OVERRIDE: Cell<Option<KernelMode>> = const { Cell::new(None) };
+    static POOL_DISABLED: Cell<bool> = const { Cell::new(false) };
+}
+
+fn env_threads() -> usize {
+    static ENV: OnceLock<usize> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("UAE_NUM_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism()
+                    .map(|n| n.get())
+                    .unwrap_or(1)
+            })
+    })
+}
+
+fn env_mode() -> KernelMode {
+    static ENV: OnceLock<KernelMode> = OnceLock::new();
+    *ENV.get_or_init(|| match std::env::var("UAE_KERNELS").as_deref() {
+        Ok("naive") => KernelMode::Naive,
+        _ => KernelMode::Blocked,
+    })
+}
+
+/// The configured worker count: the per-thread override if set (see
+/// [`with_num_threads`]), else `UAE_NUM_THREADS`, else available parallelism.
+pub fn num_threads() -> usize {
+    THREAD_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_threads)
+        .max(1)
+}
+
+/// True when the thread count was pinned by [`with_num_threads`]; a pinned
+/// count bypasses the small-work heuristics so tests exercise the real
+/// parallel path even on tiny shapes.
+fn threads_forced() -> bool {
+    THREAD_OVERRIDE.with(Cell::get).is_some()
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread (scoped;
+/// restores the previous override afterwards, panic-safe).
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(THREAD_OVERRIDE.with(|c| c.replace(Some(n.max(1)))));
+    f()
+}
+
+/// The active kernel mode (per-thread override, else `UAE_KERNELS=naive`).
+pub fn kernel_mode() -> KernelMode {
+    MODE_OVERRIDE.with(Cell::get).unwrap_or_else(env_mode)
+}
+
+/// Runs `f` with the kernel mode pinned on this thread (scoped, panic-safe).
+pub fn with_kernel_mode<R>(mode: KernelMode, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<KernelMode>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            MODE_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(MODE_OVERRIDE.with(|c| c.replace(Some(mode))));
+    f()
+}
+
+/// Runs `f` with the scratch pool disabled on this thread (every allocation
+/// goes to the system allocator) — for benchmarking the pool's effect.
+pub fn with_pool_disabled<R>(f: impl FnOnce() -> R) -> R {
+    struct Restore(bool);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            POOL_DISABLED.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(POOL_DISABLED.with(|c| c.replace(true)));
+    f()
+}
+
+// --------------------------------------------------------------- scratch pool
+
+/// Total bytes the pool may retain per thread; recycling beyond this frees.
+const MAX_POOL_BYTES: usize = 64 << 20;
+/// Buffers of `2^NBUCKETS` elements or more bypass the pool entirely.
+const NBUCKETS: usize = 28;
+
+#[derive(Default)]
+struct Pool {
+    /// `buckets[b]` holds buffers whose capacity `c` satisfies
+    /// `2^b <= c < 2^(b+1)`. Invariant: `len == capacity` and every element
+    /// is an initialized `f32` (of unspecified value).
+    buckets: Vec<Vec<Vec<f32>>>,
+    bytes: usize,
+    hits: u64,
+    misses: u64,
+    returned: u64,
+}
+
+thread_local! {
+    static POOL: RefCell<Pool> = RefCell::new(Pool {
+        buckets: (0..NBUCKETS).map(|_| Vec::new()).collect(),
+        ..Pool::default()
+    });
+}
+
+/// Allocation-reuse counters for the calling thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ScratchStats {
+    /// Allocations served from the pool without touching the allocator.
+    pub hits: u64,
+    /// Allocations that fell through to the system allocator.
+    pub misses: u64,
+    /// Buffers returned to the pool by dropped matrices.
+    pub returned: u64,
+}
+
+impl ScratchStats {
+    /// Fraction of allocations served from the pool (0 when none happened).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshot of this thread's scratch-pool counters.
+pub fn scratch_stats() -> ScratchStats {
+    POOL.with(|p| {
+        let p = p.borrow();
+        ScratchStats {
+            hits: p.hits,
+            misses: p.misses,
+            returned: p.returned,
+        }
+    })
+}
+
+/// Zeroes this thread's scratch-pool counters (pooled buffers remain).
+pub fn reset_scratch_stats() {
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        p.hits = 0;
+        p.misses = 0;
+        p.returned = 0;
+    });
+}
+
+fn bucket_of(len: usize) -> usize {
+    debug_assert!(len > 0);
+    (usize::BITS - 1 - len.leading_zeros()) as usize
+}
+
+/// A buffer of exactly `len` initialized-but-unspecified floats. The caller
+/// must overwrite every element before the result is read.
+pub(crate) fn take_uninit(len: usize) -> Vec<f32> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if POOL_DISABLED.with(Cell::get) {
+        // Still counted: the miss counter doubles as an allocation counter
+        // for the pooled-vs-unpooled benchmark comparison.
+        POOL.with(|p| p.borrow_mut().misses += 1);
+        return vec![0.0; len];
+    }
+    POOL.with(|p| {
+        let mut p = p.borrow_mut();
+        let lo = bucket_of(len);
+        // The length's own bucket may hold a large-enough buffer; every
+        // buffer in the next two buckets is large enough by construction.
+        let found = p.buckets[lo]
+            .iter()
+            .rposition(|v| v.capacity() >= len)
+            .map(|i| (lo, i))
+            .or_else(|| {
+                (lo + 1..(lo + 3).min(NBUCKETS))
+                    .find(|&b| !p.buckets[b].is_empty())
+                    .map(|b| (b, p.buckets[b].len() - 1))
+            });
+        match found {
+            Some((b, i)) => {
+                let mut v = p.buckets[b].swap_remove(i);
+                p.bytes -= v.capacity() * 4;
+                p.hits += 1;
+                v.truncate(len);
+                v
+            }
+            None => {
+                p.misses += 1;
+                vec![0.0; len]
+            }
+        }
+    })
+}
+
+/// A zero-filled buffer of `len` floats, reusing a pooled allocation.
+pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
+    let mut v = take_uninit(len);
+    v.fill(0.0);
+    v
+}
+
+/// Returns a buffer to the calling thread's pool (called by `Matrix::drop`).
+pub(crate) fn recycle(mut v: Vec<f32>) {
+    let cap = v.capacity();
+    if cap == 0 || bucket_of(cap) >= NBUCKETS {
+        return;
+    }
+    // Survive TLS teardown: a matrix dropped during thread exit just frees.
+    let _ = POOL.try_with(|p| {
+        let Ok(mut p) = p.try_borrow_mut() else { return };
+        if p.bytes + cap * 4 > MAX_POOL_BYTES {
+            return;
+        }
+        // Re-establish the invariant len == capacity with initialized
+        // contents; the tail write only runs for the (rare) shrunk case.
+        v.resize(cap, 0.0);
+        p.bytes += cap * 4;
+        p.returned += 1;
+        let b = bucket_of(cap);
+        p.buckets[b].push(v);
+    });
+}
+
+// ------------------------------------------------------------ parallel driver
+
+/// Work below this many flops per extra worker stays serial: a scoped-thread
+/// spawn costs tens of microseconds, so fanning out needs roughly an order of
+/// magnitude more compute per worker to amortise.
+const MIN_FLOPS_PER_THREAD: usize = 1 << 19;
+
+/// How many workers a row-partitioned region should use.
+fn plan_threads(rows: usize, flops: usize) -> usize {
+    let requested = num_threads().min(rows.max(1));
+    if requested <= 1 {
+        return 1;
+    }
+    if threads_forced() {
+        // Pinned counts (tests) bypass the amortization heuristic.
+        return requested;
+    }
+    requested.min((flops / MIN_FLOPS_PER_THREAD).max(1))
+}
+
+/// Splits `out` into per-worker contiguous row ranges and runs
+/// `kernel(first_row, row_count, chunk)` on each. The final chunk runs on the
+/// calling thread. `kernel` must fully overwrite its chunk.
+fn par_rows(
+    out: &mut [f32],
+    rows: usize,
+    row_width: usize,
+    flops: usize,
+    kernel: &(dyn Fn(usize, usize, &mut [f32]) + Sync),
+) {
+    debug_assert_eq!(out.len(), rows * row_width);
+    let nt = plan_threads(rows, flops);
+    if nt <= 1 || row_width == 0 {
+        kernel(0, rows, out);
+        return;
+    }
+    let chunk_rows = rows.div_ceil(nt);
+    std::thread::scope(|s| {
+        let mut rest = out;
+        let mut r0 = 0;
+        while r0 + chunk_rows < rows {
+            let (head, tail) = rest.split_at_mut(chunk_rows * row_width);
+            rest = tail;
+            s.spawn(move || kernel(r0, chunk_rows, head));
+            r0 += chunk_rows;
+        }
+        kernel(r0, rows - r0, rest);
+    });
+}
+
+// -------------------------------------------------------------- dot primitive
+
+/// Dot product with a fixed 8-lane accumulator split so the compiler can keep
+/// it in SIMD registers. The lane structure is constant, so results are
+/// deterministic across runs and thread counts (they differ from a strictly
+/// sequential sum, which is fine: only run-to-run identity is guaranteed).
+#[inline]
+fn dot8(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let split = x.len() - x.len() % 8;
+    let (xc, xr) = x.split_at(split);
+    let (yc, yr) = y.split_at(split);
+    let mut acc = [0.0f32; 8];
+    for (xs, ys) in xc.chunks_exact(8).zip(yc.chunks_exact(8)) {
+        for l in 0..8 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&a, &b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    (((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))) + tail
+}
+
+// ------------------------------------------------------------------- kernels
+//
+// All kernels compute output rows `[r0, r0 + nrows)` into `chunk` (the
+// sub-slice of the output covering exactly those rows) and fully overwrite
+// it. Accumulation over the shared dimension is k-ascending per output
+// element in both modes, so serial and parallel runs agree bitwise.
+
+/// Shared-dimension tile: one tile of `b` rows (`KB × n` floats) is streamed
+/// against every output row in the chunk before moving on, keeping it hot in
+/// L1/L2 across the whole chunk.
+const KB: usize = 256;
+/// `matmul_nt` tile over `b` rows, reused across the chunk's output rows.
+const JB: usize = 64;
+
+/// Rows of `a·b` (`a: m×k`, `b: k×n`), blocked over k.
+fn matmul_rows_blocked(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, chunk: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    if k == 0 {
+        chunk.fill(0.0);
+        return;
+    }
+    // The k = 0 term initialises the output: no prior zero-fill needed.
+    for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        let a0 = a[(r0 + i) * k];
+        for (o, &bv) in orow.iter_mut().zip(&b[..n]) {
+            *o = a0 * bv;
+        }
+    }
+    let mut kb = 1;
+    while kb < k {
+        let ke = (kb + KB).min(k);
+        for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+            for (dk, &av) in arow[kb..ke].iter().enumerate() {
+                let brow = &b[(kb + dk) * n..(kb + dk) * n + n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+        }
+        kb = ke;
+    }
+}
+
+/// The seed's i-k-j loop with the zero-skip, kept as a verification and
+/// benchmarking reference.
+fn matmul_rows_naive(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, chunk: &mut [f32]) {
+    if n == 0 {
+        return;
+    }
+    for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        orow.fill(0.0);
+        for kk in 0..k {
+            let av = a[(r0 + i) * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            let brow = &b[kk * n..kk * n + n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Rows of `a·b + bias` — the fused dense-layer forward. The bias row seeds
+/// the accumulators, so the separate broadcast-add (and its full-matrix
+/// copy) disappears.
+fn matmul_bias_rows(
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+    k: usize,
+    n: usize,
+    r0: usize,
+    chunk: &mut [f32],
+) {
+    if n == 0 {
+        return;
+    }
+    for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        orow.copy_from_slice(bias);
+        let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+        let mut kb = 0;
+        while kb < k {
+            let ke = (kb + KB).min(k);
+            for (dk, &av) in arow[kb..ke].iter().enumerate() {
+                let brow = &b[(kb + dk) * n..(kb + dk) * n + n];
+                for (o, &bv) in orow.iter_mut().zip(brow) {
+                    *o += av * bv;
+                }
+            }
+            kb = ke;
+        }
+    }
+}
+
+/// Rows `[c0, c0+nrows)` of `aᵀ·b` (`a: r×c`, `b: r×n`): output row i is
+/// `Σ_k a[k,i]·b[k,:]`. k-outer keeps the `a` and `b` accesses contiguous
+/// while the chunk of output rows stays hot.
+fn matmul_tn_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    n: usize,
+    c0: usize,
+    nrows: usize,
+    chunk: &mut [f32],
+) {
+    if n == 0 || nrows == 0 {
+        return;
+    }
+    if a_rows == 0 {
+        chunk.fill(0.0);
+        return;
+    }
+    for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+        let a0 = a[c0 + i];
+        for (o, &bv) in orow.iter_mut().zip(&b[..n]) {
+            *o = a0 * bv;
+        }
+    }
+    for kk in 1..a_rows {
+        let avals = &a[kk * a_cols + c0..kk * a_cols + c0 + nrows];
+        let brow = &b[kk * n..kk * n + n];
+        for (&av, orow) in avals.iter().zip(chunk.chunks_exact_mut(n)) {
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+fn matmul_tn_rows_naive(
+    a: &[f32],
+    b: &[f32],
+    a_rows: usize,
+    a_cols: usize,
+    n: usize,
+    c0: usize,
+    nrows: usize,
+    chunk: &mut [f32],
+) {
+    chunk.fill(0.0);
+    if n == 0 || nrows == 0 {
+        return;
+    }
+    for kk in 0..a_rows {
+        let brow = &b[kk * n..kk * n + n];
+        for i in 0..nrows {
+            let av = a[kk * a_cols + c0 + i];
+            if av == 0.0 {
+                continue;
+            }
+            let orow = &mut chunk[i * n..(i + 1) * n];
+            for (o, &bv) in orow.iter_mut().zip(brow) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+/// Rows of `a·bᵀ` (`a: m×k`, `b: j×k`): dot products, tiled over `b` rows so
+/// a `JB × k` tile of `b` is reused across the chunk's output rows.
+fn matmul_nt_rows_blocked(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    jrows: usize,
+    r0: usize,
+    nrows: usize,
+    chunk: &mut [f32],
+) {
+    if jrows == 0 || nrows == 0 {
+        return;
+    }
+    let mut jb = 0;
+    while jb < jrows {
+        let je = (jb + JB).min(jrows);
+        for i in 0..nrows {
+            let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+            let orow = &mut chunk[i * jrows..(i + 1) * jrows];
+            for (dj, o) in orow[jb..je].iter_mut().enumerate() {
+                *o = dot8(arow, &b[(jb + dj) * k..(jb + dj) * k + k]);
+            }
+        }
+        jb = je;
+    }
+}
+
+fn matmul_nt_rows_naive(
+    a: &[f32],
+    b: &[f32],
+    k: usize,
+    jrows: usize,
+    r0: usize,
+    nrows: usize,
+    chunk: &mut [f32],
+) {
+    for i in 0..nrows {
+        let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
+        let orow = &mut chunk[i * jrows..(i + 1) * jrows];
+        for (j, o) in orow.iter_mut().enumerate() {
+            let brow = &b[j * k..(j + 1) * k];
+            let mut acc = 0.0f32;
+            for (&x, &y) in arow.iter().zip(brow) {
+                acc += x * y;
+            }
+            *o = acc;
+        }
+    }
+}
+
+// ------------------------------------------------------------ public entries
+
+/// `a·b` for `a: m×k`, `b: k×n`, returned as a row-major buffer.
+pub(crate) fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = take_uninit(m * n);
+    let mode = kernel_mode();
+    par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+        KernelMode::Blocked => matmul_rows_blocked(a, b, k, n, r0, chunk),
+        KernelMode::Naive => matmul_rows_naive(a, b, k, n, r0, chunk),
+    });
+    out
+}
+
+/// `a·b + bias` (bias broadcast over rows) — fused dense-layer forward.
+///
+/// In `Blocked` mode the bias seeds the accumulator, so the per-element sum
+/// order is `bias + Σ_k`; in `Naive` mode it is `Σ_k` then `+ bias`. Each
+/// mode is individually deterministic across thread counts.
+pub(crate) fn matmul_bias(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    bias: &[f32],
+) -> Vec<f32> {
+    debug_assert_eq!(bias.len(), n);
+    let mut out = take_uninit(m * n);
+    let mode = kernel_mode();
+    par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+        KernelMode::Blocked => matmul_bias_rows(a, b, bias, k, n, r0, chunk),
+        KernelMode::Naive => {
+            matmul_rows_naive(a, b, k, n, r0, chunk);
+            for orow in chunk.chunks_exact_mut(n.max(1)) {
+                for (o, &bv) in orow.iter_mut().zip(bias) {
+                    *o += bv;
+                }
+            }
+        }
+    });
+    out
+}
+
+/// `aᵀ·b` for `a: r×c`, `b: r×n` (output `c×n`), without materialising `aᵀ`.
+pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = take_uninit(a_cols * n);
+    let mode = kernel_mode();
+    par_rows(
+        &mut out,
+        a_cols,
+        n,
+        a_rows * a_cols * n,
+        &|c0, nrows, chunk| match mode {
+            KernelMode::Blocked => matmul_tn_rows_blocked(a, b, a_rows, a_cols, n, c0, nrows, chunk),
+            KernelMode::Naive => matmul_tn_rows_naive(a, b, a_rows, a_cols, n, c0, nrows, chunk),
+        },
+    );
+    out
+}
+
+/// `a·bᵀ` for `a: m×k`, `b: j×k` (output `m×j`), without materialising `bᵀ`.
+pub(crate) fn matmul_nt(m: usize, k: usize, jrows: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let mut out = take_uninit(m * jrows);
+    let mode = kernel_mode();
+    par_rows(
+        &mut out,
+        m,
+        jrows,
+        m * k * jrows,
+        &|r0, nrows, chunk| match mode {
+            KernelMode::Blocked => matmul_nt_rows_blocked(a, b, k, jrows, r0, nrows, chunk),
+            KernelMode::Naive => matmul_nt_rows_naive(a, b, k, jrows, r0, nrows, chunk),
+        },
+    );
+    out
+}
+
+/// Batched product of 3-D tensors packed as 2-D (see
+/// [`crate::Tape::batched_matmul`] for the packing convention). Parallelises
+/// over batch slices; each slice is an independent blocked matmul.
+pub(crate) fn batched_matmul(
+    batch: usize,
+    m: usize,
+    p: usize,
+    n: usize,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+) -> Vec<f32> {
+    let mut out = take_uninit(batch * m * n);
+    let mode = kernel_mode();
+    // A slice of `b` is n×p when transposed (packing (batch, n, p)), else
+    // p×n — the same element count either way.
+    let bsl = p * n;
+    par_rows(
+        &mut out,
+        batch,
+        m * n,
+        batch * m * p * n,
+        &|s0, _ns, chunk| {
+            for (s, oslice) in chunk.chunks_exact_mut((m * n).max(1)).enumerate() {
+                let aslice = &a[(s0 + s) * m * p..(s0 + s + 1) * m * p];
+                let bslice = &b[(s0 + s) * bsl..(s0 + s + 1) * bsl];
+                match (trans_b, mode) {
+                    (false, KernelMode::Blocked) => {
+                        matmul_rows_blocked(aslice, bslice, p, n, 0, oslice)
+                    }
+                    (false, KernelMode::Naive) => matmul_rows_naive(aslice, bslice, p, n, 0, oslice),
+                    (true, KernelMode::Blocked) => {
+                        matmul_nt_rows_blocked(aslice, bslice, p, n, 0, m, oslice)
+                    }
+                    (true, KernelMode::Naive) => {
+                        matmul_nt_rows_naive(aslice, bslice, p, n, 0, m, oslice)
+                    }
+                }
+            }
+        },
+    );
+    out
+}
+
+/// Gradients of [`batched_matmul`]: `(ga, gb)` for upstream gradient `g`.
+/// Parallelises over batch slices; `ga` and `gb` rows are disjoint per slice,
+/// so no accumulation crosses a thread boundary.
+pub(crate) fn batched_matmul_grads(
+    batch: usize,
+    m: usize,
+    p: usize,
+    n: usize,
+    trans_b: bool,
+    a: &[f32],
+    b: &[f32],
+    g: &[f32],
+) -> (Vec<f32>, Vec<f32>) {
+    // Per-batch slice of `b`/`gb`: n×p when transposed, p×n otherwise —
+    // the same element count either way.
+    let bsl = p * n;
+    let mut ga = take_uninit(batch * m * p);
+    let mut gb = take_uninit(batch * bsl);
+    let mode = kernel_mode();
+    let kernel = |s0: usize, ga_chunk: &mut [f32], gb_chunk: &mut [f32]| {
+        for (s, (gas, gbs)) in ga_chunk
+            .chunks_exact_mut((m * p).max(1))
+            .zip(gb_chunk.chunks_exact_mut(bsl.max(1)))
+            .enumerate()
+        {
+            let aslice = &a[(s0 + s) * m * p..(s0 + s + 1) * m * p];
+            let bslice = &b[(s0 + s) * bsl..(s0 + s + 1) * bsl];
+            let gslice = &g[(s0 + s) * m * n..(s0 + s + 1) * m * n];
+            match (trans_b, mode) {
+                // C = A·Bᵀ per slice: gA = G·B (m×n · n×p), gB = Gᵀ·A (n×p).
+                (true, KernelMode::Blocked) => {
+                    matmul_rows_blocked(gslice, bslice, n, p, 0, gas);
+                    matmul_tn_rows_blocked(gslice, aslice, m, n, p, 0, n, gbs);
+                }
+                (true, KernelMode::Naive) => {
+                    matmul_rows_naive(gslice, bslice, n, p, 0, gas);
+                    matmul_tn_rows_naive(gslice, aslice, m, n, p, 0, n, gbs);
+                }
+                // C = A·B per slice: gA = G·Bᵀ (m×n · (p×n)ᵀ), gB = Aᵀ·G (p×n).
+                (false, KernelMode::Blocked) => {
+                    matmul_nt_rows_blocked(gslice, bslice, n, p, 0, m, gas);
+                    matmul_tn_rows_blocked(aslice, gslice, m, p, n, 0, p, gbs);
+                }
+                (false, KernelMode::Naive) => {
+                    matmul_nt_rows_naive(gslice, bslice, n, p, 0, m, gas);
+                    matmul_tn_rows_naive(aslice, gslice, m, p, n, 0, p, gbs);
+                }
+            }
+        }
+    };
+    let nt = plan_threads(batch, 2 * batch * m * p * n);
+    if nt <= 1 || ga.is_empty() {
+        kernel(0, &mut ga, &mut gb);
+    } else {
+        let chunk_slices = batch.div_ceil(nt);
+        let kernel = &kernel;
+        std::thread::scope(|s| {
+            let mut ga_rest = ga.as_mut_slice();
+            let mut gb_rest = gb.as_mut_slice();
+            let mut s0 = 0;
+            while s0 + chunk_slices < batch {
+                let (ga_head, ga_tail) = ga_rest.split_at_mut(chunk_slices * m * p);
+                let (gb_head, gb_tail) = gb_rest.split_at_mut(chunk_slices * bsl);
+                ga_rest = ga_tail;
+                gb_rest = gb_tail;
+                s.spawn(move || kernel(s0, ga_head, gb_head));
+                s0 += chunk_slices;
+            }
+            kernel(s0, ga_rest, gb_rest);
+        });
+    }
+    (ga, gb)
+}
+
+/// Element-wise map, row-partitioned across the pool for large buffers.
+pub(crate) fn map_elems(src: &[f32], f: &(dyn Fn(f32) -> f32 + Sync)) -> Vec<f32> {
+    let mut out = take_uninit(src.len());
+    par_rows(&mut out, src.len(), 1, src.len(), &|r0, nrows, chunk| {
+        for (o, &x) in chunk.iter_mut().zip(&src[r0..r0 + nrows]) {
+            *o = f(x);
+        }
+    });
+    out
+}
+
+/// Element-wise zip-map, row-partitioned across the pool for large buffers.
+pub(crate) fn zip_map_elems(
+    x: &[f32],
+    y: &[f32],
+    f: &(dyn Fn(f32, f32) -> f32 + Sync),
+) -> Vec<f32> {
+    debug_assert_eq!(x.len(), y.len());
+    let mut out = take_uninit(x.len());
+    par_rows(&mut out, x.len(), 1, x.len(), &|r0, nrows, chunk| {
+        for ((o, &a), &b) in chunk
+            .iter_mut()
+            .zip(&x[r0..r0 + nrows])
+            .zip(&y[r0..r0 + nrows])
+        {
+            *o = f(a, b);
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_reuses_buffers() {
+        // Stats are thread-local; run on a dedicated thread so the harness's
+        // other tests can't interleave.
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                reset_scratch_stats();
+                let v = take_uninit(1000);
+                recycle(v);
+                let v2 = take_uninit(900);
+                assert!(v2.capacity() >= 1000, "should reuse the 1000-buffer");
+                assert_eq!(v2.len(), 900);
+                let stats = scratch_stats();
+                assert_eq!(stats.hits, 1);
+                assert_eq!(stats.returned, 1);
+            });
+        });
+    }
+
+    #[test]
+    fn pool_disabled_always_misses() {
+        std::thread::scope(|s| {
+            s.spawn(|| {
+                let v = take_uninit(64);
+                recycle(v);
+                with_pool_disabled(|| {
+                    reset_scratch_stats();
+                    let _v = take_uninit(64);
+                    assert_eq!(scratch_stats().hits, 0);
+                    assert_eq!(scratch_stats().misses, 1);
+                });
+            });
+        });
+    }
+
+    #[test]
+    fn take_zeroed_is_zero_even_after_reuse() {
+        let mut v = take_uninit(128);
+        v.fill(7.0);
+        recycle(v);
+        let z = take_zeroed(128);
+        assert!(z.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn thread_override_is_scoped() {
+        let outer = num_threads();
+        with_num_threads(3, || {
+            assert_eq!(num_threads(), 3);
+            with_num_threads(5, || assert_eq!(num_threads(), 5));
+            assert_eq!(num_threads(), 3);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn dot8_matches_sequential_within_tolerance() {
+        let x: Vec<f32> = (0..103).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..103).map(|i| (i as f32 * 0.11).cos()).collect();
+        let seq: f32 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+        assert!((dot8(&x, &y) - seq).abs() < 1e-4);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_bitwise_on_these_inputs() {
+        // Same per-element accumulation order; the only difference is the
+        // naive zero-skip, which cannot change finite sums here.
+        let a: Vec<f32> = (0..7 * 5).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
+        let b: Vec<f32> = (0..5 * 9).map(|i| ((i * 53) % 13) as f32 * 0.25).collect();
+        let blocked = with_kernel_mode(KernelMode::Blocked, || matmul(7, 5, 9, &a, &b));
+        let naive = with_kernel_mode(KernelMode::Naive, || matmul(7, 5, 9, &a, &b));
+        assert_eq!(blocked, naive);
+    }
+
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let a: Vec<f32> = (0..33 * 17).map(|i| (i as f32 * 0.7).sin()).collect();
+        let b: Vec<f32> = (0..17 * 29).map(|i| (i as f32 * 1.3).cos()).collect();
+        let serial = with_num_threads(1, || matmul(33, 17, 29, &a, &b));
+        for nt in [2, 3, 4, 7] {
+            let par = with_num_threads(nt, || matmul(33, 17, 29, &a, &b));
+            assert_eq!(serial, par, "thread count {nt} changed the result");
+        }
+    }
+
+    #[test]
+    fn empty_dims_are_handled() {
+        assert_eq!(matmul(0, 3, 4, &[], &[0.0; 12]), Vec::<f32>::new());
+        assert_eq!(matmul(2, 0, 3, &[], &[]), vec![0.0; 6]);
+        assert_eq!(matmul_nt(2, 0, 3, &[], &[0.0; 0]), vec![0.0; 6]);
+        assert_eq!(matmul_tn(0, 2, 3, &[], &[]), vec![0.0; 6]);
+    }
+}

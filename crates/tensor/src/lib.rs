@@ -9,6 +9,9 @@
 //!
 //! * [`matrix::Matrix`] — dense row-major `f32` matrices (2-D, with a packed
 //!   convention for batched 3-D used by [`tape::Tape::batched_matmul`]).
+//! * [`backend`] — deterministic parallel compute backend: cache-blocked
+//!   matmul kernels, a scoped-thread worker pool (`UAE_NUM_THREADS`), and a
+//!   scratch-buffer pool recycling matrix allocations across tape steps.
 //! * [`rng::Rng`] — deterministic xoshiro256++ PRNG; the sole randomness
 //!   source in the workspace.
 //! * [`params::Params`] — arena of trainable parameters + gradient buffers.
@@ -38,6 +41,7 @@
 //! assert!(params.grad_norm() > 0.0);
 //! ```
 
+pub mod backend;
 pub mod gradcheck;
 pub mod matrix;
 pub mod params;
@@ -45,6 +49,10 @@ pub mod rng;
 pub mod serialize;
 pub mod tape;
 
+pub use backend::{
+    kernel_mode, num_threads, reset_scratch_stats, scratch_stats, with_kernel_mode,
+    with_num_threads, with_pool_disabled, KernelMode, ScratchStats,
+};
 pub use matrix::Matrix;
 pub use params::{ParamId, Params};
 pub use rng::{Rng, RngState};

@@ -5,33 +5,70 @@
 //! of shape `(batch, m, n)` is stored as a `(batch·m) × n` matrix and
 //! interpreted by the batched ops in [`crate::tape`].
 
+use crate::backend;
 use crate::rng::Rng;
 
 /// A dense row-major matrix of `f32`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Allocations come from (and return to, on drop) the thread-local scratch
+/// pool in [`crate::backend`], so tape-heavy loops reuse buffers instead of
+/// hitting the allocator for every op.
+#[derive(Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f32>,
 }
 
+impl Clone for Matrix {
+    fn clone(&self) -> Self {
+        let mut out = Matrix::uninit(self.rows, self.cols);
+        out.data.copy_from_slice(&self.data);
+        out
+    }
+
+    fn clone_from(&mut self, source: &Self) {
+        if self.data.len() == source.data.len() {
+            self.rows = source.rows;
+            self.cols = source.cols;
+            self.data.copy_from_slice(&source.data);
+        } else {
+            *self = source.clone();
+        }
+    }
+}
+
+impl Drop for Matrix {
+    fn drop(&mut self) {
+        backend::recycle(std::mem::take(&mut self.data));
+    }
+}
+
 impl Matrix {
+    /// A matrix whose buffer is pooled and whose contents are unspecified
+    /// (stale but initialized floats). Callers must overwrite every element.
+    pub(crate) fn uninit(rows: usize, cols: usize) -> Self {
+        Matrix {
+            rows,
+            cols,
+            data: backend::take_uninit(rows * cols),
+        }
+    }
+
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Matrix {
             rows,
             cols,
-            data: vec![0.0; rows * cols],
+            data: backend::take_zeroed(rows * cols),
         }
     }
 
     /// A matrix filled with a constant.
     pub fn filled(rows: usize, cols: usize, value: f32) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: vec![value; rows * cols],
-        }
+        let mut out = Matrix::uninit(rows, cols);
+        out.data.fill(value);
+        out
     }
 
     /// Builds a matrix from row-major data. Panics if the length mismatches.
@@ -45,15 +82,15 @@ impl Matrix {
         Matrix { rows, cols, data }
     }
 
-    /// Builds a matrix by evaluating `f(row, col)`.
+    /// Builds a matrix by evaluating `f(row, col)` in row-major order.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = Matrix::uninit(rows, cols);
         for r in 0..rows {
-            for c in 0..cols {
-                data.push(f(r, c));
+            for (c, o) in out.data[r * cols..(r + 1) * cols].iter_mut().enumerate() {
+                *o = f(r, c);
             }
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     /// A single-row matrix from a slice.
@@ -72,21 +109,23 @@ impl Matrix {
     }
 
     /// Gaussian-initialised matrix with the given standard deviation.
+    /// Draws are sequential in row-major order, so results are independent
+    /// of pooling and thread configuration.
     pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            data.push(rng.normal_with(0.0, std as f64) as f32);
+        let mut out = Matrix::uninit(rows, cols);
+        for o in &mut out.data {
+            *o = rng.normal_with(0.0, std as f64) as f32;
         }
-        Matrix { rows, cols, data }
+        out
     }
 
-    /// Uniform-initialised matrix on `[-limit, limit]`.
+    /// Uniform-initialised matrix on `[-limit, limit]` (sequential draws).
     pub fn rand_uniform(rows: usize, cols: usize, limit: f32, rng: &mut Rng) -> Self {
-        let mut data = Vec::with_capacity(rows * cols);
-        for _ in 0..rows * cols {
-            data.push(rng.range_f64(-limit as f64, limit as f64) as f32);
+        let mut out = Matrix::uninit(rows, cols);
+        for o in &mut out.data {
+            *o = rng.range_f64(-limit as f64, limit as f64) as f32;
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     #[inline]
@@ -160,29 +199,43 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// Matrix product `self · rhs`.
+    /// Matrix product `self · rhs` (blocked, parallel backend kernels).
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order: streams through `rhs` rows, cache friendly.
-        for i in 0..self.rows {
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for k in 0..self.cols {
-                let a = self.data[i * self.cols + k];
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        let data = backend::matmul(self.rows, self.cols, rhs.cols, &self.data, &rhs.data);
+        Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
         }
-        out
+    }
+
+    /// `self · rhs + bias` with `bias` a `1 × rhs.cols` row broadcast over
+    /// output rows — the fused dense-layer forward.
+    pub fn matmul_bias(&self, rhs: &Matrix, bias: &Matrix) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul_bias: {}x{} · {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        assert_eq!(
+            bias.shape(),
+            (1, rhs.cols),
+            "matmul_bias: bias must be 1x{}",
+            rhs.cols
+        );
+        let data = backend::matmul_bias(
+            self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &bias.data,
+        );
+        Matrix {
+            rows: self.rows,
+            cols: rhs.cols,
+            data,
+        }
     }
 
     /// `selfᵀ · rhs` without materialising the transpose.
@@ -192,21 +245,12 @@ impl Matrix {
             "matmul_tn: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.cols, rhs.cols);
-        for k in 0..self.rows {
-            let lhs_row = &self.data[k * self.cols..(k + 1) * self.cols];
-            let rhs_row = &rhs.data[k * rhs.cols..(k + 1) * rhs.cols];
-            for (i, &a) in lhs_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &b) in out_row.iter_mut().zip(rhs_row) {
-                    *o += a * b;
-                }
-            }
+        let data = backend::matmul_tn(self.rows, self.cols, rhs.cols, &self.data, &rhs.data);
+        Matrix {
+            rows: self.cols,
+            cols: rhs.cols,
+            data,
         }
-        out
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
@@ -216,24 +260,17 @@ impl Matrix {
             "matmul_nt: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.rows);
-        for i in 0..self.rows {
-            let lhs_row = &self.data[i * self.cols..(i + 1) * self.cols];
-            for j in 0..rhs.rows {
-                let rhs_row = &rhs.data[j * rhs.cols..(j + 1) * rhs.cols];
-                let mut acc = 0.0f32;
-                for (&a, &b) in lhs_row.iter().zip(rhs_row) {
-                    acc += a * b;
-                }
-                out.data[i * rhs.rows + j] = acc;
-            }
+        let data = backend::matmul_nt(self.rows, self.cols, rhs.rows, &self.data, &rhs.data);
+        Matrix {
+            rows: self.rows,
+            cols: rhs.rows,
+            data,
         }
-        out
     }
 
     /// The explicit transpose.
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
+        let mut out = Matrix::uninit(self.cols, self.rows);
         for r in 0..self.rows {
             for c in 0..self.cols {
                 out.data[c * self.rows + r] = self.data[r * self.cols + c];
@@ -242,27 +279,37 @@ impl Matrix {
         out
     }
 
-    /// Element-wise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> Matrix {
+    /// Element-wise map into a new (pooled) matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+            data: backend::map_elems(&self.data, &f),
         }
     }
 
     /// Element-wise combination of two same-shape matrices.
-    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) -> Matrix {
+    pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
         Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self
-                .data
-                .iter()
-                .zip(&rhs.data)
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: backend::zip_map_elems(&self.data, &rhs.data, &f),
+        }
+    }
+
+    /// Applies `f` to every element in place (no allocation).
+    pub fn apply(&mut self, f: impl Fn(f32) -> f32) {
+        for a in &mut self.data {
+            *a = f(*a);
+        }
+    }
+
+    /// `self[i] = f(self[i], rhs[i])` element-wise in place (no allocation).
+    pub fn zip_apply(&mut self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) {
+        assert_eq!(self.shape(), rhs.shape(), "zip_apply shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+            *a = f(*a, b);
         }
     }
 
@@ -321,7 +368,7 @@ impl Matrix {
             assert_eq!(p.rows, rows, "concat_cols row mismatch");
         }
         let cols: usize = parts.iter().map(|p| p.cols).sum();
-        let mut out = Matrix::zeros(rows, cols);
+        let mut out = Matrix::uninit(rows, cols);
         for r in 0..rows {
             let dst = &mut out.data[r * cols..(r + 1) * cols];
             let mut offset = 0;
@@ -338,19 +385,21 @@ impl Matrix {
         assert!(!parts.is_empty(), "concat_rows of nothing");
         let cols = parts[0].cols;
         let rows: usize = parts.iter().map(|p| p.rows).sum();
-        let mut data = Vec::with_capacity(rows * cols);
+        let mut out = Matrix::uninit(rows, cols);
+        let mut offset = 0;
         for p in parts {
             assert_eq!(p.cols, cols, "concat_rows col mismatch");
-            data.extend_from_slice(&p.data);
+            out.data[offset..offset + p.data.len()].copy_from_slice(&p.data);
+            offset += p.data.len();
         }
-        Matrix { rows, cols, data }
+        out
     }
 
     /// Copies columns `[start, end)` into a new matrix.
     pub fn slice_cols(&self, start: usize, end: usize) -> Matrix {
         assert!(start <= end && end <= self.cols, "slice_cols out of range");
         let width = end - start;
-        let mut out = Matrix::zeros(self.rows, width);
+        let mut out = Matrix::uninit(self.rows, width);
         for r in 0..self.rows {
             out.row_mut(r)
                 .copy_from_slice(&self.row(r)[start..end]);
@@ -360,7 +409,7 @@ impl Matrix {
 
     /// Gathers the listed rows into a new matrix.
     pub fn gather_rows(&self, indices: &[usize]) -> Matrix {
-        let mut out = Matrix::zeros(indices.len(), self.cols);
+        let mut out = Matrix::uninit(indices.len(), self.cols);
         for (i, &idx) in indices.iter().enumerate() {
             assert!(idx < self.rows, "gather_rows index {idx} >= {}", self.rows);
             out.row_mut(i).copy_from_slice(self.row(idx));
@@ -393,6 +442,33 @@ mod tests {
         let b = m(3, 2, &[7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b);
         assert_eq!(c, m(2, 2, &[58., 64., 139., 154.]));
+    }
+
+    #[test]
+    fn matmul_bias_matches_matmul_plus_broadcast() {
+        let mut rng = Rng::seed_from_u64(9);
+        let a = Matrix::randn(5, 3, 1.0, &mut rng);
+        let b = Matrix::randn(3, 4, 1.0, &mut rng);
+        let bias = Matrix::randn(1, 4, 1.0, &mut rng);
+        let fused = a.matmul_bias(&b, &bias);
+        let mut reference = a.matmul(&b);
+        for r in 0..5 {
+            for (o, &bv) in reference.row_mut(r).iter_mut().zip(bias.row(0)) {
+                *o += bv;
+            }
+        }
+        assert!(fused.max_abs_diff(&reference) < 1e-5);
+    }
+
+    #[test]
+    fn clone_after_pool_recycling_is_exact() {
+        // Churn the pool so clones draw recycled (stale) buffers, then check
+        // the copy is still exact.
+        for i in 0..10 {
+            let m = Matrix::filled(7, 11, i as f32);
+            let c = m.clone();
+            assert_eq!(m, c);
+        }
     }
 
     #[test]

@@ -14,6 +14,7 @@
 //! and the downstream re-weighted recommendation risk (Eq. 18) — as different
 //! per-example positive/negative weights.
 
+use crate::backend;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, Params};
 
@@ -53,6 +54,8 @@ enum Op {
     Mul(Var, Var),
     /// `(m×n) + (1×n)` broadcast over rows.
     AddRow(Var, Var),
+    /// Fused dense layer `x·W + b` (bias seeds the matmul accumulators).
+    Linear { x: Var, w: Var, b: Var },
     /// `(m×n) ∘ (m×1)` broadcast over columns.
     MulCol(Var, Var),
     /// `y = mul·x + add` element-wise; only the slope matters for backward.
@@ -123,6 +126,13 @@ impl Tape {
         self.nodes.is_empty()
     }
 
+    /// Drops all nodes but keeps the tape's node arena, so a hot loop can
+    /// reuse one `Tape` per batch. Dropped node values return their buffers
+    /// to the scratch pool.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
     // ---------------------------------------------------------------- leaves
 
     /// A constant leaf (inputs, masks, labels-as-features, …).
@@ -186,25 +196,48 @@ impl Tape {
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
         let (m, n) = self.value(a).shape();
         assert_eq!(self.value(row).shape(), (1, n), "add_row shape mismatch");
-        let bias = self.value(row).row(0).to_vec();
-        let mut value = self.value(a).clone();
-        for r in 0..m {
-            for (v, &b) in value.row_mut(r).iter_mut().zip(&bias) {
-                *v += b;
+        let value = {
+            let av = self.value(a);
+            let bias = self.value(row);
+            let mut out = Matrix::uninit(m, n);
+            for r in 0..m {
+                for ((o, &x), &b) in out.row_mut(r).iter_mut().zip(av.row(r)).zip(bias.row(0)) {
+                    *o = x + b;
+                }
             }
-        }
+            out
+        };
         self.push(value, Op::AddRow(a, row))
+    }
+
+    /// Fused dense layer `x·W + b` — one op, one kernel pass; the bias seeds
+    /// the matmul accumulators so no broadcast-add copy is made.
+    pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
+        let value = {
+            let xv = self.value(x);
+            let wv = self.value(w);
+            let bv = self.value(b);
+            xv.matmul_bias(wv, bv)
+        };
+        self.push(value, Op::Linear { x, w, b })
     }
 
     /// Multiplies every row of an `m×n` matrix by the matching entry of an
     /// `m×1` column vector (per-sample mask/weight).
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
-        let (m, _n) = self.value(a).shape();
+        let (m, n) = self.value(a).shape();
         assert_eq!(self.value(col).shape(), (m, 1), "mul_col shape mismatch");
         let value = {
             let av = self.value(a);
             let cv = self.value(col);
-            Matrix::from_fn(av.rows(), av.cols(), |r, c| av.get(r, c) * cv.get(r, 0))
+            let mut out = Matrix::uninit(m, n);
+            for r in 0..m {
+                let s = cv.get(r, 0);
+                for (o, &x) in out.row_mut(r).iter_mut().zip(av.row(r)) {
+                    *o = x * s;
+                }
+            }
+            out
         };
         self.push(value, Op::MulCol(a, col))
     }
@@ -253,11 +286,12 @@ impl Tape {
         self.push(value, Op::SliceCols { x, start, end })
     }
 
-    /// Row-major reshape (no data movement).
+    /// Row-major reshape (a pooled copy; data order unchanged).
     pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
         let v = self.value(x);
         assert_eq!(v.len(), rows * cols, "reshape element-count mismatch");
-        let value = Matrix::from_vec(rows, cols, v.data().to_vec());
+        let mut value = Matrix::uninit(rows, cols);
+        value.data_mut().copy_from_slice(v.data());
         self.push(value, Op::Reshape(x))
     }
 
@@ -283,7 +317,7 @@ impl Tape {
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, x: Var) -> Var {
         let v = self.value(x);
-        let mut value = Matrix::zeros(v.rows(), v.cols());
+        let mut value = Matrix::uninit(v.rows(), v.cols());
         for r in 0..v.rows() {
             let row = v.row(r);
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
@@ -322,21 +356,8 @@ impl Tape {
             n = bv.cols();
             out_cols = n;
         }
-        let mut out = Matrix::zeros(batch * m, out_cols);
-        for s in 0..batch {
-            for i in 0..m {
-                let a_row = av.row(s * m + i);
-                for j in 0..n {
-                    let acc: f32 = if trans_b {
-                        let b_row = bv.row(s * n + j);
-                        a_row.iter().zip(b_row).map(|(&x, &y)| x * y).sum()
-                    } else {
-                        (0..p).map(|k| a_row[k] * bv.get(s * p + k, j)).sum()
-                    };
-                    out.set(s * m + i, j, acc);
-                }
-            }
-        }
+        let data = backend::batched_matmul(batch, m, p, n, trans_b, av.data(), bv.data());
+        let out = Matrix::from_vec(batch * m, out_cols, data);
         self.push(out, Op::BatMatMul { a, b, batch, trans_b })
     }
 
@@ -408,11 +429,13 @@ impl Tape {
         let mut grads: Vec<Option<Matrix>> = (0..n).map(|_| None).collect();
         grads[loss.0] = Some(Matrix::scalar(1.0));
 
-        // Helper: accumulate `delta` into `grads[target]`.
-        fn acc(grads: &mut [Option<Matrix>], target: usize, delta: &Matrix) {
+        // Helper: accumulate `delta` into `grads[target]`. Takes ownership —
+        // the common first-visit case stores the buffer instead of cloning
+        // it; on later visits the delta's buffer returns to the scratch pool.
+        fn acc(grads: &mut [Option<Matrix>], target: usize, delta: Matrix) {
             match &mut grads[target] {
-                Some(g) => g.add_assign(delta),
-                slot @ None => *slot = Some(delta.clone()),
+                Some(g) => g.add_assign(&delta),
+                slot @ None => *slot = Some(delta),
             }
         }
 
@@ -429,8 +452,7 @@ impl Tape {
                 Op::GatherParam { id, rows } => {
                     let table_grad = params.grad_mut(*id);
                     for (i, &row) in rows.iter().enumerate() {
-                        let src = g.row(i).to_vec();
-                        for (t, s) in table_grad.row_mut(row).iter_mut().zip(src) {
+                        for (t, &s) in table_grad.row_mut(row).iter_mut().zip(g.row(i)) {
                             *t += s;
                         }
                     }
@@ -438,69 +460,93 @@ impl Tape {
                 Op::MatMul(a, b) => {
                     let ga = g.matmul_nt(&self.nodes[b.0].value);
                     let gb = self.nodes[a.0].value.matmul_tn(&g);
-                    acc(&mut grads, a.0, &ga);
-                    acc(&mut grads, b.0, &gb);
+                    acc(&mut grads, a.0, ga);
+                    acc(&mut grads, b.0, gb);
+                }
+                Op::Linear { x, w, b } => {
+                    let gx = g.matmul_nt(&self.nodes[w.0].value);
+                    let gw = self.nodes[x.0].value.matmul_tn(&g);
+                    let mut gb = Matrix::zeros(1, g.cols());
+                    for r in 0..g.rows() {
+                        for (o, &v) in gb.row_mut(0).iter_mut().zip(g.row(r)) {
+                            *o += v;
+                        }
+                    }
+                    acc(&mut grads, x.0, gx);
+                    acc(&mut grads, w.0, gw);
+                    acc(&mut grads, b.0, gb);
                 }
                 Op::Add(a, b) => {
-                    acc(&mut grads, a.0, &g);
-                    acc(&mut grads, b.0, &g);
+                    acc(&mut grads, a.0, g.clone());
+                    acc(&mut grads, b.0, g);
                 }
                 Op::Sub(a, b) => {
-                    acc(&mut grads, a.0, &g);
-                    let neg = g.map(|x| -x);
-                    acc(&mut grads, b.0, &neg);
+                    let mut neg = g.clone();
+                    neg.scale_in_place(-1.0);
+                    acc(&mut grads, a.0, g);
+                    acc(&mut grads, b.0, neg);
                 }
                 Op::Mul(a, b) => {
                     let ga = g.zip_map(&self.nodes[b.0].value, |x, y| x * y);
-                    acc(&mut grads, a.0, &ga);
-                    let gb = g.zip_map(&self.nodes[a.0].value, |x, y| x * y);
-                    acc(&mut grads, b.0, &gb);
+                    let mut gb = g;
+                    gb.zip_apply(&self.nodes[a.0].value, |x, y| x * y);
+                    acc(&mut grads, a.0, ga);
+                    acc(&mut grads, b.0, gb);
                 }
                 Op::AddRow(a, row) => {
-                    acc(&mut grads, a.0, &g);
                     let mut grow = Matrix::zeros(1, g.cols());
                     for r in 0..g.rows() {
                         for (o, &x) in grow.row_mut(0).iter_mut().zip(g.row(r)) {
                             *o += x;
                         }
                     }
-                    acc(&mut grads, row.0, &grow);
+                    acc(&mut grads, a.0, g);
+                    acc(&mut grads, row.0, grow);
                 }
                 Op::MulCol(a, col) => {
-                    let cv = &self.nodes[col.0].value;
-                    let ga = Matrix::from_fn(g.rows(), g.cols(), |r, c| g.get(r, c) * cv.get(r, 0));
-                    acc(&mut grads, a.0, &ga);
                     let av = &self.nodes[a.0].value;
-                    let gcol = Matrix::from_fn(g.rows(), 1, |r, _| {
-                        g.row(r).iter().zip(av.row(r)).map(|(&x, &y)| x * y).sum()
-                    });
-                    acc(&mut grads, col.0, &gcol);
+                    let mut gcol = Matrix::uninit(g.rows(), 1);
+                    for r in 0..g.rows() {
+                        let dot: f32 = g.row(r).iter().zip(av.row(r)).map(|(&x, &y)| x * y).sum();
+                        gcol.set(r, 0, dot);
+                    }
+                    let cv = &self.nodes[col.0].value;
+                    let mut ga = g;
+                    for r in 0..ga.rows() {
+                        let s = cv.get(r, 0);
+                        for v in ga.row_mut(r) {
+                            *v *= s;
+                        }
+                    }
+                    acc(&mut grads, a.0, ga);
+                    acc(&mut grads, col.0, gcol);
                 }
                 Op::Affine { x, mul, .. } => {
-                    let gx = g.map(|v| mul * v);
-                    acc(&mut grads, x.0, &gx);
+                    let mut gx = g;
+                    gx.scale_in_place(*mul);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::Sigmoid(x) => {
-                    let y = &self.nodes[idx].value;
-                    let gx = g.zip_map(y, |gi, yi| gi * yi * (1.0 - yi));
-                    acc(&mut grads, x.0, &gx);
+                    let mut gx = g;
+                    gx.zip_apply(&self.nodes[idx].value, |gi, yi| gi * yi * (1.0 - yi));
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::Tanh(x) => {
-                    let y = &self.nodes[idx].value;
-                    let gx = g.zip_map(y, |gi, yi| gi * (1.0 - yi * yi));
-                    acc(&mut grads, x.0, &gx);
+                    let mut gx = g;
+                    gx.zip_apply(&self.nodes[idx].value, |gi, yi| gi * (1.0 - yi * yi));
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::Relu(x) => {
-                    let xv = &self.nodes[x.0].value;
-                    let gx = g.zip_map(xv, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
-                    acc(&mut grads, x.0, &gx);
+                    let mut gx = g;
+                    gx.zip_apply(&self.nodes[x.0].value, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::ConcatCols(parts) => {
                     let mut offset = 0;
                     for &p in parts {
                         let width = self.nodes[p.0].value.cols();
                         let gp = g.slice_cols(offset, offset + width);
-                        acc(&mut grads, p.0, &gp);
+                        acc(&mut grads, p.0, gp);
                         offset += width;
                     }
                 }
@@ -510,92 +556,61 @@ impl Tape {
                     for r in 0..g.rows() {
                         gx.row_mut(r)[*start..*end].copy_from_slice(g.row(r));
                     }
-                    acc(&mut grads, x.0, &gx);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::Reshape(x) => {
                     let xv = &self.nodes[x.0].value;
-                    let gx = Matrix::from_vec(xv.rows(), xv.cols(), g.data().to_vec());
-                    acc(&mut grads, x.0, &gx);
+                    let mut gx = Matrix::uninit(xv.rows(), xv.cols());
+                    gx.data_mut().copy_from_slice(g.data());
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::MeanAll(x) => {
                     let xv = &self.nodes[x.0].value;
                     let gi = g.item() / xv.len() as f32;
                     let gx = Matrix::filled(xv.rows(), xv.cols(), gi);
-                    acc(&mut grads, x.0, &gx);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::SumAll(x) => {
                     let xv = &self.nodes[x.0].value;
                     let gx = Matrix::filled(xv.rows(), xv.cols(), g.item());
-                    acc(&mut grads, x.0, &gx);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::RowSum(x) => {
                     let xv = &self.nodes[x.0].value;
                     let gx = Matrix::from_fn(xv.rows(), xv.cols(), |r, _| g.get(r, 0));
-                    acc(&mut grads, x.0, &gx);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::SoftmaxRows(x) => {
                     let s = &self.nodes[idx].value;
-                    let mut gx = Matrix::zeros(s.rows(), s.cols());
+                    let mut gx = Matrix::uninit(s.rows(), s.cols());
                     for r in 0..s.rows() {
                         let dot: f32 = g.row(r).iter().zip(s.row(r)).map(|(&a, &b)| a * b).sum();
                         for c in 0..s.cols() {
                             gx.set(r, c, s.get(r, c) * (g.get(r, c) - dot));
                         }
                     }
-                    acc(&mut grads, x.0, &gx);
+                    acc(&mut grads, x.0, gx);
                 }
                 Op::BatMatMul { a, b, batch, trans_b } => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;
                     let m = av.rows() / batch;
                     let p = av.cols();
-                    let mut ga = Matrix::zeros(av.rows(), av.cols());
-                    let mut gb = Matrix::zeros(bv.rows(), bv.cols());
-                    if *trans_b {
-                        // C = A·Bᵀ per slice; gA = G·B, gB = Gᵀ·A.
-                        let nn = bv.rows() / batch;
-                        for s in 0..*batch {
-                            for i in 0..m {
-                                for j in 0..nn {
-                                    let gij = g.get(s * m + i, j);
-                                    if gij == 0.0 {
-                                        continue;
-                                    }
-                                    for k in 0..p {
-                                        let da = gij * bv.get(s * nn + j, k);
-                                        let v = ga.get(s * m + i, k) + da;
-                                        ga.set(s * m + i, k, v);
-                                        let db = gij * av.get(s * m + i, k);
-                                        let v = gb.get(s * nn + j, k) + db;
-                                        gb.set(s * nn + j, k, v);
-                                    }
-                                }
-                            }
-                        }
-                    } else {
-                        // C = A·B per slice; gA = G·Bᵀ, gB = Aᵀ·G.
-                        let nn = bv.cols();
-                        for s in 0..*batch {
-                            for i in 0..m {
-                                for j in 0..nn {
-                                    let gij = g.get(s * m + i, j);
-                                    if gij == 0.0 {
-                                        continue;
-                                    }
-                                    for k in 0..p {
-                                        let da = gij * bv.get(s * p + k, j);
-                                        let v = ga.get(s * m + i, k) + da;
-                                        ga.set(s * m + i, k, v);
-                                        let db = gij * av.get(s * m + i, k);
-                                        let v = gb.get(s * p + k, j) + db;
-                                        gb.set(s * p + k, j, v);
-                                    }
-                                }
-                            }
-                        }
-                    }
-                    acc(&mut grads, a.0, &ga);
-                    acc(&mut grads, b.0, &gb);
+                    let n = if *trans_b { bv.rows() / batch } else { bv.cols() };
+                    let (ga_data, gb_data) = backend::batched_matmul_grads(
+                        *batch,
+                        m,
+                        p,
+                        n,
+                        *trans_b,
+                        av.data(),
+                        bv.data(),
+                        g.data(),
+                    );
+                    let ga = Matrix::from_vec(av.rows(), av.cols(), ga_data);
+                    let gb = Matrix::from_vec(bv.rows(), bv.cols(), gb_data);
+                    acc(&mut grads, a.0, ga);
+                    acc(&mut grads, b.0, gb);
                 }
                 Op::WeightedBce {
                     logits,
@@ -615,7 +630,7 @@ impl Tape {
                             upstream * ((pos_w[i] + neg_w[i]) * s - pos_w[i])
                         }
                     });
-                    acc(&mut grads, logits.0, &gx);
+                    acc(&mut grads, logits.0, gx);
                 }
             }
         }
@@ -760,6 +775,56 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn linear_matches_matmul_add_row() {
+        let mut rng = crate::rng::Rng::seed_from_u64(7);
+        let x = Matrix::randn(4, 3, 1.0, &mut rng);
+        let w = Matrix::randn(3, 2, 1.0, &mut rng);
+        let b = Matrix::randn(1, 2, 1.0, &mut rng);
+        let mut params = Params::new();
+        let wid = params.add("w", w);
+        let bid = params.add("b", b);
+
+        let mut t1 = Tape::new();
+        let xv = t1.input(x.clone());
+        let wv = t1.param(&params, wid);
+        let bv = t1.param(&params, bid);
+        let fused = t1.linear(xv, wv, bv);
+
+        let mut t2 = Tape::new();
+        let xv2 = t2.input(x.clone());
+        let wv2 = t2.param(&params, wid);
+        let bv2 = t2.param(&params, bid);
+        let mm = t2.matmul(xv2, wv2);
+        let unfused = t2.add_row(mm, bv2);
+
+        assert!(t1.value(fused).max_abs_diff(t2.value(unfused)) < 1e-5);
+
+        // Gradients must also agree: sum the outputs and compare w/b grads.
+        let l1 = t1.sum_all(fused);
+        params.zero_grads();
+        t1.backward(l1, &mut params);
+        let gw1 = params.grad(wid).clone();
+        let gb1 = params.grad(bid).clone();
+        let l2 = t2.sum_all(unfused);
+        params.zero_grads();
+        t2.backward(l2, &mut params);
+        assert!(gw1.max_abs_diff(params.grad(wid)) < 1e-5);
+        assert!(gb1.max_abs_diff(params.grad(bid)) < 1e-5);
+    }
+
+    #[test]
+    fn clear_resets_the_tape_for_reuse() {
+        let mut tape = Tape::new();
+        let x = tape.input(Matrix::scalar(1.0));
+        let _ = tape.affine(x, 2.0, 0.0);
+        assert_eq!(tape.len(), 2);
+        tape.clear();
+        assert!(tape.is_empty());
+        let y = tape.input(Matrix::scalar(4.0));
+        assert_eq!(tape.value(y).item(), 4.0);
     }
 
     #[test]

@@ -1,0 +1,149 @@
+//! Bit-identity of the parallel compute backend.
+//!
+//! The backend's determinism contract: for any thread count, every kernel
+//! produces results byte-identical to the single-threaded run, because row
+//! partitioning never splits the accumulation of a single output element.
+//! These tests pin the thread count with `with_num_threads` (which bypasses
+//! the small-work heuristics, so tiny shapes genuinely fan out) and compare
+//! bitwise.
+
+use uae_tensor::gradcheck::check_params;
+use uae_tensor::{with_num_threads, Matrix, Params, Rng, Tape};
+
+/// Ragged shapes exercising 1×1, 1×n, n×1, and row counts that do not divide
+/// evenly by any of the tested thread counts.
+const SHAPES: &[(usize, usize, usize)] = &[
+    (1, 1, 1),
+    (1, 7, 1),
+    (7, 1, 5),
+    (1, 1, 9),
+    (5, 3, 1),
+    (2, 2, 2),
+    (3, 17, 29),
+    (33, 8, 13),
+    (64, 32, 48),
+];
+
+const THREADS: &[usize] = &[2, 3, 4, 5, 8];
+
+fn mk(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    Matrix::randn(rows, cols, 1.0, &mut rng)
+}
+
+#[test]
+fn matmul_family_is_bitwise_identical_across_thread_counts() {
+    for &(m, k, n) in SHAPES {
+        let a = mk(m, k, 1);
+        let b = mk(k, n, 2);
+        let bt = mk(n, k, 3);
+        let bias = mk(1, n, 4);
+        let serial = with_num_threads(1, || {
+            (
+                a.matmul(&b),
+                a.matmul_nt(&bt),
+                a.matmul_tn(&mk(m, n, 5)),
+                a.matmul_bias(&b, &bias),
+            )
+        });
+        for &nt in THREADS {
+            let par = with_num_threads(nt, || {
+                (
+                    a.matmul(&b),
+                    a.matmul_nt(&bt),
+                    a.matmul_tn(&mk(m, n, 5)),
+                    a.matmul_bias(&b, &bias),
+                )
+            });
+            assert_eq!(serial.0, par.0, "matmul {m}x{k}x{n} at {nt} threads");
+            assert_eq!(serial.1, par.1, "matmul_nt {m}x{k}x{n} at {nt} threads");
+            assert_eq!(serial.2, par.2, "matmul_tn {m}x{k}x{n} at {nt} threads");
+            assert_eq!(serial.3, par.3, "matmul_bias {m}x{k}x{n} at {nt} threads");
+        }
+    }
+}
+
+#[test]
+fn batched_matmul_is_bitwise_identical_across_thread_counts() {
+    for &(batch, trans_b) in &[(1, false), (3, false), (5, true), (7, true)] {
+        let (m, p, n) = (3, 4, 5);
+        let a = mk(batch * m, p, 10);
+        let b = if trans_b {
+            mk(batch * n, p, 11)
+        } else {
+            mk(batch * p, n, 11)
+        };
+        let run = || {
+            let mut tape = Tape::new();
+            let av = tape.input(a.clone());
+            let bv = tape.input(b.clone());
+            let c = tape.batched_matmul(av, bv, batch, trans_b);
+            tape.value(c).clone()
+        };
+        let serial = with_num_threads(1, run);
+        for &nt in THREADS {
+            let par = with_num_threads(nt, run);
+            assert_eq!(serial, par, "batched batch={batch} trans_b={trans_b} at {nt} threads");
+        }
+    }
+}
+
+#[test]
+fn backward_gradients_are_bitwise_identical_across_thread_counts() {
+    // An MLP-like graph: input → matmul → tanh → matmul → weighted BCE.
+    let run = |nt: usize| {
+        with_num_threads(nt, || {
+            let mut rng = Rng::seed_from_u64(42);
+            let mut params = Params::new();
+            let w1 = params.add("w1", Matrix::randn(6, 13, 0.5, &mut rng));
+            let w2 = params.add("w2", Matrix::randn(13, 1, 0.5, &mut rng));
+            let x = Matrix::randn(21, 6, 1.0, &mut rng);
+            let pos: Vec<f32> = (0..21).map(|i| (i % 2) as f32).collect();
+            let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+            let mut tape = Tape::new();
+            let xv = tape.input(x);
+            let w1v = tape.param(&params, w1);
+            let h = tape.matmul(xv, w1v);
+            let h = tape.tanh(h);
+            let w2v = tape.param(&params, w2);
+            let z = tape.matmul(h, w2v);
+            let loss = tape.weighted_bce(z, &pos, &neg, 21.0, false);
+            params.zero_grads();
+            tape.backward(loss, &mut params);
+            (params.grad(w1).clone(), params.grad(w2).clone())
+        })
+    };
+    let serial = run(1);
+    for &nt in THREADS {
+        let par = run(nt);
+        assert_eq!(serial.0, par.0, "grad w1 differs at {nt} threads");
+        assert_eq!(serial.1, par.1, "grad w2 differs at {nt} threads");
+    }
+}
+
+#[test]
+fn gradcheck_passes_with_the_pool_and_threads_enabled() {
+    // Numeric gradient check with the parallel path + scratch pool active:
+    // pooled (stale-content) buffers must never leak into results.
+    with_num_threads(4, || {
+        let mut rng = Rng::seed_from_u64(7);
+        let mut params = Params::new();
+        let w = params.add("w", Matrix::randn(5, 3, 0.5, &mut rng));
+        let b = params.add("b", Matrix::zeros(1, 3));
+        let v = params.add("v", Matrix::randn(3, 1, 0.5, &mut rng));
+        let x = Matrix::randn(9, 5, 0.8, &mut rng);
+        let pos: Vec<f32> = (0..9).map(|i| (i % 3 == 0) as u8 as f32).collect();
+        let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let xv = tape.input(x.clone());
+            let wv = tape.param(params, w);
+            let bv = tape.param(params, b);
+            let h = tape.linear(xv, wv, bv);
+            let h = tape.tanh(h);
+            let vv = tape.param(params, v);
+            let z = tape.matmul(h, vv);
+            tape.weighted_bce(z, &pos, &neg, 9.0, false)
+        });
+        assert!(check.passes(3e-2), "max_rel_err={}", check.max_rel_err);
+    });
+}

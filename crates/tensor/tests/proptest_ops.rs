@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use uae_tensor::gradcheck::check_params;
-use uae_tensor::{Matrix, Params, Rng, Tape};
+use uae_tensor::{with_num_threads, Matrix, Params, Rng, Tape};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
@@ -113,6 +113,65 @@ proptest! {
             .map(|(&z, &y)| if y { uae_tensor::softplus(-z) } else { uae_tensor::softplus(z) })
             .sum::<f32>() / n as f32;
         prop_assert!((tape.value(loss).item() - reference).abs() < 1e-4);
+    }
+
+    /// The parallel backend is bit-identical to the serial path for every
+    /// shape — including ragged 1×1 / 1×n / n×1 cases and row counts that
+    /// do not divide evenly across the worker threads.
+    #[test]
+    fn parallel_matmul_is_bitwise_serial(
+        (m, k, n) in (1usize..24, 1usize..24, 1usize..24),
+        threads in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let bt = Matrix::randn(n, k, 1.0, &mut rng);
+        let at = Matrix::randn(m, n, 1.0, &mut rng);
+        let bias = Matrix::randn(1, n, 1.0, &mut rng);
+        let serial = with_num_threads(1, || {
+            (a.matmul(&b), a.matmul_nt(&bt), a.matmul_tn(&at), a.matmul_bias(&b, &bias))
+        });
+        let par = with_num_threads(threads, || {
+            (a.matmul(&b), a.matmul_nt(&bt), a.matmul_tn(&at), a.matmul_bias(&b, &bias))
+        });
+        prop_assert_eq!(&serial.0, &par.0, "matmul {}x{}x{} @ {}t", m, k, n, threads);
+        prop_assert_eq!(&serial.1, &par.1, "matmul_nt {}x{}x{} @ {}t", m, k, n, threads);
+        prop_assert_eq!(&serial.2, &par.2, "matmul_tn {}x{}x{} @ {}t", m, k, n, threads);
+        prop_assert_eq!(&serial.3, &par.3, "matmul_bias {}x{}x{} @ {}t", m, k, n, threads);
+    }
+
+    /// Backward through a tape graph is bit-identical across thread counts.
+    #[test]
+    fn parallel_backward_is_bitwise_serial(
+        threads in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let run = |nt: usize| with_num_threads(nt, || {
+            let mut rng = Rng::seed_from_u64(seed);
+            let mut params = Params::new();
+            let w1 = params.add("w1", Matrix::randn(4, 9, 0.5, &mut rng));
+            let w2 = params.add("w2", Matrix::randn(9, 1, 0.5, &mut rng));
+            let x = Matrix::randn(11, 4, 1.0, &mut rng);
+            let pos: Vec<f32> = (0..11).map(|i| (i % 2) as f32).collect();
+            let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
+            let mut tape = Tape::new();
+            let xv = tape.input(x);
+            let w1v = tape.param(&params, w1);
+            let h = tape.matmul(xv, w1v);
+            let h = tape.tanh(h);
+            let w2v = tape.param(&params, w2);
+            let z = tape.matmul(h, w2v);
+            let loss = tape.weighted_bce(z, &pos, &neg, 11.0, false);
+            params.zero_grads();
+            tape.backward(loss, &mut params);
+            (params.grad(w1).clone(), params.grad(w2).clone())
+        });
+        let serial = run(1);
+        let par = run(threads);
+        prop_assert_eq!(&serial.0, &par.0, "grad w1 @ {}t seed {}", threads, seed);
+        prop_assert_eq!(&serial.1, &par.1, "grad w2 @ {}t seed {}", threads, seed);
     }
 
     /// Gradient accumulation: two backward passes accumulate exactly twice
