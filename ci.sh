@@ -38,6 +38,27 @@ print('BENCH_perf.json valid:', ', '.join(doc['configs']))
 # The smoke run overwrites the committed (full-size) numbers; restore them.
 mv /tmp/BENCH_perf.committed.json BENCH_perf.json
 
+echo "==> telemetry smoke (JSONL sink + summarize round-trip)"
+rm -f /tmp/uae_ci_telemetry.jsonl
+UAE_TELEMETRY=/tmp/uae_ci_telemetry.jsonl ./target/release/uae smoke >/dev/null
+python3 -c "
+import json, sys
+lines = [l for l in open('/tmp/uae_ci_telemetry.jsonl') if l.strip()]
+assert lines, 'telemetry log is empty'
+records = [json.loads(l) for l in lines]
+first = records[0]
+assert first['type'] == 'run_manifest', first
+assert first['seq'] == 0 and first['run'] == 'smoke', first
+for k in ('version', 'seed', 'threads', 'kernel_mode', 'config'):
+    assert k in first, k
+kinds = {r['type'] for r in records}
+for k in ('phase_start', 'phase_end', 'fit_epoch', 'train_step', 'epoch', 'counter'):
+    assert k in kinds, f'missing event kind {k}'
+assert [r['seq'] for r in records] == list(range(len(records))), 'seq not dense'
+print(f'telemetry smoke OK: {len(records)} records, kinds: {sorted(kinds)}')
+"
+./target/release/uae summarize /tmp/uae_ci_telemetry.jsonl | grep -q "alternating optimization"
+
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 

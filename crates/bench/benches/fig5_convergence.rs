@@ -10,6 +10,7 @@ use uae_eval::{run_convergence, HarnessConfig};
 use uae_models::LabelMode;
 
 fn main() {
+    uae_bench::init_telemetry("fig5");
     let mut cfg = HarnessConfig::full();
     cfg.data_scale = 0.18;
     cfg.seeds.truncate(4);
@@ -20,13 +21,15 @@ fn main() {
         epochs,
         cfg.seeds.len()
     );
-    let start = std::time::Instant::now();
+    let span = uae_obs::span("fig5");
     let conv = run_convergence(&cfg, epochs);
+    let elapsed = span.elapsed();
+    drop(span);
     println!("{}", conv.render());
     println!(
-        "UAE arm ends with higher validation AUC: {}   [{:?}]",
-        conv.uae_ends_higher(),
-        start.elapsed()
+        "UAE arm ends with higher validation AUC: {}   [{elapsed:?}]",
+        conv.uae_ends_higher()
     );
     println!("Paper shape: the +UAE curve dominates with a narrower confidence band.");
+    uae_bench::flush_telemetry();
 }

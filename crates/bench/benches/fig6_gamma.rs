@@ -9,6 +9,7 @@ use uae_eval::{paper_gammas, render_reweight_curves, run_gamma_sweep, HarnessCon
 use uae_models::LabelMode;
 
 fn main() {
+    uae_bench::init_telemetry("fig6");
     println!("=== Fig. 6(a): re-weight function w = 1 − (α̂+1)^(−γ) ===\n");
     println!("{}", render_reweight_curves(&paper_gammas(), 10));
 
@@ -21,9 +22,12 @@ fn main() {
         cfg.data_scale,
         cfg.seeds.len()
     );
-    let start = std::time::Instant::now();
+    let span = uae_obs::span("fig6.sweep");
     let sweep = run_gamma_sweep(&cfg, &paper_gammas());
+    let elapsed = span.elapsed();
+    drop(span);
     println!("{}", sweep.render());
-    println!("best γ by AUC: {}   [{:?}]", sweep.best_gamma(), start.elapsed());
+    println!("best γ by AUC: {}   [{elapsed:?}]", sweep.best_gamma());
     println!("Paper shape: +UAE ≥ base for γ ≥ 10; optimum near γ = 15; insensitive for large γ.");
+    uae_bench::flush_telemetry();
 }

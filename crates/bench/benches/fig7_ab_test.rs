@@ -9,6 +9,7 @@ use uae_eval::{run_ab_test, AbConfig, HarnessConfig};
 use uae_models::LabelMode;
 
 fn main() {
+    uae_bench::init_telemetry("fig7");
     let mut cfg = HarnessConfig::full();
     cfg.data_scale = 0.18;
     cfg.label_mode = LabelMode::OraclePreference;
@@ -22,9 +23,12 @@ fn main() {
         "=== Fig. 7: 7-day A/B test (DCN-V2 vs DCN-V2+UAE, {} sessions/day, slate {}) ===\n",
         ab.sessions_per_day, ab.candidates
     );
-    let start = std::time::Instant::now();
+    let span = uae_obs::span("fig7.ab_test");
     let outcome = run_ab_test(&cfg, &ab);
+    let elapsed = span.elapsed();
+    drop(span);
     println!("{}", outcome.render());
-    println!("[{:?}]", start.elapsed());
+    println!("[{elapsed:?}]");
     println!("Paper shape: positive uplift every day, averaging > 2% on both metrics.");
+    uae_bench::flush_telemetry();
 }

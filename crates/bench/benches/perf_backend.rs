@@ -1,11 +1,15 @@
 //! Compute-backend benchmark trajectory (ISSUE: perf_opt tentpole).
 //!
-//! Measures three configurations of the `uae-tensor` backend:
+//! Measures four configurations of the `uae-tensor` backend:
 //!
 //! * `serial_baseline` — naive kernels (`UAE_KERNELS=naive`), scratch pool
 //!   disabled, one thread. This reproduces the seed's compute behaviour.
 //! * `blocked_1t`      — blocked kernels + scratch pool, one thread.
 //! * `blocked_4t`      — blocked kernels + scratch pool, `UAE_NUM_THREADS=4`.
+//! * `blocked_1t_telemetry` — as `blocked_1t` with a live JSONL telemetry
+//!   sink, quantifying the file-sink overhead (`derived` reports the
+//!   percentage against `blocked_1t`; the null-sink path is `blocked_1t`
+//!   itself since telemetry is compiled in and disabled there).
 //!
 //! Because `UAE_NUM_THREADS` / `UAE_KERNELS` are read once per process, each
 //! configuration runs in a re-spawned child of this same binary (selected via
@@ -115,6 +119,18 @@ fn alloc_count(batch: usize, dim: usize, t: usize) -> u64 {
 
 fn run_child(config: &str) {
     let pool_off = config == "serial_baseline";
+    if config.ends_with("_telemetry") {
+        let path = std::env::temp_dir().join(format!("uae_perf_{}.jsonl", std::process::id()));
+        let manifest = uae_obs::Manifest {
+            run: format!("perf_backend.{config}"),
+            version: uae_obs::version_string(),
+            seed: 5,
+            threads: uae_tensor::num_threads() as u64,
+            kernel_mode: format!("{:?}", uae_tensor::kernel_mode()),
+            config: vec![("smoke".into(), smoke().to_string())],
+        };
+        uae_obs::install_jsonl(&path, manifest).expect("telemetry sink for perf child");
+    }
     let run = || {
         let (reps_mm, reps_gru, reps_epoch) = if smoke() { (3, 2, 1) } else { (9, 5, 3) };
         let (batch, dim, t) = if smoke() { (16, 8, 4) } else { (64, 64, 20) };
@@ -141,6 +157,7 @@ fn run_child(config: &str) {
     } else {
         run();
     }
+    uae_obs::flush();
 }
 
 /// (config name, UAE_KERNELS, UAE_NUM_THREADS)
@@ -148,6 +165,7 @@ const CONFIGS: &[(&str, &str, &str)] = &[
     ("serial_baseline", "naive", "1"),
     ("blocked_1t", "blocked", "1"),
     ("blocked_4t", "blocked", "4"),
+    ("blocked_1t_telemetry", "blocked", "1"),
 ];
 
 fn spawn_child(config: &str, kernels: &str, threads: &str) -> Vec<(String, f64)> {
@@ -205,10 +223,13 @@ fn main() {
     let base = &results[0].1;
     let b1 = &results[1].1;
     let b4 = &results[2].1;
+    let tel = &results[3].1;
     let epoch_speedup_1t = lookup(base, "gru_epoch_ms") / lookup(b1, "gru_epoch_ms");
     let epoch_speedup_4t = lookup(base, "gru_epoch_ms") / lookup(b4, "gru_epoch_ms");
     let gru_speedup_4t = lookup(base, "gru_fwd_bwd_ms") / lookup(b4, "gru_fwd_bwd_ms");
     let alloc_reduction = 1.0 - lookup(b1, "scratch_allocs") / lookup(base, "scratch_allocs");
+    let telemetry_overhead_pct =
+        100.0 * (lookup(tel, "gru_epoch_ms") / lookup(b1, "gru_epoch_ms") - 1.0);
 
     let json = format!(
         "{{\n  \"bench\": \"perf_backend\",\n  \"smoke\": {},\n  \"cpus\": {},\n  \
@@ -218,7 +239,8 @@ fn main() {
          \"derived\": {{\n    \"gru_epoch_speedup_blocked_1t_vs_baseline\": {:.3},\n    \
          \"gru_epoch_speedup_blocked_4t_vs_baseline\": {:.3},\n    \
          \"gru_fwd_bwd_speedup_blocked_4t_vs_baseline\": {:.3},\n    \
-         \"scratch_alloc_reduction_vs_baseline\": {:.3}\n  }}\n}}\n",
+         \"scratch_alloc_reduction_vs_baseline\": {:.3},\n    \
+         \"gru_epoch_telemetry_overhead_pct\": {:.3}\n  }}\n}}\n",
         smoke(),
         cpus,
         sections.join(",\n"),
@@ -226,6 +248,7 @@ fn main() {
         epoch_speedup_4t,
         gru_speedup_4t,
         alloc_reduction,
+        telemetry_overhead_pct,
     );
 
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");

@@ -21,6 +21,7 @@ fn env_f64(key: &str, default: f64) -> f64 {
 }
 
 fn main() {
+    uae_bench::init_telemetry("table4");
     let mut cfg = HarnessConfig::full();
     cfg.data_scale = env_f64("UAE_SCALE", 0.2);
     let seeds = env_f64("UAE_SEEDS", 4.0) as usize;
@@ -36,13 +37,15 @@ fn main() {
         cfg.gamma,
         cfg.label_mode
     );
-    let start = std::time::Instant::now();
+    let span = uae_obs::span("table4.bench");
     let table = run_table4(&cfg);
+    let elapsed = span.elapsed();
+    drop(span);
     println!("{}", table.render());
     println!(
-        "+UAE wins {:.0}% of (dataset, model, metric) cells   [{:?}]",
-        100.0 * table.win_rate(),
-        start.elapsed()
+        "+UAE wins {:.0}% of (dataset, model, metric) cells   [{elapsed:?}]",
+        100.0 * table.win_rate()
     );
     println!("Paper: +UAE improves every cell; GAUC RelaImpr on Product averages ≈ 2.5%.");
+    uae_bench::flush_telemetry();
 }

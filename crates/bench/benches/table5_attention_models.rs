@@ -12,6 +12,7 @@ use uae_eval::{run_table5_with, AttentionMethod, HarnessConfig};
 use uae_models::LabelMode;
 
 fn main() {
+    uae_bench::init_telemetry("table5");
     let mut cfg = HarnessConfig::full();
     cfg.data_scale = std::env::var("UAE_SCALE")
         .ok()
@@ -34,11 +35,14 @@ fn main() {
             cfg.seeds.len(),
             cfg.gamma
         );
-        let start = std::time::Instant::now();
+        let span = uae_obs::span(&format!("table5.bench.{mode:?}"));
         let table = run_table5_with(&cfg, &methods);
+        let elapsed = span.elapsed();
+        drop(span);
         println!("{}", table.render(&methods));
-        println!("[{:?}]", start.elapsed());
+        println!("[{elapsed:?}]");
     }
     println!("\nPaper shape: +UAE best, +PN catastrophically worst (AUC ≈ 0.55 on Product),");
     println!("EDM/NDB/SAR between Base and UAE.");
+    uae_bench::flush_telemetry();
 }

@@ -187,17 +187,25 @@ impl Uae {
     /// loss. With `guard` set, finiteness sentinels run on the loss (before
     /// backward) and on the gradient norm (before the optimizer step), so a
     /// tripped sentinel leaves the parameters untouched.
+    ///
+    /// `clip_counts` accumulates `(clipped, total)` masked p̂ estimates
+    /// below the Eq. (16) clip — only while telemetry is enabled, and
+    /// without feeding back into the update.
     fn attention_step(
         &mut self,
         tape: &mut Tape,
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
+        clip_counts: &mut (u64, u64),
     ) -> Result<f64, Anomaly> {
         tape.clear();
         let gf = self.g.forward(tape, &self.params_g, batch);
         let h_logits = self.propensity_logits(tape, batch, &gf.z1);
         let p_hat = Self::probs_grid(tape, &h_logits);
+        if uae_obs::enabled() {
+            accumulate_clip_counts(batch, &p_hat, self.cfg.propensity_clip, clip_counts);
+        }
         let (pos, neg) = uae_attention_weights(batch, &p_hat, self.cfg.propensity_clip);
         let divisor = batch.valid_steps().max(1) as f32;
         let loss = masked_sequence_bce(
@@ -234,10 +242,14 @@ impl Uae {
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
+        clip_counts: &mut (u64, u64),
     ) -> Result<f64, Anomaly> {
         tape.clear();
         let gf = self.g.forward(tape, &self.params_g, batch);
         let alpha_hat = Self::probs_grid(tape, &gf.logits);
+        if uae_obs::enabled() {
+            accumulate_clip_counts(batch, &alpha_hat, self.cfg.attention_clip, clip_counts);
+        }
         let h_logits = self.propensity_logits(tape, batch, &gf.z1);
         let (pos, neg) = uae_propensity_weights(batch, &alpha_hat, self.cfg.attention_clip);
         let divisor = batch.valid_steps().max(1) as f32;
@@ -363,13 +375,21 @@ impl Uae {
             for epoch in start_epoch..self.cfg.epochs {
                 let mut att = (0.0f64, 0usize);
                 let mut pro = (0.0f64, 0usize);
+                // (clipped, total) masked estimates per phase, telemetry only.
+                let mut att_clip = (0u64, 0u64);
+                let mut pro_clip = (0u64, 0u64);
                 let mut anomaly: Option<Anomaly> = None;
                 'phases: {
                     // Phase 1: unbiased attention risk minimizer (lines 3–7).
+                    uae_obs::emit(|| uae_obs::Event::PhaseStart {
+                        name: "attention".into(),
+                        epoch: epoch as u64,
+                    });
+                    let phase_start = std::time::Instant::now();
                     for _ in 0..self.cfg.n_a {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.attention_step(&mut tape, &batches[bi], &mut opt_g, sup.enabled()) {
+                            match self.attention_step(&mut tape, &batches[bi], &mut opt_g, sup.enabled(), &mut att_clip) {
                                 Ok(v) => {
                                     att.0 += v;
                                     att.1 += 1;
@@ -382,11 +402,23 @@ impl Uae {
                             }
                         }
                     }
+                    uae_obs::emit(|| uae_obs::Event::PhaseEnd {
+                        name: "attention".into(),
+                        epoch: epoch as u64,
+                        steps: att.1 as u64,
+                        mean_risk: att.0 / att.1.max(1) as f64,
+                        micros: phase_start.elapsed().as_micros() as u64,
+                    });
                     // Phase 2: unbiased propensity risk minimizer (lines 8–12).
+                    uae_obs::emit(|| uae_obs::Event::PhaseStart {
+                        name: "propensity".into(),
+                        epoch: epoch as u64,
+                    });
+                    let phase_start = std::time::Instant::now();
                     for _ in 0..self.cfg.n_p {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.propensity_step(&mut tape, &batches[bi], &mut opt_h, sup.enabled()) {
+                            match self.propensity_step(&mut tape, &batches[bi], &mut opt_h, sup.enabled(), &mut pro_clip) {
                                 Ok(v) => {
                                     pro.0 += v;
                                     pro.1 += 1;
@@ -399,6 +431,13 @@ impl Uae {
                             }
                         }
                     }
+                    uae_obs::emit(|| uae_obs::Event::PhaseEnd {
+                        name: "propensity".into(),
+                        epoch: epoch as u64,
+                        steps: pro.1 as u64,
+                        mean_risk: pro.0 / pro.1.max(1) as f64,
+                        micros: phase_start.elapsed().as_micros() as u64,
+                    });
                 }
                 // Sentinel 3: never accept a checkpoint with poisoned arenas.
                 if anomaly.is_none() && sup.enabled() && sup.should_checkpoint(epoch) {
@@ -432,6 +471,16 @@ impl Uae {
                 }
                 report.attention_loss.push(att.0 / att.1.max(1) as f64);
                 report.propensity_loss.push(pro.0 / pro.1.max(1) as f64);
+                // The attention phase clips p̂ (Eq. 16); the propensity
+                // phase clips α̂ (Eq. 17) — hence the crossed naming.
+                uae_obs::emit(|| uae_obs::Event::FitEpoch {
+                    epoch: epoch as u64,
+                    attention_risk: att.0 / att.1.max(1) as f64,
+                    propensity_risk: pro.0 / pro.1.max(1) as f64,
+                    propensity_clip_rate: clip_rate(att_clip),
+                    attention_clip_rate: clip_rate(pro_clip),
+                });
+                uae_tensor::emit_backend_telemetry();
                 if sup.should_checkpoint(epoch) {
                     let bk = FitBookkeeping {
                         attention_loss: report.attention_loss.clone(),
@@ -548,6 +597,35 @@ impl FitBookkeeping {
             order,
             grad_clip,
         })
+    }
+}
+
+/// Counts masked grid entries whose estimate falls below the lower clip —
+/// the "how hard are the inverse weights leaning on the clip" diagnostic
+/// that debiased-learning ablations track. Accumulates `(clipped, total)`.
+fn accumulate_clip_counts(
+    batch: &SeqBatch,
+    grid: &WeightGrid,
+    clip: f32,
+    counts: &mut (u64, u64),
+) {
+    for (row, mask_row) in grid.iter().zip(&batch.mask) {
+        for (&est, &m) in row.iter().zip(mask_row) {
+            if m > 0.0 {
+                counts.1 += 1;
+                if est < clip {
+                    counts.0 += 1;
+                }
+            }
+        }
+    }
+}
+
+fn clip_rate(counts: (u64, u64)) -> f64 {
+    if counts.1 == 0 {
+        0.0
+    } else {
+        counts.0 as f64 / counts.1 as f64
     }
 }
 

@@ -394,25 +394,49 @@ pub fn over_seeds_isolated<T: Send>(
         std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(seed)))
             .map_err(panic_message)
     };
+    // Worker threads inherit the caller's telemetry sink (sharing its `seq`
+    // counter) so per-seed progress lands in the same JSONL stream.
+    let obs = uae_obs::current_handle();
     let outcomes = std::thread::scope(|scope| {
         let handles: Vec<_> = seeds
             .iter()
             .map(|&seed| {
-                scope.spawn(move || match attempt(seed) {
-                    Ok(v) => SeedOutcome::Ok(v),
-                    Err(first) => {
-                        let recovery_seed = derive_recovery_seed(seed);
-                        match attempt(recovery_seed) {
-                            Ok(value) => SeedOutcome::Recovered {
-                                recovery_seed,
-                                value,
+                let obs = obs.clone();
+                scope.spawn(move || {
+                    let run = move || {
+                        uae_obs::emit(|| uae_obs::Event::SeedStart { seed });
+                        let outcome = match attempt(seed) {
+                            Ok(v) => SeedOutcome::Ok(v),
+                            Err(first) => {
+                                let recovery_seed = derive_recovery_seed(seed);
+                                match attempt(recovery_seed) {
+                                    Ok(value) => SeedOutcome::Recovered {
+                                        recovery_seed,
+                                        value,
+                                    },
+                                    Err(second) => SeedOutcome::Failed(UaeError::SeedPanic {
+                                        seed,
+                                        recovery_seed: Some(recovery_seed),
+                                        message: format!("{first}; retry: {second}"),
+                                    }),
+                                }
+                            }
+                        };
+                        uae_obs::emit(|| uae_obs::Event::SeedEnd {
+                            seed,
+                            outcome: match &outcome {
+                                SeedOutcome::Ok(_) => "ok".to_string(),
+                                SeedOutcome::Recovered { recovery_seed, .. } => {
+                                    format!("recovered with derived seed {recovery_seed}")
+                                }
+                                SeedOutcome::Failed(e) => format!("failed: {e}"),
                             },
-                            Err(second) => SeedOutcome::Failed(UaeError::SeedPanic {
-                                seed,
-                                recovery_seed: Some(recovery_seed),
-                                message: format!("{first}; retry: {second}"),
-                            }),
-                        }
+                        });
+                        outcome
+                    };
+                    match obs {
+                        Some(h) => uae_obs::with_handle(h, run),
+                        None => run(),
                     }
                 })
             })

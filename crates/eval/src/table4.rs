@@ -55,7 +55,9 @@ pub struct Table4 {
 /// reported in [`Table4::faults`] and excluded from the aggregates.
 pub fn run_table4(cfg: &HarnessConfig) -> Table4 {
     let mut table = Table4::default();
+    let _table_span = uae_obs::span("table4");
     for preset in Preset::both() {
+        let _preset_span = uae_obs::span(&format!("table4.{}", preset.name()));
         let data = prepare(preset, cfg);
         // seed → per-model (base, uae) metrics
         let fan = over_seeds_isolated(&cfg.seeds, |seed| {

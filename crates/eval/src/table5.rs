@@ -71,7 +71,9 @@ pub fn run_table5(cfg: &HarnessConfig) -> Table5 {
 /// As [`run_table5`] but over a custom method list (used by ablations).
 pub fn run_table5_with(cfg: &HarnessConfig, methods: &[AttentionMethod]) -> Table5 {
     let mut table = Table5::default();
+    let _table_span = uae_obs::span("table5");
     for preset in Preset::both() {
+        let _preset_span = uae_obs::span(&format!("table5.{}", preset.name()));
         let data = prepare(preset, cfg);
         // seed → (per (method, model) metrics, per method quality)
         type SeedOut = (Vec<(usize, usize, f64, f64)>, Vec<(usize, f64, f64, f64)>);

@@ -451,7 +451,9 @@ pub fn train_supervised(
                 tape.backward(loss, params);
                 let norm = match current_clip {
                     Some(c) => params.clip_grad_norm(c),
-                    None if sup.enabled() => params.grad_norm(),
+                    // Telemetry wants the norm too, but only reads it — the
+                    // update is identical whether or not it is measured.
+                    None if sup.enabled() || uae_obs::enabled() => params.grad_norm(),
                     None => 0.0,
                 };
                 // Sentinel 2: a non-finite gradient aborts before the step.
@@ -463,6 +465,12 @@ pub fn train_supervised(
                 }
                 opt.step(params);
                 global_step += 1;
+                uae_obs::emit(|| uae_obs::Event::TrainStep {
+                    step: global_step,
+                    loss: loss_val,
+                    grad_norm: norm as f64,
+                    lr: opt.learning_rate() as f64,
+                });
             }
             if let Some(a) = anomaly {
                 match sup.on_anomaly(epoch, global_step as usize, &a) {
@@ -519,6 +527,13 @@ pub fn train_supervised(
                 train_auc,
                 val_auc,
             });
+            uae_obs::emit(|| uae_obs::Event::Epoch {
+                epoch: epoch as u64,
+                train_loss: loss_sum / batches.max(1) as f64,
+                train_auc,
+                val_auc,
+            });
+            uae_tensor::emit_backend_telemetry();
             let mut stop_early = false;
             if let Some(v) = val_auc {
                 if v > best_val {

@@ -1,0 +1,31 @@
+//! Typed telemetry errors, designed to fold into the workspace-wide
+//! `UaeError` (uae-runtime adds a `Telemetry(ObsError)` variant).
+
+use std::fmt;
+
+/// Everything that can go wrong reading or writing a telemetry stream.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ObsError {
+    /// Filesystem-level failure opening/creating/reading a JSONL log.
+    Io(String),
+    /// A JSONL line failed to decode. `line` is 1-based.
+    Malformed { line: usize, detail: String },
+    /// A log that should start with a run manifest does not.
+    MissingManifest,
+}
+
+impl fmt::Display for ObsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ObsError::Io(msg) => write!(f, "telemetry io error: {msg}"),
+            ObsError::Malformed { line, detail } => {
+                write!(f, "malformed telemetry record at line {line}: {detail}")
+            }
+            ObsError::MissingManifest => {
+                write!(f, "telemetry log does not start with a run manifest")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ObsError {}

@@ -1,0 +1,529 @@
+//! The typed telemetry event schema and its JSONL encoding.
+//!
+//! Every event serializes to one self-describing JSON object per line with a
+//! `seq` (per-sink monotonic) and a `type` tag; see DESIGN.md §9 for the
+//! schema table. Decoding is total: unknown types and missing fields are
+//! rejected with a descriptive message, never a panic.
+
+use crate::json::{parse, Json, ObjWriter};
+
+/// Identity of one telemetry run: emitted as the first record of a JSONL log
+/// so downstream tooling knows exactly what produced the stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// What is running (e.g. `"table4"`, `"uae.fit"`, `"smoke"`).
+    pub run: String,
+    /// Crate version, plus the git describe string when the build exported
+    /// one (see [`crate::version_string`]).
+    pub version: String,
+    /// Primary seed of the run.
+    pub seed: u64,
+    /// Backend worker-thread count in effect.
+    pub threads: u64,
+    /// Kernel mode in effect (`"Blocked"` / `"Naive"`).
+    pub kernel_mode: String,
+    /// Free-form config key/value pairs, order-preserving.
+    pub config: Vec<(String, String)>,
+}
+
+/// One telemetry event. See each variant for the emitting site.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// First record of every JSONL log: run identity and configuration.
+    RunManifest(Manifest),
+    /// A closed timing span (scoped wall-clock with parent nesting).
+    Span {
+        name: String,
+        /// Enclosing span name, if the span was nested.
+        parent: Option<String>,
+        micros: u64,
+    },
+    /// A monotonic counter observation (cumulative value at emit time).
+    Counter { name: String, value: u64 },
+    /// A point-in-time measurement.
+    Gauge { name: String, value: f64 },
+    /// One optimizer step of the downstream trainer.
+    TrainStep {
+        step: u64,
+        loss: f64,
+        grad_norm: f64,
+        lr: f64,
+    },
+    /// One completed epoch of the downstream trainer.
+    Epoch {
+        epoch: u64,
+        train_loss: f64,
+        train_auc: Option<f64>,
+        val_auc: Option<f64>,
+    },
+    /// One completed outer epoch of the UAE alternating optimization:
+    /// the dual risks (Eq. 16/17) and the inverse-weight clip rates.
+    FitEpoch {
+        epoch: u64,
+        attention_risk: f64,
+        propensity_risk: f64,
+        /// Fraction of p̂ estimates clipped from below in the attention
+        /// phase's Eq. (16) weights.
+        propensity_clip_rate: f64,
+        /// Fraction of α̂ estimates clipped from below in the propensity
+        /// phase's Eq. (17) weights.
+        attention_clip_rate: f64,
+    },
+    /// An alternating-optimization phase began.
+    PhaseStart { name: String, epoch: u64 },
+    /// An alternating-optimization phase ended.
+    PhaseEnd {
+        name: String,
+        epoch: u64,
+        steps: u64,
+        mean_risk: f64,
+        micros: u64,
+    },
+    /// A sentinel anomaly and the supervisor's reaction (rollback/abort).
+    Fault {
+        epoch: u64,
+        step: u64,
+        anomaly: String,
+        action: String,
+    },
+    /// A training checkpoint was accepted as last-good.
+    Checkpoint {
+        epoch: u64,
+        step: u64,
+        persisted: bool,
+    },
+    /// Training resumed from a snapshot.
+    Resume { epoch: u64, step: u64 },
+    /// A fanned-out seed began.
+    SeedStart { seed: u64 },
+    /// A fanned-out seed finished (`outcome`: `ok` / `recovered …` /
+    /// `failed: …`).
+    SeedEnd { seed: u64, outcome: String },
+}
+
+impl Event {
+    /// The `type` tag this event serializes under.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::RunManifest(_) => "run_manifest",
+            Event::Span { .. } => "span",
+            Event::Counter { .. } => "counter",
+            Event::Gauge { .. } => "gauge",
+            Event::TrainStep { .. } => "train_step",
+            Event::Epoch { .. } => "epoch",
+            Event::FitEpoch { .. } => "fit_epoch",
+            Event::PhaseStart { .. } => "phase_start",
+            Event::PhaseEnd { .. } => "phase_end",
+            Event::Fault { .. } => "fault",
+            Event::Checkpoint { .. } => "checkpoint",
+            Event::Resume { .. } => "resume",
+            Event::SeedStart { .. } => "seed_start",
+            Event::SeedEnd { .. } => "seed_end",
+        }
+    }
+
+    /// Serializes to one JSONL line (no trailing newline).
+    pub fn to_json_line(&self, seq: u64) -> String {
+        let mut w = ObjWriter::new();
+        w.u64("seq", seq).str("type", self.kind());
+        match self {
+            Event::RunManifest(m) => {
+                w.str("run", &m.run)
+                    .str("version", &m.version)
+                    .u64("seed", m.seed)
+                    .u64("threads", m.threads)
+                    .str("kernel_mode", &m.kernel_mode)
+                    .str_obj(
+                        "config",
+                        m.config.iter().map(|(k, v)| (k.as_str(), v.as_str())),
+                    );
+            }
+            Event::Span {
+                name,
+                parent,
+                micros,
+            } => {
+                w.str("name", name);
+                if let Some(p) = parent {
+                    w.str("parent", p);
+                }
+                w.u64("micros", *micros);
+            }
+            Event::Counter { name, value } => {
+                w.str("name", name).u64("value", *value);
+            }
+            Event::Gauge { name, value } => {
+                w.str("name", name).f64("value", *value);
+            }
+            Event::TrainStep {
+                step,
+                loss,
+                grad_norm,
+                lr,
+            } => {
+                w.u64("step", *step)
+                    .f64("loss", *loss)
+                    .f64("grad_norm", *grad_norm)
+                    .f64("lr", *lr);
+            }
+            Event::Epoch {
+                epoch,
+                train_loss,
+                train_auc,
+                val_auc,
+            } => {
+                w.u64("epoch", *epoch).f64("train_loss", *train_loss);
+                if let Some(a) = train_auc {
+                    w.f64("train_auc", *a);
+                }
+                if let Some(a) = val_auc {
+                    w.f64("val_auc", *a);
+                }
+            }
+            Event::FitEpoch {
+                epoch,
+                attention_risk,
+                propensity_risk,
+                propensity_clip_rate,
+                attention_clip_rate,
+            } => {
+                w.u64("epoch", *epoch)
+                    .f64("attention_risk", *attention_risk)
+                    .f64("propensity_risk", *propensity_risk)
+                    .f64("propensity_clip_rate", *propensity_clip_rate)
+                    .f64("attention_clip_rate", *attention_clip_rate);
+            }
+            Event::PhaseStart { name, epoch } => {
+                w.str("name", name).u64("epoch", *epoch);
+            }
+            Event::PhaseEnd {
+                name,
+                epoch,
+                steps,
+                mean_risk,
+                micros,
+            } => {
+                w.str("name", name)
+                    .u64("epoch", *epoch)
+                    .u64("steps", *steps)
+                    .f64("mean_risk", *mean_risk)
+                    .u64("micros", *micros);
+            }
+            Event::Fault {
+                epoch,
+                step,
+                anomaly,
+                action,
+            } => {
+                w.u64("epoch", *epoch)
+                    .u64("step", *step)
+                    .str("anomaly", anomaly)
+                    .str("action", action);
+            }
+            Event::Checkpoint {
+                epoch,
+                step,
+                persisted,
+            } => {
+                w.u64("epoch", *epoch)
+                    .u64("step", *step)
+                    .bool("persisted", *persisted);
+            }
+            Event::Resume { epoch, step } => {
+                w.u64("epoch", *epoch).u64("step", *step);
+            }
+            Event::SeedStart { seed } => {
+                w.u64("seed", *seed);
+            }
+            Event::SeedEnd { seed, outcome } => {
+                w.u64("seed", *seed).str("outcome", outcome);
+            }
+        }
+        w.finish()
+    }
+}
+
+/// One decoded JSONL record: the per-sink sequence number plus the event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    pub seq: u64,
+    pub event: Event,
+}
+
+fn req<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field '{key}'"))
+}
+
+fn req_str(v: &Json, key: &str) -> Result<String, String> {
+    req(v, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| format!("field '{key}' is not a string"))
+}
+
+fn req_u64(v: &Json, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("field '{key}' is not a u64"))
+}
+
+fn req_f64(v: &Json, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("field '{key}' is not a number"))
+}
+
+fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' is not a number")),
+    }
+}
+
+fn req_bool(v: &Json, key: &str) -> Result<bool, String> {
+    req(v, key)?
+        .as_bool()
+        .ok_or_else(|| format!("field '{key}' is not a bool"))
+}
+
+impl Record {
+    /// Parses one JSONL line back into a typed record.
+    pub fn from_json_line(line: &str) -> Result<Record, String> {
+        let v = parse(line)?;
+        let seq = req_u64(&v, "seq")?;
+        let kind = req_str(&v, "type")?;
+        let event = match kind.as_str() {
+            "run_manifest" => {
+                let config = req(&v, "config")?
+                    .as_obj()
+                    .ok_or("field 'config' is not an object")?
+                    .iter()
+                    .map(|(k, j)| {
+                        j.as_str()
+                            .map(|s| (k.clone(), s.to_string()))
+                            .ok_or_else(|| format!("config value '{k}' is not a string"))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                Event::RunManifest(Manifest {
+                    run: req_str(&v, "run")?,
+                    version: req_str(&v, "version")?,
+                    seed: req_u64(&v, "seed")?,
+                    threads: req_u64(&v, "threads")?,
+                    kernel_mode: req_str(&v, "kernel_mode")?,
+                    config,
+                })
+            }
+            "span" => Event::Span {
+                name: req_str(&v, "name")?,
+                parent: match v.get("parent") {
+                    None => None,
+                    Some(j) => Some(
+                        j.as_str()
+                            .map(str::to_string)
+                            .ok_or("field 'parent' is not a string")?,
+                    ),
+                },
+                micros: req_u64(&v, "micros")?,
+            },
+            "counter" => Event::Counter {
+                name: req_str(&v, "name")?,
+                value: req_u64(&v, "value")?,
+            },
+            "gauge" => Event::Gauge {
+                name: req_str(&v, "name")?,
+                value: req_f64(&v, "value")?,
+            },
+            "train_step" => Event::TrainStep {
+                step: req_u64(&v, "step")?,
+                loss: req_f64(&v, "loss")?,
+                grad_norm: req_f64(&v, "grad_norm")?,
+                lr: req_f64(&v, "lr")?,
+            },
+            "epoch" => Event::Epoch {
+                epoch: req_u64(&v, "epoch")?,
+                train_loss: req_f64(&v, "train_loss")?,
+                train_auc: opt_f64(&v, "train_auc")?,
+                val_auc: opt_f64(&v, "val_auc")?,
+            },
+            "fit_epoch" => Event::FitEpoch {
+                epoch: req_u64(&v, "epoch")?,
+                attention_risk: req_f64(&v, "attention_risk")?,
+                propensity_risk: req_f64(&v, "propensity_risk")?,
+                propensity_clip_rate: req_f64(&v, "propensity_clip_rate")?,
+                attention_clip_rate: req_f64(&v, "attention_clip_rate")?,
+            },
+            "phase_start" => Event::PhaseStart {
+                name: req_str(&v, "name")?,
+                epoch: req_u64(&v, "epoch")?,
+            },
+            "phase_end" => Event::PhaseEnd {
+                name: req_str(&v, "name")?,
+                epoch: req_u64(&v, "epoch")?,
+                steps: req_u64(&v, "steps")?,
+                mean_risk: req_f64(&v, "mean_risk")?,
+                micros: req_u64(&v, "micros")?,
+            },
+            "fault" => Event::Fault {
+                epoch: req_u64(&v, "epoch")?,
+                step: req_u64(&v, "step")?,
+                anomaly: req_str(&v, "anomaly")?,
+                action: req_str(&v, "action")?,
+            },
+            "checkpoint" => Event::Checkpoint {
+                epoch: req_u64(&v, "epoch")?,
+                step: req_u64(&v, "step")?,
+                persisted: req_bool(&v, "persisted")?,
+            },
+            "resume" => Event::Resume {
+                epoch: req_u64(&v, "epoch")?,
+                step: req_u64(&v, "step")?,
+            },
+            "seed_start" => Event::SeedStart {
+                seed: req_u64(&v, "seed")?,
+            },
+            "seed_end" => Event::SeedEnd {
+                seed: req_u64(&v, "seed")?,
+                outcome: req_str(&v, "outcome")?,
+            },
+            other => return Err(format!("unknown event type '{other}'")),
+        };
+        Ok(Record { seq, event })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One instance of every event kind, with edge-case field values.
+    pub(crate) fn one_of_each() -> Vec<Event> {
+        vec![
+            Event::RunManifest(Manifest {
+                run: "table4".into(),
+                version: "0.1.0".into(),
+                seed: u64::MAX,
+                threads: 4,
+                kernel_mode: "Blocked".into(),
+                config: vec![
+                    ("data_scale".into(), "0.2".into()),
+                    ("label\"mode".into(), "Oracle\nPreference".into()),
+                ],
+            }),
+            Event::Span {
+                name: "epoch".into(),
+                parent: Some("fit".into()),
+                micros: 123_456,
+            },
+            Event::Span {
+                name: "root".into(),
+                parent: None,
+                micros: 0,
+            },
+            Event::Counter {
+                name: "scratch.hits".into(),
+                value: u64::MAX - 1,
+            },
+            Event::Gauge {
+                name: "scratch.hit_rate".into(),
+                value: 0.9875,
+            },
+            Event::TrainStep {
+                step: 17,
+                loss: std::f64::consts::LN_2,
+                grad_norm: 1.25e-3,
+                lr: 1e-3,
+            },
+            Event::Epoch {
+                epoch: 3,
+                train_loss: 0.5,
+                train_auc: Some(0.71),
+                val_auc: None,
+            },
+            Event::FitEpoch {
+                epoch: 2,
+                attention_risk: 0.42,
+                propensity_risk: 0.37,
+                propensity_clip_rate: 0.125,
+                attention_clip_rate: 0.0,
+            },
+            Event::PhaseStart {
+                name: "attention".into(),
+                epoch: 1,
+            },
+            Event::PhaseEnd {
+                name: "propensity".into(),
+                epoch: 1,
+                steps: 320,
+                mean_risk: 0.33,
+                micros: 98_765,
+            },
+            Event::Fault {
+                epoch: 5,
+                step: 511,
+                anomaly: "non-finite loss = NaN".into(),
+                action: "rollback to epoch 4 (retry 1/3, lr ×0.5)".into(),
+            },
+            Event::Checkpoint {
+                epoch: 4,
+                step: 400,
+                persisted: true,
+            },
+            Event::Resume { epoch: 4, step: 400 },
+            Event::SeedStart { seed: 22 },
+            Event::SeedEnd {
+                seed: 22,
+                outcome: "recovered with derived seed 11419683247848848414".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn every_event_kind_round_trips() {
+        for (i, event) in one_of_each().into_iter().enumerate() {
+            let line = event.to_json_line(i as u64);
+            let rec = Record::from_json_line(&line)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{line}", event.kind()));
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.event, event, "mismatch for line {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_type_and_missing_fields_are_rejected() {
+        assert!(Record::from_json_line("{\"seq\":0,\"type\":\"wat\"}")
+            .unwrap_err()
+            .contains("unknown event type"));
+        assert!(Record::from_json_line("{\"seq\":0,\"type\":\"span\"}")
+            .unwrap_err()
+            .contains("missing field"));
+        assert!(Record::from_json_line("{\"type\":\"span\"}")
+            .unwrap_err()
+            .contains("seq"));
+        // Not JSON at all.
+        assert!(Record::from_json_line("{\"seq\":0,").is_err());
+    }
+
+    #[test]
+    fn non_finite_floats_survive_as_nan() {
+        let line = Event::TrainStep {
+            step: 1,
+            loss: f64::NAN,
+            grad_norm: f64::INFINITY,
+            lr: 1e-3,
+        }
+        .to_json_line(9);
+        let rec = Record::from_json_line(&line).unwrap();
+        match rec.event {
+            Event::TrainStep {
+                loss, grad_norm, ..
+            } => {
+                assert!(loss.is_nan());
+                assert!(grad_norm.is_nan());
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

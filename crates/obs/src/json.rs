@@ -1,0 +1,429 @@
+//! A minimal JSON writer and recursive-descent parser — just enough for the
+//! telemetry event schema, with zero dependencies.
+//!
+//! Numbers are kept as their raw source text on parse so `u64` fields (seeds
+//! can use all 64 bits) round-trip exactly instead of passing through `f64`.
+//! Non-finite floats serialize as `null` (strict JSON has no NaN/∞) and parse
+//! back as NaN when read through [`Json::as_f64`].
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value. Object keys keep their source order.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// The raw number token (e.g. `"-1.5e3"`, `"18446744073709551615"`).
+    Num(String),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up a key in an object (None for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `f64`; `null` reads as NaN (the writer's encoding of
+    /// non-finite floats).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            Json::Null => Some(f64::NAN),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64`, exact (parsed from the raw token, not via f64).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(entries) => Some(entries),
+            _ => None,
+        }
+    }
+}
+
+/// Appends a JSON string literal (with escaping) to `out`.
+pub fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Incremental single-line JSON object writer.
+#[derive(Debug, Default)]
+pub struct ObjWriter {
+    buf: String,
+    any: bool,
+}
+
+impl ObjWriter {
+    pub fn new() -> Self {
+        ObjWriter {
+            buf: String::from("{"),
+            any: false,
+        }
+    }
+
+    fn key(&mut self, k: &str) {
+        if self.any {
+            self.buf.push(',');
+        }
+        self.any = true;
+        write_escaped(&mut self.buf, k);
+        self.buf.push(':');
+    }
+
+    pub fn str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        write_escaped(&mut self.buf, v);
+        self
+    }
+
+    pub fn u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        let _ = write!(self.buf, "{v}");
+        self
+    }
+
+    /// Finite floats use Rust's shortest round-trip formatting; non-finite
+    /// values become `null` (read back as NaN).
+    pub fn f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        if v.is_finite() {
+            let _ = write!(self.buf, "{v}");
+        } else {
+            self.buf.push_str("null");
+        }
+        self
+    }
+
+    pub fn bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// A nested object of string key/value pairs, preserving order.
+    pub fn str_obj<'a>(
+        &mut self,
+        k: &str,
+        entries: impl IntoIterator<Item = (&'a str, &'a str)>,
+    ) -> &mut Self {
+        self.key(k);
+        self.buf.push('{');
+        let mut any = false;
+        for (ek, ev) in entries {
+            if any {
+                self.buf.push(',');
+            }
+            any = true;
+            write_escaped(&mut self.buf, ek);
+            self.buf.push(':');
+            write_escaped(&mut self.buf, ev);
+        }
+        self.buf.push('}');
+        self
+    }
+
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let bytes = src.as_bytes();
+    let mut p = Parser { src, bytes, pos: 0 };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != bytes.len() {
+        return Err(format!("trailing data at byte {}", p.pos));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected '{}' at byte {}",
+                b as char, self.pos
+            ))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Json) -> Result<Json, String> {
+        if self.src[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(format!("bad literal at byte {}", self.pos))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.number(),
+            Some(b) => Err(format!("unexpected '{}' at byte {}", b as char, self.pos)),
+            None => Err("unexpected end of input".into()),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let val = self.value()?;
+            entries.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(entries));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: copy the unescaped run in one go.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(&self.src[start..self.pos]);
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self
+                        .peek()
+                        .ok_or_else(|| "unterminated escape".to_string())?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .src
+                                .get(self.pos..self.pos + 4)
+                                .ok_or_else(|| "truncated \\u escape".to_string())?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape '{hex}'"))?;
+                            self.pos += 4;
+                            // Surrogate pairs are not produced by our writer;
+                            // map lone surrogates to the replacement char.
+                            out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        }
+                        other => {
+                            return Err(format!("bad escape '\\{}'", other as char));
+                        }
+                    }
+                }
+                _ => return Err("unterminated string".into()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'.' | b'e' | b'E' | b'+' | b'-') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let raw = &self.src[start..self.pos];
+        // Validate: must parse as f64 (covers every JSON number form).
+        raw.parse::<f64>()
+            .map_err(|_| format!("bad number '{raw}' at byte {start}"))?;
+        Ok(Json::Num(raw.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trips_with_escapes() {
+        let mut w = ObjWriter::new();
+        w.str("name", "line\nbreak \"quoted\" \\slash")
+            .u64("big", u64::MAX)
+            .f64("x", -1.5e-3)
+            .f64("nan", f64::NAN)
+            .bool("ok", true)
+            .str_obj("cfg", [("k", "v"), ("k2", "v2")]);
+        let line = w.finish();
+        let v = parse(&line).unwrap();
+        assert_eq!(
+            v.get("name").unwrap().as_str().unwrap(),
+            "line\nbreak \"quoted\" \\slash"
+        );
+        assert_eq!(v.get("big").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(v.get("x").unwrap().as_f64(), Some(-1.5e-3));
+        assert!(v.get("nan").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(v.get("ok").unwrap().as_bool(), Some(true));
+        let cfg = v.get("cfg").unwrap().as_obj().unwrap();
+        assert_eq!(cfg[0].0, "k");
+        assert_eq!(cfg[1].1, Json::Str("v2".into()));
+    }
+
+    #[test]
+    fn malformed_inputs_are_errors_not_panics() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "{\"a\":1",
+            "{\"a\":1}extra",
+            "\"unterminated",
+            "{\"a\":01x}",
+            "[1,2",
+            "{\"a\"=1}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn truncated_line_is_an_error() {
+        let mut w = ObjWriter::new();
+        w.str("type", "span").u64("micros", 12345);
+        let full = w.finish();
+        let cut = &full[..full.len() - 4];
+        assert!(parse(cut).is_err());
+    }
+
+    #[test]
+    fn control_chars_encode_as_u_escapes() {
+        let mut s = String::new();
+        write_escaped(&mut s, "a\u{1}b");
+        assert_eq!(s, "\"a\\u0001b\"");
+        assert_eq!(parse(&s).unwrap(), Json::Str("a\u{1}b".into()));
+    }
+}

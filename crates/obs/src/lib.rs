@@ -1,0 +1,327 @@
+//! # uae-obs — zero-dependency structured telemetry
+//!
+//! A lightweight facade over typed events, scoped timing spans, and
+//! counters/gauges, draining to pluggable sinks:
+//!
+//! * [`JsonlSink`] — one self-describing JSON object per line, monotonic
+//!   per-sink `seq` ids, run manifest as the first record.
+//! * [`MemorySink`] — collects [`Record`]s for tests.
+//! * null (the default) — disabled telemetry costs one relaxed atomic load
+//!   and a branch; event construction is behind a closure and never runs.
+//!
+//! Two installation scopes compose:
+//!
+//! * [`install_jsonl`] / [`install_global`] — process-wide sink, used by
+//!   the CLI (`UAE_TELEMETRY=/path/run.jsonl`).
+//! * [`with_sink`] / [`with_handle`] — thread-scoped override that wins
+//!   over the global sink; [`current_handle`] lets fan-out code carry the
+//!   caller's sink into worker threads while sharing one `seq` counter.
+//!
+//! Telemetry is determinism-neutral by construction: it only observes
+//! values, uses no RNG, and never feeds back into training state. The
+//! workspace test-enforces byte-identical checkpoints with the file sink
+//! on vs. off.
+
+mod error;
+mod event;
+mod json;
+mod sink;
+mod span;
+mod summary;
+
+pub use error::ObsError;
+pub use event::{Event, Manifest, Record};
+pub use sink::{parse_jsonl, read_jsonl, Handle, JsonlSink, MemorySink, NullSink, Sink};
+pub use span::Span;
+pub use summary::summarize;
+
+use std::cell::{Cell, RefCell};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, RwLock};
+
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+static GLOBAL: RwLock<Option<Arc<Handle>>> = RwLock::new(None);
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Handle>>> = const { RefCell::new(None) };
+    /// Mirror of `LOCAL.is_some()` readable without a RefCell borrow.
+    static LOCAL_ACTIVE: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Whether any sink is installed for this thread. This is the hot-path
+/// check: one TLS flag read plus one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    LOCAL_ACTIVE.try_with(Cell::get).unwrap_or(false) || GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Emits an event if telemetry is enabled. The closure only runs when a
+/// sink will actually receive the event, so callers can build strings and
+/// clone freely inside it.
+#[inline]
+pub fn emit<F: FnOnce() -> Event>(build: F) {
+    if !enabled() {
+        return;
+    }
+    emit_now(&build());
+}
+
+/// Emits an already-built event if telemetry is enabled. Prefer [`emit`]
+/// unless the event is already in hand.
+pub fn emit_now(event: &Event) {
+    let local = LOCAL
+        .try_with(|l| l.borrow().clone())
+        .ok()
+        .flatten();
+    if let Some(h) = local {
+        h.emit(event);
+        return;
+    }
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) {
+        if let Some(h) = GLOBAL.read().unwrap().as_ref() {
+            h.emit(event);
+        }
+    }
+}
+
+/// Emits a cumulative counter observation.
+#[inline]
+pub fn counter(name: &str, value: u64) {
+    emit(|| Event::Counter {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Emits a point-in-time gauge.
+#[inline]
+pub fn gauge(name: &str, value: f64) {
+    emit(|| Event::Gauge {
+        name: name.to_string(),
+        value,
+    });
+}
+
+/// Opens a timing span; the `span` event is emitted when the guard drops.
+/// The guard measures wall-clock even when telemetry is disabled, so
+/// `span.elapsed()` stays usable for local printing.
+pub fn span(name: &str) -> Span {
+    Span::enter(name, enabled())
+}
+
+/// The sink handle this thread would emit to right now (scoped first,
+/// then global). Fan-out code passes this into worker threads via
+/// [`with_handle`] so all threads share one sink and one `seq` counter.
+pub fn current_handle() -> Option<Arc<Handle>> {
+    if let Some(h) = LOCAL.try_with(|l| l.borrow().clone()).ok().flatten() {
+        return Some(h);
+    }
+    if GLOBAL_ENABLED.load(Ordering::Relaxed) {
+        return GLOBAL.read().unwrap().clone();
+    }
+    None
+}
+
+struct LocalGuard {
+    prev: Option<Arc<Handle>>,
+    prev_active: bool,
+}
+
+impl Drop for LocalGuard {
+    fn drop(&mut self) {
+        let _ = LOCAL.try_with(|l| *l.borrow_mut() = self.prev.take());
+        let _ = LOCAL_ACTIVE.try_with(|a| a.set(self.prev_active));
+    }
+}
+
+fn install_local(handle: Option<Arc<Handle>>) -> LocalGuard {
+    let prev_active = LOCAL_ACTIVE.with(|a| {
+        let prev = a.get();
+        a.set(handle.is_some());
+        prev
+    });
+    let prev = LOCAL.with(|l| l.borrow_mut().replace(handle.expect("install_local(None) unused")));
+    LocalGuard { prev, prev_active }
+}
+
+/// Runs `f` with `sink` installed as this thread's sink (a fresh `seq`
+/// counter starting at 0). Restores the previous scope on exit, including
+/// across panics.
+pub fn with_sink<S: Sink + 'static, R>(sink: Arc<S>, f: impl FnOnce() -> R) -> R {
+    with_handle(Arc::new(Handle::new(sink)), f)
+}
+
+/// Runs `f` with an existing [`Handle`] installed as this thread's sink.
+/// Unlike [`with_sink`] this shares the handle's `seq` counter — the way
+/// worker threads join the caller's telemetry stream.
+pub fn with_handle<R>(handle: Arc<Handle>, f: impl FnOnce() -> R) -> R {
+    let _guard = install_local(Some(handle));
+    f()
+}
+
+/// Installs a process-wide sink. Replaces any previous global sink
+/// (flushing it first).
+pub fn install_global<S: Sink + 'static>(sink: Arc<S>) {
+    let handle = Arc::new(Handle::new(sink));
+    let mut slot = GLOBAL.write().unwrap();
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(handle);
+    GLOBAL_ENABLED.store(true, Ordering::Relaxed);
+}
+
+/// Uninstalls the global sink (flushing it), returning telemetry to the
+/// disabled default. Thread-scoped sinks are unaffected.
+pub fn uninstall_global() {
+    let mut slot = GLOBAL.write().unwrap();
+    GLOBAL_ENABLED.store(false, Ordering::Relaxed);
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+}
+
+/// Creates a JSONL file sink at `path`, writes `manifest` as its first
+/// record (`seq: 0`), and installs it globally.
+pub fn install_jsonl(path: &Path, manifest: Manifest) -> Result<(), ObsError> {
+    let sink = Arc::new(JsonlSink::create(path)?);
+    let handle = Arc::new(Handle::new(sink));
+    handle.emit(&Event::RunManifest(manifest));
+    let mut slot = GLOBAL.write().unwrap();
+    if let Some(old) = slot.take() {
+        old.flush();
+    }
+    *slot = Some(handle);
+    GLOBAL_ENABLED.store(true, Ordering::Relaxed);
+    Ok(())
+}
+
+/// Flushes this thread's scoped sink (if any) and the global sink (if
+/// any). Call before process exit: global statics are never dropped, so
+/// buffered JSONL output is lost without an explicit flush.
+pub fn flush() {
+    if let Some(h) = LOCAL.try_with(|l| l.borrow().clone()).ok().flatten() {
+        h.flush();
+    }
+    if let Some(h) = GLOBAL.read().unwrap().as_ref() {
+        h.flush();
+    }
+}
+
+/// Crate version, extended with a git describe string when the build
+/// exported one via the `UAE_GIT_DESCRIBE` env var.
+pub fn version_string() -> String {
+    match option_env!("UAE_GIT_DESCRIBE") {
+        Some(desc) => format!("{} ({desc})", env!("CARGO_PKG_VERSION")),
+        None => env!("CARGO_PKG_VERSION").to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_emit_never_builds_the_event() {
+        // No sink installed on this thread (tests must not rely on global
+        // state, so use a scoped sink for the positive case below).
+        let mut built = false;
+        emit(|| {
+            built = true;
+            Event::Counter {
+                name: "never".into(),
+                value: 0,
+            }
+        });
+        assert!(!built, "closure ran with telemetry disabled");
+    }
+
+    #[test]
+    fn scoped_sink_captures_counters_and_gauges() {
+        let mem = Arc::new(MemorySink::new());
+        with_sink(mem.clone(), || {
+            assert!(enabled());
+            counter("hits", 3);
+            gauge("rate", 0.75);
+        });
+        let recs = mem.records();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(
+            recs[0].event,
+            Event::Counter {
+                name: "hits".into(),
+                value: 3
+            }
+        );
+        assert_eq!(recs[1].seq, 1);
+        // Scope has ended: no further capture.
+        counter("hits", 4);
+        assert_eq!(mem.len(), 2);
+    }
+
+    #[test]
+    fn with_handle_shares_one_seq_counter_across_threads() {
+        let mem = Arc::new(MemorySink::new());
+        with_sink(mem.clone(), || {
+            let handle = current_handle().expect("scoped sink installed");
+            std::thread::scope(|scope| {
+                for t in 0..4u64 {
+                    let handle = handle.clone();
+                    scope.spawn(move || {
+                        with_handle(handle, || {
+                            counter("worker", t);
+                        });
+                    });
+                }
+            });
+        });
+        let mut seqs: Vec<u64> = mem.records().iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, vec![0, 1, 2, 3], "seq ids must be unique");
+    }
+
+    #[test]
+    fn nested_scopes_restore_the_outer_sink() {
+        let outer = Arc::new(MemorySink::new());
+        let inner = Arc::new(MemorySink::new());
+        with_sink(outer.clone(), || {
+            with_sink(inner.clone(), || counter("x", 1));
+            counter("y", 2);
+        });
+        assert_eq!(inner.len(), 1);
+        assert_eq!(outer.len(), 1);
+        match &outer.records()[0].event {
+            Event::Counter { name, .. } => assert_eq!(name, "y"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn install_jsonl_writes_manifest_first() {
+        let dir = std::env::temp_dir().join("uae_obs_lib_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest_first.jsonl");
+        // Use a scoped JsonlSink rather than the global installer so this
+        // test stays independent of other tests' global state.
+        let sink = Arc::new(JsonlSink::create(&path).unwrap());
+        let handle = Arc::new(Handle::new(sink));
+        handle.emit(&Event::RunManifest(Manifest {
+            run: "t".into(),
+            version: version_string(),
+            seed: 1,
+            threads: 1,
+            kernel_mode: "Blocked".into(),
+            config: vec![],
+        }));
+        with_handle(handle.clone(), || counter("c", 1));
+        handle.flush();
+        let recs = read_jsonl(&path).unwrap();
+        assert!(matches!(recs[0].event, Event::RunManifest(_)));
+        assert_eq!(recs[0].seq, 0);
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(summarize(&parse_jsonl(&text).unwrap()).is_ok());
+        std::fs::remove_file(&path).ok();
+    }
+}

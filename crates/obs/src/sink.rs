@@ -1,0 +1,242 @@
+//! Pluggable event sinks: null (default), in-memory (tests), JSONL file.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::error::ObsError;
+use crate::event::{Event, Record};
+
+/// A telemetry drain. Implementations must be cheap per-event and
+/// thread-safe: `emit` may be called concurrently from worker threads.
+pub trait Sink: Send + Sync {
+    /// Consumes one event. `seq` is the per-sink monotonic sequence id
+    /// assigned by the facade before dispatch.
+    fn emit(&self, seq: u64, event: &Event);
+    /// Forces buffered output to its destination. Best-effort; the default
+    /// is a no-op.
+    fn flush(&self) {}
+}
+
+/// Discards everything. Exists only so disabled telemetry is a branch on a
+/// flag — the facade never dispatches to it.
+pub struct NullSink;
+
+impl Sink for NullSink {
+    fn emit(&self, _seq: u64, _event: &Event) {}
+}
+
+/// Collects events in memory; the test workhorse.
+#[derive(Default)]
+pub struct MemorySink {
+    records: Mutex<Vec<Record>>,
+}
+
+impl MemorySink {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot of everything emitted so far, in order.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().unwrap().clone()
+    }
+
+    /// Events only (sequence ids stripped), in order.
+    pub fn events(&self) -> Vec<Event> {
+        self.records
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|r| r.event.clone())
+            .collect()
+    }
+
+    /// Number of records captured so far.
+    pub fn len(&self) -> usize {
+        self.records.lock().unwrap().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Sink for MemorySink {
+    fn emit(&self, seq: u64, event: &Event) {
+        self.records.lock().unwrap().push(Record {
+            seq,
+            event: event.clone(),
+        });
+    }
+}
+
+/// Writes one self-describing JSON object per line through a buffered
+/// writer. Write errors are reported once on stderr and the sink goes
+/// inert — telemetry must never take down a training run.
+pub struct JsonlSink {
+    writer: Mutex<Option<BufWriter<File>>>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and returns a sink writing to it.
+    pub fn create(path: &Path) -> Result<Self, ObsError> {
+        let file = File::create(path).map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
+        Ok(JsonlSink {
+            writer: Mutex::new(Some(BufWriter::new(file))),
+        })
+    }
+
+    fn with_writer(&self, f: impl FnOnce(&mut BufWriter<File>) -> std::io::Result<()>) {
+        let mut guard = self.writer.lock().unwrap();
+        if let Some(w) = guard.as_mut() {
+            if let Err(e) = f(w) {
+                eprintln!("uae-obs: jsonl sink write failed, disabling: {e}");
+                *guard = None;
+            }
+        }
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, seq: u64, event: &Event) {
+        let line = event.to_json_line(seq);
+        self.with_writer(|w| {
+            w.write_all(line.as_bytes())?;
+            w.write_all(b"\n")
+        });
+    }
+
+    fn flush(&self) {
+        self.with_writer(|w| w.flush());
+    }
+}
+
+/// A sink paired with its own monotonic sequence counter. This is the unit
+/// the facade installs: each installed sink numbers its stream from 0, so a
+/// JSONL file always starts at `seq: 0` with the run manifest.
+pub struct Handle {
+    sink: Arc<dyn Sink>,
+    seq: AtomicU64,
+}
+
+impl Handle {
+    pub fn new(sink: Arc<dyn Sink>) -> Self {
+        Handle {
+            sink,
+            seq: AtomicU64::new(0),
+        }
+    }
+
+    /// Assigns the next sequence id and dispatches.
+    pub fn emit(&self, event: &Event) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        self.sink.emit(seq, event);
+    }
+
+    pub fn flush(&self) {
+        self.sink.flush();
+    }
+}
+
+/// Parses a full JSONL telemetry log from a string. Every line must decode;
+/// a malformed or truncated line yields a typed error naming the 1-based
+/// line number.
+pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ObsError> {
+    let mut out = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let rec = Record::from_json_line(line).map_err(|detail| ObsError::Malformed {
+            line: i + 1,
+            detail,
+        })?;
+        out.push(rec);
+    }
+    Ok(out)
+}
+
+/// Reads and parses a JSONL telemetry log from disk.
+pub fn read_jsonl(path: &Path) -> Result<Vec<Record>, ObsError> {
+    let file = File::open(path).map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
+    let mut text = String::new();
+    let mut reader = BufReader::new(file);
+    loop {
+        let mut line = String::new();
+        let n = reader
+            .read_line(&mut line)
+            .map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
+        if n == 0 {
+            break;
+        }
+        text.push_str(&line);
+    }
+    parse_jsonl(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Manifest;
+
+    #[test]
+    fn handle_assigns_monotonic_seq_from_zero() {
+        let mem = Arc::new(MemorySink::new());
+        let h = Handle::new(mem.clone());
+        for i in 0..5u64 {
+            h.emit(&Event::Counter {
+                name: "c".into(),
+                value: i,
+            });
+        }
+        let recs = mem.records();
+        assert_eq!(recs.len(), 5);
+        for (i, r) in recs.iter().enumerate() {
+            assert_eq!(r.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_round_trips_through_file() {
+        let dir = std::env::temp_dir().join("uae_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.jsonl");
+        let h = Handle::new(Arc::new(JsonlSink::create(&path).unwrap()));
+        let manifest = Event::RunManifest(Manifest {
+            run: "test".into(),
+            version: "0".into(),
+            seed: 7,
+            threads: 1,
+            kernel_mode: "Blocked".into(),
+            config: vec![],
+        });
+        h.emit(&manifest);
+        h.emit(&Event::Gauge {
+            name: "g".into(),
+            value: 2.5,
+        });
+        h.flush();
+        let recs = read_jsonl(&path).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].seq, 0);
+        assert_eq!(recs[0].event, manifest);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn truncated_trailing_line_is_a_typed_error() {
+        let good = Event::Counter {
+            name: "c".into(),
+            value: 1,
+        }
+        .to_json_line(0);
+        let text = format!("{good}\n{{\"seq\":1,\"type\":\"cou");
+        match parse_jsonl(&text) {
+            Err(ObsError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+}

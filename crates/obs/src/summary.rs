@@ -1,0 +1,306 @@
+//! Renders a parsed JSONL telemetry log into a human-readable report:
+//! run manifest header, per-epoch risk/clip table, phase timings, faults,
+//! checkpoints, seed outcomes, and counter/gauge finals.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::error::ObsError;
+use crate::event::{Event, Record};
+
+/// Summarizes a telemetry stream. The first record must be a run manifest
+/// (as every facade-installed JSONL sink guarantees); otherwise
+/// [`ObsError::MissingManifest`] is returned.
+pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
+    let manifest = match records.first().map(|r| &r.event) {
+        Some(Event::RunManifest(m)) => m,
+        _ => return Err(ObsError::MissingManifest),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "run: {}  (version {})", manifest.run, manifest.version);
+    let _ = writeln!(
+        out,
+        "seed: {}  threads: {}  kernels: {}",
+        manifest.seed, manifest.threads, manifest.kernel_mode
+    );
+    if !manifest.config.is_empty() {
+        let cfg = manifest
+            .config
+            .iter()
+            .map(|(k, v)| format!("{k}={v}"))
+            .collect::<Vec<_>>()
+            .join("  ");
+        let _ = writeln!(out, "config: {cfg}");
+    }
+    let _ = writeln!(out, "records: {}", records.len());
+
+    // Collect per-section data in one pass.
+    let mut fit_epochs = Vec::new();
+    let mut epochs = Vec::new();
+    let mut phase_ends = Vec::new();
+    let mut faults = Vec::new();
+    let mut checkpoints = 0usize;
+    let mut resumes = Vec::new();
+    let mut seed_ends = Vec::new();
+    let mut steps = 0usize;
+    let mut last_step: Option<(u64, f64, f64)> = None;
+    let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
+    let mut spans: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // name -> (count, total µs)
+
+    for r in records {
+        match &r.event {
+            Event::FitEpoch { .. } => fit_epochs.push(&r.event),
+            Event::Epoch { .. } => epochs.push(&r.event),
+            Event::PhaseEnd { .. } => phase_ends.push(&r.event),
+            Event::Fault { .. } => faults.push(&r.event),
+            Event::Checkpoint { .. } => checkpoints += 1,
+            Event::Resume { epoch, step } => resumes.push((*epoch, *step)),
+            Event::SeedEnd { seed, outcome } => seed_ends.push((*seed, outcome.as_str())),
+            Event::TrainStep {
+                step, loss, grad_norm, ..
+            } => {
+                steps += 1;
+                last_step = Some((*step, *loss, *grad_norm));
+            }
+            Event::Counter { name, value } => {
+                counters.insert(name, *value);
+            }
+            Event::Gauge { name, value } => {
+                gauges.insert(name, *value);
+            }
+            Event::Span { name, micros, .. } => {
+                let e = spans.entry(name).or_insert((0, 0));
+                e.0 += 1;
+                e.1 += micros;
+            }
+            _ => {}
+        }
+    }
+
+    if !fit_epochs.is_empty() {
+        let _ = writeln!(out, "\nalternating optimization ({} epochs):", fit_epochs.len());
+        let _ = writeln!(
+            out,
+            "  {:>5}  {:>12}  {:>12}  {:>10}  {:>10}",
+            "epoch", "att_risk", "prop_risk", "p_clip%", "a_clip%"
+        );
+        for e in &fit_epochs {
+            if let Event::FitEpoch {
+                epoch,
+                attention_risk,
+                propensity_risk,
+                propensity_clip_rate,
+                attention_clip_rate,
+            } = e
+            {
+                let _ = writeln!(
+                    out,
+                    "  {:>5}  {:>12.6}  {:>12.6}  {:>9.2}%  {:>9.2}%",
+                    epoch,
+                    attention_risk,
+                    propensity_risk,
+                    propensity_clip_rate * 100.0,
+                    attention_clip_rate * 100.0
+                );
+            }
+        }
+    }
+
+    if !epochs.is_empty() {
+        let _ = writeln!(out, "\ntrainer epochs ({}):", epochs.len());
+        for e in &epochs {
+            if let Event::Epoch {
+                epoch,
+                train_loss,
+                train_auc,
+                val_auc,
+            } = e
+            {
+                let mut line = format!("  epoch {epoch}: loss {train_loss:.6}");
+                if let Some(a) = train_auc {
+                    let _ = write!(line, "  train_auc {a:.4}");
+                }
+                if let Some(a) = val_auc {
+                    let _ = write!(line, "  val_auc {a:.4}");
+                }
+                let _ = writeln!(out, "{line}");
+            }
+        }
+    }
+
+    if steps > 0 {
+        if let Some((step, loss, norm)) = last_step {
+            let _ = writeln!(
+                out,
+                "\nsteps: {steps} recorded (last: step {step}, loss {loss:.6}, grad_norm {norm:.6})"
+            );
+        }
+    }
+
+    if !phase_ends.is_empty() {
+        let _ = writeln!(out, "\nphases:");
+        for e in &phase_ends {
+            if let Event::PhaseEnd {
+                name,
+                epoch,
+                steps,
+                mean_risk,
+                micros,
+            } = e
+            {
+                let _ = writeln!(
+                    out,
+                    "  {name} (epoch {epoch}): {steps} steps, mean risk {mean_risk:.6}, {:.1} ms",
+                    *micros as f64 / 1000.0
+                );
+            }
+        }
+    }
+
+    if !faults.is_empty() || checkpoints > 0 || !resumes.is_empty() {
+        let _ = writeln!(out, "\nfault tolerance:");
+        let _ = writeln!(out, "  checkpoints accepted: {checkpoints}");
+        for (epoch, step) in &resumes {
+            let _ = writeln!(out, "  resumed from epoch {epoch}, step {step}");
+        }
+        for e in &faults {
+            if let Event::Fault {
+                epoch,
+                step,
+                anomaly,
+                action,
+            } = e
+            {
+                let _ = writeln!(out, "  fault @ epoch {epoch} step {step}: {anomaly} -> {action}");
+            }
+        }
+    }
+
+    if !seed_ends.is_empty() {
+        let _ = writeln!(out, "\nseeds:");
+        for (seed, outcome) in &seed_ends {
+            let _ = writeln!(out, "  seed {seed}: {outcome}");
+        }
+    }
+
+    if !spans.is_empty() {
+        let _ = writeln!(out, "\nspans (total wall-clock by name):");
+        let mut rows: Vec<_> = spans.into_iter().collect();
+        rows.sort_by_key(|row| std::cmp::Reverse(row.1 .1));
+        for (name, (count, micros)) in rows {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>6}x  {:>10.1} ms",
+                name,
+                count,
+                micros as f64 / 1000.0
+            );
+        }
+    }
+
+    if !counters.is_empty() {
+        let _ = writeln!(out, "\ncounters (final values):");
+        for (name, value) in &counters {
+            let _ = writeln!(out, "  {name:<32} {value}");
+        }
+    }
+
+    if !gauges.is_empty() {
+        let _ = writeln!(out, "\ngauges (final values):");
+        for (name, value) in &gauges {
+            let _ = writeln!(out, "  {name:<32} {value:.6}");
+        }
+    }
+
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Manifest;
+
+    fn rec(seq: u64, event: Event) -> Record {
+        Record { seq, event }
+    }
+
+    #[test]
+    fn summarize_requires_leading_manifest() {
+        let records = vec![rec(
+            0,
+            Event::Counter {
+                name: "c".into(),
+                value: 1,
+            },
+        )];
+        assert_eq!(summarize(&records), Err(ObsError::MissingManifest));
+        assert_eq!(summarize(&[]), Err(ObsError::MissingManifest));
+    }
+
+    #[test]
+    fn summarize_renders_all_sections() {
+        let records = vec![
+            rec(
+                0,
+                Event::RunManifest(Manifest {
+                    run: "fit".into(),
+                    version: "0.1.0".into(),
+                    seed: 42,
+                    threads: 4,
+                    kernel_mode: "Blocked".into(),
+                    config: vec![("gamma".into(), "0.8".into())],
+                }),
+            ),
+            rec(
+                1,
+                Event::FitEpoch {
+                    epoch: 0,
+                    attention_risk: 0.5,
+                    propensity_risk: 0.4,
+                    propensity_clip_rate: 0.01,
+                    attention_clip_rate: 0.0,
+                },
+            ),
+            rec(
+                2,
+                Event::PhaseEnd {
+                    name: "attention".into(),
+                    epoch: 0,
+                    steps: 10,
+                    mean_risk: 0.5,
+                    micros: 1500,
+                },
+            ),
+            rec(
+                3,
+                Event::Fault {
+                    epoch: 0,
+                    step: 5,
+                    anomaly: "nan".into(),
+                    action: "rollback".into(),
+                },
+            ),
+            rec(
+                4,
+                Event::Counter {
+                    name: "scratch.hits".into(),
+                    value: 99,
+                },
+            ),
+        ];
+        let text = summarize(&records).unwrap();
+        for needle in [
+            "run: fit",
+            "seed: 42",
+            "gamma=0.8",
+            "att_risk",
+            "attention (epoch 0)",
+            "fault @ epoch 0 step 5",
+            "scratch.hits",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+    }
+}

@@ -40,6 +40,9 @@ pub enum UaeError {
         recovery_seed: Option<u64>,
         message: String,
     },
+    /// A telemetry stream failed to read, write, or parse
+    /// (`uae_obs::ObsError`).
+    Telemetry(uae_obs::ObsError),
 }
 
 impl std::fmt::Display for UaeError {
@@ -75,6 +78,7 @@ impl std::fmt::Display for UaeError {
                 ),
                 None => write!(f, "seed {seed} panicked: {message}"),
             },
+            UaeError::Telemetry(e) => write!(f, "telemetry failed: {e}"),
         }
     }
 }
@@ -96,6 +100,12 @@ impl From<uae_tensor::DecodeError> for UaeError {
 impl From<CheckpointError> for UaeError {
     fn from(e: CheckpointError) -> Self {
         UaeError::Checkpoint(e)
+    }
+}
+
+impl From<uae_obs::ObsError> for UaeError {
+    fn from(e: uae_obs::ObsError) -> Self {
+        UaeError::Telemetry(e)
     }
 }
 
@@ -125,5 +135,8 @@ mod tests {
             message: "boom".into(),
         };
         assert!(e.to_string().contains("recovery seed 99"));
+
+        let e: UaeError = uae_obs::ObsError::MissingManifest.into();
+        assert!(e.to_string().contains("manifest"));
     }
 }

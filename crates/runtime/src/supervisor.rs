@@ -146,6 +146,10 @@ impl Supervisor {
     pub fn take_resume(&mut self) -> Option<TrainSnapshot> {
         let snap = self.resume.take()?;
         self.last_good = Some(snap.clone());
+        uae_obs::emit(|| uae_obs::Event::Resume {
+            epoch: snap.epoch,
+            step: snap.step,
+        });
         Some(snap)
     }
 
@@ -167,6 +171,11 @@ impl Supervisor {
             })?;
             snapshot.write_to(&dir.join("latest.uaec"))?;
         }
+        uae_obs::emit(|| uae_obs::Event::Checkpoint {
+            epoch: snapshot.epoch,
+            step: snapshot.step,
+            persisted: self.cfg.persist_dir.is_some(),
+        });
         self.last_good = Some(snapshot);
         Ok(())
     }
@@ -184,17 +193,18 @@ impl Supervisor {
             (Some(snap), true) => {
                 let lr_scale = self.cfg.lr_backoff.powi(self.retries as i32);
                 let clip_scale = self.cfg.clip_backoff.powi(self.retries as i32);
-                self.faults.push(FaultEvent {
+                let snapshot = snap.clone();
+                self.push_fault(FaultEvent {
                     epoch,
                     step,
                     anomaly: anomaly.to_string(),
                     action: format!(
                         "rollback to epoch {} (retry {}/{}, lr ×{lr_scale})",
-                        snap.epoch, self.retries, self.cfg.max_retries
+                        snapshot.epoch, self.retries, self.cfg.max_retries
                     ),
                 });
                 Recovery::Rollback {
-                    snapshot: snap.clone(),
+                    snapshot,
                     lr_scale,
                     clip_scale,
                 }
@@ -205,7 +215,7 @@ impl Supervisor {
                 } else {
                     "retry budget exhausted"
                 };
-                self.faults.push(FaultEvent {
+                self.push_fault(FaultEvent {
                     epoch,
                     step,
                     anomaly: anomaly.to_string(),
@@ -220,6 +230,18 @@ impl Supervisor {
                 })
             }
         }
+    }
+
+    /// Records a fault in the run log and mirrors it to the telemetry sink,
+    /// so a rollback is visible in the JSONL stream at the step it happened.
+    fn push_fault(&mut self, fault: FaultEvent) {
+        uae_obs::emit(|| uae_obs::Event::Fault {
+            epoch: fault.epoch as u64,
+            step: fault.step as u64,
+            anomaly: fault.anomaly.clone(),
+            action: fault.action.clone(),
+        });
+        self.faults.push(fault);
     }
 
     /// Rollback retries consumed so far.

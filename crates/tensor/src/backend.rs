@@ -138,6 +138,128 @@ pub fn with_pool_disabled<R>(f: impl FnOnce() -> R) -> R {
     f()
 }
 
+// ------------------------------------------------------------- dispatch stats
+
+thread_local! {
+    static KERNEL_CALLS: Cell<u64> = const { Cell::new(0) };
+    static ELEMWISE_CALLS: Cell<u64> = const { Cell::new(0) };
+    static PAR_REGIONS: Cell<u64> = const { Cell::new(0) };
+    static SERIAL_REGIONS: Cell<u64> = const { Cell::new(0) };
+    static PAR_WORKERS: Cell<u64> = const { Cell::new(0) };
+    static KERNEL_NANOS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Kernel-dispatch counters for the calling thread. Counts are maintained
+/// unconditionally (a TLS increment per dispatch); `kernel_nanos` is only
+/// accumulated while a telemetry sink is installed, so the disabled-path
+/// cost stays one branch.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DispatchStats {
+    /// Matmul-family dispatches (`matmul`, `matmul_bias`, `matmul_tn`,
+    /// `matmul_nt`, `batched_matmul`, `batched_matmul_grads`).
+    pub kernel_calls: u64,
+    /// Element-wise dispatches (`map_elems`, `zip_map_elems`).
+    pub elemwise_calls: u64,
+    /// Row-partitioned regions that fanned out to the worker pool.
+    pub par_regions: u64,
+    /// Regions that stayed serial (small work or one thread configured).
+    pub serial_regions: u64,
+    /// Sum of worker counts over parallel regions; divide by `par_regions`
+    /// for mean fan-out.
+    pub par_workers: u64,
+    /// Wall-clock nanoseconds inside matmul-family dispatches, telemetry
+    /// sessions only (0 when telemetry stayed disabled).
+    pub kernel_nanos: u64,
+}
+
+impl DispatchStats {
+    /// Mean worker count across parallel regions (0 when none ran).
+    pub fn mean_par_workers(&self) -> f64 {
+        if self.par_regions == 0 {
+            0.0
+        } else {
+            self.par_workers as f64 / self.par_regions as f64
+        }
+    }
+}
+
+/// Snapshot of this thread's kernel-dispatch counters.
+pub fn dispatch_stats() -> DispatchStats {
+    DispatchStats {
+        kernel_calls: KERNEL_CALLS.with(Cell::get),
+        elemwise_calls: ELEMWISE_CALLS.with(Cell::get),
+        par_regions: PAR_REGIONS.with(Cell::get),
+        serial_regions: SERIAL_REGIONS.with(Cell::get),
+        par_workers: PAR_WORKERS.with(Cell::get),
+        kernel_nanos: KERNEL_NANOS.with(Cell::get),
+    }
+}
+
+/// Zeroes this thread's kernel-dispatch counters.
+pub fn reset_dispatch_stats() {
+    KERNEL_CALLS.with(|c| c.set(0));
+    ELEMWISE_CALLS.with(|c| c.set(0));
+    PAR_REGIONS.with(|c| c.set(0));
+    SERIAL_REGIONS.with(|c| c.set(0));
+    PAR_WORKERS.with(|c| c.set(0));
+    KERNEL_NANOS.with(|c| c.set(0));
+}
+
+#[inline]
+fn bump(cell: &'static std::thread::LocalKey<Cell<u64>>, by: u64) {
+    cell.with(|c| c.set(c.get() + by));
+}
+
+/// RAII guard around one matmul-family dispatch: counts the call always,
+/// accumulates wall-clock only when telemetry is enabled.
+struct KernelTimer {
+    start: Option<std::time::Instant>,
+}
+
+impl KernelTimer {
+    #[inline]
+    fn begin() -> KernelTimer {
+        bump(&KERNEL_CALLS, 1);
+        KernelTimer {
+            start: if uae_obs::enabled() {
+                Some(std::time::Instant::now())
+            } else {
+                None
+            },
+        }
+    }
+}
+
+impl Drop for KernelTimer {
+    #[inline]
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            bump(&KERNEL_NANOS, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Emits this thread's backend counters (kernel dispatch, thread-pool
+/// utilization, scratch-pool hit/miss) to the active telemetry sink.
+/// Cheap no-op when telemetry is disabled.
+pub fn emit_backend_telemetry() {
+    if !uae_obs::enabled() {
+        return;
+    }
+    let d = dispatch_stats();
+    uae_obs::counter("backend.kernel_calls", d.kernel_calls);
+    uae_obs::counter("backend.elemwise_calls", d.elemwise_calls);
+    uae_obs::counter("backend.par_regions", d.par_regions);
+    uae_obs::counter("backend.serial_regions", d.serial_regions);
+    uae_obs::gauge("backend.mean_par_workers", d.mean_par_workers());
+    uae_obs::gauge("backend.kernel_ms", d.kernel_nanos as f64 / 1e6);
+    let s = scratch_stats();
+    uae_obs::counter("scratch.hits", s.hits);
+    uae_obs::counter("scratch.misses", s.misses);
+    uae_obs::counter("scratch.returned", s.returned);
+    uae_obs::gauge("scratch.hit_rate", s.hit_rate());
+}
+
 // --------------------------------------------------------------- scratch pool
 
 /// Total bytes the pool may retain per thread; recycling beyond this frees.
@@ -318,9 +440,12 @@ fn par_rows(
     debug_assert_eq!(out.len(), rows * row_width);
     let nt = plan_threads(rows, flops);
     if nt <= 1 || row_width == 0 {
+        bump(&SERIAL_REGIONS, 1);
         kernel(0, rows, out);
         return;
     }
+    bump(&PAR_REGIONS, 1);
+    bump(&PAR_WORKERS, nt as u64);
     let chunk_rows = rows.div_ceil(nt);
     std::thread::scope(|s| {
         let mut rest = out;
@@ -580,6 +705,7 @@ fn matmul_nt_rows_naive(
 
 /// `a·b` for `a: m×k`, `b: k×n`, returned as a row-major buffer.
 pub(crate) fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let _t = KernelTimer::begin();
     let mut out = take_uninit(m * n);
     let mode = kernel_mode();
     par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
@@ -603,6 +729,7 @@ pub(crate) fn matmul_bias(
     bias: &[f32],
 ) -> Vec<f32> {
     debug_assert_eq!(bias.len(), n);
+    let _t = KernelTimer::begin();
     let mut out = take_uninit(m * n);
     let mode = kernel_mode();
     par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
@@ -621,6 +748,7 @@ pub(crate) fn matmul_bias(
 
 /// `aᵀ·b` for `a: r×c`, `b: r×n` (output `c×n`), without materialising `aᵀ`.
 pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let _t = KernelTimer::begin();
     let mut out = take_uninit(a_cols * n);
     let mode = kernel_mode();
     par_rows(
@@ -638,6 +766,7 @@ pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[
 
 /// `a·bᵀ` for `a: m×k`, `b: j×k` (output `m×j`), without materialising `bᵀ`.
 pub(crate) fn matmul_nt(m: usize, k: usize, jrows: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+    let _t = KernelTimer::begin();
     let mut out = take_uninit(m * jrows);
     let mode = kernel_mode();
     par_rows(
@@ -665,6 +794,7 @@ pub(crate) fn batched_matmul(
     a: &[f32],
     b: &[f32],
 ) -> Vec<f32> {
+    let _t = KernelTimer::begin();
     let mut out = take_uninit(batch * m * n);
     let mode = kernel_mode();
     // A slice of `b` is n×p when transposed (packing (batch, n, p)), else
@@ -712,6 +842,7 @@ pub(crate) fn batched_matmul_grads(
 ) -> (Vec<f32>, Vec<f32>) {
     // Per-batch slice of `b`/`gb`: n×p when transposed, p×n otherwise —
     // the same element count either way.
+    let _t = KernelTimer::begin();
     let bsl = p * n;
     let mut ga = take_uninit(batch * m * p);
     let mut gb = take_uninit(batch * bsl);
@@ -749,8 +880,11 @@ pub(crate) fn batched_matmul_grads(
     };
     let nt = plan_threads(batch, 2 * batch * m * p * n);
     if nt <= 1 || ga.is_empty() {
+        bump(&SERIAL_REGIONS, 1);
         kernel(0, &mut ga, &mut gb);
     } else {
+        bump(&PAR_REGIONS, 1);
+        bump(&PAR_WORKERS, nt as u64);
         let chunk_slices = batch.div_ceil(nt);
         let kernel = &kernel;
         std::thread::scope(|s| {
@@ -773,6 +907,7 @@ pub(crate) fn batched_matmul_grads(
 
 /// Element-wise map, row-partitioned across the pool for large buffers.
 pub(crate) fn map_elems(src: &[f32], f: &(dyn Fn(f32) -> f32 + Sync)) -> Vec<f32> {
+    bump(&ELEMWISE_CALLS, 1);
     let mut out = take_uninit(src.len());
     par_rows(&mut out, src.len(), 1, src.len(), &|r0, nrows, chunk| {
         for (o, &x) in chunk.iter_mut().zip(&src[r0..r0 + nrows]) {
@@ -789,6 +924,7 @@ pub(crate) fn zip_map_elems(
     f: &(dyn Fn(f32, f32) -> f32 + Sync),
 ) -> Vec<f32> {
     debug_assert_eq!(x.len(), y.len());
+    bump(&ELEMWISE_CALLS, 1);
     let mut out = take_uninit(x.len());
     par_rows(&mut out, x.len(), 1, x.len(), &|r0, nrows, chunk| {
         for ((o, &a), &b) in chunk

@@ -50,8 +50,9 @@ pub mod serialize;
 pub mod tape;
 
 pub use backend::{
-    kernel_mode, num_threads, reset_scratch_stats, scratch_stats, with_kernel_mode,
-    with_num_threads, with_pool_disabled, KernelMode, ScratchStats,
+    dispatch_stats, emit_backend_telemetry, kernel_mode, num_threads, reset_dispatch_stats,
+    reset_scratch_stats, scratch_stats, with_kernel_mode, with_num_threads, with_pool_disabled,
+    DispatchStats, KernelMode, ScratchStats,
 };
 pub use matrix::Matrix;
 pub use params::{ParamId, Params};

@@ -42,5 +42,6 @@ pub use uae_eval as eval;
 pub use uae_metrics as metrics;
 pub use uae_models as models;
 pub use uae_nn as nn;
+pub use uae_obs as obs;
 pub use uae_runtime as runtime;
 pub use uae_tensor as tensor;

@@ -8,18 +8,26 @@
 //! uae fig6   [--fast]      # γ sweep
 //! uae fig7   [--fast]      # 7-day A/B simulation
 //! uae export <path.tsv>     # dump a simulated Product dataset to TSV
+//! uae smoke                 # tiny telemetry-exercising train (CI)
+//! uae summarize <run.jsonl> # render a telemetry log as a report
 //! ```
 //!
 //! `--fast` uses the reduced test-scale configuration. The bench targets in
 //! `crates/bench` print the same artifacts with their own knobs; this binary
 //! exists so downstream users can drive the harness without `cargo bench`.
+//!
+//! Setting `UAE_TELEMETRY=/path/run.jsonl` installs a JSONL event sink for
+//! any command: the file starts with a run manifest and collects every
+//! structured event of the run (see DESIGN.md §9). Render it afterwards with
+//! `uae summarize /path/run.jsonl`.
 
+use uae::core::{AttentionEstimator, Uae, UaeConfig};
 use uae::data::{feedback_by_rank, generate, to_tsv, transition_matrix};
 use uae::eval::{
-    paper_gammas, render_reweight_curves, run_ab_test, run_convergence, run_gamma_sweep,
-    run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig, Preset,
+    paper_gammas, prepare, render_reweight_curves, run_ab_test, run_convergence, run_gamma_sweep,
+    run_model, run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig, Preset,
 };
-use uae::models::LabelMode;
+use uae::models::{LabelMode, ModelKind};
 
 fn config(fast: bool) -> HarnessConfig {
     if fast {
@@ -53,11 +61,87 @@ fn cmd_stats(cfg: &HarnessConfig) {
     }
 }
 
+/// Installs the JSONL telemetry sink when `UAE_TELEMETRY` names a path,
+/// writing the run manifest as the file's first record.
+fn install_telemetry(run: &str, cfg: &HarnessConfig) {
+    let Ok(path) = std::env::var("UAE_TELEMETRY") else {
+        return;
+    };
+    if path.trim().is_empty() {
+        return;
+    }
+    let seeds = cfg
+        .seeds
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(",");
+    let manifest = uae::obs::Manifest {
+        run: run.to_string(),
+        version: uae::obs::version_string(),
+        seed: cfg.data_seed,
+        threads: uae::tensor::num_threads() as u64,
+        kernel_mode: format!("{:?}", uae::tensor::kernel_mode()),
+        config: vec![
+            ("data_scale".into(), cfg.data_scale.to_string()),
+            ("gamma".into(), cfg.gamma.to_string()),
+            ("seeds".into(), seeds),
+            ("label_mode".into(), format!("{:?}", cfg.label_mode)),
+            ("epochs".into(), cfg.train.epochs.to_string()),
+        ],
+    };
+    if let Err(e) = uae::obs::install_jsonl(std::path::Path::new(&path), manifest) {
+        eprintln!("telemetry disabled: {e}");
+    }
+}
+
+/// A tiny train that exercises the whole telemetry surface in seconds: one
+/// UAE fit (phases, fit-epochs, clip rates) plus one downstream model
+/// (train steps, epochs, backend counters). CI runs this with
+/// `UAE_TELEMETRY` set and validates the emitted JSONL.
+fn cmd_smoke(cfg: &HarnessConfig) {
+    let data = prepare(Preset::Product, cfg);
+    let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let mut est = Uae::new(
+        &data.dataset.schema,
+        UaeConfig {
+            seed,
+            ..cfg.uae.clone()
+        },
+    );
+    let report = est.fit(&data.dataset, &data.split.train);
+    let weights = uae::core::downstream_weights(
+        &est.predict(&data.dataset, &data.split.train),
+        cfg.gamma,
+    );
+    let out = run_model(ModelKind::Fm, Some(&weights[..]), &data, cfg, seed);
+    println!(
+        "smoke: uae fit {} epochs (final attention risk {:.4}), FM test AUC {:.4}",
+        report.attention_loss.len(),
+        report.attention_loss.last().copied().unwrap_or(f64::NAN),
+        out.result.auc
+    );
+}
+
+fn cmd_summarize(path: &str) -> Result<(), uae::obs::ObsError> {
+    let records = uae::obs::read_jsonl(std::path::Path::new(path))?;
+    print!("{}", uae::obs::summarize(&records)?);
+    Ok(())
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let fast = args.iter().any(|a| a == "--fast");
+    let command = args.first().map(String::as_str);
+    // `smoke` is always the reduced configuration — it exists to exercise
+    // the telemetry path quickly, not to reproduce results.
+    let fast = args.iter().any(|a| a == "--fast") || command == Some("smoke");
     let mut cfg = config(fast);
-    match args.first().map(String::as_str) {
+    match command {
+        // `summarize` reads telemetry instead of producing it.
+        Some("summarize") | None => {}
+        Some(run) => install_telemetry(run, &cfg),
+    }
+    match command {
         Some("stats") => cmd_stats(&cfg),
         Some("table4") => {
             cfg.label_mode = LabelMode::OraclePreference;
@@ -95,12 +179,27 @@ fn main() {
             std::fs::write(path, to_tsv(&ds)).expect("write dataset dump");
             println!("wrote {} sessions to {path}", ds.sessions.len());
         }
+        Some("smoke") => {
+            cfg.label_mode = LabelMode::Observed;
+            cmd_smoke(&cfg);
+        }
+        Some("summarize") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("usage: uae summarize <run.jsonl>");
+                std::process::exit(2);
+            };
+            if let Err(e) = cmd_summarize(path) {
+                eprintln!("summarize failed: {e}");
+                std::process::exit(1);
+            }
+        }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export [path]> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export [path]|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);
         }
     }
+    uae::obs::flush();
 }
