@@ -23,9 +23,22 @@ for nt in 1 4; do
     UAE_NUM_THREADS=$nt cargo test -q -p uae-core --test thread_determinism
 done
 
-echo "==> bench smoke (perf_backend emits BENCH_perf.json)"
+echo "==> committed BENCH_perf.json gates (perf_serve speedup >= 2x)"
+python3 -c "
+import json
+with open('BENCH_perf.json') as f:
+    doc = json.load(f)
+serve = doc['perf_serve']
+assert not serve['smoke'], 'committed perf_serve numbers must come from a full run'
+speedup = serve['derived']['batched_vs_single_tape_speedup']
+assert speedup >= 2.0, f'batched serve speedup {speedup} < 2x single-item tape'
+print(f'perf_serve gate OK: batched {speedup:.2f}x single-item tape scoring')
+"
+
+echo "==> bench smoke (perf_backend rewrites BENCH_perf.json, perf_serve splices in)"
 cp BENCH_perf.json /tmp/BENCH_perf.committed.json
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_backend >/dev/null
+UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_serve >/dev/null
 python3 -c "
 import json, sys
 with open('BENCH_perf.json') as f:
@@ -33,9 +46,12 @@ with open('BENCH_perf.json') as f:
 for cfg in ('serial_baseline', 'blocked_1t', 'blocked_4t'):
     assert doc['configs'][cfg]['gru_epoch_ms'] > 0, cfg
 assert 'derived' in doc
-print('BENCH_perf.json valid:', ', '.join(doc['configs']))
+serve = doc['perf_serve']
+for cfg in ('tape_single', 'tape_batched', 'serve_single', 'serve_batched'):
+    assert serve['configs'][f'{cfg}_events_per_sec'] > 0, cfg
+print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve')
 "
-# The smoke run overwrites the committed (full-size) numbers; restore them.
+# The smoke runs overwrite the committed (full-size) numbers; restore them.
 mv /tmp/BENCH_perf.committed.json BENCH_perf.json
 
 echo "==> telemetry smoke (JSONL sink + summarize round-trip)"
@@ -58,6 +74,18 @@ assert [r['seq'] for r in records] == list(range(len(records))), 'seq not dense'
 print(f'telemetry smoke OK: {len(records)} records, kinds: {sorted(kinds)}')
 "
 ./target/release/uae summarize /tmp/uae_ci_telemetry.jsonl | grep -q "alternating optimization"
+
+echo "==> serving smoke (export -> score -> summarize serving section)"
+rm -f /tmp/uae_ci_model.uaem /tmp/uae_ci_serve.jsonl
+./target/release/uae export /tmp/uae_ci_model.uaem --fast >/dev/null
+# Capture instead of piping into grep -q: an early-exiting reader would
+# SIGPIPE the CLI mid-print.
+score_out=$(UAE_TELEMETRY=/tmp/uae_ci_serve.jsonl ./target/release/uae score /tmp/uae_ci_model.uaem --fast)
+grep -q "events/s" <<< "$score_out"
+./target/release/uae summarize /tmp/uae_ci_serve.jsonl | grep -q "serving:"
+
+echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

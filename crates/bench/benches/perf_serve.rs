@@ -1,0 +1,154 @@
+//! Serving-path benchmark (ISSUE: uae-serve tentpole).
+//!
+//! Measures scoring throughput (events/sec) of a trained UAE model under
+//! four configurations:
+//!
+//! * `tape_single`   — training-path `predict`, one session per call: the
+//!   naive "reuse the trainer for serving" baseline.
+//! * `tape_batched`  — training-path `predict` over the whole request (it
+//!   batches internally but still records every op on the autodiff tape).
+//! * `serve_single`  — `uae-serve` Scorer with batch size 1 (tape-free but
+//!   unamortized padding).
+//! * `serve_batched` — `uae-serve` Scorer with batch size 64: length-bucketed
+//!   padded batches through the tape-free kernels.
+//!
+//! All four run in this one process under the default backend env
+//! (`UAE_NUM_THREADS` / `UAE_KERNELS` apply to every config equally), so the
+//! comparison isolates the serving path itself. The headline `derived`
+//! number is `batched_vs_single_tape_speedup`, which the CI gate requires
+//! to be ≥ 2.
+//!
+//! Results are spliced into the committed `BENCH_perf.json` as a
+//! `perf_serve` section, preserving the `perf_backend` sections already
+//! there. `UAE_BENCH_SMOKE=1` shrinks sizes for the CI smoke step; the
+//! committed numbers come from a full run.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use uae_core::{AttentionEstimator, Uae, UaeConfig};
+use uae_data::{generate, SimConfig};
+use uae_serve::{FrozenModel, Scorer, ScorerConfig};
+
+fn smoke() -> bool {
+    std::env::var("UAE_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+}
+
+/// Median wall-clock seconds of `reps` timed runs (after one warm-up).
+fn time_median_s(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up: populate the scratch pool, fault in pages
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let reps = if smoke() { 2 } else { 5 };
+    let scale = if smoke() { 0.02 } else { 0.15 };
+    let ds = generate(&SimConfig::product(scale), 77);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let events: usize = ds.num_events();
+    eprintln!(
+        "perf_serve: {} sessions, {} events, smoke={}",
+        sessions.len(),
+        events,
+        smoke()
+    );
+
+    let cfg = UaeConfig {
+        gru_hidden: if smoke() { 8 } else { 32 },
+        mlp_hidden: vec![if smoke() { 8 } else { 32 }],
+        epochs: 1,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut uae = Uae::new(&ds.schema, cfg);
+    uae.fit(&ds, &sessions);
+
+    let scorer_at = |batch_size: usize| {
+        Scorer::with_config(
+            FrozenModel::from_uae(&uae, &ds.schema, 15.0),
+            ScorerConfig {
+                batch_size,
+                max_len: None,
+            },
+        )
+        .expect("rebuild frozen model")
+    };
+    let serve_single = scorer_at(1);
+    let serve_batched = scorer_at(64);
+
+    // Sanity: the tape-free path must agree with training before we time it.
+    assert_eq!(
+        serve_batched.score(&ds, &sessions).attention,
+        uae.predict(&ds, &sessions),
+        "tape-free forward diverged from training forward"
+    );
+
+    let eps = |secs: f64| events as f64 / secs.max(1e-9);
+    let tape_single = eps(time_median_s(reps, || {
+        for &s in &sessions {
+            std::hint::black_box(uae.predict(&ds, &[s]));
+        }
+    }));
+    eprintln!("  tape_single    {tape_single:.0} events/s");
+    let tape_batched = eps(time_median_s(reps, || {
+        std::hint::black_box(uae.predict(&ds, &sessions));
+    }));
+    eprintln!("  tape_batched   {tape_batched:.0} events/s");
+    let serve_single_eps = eps(time_median_s(reps, || {
+        std::hint::black_box(serve_single.score(&ds, &sessions));
+    }));
+    eprintln!("  serve_single   {serve_single_eps:.0} events/s");
+    let serve_batched_eps = eps(time_median_s(reps, || {
+        std::hint::black_box(serve_batched.score(&ds, &sessions));
+    }));
+    eprintln!("  serve_batched  {serve_batched_eps:.0} events/s");
+
+    let section = format!(
+        "  \"perf_serve\": {{\n    \"smoke\": {},\n    \"sessions\": {},\n    \"events\": {},\n    \
+         \"configs\": {{\n      \"tape_single_events_per_sec\": {:.0},\n      \
+         \"tape_batched_events_per_sec\": {:.0},\n      \
+         \"serve_single_events_per_sec\": {:.0},\n      \
+         \"serve_batched_events_per_sec\": {:.0}\n    }},\n    \
+         \"derived\": {{\n      \"batched_vs_single_tape_speedup\": {:.3},\n      \
+         \"tape_free_vs_tape_batched_speedup\": {:.3},\n      \
+         \"serve_batching_speedup\": {:.3}\n    }}\n  }}",
+        smoke(),
+        sessions.len(),
+        events,
+        tape_single,
+        tape_batched,
+        serve_single_eps,
+        serve_batched_eps,
+        serve_batched_eps / tape_single,
+        serve_batched_eps / tape_batched,
+        serve_batched_eps / serve_single_eps,
+    );
+
+    // Splice into the committed file: perf_backend owns everything before the
+    // perf_serve key (and rewrites the whole file when it runs), this bench
+    // owns the trailing perf_serve section.
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    let existing = std::fs::read_to_string(path)
+        .expect("read BENCH_perf.json (run the perf_backend bench first)");
+    let base = match existing.find(",\n  \"perf_serve\":") {
+        Some(pos) => existing[..pos].to_string(),
+        None => {
+            let t = existing.trim_end();
+            let t = t.strip_suffix('}').expect("BENCH_perf.json ends with '}'");
+            t.trim_end().to_string()
+        }
+    };
+    let json = format!("{base},\n{section}\n}}\n");
+    let mut f = std::fs::File::create(path).expect("create BENCH_perf.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_perf.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

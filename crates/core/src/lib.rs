@@ -43,4 +43,4 @@ pub use risks::{
     ideal_attention_weights, masked_sequence_bce, ndb_weights, pn_weights,
     uae_attention_weights, uae_propensity_weights, WeightGrid,
 };
-pub use uae::{Uae, UaeConfig};
+pub use uae::{Uae, UaeConfig, UaeInference};

@@ -22,6 +22,15 @@ pub struct AttentionForward {
     pub z1: Vec<Var>,
 }
 
+/// Per-step outputs of a tape-free attention forward pass
+/// ([`AttentionNet::infer`]); bit-identical to [`AttentionForward`] values.
+pub struct AttentionInference {
+    /// `logits[t]`: `batch × 1` attention logits (σ → α̂).
+    pub logits: Vec<Matrix>,
+    /// `z1[t]`: `batch × hidden` sequence representations (GRU₁ states).
+    pub z1: Vec<Matrix>,
+}
+
 /// The attention network `g` (GRU₁ + MLP₁).
 pub struct AttentionNet {
     emb: FieldEmbeddings,
@@ -94,6 +103,31 @@ impl AttentionNet {
         }
         AttentionForward { logits, z1 }
     }
+
+    /// Tape-free per-step input `x_t`. Concatenation only copies values, so
+    /// collapsing the training path's nested concats into one is value-exact.
+    fn infer_step_input(&self, params: &Params, batch: &SeqBatch, t: usize) -> Matrix {
+        let fields = self.emb.infer_fields(params, &batch.cat[t]);
+        debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
+        let mut parts: Vec<&Matrix> = fields.iter().collect();
+        parts.push(&batch.dense[t]);
+        Matrix::concat_cols(&parts)
+    }
+
+    /// Tape-free forward; bit-identical to [`AttentionNet::forward`].
+    pub fn infer(&self, params: &Params, batch: &SeqBatch) -> AttentionInference {
+        let mut h = self.gru.infer_zero_state(batch.batch);
+        let mut logits = Vec::with_capacity(batch.steps);
+        let mut z1 = Vec::with_capacity(batch.steps);
+        for t in 0..batch.steps {
+            let x = self.infer_step_input(params, batch, t);
+            let mask = Matrix::col_vector(&batch.mask[t]);
+            h = self.gru.infer_step_masked(params, &x, &h, &mask);
+            logits.push(self.head.infer(params, &h));
+            z1.push(h.clone());
+        }
+        AttentionInference { logits, z1 }
+    }
 }
 
 /// The sequential propensity network `h` (GRU₂ + MLP₂).
@@ -145,6 +179,22 @@ impl PropensityNet {
             h = self.gru.step_masked(tape, params, prev_e, h, mask);
             let cat = tape.concat_cols(&[z1, h, prev_e]);
             logits.push(self.head.forward(tape, params, cat));
+        }
+        logits
+    }
+
+    /// Tape-free forward; bit-identical to [`PropensityNet::forward`]. `z1`
+    /// holds the attention representations (detaching is a no-op on values).
+    pub fn infer(&self, params: &Params, batch: &SeqBatch, z1: &[Matrix]) -> Vec<Matrix> {
+        assert_eq!(z1.len(), batch.steps);
+        let mut h = self.gru.infer_zero_state(batch.batch);
+        let mut logits = Vec::with_capacity(batch.steps);
+        for (t, z1_t) in z1.iter().enumerate() {
+            let prev_e = Matrix::col_vector(&batch.prev_e[t]);
+            let mask = Matrix::col_vector(&batch.mask[t]);
+            h = self.gru.infer_step_masked(params, &prev_e, &h, &mask);
+            let cat = Matrix::concat_cols(&[z1_t, &h, &prev_e]);
+            logits.push(self.head.infer(params, &cat));
         }
         logits
     }
@@ -200,6 +250,20 @@ impl LocalPropensityNet {
                 let dense = tape.input(batch.dense[t].clone());
                 let x = tape.concat_cols(&[emb, dense]);
                 self.head.forward(tape, params, x)
+            })
+            .collect()
+    }
+
+    /// Tape-free forward; bit-identical to [`LocalPropensityNet::forward`].
+    pub fn infer(&self, params: &Params, batch: &SeqBatch) -> Vec<Matrix> {
+        (0..batch.steps)
+            .map(|t| {
+                let fields = self.emb.infer_fields(params, &batch.cat[t]);
+                debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
+                let mut parts: Vec<&Matrix> = fields.iter().collect();
+                parts.push(&batch.dense[t]);
+                let x = Matrix::concat_cols(&parts);
+                self.head.infer(params, &x)
             })
             .collect()
     }
@@ -267,6 +331,41 @@ mod tests {
         tape.backward(total, &mut params_h);
         assert!(params_h.grad_norm() > 0.0, "Θ_h got no gradient");
         assert_eq!(params_g.grad_norm(), 0.0, "Θ_g must stay frozen");
+    }
+
+    #[test]
+    fn infer_matches_tape_forward_bitwise() {
+        let (ds, b) = batch();
+        let mut rng = Rng::seed_from_u64(7);
+        let mut params_g = Params::new();
+        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params_g, &mut rng);
+        let mut params_h = Params::new();
+        let h = PropensityNet::new("h", 8, 6, &[8], &mut params_h, &mut rng);
+        let mut params_l = Params::new();
+        let l = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], &mut params_l, &mut rng);
+
+        let mut tape = Tape::new();
+        let gf = g.forward(&mut tape, &params_g, &b);
+        let z1_detached: Vec<Var> = gf
+            .z1
+            .iter()
+            .map(|&z| {
+                let v = tape.value(z).clone();
+                tape.input(v)
+            })
+            .collect();
+        let hf = h.forward(&mut tape, &params_h, &b, &z1_detached);
+        let lf = l.forward(&mut tape, &params_l, &b);
+
+        let gi = g.infer(&params_g, &b);
+        let hi = h.infer(&params_h, &b, &gi.z1);
+        let li = l.infer(&params_l, &b);
+        for t in 0..b.steps {
+            assert_eq!(tape.value(gf.logits[t]).data(), gi.logits[t].data(), "g t={t}");
+            assert_eq!(tape.value(gf.z1[t]).data(), gi.z1[t].data(), "z1 t={t}");
+            assert_eq!(tape.value(hf[t]).data(), hi[t].data(), "h t={t}");
+            assert_eq!(tape.value(lf[t]).data(), li[t].data(), "sar t={t}");
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@ use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnap
 use uae_runtime::sentinel::{self, Anomaly};
 use uae_runtime::supervisor::{Recovery, Supervisor};
 use uae_runtime::UaeError;
-use uae_tensor::{sigmoid, Params, Rng, Tape, Var};
+use uae_tensor::{sigmoid, Matrix, Params, Rng, Tape, Var};
 
 use crate::estimator::{AttentionEstimator, FitReport};
 use crate::networks::{AttentionNet, LocalPropensityNet, PropensityNet};
@@ -279,6 +279,35 @@ impl Uae {
         Ok(value)
     }
 
+    /// The hyper-parameters this model was built with.
+    pub fn config(&self) -> &UaeConfig {
+        &self.cfg
+    }
+
+    /// `true` for the sequential propensity head (UAE), `false` for the
+    /// local SAR head — the bit a frozen snapshot needs to rebuild the
+    /// right architecture.
+    pub fn is_sequential(&self) -> bool {
+        matches!(self.h, PropensityHead::Sequential(_))
+    }
+
+    /// Tape-free forward of both networks over one padded batch; the logits
+    /// are bit-identical to the training forward (same kernels, same op
+    /// order) but no autodiff tape is built. This is the serving path used
+    /// by `uae-serve`'s batched `Scorer`.
+    pub fn infer_batch(&self, batch: &SeqBatch) -> UaeInference {
+        let gf = self.g.infer(&self.params_g, batch);
+        let propensity_logits = match &self.h {
+            // Detaching z₁ only matters for gradients; values pass through.
+            PropensityHead::Sequential(net) => net.infer(&self.params_h, batch, &gf.z1),
+            PropensityHead::Local(net) => net.infer(&self.params_h, batch),
+        };
+        UaeInference {
+            attention_logits: gf.logits,
+            propensity_logits,
+        }
+    }
+
     /// The attention network's parameter arena (Θ_g) — for persistence via
     /// `uae_tensor::save_params` / `load_params`.
     pub fn attention_params(&self) -> &Params {
@@ -336,6 +365,21 @@ impl Uae {
     ///
     /// Resuming from a mid-run snapshot (via [`Supervisor::with_resume`]) is
     /// bit-identical to an uninterrupted run.
+    ///
+    /// ```no_run
+    /// use uae_core::{Uae, UaeConfig};
+    /// use uae_data::{generate, SimConfig};
+    /// use uae_runtime::{Supervisor, SupervisorConfig, UaeError};
+    ///
+    /// let ds = generate(&SimConfig::tiny(), 7);
+    /// let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    /// let cfg = UaeConfig { epochs: 2, ..Default::default() };
+    /// let mut uae = Uae::new(&ds.schema, cfg);
+    /// let mut sup = Supervisor::new(SupervisorConfig::default(), "uae.fit");
+    /// let report = uae.fit_supervised(&ds, &sessions, &mut sup)?;
+    /// assert_eq!(report.attention_loss.len(), 2);
+    /// # Ok::<(), UaeError>(())
+    /// ```
     pub fn fit_supervised(
         &mut self,
         dataset: &Dataset,
@@ -526,6 +570,14 @@ impl Uae {
         }
         out
     }
+}
+
+/// Per-step logits of a tape-free [`Uae::infer_batch`] forward pass.
+pub struct UaeInference {
+    /// `attention_logits[t]`: `batch × 1` logits of `g` (σ → α̂).
+    pub attention_logits: Vec<Matrix>,
+    /// `propensity_logits[t]`: `batch × 1` logits of `h` (σ → p̂).
+    pub propensity_logits: Vec<Matrix>,
 }
 
 /// Clip norm switched on when a run configured without clipping diverges.

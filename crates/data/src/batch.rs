@@ -250,8 +250,6 @@ pub fn seq_batches(
     rng: &mut Rng,
 ) -> Vec<SeqBatch> {
     assert!(batch_size > 0 && max_len > 0);
-    let fields = dataset.schema.num_cat_fields();
-    let d = dataset.schema.num_dense();
     // (split position, session index, truncated length), bucketed by length.
     let mut entries: Vec<(usize, usize, usize)> = sessions
         .iter()
@@ -261,55 +259,90 @@ pub fn seq_batches(
     rng.shuffle(&mut entries);
     entries.sort_by_key(|&(_, _, len)| len);
 
-    let mut batches = Vec::new();
-    for chunk in entries.chunks(batch_size) {
-        let batch = chunk.len();
-        let steps = chunk.iter().map(|&(_, _, len)| len).max().unwrap_or(0);
-        let mut cat = vec![vec![vec![0usize; batch]; fields]; steps];
-        let mut dense = vec![Matrix::zeros(batch, d); steps];
-        let mut mask = vec![vec![0.0f32; batch]; steps];
-        let mut e = vec![vec![0.0f32; batch]; steps];
-        let mut prev_e = vec![vec![0.0f32; batch]; steps];
-        let mut true_alpha = vec![vec![0.0f32; batch]; steps];
-        let mut true_propensity = vec![vec![1.0f32; batch]; steps];
-        let mut true_attention = vec![vec![0.0f32; batch]; steps];
-        let mut origin = vec![vec![(usize::MAX, usize::MAX); batch]; steps];
-        let mut session_rows = Vec::with_capacity(batch);
-        for (i, &(pos, s, len)) in chunk.iter().enumerate() {
-            session_rows.push(s);
-            let events = &dataset.sessions[s].events;
-            for (t, ev) in events.iter().take(len).enumerate() {
-                for (f, field_slot) in cat[t].iter_mut().enumerate() {
-                    field_slot[i] = ev.cat[f] as usize;
-                }
-                dense[t].row_mut(i).copy_from_slice(&ev.dense);
-                mask[t][i] = 1.0;
-                e[t][i] = ev.e() as u8 as f32;
-                if t + 1 < len {
-                    prev_e[t + 1][i] = ev.e() as u8 as f32;
-                }
-                true_alpha[t][i] = ev.truth.attention_prob;
-                true_propensity[t][i] = ev.truth.propensity;
-                true_attention[t][i] = ev.truth.attention as u8 as f32;
-                origin[t][i] = (pos, t);
+    entries
+        .chunks(batch_size)
+        .map(|chunk| build_seq_batch(dataset, chunk))
+        .collect()
+}
+
+/// Deterministic bucketing for the serving path: the same padded layout as
+/// [`seq_batches`] but with no RNG — sessions are stably sorted by truncated
+/// length (ties keep request order) and chunked, so batch composition is a
+/// pure function of the request. With `max_len = None` sessions are never
+/// truncated, matching the training-side `predict` convention.
+pub fn infer_seq_batches(
+    dataset: &Dataset,
+    sessions: &[usize],
+    batch_size: usize,
+    max_len: Option<usize>,
+) -> Vec<SeqBatch> {
+    assert!(batch_size > 0);
+    assert!(max_len != Some(0), "max_len = Some(0) would drop every step");
+    let mut entries: Vec<(usize, usize, usize)> = sessions
+        .iter()
+        .enumerate()
+        .map(|(pos, &s)| {
+            let len = dataset.sessions[s].len();
+            (pos, s, max_len.map_or(len, |m| len.min(m)))
+        })
+        .collect();
+    entries.sort_by_key(|&(_, _, len)| len);
+    entries
+        .chunks(batch_size)
+        .map(|chunk| build_seq_batch(dataset, chunk))
+        .collect()
+}
+
+/// Assembles one padded batch from `(split position, session index,
+/// truncated length)` entries.
+fn build_seq_batch(dataset: &Dataset, chunk: &[(usize, usize, usize)]) -> SeqBatch {
+    let fields = dataset.schema.num_cat_fields();
+    let d = dataset.schema.num_dense();
+    let batch = chunk.len();
+    let steps = chunk.iter().map(|&(_, _, len)| len).max().unwrap_or(0);
+    let mut cat = vec![vec![vec![0usize; batch]; fields]; steps];
+    let mut dense = vec![Matrix::zeros(batch, d); steps];
+    let mut mask = vec![vec![0.0f32; batch]; steps];
+    let mut e = vec![vec![0.0f32; batch]; steps];
+    let mut prev_e = vec![vec![0.0f32; batch]; steps];
+    let mut true_alpha = vec![vec![0.0f32; batch]; steps];
+    let mut true_propensity = vec![vec![1.0f32; batch]; steps];
+    let mut true_attention = vec![vec![0.0f32; batch]; steps];
+    let mut origin = vec![vec![(usize::MAX, usize::MAX); batch]; steps];
+    let mut session_rows = Vec::with_capacity(batch);
+    for (i, &(pos, s, len)) in chunk.iter().enumerate() {
+        session_rows.push(s);
+        let events = &dataset.sessions[s].events;
+        for (t, ev) in events.iter().take(len).enumerate() {
+            for (f, field_slot) in cat[t].iter_mut().enumerate() {
+                field_slot[i] = ev.cat[f] as usize;
             }
+            dense[t].row_mut(i).copy_from_slice(&ev.dense);
+            mask[t][i] = 1.0;
+            e[t][i] = ev.e() as u8 as f32;
+            if t + 1 < len {
+                prev_e[t + 1][i] = ev.e() as u8 as f32;
+            }
+            true_alpha[t][i] = ev.truth.attention_prob;
+            true_propensity[t][i] = ev.truth.propensity;
+            true_attention[t][i] = ev.truth.attention as u8 as f32;
+            origin[t][i] = (pos, t);
         }
-        batches.push(SeqBatch {
-            batch,
-            steps,
-            cat,
-            dense,
-            mask,
-            e,
-            prev_e,
-            true_alpha,
-            true_propensity,
-            true_attention,
-            origin,
-            session_rows,
-        });
     }
-    batches
+    SeqBatch {
+        batch,
+        steps,
+        cat,
+        dense,
+        mask,
+        e,
+        prev_e,
+        true_alpha,
+        true_propensity,
+        true_attention,
+        origin,
+        session_rows,
+    }
 }
 
 #[cfg(test)]
@@ -447,6 +480,27 @@ mod tests {
         assert_eq!(covered, expected);
         let total_valid: usize = batches.iter().map(|b| b.valid_steps()).sum();
         assert_eq!(total_valid, expected);
+    }
+
+    #[test]
+    fn infer_seq_batches_is_deterministic_and_covers_everything() {
+        let ds = tiny();
+        let sessions: Vec<usize> = (0..ds.sessions.len().min(20)).collect();
+        let a = infer_seq_batches(&ds, &sessions, 6, None);
+        let b = infer_seq_batches(&ds, &sessions, 6, None);
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.session_rows, y.session_rows);
+            assert_eq!(x.steps, y.steps);
+        }
+        // No truncation: every event of every session appears exactly once.
+        let covered: usize = a.iter().map(|b| b.valid_steps()).sum();
+        let expected: usize = sessions.iter().map(|&s| ds.sessions[s].len()).sum();
+        assert_eq!(covered, expected);
+        // With truncation the step bound holds.
+        for b in infer_seq_batches(&ds, &sessions, 6, Some(4)) {
+            assert!(b.steps <= 4);
+        }
     }
 
     #[test]

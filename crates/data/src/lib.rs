@@ -24,8 +24,8 @@ pub mod schema;
 pub mod stats;
 
 pub use batch::{
-    minibatch_indices, seq_batches, split_by_day, split_by_ratio, FlatBatch, FlatData, SeqBatch,
-    Split,
+    infer_seq_batches, minibatch_indices, seq_batches, split_by_day, split_by_ratio, FlatBatch,
+    FlatData, SeqBatch, Split,
 };
 pub use config::{AttentionParams, PropensityParams, SimConfig};
 pub use gen::{generate, schema_for, SessionContext, Simulator};

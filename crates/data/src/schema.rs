@@ -132,7 +132,7 @@ impl Session {
 }
 
 /// Names and cardinalities of the feature space.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FeatureSchema {
     /// Cardinality of each categorical field.
     pub cat_cardinalities: Vec<usize>,

@@ -106,6 +106,30 @@ impl FieldEmbeddings {
             .map(|(f, ids)| self.forward_field(tape, params, f, ids))
             .collect()
     }
+
+    /// Tape-free gather of one field; bit-identical to
+    /// [`FieldEmbeddings::forward_field`] (the lookup copies table rows, so
+    /// there is no arithmetic to diverge).
+    pub fn infer_field(&self, params: &Params, field: usize, ids: &[usize]) -> uae_tensor::Matrix {
+        debug_assert!(ids
+            .iter()
+            .all(|&id| id < self.cardinalities[field].max(1)));
+        params.value(self.tables[field]).gather_rows(ids)
+    }
+
+    /// Tape-free gather of every field, in field order.
+    pub fn infer_fields(
+        &self,
+        params: &Params,
+        ids_by_field: &[Vec<usize>],
+    ) -> Vec<uae_tensor::Matrix> {
+        assert_eq!(ids_by_field.len(), self.tables.len(), "field count");
+        ids_by_field
+            .iter()
+            .enumerate()
+            .map(|(f, ids)| self.infer_field(params, f, ids))
+            .collect()
+    }
 }
 
 #[cfg(test)]

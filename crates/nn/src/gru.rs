@@ -162,6 +162,52 @@ impl GruCell {
         tape.input(Matrix::zeros(batch, self.hidden))
     }
 
+    /// Tape-free recurrence step; bit-identical to [`GruCell::step`] (same
+    /// kernels, same op order, no gradient bookkeeping).
+    pub fn infer_step(&self, params: &Params, x: &Matrix, h: &Matrix) -> Matrix {
+        let gate = |w: ParamId, u: ParamId, b: ParamId| {
+            let mut pre = x.matmul_bias(params.value(w), params.value(b));
+            pre.add_assign(&h.matmul(params.value(u)));
+            pre
+        };
+        let r = gate(self.w_r, self.u_r, self.b_r).map(uae_tensor::sigmoid);
+        let z = gate(self.w_z, self.u_z, self.b_z).map(uae_tensor::sigmoid);
+        // Candidate with reset applied to the recurrent term.
+        let mut pre = x.matmul_bias(params.value(self.w_n), params.value(self.b_n));
+        let hu = h.matmul(params.value(self.u_n));
+        pre.add_assign(&r.zip_map(&hu, |a, b| a * b));
+        let n = pre.map(f32::tanh);
+        // h' = z∘h + (1−z)∘n
+        let mut out = z.zip_map(h, |a, b| a * b);
+        let omz = z.map(|v| 1.0 - v);
+        out.add_assign(&omz.zip_map(&n, |a, b| a * b));
+        out
+    }
+
+    /// Tape-free masked step; bit-identical to [`GruCell::step_masked`].
+    /// `mask` is `batch × 1` (1 = real step, 0 = padding).
+    pub fn infer_step_masked(
+        &self,
+        params: &Params,
+        x: &Matrix,
+        h: &Matrix,
+        mask: &Matrix,
+    ) -> Matrix {
+        let (m, n) = (h.rows(), h.cols());
+        assert_eq!(mask.shape(), (m, 1), "infer_step_masked mask shape");
+        let cand = self.infer_step(params, x, h);
+        let mut out = Matrix::from_fn(m, n, |r, c| cand.get(r, c) * mask.get(r, 0));
+        let carried =
+            Matrix::from_fn(m, n, |r, c| h.get(r, c) * (1.0 - mask.get(r, 0)));
+        out.add_assign(&carried);
+        out
+    }
+
+    /// Zero initial state for the tape-free path.
+    pub fn infer_zero_state(&self, batch: usize) -> Matrix {
+        Matrix::zeros(batch, self.hidden)
+    }
+
     /// Unrolls the cell over a sequence of `batch × in_dim` inputs with
     /// matching `batch × 1` masks, returning the hidden state *after* each
     /// step. `xs` and `masks` must have equal length.
@@ -271,6 +317,30 @@ mod tests {
         for s in states {
             assert_eq!(tape.value(s).shape(), (3, 3));
         }
+    }
+
+    #[test]
+    fn infer_step_matches_tape_step_bitwise() {
+        let mut rng = Rng::seed_from_u64(11);
+        let mut params = Params::new();
+        let cell = GruCell::new("g", 3, 4, &mut params, &mut rng);
+        let x0 = Matrix::randn(5, 3, 1.0, &mut rng);
+        let x1 = Matrix::randn(5, 3, 1.0, &mut rng);
+        let mask = Matrix::col_vector(&[1.0, 0.0, 1.0, 0.0, 1.0]);
+
+        let mut tape = Tape::new();
+        let x0v = tape.input(x0.clone());
+        let x1v = tape.input(x1.clone());
+        let mv = tape.input(mask.clone());
+        let h0 = cell.zero_state(&mut tape, 5);
+        let h1 = cell.step(&mut tape, &params, x0v, h0);
+        let h2 = cell.step_masked(&mut tape, &params, x1v, h1, mv);
+
+        let i0 = cell.infer_zero_state(5);
+        let i1 = cell.infer_step(&params, &x0, &i0);
+        let i2 = cell.infer_step_masked(&params, &x1, &i1, &mask);
+        assert_eq!(tape.value(h1).data(), i1.data());
+        assert_eq!(tape.value(h2).data(), i2.data());
     }
 
     #[test]

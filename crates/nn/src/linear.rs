@@ -1,6 +1,12 @@
 //! Fully connected layers and MLP stacks.
+//!
+//! Every layer exposes two forward paths: [`Linear::forward`] records onto the
+//! autodiff [`Tape`] for training, while [`Linear::infer`] evaluates the same
+//! arithmetic directly on [`Matrix`] values with no tape bookkeeping. The two
+//! paths produce bit-identical outputs (test-enforced) because both dispatch
+//! through the same backend kernels.
 
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Matrix, Params, Rng, Tape, Var};
 
 use crate::init;
 
@@ -22,6 +28,17 @@ impl Activation {
             Activation::Relu => tape.relu(x),
             Activation::Tanh => tape.tanh(x),
             Activation::Sigmoid => tape.sigmoid(x),
+        }
+    }
+
+    /// Tape-free evaluation; bit-identical to [`Activation::apply`] (same
+    /// scalar functions, same element order).
+    pub fn eval(self, x: Matrix) -> Matrix {
+        match self {
+            Activation::None => x,
+            Activation::Relu => x.map(|v| v.max(0.0)),
+            Activation::Tanh => x.map(f32::tanh),
+            Activation::Sigmoid => x.map(uae_tensor::sigmoid),
         }
     }
 }
@@ -85,6 +102,12 @@ impl Linear {
         let w = tape.param(params, self.w);
         let b = tape.param(params, self.b);
         tape.linear(x, w, b)
+    }
+
+    /// Tape-free `x·W + b`; bit-identical to [`Linear::forward`] (same fused
+    /// kernel, no tape node allocation).
+    pub fn infer(&self, params: &Params, x: &Matrix) -> Matrix {
+        x.matmul_bias(params.value(self.w), params.value(self.b))
     }
 }
 
@@ -155,6 +178,26 @@ impl Mlp {
                 self.hidden_activation.apply(tape, h)
             } else {
                 self.output_activation.apply(tape, h)
+            };
+        }
+        h
+    }
+
+    /// Tape-free forward pass; bit-identical to [`Mlp::forward`].
+    pub fn infer(&self, params: &Params, x: &Matrix) -> Matrix {
+        let last = self.layers.len() - 1;
+        let mut h = self.layers[0].infer(params, x);
+        h = if last == 0 {
+            self.output_activation.eval(h)
+        } else {
+            self.hidden_activation.eval(h)
+        };
+        for (i, layer) in self.layers.iter().enumerate().skip(1) {
+            h = layer.infer(params, &h);
+            h = if i < last {
+                self.hidden_activation.eval(h)
+            } else {
+                self.output_activation.eval(h)
             };
         }
         h
@@ -231,6 +274,24 @@ mod tests {
             tape.weighted_bce(z, &pos, &neg, 6.0, false)
         });
         assert!(check.passes(3e-2), "max_rel_err={}", check.max_rel_err);
+    }
+
+    #[test]
+    fn infer_matches_tape_forward_bitwise() {
+        let mut rng = Rng::seed_from_u64(9);
+        let mut params = Params::new();
+        for (hidden, act) in [
+            (vec![], Activation::Sigmoid),
+            (vec![8usize, 4], Activation::None),
+        ] {
+            let mlp = Mlp::new("m", 5, &hidden, 2, Activation::Relu, act, &mut params, &mut rng);
+            let x = Matrix::randn(7, 5, 1.3, &mut rng);
+            let mut tape = Tape::new();
+            let xv = tape.input(x.clone());
+            let y = mlp.forward(&mut tape, &params, xv);
+            let y_infer = mlp.infer(&params, &x);
+            assert_eq!(tape.value(y).data(), y_infer.data(), "hidden={hidden:?}");
+        }
     }
 
     #[test]

@@ -99,11 +99,18 @@ pub enum Event {
     /// A fanned-out seed finished (`outcome`: `ok` / `recovered …` /
     /// `failed: …`).
     SeedEnd { seed: u64, outcome: String },
+    /// A record whose `type` tag this build does not recognize (e.g. a log
+    /// written by a newer emitter). Parsed tolerantly so readers count
+    /// unfamiliar kinds instead of rejecting the whole log.
+    Unknown {
+        /// The unrecognized `type` tag, preserved verbatim.
+        kind: String,
+    },
 }
 
 impl Event {
     /// The `type` tag this event serializes under.
-    pub fn kind(&self) -> &'static str {
+    pub fn kind(&self) -> &str {
         match self {
             Event::RunManifest(_) => "run_manifest",
             Event::Span { .. } => "span",
@@ -119,6 +126,7 @@ impl Event {
             Event::Resume { .. } => "resume",
             Event::SeedStart { .. } => "seed_start",
             Event::SeedEnd { .. } => "seed_end",
+            Event::Unknown { kind } => kind,
         }
     }
 
@@ -238,6 +246,8 @@ impl Event {
             Event::SeedEnd { seed, outcome } => {
                 w.u64("seed", *seed).str("outcome", outcome);
             }
+            // The tag itself (written above via `kind()`) is all we have.
+            Event::Unknown { .. } => {}
         }
         w.finish()
     }
@@ -388,7 +398,9 @@ impl Record {
                 seed: req_u64(&v, "seed")?,
                 outcome: req_str(&v, "outcome")?,
             },
-            other => return Err(format!("unknown event type '{other}'")),
+            other => Event::Unknown {
+                kind: other.to_string(),
+            },
         };
         Ok(Record { seq, event })
     }
@@ -477,6 +489,9 @@ mod tests {
                 seed: 22,
                 outcome: "recovered with derived seed 11419683247848848414".into(),
             },
+            Event::Unknown {
+                kind: "from_the_future".into(),
+            },
         ]
     }
 
@@ -492,10 +507,12 @@ mod tests {
     }
 
     #[test]
-    fn unknown_type_and_missing_fields_are_rejected() {
-        assert!(Record::from_json_line("{\"seq\":0,\"type\":\"wat\"}")
-            .unwrap_err()
-            .contains("unknown event type"));
+    fn unknown_type_is_tolerated_but_missing_fields_are_rejected() {
+        // Unfamiliar tags decode to Event::Unknown instead of an error so
+        // one newer-emitter record cannot poison a whole log.
+        let rec = Record::from_json_line("{\"seq\":0,\"type\":\"wat\"}").unwrap();
+        assert_eq!(rec.event, Event::Unknown { kind: "wat".into() });
+        assert_eq!(rec.event.kind(), "wat");
         assert!(Record::from_json_line("{\"seq\":0,\"type\":\"span\"}")
             .unwrap_err()
             .contains("missing field"));

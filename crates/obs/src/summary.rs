@@ -1,6 +1,7 @@
 //! Renders a parsed JSONL telemetry log into a human-readable report:
 //! run manifest header, per-epoch risk/clip table, phase timings, faults,
-//! checkpoints, seed outcomes, and counter/gauge finals.
+//! checkpoints, seed outcomes, serving throughput, counter/gauge finals,
+//! and a count of unrecognized event kinds (never silently dropped).
 
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -48,6 +49,7 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
     let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
     let mut spans: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // name -> (count, total µs)
+    let mut unknown: BTreeMap<&str, u64> = BTreeMap::new(); // tag -> occurrences
 
     for r in records {
         match &r.event {
@@ -75,6 +77,7 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
                 e.0 += 1;
                 e.1 += micros;
             }
+            Event::Unknown { kind } => *unknown.entry(kind).or_insert(0) += 1,
             _ => {}
         }
     }
@@ -185,6 +188,34 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
         }
     }
 
+    let has_serve = counters.keys().any(|k| k.starts_with("serve."))
+        || spans.keys().any(|k| k.starts_with("serve."));
+    if has_serve {
+        let _ = writeln!(out, "\nserving:");
+        for key in ["serve.sessions", "serve.events", "serve.batches"] {
+            if let Some(v) = counters.get(key) {
+                let _ = writeln!(out, "  {key:<32} {v}");
+            }
+        }
+        if let Some((count, micros)) = spans.get("serve.batch") {
+            let _ = writeln!(
+                out,
+                "  {:<32} {:>6}x  {:>10.1} ms total",
+                "serve.batch",
+                count,
+                *micros as f64 / 1000.0
+            );
+            if let (Some(events), true) = (counters.get("serve.events"), *micros > 0) {
+                let _ = writeln!(
+                    out,
+                    "  {:<32} {:.0} events/s",
+                    "batched throughput",
+                    *events as f64 / (*micros as f64 / 1e6)
+                );
+            }
+        }
+    }
+
     if !spans.is_empty() {
         let _ = writeln!(out, "\nspans (total wall-clock by name):");
         let mut rows: Vec<_> = spans.into_iter().collect();
@@ -212,6 +243,12 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
         for (name, value) in &gauges {
             let _ = writeln!(out, "  {name:<32} {value:.6}");
         }
+    }
+
+    if !unknown.is_empty() {
+        let total: u64 = unknown.values().sum();
+        let kinds = unknown.keys().copied().collect::<Vec<_>>().join(", ");
+        let _ = writeln!(out, "\nunrecognized event kinds: {total} ({kinds})");
     }
 
     Ok(out)
@@ -289,6 +326,33 @@ mod tests {
                     value: 99,
                 },
             ),
+            rec(
+                5,
+                Event::Counter {
+                    name: "serve.events".into(),
+                    value: 2000,
+                },
+            ),
+            rec(
+                6,
+                Event::Span {
+                    name: "serve.batch".into(),
+                    parent: None,
+                    micros: 4000,
+                },
+            ),
+            rec(
+                7,
+                Event::Unknown {
+                    kind: "from_the_future".into(),
+                },
+            ),
+            rec(
+                8,
+                Event::Unknown {
+                    kind: "from_the_future".into(),
+                },
+            ),
         ];
         let text = summarize(&records).unwrap();
         for needle in [
@@ -299,6 +363,11 @@ mod tests {
             "attention (epoch 0)",
             "fault @ epoch 0 step 5",
             "scratch.hits",
+            "serving:",
+            "serve.events",
+            // 2000 events over 4 ms of serve.batch wall-clock.
+            "500000 events/s",
+            "unrecognized event kinds: 2 (from_the_future)",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

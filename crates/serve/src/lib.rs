@@ -1,0 +1,36 @@
+//! # uae-serve — tape-free batched inference for trained UAE models
+//!
+//! Training (in `uae-core`) runs every forward pass through the autodiff
+//! tape so gradients can flow. Serving needs none of that machinery: this
+//! crate freezes a trained model into a compact read-only snapshot and
+//! scores request batches through inference-only kernels that never touch
+//! the tape, while staying **bit-identical** to the training forward.
+//!
+//! Two layers:
+//!
+//! - [`FrozenModel`] — the `.uaem` frozen-model format: a versioned,
+//!   self-describing snapshot of the attention network `g`, the propensity
+//!   network `h`, the feature schema they were trained against, and the
+//!   Eq. (19) exponent γ. Exportable from a live [`uae_core::Uae`] or from
+//!   a training checkpoint, validated on load through the existing
+//!   [`uae_runtime::UaeError`] taxonomy.
+//! - [`Scorer`] — the batched scoring engine: buckets sessions by length,
+//!   pads once per batch, runs the tape-free forward across the
+//!   deterministic worker pool, and returns per-event attention α̂,
+//!   propensity p̂, and downstream confidence weights
+//!   `w = 1 − (α̂ + 1)^(−γ)` in request order.
+//!
+//! Telemetry: when `uae-obs` is enabled, scoring emits `serve.request` /
+//! `serve.batch` spans plus `serve.sessions` / `serve.events` /
+//! `serve.batches` counters and a per-batch throughput gauge.
+//!
+//! Knobs: `UAE_SERVE_BATCH` (sessions per batch, default 64) and
+//! `UAE_SERVE_MAX_LEN` (optional truncation). Thread count and kernel
+//! selection come from the compute backend (`UAE_NUM_THREADS`,
+//! `UAE_KERNELS`).
+
+pub mod model;
+pub mod scorer;
+
+pub use model::FrozenModel;
+pub use scorer::{ScoreOutput, Scorer, ScorerConfig};

@@ -1,0 +1,382 @@
+//! The frozen model snapshot: a compact, read-only `.uaem` container.
+//!
+//! A `.uaem` file holds everything needed to reconstruct a trained [`Uae`]
+//! for inference — the feature schema, the architecture hyper-parameters,
+//! the propensity-head variant, the Eq. (19) reweighting exponent γ, and
+//! the two parameter arenas (Θ_g / Θ_h) as `uae_tensor::serialize` "UAEP"
+//! blobs — plus optional named extras (e.g. a downstream recommender's
+//! arena). Unlike a `.uaec` training checkpoint it carries no optimizer
+//! moments, RNG state, or trainer bookkeeping, so it is a fraction of the
+//! size and loads straight into the tape-free serving path.
+//!
+//! The container reuses the checkpoint encoder/decoder idiom: a 4-byte
+//! magic (`UAEM`), a version word, bounds-checked little-endian fields, and
+//! atomic `.tmp` + rename writes. Failures surface through the existing
+//! [`UaeError`] taxonomy: container-level damage (bad magic / version /
+//! truncation) maps to [`UaeError::Checkpoint`], and a parameter blob that
+//! does not match the rebuilt architecture maps to [`UaeError::Decode`]
+//! with the offending tensor name and shapes.
+
+use std::path::Path;
+
+use uae_core::{Uae, UaeConfig};
+use uae_data::FeatureSchema;
+use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnapshot};
+use uae_runtime::UaeError;
+use uae_tensor::{load_params, save_params};
+
+const MAGIC: &[u8; 4] = b"UAEM";
+const VERSION: u32 = 1;
+
+/// A decoded frozen model: the immutable ingredients of the serving path.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrozenModel {
+    /// Feature schema the model was trained against (embedding tables and
+    /// dense width are derived from it on rebuild).
+    pub schema: FeatureSchema,
+    /// `true` = sequential propensity head (UAE), `false` = local (SAR).
+    pub sequential: bool,
+    /// Eq. (19) reweighting exponent γ baked in at export time.
+    pub gamma: f32,
+    /// Embedding dimension of `g` (and the SAR head).
+    pub embed_dim: usize,
+    /// GRU₁ hidden width (GRU₂'s width is derived exactly as in
+    /// [`Uae::new`]).
+    pub gru_hidden: usize,
+    /// MLP hidden widths shared by both heads.
+    pub mlp_hidden: Vec<usize>,
+    /// Θ_g as a UAEP blob.
+    pub params_g: Vec<u8>,
+    /// Θ_h as a UAEP blob.
+    pub params_h: Vec<u8>,
+    /// Named extra blobs (e.g. a downstream recommender's UAEP arena).
+    pub extras: Vec<(String, Vec<u8>)>,
+}
+
+impl FrozenModel {
+    /// Freezes a trained model: snapshots both arenas and the architecture
+    /// hyper-parameters needed to rebuild it.
+    pub fn from_uae(uae: &Uae, schema: &FeatureSchema, gamma: f32) -> FrozenModel {
+        let cfg = uae.config();
+        FrozenModel {
+            schema: schema.clone(),
+            sequential: uae.is_sequential(),
+            gamma,
+            embed_dim: cfg.embed_dim,
+            gru_hidden: cfg.gru_hidden,
+            mlp_hidden: cfg.mlp_hidden.clone(),
+            params_g: save_params(uae.attention_params()),
+            params_h: save_params(uae.propensity_params()),
+            extras: Vec::new(),
+        }
+    }
+
+    /// Derives a frozen model from a `.uaec` training checkpoint written by
+    /// [`Uae::fit_supervised`] (arena 0 = Θ_g, arena 1 = Θ_h). The
+    /// architecture cannot be recovered from the checkpoint alone, so the
+    /// caller supplies the schema and config it trained with.
+    pub fn from_checkpoint(
+        snap: &TrainSnapshot,
+        schema: &FeatureSchema,
+        cfg: &UaeConfig,
+        sequential: bool,
+        gamma: f32,
+    ) -> Result<FrozenModel, UaeError> {
+        let arena = |i: usize| -> Result<Vec<u8>, UaeError> {
+            snap.arenas
+                .get(i)
+                .cloned()
+                .ok_or(UaeError::Checkpoint(CheckpointError::Corrupt(
+                    "checkpoint is missing a parameter arena",
+                )))
+        };
+        Ok(FrozenModel {
+            schema: schema.clone(),
+            sequential,
+            gamma,
+            embed_dim: cfg.embed_dim,
+            gru_hidden: cfg.gru_hidden,
+            mlp_hidden: cfg.mlp_hidden.clone(),
+            params_g: arena(0)?,
+            params_h: arena(1)?,
+            extras: Vec::new(),
+        })
+    }
+
+    /// Attaches a named extra blob (e.g. a downstream recommender arena).
+    pub fn with_extra(mut self, name: impl Into<String>, blob: Vec<u8>) -> FrozenModel {
+        self.extras.push((name.into(), blob));
+        self
+    }
+
+    /// Looks up an extra blob by name.
+    pub fn extra(&self, name: &str) -> Option<&[u8]> {
+        self.extras
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, b)| b.as_slice())
+    }
+
+    /// Rebuilds the [`Uae`] model and loads both arenas into it. The UAEP
+    /// loader validates every tensor name and shape against the freshly
+    /// built architecture, so a snapshot exported from a different schema
+    /// or width fails with a typed [`UaeError::Decode`].
+    pub fn build(&self) -> Result<Uae, UaeError> {
+        let cfg = UaeConfig {
+            embed_dim: self.embed_dim,
+            gru_hidden: self.gru_hidden,
+            mlp_hidden: self.mlp_hidden.clone(),
+            ..UaeConfig::default()
+        };
+        // The seed only affects initial values, which load_params overwrites.
+        let mut uae = if self.sequential {
+            Uae::new(&self.schema, cfg)
+        } else {
+            Uae::new_sar(&self.schema, cfg)
+        };
+        load_params(uae.attention_params_mut(), &self.params_g).map_err(UaeError::Decode)?;
+        load_params(uae.propensity_params_mut(), &self.params_h).map_err(UaeError::Decode)?;
+        Ok(uae)
+    }
+
+    /// Serializes to `.uaem` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        w.put_bytes(MAGIC.as_slice());
+        w.put_u32(VERSION);
+        w.put_u8(if self.sequential { 0 } else { 1 });
+        w.put_f32(self.gamma);
+        // Schema.
+        w.put_u32(self.schema.cat_cardinalities.len() as u32);
+        for (card, name) in self
+            .schema
+            .cat_cardinalities
+            .iter()
+            .zip(&self.schema.cat_names)
+        {
+            w.put_u64(*card as u64);
+            w.put_bytes(name.as_bytes());
+        }
+        w.put_u32(self.schema.dense_names.len() as u32);
+        for name in &self.schema.dense_names {
+            w.put_bytes(name.as_bytes());
+        }
+        w.put_u32(self.schema.feedback_types as u32);
+        // Architecture.
+        w.put_u32(self.embed_dim as u32);
+        w.put_u32(self.gru_hidden as u32);
+        w.put_u32(self.mlp_hidden.len() as u32);
+        for &h in &self.mlp_hidden {
+            w.put_u32(h as u32);
+        }
+        // Arenas and extras.
+        w.put_bytes(&self.params_g);
+        w.put_bytes(&self.params_h);
+        w.put_u32(self.extras.len() as u32);
+        for (name, blob) in &self.extras {
+            w.put_bytes(name.as_bytes());
+            w.put_bytes(blob);
+        }
+        w.into_bytes()
+    }
+
+    /// Decodes `.uaem` bytes. Container-level damage is a typed
+    /// [`UaeError::Checkpoint`].
+    pub fn decode(bytes: &[u8]) -> Result<FrozenModel, UaeError> {
+        let mut r = ByteReader::new(bytes);
+        let magic = r.get_bytes().map_err(UaeError::Checkpoint)?;
+        if magic != MAGIC {
+            return Err(UaeError::Checkpoint(CheckpointError::BadMagic));
+        }
+        let version = r.get_u32().map_err(UaeError::Checkpoint)?;
+        if version != VERSION {
+            return Err(UaeError::Checkpoint(CheckpointError::BadVersion(version)));
+        }
+        let inner = |r: &mut ByteReader| -> Result<FrozenModel, CheckpointError> {
+            let sequential = match r.get_u8()? {
+                0 => true,
+                1 => false,
+                _ => return Err(CheckpointError::Corrupt("bad propensity-head tag")),
+            };
+            let gamma = r.get_f32()?;
+            let utf8 = |bytes: Vec<u8>| {
+                String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt("non-utf8 name"))
+            };
+            let n_cat = r.get_u32()? as usize;
+            let mut cat_cardinalities = Vec::with_capacity(n_cat.min(1 << 16));
+            let mut cat_names = Vec::with_capacity(n_cat.min(1 << 16));
+            for _ in 0..n_cat {
+                cat_cardinalities.push(r.get_u64()? as usize);
+                cat_names.push(utf8(r.get_bytes()?)?);
+            }
+            let n_dense = r.get_u32()? as usize;
+            let mut dense_names = Vec::with_capacity(n_dense.min(1 << 16));
+            for _ in 0..n_dense {
+                dense_names.push(utf8(r.get_bytes()?)?);
+            }
+            let feedback_types = r.get_u32()? as usize;
+            let embed_dim = r.get_u32()? as usize;
+            let gru_hidden = r.get_u32()? as usize;
+            let n_mlp = r.get_u32()? as usize;
+            let mut mlp_hidden = Vec::with_capacity(n_mlp.min(1 << 10));
+            for _ in 0..n_mlp {
+                mlp_hidden.push(r.get_u32()? as usize);
+            }
+            let params_g = r.get_bytes()?;
+            let params_h = r.get_bytes()?;
+            let n_extra = r.get_u32()? as usize;
+            let mut extras = Vec::with_capacity(n_extra.min(1 << 10));
+            for _ in 0..n_extra {
+                let name = utf8(r.get_bytes()?)?;
+                extras.push((name, r.get_bytes()?));
+            }
+            Ok(FrozenModel {
+                schema: FeatureSchema {
+                    cat_cardinalities,
+                    cat_names,
+                    dense_names,
+                    feedback_types,
+                },
+                sequential,
+                gamma,
+                embed_dim,
+                gru_hidden,
+                mlp_hidden,
+                params_g,
+                params_h,
+                extras,
+            })
+        };
+        inner(&mut r).map_err(UaeError::Checkpoint)
+    }
+
+    /// Writes the snapshot to `path` atomically (sibling `.tmp` + rename,
+    /// same crash-safety contract as `.uaec` checkpoints).
+    pub fn write_to(&self, path: &Path) -> Result<(), UaeError> {
+        use std::io::Write as _;
+        let bytes = self.encode();
+        let tmp = path.with_extension("tmp");
+        let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
+        {
+            let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+            f.write_all(&bytes).map_err(io_err)?;
+            f.sync_all().map_err(io_err)?;
+        }
+        std::fs::rename(&tmp, path).map_err(io_err)?;
+        Ok(())
+    }
+
+    /// Reads and decodes a snapshot from `path`.
+    pub fn read_from(path: &Path) -> Result<FrozenModel, UaeError> {
+        use std::io::Read as _;
+        let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
+        let mut bytes = Vec::new();
+        std::fs::File::open(path)
+            .map_err(io_err)?
+            .read_to_end(&mut bytes)
+            .map_err(io_err)?;
+        FrozenModel::decode(&bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use uae_data::{generate, SimConfig};
+
+    fn tiny_model() -> (uae_data::Dataset, Uae) {
+        let ds = generate(&SimConfig::tiny(), 5);
+        let cfg = UaeConfig {
+            gru_hidden: 8,
+            mlp_hidden: vec![8],
+            ..UaeConfig::default()
+        };
+        let uae = Uae::new(&ds.schema, cfg);
+        (ds, uae)
+    }
+
+    #[test]
+    fn encode_decode_round_trips() {
+        let (ds, uae) = tiny_model();
+        let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0)
+            .with_extra("downstream.dcnv2", vec![1, 2, 3]);
+        let decoded = FrozenModel::decode(&frozen.encode()).unwrap();
+        assert_eq!(decoded, frozen);
+        assert_eq!(decoded.extra("downstream.dcnv2"), Some(&[1u8, 2, 3][..]));
+        assert_eq!(decoded.extra("missing"), None);
+    }
+
+    #[test]
+    fn build_restores_exact_parameter_values() {
+        let (ds, uae) = tiny_model();
+        let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+        let rebuilt = frozen.build().unwrap();
+        assert_eq!(
+            save_params(rebuilt.attention_params()),
+            save_params(uae.attention_params())
+        );
+        assert_eq!(
+            save_params(rebuilt.propensity_params()),
+            save_params(uae.propensity_params())
+        );
+    }
+
+    #[test]
+    fn truncated_snapshot_is_a_typed_checkpoint_error() {
+        let (ds, uae) = tiny_model();
+        let bytes = FrozenModel::from_uae(&uae, &ds.schema, 15.0).encode();
+        for cut in [0, 4, 16, bytes.len() / 2, bytes.len() - 1] {
+            match FrozenModel::decode(&bytes[..cut]) {
+                Err(UaeError::Checkpoint(_)) => {}
+                other => panic!("cut={cut}: expected Checkpoint error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        let (ds, uae) = tiny_model();
+        let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+        let mut bytes = frozen.encode();
+        // put_bytes prefixes an 8-byte length, so the magic starts at 8.
+        bytes[8] = b'X';
+        assert_eq!(
+            FrozenModel::decode(&bytes),
+            Err(UaeError::Checkpoint(CheckpointError::BadMagic))
+        );
+        let mut bytes = frozen.encode();
+        bytes[12] = 99;
+        assert!(matches!(
+            FrozenModel::decode(&bytes),
+            Err(UaeError::Checkpoint(CheckpointError::BadVersion(_)))
+        ));
+    }
+
+    #[test]
+    fn mismatched_schema_fails_with_decode_error() {
+        let (ds, uae) = tiny_model();
+        let mut frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+        // Grow one embedding table's cardinality: the rebuilt arena expects
+        // a bigger tensor than the blob carries.
+        frozen.schema.cat_cardinalities[0] += 7;
+        match frozen.build() {
+            Err(UaeError::Decode(e)) => drop(e),
+            Err(other) => panic!("expected Decode error, got {other:?}"),
+            Ok(_) => panic!("expected Decode error, got Ok"),
+        }
+    }
+
+    #[test]
+    fn file_round_trip_is_atomic_and_exact() {
+        let (ds, uae) = tiny_model();
+        let frozen = FrozenModel::from_uae(&uae, &ds.schema, 12.5);
+        let dir = std::env::temp_dir().join(format!("uaem_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("model.uaem");
+        frozen.write_to(&path).unwrap();
+        assert!(!path.with_extension("tmp").exists(), "tmp file left behind");
+        let read = FrozenModel::read_from(&path).unwrap();
+        assert_eq!(read, frozen);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -13,6 +13,18 @@ use crate::rng::Rng;
 /// Allocations come from (and return to, on drop) the thread-local scratch
 /// pool in [`crate::backend`], so tape-heavy loops reuse buffers instead of
 /// hitting the allocator for every op.
+///
+/// ```
+/// use uae_tensor::Matrix;
+///
+/// let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+/// let b = Matrix::col_vector(&[5.0, 6.0]);
+/// let c = a.matmul(&b); // rides the blocked kernels + worker pool
+/// assert_eq!(c.shape(), (2, 1));
+/// assert_eq!(c.data(), &[17.0, 39.0]);
+/// let d = c.map(|v| v * 0.5);
+/// assert_eq!(d.get(1, 0), 19.5);
+/// ```
 #[derive(Debug, PartialEq)]
 pub struct Matrix {
     rows: usize,

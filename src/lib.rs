@@ -5,8 +5,9 @@
 //! risks and alternating optimization), every attention baseline it is
 //! compared against (EDM, NDB, PN, SAR), the seven downstream CTR
 //! recommenders of Table IV, a behaviour simulator standing in for the
-//! paper's proprietary logs, and an experiment harness that regenerates
-//! every table and figure.
+//! paper's proprietary logs, an experiment harness that regenerates
+//! every table and figure, and a tape-free batched inference engine
+//! (`serve`) for scoring with frozen `.uaem` model snapshots.
 //!
 //! This crate is a facade: it re-exports the workspace crates under one
 //! name. Depend on the individual crates for finer-grained builds.
@@ -44,4 +45,5 @@ pub use uae_models as models;
 pub use uae_nn as nn;
 pub use uae_obs as obs;
 pub use uae_runtime as runtime;
+pub use uae_serve as serve;
 pub use uae_tensor as tensor;

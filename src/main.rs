@@ -7,7 +7,9 @@
 //! uae fig5   [--fast]      # convergence curves
 //! uae fig6   [--fast]      # γ sweep
 //! uae fig7   [--fast]      # 7-day A/B simulation
-//! uae export <path.tsv>     # dump a simulated Product dataset to TSV
+//! uae export-data <path.tsv> # dump a simulated Product dataset to TSV
+//! uae export <model.uaem>   # train UAE, freeze it to a .uaem snapshot
+//! uae score  <model.uaem>   # batched tape-free scoring from a snapshot
 //! uae smoke                 # tiny telemetry-exercising train (CI)
 //! uae summarize <run.jsonl> # render a telemetry log as a report
 //! ```
@@ -123,6 +125,61 @@ fn cmd_smoke(cfg: &HarnessConfig) {
     );
 }
 
+/// Trains UAE on a simulated Product split and freezes it to `path` as a
+/// `.uaem` snapshot (DESIGN.md §10) carrying the schema, architecture,
+/// parameters, and the Eq. (19) exponent γ.
+fn cmd_export_model(path: &str, cfg: &HarnessConfig) {
+    let data = prepare(Preset::Product, cfg);
+    let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let mut est = Uae::new(
+        &data.dataset.schema,
+        UaeConfig {
+            seed,
+            ..cfg.uae.clone()
+        },
+    );
+    est.fit(&data.dataset, &data.split.train);
+    let frozen = uae::serve::FrozenModel::from_uae(&est, &data.dataset.schema, cfg.gamma);
+    if let Err(e) = frozen.write_to(std::path::Path::new(path)) {
+        eprintln!("export failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "froze UAE (gamma {}) trained on {} sessions to {path}",
+        cfg.gamma,
+        data.split.train.len()
+    );
+}
+
+/// Loads a `.uaem` snapshot and scores a simulated Product dataset through
+/// the tape-free batched engine, reporting throughput and score statistics.
+fn cmd_score(path: &str, cfg: &HarnessConfig) -> Result<(), uae::runtime::UaeError> {
+    let frozen = uae::serve::FrozenModel::read_from(std::path::Path::new(path))?;
+    let scorer = uae::serve::Scorer::new(frozen)?;
+    let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let t0 = std::time::Instant::now();
+    let out = scorer.score(&ds, &sessions);
+    let secs = t0.elapsed().as_secs_f64().max(1e-9);
+    let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "scored {} events from {} sessions in {:.1} ms ({:.0} events/s, batch size {})",
+        out.len(),
+        sessions.len(),
+        secs * 1e3,
+        out.len() as f64 / secs,
+        scorer.config().batch_size
+    );
+    println!(
+        "mean attention {:.4}  mean propensity {:.4}  mean weight {:.4} (gamma {})",
+        mean(&out.attention),
+        mean(&out.propensity),
+        mean(&out.weights),
+        scorer.gamma()
+    );
+    Ok(())
+}
+
 fn cmd_summarize(path: &str) -> Result<(), uae::obs::ObsError> {
     let records = uae::obs::read_jsonl(std::path::Path::new(path))?;
     print!("{}", uae::obs::summarize(&records)?);
@@ -173,11 +230,22 @@ fn main() {
             };
             println!("{}", run_ab_test(&cfg, &ab).render());
         }
-        Some("export") => {
+        Some("export-data") => {
             let path = args.get(1).map(String::as_str).unwrap_or("product.uae.tsv");
             let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
             std::fs::write(path, to_tsv(&ds)).expect("write dataset dump");
             println!("wrote {} sessions to {path}", ds.sessions.len());
+        }
+        Some("export") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("model.uaem");
+            cmd_export_model(path, &cfg);
+        }
+        Some("score") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("model.uaem");
+            if let Err(e) = cmd_score(path, &cfg) {
+                eprintln!("score failed: {e}");
+                std::process::exit(1);
+            }
         }
         Some("smoke") => {
             cfg.label_mode = LabelMode::Observed;
@@ -195,7 +263,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export [path]|smoke|summarize <run.jsonl>> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem]|score [model.uaem]|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);
