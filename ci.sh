@@ -4,6 +4,9 @@
 set -euo pipefail
 cd "$(dirname "$0")"
 
+echo "==> cargo fmt --check"
+cargo fmt --check
+
 echo "==> cargo build --release"
 cargo build --release
 
@@ -21,9 +24,10 @@ echo "==> determinism suites under UAE_NUM_THREADS=1 and =4"
 for nt in 1 4; do
     UAE_NUM_THREADS=$nt cargo test -q -p uae-tensor --test parallel_determinism
     UAE_NUM_THREADS=$nt cargo test -q -p uae-core --test thread_determinism
+    UAE_NUM_THREADS=$nt cargo test -q --test exec_equivalence
 done
 
-echo "==> committed BENCH_perf.json gates (perf_serve speedup >= 2x)"
+echo "==> committed BENCH_perf.json gates (perf_serve speedups >= 2x)"
 python3 -c "
 import json
 with open('BENCH_perf.json') as f:
@@ -32,7 +36,9 @@ serve = doc['perf_serve']
 assert not serve['smoke'], 'committed perf_serve numbers must come from a full run'
 speedup = serve['derived']['batched_vs_single_tape_speedup']
 assert speedup >= 2.0, f'batched serve speedup {speedup} < 2x single-item tape'
-print(f'perf_serve gate OK: batched {speedup:.2f}x single-item tape scoring')
+rec = serve['derived']['rec_batched_vs_single_tape_speedup']
+assert rec >= 2.0, f'batched recommender serve speedup {rec} < 2x single-item tape'
+print(f'perf_serve gate OK: UAE {speedup:.2f}x, {serve[\"rec_model\"]} {rec:.2f}x single-item tape scoring')
 "
 
 echo "==> bench smoke (perf_backend rewrites BENCH_perf.json, perf_serve splices in)"
@@ -47,7 +53,8 @@ for cfg in ('serial_baseline', 'blocked_1t', 'blocked_4t'):
     assert doc['configs'][cfg]['gru_epoch_ms'] > 0, cfg
 assert 'derived' in doc
 serve = doc['perf_serve']
-for cfg in ('tape_single', 'tape_batched', 'serve_single', 'serve_batched'):
+for cfg in ('tape_single', 'tape_batched', 'serve_single', 'serve_batched',
+            'rec_tape_single', 'rec_tape_batched', 'rec_serve_single', 'rec_serve_batched'):
     assert serve['configs'][f'{cfg}_events_per_sec'] > 0, cfg
 print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve')
 "
@@ -83,6 +90,13 @@ rm -f /tmp/uae_ci_model.uaem /tmp/uae_ci_serve.jsonl
 score_out=$(UAE_TELEMETRY=/tmp/uae_ci_serve.jsonl ./target/release/uae score /tmp/uae_ci_model.uaem --fast)
 grep -q "events/s" <<< "$score_out"
 ./target/release/uae summarize /tmp/uae_ci_serve.jsonl | grep -q "serving:"
+
+echo "==> downstream-recommender serving smoke (export --model -> sniffing score)"
+rm -f /tmp/uae_ci_rec.uaem
+./target/release/uae export /tmp/uae_ci_rec.uaem --model dcn --fast >/dev/null
+rec_out=$(./target/release/uae score /tmp/uae_ci_rec.uaem --fast)
+grep -q "events/s" <<< "$rec_out"
+grep -q "DCN" <<< "$rec_out"
 
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet

@@ -14,11 +14,7 @@ use uae_eval::{prepare, run_model, AttentionMethod, HarnessConfig, Preset, TextT
 use uae_metrics::{auc, expected_calibration_error};
 use uae_models::{LabelMode, ModelKind};
 
-fn attn_quality(
-    uae_cfg: UaeConfig,
-    data: &uae_eval::PreparedData,
-    sar: bool,
-) -> (f64, f64) {
+fn attn_quality(uae_cfg: UaeConfig, data: &uae_eval::PreparedData, sar: bool) -> (f64, f64) {
     let mut est = if sar {
         Uae::new_sar(&data.dataset.schema, uae_cfg)
     } else {
@@ -81,7 +77,11 @@ fn main() {
             ..base_cfg.clone()
         };
         let (a, e) = attn_quality(ablated, &data, false);
-        t.add_row(vec![format!("{na}/{np}"), format!("{a:.4}"), format!("{e:.4}")]);
+        t.add_row(vec![
+            format!("{na}/{np}"),
+            format!("{a:.4}"),
+            format!("{e:.4}"),
+        ]);
     }
     println!("{}", t.render());
 
@@ -89,9 +89,17 @@ fn main() {
     println!("--- ablation 3: sequential (UAE) vs local (SAR) propensity head ---");
     let mut t = TextTable::new(&["propensity head", "attn AUC", "ECE"]);
     let (a, e) = attn_quality(base_cfg.clone(), &data, false);
-    t.add_row(vec!["sequential (GRU₂)".into(), format!("{a:.4}"), format!("{e:.4}")]);
+    t.add_row(vec![
+        "sequential (GRU₂)".into(),
+        format!("{a:.4}"),
+        format!("{e:.4}"),
+    ]);
     let (a, e) = attn_quality(base_cfg.clone(), &data, true);
-    t.add_row(vec!["local features (SAR)".into(), format!("{a:.4}"), format!("{e:.4}")]);
+    t.add_row(vec![
+        "local features (SAR)".into(),
+        format!("{a:.4}"),
+        format!("{e:.4}"),
+    ]);
     println!("{}", t.render());
 
     // ---- 4. Downstream: UAE vs oracle weights -----------------------------

@@ -26,7 +26,7 @@ fn bench_gru_step(c: &mut Criterion) {
             |mut tape| {
                 let xv = tape.input(x.clone());
                 let h0 = cell.zero_state(&mut tape, 128);
-                std::hint::black_box(cell.step(&mut tape, &params, xv, h0));
+                std::hint::black_box(cell.step(&mut tape, &params, &xv, &h0));
             },
             BatchSize::SmallInput,
         )

@@ -33,7 +33,9 @@ use uae_tensor::{
 };
 
 fn smoke() -> bool {
-    std::env::var("UAE_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UAE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Median wall-clock milliseconds of `reps` timed runs (after one warm-up).
@@ -71,7 +73,9 @@ fn gru_fwd_bwd(reps: usize, batch: usize, dim: usize, t: usize) -> f64 {
     let mut rng = Rng::seed_from_u64(11);
     let mut params = Params::new();
     let cell = GruCell::new("g", dim, dim, &mut params, &mut rng);
-    let xs_data: Vec<Matrix> = (0..t).map(|_| Matrix::randn(batch, dim, 1.0, &mut rng)).collect();
+    let xs_data: Vec<Matrix> = (0..t)
+        .map(|_| Matrix::randn(batch, dim, 1.0, &mut rng))
+        .collect();
     let mask = Matrix::filled(batch, 1, 1.0);
     let mut tape = Tape::new();
     time_median_ms(reps, || {
@@ -193,7 +197,10 @@ fn spawn_child(config: &str, kernels: &str, threads: &str) -> Vec<(String, f64)>
 }
 
 fn lookup(rows: &[(String, f64)], key: &str) -> f64 {
-    rows.iter().find(|(k, _)| k == key).map(|&(_, v)| v).unwrap_or(f64::NAN)
+    rows.iter()
+        .find(|(k, _)| k == key)
+        .map(|&(_, v)| v)
+        .unwrap_or(f64::NAN)
 }
 
 fn main() {
@@ -202,8 +209,15 @@ fn main() {
         return;
     }
 
-    let cpus = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    eprintln!("perf_backend: {} configs, {} cpus, smoke={}", CONFIGS.len(), cpus, smoke());
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    eprintln!(
+        "perf_backend: {} configs, {} cpus, smoke={}",
+        CONFIGS.len(),
+        cpus,
+        smoke()
+    );
 
     let mut sections = Vec::new();
     let mut results = Vec::new();

@@ -12,11 +12,19 @@
 //! * `serve_batched` — `uae-serve` Scorer with batch size 64: length-bucketed
 //!   padded batches through the tape-free kernels.
 //!
-//! All four run in this one process under the default backend env
+//! A second block measures the downstream-recommender serving path (the
+//! Exec tentpole): a trained DCN-V2 scored through the training-path
+//! `uae_models::predict` one event per call (`rec_tape_single`), the same
+//! tape path fully batched (`rec_tape_batched`), and the tape-free
+//! [`RecScorer`] at batch 1 and 64 (`rec_serve_single` /
+//! `rec_serve_batched`).
+//!
+//! Everything runs in this one process under the default backend env
 //! (`UAE_NUM_THREADS` / `UAE_KERNELS` apply to every config equally), so the
 //! comparison isolates the serving path itself. The headline `derived`
-//! number is `batched_vs_single_tape_speedup`, which the CI gate requires
-//! to be ≥ 2.
+//! numbers are `batched_vs_single_tape_speedup` and
+//! `rec_batched_vs_single_tape_speedup`, which the CI gate requires to be
+//! ≥ 2.
 //!
 //! Results are spliced into the committed `BENCH_perf.json` as a
 //! `perf_serve` section, preserving the `perf_backend` sections already
@@ -27,11 +35,15 @@ use std::io::Write as _;
 use std::time::Instant;
 
 use uae_core::{AttentionEstimator, Uae, UaeConfig};
-use uae_data::{generate, SimConfig};
-use uae_serve::{FrozenModel, Scorer, ScorerConfig};
+use uae_data::{generate, FlatData, SimConfig};
+use uae_models::{predict, train, LabelMode, ModelConfig, ModelKind, TrainConfig};
+use uae_serve::{FrozenModel, FrozenRecommender, RecScorer, Scorer, ScorerConfig};
+use uae_tensor::{sigmoid, Rng, Tape};
 
 fn smoke() -> bool {
-    std::env::var("UAE_BENCH_SMOKE").map(|v| v == "1").unwrap_or(false)
+    std::env::var("UAE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Median wall-clock seconds of `reps` timed runs (after one warm-up).
@@ -111,25 +123,96 @@ fn main() {
     }));
     eprintln!("  serve_batched  {serve_batched_eps:.0} events/s");
 
+    // Downstream-recommender serving path: a trained DCN-V2 through the
+    // tape `predict` vs the tape-free RecScorer.
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    let rec_kind = ModelKind::DcnV2;
+    let rec_cfg = ModelConfig::default();
+    let mut rng = Rng::seed_from_u64(13);
+    let (rec_model, mut rec_params) = rec_kind.build(&ds.schema, &rec_cfg, &mut rng);
+    train(
+        rec_model.as_ref(),
+        &mut rec_params,
+        &flat,
+        None,
+        None,
+        LabelMode::Observed,
+        &TrainConfig {
+            epochs: 1,
+            ..TrainConfig::default()
+        },
+    );
+    let frozen_rec = FrozenRecommender::new(&ds.schema, rec_kind, &rec_cfg, &rec_params);
+    let rec_serve_single = RecScorer::with_batch_size(frozen_rec.clone(), 1).expect("rebuild");
+    let rec_serve_batched = RecScorer::with_batch_size(frozen_rec, 64).expect("rebuild");
+
+    // Sanity: tape-free batched scores must agree with the tape predict.
+    assert_eq!(
+        rec_serve_batched.score(&flat),
+        predict(rec_model.as_ref(), &rec_params, &flat, 64),
+        "tape-free recommender forward diverged from tape predict"
+    );
+
+    // One event per call through the tape, like `tape_single` above: a
+    // serving system that reuses the trainer builds a tape per request, so
+    // the baseline pays that per-request cost rather than amortizing one
+    // cleared tape across the whole dataset (which is what `predict` does
+    // internally — that amortized path is `rec_tape_batched` below).
+    let one_event: Vec<_> = (0..flat.len()).map(|i| flat.gather(&[i])).collect();
+    let rec_tape_single = eps(time_median_s(reps, || {
+        for batch in &one_event {
+            let mut tape = Tape::new();
+            let logits = rec_model.forward(&mut tape, &rec_params, batch);
+            std::hint::black_box(sigmoid(tape.value(logits).get(0, 0)));
+        }
+    }));
+    eprintln!("  rec_tape_single    {rec_tape_single:.0} events/s");
+    let rec_tape_batched = eps(time_median_s(reps, || {
+        std::hint::black_box(predict(rec_model.as_ref(), &rec_params, &flat, 64));
+    }));
+    eprintln!("  rec_tape_batched   {rec_tape_batched:.0} events/s");
+    let rec_serve_single_eps = eps(time_median_s(reps, || {
+        std::hint::black_box(rec_serve_single.score(&flat));
+    }));
+    eprintln!("  rec_serve_single   {rec_serve_single_eps:.0} events/s");
+    let rec_serve_batched_eps = eps(time_median_s(reps, || {
+        std::hint::black_box(rec_serve_batched.score(&flat));
+    }));
+    eprintln!("  rec_serve_batched  {rec_serve_batched_eps:.0} events/s");
+
     let section = format!(
         "  \"perf_serve\": {{\n    \"smoke\": {},\n    \"sessions\": {},\n    \"events\": {},\n    \
+         \"rec_model\": \"{}\",\n    \
          \"configs\": {{\n      \"tape_single_events_per_sec\": {:.0},\n      \
          \"tape_batched_events_per_sec\": {:.0},\n      \
          \"serve_single_events_per_sec\": {:.0},\n      \
-         \"serve_batched_events_per_sec\": {:.0}\n    }},\n    \
+         \"serve_batched_events_per_sec\": {:.0},\n      \
+         \"rec_tape_single_events_per_sec\": {:.0},\n      \
+         \"rec_tape_batched_events_per_sec\": {:.0},\n      \
+         \"rec_serve_single_events_per_sec\": {:.0},\n      \
+         \"rec_serve_batched_events_per_sec\": {:.0}\n    }},\n    \
          \"derived\": {{\n      \"batched_vs_single_tape_speedup\": {:.3},\n      \
          \"tape_free_vs_tape_batched_speedup\": {:.3},\n      \
-         \"serve_batching_speedup\": {:.3}\n    }}\n  }}",
+         \"serve_batching_speedup\": {:.3},\n      \
+         \"rec_batched_vs_single_tape_speedup\": {:.3},\n      \
+         \"rec_tape_free_vs_tape_batched_speedup\": {:.3}\n    }}\n  }}",
         smoke(),
         sessions.len(),
         events,
+        rec_kind.name(),
         tape_single,
         tape_batched,
         serve_single_eps,
         serve_batched_eps,
+        rec_tape_single,
+        rec_tape_batched,
+        rec_serve_single_eps,
+        rec_serve_batched_eps,
         serve_batched_eps / tape_single,
         serve_batched_eps / tape_batched,
         serve_batched_eps / serve_single_eps,
+        rec_serve_batched_eps / rec_tape_single,
+        rec_serve_batched_eps / rec_tape_batched,
     );
 
     // Splice into the committed file: perf_backend owns everything before the

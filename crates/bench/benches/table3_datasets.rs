@@ -11,7 +11,10 @@ use uae_eval::{HarnessConfig, Preset, TextTable};
 
 fn main() {
     let cfg = HarnessConfig::full();
-    println!("=== Table III: dataset statistics (scale {:.2}) ===\n", cfg.data_scale);
+    println!(
+        "=== Table III: dataset statistics (scale {:.2}) ===\n",
+        cfg.data_scale
+    );
     let mut t = TextTable::new(&[
         "Dataset",
         "#Sessions",

@@ -22,7 +22,10 @@ fn main() {
     let methods = AttentionMethod::table5();
 
     for (mode, label) in [
-        (LabelMode::Observed, "observed-feedback labels (paper protocol)"),
+        (
+            LabelMode::Observed,
+            "observed-feedback labels (paper protocol)",
+        ),
         (
             LabelMode::OraclePreference,
             "oracle-preference labels (simulator extension)",

@@ -28,15 +28,13 @@ fn main() {
     let g: Vec<f32> = alpha.iter().map(|&a| 0.15 + 0.7 * a).collect();
     let h: Vec<f32> = p.iter().map(|&x| 0.1 + 0.8 * x).collect();
     let mut rng = Rng::seed_from_u64(17);
-    println!(
-        "=== Theorems 1–6 on {} simulated events ===\n",
-        flat.len()
-    );
+    println!("=== Theorems 1–6 on {} simulated events ===\n", flat.len());
 
     // ---- Theorem 1 & PN bias -------------------------------------------
     let ideal = ideal_attention_risk(&g, alpha);
-    let (unb_mean, unb_var) =
-        risk_distribution(alpha, p, 300, &mut rng, |e| unbiased_attention_risk(&g, e, p));
+    let (unb_mean, unb_var) = risk_distribution(alpha, p, 300, &mut rng, |e| {
+        unbiased_attention_risk(&g, e, p)
+    });
     let (pn_mean, _) = risk_distribution(alpha, p, 300, &mut rng, |e| pn_attention_risk(&g, e));
     let mut t = TextTable::new(&["Estimator", "E[risk]", "ideal risk", "|gap|"]);
     t.add_row(vec![
@@ -94,7 +92,5 @@ fn main() {
     let (_, var_clipped) = risk_distribution(alpha, p, 300, &mut rng, |e| {
         unbiased_attention_risk(&g, e, &clipped)
     });
-    println!(
-        "\n§V-A clipping: Var with raw p {unb_var:.3e} vs clipped p (≥0.3) {var_clipped:.3e}"
-    );
+    println!("\n§V-A clipping: Var with raw p {unb_var:.3e} vs clipped p (≥0.3) {var_clipped:.3e}");
 }

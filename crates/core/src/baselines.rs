@@ -108,8 +108,7 @@ impl AttentionEstimator for BiasedAttentionBaseline {
                 let mut tape = Tape::new();
                 let out = self.net.forward(&mut tape, &self.params, batch);
                 let divisor = batch.valid_steps().max(1) as f32;
-                let loss =
-                    masked_sequence_bce(&mut tape, &out.logits, &pos, &neg, divisor, false);
+                let loss = masked_sequence_bce(&mut tape, &out.logits, &pos, &neg, divisor, false);
                 loss_sum += tape.value(loss).item() as f64;
                 steps += 1;
                 self.params.zero_grads();
@@ -126,12 +125,7 @@ impl AttentionEstimator for BiasedAttentionBaseline {
 
     fn predict(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
         let mut rng = Rng::seed_from_u64(3);
-        let max_len = dataset
-            .sessions
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(1);
+        let max_len = dataset.sessions.iter().map(|s| s.len()).max().unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
         let mut out = crate::uae::flat_slots(dataset, sessions);
         for b in &batches {
@@ -170,10 +164,9 @@ mod tests {
         pn.fit(&ds, &sessions);
         let pred = pn.predict(&ds, &sessions);
         let flat = FlatData::from_sessions(&ds, &sessions);
-        let mean_pred: f64 =
-            pred.iter().map(|&p| p as f64).sum::<f64>() / pred.len() as f64;
-        let true_rate = flat.true_attention.iter().filter(|&&a| a).count() as f64
-            / flat.len() as f64;
+        let mean_pred: f64 = pred.iter().map(|&p| p as f64).sum::<f64>() / pred.len() as f64;
+        let true_rate =
+            flat.true_attention.iter().filter(|&&a| a).count() as f64 / flat.len() as f64;
         assert!(
             mean_pred < true_rate * 0.7,
             "PN mean α̂ = {mean_pred:.3}, true attention rate = {true_rate:.3}"

@@ -40,7 +40,7 @@ pub use estimator::{AttentionEstimator, Edm, FitReport};
 pub use networks::{AttentionNet, LocalPropensityNet, PropensityNet};
 pub use reweight::{downstream_weights, reweight, reweight_curve};
 pub use risks::{
-    ideal_attention_weights, masked_sequence_bce, ndb_weights, pn_weights,
-    uae_attention_weights, uae_propensity_weights, WeightGrid,
+    ideal_attention_weights, masked_sequence_bce, ndb_weights, pn_weights, uae_attention_weights,
+    uae_propensity_weights, WeightGrid,
 };
 pub use uae::{Uae, UaeConfig, UaeInference};

@@ -264,8 +264,14 @@ mod tests {
                     tape.input(uae_tensor::Matrix::col_vector(&vals))
                 })
                 .collect();
-            let loss =
-                masked_sequence_bce(&mut tape, &logits, &pos, &neg, b.valid_steps() as f32, false);
+            let loss = masked_sequence_bce(
+                &mut tape,
+                &logits,
+                &pos,
+                &neg,
+                b.valid_steps() as f32,
+                false,
+            );
             tape.value(loss).item()
         };
         assert!((build(0.0) - build(100.0)).abs() < 1e-6);

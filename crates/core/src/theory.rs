@@ -164,11 +164,7 @@ pub fn risk_distribution(
         values.push(risk(&e));
     }
     let mean = values.iter().sum::<f64>() / draws as f64;
-    let var = values
-        .iter()
-        .map(|&v| (v - mean) * (v - mean))
-        .sum::<f64>()
-        / (draws - 1) as f64;
+    let var = values.iter().map(|&v| (v - mean) * (v - mean)).sum::<f64>() / (draws - 1) as f64;
     (mean, var)
 }
 
@@ -200,7 +196,10 @@ mod tests {
             unbiased_attention_risk(&g, e, &p)
         });
         let rel = (mean - ideal).abs() / ideal;
-        assert!(rel < 0.01, "ideal={ideal:.5} mc-mean={mean:.5} rel={rel:.4}");
+        assert!(
+            rel < 0.01,
+            "ideal={ideal:.5} mc-mean={mean:.5} rel={rel:.4}"
+        );
     }
 
     #[test]
@@ -260,7 +259,10 @@ mod tests {
             unbiased_propensity_risk(&h, e, &alpha)
         });
         let rel = (mean - ideal).abs() / ideal;
-        assert!(rel < 0.01, "ideal={ideal:.5} mc-mean={mean:.5} rel={rel:.4}");
+        assert!(
+            rel < 0.01,
+            "ideal={ideal:.5} mc-mean={mean:.5} rel={rel:.4}"
+        );
     }
 
     #[test]

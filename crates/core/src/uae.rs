@@ -7,7 +7,7 @@ use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnap
 use uae_runtime::sentinel::{self, Anomaly};
 use uae_runtime::supervisor::{Recovery, Supervisor};
 use uae_runtime::UaeError;
-use uae_tensor::{sigmoid, Matrix, Params, Rng, Tape, Var};
+use uae_tensor::{sigmoid, Exec, Matrix, Params, Rng, Tape, ValueExec, Var};
 
 use crate::estimator::{AttentionEstimator, FitReport};
 use crate::networks::{AttentionNet, LocalPropensityNet, PropensityNet};
@@ -153,25 +153,15 @@ impl Uae {
         }
     }
 
-    /// Forward of the propensity head with detached `z₁`.
-    fn propensity_logits(
-        &self,
-        tape: &mut Tape,
-        batch: &SeqBatch,
-        z1: &[Var],
-    ) -> Vec<Var> {
+    /// Forward of the propensity head with detached `z₁` (on the tape the
+    /// values re-enter as constants; tape-free, detaching is a plain copy).
+    fn propensity_logits<E: Exec>(&self, exec: &mut E, batch: &SeqBatch, z1: &[E::V]) -> Vec<E::V> {
         match &self.h {
             PropensityHead::Sequential(net) => {
-                let z1_detached: Vec<Var> = z1
-                    .iter()
-                    .map(|&z| {
-                        let v = tape.value(z).clone();
-                        tape.input(v)
-                    })
-                    .collect();
-                net.forward(tape, &self.params_h, batch, &z1_detached)
+                let z1_detached: Vec<E::V> = z1.iter().map(|z| exec.detach(z)).collect();
+                net.forward(exec, &self.params_h, batch, &z1_detached)
             }
-            PropensityHead::Local(net) => net.forward(tape, &self.params_h, batch),
+            PropensityHead::Local(net) => net.forward(exec, &self.params_h, batch),
         }
     }
 
@@ -208,14 +198,8 @@ impl Uae {
         }
         let (pos, neg) = uae_attention_weights(batch, &p_hat, self.cfg.propensity_clip);
         let divisor = batch.valid_steps().max(1) as f32;
-        let loss = masked_sequence_bce(
-            tape,
-            &gf.logits,
-            &pos,
-            &neg,
-            divisor,
-            self.cfg.clamp_nonneg,
-        );
+        let loss =
+            masked_sequence_bce(tape, &gf.logits, &pos, &neg, divisor, self.cfg.clamp_nonneg);
         let value = tape.value(loss).item() as f64;
         if guard {
             sentinel::check_loss(value)?;
@@ -253,14 +237,7 @@ impl Uae {
         let h_logits = self.propensity_logits(tape, batch, &gf.z1);
         let (pos, neg) = uae_propensity_weights(batch, &alpha_hat, self.cfg.attention_clip);
         let divisor = batch.valid_steps().max(1) as f32;
-        let loss = masked_sequence_bce(
-            tape,
-            &h_logits,
-            &pos,
-            &neg,
-            divisor,
-            self.cfg.clamp_nonneg,
-        );
+        let loss = masked_sequence_bce(tape, &h_logits, &pos, &neg, divisor, self.cfg.clamp_nonneg);
         let value = tape.value(loss).item() as f64;
         if guard {
             sentinel::check_loss(value)?;
@@ -291,17 +268,15 @@ impl Uae {
         matches!(self.h, PropensityHead::Sequential(_))
     }
 
-    /// Tape-free forward of both networks over one padded batch; the logits
-    /// are bit-identical to the training forward (same kernels, same op
-    /// order) but no autodiff tape is built. This is the serving path used
-    /// by `uae-serve`'s batched `Scorer`.
+    /// Tape-free forward of both networks over one padded batch: the *same*
+    /// forward implementations run under [`ValueExec`], so the logits are
+    /// bit-identical to the training forward by construction, with no
+    /// autodiff tape built. This is the serving path used by `uae-serve`'s
+    /// batched `Scorer`.
     pub fn infer_batch(&self, batch: &SeqBatch) -> UaeInference {
-        let gf = self.g.infer(&self.params_g, batch);
-        let propensity_logits = match &self.h {
-            // Detaching z₁ only matters for gradients; values pass through.
-            PropensityHead::Sequential(net) => net.infer(&self.params_h, batch, &gf.z1),
-            PropensityHead::Local(net) => net.infer(&self.params_h, batch),
-        };
+        let mut vx = ValueExec::new();
+        let gf = self.g.forward(&mut vx, &self.params_g, batch);
+        let propensity_logits = self.propensity_logits(&mut vx, batch, &gf.z1);
         UaeInference {
             attention_logits: gf.logits,
             propensity_logits,
@@ -403,7 +378,12 @@ impl Uae {
 
         if let Some(snap) = sup.take_resume() {
             self.restore_fit_snapshot(
-                &snap, &mut opt_g, &mut opt_h, &mut rng, &mut report, &mut order,
+                &snap,
+                &mut opt_g,
+                &mut opt_h,
+                &mut rng,
+                &mut report,
+                &mut order,
             )?;
             start_epoch = snap.epoch as usize;
             step = snap.step;
@@ -433,7 +413,13 @@ impl Uae {
                     for _ in 0..self.cfg.n_a {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.attention_step(&mut tape, &batches[bi], &mut opt_g, sup.enabled(), &mut att_clip) {
+                            match self.attention_step(
+                                &mut tape,
+                                &batches[bi],
+                                &mut opt_g,
+                                sup.enabled(),
+                                &mut att_clip,
+                            ) {
                                 Ok(v) => {
                                     att.0 += v;
                                     att.1 += 1;
@@ -462,7 +448,13 @@ impl Uae {
                     for _ in 0..self.cfg.n_p {
                         rng.shuffle(&mut order);
                         for &bi in &order {
-                            match self.propensity_step(&mut tape, &batches[bi], &mut opt_h, sup.enabled(), &mut pro_clip) {
+                            match self.propensity_step(
+                                &mut tape,
+                                &batches[bi],
+                                &mut opt_h,
+                                sup.enabled(),
+                                &mut pro_clip,
+                            ) {
                                 Ok(v) => {
                                     pro.0 += v;
                                     pro.1 += 1;
@@ -497,7 +489,11 @@ impl Uae {
                             clip_scale,
                         } => {
                             self.restore_fit_snapshot(
-                                &snapshot, &mut opt_g, &mut opt_h, &mut rng, &mut report,
+                                &snapshot,
+                                &mut opt_g,
+                                &mut opt_h,
+                                &mut rng,
+                                &mut report,
                                 &mut order,
                             )?;
                             opt_g.set_learning_rate(opt_g.learning_rate() * lr_scale);
@@ -553,12 +549,7 @@ impl Uae {
     /// the attention side (Remark 3).
     pub fn predict_propensity(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
         let mut rng = Rng::seed_from_u64(1);
-        let max_len = dataset
-            .sessions
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(1);
+        let max_len = dataset.sessions.iter().map(|s| s.len()).max().unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
         let mut out = flat_slots(dataset, sessions);
         let mut tape = Tape::new();
@@ -655,12 +646,7 @@ impl FitBookkeeping {
 /// Counts masked grid entries whose estimate falls below the lower clip —
 /// the "how hard are the inverse weights leaning on the clip" diagnostic
 /// that debiased-learning ablations track. Accumulates `(clipped, total)`.
-fn accumulate_clip_counts(
-    batch: &SeqBatch,
-    grid: &WeightGrid,
-    clip: f32,
-    counts: &mut (u64, u64),
-) {
+fn accumulate_clip_counts(batch: &SeqBatch, grid: &WeightGrid, clip: f32, counts: &mut (u64, u64)) {
     for (row, mask_row) in grid.iter().zip(&batch.mask) {
         for (&est, &m) in row.iter().zip(mask_row) {
             if m > 0.0 {
@@ -730,12 +716,7 @@ impl AttentionEstimator for Uae {
 
     fn predict(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
         let mut rng = Rng::seed_from_u64(2);
-        let max_len = dataset
-            .sessions
-            .iter()
-            .map(|s| s.len())
-            .max()
-            .unwrap_or(1);
+        let max_len = dataset.sessions.iter().map(|s| s.len()).max().unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
         let mut out = flat_slots(dataset, sessions);
         let mut tape = Tape::new();

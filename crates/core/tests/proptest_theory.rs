@@ -13,10 +13,7 @@ use uae_core::{downstream_weights, reweight};
 
 /// A random population of (g, α, p) triples bounded away from 0/1.
 fn population() -> impl Strategy<Value = Vec<(f32, f32, f32)>> {
-    proptest::collection::vec(
-        (0.05f32..0.95, 0.05f32..0.95, 0.05f32..0.95),
-        5..80,
-    )
+    proptest::collection::vec((0.05f32..0.95, 0.05f32..0.95, 0.05f32..0.95), 5..80)
 }
 
 proptest! {

@@ -38,8 +38,14 @@ fn train_blobs(threads: usize) -> (Vec<u8>, Vec<u8>, Vec<f32>) {
 fn trained_checkpoints_are_byte_identical_at_1_and_4_threads() {
     let (g1, h1, p1) = train_blobs(1);
     let (g4, h4, p4) = train_blobs(4);
-    assert_eq!(g1, g4, "attention params (Θ_g) diverged across thread counts");
-    assert_eq!(h1, h4, "propensity params (Θ_h) diverged across thread counts");
+    assert_eq!(
+        g1, g4,
+        "attention params (Θ_g) diverged across thread counts"
+    );
+    assert_eq!(
+        h1, h4,
+        "propensity params (Θ_h) diverged across thread counts"
+    );
     // Bitwise, not approximate: predictions go through the same kernels.
     assert!(
         p1.iter().zip(&p4).all(|(a, b)| a.to_bits() == b.to_bits()),

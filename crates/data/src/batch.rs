@@ -84,10 +84,7 @@ impl FlatData {
     pub fn from_sessions(dataset: &Dataset, sessions: &[usize]) -> Self {
         let fields = dataset.schema.num_cat_fields();
         let d = dataset.schema.num_dense();
-        let n: usize = sessions
-            .iter()
-            .map(|&s| dataset.sessions[s].len())
-            .sum();
+        let n: usize = sessions.iter().map(|&s| dataset.sessions[s].len()).sum();
         let mut cat = vec![Vec::with_capacity(n); fields];
         let mut dense = Vec::with_capacity(n * d);
         let mut label = Vec::with_capacity(n);
@@ -238,6 +235,43 @@ impl SeqBatch {
     }
 }
 
+/// The one bucketing implementation behind [`seq_batches`] and
+/// [`infer_seq_batches`], parameterized by intent: a training caller passes
+/// an RNG so equal-length buckets vary across epochs; a serving caller
+/// passes `None` so batch composition is a pure function of the request.
+/// The stable `sort_by_key` preserves shuffled order (training) or request
+/// order (serving) among equal lengths.
+fn bucketed_batches(
+    dataset: &Dataset,
+    sessions: &[usize],
+    batch_size: usize,
+    max_len: Option<usize>,
+    rng: Option<&mut Rng>,
+) -> Vec<SeqBatch> {
+    assert!(batch_size > 0);
+    assert!(
+        max_len != Some(0),
+        "max_len = Some(0) would drop every step"
+    );
+    // (split position, session index, truncated length), bucketed by length.
+    let mut entries: Vec<(usize, usize, usize)> = sessions
+        .iter()
+        .enumerate()
+        .map(|(pos, &s)| {
+            let len = dataset.sessions[s].len();
+            (pos, s, max_len.map_or(len, |m| len.min(m)))
+        })
+        .collect();
+    if let Some(rng) = rng {
+        rng.shuffle(&mut entries);
+    }
+    entries.sort_by_key(|&(_, _, len)| len);
+    entries
+        .chunks(batch_size)
+        .map(|chunk| build_seq_batch(dataset, chunk))
+        .collect()
+}
+
 /// Builds padded sequence batches over the listed sessions.
 ///
 /// Sessions are bucketed by length (after truncation to `max_len`) to limit
@@ -249,20 +283,8 @@ pub fn seq_batches(
     max_len: usize,
     rng: &mut Rng,
 ) -> Vec<SeqBatch> {
-    assert!(batch_size > 0 && max_len > 0);
-    // (split position, session index, truncated length), bucketed by length.
-    let mut entries: Vec<(usize, usize, usize)> = sessions
-        .iter()
-        .enumerate()
-        .map(|(pos, &s)| (pos, s, dataset.sessions[s].len().min(max_len)))
-        .collect();
-    rng.shuffle(&mut entries);
-    entries.sort_by_key(|&(_, _, len)| len);
-
-    entries
-        .chunks(batch_size)
-        .map(|chunk| build_seq_batch(dataset, chunk))
-        .collect()
+    assert!(max_len > 0);
+    bucketed_batches(dataset, sessions, batch_size, Some(max_len), Some(rng))
 }
 
 /// Deterministic bucketing for the serving path: the same padded layout as
@@ -276,21 +298,7 @@ pub fn infer_seq_batches(
     batch_size: usize,
     max_len: Option<usize>,
 ) -> Vec<SeqBatch> {
-    assert!(batch_size > 0);
-    assert!(max_len != Some(0), "max_len = Some(0) would drop every step");
-    let mut entries: Vec<(usize, usize, usize)> = sessions
-        .iter()
-        .enumerate()
-        .map(|(pos, &s)| {
-            let len = dataset.sessions[s].len();
-            (pos, s, max_len.map_or(len, |m| len.min(m)))
-        })
-        .collect();
-    entries.sort_by_key(|&(_, _, len)| len);
-    entries
-        .chunks(batch_size)
-        .map(|chunk| build_seq_batch(dataset, chunk))
-        .collect()
+    bucketed_batches(dataset, sessions, batch_size, max_len, None)
 }
 
 /// Assembles one padded batch from `(split position, session index,
@@ -473,10 +481,7 @@ mod tests {
                 }
             }
         }
-        let expected: usize = sessions
-            .iter()
-            .map(|&s| ds.sessions[s].len().min(25))
-            .sum();
+        let expected: usize = sessions.iter().map(|&s| ds.sessions[s].len().min(25)).sum();
         assert_eq!(covered, expected);
         let total_valid: usize = batches.iter().map(|b| b.valid_steps()).sum();
         assert_eq!(total_valid, expected);

@@ -24,7 +24,7 @@
 use uae_tensor::{sigmoid, Rng};
 
 use crate::config::SimConfig;
-use crate::schema::{Dataset, Event, Feedback, FeatureSchema, Session, Truth};
+use crate::schema::{Dataset, Event, FeatureSchema, Feedback, Session, Truth};
 
 /// Per-user latent state.
 struct UserLatent {
@@ -64,8 +64,20 @@ pub fn schema_for(config: &SimConfig) -> FeatureSchema {
     let cat_cardinalities: Vec<usize>;
     if config.product_feedback {
         cat_names = vec![
-            "user_id", "gender", "age_bucket", "country", "device", "engagement_bucket",
-            "song_id", "artist", "album", "genre", "language", "hour", "day_of_week", "network",
+            "user_id",
+            "gender",
+            "age_bucket",
+            "country",
+            "device",
+            "engagement_bucket",
+            "song_id",
+            "artist",
+            "album",
+            "genre",
+            "language",
+            "hour",
+            "day_of_week",
+            "network",
         ]
         .into_iter()
         .map(String::from)
@@ -87,10 +99,17 @@ pub fn schema_for(config: &SimConfig) -> FeatureSchema {
             3,
         ];
     } else {
-        cat_names = vec!["user_id", "song_id", "artist", "genre", "hour", "day_of_week"]
-            .into_iter()
-            .map(String::from)
-            .collect();
+        cat_names = vec![
+            "user_id",
+            "song_id",
+            "artist",
+            "genre",
+            "hour",
+            "day_of_week",
+        ]
+        .into_iter()
+        .map(String::from)
+        .collect();
         cat_cardinalities = vec![
             config.num_users,
             config.num_songs,
@@ -288,9 +307,7 @@ impl Simulator {
         let hour_factor = ((hour as f32 / 24.0) * std::f32::consts::TAU).sin();
         let ap = &self.config.attention;
         sigmoid(
-            ap.bias
-                + ap.engagement * (user_l.engagement - 0.5)
-                + ap.appeal * (pref - 0.5)
+            ap.bias + ap.engagement * (user_l.engagement - 0.5) + ap.appeal * (pref - 0.5)
                 - ap.rank * rank_norm
                 + ap.hour * hour_factor,
         )
@@ -670,9 +687,7 @@ mod tests {
         assert!(p_active > p_passive);
         // Attention decays with rank at fixed context.
         let hour = sim.hour_at(ctx, 0);
-        assert!(
-            sim.attention_prob(user, song, 0, hour) > sim.attention_prob(user, song, 25, hour)
-        );
+        assert!(sim.attention_prob(user, song, 0, hour) > sim.attention_prob(user, song, 25, hour));
         // Preference is symmetric in call count (pure function).
         assert_eq!(
             sim.preference_prob(user, song),

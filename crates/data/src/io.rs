@@ -23,7 +23,7 @@
 use std::fmt::Write as _;
 use std::str::FromStr;
 
-use crate::schema::{Dataset, Event, Feedback, FeatureSchema, Session, Truth};
+use crate::schema::{Dataset, Event, FeatureSchema, Feedback, Session, Truth};
 
 /// Errors raised while parsing a dataset dump.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -168,7 +168,9 @@ pub fn from_tsv(name: &str, text: &str) -> Result<Dataset, ParseError> {
         }
     }
     if feedback_types == 0 {
-        return Err(ParseError::BadSchema("feedback_types missing or zero".into()));
+        return Err(ParseError::BadSchema(
+            "feedback_types missing or zero".into(),
+        ));
     }
     let schema = FeatureSchema {
         cat_cardinalities,
@@ -355,16 +357,28 @@ mod tests {
         let head = "#schema cat u:2 dense d feedback_types 3\n#session 0 0\n";
         // Too many cat values.
         let text = format!("{head}Like\t0\t1,1\t0.5\n");
-        assert!(matches!(from_tsv("x", &text), Err(ParseError::BadEvent(..))));
+        assert!(matches!(
+            from_tsv("x", &text),
+            Err(ParseError::BadEvent(..))
+        ));
         // Cat value beyond cardinality.
         let text = format!("{head}Like\t0\t5\t0.5\n");
-        assert!(matches!(from_tsv("x", &text), Err(ParseError::BadEvent(..))));
+        assert!(matches!(
+            from_tsv("x", &text),
+            Err(ParseError::BadEvent(..))
+        ));
         // Bad feedback token.
         let text = format!("{head}Boop\t0\t1\t0.5\n");
-        assert!(matches!(from_tsv("x", &text), Err(ParseError::BadEvent(..))));
+        assert!(matches!(
+            from_tsv("x", &text),
+            Err(ParseError::BadEvent(..))
+        ));
         // Bad dense value.
         let text = format!("{head}Like\t0\t1\tzzz\n");
-        assert!(matches!(from_tsv("x", &text), Err(ParseError::BadEvent(..))));
+        assert!(matches!(
+            from_tsv("x", &text),
+            Err(ParseError::BadEvent(..))
+        ));
     }
 
     /// Deterministic mutation fuzzing: every single-character corruption of a

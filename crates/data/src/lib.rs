@@ -30,7 +30,7 @@ pub use batch::{
 pub use config::{AttentionParams, PropensityParams, SimConfig};
 pub use gen::{generate, schema_for, SessionContext, Simulator};
 pub use io::{from_tsv, to_tsv, ParseError};
-pub use schema::{Dataset, DatasetSummary, Event, Feedback, FeatureSchema, Session, Truth};
+pub use schema::{Dataset, DatasetSummary, Event, FeatureSchema, Feedback, Session, Truth};
 pub use stats::{
     active_rate_by_active_count, active_rate_by_pattern, feedback_by_rank, transition_matrix,
     RankRates, TransitionStats,

@@ -8,19 +8,14 @@ use uae_data::{generate, seq_batches, split_by_ratio, FlatData, SimConfig};
 use uae_tensor::Rng;
 
 fn random_config() -> impl Strategy<Value = (SimConfig, u64)> {
-    (
-        0.02f64..0.1,
-        any::<bool>(),
-        0u64..10_000,
-    )
-        .prop_map(|(scale, product, seed)| {
-            let cfg = if product {
-                SimConfig::product(scale)
-            } else {
-                SimConfig::thirty_music(scale)
-            };
-            (cfg, seed)
-        })
+    (0.02f64..0.1, any::<bool>(), 0u64..10_000).prop_map(|(scale, product, seed)| {
+        let cfg = if product {
+            SimConfig::product(scale)
+        } else {
+            SimConfig::thirty_music(scale)
+        };
+        (cfg, seed)
+    })
 }
 
 proptest! {

@@ -196,7 +196,8 @@ pub fn run_ab_test(cfg: &HarnessConfig, ab: &AbConfig) -> AbOutcome {
     // Control: plain DCN-V2. Treatment: DCN-V2 + UAE weights.
     let control = {
         let mut rng = Rng::seed_from_u64(seed ^ 0x6374_726c);
-        let (model, mut params) = ModelKind::DcnV2.build(&data.dataset.schema, &cfg.model, &mut rng);
+        let (model, mut params) =
+            ModelKind::DcnV2.build(&data.dataset.schema, &cfg.model, &mut rng);
         let report = uae_models::train(
             model.as_ref(),
             &mut params,
@@ -214,7 +215,8 @@ pub fn run_ab_test(cfg: &HarnessConfig, ab: &AbConfig) -> AbOutcome {
             .weights(&data, cfg, seed)
             .expect("weights");
         let mut rng = Rng::seed_from_u64(seed ^ 0x6374_726c);
-        let (model, mut params) = ModelKind::DcnV2.build(&data.dataset.schema, &cfg.model, &mut rng);
+        let (model, mut params) =
+            ModelKind::DcnV2.build(&data.dataset.schema, &cfg.model, &mut rng);
         uae_models::train(
             model.as_ref(),
             &mut params,
@@ -238,10 +240,7 @@ fn serve_ab(
     cfg: &HarnessConfig,
     ab: &AbConfig,
 ) -> AbOutcome {
-    let sim = Simulator::new(
-        Preset::Product.config(cfg.data_scale),
-        cfg.data_seed,
-    );
+    let sim = Simulator::new(Preset::Product.config(cfg.data_scale), cfg.data_seed);
     debug_assert_eq!(sim.schema().num_features(), dataset.schema.num_features());
     let mut days = Vec::with_capacity(ab.days);
     let mut rng = Rng::seed_from_u64(ab.seed ^ 0xab_ab_ab);

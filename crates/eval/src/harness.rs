@@ -1,10 +1,10 @@
 //! Shared experiment plumbing: datasets, splits, attention methods, and
 //! single training runs.
 
-use uae_core::{downstream_weights, AttentionEstimator, BiasedAttentionBaseline, Edm, Uae, UaeConfig};
-use uae_data::{
-    generate, split_by_day, split_by_ratio, Dataset, FlatData, SimConfig, Split,
+use uae_core::{
+    downstream_weights, AttentionEstimator, BiasedAttentionBaseline, Edm, Uae, UaeConfig,
 };
+use uae_data::{generate, split_by_day, split_by_ratio, Dataset, FlatData, SimConfig, Split};
 use uae_models::{
     evaluate, train, EvalResult, LabelMode, ModelConfig, ModelKind, TrainConfig, TrainReport,
 };
@@ -235,12 +235,7 @@ impl AttentionMethod {
     }
 
     /// Downstream per-event weights (Eq. 19 over [`Self::attention_scores`]).
-    pub fn weights(
-        self,
-        data: &PreparedData,
-        cfg: &HarnessConfig,
-        seed: u64,
-    ) -> Option<Vec<f32>> {
+    pub fn weights(self, data: &PreparedData, cfg: &HarnessConfig, seed: u64) -> Option<Vec<f32>> {
         self.attention_scores(data, cfg, seed)
             .map(|alpha| downstream_weights(&alpha, cfg.gamma))
     }
@@ -385,14 +380,10 @@ fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
 /// isolation: a panicking seed is caught, retried once with
 /// [`derive_recovery_seed`], and reported as a [`SeedOutcome`] instead of
 /// propagating — so one diverged seed degrades a table run gracefully.
-pub fn over_seeds_isolated<T: Send>(
-    seeds: &[u64],
-    f: impl Fn(u64) -> T + Sync,
-) -> SeedFanout<T> {
+pub fn over_seeds_isolated<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> SeedFanout<T> {
     let f = &f;
     let attempt = move |seed: u64| -> Result<T, String> {
-        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(seed)))
-            .map_err(panic_message)
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(seed))).map_err(panic_message)
     };
     // Worker threads inherit the caller's telemetry sink (sharing its `seq`
     // counter) so per-seed progress lands in the same JSONL stream.
@@ -469,10 +460,7 @@ pub fn over_seeds_isolated<T: Send>(
 /// Legacy strict variant of [`over_seeds_isolated`]: a seed that panics
 /// twice (original + recovery attempt) panics here too, with the full fault
 /// report in the message.
-pub fn over_seeds<T: Send>(
-    seeds: &[u64],
-    f: impl Fn(u64) -> T + Sync,
-) -> Vec<T> {
+pub fn over_seeds<T: Send>(seeds: &[u64], f: impl Fn(u64) -> T + Sync) -> Vec<T> {
     let fan = over_seeds_isolated(seeds, f);
     if fan.outcomes.iter().any(|o| o.error().is_some()) {
         panic!("seed fan-out failed: {}", fan.fault_report().join("; "));
@@ -508,7 +496,9 @@ mod tests {
         let cfg = HarnessConfig::fast();
         let data = prepare(Preset::Product, &cfg);
         assert!(AttentionMethod::Base.weights(&data, &cfg, 0).is_none());
-        let oracle = AttentionMethod::Oracle.attention_scores(&data, &cfg, 0).unwrap();
+        let oracle = AttentionMethod::Oracle
+            .attention_scores(&data, &cfg, 0)
+            .unwrap();
         assert_eq!(oracle, data.train.true_alpha);
     }
 

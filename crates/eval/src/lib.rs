@@ -34,4 +34,6 @@ pub use harness::{
 };
 pub use table::{pct, rela, starred, TextTable};
 pub use table4::{run_table4, Table4, Table4Entry};
-pub use table5::{run_table5, run_table5_with, table5_models, AttentionQuality, Table5, Table5Entry};
+pub use table5::{
+    run_table5, run_table5_with, table5_models, AttentionQuality, Table5, Table5Entry,
+};

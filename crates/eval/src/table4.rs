@@ -80,9 +80,11 @@ pub fn run_table4(cfg: &HarnessConfig) -> Table4 {
                 })
                 .collect::<Vec<_>>()
         });
-        table
-            .faults
-            .extend(fan.fault_report().into_iter().map(|f| format!("[{}] {f}", preset.name())));
+        table.faults.extend(
+            fan.fault_report()
+                .into_iter()
+                .map(|f| format!("[{}] {f}", preset.name())),
+        );
         let per_seed = fan.values();
         for (mi, kind) in ModelKind::all().into_iter().enumerate() {
             let mut entry = Table4Entry {
@@ -125,8 +127,7 @@ impl Table4 {
             for metric in ["AUC", "GAUC"] {
                 out.push_str(&format!("\n[{dataset}] {metric}\n"));
                 let mut header = vec!["Variant"];
-                let names: Vec<&'static str> =
-                    ModelKind::all().iter().map(|k| k.name()).collect();
+                let names: Vec<&'static str> = ModelKind::all().iter().map(|k| k.name()).collect();
                 header.extend(names.iter());
                 let mut t = TextTable::new(&header);
                 let row = |f: &dyn Fn(&Table4Entry) -> String, label: &str| -> Vec<String> {
@@ -145,12 +146,7 @@ impl Table4 {
                 if metric == "AUC" {
                     t.add_row(row(&|e| pct(mean(&e.base_auc)), "Base"));
                     t.add_row(row(
-                        &|e| {
-                            starred(
-                                pct(mean(&e.uae_auc)),
-                                e.auc_significant().unwrap_or(false),
-                            )
-                        },
+                        &|e| starred(pct(mean(&e.uae_auc)), e.auc_significant().unwrap_or(false)),
                         "+UAE (Ours)",
                     ));
                     t.add_row(row(&|e| rela(e.auc_improvement()), "RelaImpr"));

@@ -8,7 +8,7 @@ use uae_metrics::{auc, brier_score, expected_calibration_error, mean, paired_t_t
 use uae_models::ModelKind;
 
 use crate::harness::{
-    over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, Preset, PreparedData,
+    over_seeds_isolated, prepare, AttentionMethod, HarnessConfig, PreparedData, Preset,
 };
 use crate::table::{pct, rela, starred, TextTable};
 
@@ -50,10 +50,7 @@ pub fn table5_models() -> [ModelKind; 2] {
     [ModelKind::AutoInt, ModelKind::DcnV2]
 }
 
-fn quality_of(
-    scores: &[f32],
-    data: &PreparedData,
-) -> (f64, f64, f64) {
+fn quality_of(scores: &[f32], data: &PreparedData) -> (f64, f64, f64) {
     let truth = &data.train.true_attention;
     (
         auc(scores, truth).unwrap_or(0.5),
@@ -88,16 +85,17 @@ pub fn run_table5_with(cfg: &HarnessConfig, methods: &[AttentionMethod]) -> Tabl
                 }
                 let weights = scores.map(|s| uae_core::downstream_weights(&s, cfg.gamma));
                 for (mi, kind) in table5_models().into_iter().enumerate() {
-                    let out =
-                        crate::harness::run_model(kind, weights.as_deref(), &data, cfg, seed);
+                    let out = crate::harness::run_model(kind, weights.as_deref(), &data, cfg, seed);
                     cells.push((qi, mi, out.result.auc, out.result.gauc));
                 }
             }
             (cells, quality)
         });
-        table
-            .faults
-            .extend(fan.fault_report().into_iter().map(|f| format!("[{}] {f}", preset.name())));
+        table.faults.extend(
+            fan.fault_report()
+                .into_iter()
+                .map(|f| format!("[{}] {f}", preset.name())),
+        );
         let per_seed: Vec<SeedOut> = fan.values();
         for (qi, &method) in methods.iter().enumerate() {
             for (mi, kind) in table5_models().into_iter().enumerate() {
@@ -188,9 +186,7 @@ impl Table5 {
                                 .iter()
                                 .filter(|&&x| x != AttentionMethod::Uae)
                                 .map(|&x| get(x))
-                                .max_by(|a, b| {
-                                    mean(a).partial_cmp(&mean(b)).expect("finite")
-                                })
+                                .max_by(|a, b| mean(a).partial_cmp(&mean(b)).expect("finite"))
                                 .unwrap_or_else(|| base.clone());
                             paired_t_test(&vals, &best_baseline)
                                 .map(|t| t.significant(0.05) && mean(&vals) > mean(&best_baseline))
@@ -212,9 +208,7 @@ impl Table5 {
             }
         }
         if !self.quality.is_empty() {
-            out.push_str(
-                "\nAttention-estimation quality vs. simulator ground truth (extension)\n",
-            );
+            out.push_str("\nAttention-estimation quality vs. simulator ground truth (extension)\n");
             let mut t = TextTable::new(&["Dataset", "Method", "Attn AUC", "Brier", "ECE"]);
             for q in &self.quality {
                 t.add_row(vec![

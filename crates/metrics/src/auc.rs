@@ -50,7 +50,8 @@ pub fn gauc(scores: &[f32], labels: &[bool], groups: &[u32]) -> Option<f64> {
     assert_eq!(scores.len(), groups.len());
     // Bucket example indices per group. BTreeMap keeps the floating-point
     // summation order deterministic across runs.
-    let mut buckets: std::collections::BTreeMap<u32, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut buckets: std::collections::BTreeMap<u32, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, &g) in groups.iter().enumerate() {
         buckets.entry(g).or_default().push(i);
     }

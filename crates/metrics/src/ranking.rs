@@ -190,8 +190,6 @@ mod tests {
         let relevant = [true, false, true, false, false];
         let good = [0.9, 0.2, 0.8, 0.1, 0.3];
         let bad = [0.1, 0.9, 0.2, 0.8, 0.7];
-        assert!(
-            ndcg_at_k(&good, &relevant, 5).unwrap() > ndcg_at_k(&bad, &relevant, 5).unwrap()
-        );
+        assert!(ndcg_at_k(&good, &relevant, 5).unwrap() > ndcg_at_k(&bad, &relevant, 5).unwrap());
     }
 }

@@ -185,8 +185,7 @@ pub fn welch_t_test(a: &[f64], b: &[f64]) -> Option<TTest> {
     }
     let t = (ma - mb) / se2.sqrt();
     // Welch–Satterthwaite degrees of freedom.
-    let df = se2 * se2
-        / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
+    let df = se2 * se2 / ((va / na).powi(2) / (na - 1.0) + (vb / nb).powi(2) / (nb - 1.0));
     let p = 2.0 * (1.0 - student_t_cdf(t.abs(), df));
     Some(TTest {
         t_statistic: t,
@@ -245,10 +244,7 @@ mod tests {
     fn ln_gamma_matches_factorials() {
         for n in 1..10u64 {
             let fact: f64 = (1..n).map(|k| k as f64).product();
-            assert!(
-                (ln_gamma(n as f64) - fact.ln()).abs() < 1e-9,
-                "n={n}"
-            );
+            assert!((ln_gamma(n as f64) - fact.ln()).abs() < 1e-9, "n={n}");
         }
         // Γ(0.5) = √π.
         assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-9);
@@ -339,9 +335,7 @@ mod tests {
     fn confidence_half_width_shrinks_with_n() {
         let small = [1.0, 2.0, 3.0];
         let large: Vec<f64> = (0..30).map(|i| 1.0 + (i % 3) as f64).collect();
-        assert!(
-            confidence_half_width(&large, 0.95) < confidence_half_width(&small, 0.95)
-        );
+        assert!(confidence_half_width(&large, 0.95) < confidence_half_width(&small, 0.95));
         assert_eq!(confidence_half_width(&[1.0], 0.95), 0.0);
     }
 }

@@ -4,8 +4,8 @@
 
 use proptest::prelude::*;
 use uae_metrics::{
-    auc, brier_score, confidence_half_width, gauc, log_loss, mean, rela_impr, stats,
-    student_t_cdf, variance, welch_t_test,
+    auc, brier_score, confidence_half_width, gauc, log_loss, mean, rela_impr, stats, student_t_cdf,
+    variance, welch_t_test,
 };
 
 fn scored_labels() -> impl Strategy<Value = (Vec<f32>, Vec<bool>)> {

@@ -3,10 +3,10 @@
 
 use uae_data::{FeatureSchema, FlatBatch};
 use uae_nn::{InteractingLayer, Linear};
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Params, Rng};
 
 use crate::encoder::Encoder;
-use crate::recommender::{ModelConfig, Recommender};
+use crate::recommender::{ModelConfig, RecommenderForward};
 
 /// AutoInt treats every categorical field as a token; the dense vector is
 /// projected into one extra pseudo-field. A stack of interacting layers
@@ -29,7 +29,13 @@ impl AutoInt {
     ) -> Self {
         let encoder = Encoder::new("autoint.emb", schema, config.embed_dim, params, rng);
         let k = config.embed_dim;
-        let dense_proj = Linear::new("autoint.dense_proj", encoder.num_dense().max(1), k, params, rng);
+        let dense_proj = Linear::new(
+            "autoint.dense_proj",
+            encoder.num_dense().max(1),
+            k,
+            params,
+            rng,
+        );
         let num_tokens = encoder.num_fields() + 1;
         let mut layers = Vec::with_capacity(config.attn_layers.max(1));
         let mut in_dim = k;
@@ -56,33 +62,35 @@ impl AutoInt {
     }
 }
 
-impl Recommender for AutoInt {
+impl RecommenderForward for AutoInt {
     fn name(&self) -> &'static str {
         "AutoInt"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let enc = self.encoder.encode(tape, params, batch);
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let enc = self.encoder.encode(exec, params, batch);
         let b = enc.batch;
         let k = self.encoder.embed_dim();
         // Tokens: concatenated field embeddings ⧺ projected dense, reshaped
         // to the packed (batch, tokens, k) layout.
-        let dense_tok = self.dense_proj.forward(tape, params, enc.dense);
-        let tokens_flat = tape.concat_cols(&[enc.emb_concat, dense_tok]);
-        let mut x = tape.reshape(tokens_flat, b * self.num_tokens, k);
+        let dense_tok = self.dense_proj.forward(exec, params, &enc.dense);
+        let tokens_flat = exec.concat_cols(&[enc.emb_concat, dense_tok]);
+        let mut x = exec.reshape(&tokens_flat, b * self.num_tokens, k);
         for layer in &self.layers {
-            x = layer.forward(tape, params, x, b);
+            x = layer.forward(exec, params, &x, b);
         }
         let width = self.layers.last().expect("layers").out_dim();
-        let flat = tape.reshape(x, b, self.num_tokens * width);
-        self.head.forward(tape, params, flat)
+        let flat = exec.reshape(&x, b, self.num_tokens * width);
+        self.head.forward(exec, params, &flat)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recommender::Recommender;
     use uae_data::{generate, FlatData, SimConfig};
+    use uae_tensor::Tape;
 
     #[test]
     fn stacked_layers_change_width_correctly() {
@@ -100,7 +108,7 @@ mod tests {
         };
         let model = AutoInt::new(&ds.schema, &cfg, &mut params, &mut rng);
         let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &params, &batch);
+        let out = Recommender::forward(&model, &mut tape, &params, &batch);
         assert_eq!(tape.value(out).shape(), (4, 1));
         assert!(tape.value(out).data().iter().all(|v| v.is_finite()));
     }

@@ -3,10 +3,10 @@
 
 use uae_data::{FeatureSchema, FlatBatch};
 use uae_nn::{Activation, CrossLayerV1, CrossLayerV2, Linear, Mlp};
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Params, Rng};
 
 use crate::encoder::Encoder;
-use crate::recommender::{ModelConfig, Recommender};
+use crate::recommender::{ModelConfig, RecommenderForward};
 
 /// DCN v1: a stack of rank-1 cross layers in parallel with a deep MLP;
 /// their outputs are concatenated into a final linear head.
@@ -50,21 +50,21 @@ impl Dcn {
     }
 }
 
-impl Recommender for Dcn {
+impl RecommenderForward for Dcn {
     fn name(&self) -> &'static str {
         "DCN"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let enc = self.encoder.encode(tape, params, batch);
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let enc = self.encoder.encode(exec, params, batch);
         let x0 = enc.full;
-        let mut x = x0;
+        let mut x = x0.clone();
         for layer in &self.cross {
-            x = layer.forward(tape, params, x0, x);
+            x = layer.forward(exec, params, &x0, &x);
         }
-        let deep = self.deep.forward(tape, params, x0);
-        let cat = tape.concat_cols(&[x, deep]);
-        self.head.forward(tape, params, cat)
+        let deep = self.deep.forward(exec, params, &x0);
+        let cat = exec.concat_cols(&[x, deep]);
+        self.head.forward(exec, params, &cat)
     }
 }
 
@@ -109,29 +109,30 @@ impl DcnV2 {
     }
 }
 
-impl Recommender for DcnV2 {
+impl RecommenderForward for DcnV2 {
     fn name(&self) -> &'static str {
         "DCN-V2"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let enc = self.encoder.encode(tape, params, batch);
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let enc = self.encoder.encode(exec, params, batch);
         let x0 = enc.full;
-        let mut x = x0;
+        let mut x = x0.clone();
         for layer in &self.cross {
-            x = layer.forward(tape, params, x0, x);
+            x = layer.forward(exec, params, &x0, &x);
         }
-        let deep = self.deep.forward(tape, params, x0);
-        let cat = tape.concat_cols(&[x, deep]);
-        self.head.forward(tape, params, cat)
+        let deep = self.deep.forward(exec, params, &x0);
+        let cat = exec.concat_cols(&[x, deep]);
+        self.head.forward(exec, params, &cat)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recommender::Recommender;
     use uae_data::{generate, FlatData, SimConfig};
-    use uae_tensor::Rng;
+    use uae_tensor::{Rng, Tape};
 
     fn batch() -> (uae_data::Dataset, uae_data::FlatBatch) {
         let ds = generate(&SimConfig::tiny(), 8);
@@ -152,7 +153,7 @@ mod tests {
         };
         let model = Dcn::new(&ds.schema, &cfg, &mut params, &mut rng);
         let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &params, &b);
+        let out = Recommender::forward(&model, &mut tape, &params, &b);
         assert_eq!(tape.value(out).shape(), (6, 1));
         assert!(tape.value(out).data().iter().all(|v| v.is_finite()));
     }
@@ -171,9 +172,9 @@ mod tests {
         // DCN-V2 has strictly more parameters (d×d vs d×1 cross weights).
         assert!(p2.num_scalars() > p1.num_scalars());
         let mut t1 = Tape::new();
-        let o1 = v1.forward(&mut t1, &p1, &b);
+        let o1 = Recommender::forward(&v1, &mut t1, &p1, &b);
         let mut t2 = Tape::new();
-        let o2 = v2.forward(&mut t2, &p2, &b);
+        let o2 = Recommender::forward(&v2, &mut t2, &p2, &b);
         assert_ne!(t1.value(o1).data(), t2.value(o2).data());
     }
 
@@ -184,7 +185,7 @@ mod tests {
         let mut params = Params::new();
         let model = DcnV2::new(&ds.schema, &ModelConfig::default(), &mut params, &mut rng);
         let mut tape = Tape::new();
-        let logits = model.forward(&mut tape, &params, &b);
+        let logits = Recommender::forward(&model, &mut tape, &params, &b);
         let pos: Vec<f32> = b.label.iter().map(|&y| y as u8 as f32).collect();
         let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
         let loss = tape.weighted_bce(logits, &pos, &neg, 6.0, false);

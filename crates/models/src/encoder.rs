@@ -2,7 +2,7 @@
 
 use uae_data::{FeatureSchema, FlatBatch};
 use uae_nn::FieldEmbeddings;
-use uae_tensor::{Matrix, Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Matrix, Params, Rng};
 
 /// Embedding-based feature encoder shared by all deep models.
 #[derive(Debug, Clone)]
@@ -11,16 +11,18 @@ pub struct Encoder {
     num_dense: usize,
 }
 
-/// The encoded views of a batch that different architectures consume.
-pub struct Encoded {
+/// The encoded views of a batch that different architectures consume. `V` is
+/// the execution context's value handle ([`Var`](uae_tensor::Var) on the
+/// tape, [`Matrix`] tape-free).
+pub struct Encoded<V> {
     /// Per-field embeddings, each `batch × k`.
-    pub fields: Vec<Var>,
+    pub fields: Vec<V>,
     /// Concatenated embeddings, `batch × (F·k)`.
-    pub emb_concat: Var,
+    pub emb_concat: V,
     /// Dense features, `batch × d`.
-    pub dense: Var,
+    pub dense: V,
     /// `emb_concat ⧺ dense`, `batch × (F·k + d)` — the usual deep input.
-    pub full: Var,
+    pub full: V,
     pub batch: usize,
 }
 
@@ -55,12 +57,17 @@ impl Encoder {
         self.emb.concat_dim() + self.num_dense
     }
 
-    /// Encodes a flat batch onto the tape.
-    pub fn encode(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Encoded {
-        let fields = self.emb.forward_fields(tape, params, &batch.cat);
-        let emb_concat = tape.concat_cols(&fields);
-        let dense = tape.input(batch.dense.clone());
-        let full = tape.concat_cols(&[emb_concat, dense]);
+    /// Encodes a flat batch in the given execution context.
+    pub fn encode<E: Exec>(
+        &self,
+        exec: &mut E,
+        params: &Params,
+        batch: &FlatBatch,
+    ) -> Encoded<E::V> {
+        let fields = self.emb.forward_fields(exec, params, &batch.cat);
+        let emb_concat = exec.concat_cols(&fields);
+        let dense = exec.input(batch.dense.clone());
+        let full = exec.concat_cols(&[emb_concat.clone(), dense.clone()]);
         Encoded {
             fields,
             emb_concat,
@@ -81,12 +88,7 @@ pub struct LinearTerm {
 }
 
 impl LinearTerm {
-    pub fn new(
-        name: &str,
-        schema: &FeatureSchema,
-        params: &mut Params,
-        rng: &mut Rng,
-    ) -> Self {
+    pub fn new(name: &str, schema: &FeatureSchema, params: &mut Params, rng: &mut Rng) -> Self {
         LinearTerm {
             weights: FieldEmbeddings::new(
                 &format!("{name}.w1"),
@@ -104,19 +106,19 @@ impl LinearTerm {
     }
 
     /// `batch × 1` linear logit.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let ones = self.weights.forward_fields(tape, params, &batch.cat);
+    pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let ones = self.weights.forward_fields(exec, params, &batch.cat);
         // Sum of per-field scalar weights.
-        let mut acc = ones[0];
-        for &f in &ones[1..] {
-            acc = tape.add(acc, f);
+        let mut acc = ones[0].clone();
+        for f in &ones[1..] {
+            acc = exec.add(&acc, f);
         }
-        let dense = tape.input(batch.dense.clone());
-        let dw = tape.param(params, self.dense_w);
-        let dterm = tape.matmul(dense, dw);
-        let sum = tape.add(acc, dterm);
-        let b = tape.param(params, self.bias);
-        tape.add_row(sum, b)
+        let dense = exec.input(batch.dense.clone());
+        let dw = exec.param(params, self.dense_w);
+        let dterm = exec.matmul(&dense, &dw);
+        let sum = exec.add(&acc, &dterm);
+        let b = exec.param(params, self.bias);
+        exec.add_row(&sum, &b)
     }
 }
 
@@ -124,6 +126,7 @@ impl LinearTerm {
 mod tests {
     use super::*;
     use uae_data::{generate, FlatData, SimConfig};
+    use uae_tensor::Tape;
 
     fn batch() -> (uae_data::Dataset, FlatBatch) {
         let ds = generate(&SimConfig::tiny(), 1);

@@ -3,27 +3,27 @@
 
 use uae_data::{FeatureSchema, FlatBatch};
 use uae_nn::{Activation, Mlp};
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Params, Rng};
 
 use crate::encoder::{Encoder, LinearTerm};
-use crate::recommender::{ModelConfig, Recommender};
+use crate::recommender::{ModelConfig, RecommenderForward};
 
 /// Second-order FM interaction over per-field embeddings:
 /// `0.5 · Σ_k [(Σ_f v_fk)² − Σ_f v_fk²]`, returned as `batch × 1`.
-pub(crate) fn fm_second_order(tape: &mut Tape, fields: &[Var]) -> Var {
+pub(crate) fn fm_second_order<E: Exec>(exec: &mut E, fields: &[E::V]) -> E::V {
     assert!(!fields.is_empty());
     // Σ_f e_f and Σ_f e_f².
-    let mut sum = fields[0];
-    let mut sum_sq = tape.square(fields[0]);
-    for &f in &fields[1..] {
-        sum = tape.add(sum, f);
-        let sq = tape.square(f);
-        sum_sq = tape.add(sum_sq, sq);
+    let mut sum = fields[0].clone();
+    let mut sum_sq = exec.square(&fields[0]);
+    for f in &fields[1..] {
+        sum = exec.add(&sum, f);
+        let sq = exec.square(f);
+        sum_sq = exec.add(&sum_sq, &sq);
     }
-    let sq_sum = tape.square(sum);
-    let diff = tape.sub(sq_sum, sum_sq);
-    let rs = tape.row_sum(diff);
-    tape.scale(rs, 0.5)
+    let sq_sum = exec.square(&sum);
+    let diff = exec.sub(&sq_sum, &sum_sq);
+    let rs = exec.row_sum(&diff);
+    exec.scale(&rs, 0.5)
 }
 
 /// Plain factorization machine: global bias + first-order terms + pairwise
@@ -47,16 +47,16 @@ impl Fm {
     }
 }
 
-impl Recommender for Fm {
+impl RecommenderForward for Fm {
     fn name(&self) -> &'static str {
         "FM"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let lin = self.linear.forward(tape, params, batch);
-        let enc = self.encoder.encode(tape, params, batch);
-        let second = fm_second_order(tape, &enc.fields);
-        tape.add(lin, second)
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let lin = self.linear.forward(exec, params, batch);
+        let enc = self.encoder.encode(exec, params, batch);
+        let second = fm_second_order(exec, &enc.fields);
+        exec.add(&lin, &second)
     }
 }
 
@@ -93,25 +93,25 @@ impl DeepFm {
     }
 }
 
-impl Recommender for DeepFm {
+impl RecommenderForward for DeepFm {
     fn name(&self) -> &'static str {
         "DeepFM"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let lin = self.linear.forward(tape, params, batch);
-        let enc = self.encoder.encode(tape, params, batch);
-        let second = fm_second_order(tape, &enc.fields);
-        let deep = self.deep.forward(tape, params, enc.full);
-        let fm = tape.add(lin, second);
-        tape.add(fm, deep)
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let lin = self.linear.forward(exec, params, batch);
+        let enc = self.encoder.encode(exec, params, batch);
+        let second = fm_second_order(exec, &enc.fields);
+        let deep = self.deep.forward(exec, params, &enc.full);
+        let fm = exec.add(&lin, &second);
+        exec.add(&fm, &deep)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uae_tensor::Matrix;
+    use uae_tensor::{Matrix, Tape};
 
     #[test]
     fn second_order_matches_manual_pairwise_sum() {

@@ -31,7 +31,7 @@ pub mod trainer;
 pub mod wide_deep;
 
 pub use encoder::{Encoded, Encoder, LinearTerm};
-pub use recommender::{ModelConfig, ModelKind, Recommender};
+pub use recommender::{ModelConfig, ModelKind, Recommender, RecommenderForward};
 pub use trainer::{
     evaluate, predict, train, train_supervised, EpochRecord, EvalResult, LabelMode, TrainConfig,
     TrainReport,

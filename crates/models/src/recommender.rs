@@ -1,14 +1,21 @@
 //! The `Recommender` abstraction and the model zoo of the paper's Table IV.
+//!
+//! Forward math lives in [`RecommenderForward::forward_exec`], written once
+//! per model and generic over the [`Exec`] execution context. The object-safe
+//! [`Recommender`] trait (what `ModelKind::build` hands back) is derived from
+//! it by a blanket impl: [`Recommender::forward`] records on the training
+//! tape, [`Recommender::infer`] runs the same code tape-free for serving —
+//! bit-identical by construction.
 
 use uae_data::{FeatureSchema, FlatBatch};
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Matrix, Params, Rng, Tape, ValueExec, Var};
 
 /// Shared hyper-parameters of all base models.
 ///
 /// The paper fixes embedding size 8 and MLP hidden layers (256, 128, 64) at
 /// production scale; the defaults here are proportionally smaller to match
 /// the scaled-down datasets (and the harness can restore the paper's sizes).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ModelConfig {
     pub embed_dim: usize,
     pub hidden: Vec<usize>,
@@ -45,13 +52,44 @@ impl ModelConfig {
     }
 }
 
-/// A CTR-style model scoring individual listening events.
-pub trait Recommender {
+/// A CTR-style model's forward pass, written exactly once per architecture
+/// and generic over the execution context.
+pub trait RecommenderForward {
     /// Model family name as printed in the paper's tables.
     fn name(&self) -> &'static str;
 
     /// Computes `batch × 1` logits for the events in `batch`.
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V;
+}
+
+/// Object-safe scoring interface over the model zoo. Every
+/// [`RecommenderForward`] implements it via the blanket impl below; both
+/// methods run the *same* forward body, so tape and tape-free logits are
+/// bit-identical.
+pub trait Recommender {
+    /// Model family name as printed in the paper's tables.
+    fn name(&self) -> &'static str;
+
+    /// Records the forward pass on the training tape.
     fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var;
+
+    /// Tape-free forward pass for serving, bit-identical to [`Self::forward`].
+    fn infer(&self, params: &Params, batch: &FlatBatch) -> Matrix;
+}
+
+impl<T: RecommenderForward> Recommender for T {
+    fn name(&self) -> &'static str {
+        RecommenderForward::name(self)
+    }
+
+    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
+        self.forward_exec(tape, params, batch)
+    }
+
+    fn infer(&self, params: &Params, batch: &FlatBatch) -> Matrix {
+        let mut exec = ValueExec::new();
+        self.forward_exec(&mut exec, params, batch)
+    }
 }
 
 /// The seven base models of Table IV.
@@ -93,6 +131,27 @@ impl ModelKind {
         }
     }
 
+    /// Parses a display or lowercase CLI name back into a kind.
+    pub fn parse(s: &str) -> Option<ModelKind> {
+        let norm = s.to_ascii_lowercase();
+        ModelKind::all()
+            .into_iter()
+            .find(|k| k.name().to_ascii_lowercase() == norm || k.cli_name() == norm)
+    }
+
+    /// A lowercase identifier safe for CLI flags and filenames.
+    pub fn cli_name(self) -> &'static str {
+        match self {
+            ModelKind::Fm => "fm",
+            ModelKind::WideDeep => "wide_deep",
+            ModelKind::DeepFm => "deepfm",
+            ModelKind::YoutubeNet => "youtube_net",
+            ModelKind::Dcn => "dcn",
+            ModelKind::AutoInt => "autoint",
+            ModelKind::DcnV2 => "dcn_v2",
+        }
+    }
+
     /// Instantiates the model, registering its parameters into a fresh arena.
     pub fn build(
         self,
@@ -109,9 +168,7 @@ impl ModelKind {
                 &mut params,
                 rng,
             )),
-            ModelKind::DeepFm => {
-                Box::new(crate::fm::DeepFm::new(schema, config, &mut params, rng))
-            }
+            ModelKind::DeepFm => Box::new(crate::fm::DeepFm::new(schema, config, &mut params, rng)),
             ModelKind::YoutubeNet => Box::new(crate::wide_deep::YoutubeNet::new(
                 schema,
                 config,
@@ -170,10 +227,38 @@ mod tests {
         }
     }
 
+    /// The structural bit-identity contract: `infer` must reproduce the
+    /// tape's forward logits exactly, for every model in the zoo.
+    #[test]
+    fn infer_matches_tape_forward_for_every_model() {
+        let ds = generate(&SimConfig::tiny(), 5);
+        let sessions: Vec<usize> = (0..4).collect();
+        let flat = FlatData::from_sessions(&ds, &sessions);
+        let idx: Vec<usize> = (0..8).collect();
+        let batch = flat.gather(&idx);
+        for kind in ModelKind::all() {
+            let mut rng = Rng::seed_from_u64(11);
+            let (model, params) = kind.build(&ds.schema, &ModelConfig::default(), &mut rng);
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, &params, &batch);
+            let free = model.infer(&params, &batch);
+            assert_eq!(tape.value(logits).data(), free.data(), "{}", kind.name());
+        }
+    }
+
     #[test]
     fn model_names_are_unique() {
         let names: std::collections::HashSet<_> =
             ModelKind::all().iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn parse_round_trips_cli_names() {
+        for kind in ModelKind::all() {
+            assert_eq!(ModelKind::parse(kind.cli_name()), Some(kind));
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("nope"), None);
     }
 }

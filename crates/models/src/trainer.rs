@@ -492,8 +492,9 @@ pub fn train_supervised(
                             &mut current_clip,
                         )?;
                         opt.set_learning_rate(opt.learning_rate() * lr_scale);
-                        current_clip =
-                            Some((restored_clip.unwrap_or(EMERGENCY_CLIP) * clip_scale).max(MIN_CLIP));
+                        current_clip = Some(
+                            (restored_clip.unwrap_or(EMERGENCY_CLIP) * clip_scale).max(MIN_CLIP),
+                        );
                         start_epoch = snapshot.epoch as usize;
                         global_step = snapshot.step;
                         continue 'run;
@@ -745,11 +746,7 @@ mod tests {
         let oracle = LabelMode::OraclePreference.labels(&train_data);
         assert_eq!(observed.len(), oracle.len());
         // The whole point of the paper: these disagree on many passive events.
-        let disagreements = observed
-            .iter()
-            .zip(&oracle)
-            .filter(|(a, b)| a != b)
-            .count();
+        let disagreements = observed.iter().zip(&oracle).filter(|(a, b)| a != b).count();
         assert!(disagreements > observed.len() / 20, "{disagreements}");
     }
 }

@@ -3,10 +3,10 @@
 
 use uae_data::{FeatureSchema, FlatBatch};
 use uae_nn::{Activation, Mlp};
-use uae_tensor::{Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Params, Rng};
 
 use crate::encoder::{Encoder, LinearTerm};
-use crate::recommender::{ModelConfig, Recommender};
+use crate::recommender::{ModelConfig, RecommenderForward};
 
 /// Wide&Deep: a memorising linear ("wide") part over raw features plus a
 /// generalising MLP ("deep") part over embeddings, summed at the logit.
@@ -42,16 +42,16 @@ impl WideDeep {
     }
 }
 
-impl Recommender for WideDeep {
+impl RecommenderForward for WideDeep {
     fn name(&self) -> &'static str {
         "Wide&Deep"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let wide = self.wide.forward(tape, params, batch);
-        let enc = self.encoder.encode(tape, params, batch);
-        let deep = self.deep.forward(tape, params, enc.full);
-        tape.add(wide, deep)
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let wide = self.wide.forward(exec, params, batch);
+        let enc = self.encoder.encode(exec, params, batch);
+        let deep = self.deep.forward(exec, params, &enc.full);
+        exec.add(&wide, &deep)
     }
 }
 
@@ -83,22 +83,23 @@ impl YoutubeNet {
     }
 }
 
-impl Recommender for YoutubeNet {
+impl RecommenderForward for YoutubeNet {
     fn name(&self) -> &'static str {
         "YoutubeNet"
     }
 
-    fn forward(&self, tape: &mut Tape, params: &Params, batch: &FlatBatch) -> Var {
-        let enc = self.encoder.encode(tape, params, batch);
-        self.tower.forward(tape, params, enc.full)
+    fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        let enc = self.encoder.encode(exec, params, batch);
+        self.tower.forward(exec, params, &enc.full)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::recommender::Recommender;
     use uae_data::{generate, FlatData, SimConfig};
-    use uae_tensor::Rng;
+    use uae_tensor::{Rng, Tape};
 
     fn batch() -> (uae_data::Dataset, uae_data::FlatBatch) {
         let ds = generate(&SimConfig::tiny(), 9);
@@ -117,7 +118,7 @@ mod tests {
         let mut params = Params::new();
         let model = WideDeep::new(&ds.schema, &ModelConfig::default(), &mut params, &mut rng);
         let mut tape = Tape::new();
-        let full = model.forward(&mut tape, &params, &b);
+        let full = Recommender::forward(&model, &mut tape, &params, &b);
         let full_vals = tape.value(full).clone();
         // Zero the deep output layer (named "wd.deep.out.*").
         for id in params.ids().collect::<Vec<_>>() {
@@ -126,7 +127,7 @@ mod tests {
             }
         }
         let mut t2 = Tape::new();
-        let wide_only = model.forward(&mut t2, &params, &b);
+        let wide_only = Recommender::forward(&model, &mut t2, &params, &b);
         let mut t3 = Tape::new();
         let wide = model.wide.forward(&mut t3, &params, &b);
         assert!(t2.value(wide_only).max_abs_diff(t3.value(wide)) < 1e-6);
@@ -141,7 +142,7 @@ mod tests {
         let mut params = Params::new();
         let model = YoutubeNet::new(&ds.schema, &ModelConfig::default(), &mut params, &mut rng);
         let mut tape = Tape::new();
-        let out = model.forward(&mut tape, &params, &b);
+        let out = Recommender::forward(&model, &mut tape, &params, &b);
         assert_eq!(tape.value(out).shape(), (5, 1));
         assert!(tape.value(out).data().iter().all(|v| v.is_finite()));
     }

@@ -2,7 +2,7 @@
 //! WWW 2021) — two of the base recommenders in the paper's Table IV, DCN-V2
 //! being the strongest one.
 
-use uae_tensor::{Matrix, ParamId, Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Matrix, ParamId, Params, Rng};
 
 use crate::init;
 
@@ -29,13 +29,13 @@ impl CrossLayerV1 {
     }
 
     /// `x0`, `x` are `batch × dim`.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x0: Var, x: Var) -> Var {
-        let w = tape.param(params, self.w);
-        let xw = tape.matmul(x, w); // batch × 1
-        let crossed = tape.mul_col(x0, xw); // x0 scaled per sample
-        let b = tape.param(params, self.b);
-        let crossed = tape.add_row(crossed, b);
-        tape.add(crossed, x)
+    pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x0: &E::V, x: &E::V) -> E::V {
+        let w = exec.param(params, self.w);
+        let xw = exec.matmul(x, &w); // batch × 1
+        let crossed = exec.mul_col(x0, &xw); // x0 scaled per sample
+        let b = exec.param(params, self.b);
+        let crossed = exec.add_row(&crossed, &b);
+        exec.add(&crossed, x)
     }
 }
 
@@ -62,13 +62,13 @@ impl CrossLayerV2 {
     }
 
     /// `x0`, `x` are `batch × dim`.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x0: Var, x: Var) -> Var {
-        let w = tape.param(params, self.w);
-        let xw = tape.matmul(x, w); // batch × dim
-        let b = tape.param(params, self.b);
-        let xwb = tape.add_row(xw, b);
-        let crossed = tape.mul(x0, xwb);
-        tape.add(crossed, x)
+    pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x0: &E::V, x: &E::V) -> E::V {
+        let w = exec.param(params, self.w);
+        let xw = exec.matmul(x, &w); // batch × dim
+        let b = exec.param(params, self.b);
+        let xwb = exec.add_row(&xw, &b);
+        let crossed = exec.mul(x0, &xwb);
+        exec.add(&crossed, x)
     }
 }
 
@@ -76,6 +76,7 @@ impl CrossLayerV2 {
 mod tests {
     use super::*;
     use uae_tensor::gradcheck::check_params;
+    use uae_tensor::Tape;
 
     #[test]
     fn v1_with_zero_weights_is_identity() {
@@ -87,7 +88,7 @@ mod tests {
         params.value_mut(w).fill_zero();
         let mut tape = Tape::new();
         let x = tape.input(Matrix::randn(4, 3, 1.0, &mut rng));
-        let y = layer.forward(&mut tape, &params, x, x);
+        let y = layer.forward(&mut tape, &params, &x, &x);
         assert_eq!(tape.value(y), tape.value(x));
     }
 
@@ -100,7 +101,7 @@ mod tests {
         params.value_mut(w).fill_zero();
         let mut tape = Tape::new();
         let x = tape.input(Matrix::randn(4, 3, 1.0, &mut rng));
-        let y = layer.forward(&mut tape, &params, x, x);
+        let y = layer.forward(&mut tape, &params, &x, &x);
         assert_eq!(tape.value(y), tape.value(x));
     }
 
@@ -117,7 +118,7 @@ mod tests {
         let mut tape = Tape::new();
         let x0v = tape.input(x0);
         let xv = tape.input(x);
-        let y = layer.forward(&mut tape, &params, x0v, xv);
+        let y = layer.forward(&mut tape, &params, &x0v, &xv);
         // x·w = 0.5 − 4 = −3.5; x0·(−3.5) = (−7, −10.5); +b = (−6.9, −10.3);
         // +x = (−5.9, −6.3)
         let out = tape.value(y).row(0);
@@ -134,11 +135,56 @@ mod tests {
         let x = Matrix::randn(4, 3, 0.6, &mut rng);
         let check = check_params(&mut params, 5e-3, |tape, params| {
             let x0 = tape.input(x.clone());
-            let h1 = l1.forward(tape, params, x0, x0);
-            let h2 = l2.forward(tape, params, x0, h1);
+            let h1 = l1.forward(tape, params, &x0, &x0);
+            let h2 = l2.forward(tape, params, &x0, &h1);
             let sq = tape.square(h2);
             tape.mean_all(sq)
         });
         assert!(check.passes(4e-2), "max_rel_err={}", check.max_rel_err);
+    }
+
+    /// A deep DCN-style tower (v1 → v2 → v1) gradchecks through the single
+    /// Exec-generic forward — residual chains must accumulate gradients for
+    /// every layer's parameters, not just the last.
+    #[test]
+    fn stacked_tower_gradcheck() {
+        let mut rng = Rng::seed_from_u64(6);
+        let mut params = Params::new();
+        let l1 = CrossLayerV1::new("t1", 4, &mut params, &mut rng);
+        let l2 = CrossLayerV2::new("t2", 4, &mut params, &mut rng);
+        let l3 = CrossLayerV1::new("t3", 4, &mut params, &mut rng);
+        let x = Matrix::randn(3, 4, 0.5, &mut rng);
+        let check = check_params(&mut params, 5e-3, |tape, params| {
+            let x0 = tape.input(x.clone());
+            let h1 = l1.forward(tape, params, &x0, &x0);
+            let h2 = l2.forward(tape, params, &x0, &h1);
+            let h3 = l3.forward(tape, params, &x0, &h2);
+            let sq = tape.square(h3);
+            tape.mean_all(sq)
+        });
+        assert!(check.passes(4e-2), "max_rel_err={}", check.max_rel_err);
+    }
+
+    /// The same forward body runs tape-free via ValueExec, bit-identically.
+    #[test]
+    fn value_path_matches_tape_bitwise() {
+        use uae_tensor::ValueExec;
+        let mut rng = Rng::seed_from_u64(5);
+        let mut params = Params::new();
+        let l1 = CrossLayerV1::new("c1", 3, &mut params, &mut rng);
+        let l2 = CrossLayerV2::new("c2", 3, &mut params, &mut rng);
+        let x = Matrix::randn(4, 3, 0.6, &mut rng);
+
+        let mut tape = Tape::new();
+        let x0 = tape.input(x.clone());
+        let h1 = l1.forward(&mut tape, &params, &x0, &x0);
+        let h2 = l2.forward(&mut tape, &params, &x0, &h1);
+
+        let mut vx = ValueExec::new();
+        let x0v = vx.input(x);
+        let h1v = l1.forward(&mut vx, &params, &x0v, &x0v);
+        let h2v = l2.forward(&mut vx, &params, &x0v, &h1v);
+        assert_eq!(tape.value(h1).data(), h1v.data());
+        assert_eq!(tape.value(h2).data(), h2v.data());
     }
 }

@@ -5,9 +5,11 @@
 //! gathers each field's rows and (optionally) concatenates them to a
 //! `batch × (F·dim)` matrix, which the reshape convention of
 //! `uae_tensor::Tape` reinterprets as a packed `(batch, F, dim)` tensor for
-//! AutoInt's self-attention.
+//! AutoInt's self-attention. The forward pass is generic over
+//! [`Exec`], so one implementation serves both training and tape-free
+//! scoring.
 
-use uae_tensor::{ParamId, Params, Rng, Tape, Var};
+use uae_tensor::{Exec, ParamId, Params, Rng};
 
 use crate::init;
 
@@ -61,73 +63,47 @@ impl FieldEmbeddings {
     }
 
     /// Gathers one field: `ids[i]` is the category of sample `i` for `field`.
-    pub fn forward_field(
+    pub fn forward_field<E: Exec>(
         &self,
-        tape: &mut Tape,
+        exec: &mut E,
         params: &Params,
         field: usize,
         ids: &[usize],
-    ) -> Var {
-        debug_assert!(ids
-            .iter()
-            .all(|&id| id < self.cardinalities[field].max(1)));
-        tape.gather(params, self.tables[field], ids)
+    ) -> E::V {
+        debug_assert!(ids.iter().all(|&id| id < self.cardinalities[field].max(1)));
+        exec.gather(params, self.tables[field], ids)
     }
 
     /// Gathers every field and concatenates: `batch × (F·dim)`.
     ///
     /// `ids_by_field[f][i]` is sample `i`'s category for field `f`.
-    pub fn forward_concat(
+    pub fn forward_concat<E: Exec>(
         &self,
-        tape: &mut Tape,
+        exec: &mut E,
         params: &Params,
         ids_by_field: &[Vec<usize>],
-    ) -> Var {
+    ) -> E::V {
         assert_eq!(ids_by_field.len(), self.tables.len(), "field count");
-        let parts: Vec<Var> = ids_by_field
+        let parts: Vec<E::V> = ids_by_field
             .iter()
             .enumerate()
-            .map(|(f, ids)| self.forward_field(tape, params, f, ids))
+            .map(|(f, ids)| self.forward_field(exec, params, f, ids))
             .collect();
-        tape.concat_cols(&parts)
+        exec.concat_cols(&parts)
     }
 
     /// Gathers every field separately (for FM-style interactions).
-    pub fn forward_fields(
+    pub fn forward_fields<E: Exec>(
         &self,
-        tape: &mut Tape,
+        exec: &mut E,
         params: &Params,
         ids_by_field: &[Vec<usize>],
-    ) -> Vec<Var> {
+    ) -> Vec<E::V> {
         assert_eq!(ids_by_field.len(), self.tables.len(), "field count");
         ids_by_field
             .iter()
             .enumerate()
-            .map(|(f, ids)| self.forward_field(tape, params, f, ids))
-            .collect()
-    }
-
-    /// Tape-free gather of one field; bit-identical to
-    /// [`FieldEmbeddings::forward_field`] (the lookup copies table rows, so
-    /// there is no arithmetic to diverge).
-    pub fn infer_field(&self, params: &Params, field: usize, ids: &[usize]) -> uae_tensor::Matrix {
-        debug_assert!(ids
-            .iter()
-            .all(|&id| id < self.cardinalities[field].max(1)));
-        params.value(self.tables[field]).gather_rows(ids)
-    }
-
-    /// Tape-free gather of every field, in field order.
-    pub fn infer_fields(
-        &self,
-        params: &Params,
-        ids_by_field: &[Vec<usize>],
-    ) -> Vec<uae_tensor::Matrix> {
-        assert_eq!(ids_by_field.len(), self.tables.len(), "field count");
-        ids_by_field
-            .iter()
-            .enumerate()
-            .map(|(f, ids)| self.infer_field(params, f, ids))
+            .map(|(f, ids)| self.forward_field(exec, params, f, ids))
             .collect()
     }
 }
@@ -135,7 +111,7 @@ impl FieldEmbeddings {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use uae_tensor::Matrix;
+    use uae_tensor::{Matrix, Tape};
 
     #[test]
     fn concat_layout_is_field_major_per_sample() {
@@ -146,15 +122,10 @@ mod tests {
         assert_eq!(emb.concat_dim(), 4);
         // Overwrite tables with recognisable values.
         let ids: Vec<_> = params.ids().collect();
-        *params.value_mut(ids[0]) =
-            Matrix::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
+        *params.value_mut(ids[0]) = Matrix::from_vec(3, 2, vec![0., 1., 10., 11., 20., 21.]);
         *params.value_mut(ids[1]) = Matrix::from_vec(2, 2, vec![100., 101., 200., 201.]);
         let mut tape = Tape::new();
-        let out = emb.forward_concat(
-            &mut tape,
-            &params,
-            &[vec![2, 0], vec![1, 1]],
-        );
+        let out = emb.forward_concat(&mut tape, &params, &[vec![2, 0], vec![1, 1]]);
         assert_eq!(tape.value(out).shape(), (2, 4));
         assert_eq!(tape.value(out).row(0), &[20., 21., 200., 201.]);
         assert_eq!(tape.value(out).row(1), &[0., 1., 200., 201.]);

@@ -1,8 +1,11 @@
 //! Gated recurrent units (Cho et al., 2014) — the sequence encoder used by
 //! both of UAE's networks (GRU₁ over feature sequences for the attention
 //! model `g`, GRU₂ over feedback history for the propensity model `h`).
+//!
+//! All recurrence math is generic over [`Exec`]: the same step functions run
+//! on the training tape and tape-free for serving, bit-identically.
 
-use uae_tensor::{Matrix, ParamId, Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Matrix, ParamId, Params, Rng};
 
 use crate::init;
 
@@ -78,182 +81,144 @@ impl GruCell {
         self.hidden
     }
 
-    /// Pushes the cell's nine parameter matrices onto the tape once,
+    /// Pushes the cell's nine parameter matrices into the context once,
     /// returning handles for repeated [`GruCell::step_with`] calls. A
     /// time-loop that re-pushed parameters every step would snapshot (clone)
     /// all nine matrices per timestep; hoisting makes that once per unroll.
-    pub fn param_vars(&self, tape: &mut Tape, params: &Params) -> GruVars {
+    pub fn param_vars<E: Exec>(&self, exec: &mut E, params: &Params) -> GruVars<E::V> {
         GruVars {
-            w_r: tape.param(params, self.w_r),
-            u_r: tape.param(params, self.u_r),
-            b_r: tape.param(params, self.b_r),
-            w_z: tape.param(params, self.w_z),
-            u_z: tape.param(params, self.u_z),
-            b_z: tape.param(params, self.b_z),
-            w_n: tape.param(params, self.w_n),
-            u_n: tape.param(params, self.u_n),
-            b_n: tape.param(params, self.b_n),
+            w_r: exec.param(params, self.w_r),
+            u_r: exec.param(params, self.u_r),
+            b_r: exec.param(params, self.b_r),
+            w_z: exec.param(params, self.w_z),
+            u_z: exec.param(params, self.u_z),
+            b_z: exec.param(params, self.b_z),
+            w_n: exec.param(params, self.w_n),
+            u_n: exec.param(params, self.u_n),
+            b_n: exec.param(params, self.b_n),
         }
     }
 
     /// One recurrence step: `x` is `batch × in_dim`, `h` is `batch × hidden`.
-    pub fn step(&self, tape: &mut Tape, params: &Params, x: Var, h: Var) -> Var {
-        let vars = self.param_vars(tape, params);
-        self.step_with(tape, &vars, x, h)
+    pub fn step<E: Exec>(&self, exec: &mut E, params: &Params, x: &E::V, h: &E::V) -> E::V {
+        let vars = self.param_vars(exec, params);
+        self.step_with(exec, &vars, x, h)
     }
 
     /// One recurrence step against pre-pushed parameter handles.
-    pub fn step_with(&self, tape: &mut Tape, vars: &GruVars, x: Var, h: Var) -> Var {
-        let gate = |tape: &mut Tape, w, u, b| {
-            let xwb = tape.linear(x, w, b);
-            let hu = tape.matmul(h, u);
-            tape.add(xwb, hu)
+    pub fn step_with<E: Exec>(
+        &self,
+        exec: &mut E,
+        vars: &GruVars<E::V>,
+        x: &E::V,
+        h: &E::V,
+    ) -> E::V {
+        let gate = |exec: &mut E, w: &E::V, u: &E::V, b: &E::V| {
+            let xwb = exec.linear(x, w, b);
+            let hu = exec.matmul(h, u);
+            exec.add(&xwb, &hu)
         };
-        let r = gate(tape, vars.w_r, vars.u_r, vars.b_r);
-        let r = tape.sigmoid(r);
-        let z = gate(tape, vars.w_z, vars.u_z, vars.b_z);
-        let z = tape.sigmoid(z);
+        let r = gate(exec, &vars.w_r, &vars.u_r, &vars.b_r);
+        let r = exec.sigmoid(&r);
+        let z = gate(exec, &vars.w_z, &vars.u_z, &vars.b_z);
+        let z = exec.sigmoid(&z);
         // Candidate with reset applied to the recurrent term.
-        let xwb = tape.linear(x, vars.w_n, vars.b_n);
-        let hu = tape.matmul(h, vars.u_n);
-        let rhu = tape.mul(r, hu);
-        let pre = tape.add(xwb, rhu);
-        let n = tape.tanh(pre);
+        let xwb = exec.linear(x, &vars.w_n, &vars.b_n);
+        let hu = exec.matmul(h, &vars.u_n);
+        let rhu = exec.mul(&r, &hu);
+        let pre = exec.add(&xwb, &rhu);
+        let n = exec.tanh(&pre);
         // h' = z∘h + (1−z)∘n
-        let zh = tape.mul(z, h);
-        let omz = tape.one_minus(z);
-        let zn = tape.mul(omz, n);
-        tape.add(zh, zn)
+        let zh = exec.mul(&z, h);
+        let omz = exec.one_minus(&z);
+        let zn = exec.mul(&omz, &n);
+        exec.add(&zh, &zn)
     }
 
     /// One step with a per-sample validity mask (`batch × 1`, 1 = real step,
     /// 0 = padding): padded samples carry their previous state forward
     /// unchanged, so padding never contaminates the recurrence.
-    pub fn step_masked(
+    pub fn step_masked<E: Exec>(
         &self,
-        tape: &mut Tape,
+        exec: &mut E,
         params: &Params,
-        x: Var,
-        h: Var,
-        mask: Var,
-    ) -> Var {
-        let vars = self.param_vars(tape, params);
-        self.step_masked_with(tape, &vars, x, h, mask)
+        x: &E::V,
+        h: &E::V,
+        mask: &E::V,
+    ) -> E::V {
+        let vars = self.param_vars(exec, params);
+        self.step_masked_with(exec, &vars, x, h, mask)
     }
 
     /// As [`GruCell::step_masked`] against pre-pushed parameter handles.
-    pub fn step_masked_with(
+    pub fn step_masked_with<E: Exec>(
         &self,
-        tape: &mut Tape,
-        vars: &GruVars,
-        x: Var,
-        h: Var,
-        mask: Var,
-    ) -> Var {
-        let candidate = self.step_with(tape, vars, x, h);
-        let kept = tape.mul_col(candidate, mask);
-        let inv = tape.one_minus(mask);
-        let carried = tape.mul_col(h, inv);
-        tape.add(kept, carried)
+        exec: &mut E,
+        vars: &GruVars<E::V>,
+        x: &E::V,
+        h: &E::V,
+        mask: &E::V,
+    ) -> E::V {
+        let candidate = self.step_with(exec, vars, x, h);
+        let kept = exec.mul_col(&candidate, mask);
+        let inv = exec.one_minus(mask);
+        let carried = exec.mul_col(h, &inv);
+        exec.add(&kept, &carried)
     }
 
     /// Zero initial state for a batch.
-    pub fn zero_state(&self, tape: &mut Tape, batch: usize) -> Var {
-        tape.input(Matrix::zeros(batch, self.hidden))
-    }
-
-    /// Tape-free recurrence step; bit-identical to [`GruCell::step`] (same
-    /// kernels, same op order, no gradient bookkeeping).
-    pub fn infer_step(&self, params: &Params, x: &Matrix, h: &Matrix) -> Matrix {
-        let gate = |w: ParamId, u: ParamId, b: ParamId| {
-            let mut pre = x.matmul_bias(params.value(w), params.value(b));
-            pre.add_assign(&h.matmul(params.value(u)));
-            pre
-        };
-        let r = gate(self.w_r, self.u_r, self.b_r).map(uae_tensor::sigmoid);
-        let z = gate(self.w_z, self.u_z, self.b_z).map(uae_tensor::sigmoid);
-        // Candidate with reset applied to the recurrent term.
-        let mut pre = x.matmul_bias(params.value(self.w_n), params.value(self.b_n));
-        let hu = h.matmul(params.value(self.u_n));
-        pre.add_assign(&r.zip_map(&hu, |a, b| a * b));
-        let n = pre.map(f32::tanh);
-        // h' = z∘h + (1−z)∘n
-        let mut out = z.zip_map(h, |a, b| a * b);
-        let omz = z.map(|v| 1.0 - v);
-        out.add_assign(&omz.zip_map(&n, |a, b| a * b));
-        out
-    }
-
-    /// Tape-free masked step; bit-identical to [`GruCell::step_masked`].
-    /// `mask` is `batch × 1` (1 = real step, 0 = padding).
-    pub fn infer_step_masked(
-        &self,
-        params: &Params,
-        x: &Matrix,
-        h: &Matrix,
-        mask: &Matrix,
-    ) -> Matrix {
-        let (m, n) = (h.rows(), h.cols());
-        assert_eq!(mask.shape(), (m, 1), "infer_step_masked mask shape");
-        let cand = self.infer_step(params, x, h);
-        let mut out = Matrix::from_fn(m, n, |r, c| cand.get(r, c) * mask.get(r, 0));
-        let carried =
-            Matrix::from_fn(m, n, |r, c| h.get(r, c) * (1.0 - mask.get(r, 0)));
-        out.add_assign(&carried);
-        out
-    }
-
-    /// Zero initial state for the tape-free path.
-    pub fn infer_zero_state(&self, batch: usize) -> Matrix {
-        Matrix::zeros(batch, self.hidden)
+    pub fn zero_state<E: Exec>(&self, exec: &mut E, batch: usize) -> E::V {
+        exec.input(Matrix::zeros(batch, self.hidden))
     }
 
     /// Unrolls the cell over a sequence of `batch × in_dim` inputs with
     /// matching `batch × 1` masks, returning the hidden state *after* each
     /// step. `xs` and `masks` must have equal length.
-    pub fn unroll(
+    pub fn unroll<E: Exec>(
         &self,
-        tape: &mut Tape,
+        exec: &mut E,
         params: &Params,
-        xs: &[Var],
-        masks: &[Var],
-    ) -> Vec<Var> {
+        xs: &[E::V],
+        masks: &[E::V],
+    ) -> Vec<E::V> {
         assert_eq!(xs.len(), masks.len(), "unroll: xs/masks length mismatch");
         let batch = if xs.is_empty() {
             0
         } else {
-            tape.value(xs[0]).rows()
+            exec.value(&xs[0]).rows()
         };
-        let vars = self.param_vars(tape, params);
-        let mut h = self.zero_state(tape, batch);
-        let mut states = Vec::with_capacity(xs.len());
-        for (&x, &m) in xs.iter().zip(masks) {
-            h = self.step_masked_with(tape, &vars, x, h, m);
-            states.push(h);
+        let vars = self.param_vars(exec, params);
+        let h0 = self.zero_state(exec, batch);
+        let mut states: Vec<E::V> = Vec::with_capacity(xs.len());
+        for (x, m) in xs.iter().zip(masks) {
+            let prev = states.last().unwrap_or(&h0);
+            let next = self.step_masked_with(exec, &vars, x, prev, m);
+            states.push(next);
         }
         states
     }
 }
 
-/// Tape handles for a [`GruCell`]'s nine parameters, pushed once per tape by
+/// Context handles for a [`GruCell`]'s nine parameters, pushed once by
 /// [`GruCell::param_vars`] and shared across every timestep of an unroll.
-#[derive(Debug, Clone, Copy)]
-pub struct GruVars {
-    w_r: Var,
-    u_r: Var,
-    b_r: Var,
-    w_z: Var,
-    u_z: Var,
-    b_z: Var,
-    w_n: Var,
-    u_n: Var,
-    b_n: Var,
+#[derive(Debug, Clone)]
+pub struct GruVars<V> {
+    w_r: V,
+    u_r: V,
+    b_r: V,
+    w_z: V,
+    u_z: V,
+    b_z: V,
+    w_n: V,
+    u_n: V,
+    b_n: V,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use uae_tensor::gradcheck::check_params;
+    use uae_tensor::{Tape, Var};
 
     #[test]
     fn step_shapes() {
@@ -263,7 +228,7 @@ mod tests {
         let mut tape = Tape::new();
         let x = tape.input(Matrix::randn(5, 3, 1.0, &mut rng));
         let h0 = cell.zero_state(&mut tape, 5);
-        let h1 = cell.step(&mut tape, &params, x, h0);
+        let h1 = cell.step(&mut tape, &params, &x, &h0);
         assert_eq!(tape.value(h1).shape(), (5, 4));
     }
 
@@ -277,7 +242,7 @@ mod tests {
         let mut h = cell.zero_state(&mut tape, 4);
         for _ in 0..20 {
             let x = tape.input(Matrix::randn(4, 2, 3.0, &mut rng));
-            h = cell.step(&mut tape, &params, x, h);
+            h = cell.step(&mut tape, &params, &x, &h);
         }
         assert!(tape.value(h).data().iter().all(|&v| v.abs() <= 1.0 + 1e-5));
     }
@@ -290,10 +255,10 @@ mod tests {
         let mut tape = Tape::new();
         let x0 = tape.input(Matrix::randn(2, 2, 1.0, &mut rng));
         let h0 = cell.zero_state(&mut tape, 2);
-        let h1 = cell.step(&mut tape, &params, x0, h0);
+        let h1 = cell.step(&mut tape, &params, &x0, &h0);
         let x1 = tape.input(Matrix::randn(2, 2, 1.0, &mut rng));
         let mask = tape.input(Matrix::col_vector(&[1.0, 0.0]));
-        let h2 = cell.step_masked(&mut tape, &params, x1, h1, mask);
+        let h2 = cell.step_masked(&mut tape, &params, &x1, &h1, &mask);
         // Row 1 was masked: carried forward unchanged.
         assert_eq!(tape.value(h2).row(1), tape.value(h1).row(1));
         // Row 0 was live: changed.
@@ -320,30 +285,6 @@ mod tests {
     }
 
     #[test]
-    fn infer_step_matches_tape_step_bitwise() {
-        let mut rng = Rng::seed_from_u64(11);
-        let mut params = Params::new();
-        let cell = GruCell::new("g", 3, 4, &mut params, &mut rng);
-        let x0 = Matrix::randn(5, 3, 1.0, &mut rng);
-        let x1 = Matrix::randn(5, 3, 1.0, &mut rng);
-        let mask = Matrix::col_vector(&[1.0, 0.0, 1.0, 0.0, 1.0]);
-
-        let mut tape = Tape::new();
-        let x0v = tape.input(x0.clone());
-        let x1v = tape.input(x1.clone());
-        let mv = tape.input(mask.clone());
-        let h0 = cell.zero_state(&mut tape, 5);
-        let h1 = cell.step(&mut tape, &params, x0v, h0);
-        let h2 = cell.step_masked(&mut tape, &params, x1v, h1, mv);
-
-        let i0 = cell.infer_zero_state(5);
-        let i1 = cell.infer_step(&params, &x0, &i0);
-        let i2 = cell.infer_step_masked(&params, &x1, &i1, &mask);
-        assert_eq!(tape.value(h1).data(), i1.data());
-        assert_eq!(tape.value(h2).data(), i2.data());
-    }
-
-    #[test]
     fn gru_gradients_check_numerically_through_two_steps() {
         let mut rng = Rng::seed_from_u64(5);
         let mut params = Params::new();
@@ -356,8 +297,8 @@ mod tests {
             let x1v = tape.input(x1.clone());
             let m = tape.input(mask.clone());
             let h0 = cell.zero_state(tape, 3);
-            let h1 = cell.step(tape, params, x0v, h0);
-            let h2 = cell.step_masked(tape, params, x1v, h1, m);
+            let h1 = cell.step(tape, params, &x0v, &h0);
+            let h2 = cell.step_masked(tape, params, &x1v, &h1, &m);
             let sq = tape.square(h2);
             tape.mean_all(sq)
         });

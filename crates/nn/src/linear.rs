@@ -1,12 +1,13 @@
 //! Fully connected layers and MLP stacks.
 //!
-//! Every layer exposes two forward paths: [`Linear::forward`] records onto the
-//! autodiff [`Tape`] for training, while [`Linear::infer`] evaluates the same
-//! arithmetic directly on [`Matrix`] values with no tape bookkeeping. The two
-//! paths produce bit-identical outputs (test-enforced) because both dispatch
-//! through the same backend kernels.
+//! Each layer's forward math is written exactly once, generic over the
+//! [`Exec`] execution context: instantiated with a [`Tape`](uae_tensor::Tape)
+//! it records autodiff nodes for training, instantiated with
+//! [`ValueExec`](uae_tensor::ValueExec) the same code evaluates tape-free on
+//! [`Matrix`](uae_tensor::Matrix) values. Both engines dispatch through the
+//! same kernels, so the two paths are bit-identical by construction.
 
-use uae_tensor::{Matrix, Params, Rng, Tape, Var};
+use uae_tensor::{Exec, Params, Rng};
 
 use crate::init;
 
@@ -21,24 +22,13 @@ pub enum Activation {
 }
 
 impl Activation {
-    /// Applies the activation on the tape.
-    pub fn apply(self, tape: &mut Tape, x: Var) -> Var {
+    /// Applies the activation in the given execution context.
+    pub fn apply<E: Exec>(self, exec: &mut E, x: E::V) -> E::V {
         match self {
             Activation::None => x,
-            Activation::Relu => tape.relu(x),
-            Activation::Tanh => tape.tanh(x),
-            Activation::Sigmoid => tape.sigmoid(x),
-        }
-    }
-
-    /// Tape-free evaluation; bit-identical to [`Activation::apply`] (same
-    /// scalar functions, same element order).
-    pub fn eval(self, x: Matrix) -> Matrix {
-        match self {
-            Activation::None => x,
-            Activation::Relu => x.map(|v| v.max(0.0)),
-            Activation::Tanh => x.map(f32::tanh),
-            Activation::Sigmoid => x.map(uae_tensor::sigmoid),
+            Activation::Relu => exec.relu(&x),
+            Activation::Tanh => exec.tanh(&x),
+            Activation::Sigmoid => exec.sigmoid(&x),
         }
     }
 }
@@ -61,7 +51,10 @@ impl Linear {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let w = params.add(format!("{name}.w"), init::xavier_uniform(in_dim, out_dim, rng));
+        let w = params.add(
+            format!("{name}.w"),
+            init::xavier_uniform(in_dim, out_dim, rng),
+        );
         let b = params.add(format!("{name}.b"), uae_tensor::Matrix::zeros(1, out_dim));
         Linear {
             w,
@@ -98,16 +91,10 @@ impl Linear {
     }
 
     /// `x·W + b` for a `batch × in_dim` input (fused single-kernel op).
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let w = tape.param(params, self.w);
-        let b = tape.param(params, self.b);
-        tape.linear(x, w, b)
-    }
-
-    /// Tape-free `x·W + b`; bit-identical to [`Linear::forward`] (same fused
-    /// kernel, no tape node allocation).
-    pub fn infer(&self, params: &Params, x: &Matrix) -> Matrix {
-        x.matmul_bias(params.value(self.w), params.value(self.b))
+    pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x: &E::V) -> E::V {
+        let w = exec.param(params, self.w);
+        let b = exec.param(params, self.b);
+        exec.linear(x, &w, &b)
     }
 }
 
@@ -168,37 +155,22 @@ impl Mlp {
         self.layers.last().expect("MLP has layers").out_dim()
     }
 
-    /// Forward pass on the tape.
-    pub fn forward(&self, tape: &mut Tape, params: &Params, x: Var) -> Var {
-        let mut h = x;
-        let last = self.layers.len() - 1;
-        for (i, layer) in self.layers.iter().enumerate() {
-            h = layer.forward(tape, params, h);
-            h = if i < last {
-                self.hidden_activation.apply(tape, h)
-            } else {
-                self.output_activation.apply(tape, h)
-            };
+    fn activation_at(&self, i: usize, last: usize) -> Activation {
+        if i < last {
+            self.hidden_activation
+        } else {
+            self.output_activation
         }
-        h
     }
 
-    /// Tape-free forward pass; bit-identical to [`Mlp::forward`].
-    pub fn infer(&self, params: &Params, x: &Matrix) -> Matrix {
+    /// Forward pass in the given execution context.
+    pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x: &E::V) -> E::V {
         let last = self.layers.len() - 1;
-        let mut h = self.layers[0].infer(params, x);
-        h = if last == 0 {
-            self.output_activation.eval(h)
-        } else {
-            self.hidden_activation.eval(h)
-        };
+        let mut h = self.layers[0].forward(exec, params, x);
+        h = self.activation_at(0, last).apply(exec, h);
         for (i, layer) in self.layers.iter().enumerate().skip(1) {
-            h = layer.infer(params, &h);
-            h = if i < last {
-                self.hidden_activation.eval(h)
-            } else {
-                self.output_activation.eval(h)
-            };
+            h = layer.forward(exec, params, &h);
+            h = self.activation_at(i, last).apply(exec, h);
         }
         h
     }
@@ -208,7 +180,7 @@ impl Mlp {
 mod tests {
     use super::*;
     use uae_tensor::gradcheck::check_params;
-    use uae_tensor::Matrix;
+    use uae_tensor::{Matrix, Params, Tape};
 
     #[test]
     fn linear_forward_shape_and_bias() {
@@ -218,10 +190,13 @@ mod tests {
         assert_eq!((lin.in_dim(), lin.out_dim()), (3, 2));
         // Set a recognisable bias.
         let b = params.ids().nth(1).unwrap();
-        params.value_mut(b).data_mut().copy_from_slice(&[10.0, 20.0]);
+        params
+            .value_mut(b)
+            .data_mut()
+            .copy_from_slice(&[10.0, 20.0]);
         let mut tape = Tape::new();
         let x = tape.input(Matrix::zeros(4, 3));
-        let y = lin.forward(&mut tape, &params, x);
+        let y = lin.forward(&mut tape, &params, &x);
         assert_eq!(tape.value(y).shape(), (4, 2));
         // x = 0 ⇒ output = bias broadcast.
         for r in 0..4 {
@@ -247,7 +222,7 @@ mod tests {
         assert_eq!(mlp.out_dim(), 1);
         let mut tape = Tape::new();
         let x = tape.input(Matrix::randn(7, 5, 1.0, &mut rng));
-        let y = mlp.forward(&mut tape, &params, x);
+        let y = mlp.forward(&mut tape, &params, &x);
         assert_eq!(tape.value(y).shape(), (7, 1));
     }
 
@@ -270,28 +245,10 @@ mod tests {
         let neg: Vec<f32> = pos.iter().map(|p| 1.0 - p).collect();
         let check = check_params(&mut params, 5e-3, |tape, params| {
             let xv = tape.input(x.clone());
-            let z = mlp.forward(tape, params, xv);
+            let z = mlp.forward(tape, params, &xv);
             tape.weighted_bce(z, &pos, &neg, 6.0, false)
         });
         assert!(check.passes(3e-2), "max_rel_err={}", check.max_rel_err);
-    }
-
-    #[test]
-    fn infer_matches_tape_forward_bitwise() {
-        let mut rng = Rng::seed_from_u64(9);
-        let mut params = Params::new();
-        for (hidden, act) in [
-            (vec![], Activation::Sigmoid),
-            (vec![8usize, 4], Activation::None),
-        ] {
-            let mlp = Mlp::new("m", 5, &hidden, 2, Activation::Relu, act, &mut params, &mut rng);
-            let x = Matrix::randn(7, 5, 1.3, &mut rng);
-            let mut tape = Tape::new();
-            let xv = tape.input(x.clone());
-            let y = mlp.forward(&mut tape, &params, xv);
-            let y_infer = mlp.infer(&params, &x);
-            assert_eq!(tape.value(y).data(), y_infer.data(), "hidden={hidden:?}");
-        }
     }
 
     #[test]
@@ -310,7 +267,11 @@ mod tests {
         );
         let mut tape = Tape::new();
         let x = tape.input(Matrix::randn(10, 2, 5.0, &mut rng));
-        let y = mlp.forward(&mut tape, &params, x);
-        assert!(tape.value(y).data().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        let y = mlp.forward(&mut tape, &params, &x);
+        assert!(tape
+            .value(y)
+            .data()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 }

@@ -247,7 +247,10 @@ mod tests {
     fn sgd_momentum_decreases_loss() {
         let mut opt = Sgd::with_momentum(0.1, 0.9);
         let (first, last) = fit_logistic(&mut opt, 200);
-        assert!(last < first * 0.5 && last < 0.2, "first={first} last={last}");
+        assert!(
+            last < first * 0.5 && last < 0.2,
+            "first={first} last={last}"
+        );
     }
 
     #[test]

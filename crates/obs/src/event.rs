@@ -483,7 +483,10 @@ mod tests {
                 step: 400,
                 persisted: true,
             },
-            Event::Resume { epoch: 4, step: 400 },
+            Event::Resume {
+                epoch: 4,
+                step: 400,
+            },
             Event::SeedStart { seed: 22 },
             Event::SeedEnd {
                 seed: 22,

@@ -70,10 +70,7 @@ pub fn emit<F: FnOnce() -> Event>(build: F) {
 /// Emits an already-built event if telemetry is enabled. Prefer [`emit`]
 /// unless the event is already in hand.
 pub fn emit_now(event: &Event) {
-    let local = LOCAL
-        .try_with(|l| l.borrow().clone())
-        .ok()
-        .flatten();
+    let local = LOCAL.try_with(|l| l.borrow().clone()).ok().flatten();
     if let Some(h) = local {
         h.emit(event);
         return;
@@ -141,7 +138,10 @@ fn install_local(handle: Option<Arc<Handle>>) -> LocalGuard {
         a.set(handle.is_some());
         prev
     });
-    let prev = LOCAL.with(|l| l.borrow_mut().replace(handle.expect("install_local(None) unused")));
+    let prev = LOCAL.with(|l| {
+        l.borrow_mut()
+            .replace(handle.expect("install_local(None) unused"))
+    });
     LocalGuard { prev, prev_active }
 }
 

@@ -83,7 +83,8 @@ pub struct JsonlSink {
 impl JsonlSink {
     /// Creates (truncates) `path` and returns a sink writing to it.
     pub fn create(path: &Path) -> Result<Self, ObsError> {
-        let file = File::create(path).map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
+        let file =
+            File::create(path).map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
         Ok(JsonlSink {
             writer: Mutex::new(Some(BufWriter::new(file))),
         })

@@ -61,7 +61,10 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
             Event::Resume { epoch, step } => resumes.push((*epoch, *step)),
             Event::SeedEnd { seed, outcome } => seed_ends.push((*seed, outcome.as_str())),
             Event::TrainStep {
-                step, loss, grad_norm, ..
+                step,
+                loss,
+                grad_norm,
+                ..
             } => {
                 steps += 1;
                 last_step = Some((*step, *loss, *grad_norm));
@@ -83,7 +86,11 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
     }
 
     if !fit_epochs.is_empty() {
-        let _ = writeln!(out, "\nalternating optimization ({} epochs):", fit_epochs.len());
+        let _ = writeln!(
+            out,
+            "\nalternating optimization ({} epochs):",
+            fit_epochs.len()
+        );
         let _ = writeln!(
             out,
             "  {:>5}  {:>12}  {:>12}  {:>10}  {:>10}",
@@ -176,7 +183,10 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
                 action,
             } = e
             {
-                let _ = writeln!(out, "  fault @ epoch {epoch} step {step}: {anomaly} -> {action}");
+                let _ = writeln!(
+                    out,
+                    "  fault @ epoch {epoch} step {step}: {anomaly} -> {action}"
+                );
             }
         }
     }

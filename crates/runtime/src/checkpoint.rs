@@ -400,14 +400,7 @@ mod tests {
         let mut extra = ByteWriter::new();
         extra.put_f64(0.731);
         extra.put_bool(true);
-        let snap = TrainSnapshot::capture(
-            5,
-            17,
-            &[&params],
-            &[&opt],
-            &rng,
-            extra.into_bytes(),
-        );
+        let snap = TrainSnapshot::capture(5, 17, &[&params], &[&opt], &rng, extra.into_bytes());
         (snap, params)
     }
 

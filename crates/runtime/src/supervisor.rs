@@ -166,9 +166,8 @@ impl Supervisor {
             return Ok(());
         }
         if let Some(dir) = &self.cfg.persist_dir {
-            std::fs::create_dir_all(dir).map_err(|e| {
-                crate::checkpoint::CheckpointError::Io(e.to_string())
-            })?;
+            std::fs::create_dir_all(dir)
+                .map_err(|e| crate::checkpoint::CheckpointError::Io(e.to_string()))?;
             snapshot.write_to(&dir.join("latest.uaec"))?;
         }
         uae_obs::emit(|| uae_obs::Event::Checkpoint {
@@ -316,9 +315,9 @@ mod tests {
             other => panic!("expected rollback, got {other:?}"),
         }
         match sup.on_anomaly(5, 51, &anomaly) {
-            Recovery::Abort(UaeError::NumericalDivergence {
-                retries_used, ..
-            }) => assert_eq!(retries_used, 2),
+            Recovery::Abort(UaeError::NumericalDivergence { retries_used, .. }) => {
+                assert_eq!(retries_used, 2)
+            }
             other => panic!("expected abort, got {other:?}"),
         }
         assert_eq!(sup.faults().len(), 3);
@@ -338,8 +337,7 @@ mod tests {
 
     #[test]
     fn take_resume_also_seeds_last_good() {
-        let mut sup =
-            Supervisor::new(SupervisorConfig::default(), "t").with_resume(snap(7));
+        let mut sup = Supervisor::new(SupervisorConfig::default(), "t").with_resume(snap(7));
         let resumed = sup.take_resume().expect("resume snapshot");
         assert_eq!(resumed.epoch, 7);
         assert!(sup.take_resume().is_none());

@@ -6,23 +6,35 @@
 //! scores request batches through inference-only kernels that never touch
 //! the tape, while staying **bit-identical** to the training forward.
 //!
-//! Two layers:
+//! Artifacts — one `.uaem` container (magic `UAEM`, version 2), three
+//! variants discriminated by a variant byte:
 //!
-//! - [`FrozenModel`] — the `.uaem` frozen-model format: a versioned,
-//!   self-describing snapshot of the attention network `g`, the propensity
-//!   network `h`, the feature schema they were trained against, and the
-//!   Eq. (19) exponent γ. Exportable from a live [`uae_core::Uae`] or from
-//!   a training checkpoint, validated on load through the existing
+//! - [`FrozenModel`] (variants 0/1) — a versioned, self-describing snapshot
+//!   of the attention network `g`, the propensity network `h`, the feature
+//!   schema they were trained against, and the Eq. (19) exponent γ.
+//!   Exportable from a live [`uae_core::Uae`] or from a training
+//!   checkpoint, validated on load through the existing
 //!   [`uae_runtime::UaeError`] taxonomy.
-//! - [`Scorer`] — the batched scoring engine: buckets sessions by length,
-//!   pads once per batch, runs the tape-free forward across the
-//!   deterministic worker pool, and returns per-event attention α̂,
-//!   propensity p̂, and downstream confidence weights
-//!   `w = 1 − (α̂ + 1)^(−γ)` in request order.
+//! - [`FrozenRecommender`] (variant 2) — any Table-IV downstream model
+//!   (FM … DCN-V2): the [`uae_models::ModelKind`] tag, its
+//!   [`uae_models::ModelConfig`], and the trained parameter arena.
+//! - [`FrozenArtifact`] — sniffs the variant byte and decodes either, for
+//!   callers that accept any `.uaem` file.
+//!
+//! Scoring engines:
+//!
+//! - [`Scorer`] — buckets sessions by length, pads once per batch, runs the
+//!   tape-free UAE forward across the deterministic worker pool, and
+//!   returns per-event attention α̂, propensity p̂, and downstream
+//!   confidence weights `w = 1 − (α̂ + 1)^(−γ)` in request order.
+//! - [`RecScorer`] — batch-scores flat events through a downstream
+//!   recommender's tape-free forward, bit-identical to the training-side
+//!   `uae_models::predict` at any batch size.
 //!
 //! Telemetry: when `uae-obs` is enabled, scoring emits `serve.request` /
-//! `serve.batch` spans plus `serve.sessions` / `serve.events` /
-//! `serve.batches` counters and a per-batch throughput gauge.
+//! `serve.batch` (and `serve.rec_request` / `serve.rec_batch`) spans plus
+//! `serve.sessions` / `serve.events` / `serve.batches` (and `serve.rec_*`)
+//! counters and per-batch throughput gauges.
 //!
 //! Knobs: `UAE_SERVE_BATCH` (sessions per batch, default 64) and
 //! `UAE_SERVE_MAX_LEN` (optional truncation). Thread count and kernel
@@ -30,7 +42,9 @@
 //! `UAE_KERNELS`).
 
 pub mod model;
+pub mod recommender;
 pub mod scorer;
 
 pub use model::FrozenModel;
+pub use recommender::{FrozenArtifact, FrozenRecommender, RecScorer};
 pub use scorer::{ScoreOutput, Scorer, ScorerConfig};

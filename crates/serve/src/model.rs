@@ -25,8 +25,100 @@ use uae_runtime::checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnap
 use uae_runtime::UaeError;
 use uae_tensor::{load_params, save_params};
 
-const MAGIC: &[u8; 4] = b"UAEM";
-const VERSION: u32 = 1;
+pub(crate) const MAGIC: &[u8; 4] = b"UAEM";
+/// Container version. v2 added the downstream-recommender variant (tag 2 in
+/// the variant byte, decoded by
+/// [`FrozenRecommender`](crate::FrozenRecommender)); UAE payloads are
+/// unchanged from v1 apart from the version word.
+pub(crate) const VERSION: u32 = 2;
+
+/// Variant byte: 0 = sequential UAE, 1 = local SAR, 2 = downstream
+/// recommender (see [`crate::FrozenRecommender`]).
+pub(crate) const VARIANT_SEQUENTIAL: u8 = 0;
+pub(crate) const VARIANT_LOCAL: u8 = 1;
+pub(crate) const VARIANT_RECOMMENDER: u8 = 2;
+
+/// Encodes a [`FeatureSchema`] (shared by every artifact variant).
+pub(crate) fn put_schema(w: &mut ByteWriter, schema: &FeatureSchema) {
+    w.put_u32(schema.cat_cardinalities.len() as u32);
+    for (card, name) in schema.cat_cardinalities.iter().zip(&schema.cat_names) {
+        w.put_u64(*card as u64);
+        w.put_bytes(name.as_bytes());
+    }
+    w.put_u32(schema.dense_names.len() as u32);
+    for name in &schema.dense_names {
+        w.put_bytes(name.as_bytes());
+    }
+    w.put_u32(schema.feedback_types as u32);
+}
+
+/// Decodes a [`FeatureSchema`] written by [`put_schema`].
+pub(crate) fn get_schema(r: &mut ByteReader) -> Result<FeatureSchema, CheckpointError> {
+    let utf8 = |bytes: Vec<u8>| {
+        String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt("non-utf8 name"))
+    };
+    let n_cat = r.get_u32()? as usize;
+    let mut cat_cardinalities = Vec::with_capacity(n_cat.min(1 << 16));
+    let mut cat_names = Vec::with_capacity(n_cat.min(1 << 16));
+    for _ in 0..n_cat {
+        cat_cardinalities.push(r.get_u64()? as usize);
+        cat_names.push(utf8(r.get_bytes()?)?);
+    }
+    let n_dense = r.get_u32()? as usize;
+    let mut dense_names = Vec::with_capacity(n_dense.min(1 << 16));
+    for _ in 0..n_dense {
+        dense_names.push(utf8(r.get_bytes()?)?);
+    }
+    let feedback_types = r.get_u32()? as usize;
+    Ok(FeatureSchema {
+        cat_cardinalities,
+        cat_names,
+        dense_names,
+        feedback_types,
+    })
+}
+
+/// Checks the leading magic + version words, returning the reader positioned
+/// at the variant byte.
+pub(crate) fn check_header<'a>(bytes: &'a [u8]) -> Result<ByteReader<'a>, UaeError> {
+    let mut r = ByteReader::new(bytes);
+    let magic = r.get_bytes().map_err(UaeError::Checkpoint)?;
+    if magic != MAGIC {
+        return Err(UaeError::Checkpoint(CheckpointError::BadMagic));
+    }
+    let version = r.get_u32().map_err(UaeError::Checkpoint)?;
+    if version != VERSION {
+        return Err(UaeError::Checkpoint(CheckpointError::BadVersion(version)));
+    }
+    Ok(r)
+}
+
+/// Writes `bytes` to `path` atomically (sibling `.tmp` + rename, same
+/// crash-safety contract as `.uaec` checkpoints).
+pub(crate) fn write_atomic(path: &Path, bytes: &[u8]) -> Result<(), UaeError> {
+    use std::io::Write as _;
+    let tmp = path.with_extension("tmp");
+    let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
+    {
+        let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
+        f.write_all(bytes).map_err(io_err)?;
+        f.sync_all().map_err(io_err)?;
+    }
+    std::fs::rename(&tmp, path).map_err(io_err)?;
+    Ok(())
+}
+
+/// Reads the raw bytes of an artifact file.
+pub(crate) fn read_file(path: &Path) -> Result<Vec<u8>, UaeError> {
+    use std::io::Read as _;
+    let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
+    let mut bytes = Vec::new();
+    std::fs::File::open(path)
+        .map_err(io_err)?
+        .read_to_end(&mut bytes)
+        .map_err(io_err)?;
+    Ok(bytes)
+}
 
 /// A decoded frozen model: the immutable ingredients of the serving path.
 #[derive(Debug, Clone, PartialEq)]
@@ -144,24 +236,13 @@ impl FrozenModel {
         let mut w = ByteWriter::new();
         w.put_bytes(MAGIC.as_slice());
         w.put_u32(VERSION);
-        w.put_u8(if self.sequential { 0 } else { 1 });
+        w.put_u8(if self.sequential {
+            VARIANT_SEQUENTIAL
+        } else {
+            VARIANT_LOCAL
+        });
         w.put_f32(self.gamma);
-        // Schema.
-        w.put_u32(self.schema.cat_cardinalities.len() as u32);
-        for (card, name) in self
-            .schema
-            .cat_cardinalities
-            .iter()
-            .zip(&self.schema.cat_names)
-        {
-            w.put_u64(*card as u64);
-            w.put_bytes(name.as_bytes());
-        }
-        w.put_u32(self.schema.dense_names.len() as u32);
-        for name in &self.schema.dense_names {
-            w.put_bytes(name.as_bytes());
-        }
-        w.put_u32(self.schema.feedback_types as u32);
+        put_schema(&mut w, &self.schema);
         // Architecture.
         w.put_u32(self.embed_dim as u32);
         w.put_u32(self.gru_hidden as u32);
@@ -181,40 +262,25 @@ impl FrozenModel {
     }
 
     /// Decodes `.uaem` bytes. Container-level damage is a typed
-    /// [`UaeError::Checkpoint`].
+    /// [`UaeError::Checkpoint`]. A downstream-recommender artifact (variant
+    /// 2) is rejected here — sniff with
+    /// [`FrozenArtifact::read_from`](crate::FrozenArtifact::read_from) when
+    /// the variant is not known up front.
     pub fn decode(bytes: &[u8]) -> Result<FrozenModel, UaeError> {
-        let mut r = ByteReader::new(bytes);
-        let magic = r.get_bytes().map_err(UaeError::Checkpoint)?;
-        if magic != MAGIC {
-            return Err(UaeError::Checkpoint(CheckpointError::BadMagic));
-        }
-        let version = r.get_u32().map_err(UaeError::Checkpoint)?;
-        if version != VERSION {
-            return Err(UaeError::Checkpoint(CheckpointError::BadVersion(version)));
-        }
+        let mut r = check_header(bytes)?;
         let inner = |r: &mut ByteReader| -> Result<FrozenModel, CheckpointError> {
             let sequential = match r.get_u8()? {
-                0 => true,
-                1 => false,
-                _ => return Err(CheckpointError::Corrupt("bad propensity-head tag")),
+                VARIANT_SEQUENTIAL => true,
+                VARIANT_LOCAL => false,
+                VARIANT_RECOMMENDER => {
+                    return Err(CheckpointError::Corrupt(
+                        "downstream-recommender artifact; decode via FrozenArtifact",
+                    ))
+                }
+                _ => return Err(CheckpointError::Corrupt("bad artifact-variant tag")),
             };
             let gamma = r.get_f32()?;
-            let utf8 = |bytes: Vec<u8>| {
-                String::from_utf8(bytes).map_err(|_| CheckpointError::Corrupt("non-utf8 name"))
-            };
-            let n_cat = r.get_u32()? as usize;
-            let mut cat_cardinalities = Vec::with_capacity(n_cat.min(1 << 16));
-            let mut cat_names = Vec::with_capacity(n_cat.min(1 << 16));
-            for _ in 0..n_cat {
-                cat_cardinalities.push(r.get_u64()? as usize);
-                cat_names.push(utf8(r.get_bytes()?)?);
-            }
-            let n_dense = r.get_u32()? as usize;
-            let mut dense_names = Vec::with_capacity(n_dense.min(1 << 16));
-            for _ in 0..n_dense {
-                dense_names.push(utf8(r.get_bytes()?)?);
-            }
-            let feedback_types = r.get_u32()? as usize;
+            let schema = get_schema(r)?;
             let embed_dim = r.get_u32()? as usize;
             let gru_hidden = r.get_u32()? as usize;
             let n_mlp = r.get_u32()? as usize;
@@ -227,16 +293,12 @@ impl FrozenModel {
             let n_extra = r.get_u32()? as usize;
             let mut extras = Vec::with_capacity(n_extra.min(1 << 10));
             for _ in 0..n_extra {
-                let name = utf8(r.get_bytes()?)?;
+                let name = String::from_utf8(r.get_bytes()?)
+                    .map_err(|_| CheckpointError::Corrupt("non-utf8 name"))?;
                 extras.push((name, r.get_bytes()?));
             }
             Ok(FrozenModel {
-                schema: FeatureSchema {
-                    cat_cardinalities,
-                    cat_names,
-                    dense_names,
-                    feedback_types,
-                },
+                schema,
                 sequential,
                 gamma,
                 embed_dim,
@@ -253,29 +315,12 @@ impl FrozenModel {
     /// Writes the snapshot to `path` atomically (sibling `.tmp` + rename,
     /// same crash-safety contract as `.uaec` checkpoints).
     pub fn write_to(&self, path: &Path) -> Result<(), UaeError> {
-        use std::io::Write as _;
-        let bytes = self.encode();
-        let tmp = path.with_extension("tmp");
-        let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
-        {
-            let mut f = std::fs::File::create(&tmp).map_err(io_err)?;
-            f.write_all(&bytes).map_err(io_err)?;
-            f.sync_all().map_err(io_err)?;
-        }
-        std::fs::rename(&tmp, path).map_err(io_err)?;
-        Ok(())
+        write_atomic(path, &self.encode())
     }
 
     /// Reads and decodes a snapshot from `path`.
     pub fn read_from(path: &Path) -> Result<FrozenModel, UaeError> {
-        use std::io::Read as _;
-        let io_err = |e: std::io::Error| UaeError::Checkpoint(CheckpointError::Io(e.to_string()));
-        let mut bytes = Vec::new();
-        std::fs::File::open(path)
-            .map_err(io_err)?
-            .read_to_end(&mut bytes)
-            .map_err(io_err)?;
-        FrozenModel::decode(&bytes)
+        FrozenModel::decode(&read_file(path)?)
     }
 }
 

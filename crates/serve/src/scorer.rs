@@ -189,12 +189,7 @@ impl Scorer {
 
 /// Writes σ(logits) into flat request order via the batch's origin map —
 /// the tape-free analogue of the training-side scatter.
-fn scatter(
-    logits: &[uae_tensor::Matrix],
-    batch: &SeqBatch,
-    offsets: &[usize],
-    out: &mut [f32],
-) {
+fn scatter(logits: &[uae_tensor::Matrix], batch: &SeqBatch, offsets: &[usize], out: &mut [f32]) {
     for (t, vals) in logits.iter().enumerate() {
         for i in 0..batch.batch {
             if batch.mask[t][i] > 0.0 {

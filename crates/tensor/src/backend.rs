@@ -393,7 +393,9 @@ pub(crate) fn recycle(mut v: Vec<f32>) {
     }
     // Survive TLS teardown: a matrix dropped during thread exit just frees.
     let _ = POOL.try_with(|p| {
-        let Ok(mut p) = p.try_borrow_mut() else { return };
+        let Ok(mut p) = p.try_borrow_mut() else {
+            return;
+        };
         if p.bytes + cap * 4 > MAX_POOL_BYTES {
             return;
         }
@@ -757,7 +759,9 @@ pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[
         n,
         a_rows * a_cols * n,
         &|c0, nrows, chunk| match mode {
-            KernelMode::Blocked => matmul_tn_rows_blocked(a, b, a_rows, a_cols, n, c0, nrows, chunk),
+            KernelMode::Blocked => {
+                matmul_tn_rows_blocked(a, b, a_rows, a_cols, n, c0, nrows, chunk)
+            }
             KernelMode::Naive => matmul_tn_rows_naive(a, b, a_rows, a_cols, n, c0, nrows, chunk),
         },
     );
@@ -813,7 +817,9 @@ pub(crate) fn batched_matmul(
                     (false, KernelMode::Blocked) => {
                         matmul_rows_blocked(aslice, bslice, p, n, 0, oslice)
                     }
-                    (false, KernelMode::Naive) => matmul_rows_naive(aslice, bslice, p, n, 0, oslice),
+                    (false, KernelMode::Naive) => {
+                        matmul_rows_naive(aslice, bslice, p, n, 0, oslice)
+                    }
                     (true, KernelMode::Blocked) => {
                         matmul_nt_rows_blocked(aslice, bslice, p, n, 0, m, oslice)
                     }

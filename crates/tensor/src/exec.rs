@@ -1,0 +1,543 @@
+//! Execution contexts: one forward implementation, two engines.
+//!
+//! Every layer in the workspace writes its forward math exactly once, generic
+//! over [`Exec`]. Two execution contexts implement the trait:
+//!
+//! * [`Tape`] — the training engine. Each op records an autodiff node whose
+//!   value is computed eagerly; [`Tape::backward`] later walks the nodes.
+//! * [`ValueExec`] — the serving engine. The same ops run directly on
+//!   [`Matrix`] values with no node bookkeeping and no gradient state.
+//!
+//! Both contexts dispatch every op through the same value kernels (the
+//! private `kernels` module below, which the tape's own op constructors also
+//! call), so the two engines are **bit-identical by construction**: there is
+//! no second forward implementation that could drift, only a second way of
+//! wrapping the first one. End-to-end equivalence suites
+//! (`tests/exec_equivalence.rs`) pin the contract at 1 and 4 worker threads.
+//!
+//! The op vocabulary is exactly what the paper's models need: matmul and the
+//! fused `x·W + b`, batched matmul for field self-attention, element-wise
+//! arithmetic and activations, row/column broadcasts, concat/slice/reshape,
+//! row-sum and row-softmax. Loss ops (`weighted_bce`, `mean_all`, …) stay
+//! tape-only — serving never builds a loss.
+
+use crate::matrix::Matrix;
+use crate::params::{ParamId, Params};
+use crate::tape::{Tape, Var};
+
+/// Shared forward kernels. Every function here is the *single* definition of
+/// its op's arithmetic: [`Tape`]'s op constructors call these to compute node
+/// values, and [`ValueExec`] calls them directly. Keeping one body per op is
+/// what makes the tape and value engines bit-identical by construction.
+pub(crate) mod kernels {
+    use crate::backend;
+    use crate::matrix::Matrix;
+    use crate::tape::sigmoid;
+
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        a.matmul(b)
+    }
+
+    /// Fused `x·W + b` (bias seeds the matmul accumulators).
+    pub fn linear(x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
+        x.matmul_bias(w, b)
+    }
+
+    pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut v = a.clone();
+        v.add_assign(b);
+        v
+    }
+
+    pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
+        a.zip_map(b, |x, y| x - y)
+    }
+
+    pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
+        a.zip_map(b, |x, y| x * y)
+    }
+
+    /// `(m×n) + (1×n)` broadcast over rows.
+    pub fn add_row(a: &Matrix, bias: &Matrix) -> Matrix {
+        let (m, n) = a.shape();
+        assert_eq!(bias.shape(), (1, n), "add_row shape mismatch");
+        let mut out = Matrix::uninit(m, n);
+        for r in 0..m {
+            for ((o, &x), &b) in out.row_mut(r).iter_mut().zip(a.row(r)).zip(bias.row(0)) {
+                *o = x + b;
+            }
+        }
+        out
+    }
+
+    /// `(m×n) ∘ (m×1)` broadcast over columns.
+    pub fn mul_col(a: &Matrix, col: &Matrix) -> Matrix {
+        let (m, n) = a.shape();
+        assert_eq!(col.shape(), (m, 1), "mul_col shape mismatch");
+        let mut out = Matrix::uninit(m, n);
+        for r in 0..m {
+            let s = col.get(r, 0);
+            for (o, &x) in out.row_mut(r).iter_mut().zip(a.row(r)) {
+                *o = x * s;
+            }
+        }
+        out
+    }
+
+    /// `y = mul·x + add` element-wise.
+    pub fn affine(x: &Matrix, mul: f32, add: f32) -> Matrix {
+        x.map(|v| mul * v + add)
+    }
+
+    pub fn sigmoid_map(x: &Matrix) -> Matrix {
+        x.map(sigmoid)
+    }
+
+    pub fn tanh_map(x: &Matrix) -> Matrix {
+        x.map(f32::tanh)
+    }
+
+    pub fn relu_map(x: &Matrix) -> Matrix {
+        x.map(|v| v.max(0.0))
+    }
+
+    pub fn concat_cols(parts: &[&Matrix]) -> Matrix {
+        Matrix::concat_cols(parts)
+    }
+
+    pub fn slice_cols(x: &Matrix, start: usize, end: usize) -> Matrix {
+        x.slice_cols(start, end)
+    }
+
+    /// Row-major reinterpretation (a pooled copy; data order unchanged).
+    pub fn reshape(x: &Matrix, rows: usize, cols: usize) -> Matrix {
+        assert_eq!(x.len(), rows * cols, "reshape element-count mismatch");
+        let mut value = Matrix::uninit(rows, cols);
+        value.data_mut().copy_from_slice(x.data());
+        value
+    }
+
+    /// `(m×n) → (m×1)` summing each row.
+    pub fn row_sum(x: &Matrix) -> Matrix {
+        Matrix::from_fn(x.rows(), 1, |r, _| x.row(r).iter().sum())
+    }
+
+    /// Row-wise softmax (max-subtracted for stability).
+    pub fn softmax_rows(v: &Matrix) -> Matrix {
+        let mut value = Matrix::uninit(v.rows(), v.cols());
+        for r in 0..v.rows() {
+            let row = v.row(r);
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (o, &x) in value.row_mut(r).iter_mut().zip(row) {
+                *o = (x - max).exp();
+                denom += *o;
+            }
+            for o in value.row_mut(r) {
+                *o /= denom;
+            }
+        }
+        value
+    }
+
+    /// Batched matrix product over 3-D tensors packed as 2-D matrices; see
+    /// [`crate::tape::Tape::batched_matmul`] for the packing convention.
+    pub fn batched_matmul(a: &Matrix, b: &Matrix, batch: usize, trans_b: bool) -> Matrix {
+        assert!(batch > 0 && a.rows().is_multiple_of(batch) && b.rows().is_multiple_of(batch));
+        let m = a.rows() / batch;
+        let p = a.cols();
+        let (n, out_cols);
+        if trans_b {
+            assert_eq!(b.cols(), p, "batched_matmul(trans_b) inner dim");
+            n = b.rows() / batch;
+            out_cols = n;
+        } else {
+            assert_eq!(b.rows() / batch, p, "batched_matmul inner dim");
+            n = b.cols();
+            out_cols = n;
+        }
+        let data = backend::batched_matmul(batch, m, p, n, trans_b, a.data(), b.data());
+        Matrix::from_vec(batch * m, out_cols, data)
+    }
+}
+
+/// An execution context for forward passes.
+///
+/// `V` is the context's value handle: [`Var`] on a [`Tape`] (a node index
+/// whose value lives on the tape), a plain [`Matrix`] under [`ValueExec`].
+/// Layers take handles by reference and return fresh handles, so one generic
+/// forward body serves both training and tape-free inference.
+pub trait Exec {
+    /// Value handle (`Var` on the tape, `Matrix` tape-free).
+    type V: Clone;
+
+    /// A constant leaf (inputs, masks, …). Never receives gradient.
+    fn input(&mut self, value: Matrix) -> Self::V;
+
+    /// A trainable-parameter leaf snapshotted from `params`.
+    fn param(&mut self, params: &Params, id: ParamId) -> Self::V;
+
+    /// Gathers `rows` of parameter table `id` (embedding lookup).
+    fn gather(&mut self, params: &Params, id: ParamId, rows: &[usize]) -> Self::V;
+
+    /// Blocks gradient flow: on the tape the value re-enters as a constant
+    /// leaf; tape-free it is a plain copy (detaching values is a no-op).
+    fn detach(&mut self, x: &Self::V) -> Self::V;
+
+    /// The forward value behind a handle.
+    fn value<'a>(&'a self, x: &'a Self::V) -> &'a Matrix;
+
+    /// Matrix product.
+    fn matmul(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Fused dense layer `x·W + b`.
+    fn linear(&mut self, x: &Self::V, w: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Batched matrix product over packed 3-D tensors
+    /// (see [`Tape::batched_matmul`] for the packing convention).
+    fn batched_matmul(&mut self, a: &Self::V, b: &Self::V, batch: usize, trans_b: bool) -> Self::V;
+
+    /// Element-wise sum.
+    fn add(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Element-wise difference.
+    fn sub(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Element-wise (Hadamard) product.
+    fn mul(&mut self, a: &Self::V, b: &Self::V) -> Self::V;
+
+    /// Element-wise square.
+    fn square(&mut self, x: &Self::V) -> Self::V {
+        self.mul(&x.clone(), x)
+    }
+
+    /// Adds a `1×n` row vector to every row of an `m×n` matrix (bias add).
+    fn add_row(&mut self, a: &Self::V, row: &Self::V) -> Self::V;
+
+    /// Multiplies every row of an `m×n` matrix by the matching entry of an
+    /// `m×1` column (per-sample mask/weight).
+    fn mul_col(&mut self, a: &Self::V, col: &Self::V) -> Self::V;
+
+    /// `y = mul·x + add` element-wise.
+    fn affine(&mut self, x: &Self::V, mul: f32, add: f32) -> Self::V;
+
+    /// `1 − x` element-wise.
+    fn one_minus(&mut self, x: &Self::V) -> Self::V {
+        self.affine(x, -1.0, 1.0)
+    }
+
+    /// `s · x`.
+    fn scale(&mut self, x: &Self::V, s: f32) -> Self::V {
+        self.affine(x, s, 0.0)
+    }
+
+    fn sigmoid(&mut self, x: &Self::V) -> Self::V;
+
+    fn tanh(&mut self, x: &Self::V) -> Self::V;
+
+    fn relu(&mut self, x: &Self::V) -> Self::V;
+
+    /// Horizontal concatenation.
+    fn concat_cols(&mut self, parts: &[Self::V]) -> Self::V;
+
+    /// Copies out columns `[start, end)`.
+    fn slice_cols(&mut self, x: &Self::V, start: usize, end: usize) -> Self::V;
+
+    /// Row-major reshape.
+    fn reshape(&mut self, x: &Self::V, rows: usize, cols: usize) -> Self::V;
+
+    /// Per-row sum: `(m×n) → (m×1)`.
+    fn row_sum(&mut self, x: &Self::V) -> Self::V;
+
+    /// Row-wise softmax.
+    fn softmax_rows(&mut self, x: &Self::V) -> Self::V;
+}
+
+/// The training engine: every op records an autodiff node (see [`Tape`]'s
+/// inherent methods, which this impl delegates to one-for-one).
+impl Exec for Tape {
+    type V = Var;
+
+    fn input(&mut self, value: Matrix) -> Var {
+        Tape::input(self, value)
+    }
+
+    fn param(&mut self, params: &Params, id: ParamId) -> Var {
+        Tape::param(self, params, id)
+    }
+
+    fn gather(&mut self, params: &Params, id: ParamId, rows: &[usize]) -> Var {
+        Tape::gather(self, params, id, rows)
+    }
+
+    fn detach(&mut self, x: &Var) -> Var {
+        let v = Tape::value(self, *x).clone();
+        Tape::input(self, v)
+    }
+
+    fn value<'a>(&'a self, x: &'a Var) -> &'a Matrix {
+        Tape::value(self, *x)
+    }
+
+    fn matmul(&mut self, a: &Var, b: &Var) -> Var {
+        Tape::matmul(self, *a, *b)
+    }
+
+    fn linear(&mut self, x: &Var, w: &Var, b: &Var) -> Var {
+        Tape::linear(self, *x, *w, *b)
+    }
+
+    fn batched_matmul(&mut self, a: &Var, b: &Var, batch: usize, trans_b: bool) -> Var {
+        Tape::batched_matmul(self, *a, *b, batch, trans_b)
+    }
+
+    fn add(&mut self, a: &Var, b: &Var) -> Var {
+        Tape::add(self, *a, *b)
+    }
+
+    fn sub(&mut self, a: &Var, b: &Var) -> Var {
+        Tape::sub(self, *a, *b)
+    }
+
+    fn mul(&mut self, a: &Var, b: &Var) -> Var {
+        Tape::mul(self, *a, *b)
+    }
+
+    fn square(&mut self, x: &Var) -> Var {
+        Tape::square(self, *x)
+    }
+
+    fn add_row(&mut self, a: &Var, row: &Var) -> Var {
+        Tape::add_row(self, *a, *row)
+    }
+
+    fn mul_col(&mut self, a: &Var, col: &Var) -> Var {
+        Tape::mul_col(self, *a, *col)
+    }
+
+    fn affine(&mut self, x: &Var, mul: f32, add: f32) -> Var {
+        Tape::affine(self, *x, mul, add)
+    }
+
+    fn sigmoid(&mut self, x: &Var) -> Var {
+        Tape::sigmoid(self, *x)
+    }
+
+    fn tanh(&mut self, x: &Var) -> Var {
+        Tape::tanh(self, *x)
+    }
+
+    fn relu(&mut self, x: &Var) -> Var {
+        Tape::relu(self, *x)
+    }
+
+    fn concat_cols(&mut self, parts: &[Var]) -> Var {
+        Tape::concat_cols(self, parts)
+    }
+
+    fn slice_cols(&mut self, x: &Var, start: usize, end: usize) -> Var {
+        Tape::slice_cols(self, *x, start, end)
+    }
+
+    fn reshape(&mut self, x: &Var, rows: usize, cols: usize) -> Var {
+        Tape::reshape(self, *x, rows, cols)
+    }
+
+    fn row_sum(&mut self, x: &Var) -> Var {
+        Tape::row_sum(self, *x)
+    }
+
+    fn softmax_rows(&mut self, x: &Var) -> Var {
+        Tape::softmax_rows(self, *x)
+    }
+}
+
+/// The serving engine: ops evaluate directly on [`Matrix`] values through the
+/// same kernels the tape uses, with no node allocation and no gradient state.
+/// Bit-identical to the tape forward by construction.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ValueExec;
+
+impl ValueExec {
+    pub fn new() -> Self {
+        ValueExec
+    }
+}
+
+impl Exec for ValueExec {
+    type V = Matrix;
+
+    fn input(&mut self, value: Matrix) -> Matrix {
+        value
+    }
+
+    fn param(&mut self, params: &Params, id: ParamId) -> Matrix {
+        params.value(id).clone()
+    }
+
+    fn gather(&mut self, params: &Params, id: ParamId, rows: &[usize]) -> Matrix {
+        params.value(id).gather_rows(rows)
+    }
+
+    fn detach(&mut self, x: &Matrix) -> Matrix {
+        x.clone()
+    }
+
+    fn value<'a>(&'a self, x: &'a Matrix) -> &'a Matrix {
+        x
+    }
+
+    fn matmul(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        kernels::matmul(a, b)
+    }
+
+    fn linear(&mut self, x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
+        kernels::linear(x, w, b)
+    }
+
+    fn batched_matmul(&mut self, a: &Matrix, b: &Matrix, batch: usize, trans_b: bool) -> Matrix {
+        kernels::batched_matmul(a, b, batch, trans_b)
+    }
+
+    fn add(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        kernels::add(a, b)
+    }
+
+    fn sub(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        kernels::sub(a, b)
+    }
+
+    fn mul(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+        kernels::mul(a, b)
+    }
+
+    fn square(&mut self, x: &Matrix) -> Matrix {
+        kernels::mul(x, x)
+    }
+
+    fn add_row(&mut self, a: &Matrix, row: &Matrix) -> Matrix {
+        kernels::add_row(a, row)
+    }
+
+    fn mul_col(&mut self, a: &Matrix, col: &Matrix) -> Matrix {
+        kernels::mul_col(a, col)
+    }
+
+    fn affine(&mut self, x: &Matrix, mul: f32, add: f32) -> Matrix {
+        kernels::affine(x, mul, add)
+    }
+
+    fn sigmoid(&mut self, x: &Matrix) -> Matrix {
+        kernels::sigmoid_map(x)
+    }
+
+    fn tanh(&mut self, x: &Matrix) -> Matrix {
+        kernels::tanh_map(x)
+    }
+
+    fn relu(&mut self, x: &Matrix) -> Matrix {
+        kernels::relu_map(x)
+    }
+
+    fn concat_cols(&mut self, parts: &[Matrix]) -> Matrix {
+        let refs: Vec<&Matrix> = parts.iter().collect();
+        kernels::concat_cols(&refs)
+    }
+
+    fn slice_cols(&mut self, x: &Matrix, start: usize, end: usize) -> Matrix {
+        kernels::slice_cols(x, start, end)
+    }
+
+    fn reshape(&mut self, x: &Matrix, rows: usize, cols: usize) -> Matrix {
+        kernels::reshape(x, rows, cols)
+    }
+
+    fn row_sum(&mut self, x: &Matrix) -> Matrix {
+        kernels::row_sum(x)
+    }
+
+    fn softmax_rows(&mut self, x: &Matrix) -> Matrix {
+        kernels::softmax_rows(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Rng;
+
+    /// Runs one composite expression through both engines and compares
+    /// bitwise — every op of the vocabulary appears at least once.
+    fn run_all_ops<E: Exec>(exec: &mut E, params: &Params, ids: &[ParamId]) -> Vec<Matrix> {
+        let x = exec.input(Matrix::from_vec(
+            4,
+            3,
+            vec![
+                0.5, -1.0, 2.0, 3.0, 0.0, -0.5, 1.5, 2.5, -2.0, 0.1, 0.2, 0.3,
+            ],
+        ));
+        let w = exec.param(params, ids[0]);
+        let b = exec.param(params, ids[1]);
+        let col = exec.input(Matrix::col_vector(&[1.0, 0.0, 0.5, 2.0]));
+        let g = exec.gather(params, ids[2], &[0, 2, 1, 0]);
+
+        let mm = exec.matmul(&x, &w);
+        let lin = exec.linear(&x, &w, &b);
+        let sum = exec.add(&mm, &lin);
+        let diff = exec.sub(&sum, &mm);
+        let prod = exec.mul(&diff, &lin);
+        let sq = exec.square(&prod);
+        let biased = exec.add_row(&sq, &b);
+        let masked = exec.mul_col(&biased, &col);
+        let aff = exec.affine(&masked, 0.3, -0.1);
+        let om = exec.one_minus(&aff);
+        let sc = exec.scale(&om, 1.7);
+        let sg = exec.sigmoid(&sc);
+        let th = exec.tanh(&sg);
+        let re = exec.relu(&th);
+        let cat = exec.concat_cols(&[re.clone(), g.clone()]);
+        let sl = exec.slice_cols(&cat, 1, 4);
+        let rs = exec.reshape(&sl, 3, 4);
+        let row = exec.row_sum(&rs);
+        let sm = exec.softmax_rows(&rs);
+        let bm = exec.batched_matmul(&rs, &rs, 1, true);
+        let det = exec.detach(&bm);
+        [cat, sl, row, sm, bm, det]
+            .iter()
+            .map(|v| exec.value(v).clone())
+            .collect()
+    }
+
+    #[test]
+    fn value_exec_matches_tape_bitwise_across_the_op_vocabulary() {
+        let mut rng = Rng::seed_from_u64(42);
+        let mut params = Params::new();
+        let ids = [
+            params.add("w", Matrix::randn(3, 2, 1.0, &mut rng)),
+            params.add("b", Matrix::randn(1, 2, 1.0, &mut rng)),
+            params.add("emb", Matrix::randn(3, 2, 1.0, &mut rng)),
+        ];
+        let mut tape = Tape::new();
+        let tape_out = run_all_ops(&mut tape, &params, &ids);
+        let mut vx = ValueExec::new();
+        let value_out = run_all_ops(&mut vx, &params, &ids);
+        assert_eq!(tape_out.len(), value_out.len());
+        for (i, (t, v)) in tape_out.iter().zip(&value_out).enumerate() {
+            assert_eq!(t.shape(), v.shape(), "output {i}");
+            assert_eq!(t.data(), v.data(), "output {i}");
+        }
+    }
+
+    #[test]
+    fn value_exec_has_no_state() {
+        // ValueExec is a ZST: constructing it allocates nothing, and ops are
+        // pure functions of their inputs.
+        assert_eq!(std::mem::size_of::<ValueExec>(), 0);
+        let mut vx = ValueExec::new();
+        let a = vx.input(Matrix::row_vector(&[1.0, 2.0]));
+        let b = vx.input(Matrix::row_vector(&[3.0, 4.0]));
+        let s1 = vx.add(&a, &b);
+        let s2 = vx.add(&a, &b);
+        assert_eq!(s1.data(), s2.data());
+    }
+}

@@ -195,7 +195,11 @@ mod tests {
         let w = params.add("w", Matrix::randn(4, 1, 1.0, &mut rng));
         let pos_w = vec![1.8, 0.0, 1.0, 2.5];
         let neg_w = vec![-0.8, 1.0, 0.0, -1.5]; // some strongly negative rows
-        let x = Matrix::from_vec(4, 4, (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.6).collect());
+        let x = Matrix::from_vec(
+            4,
+            4,
+            (0..16).map(|i| ((i * 7 % 5) as f32 - 2.0) * 0.6).collect(),
+        );
 
         let check = check_params(&mut params, 2e-3, |tape, params| {
             let xv = tape.input(x.clone());

@@ -42,6 +42,7 @@
 //! ```
 
 pub mod backend;
+pub mod exec;
 pub mod gradcheck;
 pub mod matrix;
 pub mod params;
@@ -54,6 +55,7 @@ pub use backend::{
     reset_scratch_stats, scratch_stats, with_kernel_mode, with_num_threads, with_pool_disabled,
     DispatchStats, KernelMode, ScratchStats,
 };
+pub use exec::{Exec, ValueExec};
 pub use matrix::Matrix;
 pub use params::{ParamId, Params};
 pub use rng::{Rng, RngState};

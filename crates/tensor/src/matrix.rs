@@ -413,8 +413,7 @@ impl Matrix {
         let width = end - start;
         let mut out = Matrix::uninit(self.rows, width);
         for r in 0..self.rows {
-            out.row_mut(r)
-                .copy_from_slice(&self.row(r)[start..end]);
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
         }
         out
     }

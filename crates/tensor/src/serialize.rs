@@ -188,7 +188,7 @@ mod tests {
         let original = arena();
         let blob = save_params(&original);
         let mut target = arena(); // same architecture, different values
-        // Perturb so the load visibly changes something.
+                                  // Perturb so the load visibly changes something.
         for id in target.ids().collect::<Vec<_>>() {
             target.value_mut(id).scale_in_place(3.0);
         }
@@ -214,10 +214,7 @@ mod tests {
         assert_eq!(decode_params(b"nope"), Err(DecodeError::BadMagic));
         // Shorter than the magic: truncated.
         assert_eq!(decode_params(b"no"), Err(DecodeError::Truncated));
-        assert_eq!(
-            decode_params(b"XXXXaaaaaaaa"),
-            Err(DecodeError::BadMagic)
-        );
+        assert_eq!(decode_params(b"XXXXaaaaaaaa"), Err(DecodeError::BadMagic));
         let mut blob = save_params(&arena());
         blob.truncate(blob.len() - 3);
         assert_eq!(decode_params(&blob), Err(DecodeError::Truncated));

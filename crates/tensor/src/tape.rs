@@ -15,6 +15,7 @@
 //! per-example positive/negative weights.
 
 use crate::backend;
+use crate::exec::kernels;
 use crate::matrix::Matrix;
 use crate::params::{ParamId, Params};
 
@@ -47,7 +48,10 @@ enum Op {
     Param(ParamId),
     /// Rows gathered from a (possibly large) parameter table; backward
     /// scatter-adds into the table's gradient without materialising it.
-    GatherParam { id: ParamId, rows: Vec<usize> },
+    GatherParam {
+        id: ParamId,
+        rows: Vec<usize>,
+    },
     MatMul(Var, Var),
     Add(Var, Var),
     Sub(Var, Var),
@@ -55,16 +59,27 @@ enum Op {
     /// `(m×n) + (1×n)` broadcast over rows.
     AddRow(Var, Var),
     /// Fused dense layer `x·W + b` (bias seeds the matmul accumulators).
-    Linear { x: Var, w: Var, b: Var },
+    Linear {
+        x: Var,
+        w: Var,
+        b: Var,
+    },
     /// `(m×n) ∘ (m×1)` broadcast over columns.
     MulCol(Var, Var),
     /// `y = mul·x + add` element-wise; only the slope matters for backward.
-    Affine { x: Var, mul: f32 },
+    Affine {
+        x: Var,
+        mul: f32,
+    },
     Sigmoid(Var),
     Tanh(Var),
     Relu(Var),
     ConcatCols(Vec<Var>),
-    SliceCols { x: Var, start: usize, end: usize },
+    SliceCols {
+        x: Var,
+        start: usize,
+        end: usize,
+    },
     /// Row-major reinterpretation; data order unchanged.
     Reshape(Var),
     MeanAll(Var),
@@ -161,29 +176,25 @@ impl Tape {
 
     /// Matrix product.
     pub fn matmul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).matmul(self.value(b));
+        let value = kernels::matmul(self.value(a), self.value(b));
         self.push(value, Op::MatMul(a, b))
     }
 
     /// Element-wise sum of two same-shape nodes.
     pub fn add(&mut self, a: Var, b: Var) -> Var {
-        let value = {
-            let mut v = self.value(a).clone();
-            v.add_assign(self.value(b));
-            v
-        };
+        let value = kernels::add(self.value(a), self.value(b));
         self.push(value, Op::Add(a, b))
     }
 
     /// Element-wise difference.
     pub fn sub(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip_map(self.value(b), |x, y| x - y);
+        let value = kernels::sub(self.value(a), self.value(b));
         self.push(value, Op::Sub(a, b))
     }
 
     /// Element-wise (Hadamard) product. `a` and `b` may be the same node.
     pub fn mul(&mut self, a: Var, b: Var) -> Var {
-        let value = self.value(a).zip_map(self.value(b), |x, y| x * y);
+        let value = kernels::mul(self.value(a), self.value(b));
         self.push(value, Op::Mul(a, b))
     }
 
@@ -194,57 +205,27 @@ impl Tape {
 
     /// Adds a `1×n` row vector to every row of an `m×n` matrix (bias add).
     pub fn add_row(&mut self, a: Var, row: Var) -> Var {
-        let (m, n) = self.value(a).shape();
-        assert_eq!(self.value(row).shape(), (1, n), "add_row shape mismatch");
-        let value = {
-            let av = self.value(a);
-            let bias = self.value(row);
-            let mut out = Matrix::uninit(m, n);
-            for r in 0..m {
-                for ((o, &x), &b) in out.row_mut(r).iter_mut().zip(av.row(r)).zip(bias.row(0)) {
-                    *o = x + b;
-                }
-            }
-            out
-        };
+        let value = kernels::add_row(self.value(a), self.value(row));
         self.push(value, Op::AddRow(a, row))
     }
 
     /// Fused dense layer `x·W + b` — one op, one kernel pass; the bias seeds
     /// the matmul accumulators so no broadcast-add copy is made.
     pub fn linear(&mut self, x: Var, w: Var, b: Var) -> Var {
-        let value = {
-            let xv = self.value(x);
-            let wv = self.value(w);
-            let bv = self.value(b);
-            xv.matmul_bias(wv, bv)
-        };
+        let value = kernels::linear(self.value(x), self.value(w), self.value(b));
         self.push(value, Op::Linear { x, w, b })
     }
 
     /// Multiplies every row of an `m×n` matrix by the matching entry of an
     /// `m×1` column vector (per-sample mask/weight).
     pub fn mul_col(&mut self, a: Var, col: Var) -> Var {
-        let (m, n) = self.value(a).shape();
-        assert_eq!(self.value(col).shape(), (m, 1), "mul_col shape mismatch");
-        let value = {
-            let av = self.value(a);
-            let cv = self.value(col);
-            let mut out = Matrix::uninit(m, n);
-            for r in 0..m {
-                let s = cv.get(r, 0);
-                for (o, &x) in out.row_mut(r).iter_mut().zip(av.row(r)) {
-                    *o = x * s;
-                }
-            }
-            out
-        };
+        let value = kernels::mul_col(self.value(a), self.value(col));
         self.push(value, Op::MulCol(a, col))
     }
 
     /// `y = mul·x + add` element-wise.
     pub fn affine(&mut self, x: Var, mul: f32, add: f32) -> Var {
-        let value = self.value(x).map(|v| mul * v + add);
+        let value = kernels::affine(self.value(x), mul, add);
         self.push(value, Op::Affine { x, mul })
     }
 
@@ -259,39 +240,36 @@ impl Tape {
     }
 
     pub fn sigmoid(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(sigmoid);
+        let value = kernels::sigmoid_map(self.value(x));
         self.push(value, Op::Sigmoid(x))
     }
 
     pub fn tanh(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(f32::tanh);
+        let value = kernels::tanh_map(self.value(x));
         self.push(value, Op::Tanh(x))
     }
 
     pub fn relu(&mut self, x: Var) -> Var {
-        let value = self.value(x).map(|v| v.max(0.0));
+        let value = kernels::relu_map(self.value(x));
         self.push(value, Op::Relu(x))
     }
 
     /// Horizontal concatenation.
     pub fn concat_cols(&mut self, parts: &[Var]) -> Var {
         let values: Vec<&Matrix> = parts.iter().map(|&p| self.value(p)).collect();
-        let value = Matrix::concat_cols(&values);
+        let value = kernels::concat_cols(&values);
         self.push(value, Op::ConcatCols(parts.to_vec()))
     }
 
     /// Copies out columns `[start, end)`.
     pub fn slice_cols(&mut self, x: Var, start: usize, end: usize) -> Var {
-        let value = self.value(x).slice_cols(start, end);
+        let value = kernels::slice_cols(self.value(x), start, end);
         self.push(value, Op::SliceCols { x, start, end })
     }
 
     /// Row-major reshape (a pooled copy; data order unchanged).
     pub fn reshape(&mut self, x: Var, rows: usize, cols: usize) -> Var {
-        let v = self.value(x);
-        assert_eq!(v.len(), rows * cols, "reshape element-count mismatch");
-        let mut value = Matrix::uninit(rows, cols);
-        value.data_mut().copy_from_slice(v.data());
+        let value = kernels::reshape(self.value(x), rows, cols);
         self.push(value, Op::Reshape(x))
     }
 
@@ -309,27 +287,13 @@ impl Tape {
 
     /// Per-row sum: `(m×n) → (m×1)`.
     pub fn row_sum(&mut self, x: Var) -> Var {
-        let v = self.value(x);
-        let value = Matrix::from_fn(v.rows(), 1, |r, _| v.row(r).iter().sum());
+        let value = kernels::row_sum(self.value(x));
         self.push(value, Op::RowSum(x))
     }
 
     /// Row-wise softmax.
     pub fn softmax_rows(&mut self, x: Var) -> Var {
-        let v = self.value(x);
-        let mut value = Matrix::uninit(v.rows(), v.cols());
-        for r in 0..v.rows() {
-            let row = v.row(r);
-            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0;
-            for (o, &x) in value.row_mut(r).iter_mut().zip(row) {
-                *o = (x - max).exp();
-                denom += *o;
-            }
-            for o in value.row_mut(r) {
-                *o /= denom;
-            }
-        }
+        let value = kernels::softmax_rows(self.value(x));
         self.push(value, Op::SoftmaxRows(x))
     }
 
@@ -341,24 +305,16 @@ impl Tape {
     /// * `trans_b == true`: `b` packs `(batch, n, p)` as `(batch·n) × p`,
     ///   computing `A·Bᵀ` per batch slice.
     pub fn batched_matmul(&mut self, a: Var, b: Var, batch: usize, trans_b: bool) -> Var {
-        let av = self.value(a);
-        let bv = self.value(b);
-        assert!(batch > 0 && av.rows().is_multiple_of(batch) && bv.rows().is_multiple_of(batch));
-        let m = av.rows() / batch;
-        let p = av.cols();
-        let (n, out_cols);
-        if trans_b {
-            assert_eq!(bv.cols(), p, "batched_matmul(trans_b) inner dim");
-            n = bv.rows() / batch;
-            out_cols = n;
-        } else {
-            assert_eq!(bv.rows() / batch, p, "batched_matmul inner dim");
-            n = bv.cols();
-            out_cols = n;
-        }
-        let data = backend::batched_matmul(batch, m, p, n, trans_b, av.data(), bv.data());
-        let out = Matrix::from_vec(batch * m, out_cols, data);
-        self.push(out, Op::BatMatMul { a, b, batch, trans_b })
+        let out = kernels::batched_matmul(self.value(a), self.value(b), batch, trans_b);
+        self.push(
+            out,
+            Op::BatMatMul {
+                a,
+                b,
+                batch,
+                trans_b,
+            },
+        )
     }
 
     /// Fused weighted binary cross-entropy over logits.
@@ -538,7 +494,10 @@ impl Tape {
                 }
                 Op::Relu(x) => {
                     let mut gx = g;
-                    gx.zip_apply(&self.nodes[x.0].value, |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                    gx.zip_apply(
+                        &self.nodes[x.0].value,
+                        |gi, xi| if xi > 0.0 { gi } else { 0.0 },
+                    );
                     acc(&mut grads, x.0, gx);
                 }
                 Op::ConcatCols(parts) => {
@@ -591,12 +550,21 @@ impl Tape {
                     }
                     acc(&mut grads, x.0, gx);
                 }
-                Op::BatMatMul { a, b, batch, trans_b } => {
+                Op::BatMatMul {
+                    a,
+                    b,
+                    batch,
+                    trans_b,
+                } => {
                     let av = &self.nodes[a.0].value;
                     let bv = &self.nodes[b.0].value;
                     let m = av.rows() / batch;
                     let p = av.cols();
-                    let n = if *trans_b { bv.rows() / batch } else { bv.cols() };
+                    let n = if *trans_b {
+                        bv.rows() / batch
+                    } else {
+                        bv.cols()
+                    };
                     let (ga_data, gb_data) = backend::batched_matmul_grads(
                         *batch,
                         m,
@@ -713,8 +681,7 @@ mod tests {
         let mut tape = Tape::new();
         let z = tape.input(Matrix::col_vector(&[0.3, -1.2]));
         let loss = tape.weighted_bce(z, &[1.0, 0.0], &[0.0, 1.0], 2.0, false);
-        let expected =
-            (softplus(-0.3) + softplus(-1.2)) / 2.0;
+        let expected = (softplus(-0.3) + softplus(-1.2)) / 2.0;
         assert!((tape.value(loss).item() - expected).abs() < 1e-6);
         tape.backward(loss, &mut params); // no params; must not panic
     }

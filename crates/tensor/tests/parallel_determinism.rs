@@ -83,7 +83,10 @@ fn batched_matmul_is_bitwise_identical_across_thread_counts() {
         let serial = with_num_threads(1, run);
         for &nt in THREADS {
             let par = with_num_threads(nt, run);
-            assert_eq!(serial, par, "batched batch={batch} trans_b={trans_b} at {nt} threads");
+            assert_eq!(
+                serial, par,
+                "batched batch={batch} trans_b={trans_b} at {nt} threads"
+            );
         }
     }
 }

@@ -76,7 +76,13 @@ fn main() {
             LabelMode::Observed,
             &tcfg,
         );
-        let r = evaluate(model.as_ref(), &params, &test_data, LabelMode::Observed, 512);
+        let r = evaluate(
+            model.as_ref(),
+            &params,
+            &test_data,
+            LabelMode::Observed,
+            512,
+        );
         println!("FM {label} test AUC {:.4}  GAUC {:.4}", r.auc, r.gauc);
     }
     std::fs::remove_file(&path).ok();

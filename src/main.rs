@@ -8,8 +8,14 @@
 //! uae fig6   [--fast]      # γ sweep
 //! uae fig7   [--fast]      # 7-day A/B simulation
 //! uae export-data <path.tsv> # dump a simulated Product dataset to TSV
-//! uae export <model.uaem>   # train UAE, freeze it to a .uaem snapshot
+//! uae export <model.uaem> [--model <kind>]
+//!                           # freeze a trained model to a .uaem snapshot:
+//!                           # the UAE itself, or (with --model) a Table-IV
+//!                           # recommender (fm, wide_deep, deepfm,
+//!                           # youtube_net, dcn, autoint, dcn_v2) trained
+//!                           # with Eq. (18) attention weights
 //! uae score  <model.uaem>   # batched tape-free scoring from a snapshot
+//!                           # (either variant, sniffed from the file)
 //! uae smoke                 # tiny telemetry-exercising train (CI)
 //! uae summarize <run.jsonl> # render a telemetry log as a report
 //! ```
@@ -29,7 +35,7 @@ use uae::eval::{
     paper_gammas, prepare, render_reweight_curves, run_ab_test, run_convergence, run_gamma_sweep,
     run_model, run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig, Preset,
 };
-use uae::models::{LabelMode, ModelKind};
+use uae::models::{train, LabelMode, ModelKind, TrainConfig};
 
 fn config(fast: bool) -> HarnessConfig {
     if fast {
@@ -112,10 +118,8 @@ fn cmd_smoke(cfg: &HarnessConfig) {
         },
     );
     let report = est.fit(&data.dataset, &data.split.train);
-    let weights = uae::core::downstream_weights(
-        &est.predict(&data.dataset, &data.split.train),
-        cfg.gamma,
-    );
+    let weights =
+        uae::core::downstream_weights(&est.predict(&data.dataset, &data.split.train), cfg.gamma);
     let out = run_model(ModelKind::Fm, Some(&weights[..]), &data, cfg, seed);
     println!(
         "smoke: uae fit {} epochs (final attention risk {:.4}), FM test AUC {:.4}",
@@ -151,32 +155,97 @@ fn cmd_export_model(path: &str, cfg: &HarnessConfig) {
     );
 }
 
-/// Loads a `.uaem` snapshot and scores a simulated Product dataset through
-/// the tape-free batched engine, reporting throughput and score statistics.
+/// Trains a Table-IV recommender on the attention-weighted downstream risk
+/// (Eq. 18) — UAE fit, Eq. (19) weights, weighted training — and freezes it
+/// to `path` as a variant-2 `.uaem` snapshot.
+fn cmd_export_recommender(path: &str, kind: ModelKind, cfg: &HarnessConfig) {
+    let data = prepare(Preset::Product, cfg);
+    let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let mut est = Uae::new(
+        &data.dataset.schema,
+        UaeConfig {
+            seed,
+            ..cfg.uae.clone()
+        },
+    );
+    est.fit(&data.dataset, &data.split.train);
+    let weights =
+        uae::core::downstream_weights(&est.predict(&data.dataset, &data.split.train), cfg.gamma);
+    let mut rng = uae::tensor::Rng::seed_from_u64(seed ^ 0x6d6f_6465);
+    let (model, mut params) = kind.build(&data.dataset.schema, &cfg.model, &mut rng);
+    train(
+        model.as_ref(),
+        &mut params,
+        &data.train,
+        Some(&weights[..]),
+        Some(&data.val),
+        cfg.label_mode,
+        &TrainConfig {
+            seed,
+            ..cfg.train.clone()
+        },
+    );
+    let frozen =
+        uae::serve::FrozenRecommender::new(&data.dataset.schema, kind, &cfg.model, &params);
+    if let Err(e) = frozen.write_to(std::path::Path::new(path)) {
+        eprintln!("export failed: {e}");
+        std::process::exit(1);
+    }
+    println!(
+        "froze {} (attention-weighted, gamma {}) trained on {} events to {path}",
+        model.name(),
+        cfg.gamma,
+        data.train.len()
+    );
+}
+
+/// Loads a `.uaem` snapshot — either variant, sniffed from the file — and
+/// scores a simulated Product dataset through the matching tape-free
+/// batched engine, reporting throughput and score statistics.
 fn cmd_score(path: &str, cfg: &HarnessConfig) -> Result<(), uae::runtime::UaeError> {
-    let frozen = uae::serve::FrozenModel::read_from(std::path::Path::new(path))?;
-    let scorer = uae::serve::Scorer::new(frozen)?;
+    let artifact = uae::serve::FrozenArtifact::read_from(std::path::Path::new(path))?;
     let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
     let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
-    let t0 = std::time::Instant::now();
-    let out = scorer.score(&ds, &sessions);
-    let secs = t0.elapsed().as_secs_f64().max(1e-9);
     let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
-    println!(
-        "scored {} events from {} sessions in {:.1} ms ({:.0} events/s, batch size {})",
-        out.len(),
-        sessions.len(),
-        secs * 1e3,
-        out.len() as f64 / secs,
-        scorer.config().batch_size
-    );
-    println!(
-        "mean attention {:.4}  mean propensity {:.4}  mean weight {:.4} (gamma {})",
-        mean(&out.attention),
-        mean(&out.propensity),
-        mean(&out.weights),
-        scorer.gamma()
-    );
+    match artifact {
+        uae::serve::FrozenArtifact::Uae(frozen) => {
+            let scorer = uae::serve::Scorer::new(frozen)?;
+            let t0 = std::time::Instant::now();
+            let out = scorer.score(&ds, &sessions);
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            println!(
+                "scored {} events from {} sessions in {:.1} ms ({:.0} events/s, batch size {})",
+                out.len(),
+                sessions.len(),
+                secs * 1e3,
+                out.len() as f64 / secs,
+                scorer.config().batch_size
+            );
+            println!(
+                "mean attention {:.4}  mean propensity {:.4}  mean weight {:.4} (gamma {})",
+                mean(&out.attention),
+                mean(&out.propensity),
+                mean(&out.weights),
+                scorer.gamma()
+            );
+        }
+        uae::serve::FrozenArtifact::Recommender(frozen) => {
+            let scorer = uae::serve::RecScorer::new(frozen)?;
+            let flat = uae::data::FlatData::from_sessions(&ds, &sessions);
+            let t0 = std::time::Instant::now();
+            let scores = scorer.score(&flat);
+            let secs = t0.elapsed().as_secs_f64().max(1e-9);
+            println!(
+                "scored {} events through {} in {:.1} ms ({:.0} events/s, batch size {})",
+                scores.len(),
+                scorer.model_name(),
+                secs * 1e3,
+                scores.len() as f64 / secs,
+                scorer.batch_size()
+            );
+            println!("mean score {:.4}", mean(&scores));
+        }
+    }
     Ok(())
 }
 
@@ -237,8 +306,28 @@ fn main() {
             println!("wrote {} sessions to {path}", ds.sessions.len());
         }
         Some("export") => {
-            let path = args.get(1).map(String::as_str).unwrap_or("model.uaem");
-            cmd_export_model(path, &cfg);
+            let path = args
+                .get(1)
+                .filter(|a| !a.starts_with("--"))
+                .map(String::as_str)
+                .unwrap_or("model.uaem");
+            let kind = args
+                .iter()
+                .position(|a| a == "--model")
+                .and_then(|i| args.get(i + 1));
+            match kind {
+                None => cmd_export_model(path, &cfg),
+                Some(name) => match ModelKind::parse(name) {
+                    Some(kind) => cmd_export_recommender(path, kind, &cfg),
+                    None => {
+                        eprintln!(
+                            "unknown model {name:?}; expected one of: {}",
+                            ModelKind::all().map(ModelKind::cli_name).join(", ")
+                        );
+                        std::process::exit(2);
+                    }
+                },
+            }
         }
         Some("score") => {
             let path = args.get(1).map(String::as_str).unwrap_or("model.uaem");
@@ -263,7 +352,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem]|score [model.uaem]|smoke|summarize <run.jsonl>> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);

@@ -39,8 +39,7 @@ fn uae_is_better_calibrated_than_pn() {
     let ds = generate(&SimConfig::product(0.12), 778);
     let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
     let flat = FlatData::from_sessions(&ds, &sessions);
-    let true_rate = flat.true_attention.iter().filter(|&&x| x).count() as f64
-        / flat.len() as f64;
+    let true_rate = flat.true_attention.iter().filter(|&&x| x).count() as f64 / flat.len() as f64;
 
     let mut pn = BiasedAttentionBaseline::pn(&ds.schema, fit_cfg(4));
     pn.fit(&ds, &sessions);

@@ -45,7 +45,13 @@ fn pipeline(seed: u64) -> (f64, f64, Vec<f32>) {
         LabelMode::Observed,
         &cfg,
     );
-    let result = evaluate(model.as_ref(), &params, &test_data, LabelMode::Observed, 512);
+    let result = evaluate(
+        model.as_ref(),
+        &params,
+        &test_data,
+        LabelMode::Observed,
+        512,
+    );
     (result.auc, result.gauc, alpha)
 }
 
@@ -71,7 +77,11 @@ fn full_pipeline_is_deterministic() {
 fn different_seeds_change_the_model_but_not_the_data() {
     let (_, _, alpha_a) = pipeline(1);
     let (_, _, alpha_b) = pipeline(2);
-    assert_eq!(alpha_a.len(), alpha_b.len(), "data must be seed-independent");
+    assert_eq!(
+        alpha_a.len(),
+        alpha_b.len(),
+        "data must be seed-independent"
+    );
     assert_ne!(alpha_a, alpha_b, "model must depend on its seed");
 }
 

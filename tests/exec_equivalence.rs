@@ -1,0 +1,184 @@
+//! End-to-end Tape ↔ ValueExec equivalence (DESIGN.md §11).
+//!
+//! The Exec refactor's contract is structural: every forward pass is written
+//! once, generic over the execution context, so the tape-free value path is
+//! bit-identical to the training tape *by construction*. These suites pin
+//! that contract end-to-end — through the full UAE networks and through
+//! every Table-IV recommender — instead of the per-layer pinning tests they
+//! replaced. Each comparison runs at one thread and at four (the blocked
+//! kernels are deterministic and row-partitioned, so the engine must not
+//! care), and CI re-runs the whole suite under `UAE_NUM_THREADS=1` and `=4`.
+
+use uae::core::{AttentionNet, LocalPropensityNet, PropensityNet};
+use uae::data::{generate, infer_seq_batches, FlatData, SimConfig};
+use uae::models::{predict, train, LabelMode, ModelConfig, ModelKind, TrainConfig};
+use uae::serve::{FrozenRecommender, RecScorer};
+use uae::tensor::{with_num_threads, Exec, Params, Rng, Tape, ValueExec, Var};
+
+/// The full attention + propensity stack of UAE, forward under both engines
+/// over padded session batches, compared logit-by-logit.
+#[test]
+fn uae_networks_match_bitwise_under_both_engines() {
+    let ds = generate(&SimConfig::tiny(), 21);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let batches = infer_seq_batches(&ds, &sessions, 8, None);
+    let mut rng = Rng::seed_from_u64(5);
+    let mut params_g = Params::new();
+    let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params_g, &mut rng);
+    let mut params_h = Params::new();
+    let h = PropensityNet::new("h", 8, 6, &[8], &mut params_h, &mut rng);
+
+    for threads in [1usize, 4] {
+        with_num_threads(threads, || {
+            for b in &batches {
+                let mut tape = Tape::new();
+                let gf = g.forward(&mut tape, &params_g, b);
+                let z1_detached: Vec<Var> =
+                    gf.z1.iter().map(|z| Exec::detach(&mut tape, z)).collect();
+                let h_logits = h.forward(&mut tape, &params_h, b, &z1_detached);
+
+                let mut vx = ValueExec::new();
+                let gv = g.forward(&mut vx, &params_g, b);
+                let z1_free: Vec<_> = gv.z1.iter().map(|z| vx.detach(z)).collect();
+                let hv = h.forward(&mut vx, &params_h, b, &z1_free);
+
+                for t in 0..b.steps {
+                    assert_eq!(
+                        tape.value(gf.logits[t]).data(),
+                        gv.logits[t].data(),
+                        "attention logits diverged at t={t}, threads={threads}"
+                    );
+                    assert_eq!(
+                        tape.value(h_logits[t]).data(),
+                        hv[t].data(),
+                        "propensity logits diverged at t={t}, threads={threads}"
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Same contract for the SAR baseline's local propensity head.
+#[test]
+fn local_propensity_matches_bitwise_under_both_engines() {
+    let ds = generate(&SimConfig::tiny(), 22);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let batches = infer_seq_batches(&ds, &sessions, 8, None);
+    let mut rng = Rng::seed_from_u64(6);
+    let mut params = Params::new();
+    let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], &mut params, &mut rng);
+    for threads in [1usize, 4] {
+        with_num_threads(threads, || {
+            for b in &batches {
+                let mut tape = Tape::new();
+                let lt = net.forward(&mut tape, &params, b);
+                let mut vx = ValueExec::new();
+                let lv = net.forward(&mut vx, &params, b);
+                for t in 0..b.steps {
+                    assert_eq!(
+                        tape.value(lt[t]).data(),
+                        lv[t].data(),
+                        "t={t}, threads={threads}"
+                    );
+                }
+            }
+        });
+    }
+}
+
+/// Every Table-IV recommender, trained for one epoch so the parameters are
+/// off the init manifold, then forward under both engines over several
+/// batch shapes.
+#[test]
+fn every_recommender_matches_bitwise_under_both_engines() {
+    let ds = generate(&SimConfig::tiny(), 23);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    for kind in ModelKind::all() {
+        let mut rng = Rng::seed_from_u64(17);
+        let (model, mut params) = kind.build(&ds.schema, &ModelConfig::default(), &mut rng);
+        train(
+            model.as_ref(),
+            &mut params,
+            &flat,
+            None,
+            None,
+            LabelMode::Observed,
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        for threads in [1usize, 4] {
+            with_num_threads(threads, || {
+                for (lo, hi) in [(0usize, 1usize), (0, 7), (3, flat.len().min(40))] {
+                    let idx: Vec<usize> = (lo..hi).collect();
+                    let batch = flat.gather(&idx);
+                    let mut tape = Tape::new();
+                    let logits = model.forward(&mut tape, &params, &batch);
+                    let free = model.infer(&params, &batch);
+                    assert_eq!(
+                        tape.value(logits).data(),
+                        free.data(),
+                        "{} diverged on rows {lo}..{hi} at threads={threads}",
+                        kind.name()
+                    );
+                }
+            });
+        }
+    }
+}
+
+/// The serving acceptance criterion: a downstream recommender exported to a
+/// variant-2 `.uaem` and re-scored through the batched [`RecScorer`] is
+/// bit-identical to its training-side tape `predict`, at one thread and at
+/// four.
+#[test]
+fn exported_recommenders_round_trip_bitwise_through_uaem() {
+    let ds = generate(&SimConfig::tiny(), 24);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    let dir = std::env::temp_dir().join(format!("uae_exec_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for kind in [ModelKind::WideDeep, ModelKind::Dcn] {
+        let cfg = ModelConfig::default();
+        let mut rng = Rng::seed_from_u64(29);
+        let (model, mut params) = kind.build(&ds.schema, &cfg, &mut rng);
+        train(
+            model.as_ref(),
+            &mut params,
+            &flat,
+            None,
+            None,
+            LabelMode::Observed,
+            &TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        let reference = predict(model.as_ref(), &params, &flat, 64);
+
+        let path = dir.join(format!("{}.uaem", kind.cli_name()));
+        FrozenRecommender::new(&ds.schema, kind, &cfg, &params)
+            .write_to(&path)
+            .unwrap();
+        let frozen = FrozenRecommender::read_from(&path).unwrap();
+        for threads in [1usize, 4] {
+            with_num_threads(threads, || {
+                for batch_size in [1usize, 64] {
+                    let scores = RecScorer::with_batch_size(frozen.clone(), batch_size)
+                        .unwrap()
+                        .score(&flat);
+                    assert_eq!(
+                        scores,
+                        reference,
+                        "{} diverged at threads={threads} batch_size={batch_size}",
+                        kind.name()
+                    );
+                }
+            });
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}

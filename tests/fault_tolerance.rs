@@ -7,7 +7,7 @@ use std::cell::Cell;
 use uae::data::{generate, split_by_ratio, FlatBatch, FlatData, SimConfig};
 use uae::models::{train_supervised, LabelMode, ModelConfig, ModelKind, Recommender, TrainConfig};
 use uae::runtime::{Supervisor, SupervisorConfig, TrainSnapshot};
-use uae::tensor::{save_params, Params, Rng, Tape, Var};
+use uae::tensor::{save_params, Matrix, Params, Rng, Tape, Var};
 
 fn setup() -> (uae::data::Dataset, FlatData, FlatData) {
     let ds = generate(&SimConfig::tiny(), 7);
@@ -83,8 +83,7 @@ fn interrupted_training_resumes_bit_identically() {
     let snap = TrainSnapshot::decode(&half_ckpt).expect("decodes");
     assert_eq!(snap.epoch, 3);
 
-    let (resumed_params, resumed_report, resumed_ckpt) =
-        run(&ds, &train_data, &val, 6, Some(snap));
+    let (resumed_params, resumed_report, resumed_ckpt) = run(&ds, &train_data, &val, 6, Some(snap));
     assert_eq!(
         full_params, resumed_params,
         "resumed params differ from the uninterrupted run"
@@ -165,6 +164,10 @@ impl Recommender for PoisonOnce<'_> {
         } else {
             out
         }
+    }
+
+    fn infer(&self, params: &Params, batch: &FlatBatch) -> Matrix {
+        self.inner.infer(params, batch)
     }
 }
 
@@ -257,7 +260,13 @@ fn uae_fit_resumes_bit_identically() {
     };
 
     let fit = |epochs: usize, resume: Option<TrainSnapshot>| {
-        let mut model = Uae::new(&ds.schema, UaeConfig { epochs, ..cfg.clone() });
+        let mut model = Uae::new(
+            &ds.schema,
+            UaeConfig {
+                epochs,
+                ..cfg.clone()
+            },
+        );
         let mut sup = checkpointing_supervisor();
         if let Some(snap) = resume {
             sup = sup.with_resume(snap);

@@ -38,7 +38,11 @@ fn dataset_statistics_paths() {
 fn table5_reduced_grid_runs() {
     let mut cfg = tiny_cfg();
     cfg.train.epochs = 1;
-    let methods = [AttentionMethod::Base, AttentionMethod::Pn, AttentionMethod::Uae];
+    let methods = [
+        AttentionMethod::Base,
+        AttentionMethod::Pn,
+        AttentionMethod::Uae,
+    ];
     let table = run_table5_with(&cfg, &methods);
     // 2 datasets × 2 models × 3 methods.
     assert_eq!(table.entries.len(), 12);
@@ -72,8 +76,5 @@ fn ab_test_path_runs_and_is_deterministic() {
     let b = run_ab_test(&cfg, &ab);
     assert_eq!(a.days.len(), 1);
     assert_eq!(a.days[0].control_play_count, b.days[0].control_play_count);
-    assert_eq!(
-        a.days[0].treatment_play_time,
-        b.days[0].treatment_play_time
-    );
+    assert_eq!(a.days[0].treatment_play_time, b.days[0].treatment_play_time);
 }

@@ -14,7 +14,8 @@ fn trained_model_round_trips_through_bytes() {
     let flat = FlatData::from_sessions(&ds, &sessions);
 
     let mut rng = Rng::seed_from_u64(1);
-    let (model, mut params) = ModelKind::DeepFm.build(&ds.schema, &ModelConfig::default(), &mut rng);
+    let (model, mut params) =
+        ModelKind::DeepFm.build(&ds.schema, &ModelConfig::default(), &mut rng);
     train(
         model.as_ref(),
         &mut params,

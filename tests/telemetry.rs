@@ -162,7 +162,9 @@ fn truncated_trailing_line_is_a_typed_error() {
     }
     // And it folds into the workspace error type, not a panic.
     let top = UaeError::from(err);
-    assert!(top.to_string().contains("malformed telemetry record at line 2"));
+    assert!(top
+        .to_string()
+        .contains("malformed telemetry record at line 2"));
 }
 
 #[test]

@@ -90,8 +90,7 @@ fn proposition_1_expectation_identity_on_generated_feedback() {
         .map(|(&a, &p)| (a * p) as f64)
         .sum::<f64>()
         / flat.len() as f64;
-    let observed =
-        flat.active.iter().filter(|&&e| e).count() as f64 / flat.len() as f64;
+    let observed = flat.active.iter().filter(|&&e| e).count() as f64 / flat.len() as f64;
     assert!(
         (expected - observed).abs() < 0.01,
         "E[p·α]={expected:.4} vs observed active rate {observed:.4}"
