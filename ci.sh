@@ -25,6 +25,9 @@ for nt in 1 4; do
     UAE_NUM_THREADS=$nt cargo test -q -p uae-tensor --test parallel_determinism
     UAE_NUM_THREADS=$nt cargo test -q -p uae-core --test thread_determinism
     UAE_NUM_THREADS=$nt cargo test -q --test exec_equivalence
+    # Daemon integration suite (includes hot-reload determinism: scores
+    # must be bit-identical across a generation swap under load).
+    UAE_NUM_THREADS=$nt cargo test -q -p uae-serve --test daemon
 done
 
 echo "==> committed BENCH_perf.json gates (perf_serve speedups >= 2x)"
@@ -39,12 +42,22 @@ assert speedup >= 2.0, f'batched serve speedup {speedup} < 2x single-item tape'
 rec = serve['derived']['rec_batched_vs_single_tape_speedup']
 assert rec >= 2.0, f'batched recommender serve speedup {rec} < 2x single-item tape'
 print(f'perf_serve gate OK: UAE {speedup:.2f}x, {serve[\"rec_model\"]} {rec:.2f}x single-item tape scoring')
+daemon = doc['perf_daemon']
+assert not daemon['smoke'], 'committed perf_daemon numbers must come from a full run'
+d = daemon['derived']
+assert d['zero_dropped'], 'a daemon request was dropped without a response'
+assert d['steady_p99_ms'] < 100.0, f'steady p99 {d[\"steady_p99_ms\"]} ms over the 100 ms budget'
+assert d['chaos_answer_rate'] == 1.0, f'malformed frames went unanswered: {d[\"chaos_answer_rate\"]}'
+assert d['overload_shed_fraction'] > 0.0, 'overload regime never shed (not actually overloaded)'
+print(f'perf_daemon gate OK: p99 {d[\"steady_p99_ms\"]:.1f} ms, zero drops, '
+      f'{d[\"overload_shed_fraction\"]:.0%} shed under overload, all chaos frames answered')
 "
 
-echo "==> bench smoke (perf_backend rewrites BENCH_perf.json, perf_serve splices in)"
+echo "==> bench smoke (perf_backend rewrites BENCH_perf.json; perf_serve and perf_daemon splice in)"
 cp BENCH_perf.json /tmp/BENCH_perf.committed.json
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_backend >/dev/null
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_serve >/dev/null
+UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_daemon >/dev/null 2>&1
 python3 -c "
 import json, sys
 with open('BENCH_perf.json') as f:
@@ -56,7 +69,10 @@ serve = doc['perf_serve']
 for cfg in ('tape_single', 'tape_batched', 'serve_single', 'serve_batched',
             'rec_tape_single', 'rec_tape_batched', 'rec_serve_single', 'rec_serve_batched'):
     assert serve['configs'][f'{cfg}_events_per_sec'] > 0, cfg
-print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve')
+daemon = doc['perf_daemon']
+assert daemon['derived']['zero_dropped'], 'smoke daemon bench dropped a request'
+assert daemon['steady']['ok'] > 0 and daemon['overload']['shed'] > 0
+print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve + perf_daemon')
 "
 # The smoke runs overwrite the committed (full-size) numbers; restore them.
 mv /tmp/BENCH_perf.committed.json BENCH_perf.json
@@ -90,6 +106,45 @@ rm -f /tmp/uae_ci_model.uaem /tmp/uae_ci_serve.jsonl
 score_out=$(UAE_TELEMETRY=/tmp/uae_ci_serve.jsonl ./target/release/uae score /tmp/uae_ci_model.uaem --fast)
 grep -q "events/s" <<< "$score_out"
 ./target/release/uae summarize /tmp/uae_ci_serve.jsonl | grep -q "serving:"
+
+echo "==> daemon smoke + chaos (serve, load, hot-swap, rollback, panic injection, shutdown)"
+rm -f /tmp/uae_ci_daemon.log /tmp/uae_ci_model2.uaem /tmp/uae_ci_corrupt.uaem
+./target/release/uae export /tmp/uae_ci_model2.uaem --fast >/dev/null
+head -c 512 /tmp/uae_ci_model.uaem > /tmp/uae_ci_corrupt.uaem
+# Port 0 binds an ephemeral port; the daemon prints it in a parse-stable
+# line. UAE_FAULT_PANIC_EVERY makes every 10th micro-batch panic inside a
+# worker, so the loads below exercise the restart path on a real process.
+# stderr goes to the log too: injected panics print backtraces by design.
+UAE_FAULT_PANIC_EVERY=10 ./target/release/uae serve /tmp/uae_ci_model.uaem > /tmp/uae_ci_daemon.log 2>&1 &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+    grep -q "listening on" /tmp/uae_ci_daemon.log && break
+    sleep 0.1
+done
+addr=$(sed -n 's/^listening on //p' /tmp/uae_ci_daemon.log | head -1)
+test -n "$addr" || { echo "daemon never reported its address"; kill "$daemon_pid"; exit 1; }
+./target/release/uae serve-ctl "$addr" ping | grep -q "pong"
+# Well-formed load, then chaos load (malformed frames + mid-request
+# disconnects): the zero-drop contract must hold through both, worker
+# panics included — they come back as typed errors, never silence.
+./target/release/uae serve-load "$addr" --fast --requests 10 | grep -q "all_accounted true"
+chaos_out=$(./target/release/uae serve-load "$addr" --fast --chaos --requests 25)
+grep -q "all_accounted true" <<< "$chaos_out"
+grep -q "chaos: injected" <<< "$chaos_out"
+# Hot swap onto a fresh artifact, then a corrupt swap that must be
+# rejected with a rollback while the daemon keeps serving last-good.
+./target/release/uae serve-ctl "$addr" swap /tmp/uae_ci_model2.uaem | grep -q "generation 2"
+if ./target/release/uae serve-ctl "$addr" swap /tmp/uae_ci_corrupt.uaem 2>/dev/null; then
+    echo "corrupt swap unexpectedly succeeded"; kill "$daemon_pid"; exit 1
+fi
+./target/release/uae serve-load "$addr" --fast --requests 5 | grep -q "generations seen: \[2\]"
+stats_out=$(./target/release/uae serve-ctl "$addr" stats)
+grep -q "swap_rollbacks 1" <<< "$stats_out"
+restarts=$(sed -n 's/.*worker_restarts \([0-9]*\).*/\1/p' <<< "$stats_out")
+test "${restarts:-0}" -ge 1 || { echo "panic injection never fired (worker_restarts=$restarts)"; kill "$daemon_pid"; exit 1; }
+./target/release/uae serve-ctl "$addr" shutdown | grep -q "shutting down"
+wait "$daemon_pid"
+echo "daemon smoke OK: swap+rollback, $restarts worker restarts, clean shutdown"
 
 echo "==> downstream-recommender serving smoke (export --model -> sniffing score)"
 rm -f /tmp/uae_ci_rec.uaem

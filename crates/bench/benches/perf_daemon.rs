@@ -1,0 +1,211 @@
+//! Serving-daemon benchmark (ISSUE: fault-tolerant `uae serve` tentpole).
+//!
+//! Stands up the real daemon in-process (ephemeral port, real TCP) and
+//! drives it with the closed-loop load generator under three regimes:
+//!
+//! * `steady`   — well-formed load at the default queue/worker config:
+//!   the headline p50/p99 request latency and events/sec numbers.
+//! * `overload` — 12 closed-loop clients against one deliberately slowed
+//!   worker behind an 8-session queue: throughput *under* overload, where
+//!   the contract is typed sheds, not silent drops or death.
+//! * `chaos`    — steady load with the generator's chaos mode on
+//!   (malformed frames + truncated-frame disconnects): every injected
+//!   fault must draw a typed answer while the good load keeps scoring.
+//!
+//! The model is an untrained UAE snapshot — weight values don't change
+//! the arithmetic cost of a forward pass, and this bench measures the
+//! serving plane, not model quality.
+//!
+//! The CI gates read the `derived` block: `zero_dropped` must be true in
+//! all three regimes (the loadgen accounting contract) and
+//! `steady_p99_ms` must stay under the latency budget. Results are
+//! spliced into the committed `BENCH_perf.json` as a `perf_daemon`
+//! section without disturbing the `perf_backend` / `perf_serve` sections.
+//! `UAE_BENCH_SMOKE=1` shrinks the load for the CI smoke step.
+
+use std::io::Write as _;
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use uae_core::{Uae, UaeConfig};
+use uae_data::{generate, Dataset, SimConfig};
+use uae_eval::{run_loadgen, LoadReport, LoadgenConfig};
+use uae_runtime::UaeError;
+use uae_serve::{Daemon, DaemonConfig, FaultPlan, FrozenModel, ServeClient};
+
+fn smoke() -> bool {
+    std::env::var("UAE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn start_daemon(
+    ds: &Dataset,
+    cfg: DaemonConfig,
+    fault: FaultPlan,
+) -> (SocketAddr, JoinHandle<Result<(), UaeError>>) {
+    let uae_cfg = UaeConfig {
+        gru_hidden: if smoke() { 8 } else { 32 },
+        mlp_hidden: vec![if smoke() { 8 } else { 32 }],
+        seed: 5,
+        ..UaeConfig::default()
+    };
+    let uae = Uae::new(&ds.schema, uae_cfg);
+    let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+    let daemon = Daemon::bind(frozen, cfg, fault).expect("bind daemon on port 0");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+    (addr, handle)
+}
+
+fn stop_daemon(addr: SocketAddr, handle: JoinHandle<Result<(), UaeError>>) {
+    ServeClient::connect(&addr.to_string())
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("daemon acknowledges shutdown");
+    handle.join().expect("daemon thread").expect("clean exit");
+}
+
+/// One load regime: daemon up, loadgen through it, daemon down.
+fn regime(
+    name: &str,
+    ds: &Dataset,
+    daemon_cfg: DaemonConfig,
+    fault: FaultPlan,
+    load: LoadgenConfig,
+) -> LoadReport {
+    let (addr, handle) = start_daemon(ds, daemon_cfg, fault);
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        ..load
+    };
+    let report = run_loadgen(&cfg, ds).expect("load run completes");
+    stop_daemon(addr, handle);
+    eprintln!(
+        "  {name:<9} sent={} ok={} shed={} p50={:.2}ms p99={:.2}ms {:.0} events/s accounted={}",
+        report.sent,
+        report.ok,
+        report.shed,
+        report.p50_ms,
+        report.p99_ms,
+        report.events_per_sec,
+        report.all_accounted(),
+    );
+    report
+}
+
+fn main() {
+    let ds = generate(&SimConfig::product(if smoke() { 0.02 } else { 0.1 }), 77);
+    let per_client = if smoke() { 8 } else { 60 };
+    eprintln!(
+        "perf_daemon: {} sessions, {} events, smoke={}",
+        ds.sessions.len(),
+        ds.num_events(),
+        smoke()
+    );
+
+    let steady = regime(
+        "steady",
+        &ds,
+        DaemonConfig::default(),
+        FaultPlan::none(),
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: per_client,
+            sessions_per_request: 4,
+            ..LoadgenConfig::default()
+        },
+    );
+
+    // Overload: one worker slowed to ~2 ms/batch behind an 8-session
+    // queue, hammered by 12 closed-loop clients. The offered load exceeds
+    // service capacity by construction, so a healthy daemon sheds.
+    let overload = regime(
+        "overload",
+        &ds,
+        DaemonConfig {
+            workers: 1,
+            batch: 4,
+            queue_capacity: 8,
+            ..DaemonConfig::default()
+        },
+        FaultPlan::with(2, 0),
+        LoadgenConfig {
+            clients: 12,
+            requests_per_client: per_client / 2,
+            sessions_per_request: 4,
+            ..LoadgenConfig::default()
+        },
+    );
+
+    let chaos = regime(
+        "chaos",
+        &ds,
+        DaemonConfig::default(),
+        FaultPlan::none(),
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: per_client,
+            sessions_per_request: 4,
+            chaos: true,
+            ..LoadgenConfig::default()
+        },
+    );
+
+    let zero_dropped = steady.all_accounted() && overload.all_accounted() && chaos.all_accounted();
+    let chaos_answer_rate = if chaos.chaos_injected > 0 {
+        chaos.chaos_answered as f64 / chaos.chaos_injected as f64
+    } else {
+        0.0
+    };
+    let section = format!(
+        "  \"perf_daemon\": {{\n    \"smoke\": {},\n    \
+         \"steady\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"p50_ms\": {:.3},\n      \
+         \"p99_ms\": {:.3},\n      \"max_ms\": {:.3},\n      \"events_per_sec\": {:.0}\n    }},\n    \
+         \"overload\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"shed\": {},\n      \
+         \"p99_ms\": {:.3},\n      \"events_per_sec\": {:.0}\n    }},\n    \
+         \"chaos\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"chaos_injected\": {},\n      \
+         \"chaos_answered\": {},\n      \"chaos_disconnects\": {},\n      \"p99_ms\": {:.3}\n    }},\n    \
+         \"derived\": {{\n      \"zero_dropped\": {},\n      \"steady_p99_ms\": {:.3},\n      \
+         \"overload_shed_fraction\": {:.3},\n      \"overload_ok_events_per_sec\": {:.0},\n      \
+         \"chaos_answer_rate\": {:.3}\n    }}\n  }}",
+        smoke(),
+        steady.sent,
+        steady.ok,
+        steady.p50_ms,
+        steady.p99_ms,
+        steady.max_ms,
+        steady.events_per_sec,
+        overload.sent,
+        overload.ok,
+        overload.shed,
+        overload.p99_ms,
+        overload.events_per_sec,
+        chaos.sent,
+        chaos.ok,
+        chaos.chaos_injected,
+        chaos.chaos_answered,
+        chaos.chaos_disconnects,
+        chaos.p99_ms,
+        zero_dropped,
+        steady.p99_ms,
+        overload.shed as f64 / overload.sent.max(1) as f64,
+        overload.events_per_sec,
+        chaos_answer_rate,
+    );
+
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    let existing = std::fs::read_to_string(path)
+        .expect("read BENCH_perf.json (run the perf_backend bench first)");
+    let json = uae_bench::splice_perf_section(&existing, "perf_daemon", &section);
+    let mut f = std::fs::File::create(path).expect("create BENCH_perf.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_perf.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+
+    assert!(zero_dropped, "a request was dropped without a response");
+    assert_eq!(
+        chaos.chaos_answered, chaos.chaos_injected,
+        "an injected malformed frame went unanswered"
+    );
+}

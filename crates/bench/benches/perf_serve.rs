@@ -215,21 +215,12 @@ fn main() {
         rec_serve_batched_eps / rec_tape_batched,
     );
 
-    // Splice into the committed file: perf_backend owns everything before the
-    // perf_serve key (and rewrites the whole file when it runs), this bench
-    // owns the trailing perf_serve section.
+    // Splice into the committed file, preserving every other bench's
+    // section (perf_backend before this key, perf_daemon after it).
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     let existing = std::fs::read_to_string(path)
         .expect("read BENCH_perf.json (run the perf_backend bench first)");
-    let base = match existing.find(",\n  \"perf_serve\":") {
-        Some(pos) => existing[..pos].to_string(),
-        None => {
-            let t = existing.trim_end();
-            let t = t.strip_suffix('}').expect("BENCH_perf.json ends with '}'");
-            t.trim_end().to_string()
-        }
-    };
-    let json = format!("{base},\n{section}\n}}\n");
+    let json = uae_bench::splice_perf_section(&existing, "perf_serve", &section);
     let mut f = std::fs::File::create(path).expect("create BENCH_perf.json");
     f.write_all(json.as_bytes()).expect("write BENCH_perf.json");
     eprintln!("wrote {path}");

@@ -11,6 +11,7 @@
 //! | [`convergence`] | Fig. 5 — convergence curves with 95% CI bands |
 //! | [`gamma`] | Fig. 6 — sensitivity to the re-weight parameter γ |
 //! | [`ab`] | Fig. 7 — a paired 7-day online A/B serving simulation |
+//! | [`loadgen`] | closed-loop load + chaos generator for the serving daemon |
 //! | [`table`] | plain-text rendering of all of the above |
 //!
 //! Dataset statistics (Figs. 2–3, Table III) live in `uae-data::stats`; the
@@ -21,6 +22,7 @@ pub mod ab;
 pub mod convergence;
 pub mod gamma;
 pub mod harness;
+pub mod loadgen;
 pub mod table;
 pub mod table4;
 pub mod table5;
@@ -32,6 +34,7 @@ pub use harness::{
     derive_recovery_seed, over_seeds, over_seeds_isolated, prepare, run_model, AttentionMethod,
     HarnessConfig, PreparedData, Preset, RunOutcome, SeedFanout, SeedOutcome,
 };
+pub use loadgen::{run_loadgen, session_pool, LoadReport, LoadgenConfig};
 pub use table::{pct, rela, starred, TextTable};
 pub use table4::{run_table4, Table4, Table4Entry};
 pub use table5::{

@@ -1,0 +1,348 @@
+//! Closed-loop load generator for the serving daemon, with an optional
+//! chaos mode.
+//!
+//! Grown out of the A/B simulator's user population ([`crate::ab`]): the
+//! generator draws listener sessions from a simulated [`Dataset`], fans
+//! them across N closed-loop client connections (each issues its next
+//! request only after the previous one is answered — the classic
+//! closed-loop model, so offered load tracks service rate instead of
+//! stampeding), and classifies every answer by its typed [`UaeError`]
+//! variant.
+//!
+//! The core accounting contract the chaos harness and CI gate assert:
+//! **every request sent gets exactly one classified answer** —
+//! `sent == ok + shed + deadline_missed + worker_panics + protocol_errors
+//! + unavailable + other_errors`. A daemon that drops a request without a
+//! response breaks [`LoadReport::all_accounted`].
+//!
+//! Chaos mode additionally injects *client-side* faults against the
+//! daemon: malformed score frames (hostile payload behind a well-formed
+//! length prefix) and truncated-frame mid-request disconnects on throwaway
+//! connections, verifying the daemon answers the former with typed
+//! protocol errors and survives the latter.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use uae_data::Dataset;
+use uae_runtime::UaeError;
+use uae_serve::{ServeClient, WireSession};
+use uae_tensor::Rng;
+
+/// Load shape knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address, e.g. `127.0.0.1:7878`.
+    pub addr: String,
+    /// Concurrent closed-loop client connections.
+    pub clients: usize,
+    /// Requests each client issues before disconnecting.
+    pub requests_per_client: usize,
+    /// Sessions drawn per request.
+    pub sessions_per_request: usize,
+    /// Per-request latency budget forwarded to the daemon (0 = none).
+    pub deadline_ms: u32,
+    /// Seed for the deterministic session-draw sequence.
+    pub seed: u64,
+    /// Inject client-side faults (malformed frames, mid-request
+    /// disconnects) alongside the well-formed load.
+    pub chaos: bool,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            addr: "127.0.0.1:7878".into(),
+            clients: 4,
+            requests_per_client: 25,
+            sessions_per_request: 4,
+            deadline_ms: 0,
+            seed: 17,
+            chaos: false,
+        }
+    }
+}
+
+/// Outcome histogram plus latency digest of one load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests sent (well-formed score requests only; injected chaos
+    /// frames are counted separately).
+    pub sent: u64,
+    /// Answered with scores.
+    pub ok: u64,
+    /// Answered with a typed `Overload` shed.
+    pub shed: u64,
+    /// Answered with a typed `DeadlineExceeded`.
+    pub deadline_missed: u64,
+    /// Answered with a typed `WorkerPanic`.
+    pub worker_panics: u64,
+    /// Answered with a typed `Protocol` error.
+    pub protocol_errors: u64,
+    /// Answered with a typed `Unavailable` (includes connection loss, which
+    /// is the one case where the *transport*, not the daemon, answers).
+    pub unavailable: u64,
+    /// Any other typed error.
+    pub other_errors: u64,
+    /// Malformed chaos frames injected (each must still draw a typed
+    /// protocol-error *reply* — counted in `chaos_answered`).
+    pub chaos_injected: u64,
+    /// Chaos frames that drew a typed reply instead of a dropped socket.
+    pub chaos_answered: u64,
+    /// Mid-request disconnects injected on throwaway connections.
+    pub chaos_disconnects: u64,
+    /// Events scored across all ok answers.
+    pub events_scored: u64,
+    /// Distinct serving generations observed in ok answers (sorted).
+    pub generations_seen: Vec<u64>,
+    /// Latency digest over answered score requests, milliseconds.
+    pub p50_ms: f64,
+    pub p99_ms: f64,
+    pub max_ms: f64,
+    /// Wall-clock of the whole run, milliseconds.
+    pub wall_ms: f64,
+    /// Scored events per second of wall-clock.
+    pub events_per_sec: f64,
+}
+
+impl LoadReport {
+    /// Total requests that received a classified answer.
+    pub fn answered(&self) -> u64 {
+        self.ok
+            + self.shed
+            + self.deadline_missed
+            + self.worker_panics
+            + self.protocol_errors
+            + self.unavailable
+            + self.other_errors
+    }
+
+    /// The zero-drop contract: every request sent was answered (with
+    /// scores or a typed degradation), nothing vanished.
+    pub fn all_accounted(&self) -> bool {
+        self.answered() == self.sent
+    }
+}
+
+/// Extracts up to `limit` sessions of a dataset into wire form, skipping
+/// empty ones (the session pool requests draw from).
+pub fn session_pool(dataset: &Dataset, limit: usize) -> Vec<WireSession> {
+    (0..dataset.sessions.len())
+        .filter(|&s| !dataset.sessions[s].is_empty())
+        .take(limit)
+        .map(|s| WireSession::from_dataset(dataset, s))
+        .collect()
+}
+
+struct ClientTally {
+    report: LoadReport,
+    latencies_ms: Vec<f64>,
+    generations: std::collections::BTreeSet<u64>,
+}
+
+fn classify(tally: &mut ClientTally, err: &UaeError) {
+    match err {
+        UaeError::Overload { .. } => tally.report.shed += 1,
+        UaeError::DeadlineExceeded { .. } => tally.report.deadline_missed += 1,
+        UaeError::WorkerPanic { .. } => tally.report.worker_panics += 1,
+        UaeError::Protocol { .. } => tally.report.protocol_errors += 1,
+        UaeError::Unavailable { .. } => tally.report.unavailable += 1,
+        _ => tally.report.other_errors += 1,
+    }
+}
+
+fn run_client(
+    cfg: &LoadgenConfig,
+    pool: &[WireSession],
+    client_id: u64,
+    restarts: &AtomicU64,
+) -> Result<ClientTally, UaeError> {
+    let mut tally = ClientTally {
+        report: LoadReport::default(),
+        latencies_ms: Vec::with_capacity(cfg.requests_per_client),
+        generations: std::collections::BTreeSet::new(),
+    };
+    let mut rng = Rng::seed_from_u64(cfg.seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut client = ServeClient::connect(&cfg.addr)?;
+    for req_no in 0..cfg.requests_per_client {
+        if cfg.chaos && req_no % 11 == 7 {
+            // Mid-request disconnect: a throwaway connection writes a
+            // truncated frame (header promises more bytes than sent) and
+            // hangs up. The daemon must shrug it off; our own connection
+            // keeps working, which the next request verifies.
+            if let Ok(throwaway) = ServeClient::connect(&cfg.addr) {
+                let mut partial = (1024u32).to_le_bytes().to_vec();
+                partial.extend_from_slice(&[0xAB; 17]);
+                let _ = throwaway.send_bytes_and_hangup(&partial);
+                tally.report.chaos_disconnects += 1;
+            }
+        }
+        if cfg.chaos && req_no % 7 == 3 {
+            // Malformed frame on the live connection: well-formed length
+            // prefix, hostile body. Must be *answered* with a typed
+            // protocol error, and the connection must stay usable.
+            tally.report.chaos_injected += 1;
+            let garbage = [1u8, 0xFF, 0xFF, 0xFF, 0xFF, 0x42];
+            match client.call_raw_payload(&garbage) {
+                Err(UaeError::Protocol { .. }) => tally.report.chaos_answered += 1,
+                Err(_) | Ok(_) => {
+                    // Daemon dropped the connection or answered something
+                    // unexpected; reconnect so the well-formed load goes on.
+                    restarts.fetch_add(1, Ordering::Relaxed);
+                    client = ServeClient::connect(&cfg.addr)?;
+                }
+            }
+        }
+        let sessions: Vec<WireSession> = (0..cfg.sessions_per_request)
+            .map(|_| pool[rng.below(pool.len())].clone())
+            .collect();
+        let events: u64 = sessions.iter().map(|s| s.len() as u64).sum();
+        tally.report.sent += 1;
+        let start = Instant::now();
+        match client.score(sessions, cfg.deadline_ms) {
+            Ok((generation, scored)) => {
+                tally.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                tally.report.ok += 1;
+                tally.report.events_scored += events;
+                tally.generations.insert(generation);
+                debug_assert_eq!(
+                    scored.iter().map(|s| s.attention.len() as u64).sum::<u64>(),
+                    events
+                );
+            }
+            Err(e) => {
+                tally.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
+                classify(&mut tally, &e);
+                if matches!(e, UaeError::Unavailable { .. }) {
+                    // Transport died; reconnect for the remaining requests
+                    // (a dead daemon turns the rest into connect errors,
+                    // which the caller sees in `unavailable`).
+                    match ServeClient::connect(&cfg.addr) {
+                        Ok(c) => client = c,
+                        Err(_) => {
+                            let remaining = (cfg.requests_per_client - req_no - 1) as u64;
+                            tally.report.sent += remaining;
+                            tally.report.unavailable += remaining;
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Runs the closed-loop load against a live daemon and returns the merged
+/// report. Fails only if a client cannot *initially* connect — every
+/// in-flight failure after that is classified, not raised.
+pub fn run_loadgen(cfg: &LoadgenConfig, dataset: &Dataset) -> Result<LoadReport, UaeError> {
+    let pool = session_pool(dataset, 512);
+    if pool.is_empty() {
+        return Err(UaeError::Protocol {
+            detail: "load generator needs a dataset with at least one non-empty session".into(),
+        });
+    }
+    let restarts = Arc::new(AtomicU64::new(0));
+    let start = Instant::now();
+    let tallies: Vec<Result<ClientTally, UaeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients.max(1))
+            .map(|c| {
+                let pool = &pool;
+                let restarts = Arc::clone(&restarts);
+                scope.spawn(move || run_client(cfg, pool, c as u64, &restarts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let mut merged = LoadReport::default();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut generations = std::collections::BTreeSet::new();
+    for tally in tallies {
+        let t = tally?;
+        merged.sent += t.report.sent;
+        merged.ok += t.report.ok;
+        merged.shed += t.report.shed;
+        merged.deadline_missed += t.report.deadline_missed;
+        merged.worker_panics += t.report.worker_panics;
+        merged.protocol_errors += t.report.protocol_errors;
+        merged.unavailable += t.report.unavailable;
+        merged.other_errors += t.report.other_errors;
+        merged.chaos_injected += t.report.chaos_injected;
+        merged.chaos_answered += t.report.chaos_answered;
+        merged.chaos_disconnects += t.report.chaos_disconnects;
+        merged.events_scored += t.report.events_scored;
+        latencies.extend(t.latencies_ms);
+        generations.extend(t.generations);
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    merged.p50_ms = percentile(&latencies, 0.50);
+    merged.p99_ms = percentile(&latencies, 0.99);
+    merged.max_ms = latencies.last().copied().unwrap_or(0.0);
+    merged.wall_ms = wall_ms;
+    merged.events_per_sec = if wall_ms > 0.0 {
+        merged.events_scored as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    merged.generations_seen = generations.into_iter().collect();
+    uae_obs::counter("loadgen.sent", merged.sent);
+    uae_obs::counter("loadgen.ok", merged.ok);
+    uae_obs::counter("loadgen.shed", merged.shed);
+    uae_obs::gauge("loadgen.p99_ms", merged.p99_ms);
+    Ok(merged)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_accounting_is_exact() {
+        let mut r = LoadReport {
+            sent: 10,
+            ok: 6,
+            shed: 1,
+            deadline_missed: 1,
+            worker_panics: 1,
+            protocol_errors: 0,
+            unavailable: 1,
+            ..LoadReport::default()
+        };
+        assert_eq!(r.answered(), 10);
+        assert!(r.all_accounted());
+        r.sent += 1; // one silent drop breaks the contract
+        assert!(!r.all_accounted());
+    }
+
+    #[test]
+    fn percentile_digest_is_stable() {
+        let sorted: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.99), 0.0);
+        assert_eq!(percentile(&[7.5], 0.5), 7.5);
+    }
+
+    #[test]
+    fn session_pool_skips_empty_sessions() {
+        let mut ds = uae_data::generate(&uae_data::SimConfig::tiny(), 5);
+        ds.sessions[0].events.clear();
+        let pool = session_pool(&ds, 8);
+        assert!(pool.len() <= 8);
+        assert!(pool.iter().all(|s| !s.is_empty()));
+    }
+}

@@ -1,0 +1,126 @@
+//! End-to-end load-generator runs against an in-process serving daemon:
+//! the zero-drop accounting contract under clean load, under chaos
+//! injection, and under deliberate overload.
+
+use std::net::SocketAddr;
+use std::thread::JoinHandle;
+
+use uae_core::{Uae, UaeConfig};
+use uae_data::{generate, Dataset, SimConfig};
+use uae_eval::{run_loadgen, LoadgenConfig};
+use uae_runtime::UaeError;
+use uae_serve::{Daemon, DaemonConfig, FaultPlan, FrozenModel, ServeClient};
+
+fn start_daemon(
+    ds: &Dataset,
+    cfg: DaemonConfig,
+    fault: FaultPlan,
+) -> (SocketAddr, JoinHandle<Result<(), UaeError>>) {
+    let uae_cfg = UaeConfig {
+        gru_hidden: 4,
+        mlp_hidden: vec![4],
+        ..UaeConfig::default()
+    };
+    let uae = Uae::new(&ds.schema, uae_cfg);
+    let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+    let daemon = Daemon::bind(frozen, cfg, fault).expect("bind on port 0");
+    let addr = daemon.local_addr();
+    let handle = std::thread::spawn(move || daemon.run());
+    (addr, handle)
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<Result<(), UaeError>>) {
+    ServeClient::connect(&addr.to_string())
+        .expect("connect for shutdown")
+        .shutdown()
+        .expect("daemon acknowledges shutdown");
+    handle.join().expect("run() thread").expect("run() ok");
+}
+
+#[test]
+fn clean_load_is_fully_accounted_with_sane_latencies() {
+    let ds = generate(&SimConfig::tiny(), 41);
+    let (addr, handle) = start_daemon(&ds, DaemonConfig::default(), FaultPlan::none());
+
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 3,
+        requests_per_client: 10,
+        sessions_per_request: 2,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&cfg, &ds).expect("load run completes");
+    assert!(report.all_accounted(), "dropped requests: {report:?}");
+    assert_eq!(report.sent, 30);
+    assert_eq!(
+        report.ok, 30,
+        "clean load must score everything: {report:?}"
+    );
+    assert!(report.events_scored > 0);
+    assert_eq!(report.generations_seen, vec![1]);
+    assert!(report.p50_ms <= report.p99_ms);
+    assert!(report.p99_ms <= report.max_ms);
+    assert!(report.events_per_sec > 0.0);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn chaos_mode_injects_faults_without_breaking_the_accounting() {
+    let ds = generate(&SimConfig::tiny(), 41);
+    let (addr, handle) = start_daemon(&ds, DaemonConfig::default(), FaultPlan::none());
+
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 2,
+        requests_per_client: 25, // long enough for both chaos cadences to fire
+        sessions_per_request: 2,
+        chaos: true,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&cfg, &ds).expect("chaos run completes");
+    assert!(report.all_accounted(), "dropped requests: {report:?}");
+    assert_eq!(
+        report.ok, report.sent,
+        "chaos must not corrupt good requests"
+    );
+    assert!(report.chaos_injected > 0, "chaos cadence never fired");
+    assert_eq!(
+        report.chaos_answered, report.chaos_injected,
+        "a malformed frame went unanswered: {report:?}"
+    );
+    assert!(report.chaos_disconnects > 0);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn overload_sheds_are_classified_not_dropped() {
+    let ds = generate(&SimConfig::tiny(), 41);
+    // One worker stalling 60 ms per batch behind a 2-session queue, hit by
+    // 6 concurrent clients: a large fraction of the load must shed, and
+    // every shed must be a classified answer.
+    let daemon_cfg = DaemonConfig {
+        workers: 1,
+        batch: 1,
+        queue_capacity: 2,
+        ..DaemonConfig::default()
+    };
+    let fault = FaultPlan::with(60, 0);
+    let (addr, handle) = start_daemon(&ds, daemon_cfg, fault);
+
+    let cfg = LoadgenConfig {
+        addr: addr.to_string(),
+        clients: 6,
+        requests_per_client: 5,
+        sessions_per_request: 1,
+        ..LoadgenConfig::default()
+    };
+    let report = run_loadgen(&cfg, &ds).expect("overload run completes");
+    assert!(report.all_accounted(), "dropped requests: {report:?}");
+    assert_eq!(report.sent, 30);
+    assert!(report.ok >= 1, "overload starved the daemon completely");
+    assert!(
+        report.shed >= 1,
+        "6 closed-loop clients against a 2-deep queue never shed: {report:?}"
+    );
+    shutdown(addr, handle);
+}

@@ -99,6 +99,15 @@ pub enum Event {
     /// A fanned-out seed finished (`outcome`: `ok` / `recovered …` /
     /// `failed: …`).
     SeedEnd { seed: u64, outcome: String },
+    /// A serving-daemon fault and the daemon's reaction. `fault` is a
+    /// stable low-cardinality kind (`worker_panic`, `deadline_miss`,
+    /// `overload_shed`, `protocol_error`, `swap_decode_failure`, …);
+    /// `action` describes the degradation taken instead of crashing.
+    ServeFault { fault: String, action: String },
+    /// A model hot-swap attempt on the serving daemon: the generation it
+    /// produced (or kept, on rollback) and the outcome (`active`,
+    /// `rolled_back: …`).
+    Swap { generation: u64, outcome: String },
     /// A record whose `type` tag this build does not recognize (e.g. a log
     /// written by a newer emitter). Parsed tolerantly so readers count
     /// unfamiliar kinds instead of rejecting the whole log.
@@ -126,6 +135,8 @@ impl Event {
             Event::Resume { .. } => "resume",
             Event::SeedStart { .. } => "seed_start",
             Event::SeedEnd { .. } => "seed_end",
+            Event::ServeFault { .. } => "serve_fault",
+            Event::Swap { .. } => "swap",
             Event::Unknown { kind } => kind,
         }
     }
@@ -245,6 +256,15 @@ impl Event {
             }
             Event::SeedEnd { seed, outcome } => {
                 w.u64("seed", *seed).str("outcome", outcome);
+            }
+            Event::ServeFault { fault, action } => {
+                w.str("fault", fault).str("action", action);
+            }
+            Event::Swap {
+                generation,
+                outcome,
+            } => {
+                w.u64("generation", *generation).str("outcome", outcome);
             }
             // The tag itself (written above via `kind()`) is all we have.
             Event::Unknown { .. } => {}
@@ -398,6 +418,14 @@ impl Record {
                 seed: req_u64(&v, "seed")?,
                 outcome: req_str(&v, "outcome")?,
             },
+            "serve_fault" => Event::ServeFault {
+                fault: req_str(&v, "fault")?,
+                action: req_str(&v, "action")?,
+            },
+            "swap" => Event::Swap {
+                generation: req_u64(&v, "generation")?,
+                outcome: req_str(&v, "outcome")?,
+            },
             other => Event::Unknown {
                 kind: other.to_string(),
             },
@@ -491,6 +519,14 @@ mod tests {
             Event::SeedEnd {
                 seed: 22,
                 outcome: "recovered with derived seed 11419683247848848414".into(),
+            },
+            Event::ServeFault {
+                fault: "worker_panic".into(),
+                action: "restart after 100 ms backoff (attempt 2)".into(),
+            },
+            Event::Swap {
+                generation: 3,
+                outcome: "rolled_back: checkpoint rejected: bad magic".into(),
             },
             Event::Unknown {
                 kind: "from_the_future".into(),

@@ -50,6 +50,8 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
     let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
     let mut spans: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // name -> (count, total µs)
     let mut unknown: BTreeMap<&str, u64> = BTreeMap::new(); // tag -> occurrences
+    let mut serve_faults: BTreeMap<(&str, &str), u64> = BTreeMap::new(); // (fault, action) -> count
+    let mut swaps: Vec<(u64, &str)> = Vec::new(); // (generation, outcome)
 
     for r in records {
         match &r.event {
@@ -80,6 +82,13 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
                 e.0 += 1;
                 e.1 += micros;
             }
+            Event::ServeFault { fault, action } => {
+                *serve_faults.entry((fault, action)).or_insert(0) += 1;
+            }
+            Event::Swap {
+                generation,
+                outcome,
+            } => swaps.push((*generation, outcome.as_str())),
             Event::Unknown { kind } => *unknown.entry(kind).or_insert(0) += 1,
             _ => {}
         }
@@ -226,6 +235,29 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
         }
     }
 
+    if !serve_faults.is_empty() || !swaps.is_empty() {
+        let _ = writeln!(out, "\ndaemon:");
+        for (generation, outcome) in &swaps {
+            let _ = writeln!(out, "  swap -> generation {generation}: {outcome}");
+        }
+        for ((fault, action), count) in &serve_faults {
+            let _ = writeln!(out, "  fault {fault:<24} {count:>5}x  -> {action}");
+        }
+        // Queue/served finals live in counters; surface the headline ones
+        // here so the daemon's degradation story reads in one place.
+        for key in [
+            "serve.daemon.requests",
+            "serve.daemon.shed",
+            "serve.daemon.deadline_miss",
+            "serve.daemon.worker_restarts",
+            "serve.daemon.protocol_errors",
+        ] {
+            if let Some(v) = counters.get(key) {
+                let _ = writeln!(out, "  {key:<32} {v}");
+            }
+        }
+    }
+
     if !spans.is_empty() {
         let _ = writeln!(out, "\nspans (total wall-clock by name):");
         let mut rows: Vec<_> = spans.into_iter().collect();
@@ -363,6 +395,27 @@ mod tests {
                     kind: "from_the_future".into(),
                 },
             ),
+            rec(
+                9,
+                Event::Swap {
+                    generation: 2,
+                    outcome: "active".into(),
+                },
+            ),
+            rec(
+                10,
+                Event::ServeFault {
+                    fault: "worker_panic".into(),
+                    action: "restart after 50 ms backoff".into(),
+                },
+            ),
+            rec(
+                11,
+                Event::Counter {
+                    name: "serve.daemon.shed".into(),
+                    value: 7,
+                },
+            ),
         ];
         let text = summarize(&records).unwrap();
         for needle in [
@@ -378,6 +431,10 @@ mod tests {
             // 2000 events over 4 ms of serve.batch wall-clock.
             "500000 events/s",
             "unrecognized event kinds: 2 (from_the_future)",
+            "daemon:",
+            "swap -> generation 2: active",
+            "fault worker_panic",
+            "serve.daemon.shed",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

@@ -1,0 +1,102 @@
+//! Deterministic exponential backoff, shared by every retry loop in the
+//! workspace (scorer-worker restarts and swap drains in `uae-serve`, and
+//! any future reconnect/retry path).
+//!
+//! The schedule is a pure function of the attempt counter — no jitter, no
+//! RNG — matching the workspace determinism discipline: two runs that hit
+//! the same fault sequence wait the same amounts of time.
+
+use std::time::Duration;
+
+/// Exponential backoff: `base * 2^attempt`, capped at `max`.
+///
+/// ```
+/// use std::time::Duration;
+/// use uae_runtime::Backoff;
+///
+/// let mut b = Backoff::new(Duration::from_millis(50), Duration::from_secs(2));
+/// assert_eq!(b.next_delay(), Duration::from_millis(50));
+/// assert_eq!(b.next_delay(), Duration::from_millis(100));
+/// assert_eq!(b.next_delay(), Duration::from_millis(200));
+/// b.reset();
+/// assert_eq!(b.next_delay(), Duration::from_millis(50));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Backoff {
+    base: Duration,
+    max: Duration,
+    attempt: u32,
+}
+
+impl Backoff {
+    /// A schedule starting at `base` and doubling up to `max`.
+    pub fn new(base: Duration, max: Duration) -> Backoff {
+        Backoff {
+            base,
+            max,
+            attempt: 0,
+        }
+    }
+
+    /// The default schedule for restarting a panicked serving worker:
+    /// 50 ms doubling to a 2 s ceiling.
+    pub fn for_worker_restart() -> Backoff {
+        Backoff::new(Duration::from_millis(50), Duration::from_secs(2))
+    }
+
+    /// The next delay in the schedule, advancing the attempt counter.
+    pub fn next_delay(&mut self) -> Duration {
+        let delay = self.peek();
+        self.attempt = self.attempt.saturating_add(1);
+        delay
+    }
+
+    /// The delay `next_delay` would return, without advancing.
+    pub fn peek(&self) -> Duration {
+        let shift = self.attempt.min(20); // 2^20 * base already dwarfs any cap
+        self.base
+            .checked_mul(1u32 << shift)
+            .map_or(self.max, |d| d.min(self.max))
+    }
+
+    /// Number of delays handed out since construction or the last reset.
+    pub fn attempt(&self) -> u32 {
+        self.attempt
+    }
+
+    /// Returns the schedule to its first step (call after a clean success).
+    pub fn reset(&mut self) {
+        self.attempt = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn doubles_until_capped() {
+        let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(75));
+        let delays: Vec<u64> = (0..5).map(|_| b.next_delay().as_millis() as u64).collect();
+        assert_eq!(delays, vec![10, 20, 40, 75, 75]);
+        assert_eq!(b.attempt(), 5);
+    }
+
+    #[test]
+    fn reset_restarts_the_schedule() {
+        let mut b = Backoff::for_worker_restart();
+        b.next_delay();
+        b.next_delay();
+        b.reset();
+        assert_eq!(b.attempt(), 0);
+        assert_eq!(b.next_delay(), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn huge_attempt_counts_do_not_overflow() {
+        let mut b = Backoff::new(Duration::from_secs(1), Duration::from_secs(30));
+        for _ in 0..1000 {
+            assert!(b.next_delay() <= Duration::from_secs(30));
+        }
+    }
+}

@@ -43,6 +43,22 @@ pub enum UaeError {
     /// A telemetry stream failed to read, write, or parse
     /// (`uae_obs::ObsError`).
     Telemetry(uae_obs::ObsError),
+    /// The serving daemon's admission control shed a request because the
+    /// bounded queue was full (backpressure, not a crash).
+    Overload { queue_depth: usize, limit: usize },
+    /// A request's deadline expired before its micro-batch was scored.
+    DeadlineExceeded { waited_ms: u64, budget_ms: u64 },
+    /// A malformed wire frame or a request that violates the serving
+    /// protocol (bad lengths, schema mismatch, out-of-range feature value).
+    Protocol { detail: String },
+    /// The daemon is draining, shutting down, or refused the connection.
+    Unavailable { detail: String },
+    /// A hot-swap artifact failed to decode or rebuild; the daemon rolled
+    /// back to the last-good generation and keeps serving.
+    SwapRejected { detail: String },
+    /// A scorer worker panicked while scoring the micro-batch holding this
+    /// request; the worker restarted with backoff and the daemon survives.
+    WorkerPanic { detail: String },
 }
 
 impl std::fmt::Display for UaeError {
@@ -79,6 +95,26 @@ impl std::fmt::Display for UaeError {
                 None => write!(f, "seed {seed} panicked: {message}"),
             },
             UaeError::Telemetry(e) => write!(f, "telemetry failed: {e}"),
+            UaeError::Overload { queue_depth, limit } => write!(
+                f,
+                "request shed: serving queue full ({queue_depth} sessions queued, limit {limit})"
+            ),
+            UaeError::DeadlineExceeded {
+                waited_ms,
+                budget_ms,
+            } => write!(
+                f,
+                "deadline exceeded: waited {waited_ms} ms against a {budget_ms} ms budget"
+            ),
+            UaeError::Protocol { detail } => write!(f, "protocol violation: {detail}"),
+            UaeError::Unavailable { detail } => write!(f, "daemon unavailable: {detail}"),
+            UaeError::SwapRejected { detail } => write!(
+                f,
+                "hot-swap rejected, rolled back to last-good generation: {detail}"
+            ),
+            UaeError::WorkerPanic { detail } => {
+                write!(f, "scorer worker panicked (worker restarted): {detail}")
+            }
         }
     }
 }
@@ -138,5 +174,35 @@ mod tests {
 
         let e: UaeError = uae_obs::ObsError::MissingManifest.into();
         assert!(e.to_string().contains("manifest"));
+    }
+
+    #[test]
+    fn serving_errors_name_the_degradation_not_a_crash() {
+        let e = UaeError::Overload {
+            queue_depth: 512,
+            limit: 512,
+        };
+        assert!(e.to_string().contains("shed"), "{e}");
+        let e = UaeError::DeadlineExceeded {
+            waited_ms: 750,
+            budget_ms: 500,
+        };
+        assert!(e.to_string().contains("750 ms"), "{e}");
+        let e = UaeError::SwapRejected {
+            detail: "bad magic".into(),
+        };
+        assert!(e.to_string().contains("rolled back"), "{e}");
+        let e = UaeError::WorkerPanic {
+            detail: "injected".into(),
+        };
+        assert!(e.to_string().contains("restarted"), "{e}");
+        let e = UaeError::Protocol {
+            detail: "frame too large".into(),
+        };
+        assert!(e.to_string().contains("frame too large"), "{e}");
+        let e = UaeError::Unavailable {
+            detail: "draining".into(),
+        };
+        assert!(e.to_string().contains("draining"), "{e}");
     }
 }

@@ -16,17 +16,21 @@
 //!   anomaly, restore the last-good snapshot, halve the learning rate,
 //!   tighten gradient clipping, and retry within a bounded budget before
 //!   failing with a typed error.
+//! * [`backoff::Backoff`] — deterministic exponential backoff shared by the
+//!   serving daemon's worker-restart and swap-drain loops.
 //!
 //! The trainers in `uae-models` and `uae-core` drive these hooks; the
 //! evaluation harness in `uae-eval` layers panic-isolated seed fan-out on
 //! top (`over_seeds_isolated`), so one bad seed degrades a table to
 //! "n−1 seeds + fault report" instead of a crashed run.
 
+pub mod backoff;
 pub mod checkpoint;
 pub mod error;
 pub mod sentinel;
 pub mod supervisor;
 
+pub use backoff::Backoff;
 pub use checkpoint::{ByteReader, ByteWriter, CheckpointError, TrainSnapshot};
 pub use error::UaeError;
 pub use sentinel::Anomaly;

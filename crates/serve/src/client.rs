@@ -1,0 +1,137 @@
+//! A blocking client for the serving daemon, plus the raw-byte helpers the
+//! chaos harness uses to behave badly on purpose.
+//!
+//! Every call is one request/reply exchange on a persistent connection.
+//! Errors the daemon answers with come back as the exact typed
+//! [`UaeError`] variant it hit (an [`UaeError::Overload`] shed, an
+//! [`UaeError::DeadlineExceeded`] miss, an [`UaeError::WorkerPanic`]), so
+//! callers branch on variants, not strings.
+
+use std::net::TcpStream;
+use std::time::Duration;
+
+use uae_runtime::UaeError;
+
+use crate::wire::{self, Request, Response, SessionScores, StatsSnapshot, WireSession};
+
+fn unavailable(detail: String) -> UaeError {
+    UaeError::Unavailable { detail }
+}
+
+/// A persistent connection to a serving daemon.
+pub struct ServeClient {
+    stream: TcpStream,
+}
+
+impl ServeClient {
+    /// Connects to `addr` (e.g. `127.0.0.1:7878`).
+    pub fn connect(addr: &str) -> Result<ServeClient, UaeError> {
+        let stream =
+            TcpStream::connect(addr).map_err(|e| unavailable(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        Ok(ServeClient { stream })
+    }
+
+    /// Like [`connect`](ServeClient::connect) with a bounded wait, for
+    /// probes that must not hang on a dead daemon.
+    pub fn connect_timeout(addr: &str, timeout: Duration) -> Result<ServeClient, UaeError> {
+        let sock: std::net::SocketAddr = addr
+            .parse()
+            .map_err(|e| unavailable(format!("bad address {addr}: {e}")))?;
+        let stream = TcpStream::connect_timeout(&sock, timeout)
+            .map_err(|e| unavailable(format!("connect {addr}: {e}")))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(timeout.max(Duration::from_millis(1)) * 10));
+        Ok(ServeClient { stream })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, UaeError> {
+        wire::write_frame(&mut self.stream, &wire::encode_request(req))?;
+        let payload = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| unavailable("daemon closed the connection before replying".into()))?;
+        wire::decode_response(&payload)
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), UaeError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(unexpected("Pong", &other)),
+        }
+    }
+
+    /// Scores sessions under a latency budget (`deadline_ms = 0` uses the
+    /// daemon's default). Returns the serving generation and per-session
+    /// scores in request order.
+    pub fn score(
+        &mut self,
+        sessions: Vec<WireSession>,
+        deadline_ms: u32,
+    ) -> Result<(u64, Vec<SessionScores>), UaeError> {
+        let req = Request::Score {
+            deadline_ms,
+            sessions,
+        };
+        match self.call(&req)? {
+            Response::Scored {
+                generation,
+                sessions,
+            } => Ok((generation, sessions)),
+            other => Err(unexpected("Scored", &other)),
+        }
+    }
+
+    /// Health/readiness snapshot.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, UaeError> {
+        match self.call(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            other => Err(unexpected("Stats", &other)),
+        }
+    }
+
+    /// Hot-swaps the daemon onto the `.uaem` artifact at `path` (a path on
+    /// the *daemon's* filesystem). Returns the new generation id.
+    pub fn swap(&mut self, path: &str) -> Result<u64, UaeError> {
+        let req = Request::Swap { path: path.into() };
+        match self.call(&req)? {
+            Response::Swapped { generation } => Ok(generation),
+            other => Err(unexpected("Swapped", &other)),
+        }
+    }
+
+    /// Asks the daemon to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), UaeError> {
+        match self.call(&Request::Shutdown)? {
+            Response::ShuttingDown => Ok(()),
+            other => Err(unexpected("ShuttingDown", &other)),
+        }
+    }
+
+    /// Chaos helper: frames an arbitrary payload (well-formed length
+    /// prefix, hostile body) and returns the daemon's decoded reply — the
+    /// expected outcome is the typed `Err` the daemon answers with.
+    pub fn call_raw_payload(&mut self, payload: &[u8]) -> Result<Response, UaeError> {
+        wire::write_frame(&mut self.stream, payload)?;
+        let reply = wire::read_frame(&mut self.stream)?
+            .ok_or_else(|| unavailable("daemon closed the connection before replying".into()))?;
+        wire::decode_response(&reply)
+    }
+
+    /// Chaos helper: writes raw bytes with **no** framing discipline and
+    /// hangs up (a truncated frame / mid-request disconnect). Consumes the
+    /// client because the connection is deliberately left broken.
+    pub fn send_bytes_and_hangup(mut self, bytes: &[u8]) -> Result<(), UaeError> {
+        use std::io::Write;
+        self.stream
+            .write_all(bytes)
+            .map_err(|e| unavailable(format!("raw write: {e}")))?;
+        let _ = self.stream.flush();
+        Ok(()) // dropping the stream closes it mid-frame
+    }
+}
+
+fn unexpected(wanted: &str, got: &Response) -> UaeError {
+    UaeError::Protocol {
+        detail: format!("expected {wanted} response, got {got:?}"),
+    }
+}

@@ -1,0 +1,733 @@
+//! The `uae serve` daemon: a long-running scoring service that degrades
+//! instead of dying.
+//!
+//! Architecture (all std, no async runtime):
+//!
+//! ```text
+//! accept loop ──► connection threads ──► bounded ServeQueue ──► scorer workers
+//!                     │                        │                     │
+//!                     │   shed (Overload) ◄────┘    micro-batch ◄────┤
+//!                     │                                              │
+//!                     └──────────── reply channels ◄─────────────────┘
+//! ```
+//!
+//! * **Admission control** — each `Score` request becomes one [`Job`] on a
+//!   bounded queue; when the queue is full the request is *answered* with a
+//!   typed [`UaeError::Overload`], never silently dropped.
+//! * **Micro-batching** — workers greedily coalesce queued jobs (possibly
+//!   from many connections) into one batch up to `UAE_SERVE_BATCH`
+//!   sessions; per-session scores are bit-identical regardless of batch
+//!   composition (row-independent forward), so coalescing is invisible to
+//!   clients.
+//! * **Deadlines** — a job carries the client's budget; workers answer
+//!   expired jobs with [`UaeError::DeadlineExceeded`] *before* spending
+//!   compute on them, and re-check after scoring so a stalled forward
+//!   (e.g. `UAE_FAULT_SLOW_SCORER_MS`) also surfaces as a typed miss.
+//! * **Panic isolation** — each micro-batch runs under `catch_unwind`; a
+//!   panicking scorer answers its jobs with [`UaeError::WorkerPanic`],
+//!   sleeps a deterministic [`Backoff`] step, and keeps serving.
+//! * **Hot swap with drain** — `Swap` loads a new `.uaem`, flips the
+//!   generation behind an `RwLock<Arc<Generation>>`, then waits for the old
+//!   generation's refcount to drain (in-flight batches hold clones). A
+//!   failed decode or schema mismatch rolls back to last-good and answers
+//!   [`UaeError::SwapRejected`].
+//! * **Telemetry** — `serve.daemon.*` counters, `serve.queue_depth` /
+//!   `serve.swap_generation` gauges, and `ServeFault` / `Swap` events flow
+//!   to the obs handle captured when the daemon was bound, so spawned
+//!   threads join the caller's JSONL stream.
+
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::sync_channel;
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::{Duration, Instant};
+
+use uae_data::{Dataset, Event, FeatureSchema, Feedback, Session, Truth};
+use uae_runtime::{Backoff, UaeError};
+
+use crate::fault::FaultPlan;
+use crate::model::FrozenModel;
+use crate::queue::{Job, ServeQueue};
+use crate::scorer::{Scorer, ScorerConfig};
+use crate::wire::{self, Request, Response, SessionScores, StatsSnapshot, WireSession};
+
+/// How long the daemon waits for in-flight batches to release an old
+/// generation before declaring the swap active anyway (in-flight batches
+/// still finish correctly on the old model; they just overlap the new
+/// generation's first requests).
+const SWAP_DRAIN_BUDGET: Duration = Duration::from_secs(5);
+
+/// Poll interval of the non-blocking accept loop and connection peek loop.
+const POLL_INTERVAL: Duration = Duration::from_millis(20);
+
+/// Serving knobs (`UAE_SERVE_*`).
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Listen address (`UAE_SERVE_ADDR`, default `127.0.0.1:0` — port 0
+    /// binds an ephemeral port; read it back with [`Daemon::local_addr`]).
+    pub addr: String,
+    /// Sessions per micro-batch (`UAE_SERVE_BATCH`, default 64).
+    pub batch: usize,
+    /// Upper bound on one session's length (`UAE_SERVE_MAX_LEN`; requests
+    /// holding longer sessions are rejected with a typed protocol error).
+    pub max_len: Option<usize>,
+    /// Scorer worker threads (`UAE_SERVE_WORKERS`, default 2).
+    pub workers: usize,
+    /// Bounded queue capacity in sessions (`UAE_SERVE_QUEUE`, default 256);
+    /// past it, requests are shed with [`UaeError::Overload`].
+    pub queue_capacity: usize,
+    /// Default per-request latency budget in ms applied when a request's
+    /// own `deadline_ms` is 0 (`UAE_SERVE_DEADLINE_MS`, default 0 = none).
+    pub default_deadline_ms: u32,
+    /// Most sessions one request may carry (default 1024).
+    pub max_sessions_per_request: usize,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            addr: "127.0.0.1:0".into(),
+            batch: 64,
+            max_len: None,
+            workers: 2,
+            queue_capacity: 256,
+            default_deadline_ms: 0,
+            max_sessions_per_request: 1024,
+        }
+    }
+}
+
+impl DaemonConfig {
+    /// Reads `UAE_SERVE_ADDR` / `UAE_SERVE_BATCH` / `UAE_SERVE_MAX_LEN` /
+    /// `UAE_SERVE_WORKERS` / `UAE_SERVE_QUEUE` / `UAE_SERVE_DEADLINE_MS`
+    /// over the defaults. Unparsable or zero numeric values keep the
+    /// default — a typo in a knob must not change admission semantics.
+    pub fn from_env() -> DaemonConfig {
+        let mut cfg = DaemonConfig::default();
+        if let Ok(v) = std::env::var("UAE_SERVE_ADDR") {
+            if !v.trim().is_empty() {
+                cfg.addr = v.trim().to_string();
+            }
+        }
+        let parse = |key: &str| -> Option<usize> {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        };
+        if let Some(n) = parse("UAE_SERVE_BATCH") {
+            cfg.batch = n;
+        }
+        cfg.max_len = parse("UAE_SERVE_MAX_LEN");
+        if let Some(n) = parse("UAE_SERVE_WORKERS") {
+            cfg.workers = n;
+        }
+        if let Some(n) = parse("UAE_SERVE_QUEUE") {
+            cfg.queue_capacity = n;
+        }
+        if let Some(n) = parse("UAE_SERVE_DEADLINE_MS") {
+            cfg.default_deadline_ms = n.min(u32::MAX as usize) as u32;
+        }
+        cfg
+    }
+}
+
+/// One immutable serving generation: the scorer built from a `.uaem`
+/// artifact plus the schema requests are validated against. Workers clone
+/// the `Arc<Generation>` per micro-batch, which is what makes hot-swap
+/// draining observable through the refcount.
+struct Generation {
+    id: u64,
+    schema: FeatureSchema,
+    scorer: Scorer,
+}
+
+#[derive(Default)]
+struct Stats {
+    requests: AtomicU64,
+    sessions: AtomicU64,
+    events: AtomicU64,
+    shed: AtomicU64,
+    deadline_miss: AtomicU64,
+    worker_restarts: AtomicU64,
+    protocol_errors: AtomicU64,
+    swaps: AtomicU64,
+    swap_rollbacks: AtomicU64,
+}
+
+struct Shared {
+    cfg: DaemonConfig,
+    queue: ServeQueue,
+    generation: RwLock<Arc<Generation>>,
+    stats: Stats,
+    shutdown: AtomicBool,
+    fault: FaultPlan,
+    /// Serializes concurrent swap requests (drain-then-activate must not
+    /// interleave).
+    swap_serial: Mutex<()>,
+    obs: Option<Arc<uae_obs::Handle>>,
+}
+
+impl Shared {
+    fn snapshot(&self) -> StatsSnapshot {
+        let generation = self.generation.read().map(|g| g.id).unwrap_or(0);
+        StatsSnapshot {
+            ready: !self.shutdown.load(Ordering::Relaxed),
+            generation,
+            queue_depth: self.queue.depth() as u64,
+            requests: self.stats.requests.load(Ordering::Relaxed),
+            sessions: self.stats.sessions.load(Ordering::Relaxed),
+            events: self.stats.events.load(Ordering::Relaxed),
+            shed: self.stats.shed.load(Ordering::Relaxed),
+            deadline_miss: self.stats.deadline_miss.load(Ordering::Relaxed),
+            worker_restarts: self.stats.worker_restarts.load(Ordering::Relaxed),
+            protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
+            swaps: self.stats.swaps.load(Ordering::Relaxed),
+            swap_rollbacks: self.stats.swap_rollbacks.load(Ordering::Relaxed),
+        }
+    }
+
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+        self.queue.close();
+    }
+
+    fn fault_event(&self, fault: &str, action: String) {
+        uae_obs::emit(|| uae_obs::Event::ServeFault {
+            fault: fault.to_string(),
+            action,
+        });
+    }
+}
+
+/// Runs `f` with the daemon's obs handle installed on this thread (so the
+/// spawned thread joins the caller's telemetry stream), or bare if the
+/// daemon was bound without telemetry.
+fn run_with_obs<R>(obs: Option<Arc<uae_obs::Handle>>, f: impl FnOnce() -> R) -> R {
+    match obs {
+        Some(h) => uae_obs::with_handle(h, f),
+        None => f(),
+    }
+}
+
+/// The serving daemon. [`bind`](Daemon::bind) it, then [`run`](Daemon::run)
+/// it (blocking until a `Shutdown` request drains the queue).
+pub struct Daemon {
+    shared: Arc<Shared>,
+    listener: TcpListener,
+    local_addr: SocketAddr,
+}
+
+impl Daemon {
+    /// Builds the serving state from a frozen model and binds the listen
+    /// socket (workers are spawned by [`run`](Daemon::run)). Captures the
+    /// calling thread's obs handle so daemon threads emit into the same
+    /// telemetry stream.
+    pub fn bind(
+        frozen: FrozenModel,
+        cfg: DaemonConfig,
+        fault: FaultPlan,
+    ) -> Result<Daemon, UaeError> {
+        let schema = frozen.schema.clone();
+        let scorer = Scorer::with_config(
+            frozen,
+            ScorerConfig {
+                batch_size: cfg.batch,
+                max_len: cfg.max_len,
+            },
+        )?;
+        let listener = TcpListener::bind(&cfg.addr).map_err(|e| UaeError::Unavailable {
+            detail: format!("bind {}: {e}", cfg.addr),
+        })?;
+        let local_addr = listener.local_addr().map_err(|e| UaeError::Unavailable {
+            detail: format!("local_addr: {e}"),
+        })?;
+        let queue = ServeQueue::new(cfg.queue_capacity);
+        let shared = Arc::new(Shared {
+            cfg,
+            queue,
+            generation: RwLock::new(Arc::new(Generation {
+                id: 1,
+                schema,
+                scorer,
+            })),
+            stats: Stats::default(),
+            shutdown: AtomicBool::new(false),
+            fault,
+            swap_serial: Mutex::new(()),
+            obs: uae_obs::current_handle(),
+        });
+        Ok(Daemon {
+            shared,
+            listener,
+            local_addr,
+        })
+    }
+
+    /// The bound listen address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Serves until a `Shutdown` request arrives, then drains the queue,
+    /// joins every worker and connection thread, and returns.
+    pub fn run(self) -> Result<(), UaeError> {
+        let shared = self.shared;
+        let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
+        for w in 0..shared.cfg.workers.max(1) {
+            let sh = Arc::clone(&shared);
+            let obs = sh.obs.clone();
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("uae-serve-worker-{w}"))
+                    .spawn(move || run_with_obs(obs, || worker_loop(&sh)))
+                    .map_err(|e| UaeError::Unavailable {
+                        detail: format!("spawn worker: {e}"),
+                    })?,
+            );
+        }
+        self.listener
+            .set_nonblocking(true)
+            .map_err(|e| UaeError::Unavailable {
+                detail: format!("set_nonblocking: {e}"),
+            })?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !shared.shutdown.load(Ordering::Relaxed) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    conns.retain(|h| !h.is_finished());
+                    let sh = Arc::clone(&shared);
+                    let obs = sh.obs.clone();
+                    conns.push(std::thread::spawn(move || {
+                        run_with_obs(obs, || handle_conn(&sh, stream))
+                    }));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+                Err(e) => {
+                    // Transient accept failures (EMFILE, ECONNABORTED) must
+                    // not take the daemon down; record and keep listening.
+                    shared.fault_event("accept_error", format!("kept listening: {e}"));
+                    std::thread::sleep(POLL_INTERVAL);
+                }
+            }
+        }
+        // Shutdown: the queue is closed; workers exit once the backlog
+        // drains, and every queued job still receives its reply first.
+        for h in workers {
+            let _ = h.join();
+        }
+        for h in conns {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+/// A neutral truth block for wire-built events — inference never reads it
+/// (the forward consumes only `cat`/`dense`/`e`), it just satisfies the
+/// `Dataset` shape.
+const WIRE_TRUTH: Truth = Truth {
+    attention: false,
+    attention_prob: 0.0,
+    propensity: 1.0,
+    preference: false,
+    preference_prob: 0.0,
+};
+
+fn to_session(ws: &WireSession) -> Session {
+    Session {
+        user: 0,
+        day: 0,
+        events: ws
+            .events
+            .iter()
+            .map(|ev| Event {
+                song: ev.cat.first().copied().unwrap_or(0),
+                cat: ev.cat.clone(),
+                dense: ev.dense.clone(),
+                feedback: if ev.active {
+                    Feedback::Like
+                } else {
+                    Feedback::AutoPlay
+                },
+                truth: WIRE_TRUTH,
+            })
+            .collect(),
+    }
+}
+
+/// Scores every session of every job in one coalesced request and splits
+/// the flat outputs back per job. Per-session scores do not depend on the
+/// coalescing (row-independent forward), so this is bit-identical to
+/// scoring each request alone.
+fn score_jobs(gen: &Generation, jobs: &[Job]) -> Vec<Vec<SessionScores>> {
+    let sessions: Vec<Session> = jobs
+        .iter()
+        .flat_map(|j| j.sessions.iter().map(to_session))
+        .collect();
+    let indices: Vec<usize> = (0..sessions.len()).collect();
+    let ds = Dataset {
+        name: "wire".into(),
+        schema: gen.schema.clone(),
+        sessions,
+    };
+    let out = gen.scorer.score(&ds, &indices);
+    let mut result = Vec::with_capacity(jobs.len());
+    let mut off = 0usize;
+    for job in jobs {
+        let mut per = Vec::with_capacity(job.sessions.len());
+        for ws in &job.sessions {
+            let n = ws.events.len();
+            per.push(SessionScores {
+                attention: out.attention[off..off + n].to_vec(),
+                propensity: out.propensity[off..off + n].to_vec(),
+                weights: out.weights[off..off + n].to_vec(),
+            });
+            off += n;
+        }
+        result.push(per);
+    }
+    result
+}
+
+fn miss(shared: &Shared, job: &Job, now: Instant) {
+    shared.stats.deadline_miss.fetch_add(1, Ordering::Relaxed);
+    uae_obs::counter("serve.daemon.deadline_miss", 1);
+    shared.fault_event(
+        "deadline_miss",
+        format!(
+            "answered with typed DeadlineExceeded after {} ms against a {} ms budget",
+            job.waited_ms(now),
+            job.deadline_ms
+        ),
+    );
+    let _ = job.reply.send(Err(UaeError::DeadlineExceeded {
+        waited_ms: job.waited_ms(now),
+        budget_ms: u64::from(job.deadline_ms),
+    }));
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// One scorer worker: pop a micro-batch, drop expired jobs with typed
+/// misses, score the rest under `catch_unwind`, reply, repeat. A panic
+/// answers the batch's jobs with [`UaeError::WorkerPanic`] and backs off
+/// deterministically before the next batch ("restart" = the isolation
+/// boundary, not a new thread).
+fn worker_loop(shared: &Shared) {
+    let mut backoff = Backoff::for_worker_restart();
+    while let Some(jobs) = shared.queue.pop_batch(shared.cfg.batch) {
+        uae_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
+        let now = Instant::now();
+        let mut live = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            if job.expired(now) {
+                miss(shared, &job, now);
+            } else {
+                live.push(job);
+            }
+        }
+        if live.is_empty() {
+            continue;
+        }
+        let gen = match shared.generation.read() {
+            Ok(g) => Arc::clone(&*g),
+            Err(_) => break, // poisoned: a swap panicked holding the lock
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            shared.fault.before_batch();
+            score_jobs(&gen, &live)
+        }));
+        match outcome {
+            Ok(per_job) => {
+                backoff.reset();
+                let done = Instant::now();
+                for (job, scored) in live.iter().zip(per_job) {
+                    // Re-check after scoring: a stalled forward (slow-scorer
+                    // fault, overload) must surface as a typed miss too.
+                    if job.expired(done) {
+                        miss(shared, job, done);
+                        continue;
+                    }
+                    let events: usize = scored.iter().map(|s| s.attention.len()).sum();
+                    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .sessions
+                        .fetch_add(job.sessions.len() as u64, Ordering::Relaxed);
+                    shared
+                        .stats
+                        .events
+                        .fetch_add(events as u64, Ordering::Relaxed);
+                    uae_obs::counter("serve.daemon.requests", 1);
+                    let _ = job.reply.send(Ok((gen.id, scored)));
+                }
+            }
+            Err(payload) => {
+                let detail = panic_detail(payload);
+                shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
+                let delay = backoff.next_delay();
+                uae_obs::counter("serve.daemon.worker_restarts", 1);
+                shared.fault_event(
+                    "worker_panic",
+                    format!(
+                        "worker restarted after {} ms backoff (attempt {}): {detail}",
+                        delay.as_millis(),
+                        backoff.attempt(),
+                    ),
+                );
+                for job in &live {
+                    let _ = job.reply.send(Err(UaeError::WorkerPanic {
+                        detail: detail.clone(),
+                    }));
+                }
+                std::thread::sleep(delay);
+            }
+        }
+    }
+}
+
+/// Handles a `Swap` request: decode the new artifact, reject-and-rollback
+/// on any failure, otherwise activate the next generation and wait for
+/// in-flight batches to drain off the old one.
+fn handle_swap(shared: &Shared, path: &str) -> Result<u64, UaeError> {
+    let _serial = shared
+        .swap_serial
+        .lock()
+        .map_err(|_| UaeError::Unavailable {
+            detail: "swap lock poisoned".into(),
+        })?;
+    let current = shared
+        .generation
+        .read()
+        .map_err(|_| UaeError::Unavailable {
+            detail: "generation lock poisoned".into(),
+        })?
+        .clone();
+    let reject = |detail: String| -> UaeError {
+        shared.stats.swap_rollbacks.fetch_add(1, Ordering::Relaxed);
+        uae_obs::counter("serve.daemon.swap_rollbacks", 1);
+        uae_obs::emit(|| uae_obs::Event::Swap {
+            generation: current.id,
+            outcome: format!("rolled_back: {detail}"),
+        });
+        shared.fault_event("swap_decode_failure", "kept last-good generation".into());
+        UaeError::SwapRejected { detail }
+    };
+    let frozen = match FrozenModel::read_from(Path::new(path)) {
+        Ok(f) => f,
+        Err(e) => return Err(reject(e.to_string())),
+    };
+    if frozen.schema != current.schema {
+        return Err(reject(format!(
+            "artifact schema ({} cat fields, {} dense) differs from serving schema ({} cat fields, {} dense)",
+            frozen.schema.num_cat_fields(),
+            frozen.schema.num_dense(),
+            current.schema.num_cat_fields(),
+            current.schema.num_dense(),
+        )));
+    }
+    let schema = frozen.schema.clone();
+    let scorer = match Scorer::with_config(
+        frozen,
+        ScorerConfig {
+            batch_size: shared.cfg.batch,
+            max_len: shared.cfg.max_len,
+        },
+    ) {
+        Ok(s) => s,
+        Err(e) => return Err(reject(e.to_string())),
+    };
+    let next = Arc::new(Generation {
+        id: current.id + 1,
+        schema,
+        scorer,
+    });
+    let next_id = next.id;
+    drop(current); // the clone above must not count against the drain
+    let old = {
+        let mut slot = shared
+            .generation
+            .write()
+            .map_err(|_| UaeError::Unavailable {
+                detail: "generation lock poisoned".into(),
+            })?;
+        std::mem::replace(&mut *slot, next)
+    };
+    // Drain: workers hold an Arc clone per in-flight batch; once the old
+    // generation's count returns to 1 every batch scored by it has replied.
+    let drain_start = Instant::now();
+    while Arc::strong_count(&old) > 1 {
+        if drain_start.elapsed() > SWAP_DRAIN_BUDGET {
+            shared.fault_event(
+                "swap_drain_timeout",
+                "activated new generation with old-generation batches still in flight".into(),
+            );
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(1));
+    }
+    shared.stats.swaps.fetch_add(1, Ordering::Relaxed);
+    uae_obs::counter("serve.daemon.swaps", 1);
+    uae_obs::gauge("serve.swap_generation", next_id as f64);
+    uae_obs::emit(|| uae_obs::Event::Swap {
+        generation: next_id,
+        outcome: "active".into(),
+    });
+    Ok(next_id)
+}
+
+fn protocol_error(shared: &Shared, err: &UaeError, dropped_conn: bool) {
+    shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+    uae_obs::counter("serve.daemon.protocol_errors", 1);
+    let action = if dropped_conn {
+        format!("typed error reply, connection dropped (framing lost): {err}")
+    } else {
+        format!("typed error reply, connection kept: {err}")
+    };
+    shared.fault_event("protocol_error", action);
+}
+
+/// Handles one `Score` request end to end on the connection thread:
+/// validate, admit (or shed), then block on the reply channel until a
+/// worker answers.
+fn handle_score(
+    shared: &Shared,
+    deadline_ms: u32,
+    sessions: Vec<WireSession>,
+) -> Result<Response, UaeError> {
+    let schema = shared
+        .generation
+        .read()
+        .map_err(|_| UaeError::Unavailable {
+            detail: "generation lock poisoned".into(),
+        })?
+        .schema
+        .clone();
+    wire::validate_sessions(
+        &sessions,
+        &schema,
+        shared.cfg.max_sessions_per_request,
+        shared.cfg.max_len,
+    )
+    .inspect_err(|e| protocol_error(shared, e, false))?;
+    let budget = if deadline_ms == 0 {
+        shared.cfg.default_deadline_ms
+    } else {
+        deadline_ms
+    };
+    let (tx, rx) = sync_channel(1);
+    let job = Job {
+        sessions,
+        enqueued: Instant::now(),
+        deadline_ms: budget,
+        reply: tx,
+    };
+    if let Err(e) = shared.queue.push(job) {
+        if matches!(e, UaeError::Overload { .. }) {
+            shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+            uae_obs::counter("serve.daemon.shed", 1);
+            shared.fault_event(
+                "overload_shed",
+                "request answered with typed Overload (queue at capacity)".into(),
+            );
+        }
+        return Err(e);
+    }
+    uae_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
+    match rx.recv() {
+        Ok(Ok((generation, scored))) => Ok(Response::Scored {
+            generation,
+            sessions: scored,
+        }),
+        Ok(Err(e)) => Err(e),
+        Err(_) => Err(UaeError::Unavailable {
+            detail: "worker dropped the reply channel".into(),
+        }),
+    }
+}
+
+/// One connection: peek-poll for frames (so shutdown is noticed within one
+/// poll interval), decode, dispatch, reply. Malformed frames get a typed
+/// error; if framing itself is lost the connection is dropped after the
+/// error reply.
+fn handle_conn(shared: &Shared, stream: TcpStream) {
+    let mut stream = stream;
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    loop {
+        if shared.shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        // Wait for the next frame without holding a blocking read, so the
+        // shutdown flag is honored on idle connections.
+        let mut probe = [0u8; 1];
+        match stream.peek(&mut probe) {
+            Ok(0) => return, // clean EOF
+            Ok(_) => {}
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue;
+            }
+            Err(_) => return,
+        }
+        // A frame has started arriving; give the peer a generous window to
+        // finish writing it before a stalled read counts as a violation.
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
+        let payload = match wire::read_frame(&mut stream) {
+            Ok(Some(p)) => p,
+            Ok(None) => return,
+            Err(e) => {
+                // Mid-frame EOF / oversized length / stalled write: the
+                // stream position is untrustworthy, so answer and drop.
+                protocol_error(shared, &e, true);
+                let _ = wire::write_frame(&mut stream, &wire::encode_error(&e));
+                return;
+            }
+        };
+        let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+        let reply = match wire::decode_request(&payload) {
+            Err(e) => {
+                // The frame boundary held; the connection can continue.
+                protocol_error(shared, &e, false);
+                Err(e)
+            }
+            Ok(Request::Ping) => Ok(Response::Pong),
+            Ok(Request::Stats) => Ok(Response::Stats(shared.snapshot())),
+            Ok(Request::Score {
+                deadline_ms,
+                sessions,
+            }) => handle_score(shared, deadline_ms, sessions),
+            Ok(Request::Swap { path }) => {
+                handle_swap(shared, &path).map(|generation| Response::Swapped { generation })
+            }
+            Ok(Request::Shutdown) => {
+                let _ =
+                    wire::write_frame(&mut stream, &wire::encode_response(&Response::ShuttingDown));
+                shared.begin_shutdown();
+                return;
+            }
+        };
+        let frame = match &reply {
+            Ok(resp) => wire::encode_response(resp),
+            Err(e) => wire::encode_error(e),
+        };
+        if wire::write_frame(&mut stream, &frame).is_err() {
+            return; // peer went away mid-reply
+        }
+    }
+}

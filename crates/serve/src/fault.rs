@@ -1,0 +1,120 @@
+//! Server-side fault injection for the chaos harness.
+//!
+//! A [`FaultPlan`] is read once at daemon start from `UAE_FAULT_*` env
+//! vars (or built directly by tests) and consulted by the scorer workers.
+//! Faults are *injected inside* the panic-isolation / deadline machinery,
+//! so the chaos harness exercises exactly the paths real failures take:
+//!
+//! | knob | effect |
+//! |------|--------|
+//! | `UAE_FAULT_SLOW_SCORER_MS` | every scoring batch stalls this long first (drives deadline misses) |
+//! | `UAE_FAULT_PANIC_EVERY`    | every Nth micro-batch panics inside the worker (drives restart + typed `WorkerPanic` responses) |
+//!
+//! Client-side faults (malformed frames, truncated frames, mid-request
+//! disconnects, corrupt swap artifacts) are driven by the load generator's
+//! chaos mode (`uae_eval::loadgen`) and the CI chaos step — the daemon
+//! cannot inject those against itself.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which faults the daemon's workers should inject, and how often.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Stall every scoring batch this many milliseconds before scoring.
+    pub slow_scorer_ms: u64,
+    /// Panic inside the worker on every Nth micro-batch (1-based: the
+    /// Nth, 2Nth, … batches panic). `0` disables.
+    pub panic_every: u64,
+    batches: AtomicU64,
+}
+
+impl FaultPlan {
+    /// No injected faults (the production default).
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan with explicit knob values — what tests and the chaos
+    /// harness use instead of env vars, so faults cannot leak between
+    /// concurrently running tests.
+    pub fn with(slow_scorer_ms: u64, panic_every: u64) -> FaultPlan {
+        FaultPlan {
+            slow_scorer_ms,
+            panic_every,
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// Reads `UAE_FAULT_SLOW_SCORER_MS` / `UAE_FAULT_PANIC_EVERY`.
+    /// Unparsable values mean "disabled" — a typo in a chaos knob must not
+    /// take the daemon down.
+    pub fn from_env() -> FaultPlan {
+        let parse = |key: &str| -> u64 {
+            std::env::var(key)
+                .ok()
+                .and_then(|v| v.trim().parse::<u64>().ok())
+                .unwrap_or(0)
+        };
+        FaultPlan {
+            slow_scorer_ms: parse("UAE_FAULT_SLOW_SCORER_MS"),
+            panic_every: parse("UAE_FAULT_PANIC_EVERY"),
+            batches: AtomicU64::new(0),
+        }
+    }
+
+    /// True when any fault is armed (lets the worker skip the bookkeeping
+    /// entirely in production).
+    pub fn armed(&self) -> bool {
+        self.slow_scorer_ms > 0 || self.panic_every > 0
+    }
+
+    /// Called by a worker at the top of every micro-batch: applies the
+    /// slow-scorer stall, then panics if this batch is scheduled to. The
+    /// panic happens inside the worker's `catch_unwind` scope.
+    pub fn before_batch(&self) {
+        if !self.armed() {
+            return;
+        }
+        if self.slow_scorer_ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(self.slow_scorer_ms));
+        }
+        if self.panic_every > 0 {
+            let n = self.batches.fetch_add(1, Ordering::Relaxed) + 1;
+            if n.is_multiple_of(self.panic_every) {
+                panic!(
+                    "injected fault: UAE_FAULT_PANIC_EVERY={} (batch {n})",
+                    self.panic_every
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unarmed_plan_is_a_noop() {
+        let plan = FaultPlan::none();
+        assert!(!plan.armed());
+        plan.before_batch(); // must not panic or sleep
+    }
+
+    #[test]
+    fn panic_every_hits_exactly_the_nth_batches() {
+        let plan = FaultPlan {
+            panic_every: 3,
+            ..FaultPlan::default()
+        };
+        assert!(plan.armed());
+        let mut outcomes = Vec::new();
+        for _ in 0..6 {
+            outcomes.push(
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| plan.before_batch()))
+                    .is_err(),
+            );
+        }
+        assert_eq!(outcomes, vec![false, false, true, false, false, true]);
+    }
+}

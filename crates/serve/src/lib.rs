@@ -36,15 +36,40 @@
 //! `serve.sessions` / `serve.events` / `serve.batches` (and `serve.rec_*`)
 //! counters and per-batch throughput gauges.
 //!
+//! The serving daemon (`uae serve`):
+//!
+//! - [`Daemon`] — a long-running TCP scoring service over a length-prefixed
+//!   binary protocol ([`wire`]) that degrades instead of dying: a bounded
+//!   [`queue::ServeQueue`] coalesces concurrent requests into micro-batches
+//!   under per-request deadlines; overload is shed with typed errors;
+//!   panicking scorer workers restart behind deterministic backoff; and
+//!   `.uaem` hot-swaps drain in-flight batches and roll back to last-good
+//!   on a bad artifact.
+//! - [`ServeClient`] — the blocking client, including the raw-byte chaos
+//!   helpers the fault-injection harness uses.
+//! - [`FaultPlan`] — `UAE_FAULT_*` fault injection (slow-scorer stalls,
+//!   scheduled worker panics) for the chaos harness.
+//!
 //! Knobs: `UAE_SERVE_BATCH` (sessions per batch, default 64) and
-//! `UAE_SERVE_MAX_LEN` (optional truncation). Thread count and kernel
-//! selection come from the compute backend (`UAE_NUM_THREADS`,
-//! `UAE_KERNELS`).
+//! `UAE_SERVE_MAX_LEN` (optional truncation); the daemon adds
+//! `UAE_SERVE_ADDR` / `UAE_SERVE_WORKERS` / `UAE_SERVE_QUEUE` /
+//! `UAE_SERVE_DEADLINE_MS` plus the `UAE_FAULT_*` chaos knobs. Thread
+//! count and kernel selection come from the compute backend
+//! (`UAE_NUM_THREADS`, `UAE_KERNELS`).
 
+pub mod client;
+pub mod daemon;
+pub mod fault;
 pub mod model;
+pub mod queue;
 pub mod recommender;
 pub mod scorer;
+pub mod wire;
 
+pub use client::ServeClient;
+pub use daemon::{Daemon, DaemonConfig};
+pub use fault::FaultPlan;
 pub use model::FrozenModel;
 pub use recommender::{FrozenArtifact, FrozenRecommender, RecScorer};
 pub use scorer::{ScoreOutput, Scorer, ScorerConfig};
+pub use wire::{SessionScores, StatsSnapshot, WireEvent, WireSession};

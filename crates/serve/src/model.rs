@@ -214,6 +214,33 @@ impl FrozenModel {
     /// built architecture, so a snapshot exported from a different schema
     /// or width fails with a typed [`UaeError::Decode`].
     pub fn build(&self) -> Result<Uae, UaeError> {
+        // Plausibility gate before any allocation trusts the decoded
+        // architecture: a bit-flipped cardinality or width field can imply
+        // terabyte-scale embedding tables while the stored arenas stay
+        // small. A conservative lower bound on the implied parameter count
+        // must fit (with generous slack) in the arena bytes actually
+        // present, or the artifact is corrupt.
+        let e = self.embed_dim as u64;
+        let h = self.gru_hidden as u64;
+        let cat_rows: u64 = self
+            .schema
+            .cat_cardinalities
+            .iter()
+            .fold(0u64, |acc, &c| acc.saturating_add(c as u64));
+        let mut implied = cat_rows.saturating_mul(e);
+        implied =
+            implied.saturating_add(3u64.saturating_mul(h).saturating_mul(h.saturating_add(e)));
+        let mut prev = h;
+        for &m in &self.mlp_hidden {
+            implied = implied.saturating_add(prev.saturating_mul(m as u64));
+            prev = m as u64;
+        }
+        let arena_bytes = (self.params_g.len() + self.params_h.len()) as u64;
+        if implied.saturating_mul(4) > arena_bytes.saturating_mul(8).saturating_add(1 << 16) {
+            return Err(UaeError::Checkpoint(CheckpointError::Corrupt(
+                "implausible architecture: implied parameter count exceeds the stored arenas",
+            )));
+        }
         let cfg = UaeConfig {
             embed_dim: self.embed_dim,
             gru_hidden: self.gru_hidden,

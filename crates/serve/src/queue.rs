@@ -1,0 +1,233 @@
+//! Bounded request queue with micro-batch coalescing.
+//!
+//! Connection threads [`push`](ServeQueue::push) one [`Job`] per `Score`
+//! request; scorer workers [`pop_batch`](ServeQueue::pop_batch) greedily
+//! coalesce queued jobs — possibly from many concurrent connections — into
+//! one micro-batch up to the configured session budget. The queue is the
+//! daemon's admission-control point: when the bounded depth is exceeded the
+//! push fails with a typed [`UaeError::Overload`] that the connection thread
+//! turns into a shed response, so overload degrades throughput instead of
+//! growing memory without bound.
+//!
+//! Deadlines are *not* enforced here — a worker checks each popped job's
+//! budget before spending compute on it, so a job that expired while queued
+//! costs a reply, not a forward pass.
+
+use std::collections::VecDeque;
+use std::sync::mpsc::SyncSender;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use uae_runtime::UaeError;
+
+use crate::wire::{SessionScores, WireSession};
+
+/// One admitted `Score` request, queued for a worker.
+pub struct Job {
+    /// The sessions to score, exactly as decoded off the wire.
+    pub sessions: Vec<WireSession>,
+    /// When the request was admitted (starts the deadline clock).
+    pub enqueued: Instant,
+    /// The client's latency budget in milliseconds (`0` = no deadline).
+    pub deadline_ms: u32,
+    /// Where the scored result (or typed error) goes; the connection thread
+    /// holds the receiving end. A dropped receiver (client disconnected
+    /// mid-request) makes `send` fail, which workers ignore.
+    pub reply: SyncSender<Result<(u64, Vec<SessionScores>), UaeError>>,
+}
+
+impl Job {
+    /// True once the job has been waiting longer than its budget.
+    pub fn expired(&self, now: Instant) -> bool {
+        self.deadline_ms > 0
+            && now.duration_since(self.enqueued).as_millis() as u64 >= u64::from(self.deadline_ms)
+    }
+
+    /// Milliseconds this job has waited so far.
+    pub fn waited_ms(&self, now: Instant) -> u64 {
+        now.duration_since(self.enqueued).as_millis() as u64
+    }
+}
+
+struct Inner {
+    jobs: VecDeque<Job>,
+    /// Total sessions across all queued jobs (the bounded resource).
+    depth: usize,
+    closed: bool,
+}
+
+/// The bounded, condvar-backed job queue shared by connection threads and
+/// scorer workers.
+pub struct ServeQueue {
+    inner: Mutex<Inner>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl ServeQueue {
+    /// A queue admitting at most `capacity` sessions across all queued jobs.
+    pub fn new(capacity: usize) -> ServeQueue {
+        ServeQueue {
+            inner: Mutex::new(Inner {
+                jobs: VecDeque::new(),
+                depth: 0,
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Current queued depth in sessions (for gauges and `Stats`).
+    pub fn depth(&self) -> usize {
+        self.inner.lock().map(|g| g.depth).unwrap_or(0)
+    }
+
+    /// Admits a job, or sheds it with [`UaeError::Overload`] when the queue
+    /// is over capacity or the daemon is shutting down.
+    pub fn push(&self, job: Job) -> Result<(), UaeError> {
+        let mut g = self.inner.lock().map_err(|_| UaeError::Unavailable {
+            detail: "serving queue poisoned".into(),
+        })?;
+        if g.closed {
+            return Err(UaeError::Unavailable {
+                detail: "daemon is shutting down".into(),
+            });
+        }
+        let incoming = job.sessions.len().max(1);
+        if g.depth + incoming > self.capacity {
+            return Err(UaeError::Overload {
+                queue_depth: g.depth,
+                limit: self.capacity,
+            });
+        }
+        g.depth += incoming;
+        g.jobs.push_back(job);
+        drop(g);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until at least one job is queued, then greedily coalesces
+    /// queued jobs into a micro-batch of at most `max_sessions` sessions
+    /// (the first job is always taken whole, so an oversized request still
+    /// makes progress). Returns `None` once the queue is closed and
+    /// drained — the worker's signal to exit.
+    pub fn pop_batch(&self, max_sessions: usize) -> Option<Vec<Job>> {
+        let mut g = self.inner.lock().ok()?;
+        loop {
+            if let Some(first) = g.jobs.pop_front() {
+                let mut total = first.sessions.len().max(1);
+                let mut batch = vec![first];
+                while let Some(next) = g.jobs.front() {
+                    let n = next.sessions.len().max(1);
+                    if total + n > max_sessions.max(1) {
+                        break;
+                    }
+                    let job = g.jobs.pop_front().expect("front() was Some");
+                    total += n;
+                    batch.push(job);
+                }
+                g.depth = g.depth.saturating_sub(total);
+                if !g.jobs.is_empty() {
+                    // Leftovers exist: wake another worker to keep draining.
+                    self.ready.notify_one();
+                }
+                return Some(batch);
+            }
+            if g.closed {
+                return None;
+            }
+            g = self.ready.wait(g).ok()?;
+        }
+    }
+
+    /// Closes the queue: future pushes fail `Unavailable`, and workers exit
+    /// once the backlog drains. Idempotent.
+    pub fn close(&self) {
+        if let Ok(mut g) = self.inner.lock() {
+            g.closed = true;
+        }
+        self.ready.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::sync_channel;
+    use std::sync::Arc;
+
+    fn job(n_sessions: usize) -> Job {
+        let (tx, _rx) = sync_channel(1);
+        Job {
+            sessions: vec![WireSession { events: Vec::new() }; n_sessions],
+            enqueued: Instant::now(),
+            deadline_ms: 0,
+            reply: tx,
+        }
+    }
+
+    #[test]
+    fn over_capacity_push_sheds_with_typed_overload() {
+        let q = ServeQueue::new(4);
+        q.push(job(3)).unwrap();
+        match q.push(job(2)) {
+            Err(UaeError::Overload { queue_depth, limit }) => {
+                assert_eq!((queue_depth, limit), (3, 4));
+            }
+            other => panic!("expected Overload, got {other:?}"),
+        }
+        // A job that still fits is admitted.
+        q.push(job(1)).unwrap();
+        assert_eq!(q.depth(), 4);
+    }
+
+    #[test]
+    fn pop_batch_coalesces_up_to_the_session_budget() {
+        let q = ServeQueue::new(64);
+        for n in [2usize, 3, 4, 5] {
+            q.push(job(n)).unwrap();
+        }
+        let batch = q.pop_batch(9).unwrap();
+        let sizes: Vec<usize> = batch.iter().map(|j| j.sessions.len()).collect();
+        assert_eq!(sizes, vec![2, 3, 4]); // 2+3+4=9 fits, +5 would not
+        assert_eq!(q.depth(), 5);
+        // An oversized first job is still taken whole.
+        let batch = q.pop_batch(1).unwrap();
+        assert_eq!(batch.len(), 1);
+        assert_eq!(batch[0].sessions.len(), 5);
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn close_drains_then_releases_workers() {
+        let q = Arc::new(ServeQueue::new(8));
+        q.push(job(1)).unwrap();
+        q.close();
+        assert!(matches!(q.push(job(1)), Err(UaeError::Unavailable { .. })));
+        // Backlog still pops, then the queue reports exhaustion.
+        assert_eq!(q.pop_batch(8).unwrap().len(), 1);
+        assert!(q.pop_batch(8).is_none());
+        // A blocked worker is released by close (no deadlock).
+        let q2 = Arc::new(ServeQueue::new(8));
+        let qc = q2.clone();
+        let h = std::thread::spawn(move || qc.pop_batch(8).is_none());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q2.close();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn expiry_follows_the_budget() {
+        let mut j = job(1);
+        j.deadline_ms = 5;
+        let now = j.enqueued + std::time::Duration::from_millis(4);
+        assert!(!j.expired(now));
+        let later = j.enqueued + std::time::Duration::from_millis(6);
+        assert!(j.expired(later));
+        assert_eq!(j.waited_ms(later), 6);
+        j.deadline_ms = 0; // no budget → never expires
+        assert!(!j.expired(later + std::time::Duration::from_secs(60)));
+    }
+}

@@ -164,6 +164,12 @@ impl Scorer {
         let batches = infer_seq_batches(dataset, sessions, self.cfg.batch_size, self.cfg.max_len);
         let mut scored = 0u64;
         for b in &batches {
+            if b.steps == 0 {
+                // A bucket made entirely of zero-event sessions: nothing to
+                // run through the GRUs (a wire request may legally carry
+                // empty sessions, which simply contribute no scores).
+                continue;
+            }
             let span = uae_obs::span("serve.batch");
             let inf = self.model.infer_batch(b);
             scatter(&inf.attention_logits, b, &offsets, &mut attention);
@@ -279,6 +285,42 @@ mod tests {
             );
             offset += len;
         }
+    }
+
+    #[test]
+    fn empty_request_returns_empty_scores() {
+        let (ds, _sessions, _uae, scorer) = scorer_and_data();
+        let out = scorer.score(&ds, &[]);
+        assert!(out.is_empty());
+        assert_eq!(out.len(), 0);
+    }
+
+    #[test]
+    fn zero_event_sessions_contribute_empty_blocks_without_disturbing_others() {
+        let (mut ds, sessions, _uae, scorer) = scorer_and_data();
+        let base = scorer.score(&ds, &sessions);
+        // Interleave empty sessions among the real ones.
+        let n_real = ds.sessions.len();
+        for _ in 0..3 {
+            ds.sessions.push(uae_data::Session {
+                user: 0,
+                day: 0,
+                events: vec![],
+            });
+        }
+        let mixed: Vec<usize> = vec![n_real, 0, n_real + 1, 1, 2, n_real + 2];
+        let out = scorer.score(&ds, &mixed);
+        // Flat length counts only real events; empty sessions add nothing.
+        let expect: usize = [0usize, 1, 2].iter().map(|&s| ds.sessions[s].len()).sum();
+        assert_eq!(out.len(), expect);
+        // And the real sessions' scores are untouched by the empties.
+        let alone = scorer.score(&ds, &[0, 1, 2]);
+        assert_eq!(out.attention, alone.attention);
+        let offset: usize = ds.sessions[0].len() + ds.sessions[1].len() + ds.sessions[2].len();
+        assert_eq!(&out.attention[..], &base.attention[..offset]);
+        // An all-empty request scores nothing and must not panic.
+        let empties = scorer.score(&ds, &[n_real, n_real + 1, n_real + 2]);
+        assert!(empties.is_empty());
     }
 
     #[test]

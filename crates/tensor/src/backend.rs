@@ -351,6 +351,12 @@ pub(crate) fn take_uninit(len: usize) -> Vec<f32> {
     POOL.with(|p| {
         let mut p = p.borrow_mut();
         let lo = bucket_of(len);
+        if lo >= NBUCKETS {
+            // Too large to pool (give_back refuses these sizes too, so no
+            // bucket could ever satisfy the request): allocate directly.
+            p.misses += 1;
+            return vec![0.0; len];
+        }
         // The length's own bucket may hold a large-enough buffer; every
         // buffer in the next two buckets is large enough by construction.
         let found = p.buckets[lo]

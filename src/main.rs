@@ -16,6 +16,15 @@
 //!                           # with Eq. (18) attention weights
 //! uae score  <model.uaem>   # batched tape-free scoring from a snapshot
 //!                           # (either variant, sniffed from the file)
+//! uae serve  <model.uaem>   # long-running scoring daemon (TCP, micro-
+//!                           # batching, deadlines, hot-swap; UAE_SERVE_*
+//!                           # and UAE_FAULT_* knobs — see README)
+//! uae serve-ctl <addr> <ping|stats|swap <model.uaem>|shutdown>
+//!                           # probe or control a running daemon
+//! uae serve-load <addr> [--chaos] [--clients N] [--requests N]
+//!                [--sessions N] [--deadline MS]
+//!                           # closed-loop load (+ optional chaos) against
+//!                           # a daemon; prints the latency/outcome report
 //! uae smoke                 # tiny telemetry-exercising train (CI)
 //! uae summarize <run.jsonl> # render a telemetry log as a report
 //! ```
@@ -249,6 +258,126 @@ fn cmd_score(path: &str, cfg: &HarnessConfig) -> Result<(), uae::runtime::UaeErr
     Ok(())
 }
 
+/// Starts the serving daemon on a frozen UAE snapshot and blocks until a
+/// `shutdown` request drains it. Knobs come from `UAE_SERVE_*`; chaos
+/// injection from `UAE_FAULT_*`.
+fn cmd_serve(path: &str) -> Result<(), uae::runtime::UaeError> {
+    let frozen = uae::serve::FrozenModel::read_from(std::path::Path::new(path))?;
+    let daemon = uae::serve::Daemon::bind(
+        frozen,
+        uae::serve::DaemonConfig::from_env(),
+        uae::serve::FaultPlan::from_env(),
+    )?;
+    // CI and scripts parse this line to learn the bound (possibly
+    // ephemeral) port, so keep its shape stable.
+    println!("listening on {}", daemon.local_addr());
+    daemon.run()
+}
+
+/// One control-plane exchange with a running daemon.
+fn cmd_serve_ctl(addr: &str, verb: &str, arg: Option<&str>) -> Result<(), uae::runtime::UaeError> {
+    let mut client = uae::serve::ServeClient::connect(addr)?;
+    match verb {
+        "ping" => {
+            client.ping()?;
+            println!("pong");
+        }
+        "stats" => {
+            let s = client.stats()?;
+            println!(
+                "ready {}  generation {}  queue_depth {}",
+                s.ready, s.generation, s.queue_depth
+            );
+            println!(
+                "requests {}  sessions {}  events {}",
+                s.requests, s.sessions, s.events
+            );
+            println!(
+                "shed {}  deadline_miss {}  worker_restarts {}  protocol_errors {}",
+                s.shed, s.deadline_miss, s.worker_restarts, s.protocol_errors
+            );
+            println!("swaps {}  swap_rollbacks {}", s.swaps, s.swap_rollbacks);
+        }
+        "swap" => {
+            let Some(path) = arg else {
+                return Err(uae::runtime::UaeError::Protocol {
+                    detail: "usage: uae serve-ctl <addr> swap <model.uaem>".into(),
+                });
+            };
+            let generation = client.swap(path)?;
+            println!("swapped to generation {generation}");
+        }
+        "shutdown" => {
+            client.shutdown()?;
+            println!("daemon shutting down");
+        }
+        other => {
+            return Err(uae::runtime::UaeError::Protocol {
+                detail: format!("unknown serve-ctl verb {other:?} (ping|stats|swap|shutdown)"),
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Runs the closed-loop load generator against a daemon. The session pool
+/// is drawn from the same simulated Product dataset `uae export` trains
+/// on, so schemas line up as long as both sides use the same `--fast`
+/// setting.
+fn cmd_serve_load(
+    addr: &str,
+    args: &[String],
+    cfg: &HarnessConfig,
+) -> Result<(), uae::runtime::UaeError> {
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let lcfg = uae::eval::LoadgenConfig {
+        addr: addr.to_string(),
+        clients: flag("--clients").unwrap_or(4),
+        requests_per_client: flag("--requests").unwrap_or(25),
+        sessions_per_request: flag("--sessions").unwrap_or(4),
+        deadline_ms: flag("--deadline").unwrap_or(0) as u32,
+        seed: flag("--seed").map(|s| s as u64).unwrap_or(17),
+        chaos: args.iter().any(|a| a == "--chaos"),
+    };
+    let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
+    let r = uae::eval::run_loadgen(&lcfg, &ds)?;
+    println!(
+        "sent {}  ok {}  shed {}  deadline_missed {}  worker_panics {}  protocol {}  unavailable {}  other {}",
+        r.sent, r.ok, r.shed, r.deadline_missed, r.worker_panics, r.protocol_errors,
+        r.unavailable, r.other_errors
+    );
+    if lcfg.chaos {
+        println!(
+            "chaos: injected {}  answered {}  disconnects {}",
+            r.chaos_injected, r.chaos_answered, r.chaos_disconnects
+        );
+    }
+    println!(
+        "latency p50 {:.2} ms  p99 {:.2} ms  max {:.2} ms  ({} events in {:.0} ms, {:.0} events/s)",
+        r.p50_ms, r.p99_ms, r.max_ms, r.events_scored, r.wall_ms, r.events_per_sec
+    );
+    println!(
+        "generations seen: {:?}  all_accounted {}",
+        r.generations_seen,
+        r.all_accounted()
+    );
+    if !r.all_accounted() {
+        return Err(uae::runtime::UaeError::Unavailable {
+            detail: format!(
+                "{} of {} requests were dropped without a response",
+                r.sent - r.answered(),
+                r.sent
+            ),
+        });
+    }
+    Ok(())
+}
+
 fn cmd_summarize(path: &str) -> Result<(), uae::obs::ObsError> {
     let records = uae::obs::read_jsonl(std::path::Path::new(path))?;
     print!("{}", uae::obs::summarize(&records)?);
@@ -302,7 +431,10 @@ fn main() {
         Some("export-data") => {
             let path = args.get(1).map(String::as_str).unwrap_or("product.uae.tsv");
             let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
-            std::fs::write(path, to_tsv(&ds)).expect("write dataset dump");
+            if let Err(e) = std::fs::write(path, to_tsv(&ds)) {
+                eprintln!("export-data failed: cannot write {path}: {e}");
+                std::process::exit(1);
+            }
             println!("wrote {} sessions to {path}", ds.sessions.len());
         }
         Some("export") => {
@@ -336,6 +468,36 @@ fn main() {
                 std::process::exit(1);
             }
         }
+        Some("serve") => {
+            let path = args.get(1).map(String::as_str).unwrap_or("model.uaem");
+            if let Err(e) = cmd_serve(path) {
+                eprintln!("serve failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("serve-ctl") => {
+            let (Some(addr), Some(verb)) = (args.get(1), args.get(2)) else {
+                eprintln!("usage: uae serve-ctl <addr> <ping|stats|swap <model.uaem>|shutdown>");
+                std::process::exit(2);
+            };
+            if let Err(e) = cmd_serve_ctl(addr, verb, args.get(3).map(String::as_str)) {
+                eprintln!("serve-ctl failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("serve-load") => {
+            let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!(
+                    "usage: uae serve-load <addr> [--chaos] [--clients N] [--requests N] \
+                     [--sessions N] [--deadline MS] [--seed N]"
+                );
+                std::process::exit(2);
+            };
+            if let Err(e) = cmd_serve_load(addr, &args[2..], &cfg) {
+                eprintln!("serve-load failed: {e}");
+                std::process::exit(1);
+            }
+        }
         Some("smoke") => {
             cfg.label_mode = LabelMode::Observed;
             cmd_smoke(&cfg);
@@ -352,7 +514,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|smoke|summarize <run.jsonl>> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|serve [model.uaem]|serve-ctl <addr> <verb>|serve-load <addr>|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);
