@@ -17,6 +17,11 @@ echo "==> cargo test -q --features proptest (property suites)"
 cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core \
     --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest
 
+# The unfused ValueExec path must stay green and bit-identical to the tape:
+# fusion is an optimization, never a semantic switch.
+echo "==> tier-1 suite with UAE_EXEC_FUSION=off"
+UAE_EXEC_FUSION=off cargo test -q
+
 # The compute backend must be bit-identical at every thread count; run the
 # kernel-level and end-to-end determinism suites under both settings to catch
 # any env-path nondeterminism the scoped-override tests could miss.
@@ -30,7 +35,7 @@ for nt in 1 4; do
     UAE_NUM_THREADS=$nt cargo test -q -p uae-serve --test daemon
 done
 
-echo "==> committed BENCH_perf.json gates (perf_serve speedups >= 2x)"
+echo "==> committed BENCH_perf.json gates (perf_serve speedups, arena zero-alloc, daemon p99)"
 python3 -c "
 import json
 with open('BENCH_perf.json') as f:
@@ -41,14 +46,27 @@ speedup = serve['derived']['batched_vs_single_tape_speedup']
 assert speedup >= 2.0, f'batched serve speedup {speedup} < 2x single-item tape'
 rec = serve['derived']['rec_batched_vs_single_tape_speedup']
 assert rec >= 2.0, f'batched recommender serve speedup {rec} < 2x single-item tape'
-print(f'perf_serve gate OK: UAE {speedup:.2f}x, {serve[\"rec_model\"]} {rec:.2f}x single-item tape scoring')
+# The tape-free engine must beat the batched tape at delivering the same
+# response payload: >= 1.5x on the UAE path (attention + propensity in one
+# fused pass vs two tape passes), >= 1.2x on the DCN-V2 recommender path.
+tf = serve['derived']['tape_free_vs_tape_batched_speedup']
+assert tf >= 1.5, f'tape-free UAE serving {tf} < 1.5x the batched tape'
+rtf = serve['derived']['rec_tape_free_vs_tape_batched_speedup']
+assert rtf >= 1.2, f'tape-free recommender serving {rtf} < 1.2x the batched tape'
+# Steady-state serve scoring must be allocation-free: after the warm-up
+# call, every serve config's arena took zero heap chunks.
+for cfg, a in serve['arena'].items():
+    assert a['heap_allocs'] == 0, f'{cfg} arena heap_allocs {a[\"heap_allocs\"]} != 0'
+    assert a['allocs'] > 0, f'{cfg} never used the arena'
+print(f'perf_serve gate OK: UAE {speedup:.2f}x/{tf:.2f}x, '
+      f'{serve[\"rec_model\"]} {rec:.2f}x/{rtf:.2f}x, arena heap_allocs all 0')
 daemon = doc['perf_daemon']
 assert not daemon['smoke'], 'committed perf_daemon numbers must come from a full run'
 d = daemon['derived']
 assert d['zero_dropped'], 'a daemon request was dropped without a response'
-assert d['steady_p99_ms'] < 100.0, f'steady p99 {d[\"steady_p99_ms\"]} ms over the 100 ms budget'
+assert d['steady_p99_ms'] < 50.0, f'steady p99 {d[\"steady_p99_ms\"]} ms over the 50 ms budget'
 assert d['chaos_answer_rate'] == 1.0, f'malformed frames went unanswered: {d[\"chaos_answer_rate\"]}'
-assert d['overload_shed_fraction'] > 0.0, 'overload regime never shed (not actually overloaded)'
+assert d['overload_shed_fraction'] > 0.5, 'overload regime barely shed (not actually overloaded)'
 print(f'perf_daemon gate OK: p99 {d[\"steady_p99_ms\"]:.1f} ms, zero drops, '
       f'{d[\"overload_shed_fraction\"]:.0%} shed under overload, all chaos frames answered')
 "

@@ -1,16 +1,22 @@
 //! Serving-path benchmark (ISSUE: uae-serve tentpole).
 //!
 //! Measures scoring throughput (events/sec) of a trained UAE model under
-//! four configurations:
+//! four configurations. Every config produces the same response payload —
+//! per-event attention α̂ *and* propensity p̂, which is what the serving
+//! daemon returns per request:
 //!
-//! * `tape_single`   — training-path `predict`, one session per call: the
-//!   naive "reuse the trainer for serving" baseline.
-//! * `tape_batched`  — training-path `predict` over the whole request (it
+//! * `tape_single`   — training-path `predict` + `predict_propensity`, one
+//!   session per call: the naive "reuse the trainer for serving" baseline.
+//!   The trainer exposes no one-pass inference, so assembling the response
+//!   costs two tape passes (the second re-runs the attention GRU to
+//!   rebuild its hidden states for the propensity head).
+//! * `tape_batched`  — the same two calls over the whole request (each
 //!   batches internally but still records every op on the autodiff tape).
-//! * `serve_single`  — `uae-serve` Scorer with batch size 1 (tape-free but
-//!   unamortized padding).
+//! * `serve_single`  — `uae-serve` Scorer with batch size 1 (tape-free,
+//!   one fused pass for both heads, but unamortized padding).
 //! * `serve_batched` — `uae-serve` Scorer with batch size 64: length-bucketed
-//!   padded batches through the tape-free kernels.
+//!   padded batches through the tape-free kernels, both heads sharing the
+//!   attention GRU's states in a single pass.
 //!
 //! A second block measures the downstream-recommender serving path (the
 //! Exec tentpole): a trained DCN-V2 scored through the training-path
@@ -20,11 +26,16 @@
 //! `rec_serve_batched`).
 //!
 //! Everything runs in this one process under the default backend env
-//! (`UAE_NUM_THREADS` / `UAE_KERNELS` apply to every config equally), so the
-//! comparison isolates the serving path itself. The headline `derived`
-//! numbers are `batched_vs_single_tape_speedup` and
-//! `rec_batched_vs_single_tape_speedup`, which the CI gate requires to be
-//! ≥ 2.
+//! (`UAE_NUM_THREADS` / `UAE_KERNELS` apply to every config equally), and
+//! every config follows the same measurement protocol over the same session
+//! stream: one untimed warm-up call (scratch pool, arena chunks, page
+//! faults), then the median of `reps` timed calls. Serve configs snapshot
+//! the inference arena over the timed region, so the JSON records
+//! `arena.allocs` / `arena.heap_allocs` / `arena.hwm_bytes` per config —
+//! steady-state `heap_allocs` must be 0 (CI gates it). The headline
+//! `derived` numbers are the `…speedup` ratios, which the CI gates require
+//! (≥ 2 batched-vs-single, ≥ 1.5 tape-free-vs-tape for UAE, ≥ 1.2 for the
+//! recommender).
 //!
 //! Results are spliced into the committed `BENCH_perf.json` as a
 //! `perf_serve` section, preserving the `perf_backend` sections already
@@ -38,7 +49,7 @@ use uae_core::{AttentionEstimator, Uae, UaeConfig};
 use uae_data::{generate, FlatData, SimConfig};
 use uae_models::{predict, train, LabelMode, ModelConfig, ModelKind, TrainConfig};
 use uae_serve::{FrozenModel, FrozenRecommender, RecScorer, Scorer, ScorerConfig};
-use uae_tensor::{sigmoid, Rng, Tape};
+use uae_tensor::{arena_stats, reset_arena_stats, sigmoid, Rng, Tape};
 
 fn smoke() -> bool {
     std::env::var("UAE_BENCH_SMOKE")
@@ -46,9 +57,23 @@ fn smoke() -> bool {
         .unwrap_or(false)
 }
 
-/// Median wall-clock seconds of `reps` timed runs (after one warm-up).
-fn time_median_s(reps: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up: populate the scratch pool, fault in pages
+/// One config's measurement: throughput plus the inference-arena counters
+/// accumulated over the timed region (all zero for tape configs, which
+/// never enter an arena scope).
+struct Measured {
+    eps: f64,
+    arena_allocs: u64,
+    arena_heap_allocs: u64,
+    arena_hwm_bytes: u64,
+}
+
+/// The shared measurement protocol: one untimed warm-up call (same closure,
+/// same session stream as the timed runs), then the median wall-clock of
+/// `reps` timed calls, with arena counters reset after warm-up and
+/// snapshotted after the timed region.
+fn measure(name: &str, reps: usize, events: usize, mut f: impl FnMut()) -> Measured {
+    f(); // warm-up: scratch pool, arena chunks, page faults
+    reset_arena_stats();
     let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let t0 = Instant::now();
@@ -56,8 +81,20 @@ fn time_median_s(reps: usize, mut f: impl FnMut()) -> f64 {
             t0.elapsed().as_secs_f64()
         })
         .collect();
+    let stats = arena_stats();
     samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let secs = samples[samples.len() / 2];
+    let m = Measured {
+        eps: events as f64 / secs.max(1e-9),
+        arena_allocs: stats.allocs,
+        arena_heap_allocs: stats.heap_allocs,
+        arena_hwm_bytes: stats.hwm_bytes,
+    };
+    eprintln!(
+        "  {name:<18} {:>10.0} events/s  (arena: {} allocs, {} heap, hwm {} B)",
+        m.eps, m.arena_allocs, m.arena_heap_allocs, m.arena_hwm_bytes
+    );
+    m
 }
 
 fn main() {
@@ -96,32 +133,37 @@ fn main() {
     let serve_single = scorer_at(1);
     let serve_batched = scorer_at(64);
 
-    // Sanity: the tape-free path must agree with training before we time it.
+    // Sanity: the tape-free path must agree with training before we time it
+    // — on both halves of the response payload.
+    let warm = serve_batched.score(&ds, &sessions);
     assert_eq!(
-        serve_batched.score(&ds, &sessions).attention,
+        warm.attention,
         uae.predict(&ds, &sessions),
-        "tape-free forward diverged from training forward"
+        "tape-free attention diverged from training forward"
     );
+    assert_eq!(
+        warm.propensity,
+        uae.predict_propensity(&ds, &sessions),
+        "tape-free propensity diverged from training forward"
+    );
+    drop(warm);
 
-    let eps = |secs: f64| events as f64 / secs.max(1e-9);
-    let tape_single = eps(time_median_s(reps, || {
+    let tape_single = measure("tape_single", reps, events, || {
         for &s in &sessions {
             std::hint::black_box(uae.predict(&ds, &[s]));
+            std::hint::black_box(uae.predict_propensity(&ds, &[s]));
         }
-    }));
-    eprintln!("  tape_single    {tape_single:.0} events/s");
-    let tape_batched = eps(time_median_s(reps, || {
+    });
+    let tape_batched = measure("tape_batched", reps, events, || {
         std::hint::black_box(uae.predict(&ds, &sessions));
-    }));
-    eprintln!("  tape_batched   {tape_batched:.0} events/s");
-    let serve_single_eps = eps(time_median_s(reps, || {
+        std::hint::black_box(uae.predict_propensity(&ds, &sessions));
+    });
+    let serve_single_m = measure("serve_single", reps, events, || {
         std::hint::black_box(serve_single.score(&ds, &sessions));
-    }));
-    eprintln!("  serve_single   {serve_single_eps:.0} events/s");
-    let serve_batched_eps = eps(time_median_s(reps, || {
+    });
+    let serve_batched_m = measure("serve_batched", reps, events, || {
         std::hint::black_box(serve_batched.score(&ds, &sessions));
-    }));
-    eprintln!("  serve_batched  {serve_batched_eps:.0} events/s");
+    });
 
     // Downstream-recommender serving path: a trained DCN-V2 through the
     // tape `predict` vs the tape-free RecScorer.
@@ -159,27 +201,29 @@ fn main() {
     // cleared tape across the whole dataset (which is what `predict` does
     // internally — that amortized path is `rec_tape_batched` below).
     let one_event: Vec<_> = (0..flat.len()).map(|i| flat.gather(&[i])).collect();
-    let rec_tape_single = eps(time_median_s(reps, || {
+    let rec_tape_single = measure("rec_tape_single", reps, flat.len(), || {
         for batch in &one_event {
             let mut tape = Tape::new();
             let logits = rec_model.forward(&mut tape, &rec_params, batch);
             std::hint::black_box(sigmoid(tape.value(logits).get(0, 0)));
         }
-    }));
-    eprintln!("  rec_tape_single    {rec_tape_single:.0} events/s");
-    let rec_tape_batched = eps(time_median_s(reps, || {
+    });
+    let rec_tape_batched = measure("rec_tape_batched", reps, flat.len(), || {
         std::hint::black_box(predict(rec_model.as_ref(), &rec_params, &flat, 64));
-    }));
-    eprintln!("  rec_tape_batched   {rec_tape_batched:.0} events/s");
-    let rec_serve_single_eps = eps(time_median_s(reps, || {
+    });
+    let rec_serve_single_m = measure("rec_serve_single", reps, flat.len(), || {
         std::hint::black_box(rec_serve_single.score(&flat));
-    }));
-    eprintln!("  rec_serve_single   {rec_serve_single_eps:.0} events/s");
-    let rec_serve_batched_eps = eps(time_median_s(reps, || {
+    });
+    let rec_serve_batched_m = measure("rec_serve_batched", reps, flat.len(), || {
         std::hint::black_box(rec_serve_batched.score(&flat));
-    }));
-    eprintln!("  rec_serve_batched  {rec_serve_batched_eps:.0} events/s");
+    });
 
+    let arena_json = |m: &Measured| {
+        format!(
+            "{{ \"allocs\": {}, \"heap_allocs\": {}, \"hwm_bytes\": {} }}",
+            m.arena_allocs, m.arena_heap_allocs, m.arena_hwm_bytes
+        )
+    };
     let section = format!(
         "  \"perf_serve\": {{\n    \"smoke\": {},\n    \"sessions\": {},\n    \"events\": {},\n    \
          \"rec_model\": \"{}\",\n    \
@@ -191,6 +235,10 @@ fn main() {
          \"rec_tape_batched_events_per_sec\": {:.0},\n      \
          \"rec_serve_single_events_per_sec\": {:.0},\n      \
          \"rec_serve_batched_events_per_sec\": {:.0}\n    }},\n    \
+         \"arena\": {{\n      \"serve_single\": {},\n      \
+         \"serve_batched\": {},\n      \
+         \"rec_serve_single\": {},\n      \
+         \"rec_serve_batched\": {}\n    }},\n    \
          \"derived\": {{\n      \"batched_vs_single_tape_speedup\": {:.3},\n      \
          \"tape_free_vs_tape_batched_speedup\": {:.3},\n      \
          \"serve_batching_speedup\": {:.3},\n      \
@@ -200,19 +248,23 @@ fn main() {
         sessions.len(),
         events,
         rec_kind.name(),
-        tape_single,
-        tape_batched,
-        serve_single_eps,
-        serve_batched_eps,
-        rec_tape_single,
-        rec_tape_batched,
-        rec_serve_single_eps,
-        rec_serve_batched_eps,
-        serve_batched_eps / tape_single,
-        serve_batched_eps / tape_batched,
-        serve_batched_eps / serve_single_eps,
-        rec_serve_batched_eps / rec_tape_single,
-        rec_serve_batched_eps / rec_tape_batched,
+        tape_single.eps,
+        tape_batched.eps,
+        serve_single_m.eps,
+        serve_batched_m.eps,
+        rec_tape_single.eps,
+        rec_tape_batched.eps,
+        rec_serve_single_m.eps,
+        rec_serve_batched_m.eps,
+        arena_json(&serve_single_m),
+        arena_json(&serve_batched_m),
+        arena_json(&rec_serve_single_m),
+        arena_json(&rec_serve_batched_m),
+        serve_batched_m.eps / tape_single.eps,
+        serve_batched_m.eps / tape_batched.eps,
+        serve_batched_m.eps / serve_single_m.eps,
+        rec_serve_batched_m.eps / rec_tape_single.eps,
+        rec_serve_batched_m.eps / rec_tape_batched.eps,
     );
 
     // Splice into the committed file, preserving every other bench's

@@ -86,29 +86,32 @@ impl AttentionNet {
         batch: &SeqBatch,
         t: usize,
     ) -> E::V {
-        let fields = self.emb.forward_fields(exec, params, &batch.cat[t]);
-        let emb = exec.concat_cols(&fields);
         debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
-        let dense = exec.input(batch.dense[t].clone());
-        exec.concat_cols(&[emb, dense])
+        exec.gather_concat(params, self.emb.tables(), &batch.cat[t], &batch.dense[t])
     }
 
-    /// Full forward over a padded session batch.
+    /// Full forward over a padded session batch. GRU and head parameters are
+    /// pushed into the context once and shared by every timestep; each step's
+    /// state moves straight into `z1` (the head reads it by reference), so
+    /// the time loop allocates no per-step parameter or state copies.
     pub fn forward<E: Exec>(
         &self,
         exec: &mut E,
         params: &Params,
         batch: &SeqBatch,
     ) -> AttentionForward<E::V> {
-        let mut h = self.gru.zero_state(exec, batch.batch);
+        let gru_vars = self.gru.param_vars(exec, params);
+        let head_vars = self.head.param_vars(exec, params);
+        let h0 = self.gru.zero_state(exec, batch.batch);
         let mut logits = Vec::with_capacity(batch.steps);
-        let mut z1 = Vec::with_capacity(batch.steps);
+        let mut z1: Vec<E::V> = Vec::with_capacity(batch.steps);
         for t in 0..batch.steps {
             let x = self.step_input(exec, params, batch, t);
             let mask = exec.input(Matrix::col_vector(&batch.mask[t]));
-            h = self.gru.step_masked(exec, params, &x, &h, &mask);
-            z1.push(h.clone());
-            logits.push(self.head.forward(exec, params, &h));
+            let prev = z1.last().unwrap_or(&h0);
+            let h = self.gru.step_masked_with(exec, &gru_vars, &x, prev, &mask);
+            logits.push(self.head.forward_with(exec, &head_vars, &h));
+            z1.push(h);
         }
         AttentionForward { logits, z1 }
     }
@@ -156,14 +159,18 @@ impl PropensityNet {
         z1_detached: &[E::V],
     ) -> Vec<E::V> {
         assert_eq!(z1_detached.len(), batch.steps);
+        let gru_vars = self.gru.param_vars(exec, params);
+        let head_vars = self.head.param_vars(exec, params);
         let mut h = self.gru.zero_state(exec, batch.batch);
         let mut logits = Vec::with_capacity(batch.steps);
         for (t, z1) in z1_detached.iter().enumerate() {
             let prev_e = exec.input(Matrix::col_vector(&batch.prev_e[t]));
             let mask = exec.input(Matrix::col_vector(&batch.mask[t]));
-            h = self.gru.step_masked(exec, params, &prev_e, &h, &mask);
-            let cat = exec.concat_cols(&[z1.clone(), h.clone(), prev_e]);
-            logits.push(self.head.forward(exec, params, &cat));
+            h = self
+                .gru
+                .step_masked_with(exec, &gru_vars, &prev_e, &h, &mask);
+            let cat = exec.concat_cols(&[z1, &h, &prev_e]);
+            logits.push(self.head.forward_with(exec, &head_vars, &cat));
         }
         logits
     }
@@ -211,14 +218,15 @@ impl LocalPropensityNet {
 
     /// Per-step logits using only `x_t`.
     pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, batch: &SeqBatch) -> Vec<E::V> {
+        let head_vars = self.head.param_vars(exec, params);
         (0..batch.steps)
             .map(|t| {
                 let fields = self.emb.forward_fields(exec, params, &batch.cat[t]);
-                let emb = exec.concat_cols(&fields);
+                let emb = exec.concat_cols(&fields.iter().collect::<Vec<_>>());
                 debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
                 let dense = exec.input(batch.dense[t].clone());
-                let x = exec.concat_cols(&[emb, dense]);
-                self.head.forward(exec, params, &x)
+                let x = exec.concat_cols(&[&emb, &dense]);
+                self.head.forward_with(exec, &head_vars, &x)
             })
             .collect()
     }

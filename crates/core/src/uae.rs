@@ -273,14 +273,31 @@ impl Uae {
     /// bit-identical to the training forward by construction, with no
     /// autodiff tape built. This is the serving path used by `uae-serve`'s
     /// batched `Scorer`.
+    /// One batch = one arena generation: every intermediate matrix is
+    /// bump-allocated from `uae_tensor::arena` and the whole generation is
+    /// rewound on the next batch's entry, so steady-state serving performs
+    /// zero heap allocations. The returned logits stay valid after the scope
+    /// exits (their leases pin the backing chunks).
     pub fn infer_batch(&self, batch: &SeqBatch) -> UaeInference {
-        let mut vx = ValueExec::new();
-        let gf = self.g.forward(&mut vx, &self.params_g, batch);
-        let propensity_logits = self.propensity_logits(&mut vx, batch, &gf.z1);
-        UaeInference {
-            attention_logits: gf.logits,
-            propensity_logits,
-        }
+        uae_tensor::arena::scoped(|| {
+            let mut vx = ValueExec::new();
+            let gf = self.g.forward(&mut vx, &self.params_g, batch);
+            let propensity_logits = self.propensity_logits(&mut vx, batch, &gf.z1);
+            UaeInference {
+                attention_logits: gf.logits,
+                propensity_logits,
+            }
+        })
+    }
+
+    /// Freezes Θ_g and Θ_h into shared buffers (see
+    /// [`uae_tensor::Params::freeze`]) so the tape-free forward's per-batch
+    /// param clones become O(1) handle copies. Serving scorers call this
+    /// once at construction; training afterwards still works (mutation
+    /// copies-on-write).
+    pub fn freeze_params(&mut self) {
+        self.params_g.freeze();
+        self.params_h.freeze();
     }
 
     /// The attention network's parameter arena (Θ_g) — for persistence via

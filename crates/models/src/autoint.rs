@@ -74,7 +74,7 @@ impl RecommenderForward for AutoInt {
         // Tokens: concatenated field embeddings ⧺ projected dense, reshaped
         // to the packed (batch, tokens, k) layout.
         let dense_tok = self.dense_proj.forward(exec, params, &enc.dense);
-        let tokens_flat = exec.concat_cols(&[enc.emb_concat, dense_tok]);
+        let tokens_flat = exec.concat_cols(&[&enc.emb_concat, &dense_tok]);
         let mut x = exec.reshape(&tokens_flat, b * self.num_tokens, k);
         for layer in &self.layers {
             x = layer.forward(exec, params, &x, b);

@@ -56,14 +56,13 @@ impl RecommenderForward for Dcn {
     }
 
     fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
-        let enc = self.encoder.encode(exec, params, batch);
-        let x0 = enc.full;
+        let x0 = self.encoder.encode_full(exec, params, batch);
         let mut x = x0.clone();
         for layer in &self.cross {
             x = layer.forward(exec, params, &x0, &x);
         }
         let deep = self.deep.forward(exec, params, &x0);
-        let cat = exec.concat_cols(&[x, deep]);
+        let cat = exec.concat_cols(&[&x, &deep]);
         self.head.forward(exec, params, &cat)
     }
 }
@@ -115,14 +114,13 @@ impl RecommenderForward for DcnV2 {
     }
 
     fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
-        let enc = self.encoder.encode(exec, params, batch);
-        let x0 = enc.full;
+        let x0 = self.encoder.encode_full(exec, params, batch);
         let mut x = x0.clone();
         for layer in &self.cross {
             x = layer.forward(exec, params, &x0, &x);
         }
         let deep = self.deep.forward(exec, params, &x0);
-        let cat = exec.concat_cols(&[x, deep]);
+        let cat = exec.concat_cols(&[&x, &deep]);
         self.head.forward(exec, params, &cat)
     }
 }

@@ -65,9 +65,9 @@ impl Encoder {
         batch: &FlatBatch,
     ) -> Encoded<E::V> {
         let fields = self.emb.forward_fields(exec, params, &batch.cat);
-        let emb_concat = exec.concat_cols(&fields);
+        let emb_concat = exec.concat_cols(&fields.iter().collect::<Vec<_>>());
         let dense = exec.input(batch.dense.clone());
-        let full = exec.concat_cols(&[emb_concat.clone(), dense.clone()]);
+        let full = exec.concat_cols(&[&emb_concat, &dense]);
         Encoded {
             fields,
             emb_concat,
@@ -75,6 +75,14 @@ impl Encoder {
             full,
             batch: batch.len(),
         }
+    }
+
+    /// Encodes only the [`Encoded::full`] view via the fused
+    /// [`Exec::gather_concat`] — the fast path for models that consume
+    /// nothing else (DCN's cross/deep input, Wide&Deep's deep tower).
+    /// Bitwise identical to `encode(..).full`.
+    pub fn encode_full<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
+        exec.gather_concat(params, self.emb.tables(), &batch.cat, &batch.dense)
     }
 }
 

@@ -87,8 +87,13 @@ impl<T: RecommenderForward> Recommender for T {
     }
 
     fn infer(&self, params: &Params, batch: &FlatBatch) -> Matrix {
-        let mut exec = ValueExec::new();
-        self.forward_exec(&mut exec, params, batch)
+        // One batch = one arena generation: intermediates bump-allocate and
+        // are rewound wholesale on the next batch's entry (the returned
+        // logits pin their chunk until then).
+        uae_tensor::arena::scoped(|| {
+            let mut exec = ValueExec::new();
+            self.forward_exec(&mut exec, params, batch)
+        })
     }
 }
 

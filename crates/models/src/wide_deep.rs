@@ -49,8 +49,8 @@ impl RecommenderForward for WideDeep {
 
     fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
         let wide = self.wide.forward(exec, params, batch);
-        let enc = self.encoder.encode(exec, params, batch);
-        let deep = self.deep.forward(exec, params, &enc.full);
+        let full = self.encoder.encode_full(exec, params, batch);
+        let deep = self.deep.forward(exec, params, &full);
         exec.add(&wide, &deep)
     }
 }
@@ -89,8 +89,8 @@ impl RecommenderForward for YoutubeNet {
     }
 
     fn forward_exec<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
-        let enc = self.encoder.encode(exec, params, batch);
-        self.tower.forward(exec, params, &enc.full)
+        let full = self.encoder.encode_full(exec, params, batch);
+        self.tower.forward(exec, params, &full)
     }
 }
 

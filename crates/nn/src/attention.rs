@@ -84,11 +84,10 @@ impl InteractingLayer {
             let k = exec.matmul(x, &wk);
             let v = exec.matmul(x, &wv);
             let scores = exec.batched_matmul(&q, &k, batch, true);
-            let scores = exec.scale(&scores, scale);
-            let attn = exec.softmax_rows(&scores);
+            let attn = exec.softmax_rows_scaled(&scores, scale);
             outs.push(exec.batched_matmul(&attn, &v, batch, false));
         }
-        let multi = exec.concat_cols(&outs);
+        let multi = exec.concat_cols(&outs.iter().collect::<Vec<_>>());
         let wres = exec.param(params, self.w_res);
         let res = exec.matmul(x, &wres);
         let sum = exec.add(&multi, &res);

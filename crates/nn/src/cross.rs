@@ -64,11 +64,9 @@ impl CrossLayerV2 {
     /// `x0`, `x` are `batch × dim`.
     pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x0: &E::V, x: &E::V) -> E::V {
         let w = exec.param(params, self.w);
-        let xw = exec.matmul(x, &w); // batch × dim
         let b = exec.param(params, self.b);
-        let xwb = exec.add_row(&xw, &b);
-        let crossed = exec.mul(x0, &xwb);
-        exec.add(&crossed, x)
+        let xwb = exec.linear(x, &w, &b); // batch × dim
+        exec.mul_add(x0, &xwb, x)
     }
 }
 

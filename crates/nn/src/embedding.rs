@@ -62,6 +62,12 @@ impl FieldEmbeddings {
         self.dim * self.tables.len()
     }
 
+    /// Per-field table parameter ids, in field order — for the fused
+    /// [`Exec::gather_concat`] encode path.
+    pub fn tables(&self) -> &[ParamId] {
+        &self.tables
+    }
+
     /// Gathers one field: `ids[i]` is the category of sample `i` for `field`.
     pub fn forward_field<E: Exec>(
         &self,
@@ -89,7 +95,7 @@ impl FieldEmbeddings {
             .enumerate()
             .map(|(f, ids)| self.forward_field(exec, params, f, ids))
             .collect();
-        exec.concat_cols(&parts)
+        exec.concat_cols(&parts.iter().collect::<Vec<_>>())
     }
 
     /// Gathers every field separately (for FM-style interactions).

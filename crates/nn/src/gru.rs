@@ -5,7 +5,7 @@
 //! All recurrence math is generic over [`Exec`]: the same step functions run
 //! on the training tape and tape-free for serving, bit-identically.
 
-use uae_tensor::{Exec, Matrix, ParamId, Params, Rng};
+use uae_tensor::{Exec, GruGates, GruPacked, Matrix, ParamId, Params, Rng};
 
 use crate::init;
 
@@ -85,17 +85,43 @@ impl GruCell {
     /// returning handles for repeated [`GruCell::step_with`] calls. A
     /// time-loop that re-pushed parameters every step would snapshot (clone)
     /// all nine matrices per timestep; hoisting makes that once per unroll.
+    ///
+    /// Also offers the gates to [`Exec::pack_gru`]: a fusing engine returns
+    /// column-packed `[r|z|n]` weights and every subsequent step runs the
+    /// fused [`Exec::gru_step_packed`] kernel (two GEMMs + one element-wise
+    /// pass instead of six GEMMs + a dozen element-wise ops), bit-identically.
     pub fn param_vars<E: Exec>(&self, exec: &mut E, params: &Params) -> GruVars<E::V> {
+        let w_r = exec.param(params, self.w_r);
+        let u_r = exec.param(params, self.u_r);
+        let b_r = exec.param(params, self.b_r);
+        let w_z = exec.param(params, self.w_z);
+        let u_z = exec.param(params, self.u_z);
+        let b_z = exec.param(params, self.b_z);
+        let w_n = exec.param(params, self.w_n);
+        let u_n = exec.param(params, self.u_n);
+        let b_n = exec.param(params, self.b_n);
+        let packed = exec.pack_gru(GruGates {
+            w_r: &w_r,
+            u_r: &u_r,
+            b_r: &b_r,
+            w_z: &w_z,
+            u_z: &u_z,
+            b_z: &b_z,
+            w_n: &w_n,
+            u_n: &u_n,
+            b_n: &b_n,
+        });
         GruVars {
-            w_r: exec.param(params, self.w_r),
-            u_r: exec.param(params, self.u_r),
-            b_r: exec.param(params, self.b_r),
-            w_z: exec.param(params, self.w_z),
-            u_z: exec.param(params, self.u_z),
-            b_z: exec.param(params, self.b_z),
-            w_n: exec.param(params, self.w_n),
-            u_n: exec.param(params, self.u_n),
-            b_n: exec.param(params, self.b_n),
+            w_r,
+            u_r,
+            b_r,
+            w_z,
+            u_z,
+            b_z,
+            w_n,
+            u_n,
+            b_n,
+            packed,
         }
     }
 
@@ -113,6 +139,9 @@ impl GruCell {
         x: &E::V,
         h: &E::V,
     ) -> E::V {
+        if let Some(p) = &vars.packed {
+            return exec.gru_step_packed(p, x, h, None);
+        }
         let gate = |exec: &mut E, w: &E::V, u: &E::V, b: &E::V| {
             let xwb = exec.linear(x, w, b);
             let hu = exec.matmul(h, u);
@@ -159,6 +188,9 @@ impl GruCell {
         h: &E::V,
         mask: &E::V,
     ) -> E::V {
+        if let Some(p) = &vars.packed {
+            return exec.gru_step_packed(p, x, h, Some(mask));
+        }
         let candidate = self.step_with(exec, vars, x, h);
         let kept = exec.mul_col(&candidate, mask);
         let inv = exec.one_minus(mask);
@@ -201,6 +233,8 @@ impl GruCell {
 
 /// Context handles for a [`GruCell`]'s nine parameters, pushed once by
 /// [`GruCell::param_vars`] and shared across every timestep of an unroll.
+/// When the engine fuses (see [`Exec::pack_gru`]), `packed` additionally
+/// holds the column-packed `[r|z|n]` gate matrices.
 #[derive(Debug, Clone)]
 pub struct GruVars<V> {
     w_r: V,
@@ -212,6 +246,7 @@ pub struct GruVars<V> {
     w_n: V,
     u_n: V,
     b_n: V,
+    packed: Option<GruPacked<V>>,
 }
 
 #[cfg(test)]

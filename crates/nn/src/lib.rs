@@ -23,5 +23,5 @@ pub use attention::InteractingLayer;
 pub use cross::{CrossLayerV1, CrossLayerV2};
 pub use embedding::FieldEmbeddings;
 pub use gru::{GruCell, GruVars};
-pub use linear::{Activation, Linear, Mlp};
+pub use linear::{Activation, Linear, LinearVars, Mlp, MlpVars};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};

@@ -7,7 +7,7 @@
 //! [`Matrix`](uae_tensor::Matrix) values. Both engines dispatch through the
 //! same kernels, so the two paths are bit-identical by construction.
 
-use uae_tensor::{Exec, Params, Rng};
+use uae_tensor::{ActKind, Exec, Params, Rng};
 
 use crate::init;
 
@@ -29,6 +29,16 @@ impl Activation {
             Activation::Relu => exec.relu(&x),
             Activation::Tanh => exec.tanh(&x),
             Activation::Sigmoid => exec.sigmoid(&x),
+        }
+    }
+
+    /// The engine-level selector for the fused [`Exec::linear_act`] op.
+    pub fn kind(self) -> ActKind {
+        match self {
+            Activation::None => ActKind::None,
+            Activation::Relu => ActKind::Relu,
+            Activation::Tanh => ActKind::Tanh,
+            Activation::Sigmoid => ActKind::Sigmoid,
         }
     }
 }
@@ -90,12 +100,34 @@ impl Linear {
         self.out_dim
     }
 
+    /// Pushes `W` and `b` into the context once, for repeated
+    /// [`Linear::forward_with`] calls (per-timestep layer applications would
+    /// otherwise snapshot both matrices every step).
+    pub fn param_vars<E: Exec>(&self, exec: &mut E, params: &Params) -> LinearVars<E::V> {
+        LinearVars {
+            w: exec.param(params, self.w),
+            b: exec.param(params, self.b),
+        }
+    }
+
     /// `x·W + b` for a `batch × in_dim` input (fused single-kernel op).
     pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x: &E::V) -> E::V {
-        let w = exec.param(params, self.w);
-        let b = exec.param(params, self.b);
-        exec.linear(x, &w, &b)
+        let vars = self.param_vars(exec, params);
+        self.forward_with(exec, &vars, x)
     }
+
+    /// As [`Linear::forward`] against pre-pushed parameter handles.
+    pub fn forward_with<E: Exec>(&self, exec: &mut E, vars: &LinearVars<E::V>, x: &E::V) -> E::V {
+        exec.linear(x, &vars.w, &vars.b)
+    }
+}
+
+/// Context handles for a [`Linear`]'s parameters, pushed once by
+/// [`Linear::param_vars`].
+#[derive(Debug, Clone)]
+pub struct LinearVars<V> {
+    w: V,
+    b: V,
 }
 
 /// A multi-layer perceptron with a hidden activation and a final activation.
@@ -163,17 +195,47 @@ impl Mlp {
         }
     }
 
+    /// Pushes every layer's parameters into the context once, for repeated
+    /// [`Mlp::forward_with`] calls.
+    pub fn param_vars<E: Exec>(&self, exec: &mut E, params: &Params) -> MlpVars<E::V> {
+        MlpVars {
+            layers: self
+                .layers
+                .iter()
+                .map(|l| l.param_vars(exec, params))
+                .collect(),
+        }
+    }
+
     /// Forward pass in the given execution context.
     pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, x: &E::V) -> E::V {
+        let vars = self.param_vars(exec, params);
+        self.forward_with(exec, &vars, x)
+    }
+
+    /// As [`Mlp::forward`] against pre-pushed parameter handles. Each layer
+    /// runs the fusable [`Exec::linear_act`] composite, so a fusing engine
+    /// applies the activation in the GEMM output pass.
+    pub fn forward_with<E: Exec>(&self, exec: &mut E, vars: &MlpVars<E::V>, x: &E::V) -> E::V {
         let last = self.layers.len() - 1;
-        let mut h = self.layers[0].forward(exec, params, x);
-        h = self.activation_at(0, last).apply(exec, h);
-        for (i, layer) in self.layers.iter().enumerate().skip(1) {
-            h = layer.forward(exec, params, &h);
-            h = self.activation_at(i, last).apply(exec, h);
+        let mut h = exec.linear_act(
+            x,
+            &vars.layers[0].w,
+            &vars.layers[0].b,
+            self.activation_at(0, last).kind(),
+        );
+        for (i, lv) in vars.layers.iter().enumerate().skip(1) {
+            h = exec.linear_act(&h, &lv.w, &lv.b, self.activation_at(i, last).kind());
         }
         h
     }
+}
+
+/// Context handles for an [`Mlp`]'s parameters, pushed once by
+/// [`Mlp::param_vars`].
+#[derive(Debug, Clone)]
+pub struct MlpVars<V> {
+    layers: Vec<LinearVars<V>>,
 }
 
 #[cfg(test)]

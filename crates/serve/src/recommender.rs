@@ -233,7 +233,10 @@ impl RecScorer {
         batch_size: usize,
     ) -> Result<RecScorer, UaeError> {
         assert!(batch_size > 0, "batch_size must be positive");
-        let (model, params) = frozen.build()?;
+        let (model, mut params) = frozen.build()?;
+        // Frozen (shared) params make the tape-free forward's per-batch
+        // weight clones O(1) handle copies instead of memcpys.
+        params.freeze();
         Ok(RecScorer {
             model,
             params,
@@ -275,6 +278,9 @@ impl RecScorer {
         }
         uae_obs::counter("serve.rec_batches", batches);
         uae_obs::counter("serve.rec_events", scores.len() as u64);
+        // Publishes this thread's kernel + exec.arena.* counters, so serving
+        // dashboards can watch steady-state heap_allocs stay at zero.
+        uae_tensor::emit_backend_telemetry();
         scores
     }
 }

@@ -119,19 +119,21 @@ impl Scorer {
         Scorer::with_config(frozen, ScorerConfig::from_env())
     }
 
-    /// Rebuilds the model with explicit batching knobs.
+    /// Rebuilds the model with explicit batching knobs. The rebuilt
+    /// parameters are frozen (shared, copy-on-write) so steady-state scoring
+    /// never memcpys a weight matrix.
     pub fn with_config(frozen: FrozenModel, cfg: ScorerConfig) -> Result<Scorer, UaeError> {
         let gamma = frozen.gamma;
-        Ok(Scorer {
-            model: frozen.build()?,
-            gamma,
-            cfg,
-        })
+        let mut model = frozen.build()?;
+        model.freeze_params();
+        Ok(Scorer { model, gamma, cfg })
     }
 
     /// Wraps an already-built model (e.g. straight after training, skipping
-    /// the export round trip).
-    pub fn from_uae(model: Uae, gamma: f32, cfg: ScorerConfig) -> Scorer {
+    /// the export round trip). Freezes its parameters like
+    /// [`Scorer::with_config`].
+    pub fn from_uae(mut model: Uae, gamma: f32, cfg: ScorerConfig) -> Scorer {
+        model.freeze_params();
         Scorer { model, gamma, cfg }
     }
 
@@ -184,6 +186,9 @@ impl Scorer {
         uae_obs::counter("serve.batches", batches.len() as u64);
         uae_obs::counter("serve.sessions", sessions.len() as u64);
         uae_obs::counter("serve.events", scored);
+        // Publishes this thread's kernel + exec.arena.* counters, so serving
+        // dashboards can watch steady-state heap_allocs stay at zero.
+        uae_tensor::emit_backend_telemetry();
         let weights = attention.iter().map(|&a| reweight(a, self.gamma)).collect();
         ScoreOutput {
             attention,

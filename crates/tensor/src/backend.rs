@@ -258,6 +258,15 @@ pub fn emit_backend_telemetry() {
     uae_obs::counter("scratch.misses", s.misses);
     uae_obs::counter("scratch.returned", s.returned);
     uae_obs::gauge("scratch.hit_rate", s.hit_rate());
+    let a = crate::arena::arena_stats();
+    uae_obs::counter("exec.arena.allocs", a.allocs);
+    uae_obs::counter("exec.arena.heap_allocs", a.heap_allocs);
+    uae_obs::counter("exec.arena.resets", a.resets);
+    uae_obs::counter("exec.arena.retires", a.retires);
+    uae_obs::gauge("exec.arena.hwm_bytes", a.hwm_bytes as f64);
+    uae_obs::gauge("exec.arena.live_leases", a.live as f64);
+    let e = crate::exec::exec_stats();
+    uae_obs::counter("exec.param_materializations", e.param_materializations);
 }
 
 // --------------------------------------------------------------- scratch pool
@@ -384,13 +393,6 @@ pub(crate) fn take_uninit(len: usize) -> Vec<f32> {
     })
 }
 
-/// A zero-filled buffer of `len` floats, reusing a pooled allocation.
-pub(crate) fn take_zeroed(len: usize) -> Vec<f32> {
-    let mut v = take_uninit(len);
-    v.fill(0.0);
-    v
-}
-
 /// Returns a buffer to the calling thread's pool (called by `Matrix::drop`).
 pub(crate) fn recycle(mut v: Vec<f32>) {
     let cap = v.capacity();
@@ -493,6 +495,45 @@ fn dot8(x: &[f32], y: &[f32]) -> f32 {
     (((acc[0] + acc[4]) + (acc[2] + acc[6])) + ((acc[1] + acc[5]) + (acc[3] + acc[7]))) + tail
 }
 
+/// 16-lane variant of [`dot8`] for long shared dimensions: twice the
+/// accumulator width lets the compiler keep two full SIMD vectors in flight.
+/// Same determinism contract — the lane structure is fixed, so results are
+/// identical across runs and thread counts.
+#[inline]
+fn dot16(x: &[f32], y: &[f32]) -> f32 {
+    debug_assert_eq!(x.len(), y.len());
+    let split = x.len() - x.len() % 16;
+    let (xc, xr) = x.split_at(split);
+    let (yc, yr) = y.split_at(split);
+    let mut acc = [0.0f32; 16];
+    for (xs, ys) in xc.chunks_exact(16).zip(yc.chunks_exact(16)) {
+        for l in 0..16 {
+            acc[l] += xs[l] * ys[l];
+        }
+    }
+    let mut tail = 0.0f32;
+    for (&a, &b) in xr.iter().zip(yr) {
+        tail += a * b;
+    }
+    let mut half = [0.0f32; 8];
+    for l in 0..8 {
+        half[l] = acc[l] + acc[l + 8];
+    }
+    (((half[0] + half[4]) + (half[2] + half[6])) + ((half[1] + half[5]) + (half[3] + half[7])))
+        + tail
+}
+
+/// Kernel selection by shared-dimension length (shape-only, so the choice —
+/// and therefore the summation order — is deterministic for a given shape).
+#[inline]
+fn dot_lanes(x: &[f32], y: &[f32]) -> f32 {
+    if x.len() >= 32 {
+        dot16(x, y)
+    } else {
+        dot8(x, y)
+    }
+}
+
 // ------------------------------------------------------------------- kernels
 //
 // All kernels compute output rows `[r0, r0 + nrows)` into `chunk` (the
@@ -528,14 +569,39 @@ fn matmul_rows_blocked(a: &[f32], b: &[f32], k: usize, n: usize, r0: usize, chun
         let ke = (kb + KB).min(k);
         for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
             let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
-            for (dk, &av) in arow[kb..ke].iter().enumerate() {
-                let brow = &b[(kb + dk) * n..(kb + dk) * n + n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+            accumulate_k_span(arow, b, n, kb, ke, orow);
         }
         kb = ke;
+    }
+}
+
+/// Accumulates `Σ_{kk in [kb, ke)} a[kk] · b[kk,:]` into `orow`, unrolled 4
+/// k-steps at a time. Per output element the adds stay strictly k-ascending
+/// and sequential, so this is bit-identical to the unrolled-by-1 loop.
+#[inline]
+fn accumulate_k_span(arow: &[f32], b: &[f32], n: usize, kb: usize, ke: usize, orow: &mut [f32]) {
+    let mut kk = kb;
+    while kk + 4 <= ke {
+        let (a0, a1, a2, a3) = (arow[kk], arow[kk + 1], arow[kk + 2], arow[kk + 3]);
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            *o += a0 * v0;
+            *o += a1 * v1;
+            *o += a2 * v2;
+            *o += a3 * v3;
+        }
+        kk += 4;
+    }
+    while kk < ke {
+        let av = arow[kk];
+        let brow = &b[kk * n..kk * n + n];
+        for (o, &bv) in orow.iter_mut().zip(brow) {
+            *o += av * bv;
+        }
+        kk += 1;
     }
 }
 
@@ -581,14 +647,25 @@ fn matmul_bias_rows(
         let mut kb = 0;
         while kb < k {
             let ke = (kb + KB).min(k);
-            for (dk, &av) in arow[kb..ke].iter().enumerate() {
-                let brow = &b[(kb + dk) * n..(kb + dk) * n + n];
-                for (o, &bv) in orow.iter_mut().zip(brow) {
-                    *o += av * bv;
-                }
-            }
+            accumulate_k_span(arow, b, n, kb, ke, orow);
             kb = ke;
         }
+    }
+}
+
+/// `n == 1` fast path for `a·b`: every output element is one full-row dot
+/// product, served by the widest lane kernel for the shape ([`dot_lanes`]).
+fn matvec_rows(a: &[f32], b: &[f32], k: usize, r0: usize, chunk: &mut [f32]) {
+    for (i, o) in chunk.iter_mut().enumerate() {
+        *o = dot_lanes(&a[(r0 + i) * k..(r0 + i) * k + k], &b[..k]);
+    }
+}
+
+/// `n == 1` fast path for `a·b + bias` (a dense layer with a single output
+/// unit — the logit head): `bias + dot`.
+fn matvec_bias_rows(a: &[f32], b: &[f32], bias: f32, k: usize, r0: usize, chunk: &mut [f32]) {
+    for (i, o) in chunk.iter_mut().enumerate() {
+        *o = bias + dot_lanes(&a[(r0 + i) * k..(r0 + i) * k + k], &b[..k]);
     }
 }
 
@@ -618,7 +695,29 @@ fn matmul_tn_rows_blocked(
             *o = a0 * bv;
         }
     }
-    for kk in 1..a_rows {
+    let mut kk = 1;
+    while kk + 4 <= a_rows {
+        let av0 = &a[kk * a_cols + c0..kk * a_cols + c0 + nrows];
+        let av1 = &a[(kk + 1) * a_cols + c0..(kk + 1) * a_cols + c0 + nrows];
+        let av2 = &a[(kk + 2) * a_cols + c0..(kk + 2) * a_cols + c0 + nrows];
+        let av3 = &a[(kk + 3) * a_cols + c0..(kk + 3) * a_cols + c0 + nrows];
+        let b0 = &b[kk * n..kk * n + n];
+        let b1 = &b[(kk + 1) * n..(kk + 1) * n + n];
+        let b2 = &b[(kk + 2) * n..(kk + 2) * n + n];
+        let b3 = &b[(kk + 3) * n..(kk + 3) * n + n];
+        for (i, orow) in chunk.chunks_exact_mut(n).enumerate() {
+            // Per element the adds stay k-ascending and sequential: bitwise
+            // equal to four separate k passes.
+            for ((((o, &v0), &v1), &v2), &v3) in orow.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+                *o += av0[i] * v0;
+                *o += av1[i] * v1;
+                *o += av2[i] * v2;
+                *o += av3[i] * v3;
+            }
+        }
+        kk += 4;
+    }
+    while kk < a_rows {
         let avals = &a[kk * a_cols + c0..kk * a_cols + c0 + nrows];
         let brow = &b[kk * n..kk * n + n];
         for (&av, orow) in avals.iter().zip(chunk.chunks_exact_mut(n)) {
@@ -626,6 +725,7 @@ fn matmul_tn_rows_blocked(
                 *o += av * bv;
             }
         }
+        kk += 1;
     }
 }
 
@@ -679,7 +779,7 @@ fn matmul_nt_rows_blocked(
             let arow = &a[(r0 + i) * k..(r0 + i) * k + k];
             let orow = &mut chunk[i * jrows..(i + 1) * jrows];
             for (dj, o) in orow[jb..je].iter_mut().enumerate() {
-                *o = dot8(arow, &b[(jb + dj) * k..(jb + dj) * k + k]);
+                *o = dot_lanes(arow, &b[(jb + dj) * k..(jb + dj) * k + k]);
             }
         }
         jb = je;
@@ -711,16 +811,16 @@ fn matmul_nt_rows_naive(
 
 // ------------------------------------------------------------ public entries
 
-/// `a·b` for `a: m×k`, `b: k×n`, returned as a row-major buffer.
-pub(crate) fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+/// `a·b` for `a: m×k`, `b: k×n`, written row-major into `out` (length `m·n`).
+pub(crate) fn matmul(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * n);
     let _t = KernelTimer::begin();
-    let mut out = take_uninit(m * n);
     let mode = kernel_mode();
-    par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+    par_rows(out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+        KernelMode::Blocked if n == 1 && k > 0 => matvec_rows(a, b, k, r0, chunk),
         KernelMode::Blocked => matmul_rows_blocked(a, b, k, n, r0, chunk),
         KernelMode::Naive => matmul_rows_naive(a, b, k, n, r0, chunk),
     });
-    out
 }
 
 /// `a·b + bias` (bias broadcast over rows) — fused dense-layer forward.
@@ -735,12 +835,14 @@ pub(crate) fn matmul_bias(
     a: &[f32],
     b: &[f32],
     bias: &[f32],
-) -> Vec<f32> {
+    out: &mut [f32],
+) {
     debug_assert_eq!(bias.len(), n);
+    debug_assert_eq!(out.len(), m * n);
     let _t = KernelTimer::begin();
-    let mut out = take_uninit(m * n);
     let mode = kernel_mode();
-    par_rows(&mut out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+    par_rows(out, m, n, m * k * n, &|r0, _nrows, chunk| match mode {
+        KernelMode::Blocked if n == 1 && k > 0 => matvec_bias_rows(a, b, bias[0], k, r0, chunk),
         KernelMode::Blocked => matmul_bias_rows(a, b, bias, k, n, r0, chunk),
         KernelMode::Naive => {
             matmul_rows_naive(a, b, k, n, r0, chunk);
@@ -751,16 +853,22 @@ pub(crate) fn matmul_bias(
             }
         }
     });
-    out
 }
 
 /// `aᵀ·b` for `a: r×c`, `b: r×n` (output `c×n`), without materialising `aᵀ`.
-pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+pub(crate) fn matmul_tn(
+    a_rows: usize,
+    a_cols: usize,
+    n: usize,
+    a: &[f32],
+    b: &[f32],
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), a_cols * n);
     let _t = KernelTimer::begin();
-    let mut out = take_uninit(a_cols * n);
     let mode = kernel_mode();
     par_rows(
-        &mut out,
+        out,
         a_cols,
         n,
         a_rows * a_cols * n,
@@ -771,16 +879,15 @@ pub(crate) fn matmul_tn(a_rows: usize, a_cols: usize, n: usize, a: &[f32], b: &[
             KernelMode::Naive => matmul_tn_rows_naive(a, b, a_rows, a_cols, n, c0, nrows, chunk),
         },
     );
-    out
 }
 
 /// `a·bᵀ` for `a: m×k`, `b: j×k` (output `m×j`), without materialising `bᵀ`.
-pub(crate) fn matmul_nt(m: usize, k: usize, jrows: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+pub(crate) fn matmul_nt(m: usize, k: usize, jrows: usize, a: &[f32], b: &[f32], out: &mut [f32]) {
+    debug_assert_eq!(out.len(), m * jrows);
     let _t = KernelTimer::begin();
-    let mut out = take_uninit(m * jrows);
     let mode = kernel_mode();
     par_rows(
-        &mut out,
+        out,
         m,
         jrows,
         m * k * jrows,
@@ -789,7 +896,6 @@ pub(crate) fn matmul_nt(m: usize, k: usize, jrows: usize, a: &[f32], b: &[f32]) 
             KernelMode::Naive => matmul_nt_rows_naive(a, b, k, jrows, r0, nrows, chunk),
         },
     );
-    out
 }
 
 /// Batched product of 3-D tensors packed as 2-D (see
@@ -803,45 +909,39 @@ pub(crate) fn batched_matmul(
     trans_b: bool,
     a: &[f32],
     b: &[f32],
-) -> Vec<f32> {
+    out: &mut [f32],
+) {
+    debug_assert_eq!(out.len(), batch * m * n);
     let _t = KernelTimer::begin();
-    let mut out = take_uninit(batch * m * n);
     let mode = kernel_mode();
     // A slice of `b` is n×p when transposed (packing (batch, n, p)), else
     // p×n — the same element count either way.
     let bsl = p * n;
-    par_rows(
-        &mut out,
-        batch,
-        m * n,
-        batch * m * p * n,
-        &|s0, _ns, chunk| {
-            for (s, oslice) in chunk.chunks_exact_mut((m * n).max(1)).enumerate() {
-                let aslice = &a[(s0 + s) * m * p..(s0 + s + 1) * m * p];
-                let bslice = &b[(s0 + s) * bsl..(s0 + s + 1) * bsl];
-                match (trans_b, mode) {
-                    (false, KernelMode::Blocked) => {
-                        matmul_rows_blocked(aslice, bslice, p, n, 0, oslice)
-                    }
-                    (false, KernelMode::Naive) => {
-                        matmul_rows_naive(aslice, bslice, p, n, 0, oslice)
-                    }
-                    (true, KernelMode::Blocked) => {
-                        matmul_nt_rows_blocked(aslice, bslice, p, n, 0, m, oslice)
-                    }
-                    (true, KernelMode::Naive) => {
-                        matmul_nt_rows_naive(aslice, bslice, p, n, 0, m, oslice)
-                    }
+    par_rows(out, batch, m * n, batch * m * p * n, &|s0, _ns, chunk| {
+        for (s, oslice) in chunk.chunks_exact_mut((m * n).max(1)).enumerate() {
+            let aslice = &a[(s0 + s) * m * p..(s0 + s + 1) * m * p];
+            let bslice = &b[(s0 + s) * bsl..(s0 + s + 1) * bsl];
+            match (trans_b, mode) {
+                (false, KernelMode::Blocked) => {
+                    matmul_rows_blocked(aslice, bslice, p, n, 0, oslice)
+                }
+                (false, KernelMode::Naive) => matmul_rows_naive(aslice, bslice, p, n, 0, oslice),
+                (true, KernelMode::Blocked) => {
+                    matmul_nt_rows_blocked(aslice, bslice, p, n, 0, m, oslice)
+                }
+                (true, KernelMode::Naive) => {
+                    matmul_nt_rows_naive(aslice, bslice, p, n, 0, m, oslice)
                 }
             }
-        },
-    );
-    out
+        }
+    });
 }
 
-/// Gradients of [`batched_matmul`]: `(ga, gb)` for upstream gradient `g`.
-/// Parallelises over batch slices; `ga` and `gb` rows are disjoint per slice,
-/// so no accumulation crosses a thread boundary.
+/// Gradients of [`batched_matmul`] for upstream gradient `g`, written into
+/// `ga` (length `batch·m·p`) and `gb` (length `batch·p·n`). Parallelises over
+/// batch slices; `ga` and `gb` rows are disjoint per slice, so no
+/// accumulation crosses a thread boundary.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn batched_matmul_grads(
     batch: usize,
     m: usize,
@@ -851,13 +951,15 @@ pub(crate) fn batched_matmul_grads(
     a: &[f32],
     b: &[f32],
     g: &[f32],
-) -> (Vec<f32>, Vec<f32>) {
+    ga: &mut [f32],
+    gb: &mut [f32],
+) {
     // Per-batch slice of `b`/`gb`: n×p when transposed, p×n otherwise —
     // the same element count either way.
     let _t = KernelTimer::begin();
     let bsl = p * n;
-    let mut ga = take_uninit(batch * m * p);
-    let mut gb = take_uninit(batch * bsl);
+    debug_assert_eq!(ga.len(), batch * m * p);
+    debug_assert_eq!(gb.len(), batch * bsl);
     let mode = kernel_mode();
     let kernel = |s0: usize, ga_chunk: &mut [f32], gb_chunk: &mut [f32]| {
         for (s, (gas, gbs)) in ga_chunk
@@ -893,15 +995,15 @@ pub(crate) fn batched_matmul_grads(
     let nt = plan_threads(batch, 2 * batch * m * p * n);
     if nt <= 1 || ga.is_empty() {
         bump(&SERIAL_REGIONS, 1);
-        kernel(0, &mut ga, &mut gb);
+        kernel(0, ga, gb);
     } else {
         bump(&PAR_REGIONS, 1);
         bump(&PAR_WORKERS, nt as u64);
         let chunk_slices = batch.div_ceil(nt);
         let kernel = &kernel;
         std::thread::scope(|s| {
-            let mut ga_rest = ga.as_mut_slice();
-            let mut gb_rest = gb.as_mut_slice();
+            let mut ga_rest = &mut *ga;
+            let mut gb_rest = &mut *gb;
             let mut s0 = 0;
             while s0 + chunk_slices < batch {
                 let (ga_head, ga_tail) = ga_rest.split_at_mut(chunk_slices * m * p);
@@ -914,31 +1016,32 @@ pub(crate) fn batched_matmul_grads(
             kernel(s0, ga_rest, gb_rest);
         });
     }
-    (ga, gb)
 }
 
-/// Element-wise map, row-partitioned across the pool for large buffers.
-pub(crate) fn map_elems(src: &[f32], f: &(dyn Fn(f32) -> f32 + Sync)) -> Vec<f32> {
+/// Element-wise map into `out`, row-partitioned across the pool for large
+/// buffers.
+pub(crate) fn map_elems(src: &[f32], out: &mut [f32], f: &(dyn Fn(f32) -> f32 + Sync)) {
+    debug_assert_eq!(out.len(), src.len());
     bump(&ELEMWISE_CALLS, 1);
-    let mut out = take_uninit(src.len());
-    par_rows(&mut out, src.len(), 1, src.len(), &|r0, nrows, chunk| {
+    par_rows(out, src.len(), 1, src.len(), &|r0, nrows, chunk| {
         for (o, &x) in chunk.iter_mut().zip(&src[r0..r0 + nrows]) {
             *o = f(x);
         }
     });
-    out
 }
 
-/// Element-wise zip-map, row-partitioned across the pool for large buffers.
+/// Element-wise zip-map into `out`, row-partitioned across the pool for
+/// large buffers.
 pub(crate) fn zip_map_elems(
     x: &[f32],
     y: &[f32],
+    out: &mut [f32],
     f: &(dyn Fn(f32, f32) -> f32 + Sync),
-) -> Vec<f32> {
+) {
     debug_assert_eq!(x.len(), y.len());
+    debug_assert_eq!(out.len(), x.len());
     bump(&ELEMWISE_CALLS, 1);
-    let mut out = take_uninit(x.len());
-    par_rows(&mut out, x.len(), 1, x.len(), &|r0, nrows, chunk| {
+    par_rows(out, x.len(), 1, x.len(), &|r0, nrows, chunk| {
         for ((o, &a), &b) in chunk
             .iter_mut()
             .zip(&x[r0..r0 + nrows])
@@ -947,7 +1050,6 @@ pub(crate) fn zip_map_elems(
             *o = f(a, b);
         }
     });
-    out
 }
 
 #[cfg(test)]
@@ -990,15 +1092,6 @@ mod tests {
     }
 
     #[test]
-    fn take_zeroed_is_zero_even_after_reuse() {
-        let mut v = take_uninit(128);
-        v.fill(7.0);
-        recycle(v);
-        let z = take_zeroed(128);
-        assert!(z.iter().all(|&x| x == 0.0));
-    }
-
-    #[test]
     fn thread_override_is_scoped() {
         let outer = num_threads();
         with_num_threads(3, || {
@@ -1007,6 +1100,12 @@ mod tests {
             assert_eq!(num_threads(), 3);
         });
         assert_eq!(num_threads(), outer);
+    }
+
+    fn mm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32]) -> Vec<f32> {
+        let mut out = vec![0.0f32; m * n];
+        matmul(m, k, n, a, b, &mut out);
+        out
     }
 
     #[test]
@@ -1018,13 +1117,39 @@ mod tests {
     }
 
     #[test]
+    fn dot16_matches_sequential_within_tolerance() {
+        for len in [0, 1, 15, 16, 17, 31, 32, 33, 100, 257] {
+            let x: Vec<f32> = (0..len).map(|i| (i as f32 * 0.37).sin()).collect();
+            let y: Vec<f32> = (0..len).map(|i| (i as f32 * 0.11).cos()).collect();
+            let seq: f32 = x.iter().zip(&y).map(|(&a, &b)| a * b).sum();
+            assert!(
+                (dot16(&x, &y) - seq).abs() < 1e-4,
+                "len {len}: {} vs {seq}",
+                dot16(&x, &y)
+            );
+        }
+    }
+
+    #[test]
+    fn dot_lanes_is_deterministic_per_shape() {
+        let x: Vec<f32> = (0..64).map(|i| (i as f32 * 0.9).sin()).collect();
+        let y: Vec<f32> = (0..64).map(|i| (i as f32 * 0.4).cos()).collect();
+        assert_eq!(dot_lanes(&x, &y), dot16(&x, &y), "long dots pick dot16");
+        assert_eq!(
+            dot_lanes(&x[..20], &y[..20]),
+            dot8(&x[..20], &y[..20]),
+            "short dots pick dot8"
+        );
+    }
+
+    #[test]
     fn blocked_matmul_matches_naive_bitwise_on_these_inputs() {
         // Same per-element accumulation order; the only difference is the
         // naive zero-skip, which cannot change finite sums here.
         let a: Vec<f32> = (0..7 * 5).map(|i| ((i * 37) % 11) as f32 - 5.0).collect();
         let b: Vec<f32> = (0..5 * 9).map(|i| ((i * 53) % 13) as f32 * 0.25).collect();
-        let blocked = with_kernel_mode(KernelMode::Blocked, || matmul(7, 5, 9, &a, &b));
-        let naive = with_kernel_mode(KernelMode::Naive, || matmul(7, 5, 9, &a, &b));
+        let blocked = with_kernel_mode(KernelMode::Blocked, || mm(7, 5, 9, &a, &b));
+        let naive = with_kernel_mode(KernelMode::Naive, || mm(7, 5, 9, &a, &b));
         assert_eq!(blocked, naive);
     }
 
@@ -1032,18 +1157,42 @@ mod tests {
     fn parallel_matches_serial_bitwise() {
         let a: Vec<f32> = (0..33 * 17).map(|i| (i as f32 * 0.7).sin()).collect();
         let b: Vec<f32> = (0..17 * 29).map(|i| (i as f32 * 1.3).cos()).collect();
-        let serial = with_num_threads(1, || matmul(33, 17, 29, &a, &b));
+        let serial = with_num_threads(1, || mm(33, 17, 29, &a, &b));
         for nt in [2, 3, 4, 7] {
-            let par = with_num_threads(nt, || matmul(33, 17, 29, &a, &b));
+            let par = with_num_threads(nt, || mm(33, 17, 29, &a, &b));
             assert_eq!(serial, par, "thread count {nt} changed the result");
         }
     }
 
     #[test]
+    fn matvec_parallel_matches_serial_bitwise() {
+        // The n == 1 lane path must stay bit-identical across thread counts
+        // and match the naive oracle within tolerance.
+        for k in [1usize, 7, 8, 9, 31, 32, 33, 100] {
+            let a: Vec<f32> = (0..65 * k).map(|i| (i as f32 * 0.7).sin()).collect();
+            let b: Vec<f32> = (0..k).map(|i| (i as f32 * 1.3).cos()).collect();
+            let serial = with_num_threads(1, || mm(65, k, 1, &a, &b));
+            for nt in [2, 4, 7] {
+                let par = with_num_threads(nt, || mm(65, k, 1, &a, &b));
+                assert_eq!(serial, par, "k {k}, thread count {nt}");
+            }
+            let naive = with_kernel_mode(KernelMode::Naive, || mm(65, k, 1, &a, &b));
+            for (s, n) in serial.iter().zip(&naive) {
+                assert!((s - n).abs() < 1e-4, "k {k}: {s} vs {n}");
+            }
+        }
+    }
+
+    #[test]
     fn empty_dims_are_handled() {
-        assert_eq!(matmul(0, 3, 4, &[], &[0.0; 12]), Vec::<f32>::new());
-        assert_eq!(matmul(2, 0, 3, &[], &[]), vec![0.0; 6]);
-        assert_eq!(matmul_nt(2, 0, 3, &[], &[0.0; 0]), vec![0.0; 6]);
-        assert_eq!(matmul_tn(0, 2, 3, &[], &[]), vec![0.0; 6]);
+        let mut out = [0.0f32; 0];
+        matmul(0, 3, 4, &[], &[0.0; 12], &mut out);
+        assert_eq!(mm(2, 0, 3, &[], &[]), vec![0.0; 6]);
+        let mut nt_out = vec![7.0f32; 6];
+        matmul_nt(2, 0, 3, &[], &[], &mut nt_out);
+        assert_eq!(nt_out, vec![0.0; 6]);
+        let mut tn_out = vec![7.0f32; 6];
+        matmul_tn(0, 2, 3, &[], &[], &mut tn_out);
+        assert_eq!(tn_out, vec![0.0; 6]);
     }
 }

@@ -20,10 +20,28 @@
 //! arithmetic and activations, row/column broadcasts, concat/slice/reshape,
 //! row-sum and row-softmax. Loss ops (`weighted_bce`, `mean_all`, …) stay
 //! tape-only — serving never builds a loss.
+//!
+//! # Operator fusion
+//!
+//! On top of the primitive vocabulary the trait offers *fusable composites*
+//! as default methods: [`Exec::linear_act`], [`Exec::mul_add`],
+//! [`Exec::softmax_rows_scaled`], [`Exec::gather_concat`], and the
+//! packed-GRU pair [`Exec::pack_gru`] / [`Exec::gru_step_packed`].
+//! The defaults expand to the primitive ops, so [`Tape`] keeps its unfused
+//! reference implementation (and its autodiff graph) untouched. [`ValueExec`]
+//! overrides them with single-pass fused kernels whose per-element arithmetic
+//! replays the unfused op sequence exactly — fused and unfused outputs are
+//! bit-identical, which `tests/exec_equivalence.rs` pins at 1 and 4 threads.
+//! `UAE_EXEC_FUSION=off` (or [`with_fusion`]) disables fusion for debugging.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
 
 use crate::matrix::Matrix;
 use crate::params::{ParamId, Params};
 use crate::tape::{Tape, Var};
+
+pub use crate::arena;
 
 /// Shared forward kernels. Every function here is the *single* definition of
 /// its op's arithmetic: [`Tape`]'s op constructors call these to compute node
@@ -32,7 +50,40 @@ use crate::tape::{Tape, Var};
 pub(crate) mod kernels {
     use crate::backend;
     use crate::matrix::Matrix;
+    use crate::params::{ParamId, Params};
     use crate::tape::sigmoid;
+
+    /// Fused embedding encode: gathers each field's table rows and the dense
+    /// block straight into the concatenated output. Pure row copies into the
+    /// same positions the unfused gather-then-concat sequence writes, so the
+    /// result is bitwise identical while skipping every intermediate
+    /// per-field matrix and the staged concat copies.
+    // The row index `r` addresses three containers at once; an iterator
+    // over any single one of them would obscure that symmetry.
+    #[allow(clippy::needless_range_loop)]
+    pub fn gather_concat(
+        params: &Params,
+        tables: &[ParamId],
+        ids: &[Vec<usize>],
+        dense: &Matrix,
+    ) -> Matrix {
+        assert_eq!(tables.len(), ids.len(), "gather_concat field count");
+        let batch = dense.rows();
+        let emb_w: usize = tables.iter().map(|&t| params.value(t).cols()).sum();
+        let mut out = Matrix::uninit(batch, emb_w + dense.cols());
+        for r in 0..batch {
+            let row = out.row_mut(r);
+            let mut off = 0;
+            for (f, &t) in tables.iter().enumerate() {
+                let tab = params.value(t);
+                let w = tab.cols();
+                row[off..off + w].copy_from_slice(tab.row(ids[f][r]));
+                off += w;
+            }
+            row[off..].copy_from_slice(dense.row(r));
+        }
+        out
+    }
 
     pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
         a.matmul(b)
@@ -44,9 +95,7 @@ pub(crate) mod kernels {
     }
 
     pub fn add(a: &Matrix, b: &Matrix) -> Matrix {
-        let mut v = a.clone();
-        v.add_assign(b);
-        v
+        a.zip_map(b, |x, y| x + y)
     }
 
     pub fn sub(a: &Matrix, b: &Matrix) -> Matrix {
@@ -55,6 +104,25 @@ pub(crate) mod kernels {
 
     pub fn mul(a: &Matrix, b: &Matrix) -> Matrix {
         a.zip_map(b, |x, y| x * y)
+    }
+
+    /// Fused `a ∘ b + c` in one pass. Per element this is `a*b + c` — the
+    /// same two operations, in the same order, as the unfused mul-then-add,
+    /// so the fused kernel is bitwise identical.
+    pub fn mul_add(a: &Matrix, b: &Matrix, c: &Matrix) -> Matrix {
+        assert_eq!(a.shape(), b.shape(), "mul_add shape mismatch");
+        assert_eq!(a.shape(), c.shape(), "mul_add shape mismatch");
+        let mut out = Matrix::uninit(a.rows(), a.cols());
+        for (((o, &x), &y), &z) in out
+            .data_mut()
+            .iter_mut()
+            .zip(a.data())
+            .zip(b.data())
+            .zip(c.data())
+        {
+            *o = x * y + z;
+        }
+        out
     }
 
     /// `(m×n) + (1×n)` broadcast over rows.
@@ -140,6 +208,30 @@ pub(crate) mod kernels {
         value
     }
 
+    /// Fused scale-then-softmax: one pass instead of materialising the
+    /// scaled matrix. Per element it replays `affine(x, s, 0.0)` followed by
+    /// [`softmax_rows`] exactly (`s·x + 0.0`, same max/exp/divide order), so
+    /// it is bit-identical to the unfused pair.
+    pub fn softmax_rows_scaled(v: &Matrix, s: f32) -> Matrix {
+        let mut value = Matrix::uninit(v.rows(), v.cols());
+        for r in 0..v.rows() {
+            let row = v.row(r);
+            let max = row
+                .iter()
+                .map(|&x| s * x + 0.0)
+                .fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0;
+            for (o, &x) in value.row_mut(r).iter_mut().zip(row) {
+                *o = ((s * x + 0.0) - max).exp();
+                denom += *o;
+            }
+            for o in value.row_mut(r) {
+                *o /= denom;
+            }
+        }
+        value
+    }
+
     /// Batched matrix product over 3-D tensors packed as 2-D matrices; see
     /// [`crate::tape::Tape::batched_matmul`] for the packing convention.
     pub fn batched_matmul(a: &Matrix, b: &Matrix, batch: usize, trans_b: bool) -> Matrix {
@@ -156,9 +248,154 @@ pub(crate) mod kernels {
             n = b.cols();
             out_cols = n;
         }
-        let data = backend::batched_matmul(batch, m, p, n, trans_b, a.data(), b.data());
-        Matrix::from_vec(batch * m, out_cols, data)
+        let mut out = Matrix::uninit(batch * m, out_cols);
+        backend::batched_matmul(batch, m, p, n, trans_b, a.data(), b.data(), out.data_mut());
+        out
     }
+
+    /// Fused GRU step on packed gate weights: two GEMMs (`x·[W_r|W_z|W_n]+b`
+    /// and `h·[U_r|U_z|U_n]`), then one element-wise pass computing
+    /// `r`, `z`, candidate `n`, the convex update, and (optionally) the
+    /// per-row mask blend. Per element the arithmetic replays the unfused op
+    /// sequence exactly — see [`crate::exec::Exec::gru_step_packed`]'s
+    /// default body — so fused and unfused steps are bit-identical.
+    // `-1.0 * v + 1.0` is kept literally: it replays the unfused
+    // `affine(v, -1.0, 1.0)` arithmetic the bit-identity contract pins.
+    #[allow(clippy::neg_multiply)]
+    pub fn gru_step_fused(
+        w: &Matrix,
+        u: &Matrix,
+        b: &Matrix,
+        hidden: usize,
+        x: &Matrix,
+        h: &Matrix,
+        mask: Option<&Matrix>,
+    ) -> Matrix {
+        let xwb = linear(x, w, b);
+        let hu = matmul(h, u);
+        let batch = h.rows();
+        let mut out = Matrix::uninit(batch, hidden);
+        for i in 0..batch {
+            let xw = xwb.row(i);
+            let hr = hu.row(i);
+            let hrow = h.row(i);
+            let (mv, inv) = match mask {
+                Some(m) => {
+                    let mv = m.get(i, 0);
+                    // Replays `one_minus` = `affine(m, -1.0, 1.0)` exactly.
+                    (mv, -1.0 * mv + 1.0)
+                }
+                None => (1.0, 0.0),
+            };
+            for (j, o) in out.row_mut(i).iter_mut().enumerate() {
+                let r = sigmoid(xw[j] + hr[j]);
+                let z = sigmoid(xw[hidden + j] + hr[hidden + j]);
+                let n = (xw[2 * hidden + j] + r * hr[2 * hidden + j]).tanh();
+                let zh = z * hrow[j];
+                let omz = -1.0 * z + 1.0;
+                let cand = zh + omz * n;
+                *o = if mask.is_some() {
+                    cand * mv + hrow[j] * inv
+                } else {
+                    cand
+                };
+            }
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- fusion config
+
+fn env_fusion() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        !matches!(
+            std::env::var("UAE_EXEC_FUSION").as_deref(),
+            Ok("off") | Ok("0") | Ok("false")
+        )
+    })
+}
+
+thread_local! {
+    static FUSION_OVERRIDE: Cell<Option<bool>> = const { Cell::new(None) };
+    static PARAM_MATERIALIZATIONS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Whether [`ValueExec::new`] builds a fusing engine: the per-thread override
+/// if set (see [`with_fusion`]), else `UAE_EXEC_FUSION` (default on).
+pub fn fusion_enabled() -> bool {
+    FUSION_OVERRIDE.with(Cell::get).unwrap_or_else(env_fusion)
+}
+
+/// Runs `f` with fusion force-enabled or force-disabled on this thread
+/// (scoped, panic-safe) — for equivalence tests and benches.
+pub fn with_fusion<R>(on: bool, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<bool>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            FUSION_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let _guard = Restore(FUSION_OVERRIDE.with(|c| c.replace(Some(on))));
+    f()
+}
+
+/// Inference-engine counters for the calling thread.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Parameter matrices deep-copied by [`ValueExec::param`]. Hoisted layer
+    /// vars make this independent of sequence length, and frozen (shared)
+    /// serving params don't count at all — their clones are O(1) handle
+    /// copies. The regression counter for per-step/per-batch param memcpys.
+    pub param_materializations: u64,
+}
+
+/// Snapshot of this thread's [`ExecStats`].
+pub fn exec_stats() -> ExecStats {
+    ExecStats {
+        param_materializations: PARAM_MATERIALIZATIONS.with(Cell::get),
+    }
+}
+
+/// Zeroes this thread's [`ExecStats`].
+pub fn reset_exec_stats() {
+    PARAM_MATERIALIZATIONS.with(|c| c.set(0));
+}
+
+// -------------------------------------------------------------- fusion types
+
+/// Activation selector for the fused dense layer [`Exec::linear_act`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    None,
+    Relu,
+    Tanh,
+    Sigmoid,
+}
+
+/// Borrowed per-gate GRU parameters handed to [`Exec::pack_gru`], in the
+/// fixed `r, z, n` gate order.
+pub struct GruGates<'a, V> {
+    pub w_r: &'a V,
+    pub u_r: &'a V,
+    pub b_r: &'a V,
+    pub w_z: &'a V,
+    pub u_z: &'a V,
+    pub b_z: &'a V,
+    pub w_n: &'a V,
+    pub u_n: &'a V,
+    pub b_n: &'a V,
+}
+
+/// Column-packed GRU gate parameters produced by [`Exec::pack_gru`]:
+/// `w: in×3h = [W_r|W_z|W_n]`, `u: h×3h = [U_r|U_z|U_n]`, `b: 1×3h`.
+#[derive(Debug, Clone)]
+pub struct GruPacked<V> {
+    pub w: V,
+    pub u: V,
+    pub b: V,
+    pub hidden: usize,
 }
 
 /// An execution context for forward passes.
@@ -237,8 +474,9 @@ pub trait Exec {
 
     fn relu(&mut self, x: &Self::V) -> Self::V;
 
-    /// Horizontal concatenation.
-    fn concat_cols(&mut self, parts: &[Self::V]) -> Self::V;
+    /// Horizontal concatenation (parts are borrowed: no engine needs to
+    /// deep-copy a `Matrix` just to concatenate it).
+    fn concat_cols(&mut self, parts: &[&Self::V]) -> Self::V;
 
     /// Copies out columns `[start, end)`.
     fn slice_cols(&mut self, x: &Self::V, start: usize, end: usize) -> Self::V;
@@ -251,6 +489,120 @@ pub trait Exec {
 
     /// Row-wise softmax.
     fn softmax_rows(&mut self, x: &Self::V) -> Self::V;
+
+    // ------------------------------------------------------ fusable composites
+
+    /// Dense layer followed by an activation. The default expands to
+    /// [`Exec::linear`] + the activation op (what the tape records);
+    /// [`ValueExec`] fuses the activation into the GEMM output pass.
+    fn linear_act(&mut self, x: &Self::V, w: &Self::V, b: &Self::V, act: ActKind) -> Self::V {
+        let y = self.linear(x, w, b);
+        match act {
+            ActKind::None => y,
+            ActKind::Relu => self.relu(&y),
+            ActKind::Tanh => self.tanh(&y),
+            ActKind::Sigmoid => self.sigmoid(&y),
+        }
+    }
+
+    /// Embedding encode: gathers each field's rows from its table and
+    /// concatenates them with the dense block,
+    /// `[T₀[ids₀] | … | T_F[ids_F] | dense]`. The default expands to
+    /// per-field [`Exec::gather`]s + [`Exec::input`] + one
+    /// [`Exec::concat_cols`] (preserving gradient flow into every table on
+    /// the tape); [`ValueExec`] fuses the whole encode into one write of the
+    /// output buffer — pure row copies, so bitwise identical.
+    fn gather_concat(
+        &mut self,
+        params: &Params,
+        tables: &[ParamId],
+        ids: &[Vec<usize>],
+        dense: &Matrix,
+    ) -> Self::V {
+        let mut parts: Vec<Self::V> = tables
+            .iter()
+            .zip(ids)
+            .map(|(&t, i)| self.gather(params, t, i))
+            .collect();
+        parts.push(self.input(dense.clone()));
+        let refs: Vec<&Self::V> = parts.iter().collect();
+        self.concat_cols(&refs)
+    }
+
+    /// `a ∘ b + c` element-wise (the DCN cross-layer residual pattern).
+    /// The default expands to [`Exec::mul`] + [`Exec::add`] (what the tape
+    /// records); [`ValueExec`] fuses both into a single pass, which is
+    /// bitwise identical because each element is `a*b + c` either way.
+    fn mul_add(&mut self, a: &Self::V, b: &Self::V, c: &Self::V) -> Self::V {
+        let t = self.mul(a, b);
+        self.add(&t, c)
+    }
+
+    /// `softmax_rows(s · x)`. The default expands to [`Exec::scale`] +
+    /// [`Exec::softmax_rows`]; [`ValueExec`] fuses the scale into the
+    /// softmax's max/exp passes.
+    fn softmax_rows_scaled(&mut self, x: &Self::V, s: f32) -> Self::V {
+        let y = self.scale(x, s);
+        self.softmax_rows(&y)
+    }
+
+    /// Packs the nine per-gate GRU parameters into column-blocked `[r|z|n]`
+    /// matrices for [`Exec::gru_step_packed`]. Returning `None` (the
+    /// default, and the tape's behaviour) keeps the caller on the unfused
+    /// per-gate step. Engines only return `Some` when the packed step is
+    /// bit-identical to the unfused one for these shapes.
+    fn pack_gru(&mut self, gates: GruGates<'_, Self::V>) -> Option<GruPacked<Self::V>> {
+        let _ = gates;
+        None
+    }
+
+    /// One GRU step on packed gates: `r = σ(x·W_r+b_r + h·U_r)`,
+    /// `z = σ(x·W_z+b_z + h·U_z)`, `n = tanh(x·W_n+b_n + r∘(h·U_n))`,
+    /// `h' = z∘h + (1−z)∘n`, optionally blended per row with `mask`
+    /// (`h' ∘ m + h ∘ (1−m)`).
+    ///
+    /// The default body computes the packed GEMMs and then replays the
+    /// unfused op sequence on column slices — bit-identical to per-gate
+    /// matmuls because the blocked GEMM accumulates each output element
+    /// independently, k-ascending. [`ValueExec`] overrides with a
+    /// single-pass fused kernel.
+    fn gru_step_packed(
+        &mut self,
+        p: &GruPacked<Self::V>,
+        x: &Self::V,
+        h: &Self::V,
+        mask: Option<&Self::V>,
+    ) -> Self::V {
+        let hid = p.hidden;
+        let xwb = self.linear(x, &p.w, &p.b);
+        let hu = self.matmul(h, &p.u);
+        let xw_r = self.slice_cols(&xwb, 0, hid);
+        let xw_z = self.slice_cols(&xwb, hid, 2 * hid);
+        let xw_n = self.slice_cols(&xwb, 2 * hid, 3 * hid);
+        let hu_r = self.slice_cols(&hu, 0, hid);
+        let hu_z = self.slice_cols(&hu, hid, 2 * hid);
+        let hu_n = self.slice_cols(&hu, 2 * hid, 3 * hid);
+        let pre_r = self.add(&xw_r, &hu_r);
+        let r = self.sigmoid(&pre_r);
+        let pre_z = self.add(&xw_z, &hu_z);
+        let z = self.sigmoid(&pre_z);
+        let rhu = self.mul(&r, &hu_n);
+        let pre_n = self.add(&xw_n, &rhu);
+        let n = self.tanh(&pre_n);
+        let zh = self.mul(&z, h);
+        let omz = self.one_minus(&z);
+        let zn = self.mul(&omz, &n);
+        let cand = self.add(&zh, &zn);
+        match mask {
+            None => cand,
+            Some(m) => {
+                let kept = self.mul_col(&cand, m);
+                let inv = self.one_minus(m);
+                let carried = self.mul_col(h, &inv);
+                self.add(&kept, &carried)
+            }
+        }
+    }
 }
 
 /// The training engine: every op records an autodiff node (see [`Tape`]'s
@@ -331,8 +683,9 @@ impl Exec for Tape {
         Tape::relu(self, *x)
     }
 
-    fn concat_cols(&mut self, parts: &[Var]) -> Var {
-        Tape::concat_cols(self, parts)
+    fn concat_cols(&mut self, parts: &[&Var]) -> Var {
+        let vars: Vec<Var> = parts.iter().map(|p| **p).collect();
+        Tape::concat_cols(self, &vars)
     }
 
     fn slice_cols(&mut self, x: &Var, start: usize, end: usize) -> Var {
@@ -355,12 +708,35 @@ impl Exec for Tape {
 /// The serving engine: ops evaluate directly on [`Matrix`] values through the
 /// same kernels the tape uses, with no node allocation and no gradient state.
 /// Bit-identical to the tape forward by construction.
-#[derive(Debug, Default, Clone, Copy)]
-pub struct ValueExec;
+///
+/// The only state is the fusion flag, snapshotted from
+/// [`fusion_enabled`] at construction: when set, the fusable composites
+/// ([`Exec::linear_act`], [`Exec::softmax_rows_scaled`],
+/// [`Exec::pack_gru`]/[`Exec::gru_step_packed`]) run single-pass fused
+/// kernels that are bit-identical to their unfused expansions.
+#[derive(Debug, Clone, Copy)]
+pub struct ValueExec {
+    fused: bool,
+}
 
 impl ValueExec {
+    /// An engine honouring the ambient fusion config (`UAE_EXEC_FUSION` /
+    /// [`with_fusion`]).
     pub fn new() -> Self {
-        ValueExec
+        ValueExec {
+            fused: fusion_enabled(),
+        }
+    }
+
+    /// An engine with fusion pinned, independent of the environment.
+    pub fn with_fusion(fused: bool) -> Self {
+        ValueExec { fused }
+    }
+}
+
+impl Default for ValueExec {
+    fn default() -> Self {
+        ValueExec::new()
     }
 }
 
@@ -372,7 +748,13 @@ impl Exec for ValueExec {
     }
 
     fn param(&mut self, params: &Params, id: ParamId) -> Matrix {
-        params.value(id).clone()
+        let v = params.value(id);
+        if !v.is_shared() {
+            // Frozen serving params clone as shared handles — only genuine
+            // deep copies count against the materialization budget.
+            PARAM_MATERIALIZATIONS.with(|c| c.set(c.get() + 1));
+        }
+        v.clone()
     }
 
     fn gather(&mut self, params: &Params, id: ParamId, rows: &[usize]) -> Matrix {
@@ -439,9 +821,8 @@ impl Exec for ValueExec {
         kernels::relu_map(x)
     }
 
-    fn concat_cols(&mut self, parts: &[Matrix]) -> Matrix {
-        let refs: Vec<&Matrix> = parts.iter().collect();
-        kernels::concat_cols(&refs)
+    fn concat_cols(&mut self, parts: &[&Matrix]) -> Matrix {
+        kernels::concat_cols(parts)
     }
 
     fn slice_cols(&mut self, x: &Matrix, start: usize, end: usize) -> Matrix {
@@ -458,6 +839,93 @@ impl Exec for ValueExec {
 
     fn softmax_rows(&mut self, x: &Matrix) -> Matrix {
         kernels::softmax_rows(x)
+    }
+
+    fn linear_act(&mut self, x: &Matrix, w: &Matrix, b: &Matrix, act: ActKind) -> Matrix {
+        let mut y = kernels::linear(x, w, b);
+        if self.fused {
+            // In-place activation on the GEMM output: one matrix instead of
+            // two, same per-element functions as the unfused maps.
+            match act {
+                ActKind::None => {}
+                ActKind::Relu => y.apply(|v| v.max(0.0)),
+                ActKind::Tanh => y.apply(f32::tanh),
+                ActKind::Sigmoid => y.apply(crate::tape::sigmoid),
+            }
+            y
+        } else {
+            match act {
+                ActKind::None => y,
+                ActKind::Relu => kernels::relu_map(&y),
+                ActKind::Tanh => kernels::tanh_map(&y),
+                ActKind::Sigmoid => kernels::sigmoid_map(&y),
+            }
+        }
+    }
+
+    fn gather_concat(
+        &mut self,
+        params: &Params,
+        tables: &[ParamId],
+        ids: &[Vec<usize>],
+        dense: &Matrix,
+    ) -> Matrix {
+        if self.fused {
+            kernels::gather_concat(params, tables, ids, dense)
+        } else {
+            let mut parts: Vec<Matrix> = tables
+                .iter()
+                .zip(ids)
+                .map(|(&t, i)| params.value(t).gather_rows(i))
+                .collect();
+            parts.push(dense.clone());
+            kernels::concat_cols(&parts.iter().collect::<Vec<_>>())
+        }
+    }
+
+    fn mul_add(&mut self, a: &Matrix, b: &Matrix, c: &Matrix) -> Matrix {
+        if self.fused {
+            kernels::mul_add(a, b, c)
+        } else {
+            let t = kernels::mul(a, b);
+            kernels::add(&t, c)
+        }
+    }
+
+    fn softmax_rows_scaled(&mut self, x: &Matrix, s: f32) -> Matrix {
+        if self.fused {
+            kernels::softmax_rows_scaled(x, s)
+        } else {
+            let y = kernels::affine(x, s, 0.0);
+            kernels::softmax_rows(&y)
+        }
+    }
+
+    fn pack_gru(&mut self, g: GruGates<'_, Matrix>) -> Option<GruPacked<Matrix>> {
+        let hidden = g.u_r.cols();
+        // hidden == 1 would route the unfused per-gate GEMMs through the
+        // n == 1 lane kernel while the packed GEMM (n = 3) stays blocked —
+        // different summation orders. Skip packing so fused stays
+        // bit-identical to the tape oracle at every shape.
+        if !self.fused || hidden <= 1 {
+            return None;
+        }
+        Some(GruPacked {
+            w: kernels::concat_cols(&[g.w_r, g.w_z, g.w_n]),
+            u: kernels::concat_cols(&[g.u_r, g.u_z, g.u_n]),
+            b: kernels::concat_cols(&[g.b_r, g.b_z, g.b_n]),
+            hidden,
+        })
+    }
+
+    fn gru_step_packed(
+        &mut self,
+        p: &GruPacked<Matrix>,
+        x: &Matrix,
+        h: &Matrix,
+        mask: Option<&Matrix>,
+    ) -> Matrix {
+        kernels::gru_step_fused(&p.w, &p.u, &p.b, p.hidden, x, h, mask)
     }
 }
 
@@ -483,10 +951,12 @@ mod tests {
 
         let mm = exec.matmul(&x, &w);
         let lin = exec.linear(&x, &w, &b);
+        let la = exec.linear_act(&x, &w, &b, ActKind::Tanh);
         let sum = exec.add(&mm, &lin);
         let diff = exec.sub(&sum, &mm);
         let prod = exec.mul(&diff, &lin);
-        let sq = exec.square(&prod);
+        let fma = exec.mul_add(&prod, &diff, &lin);
+        let sq = exec.square(&fma);
         let biased = exec.add_row(&sq, &b);
         let masked = exec.mul_col(&biased, &col);
         let aff = exec.affine(&masked, 0.3, -0.1);
@@ -495,14 +965,21 @@ mod tests {
         let sg = exec.sigmoid(&sc);
         let th = exec.tanh(&sg);
         let re = exec.relu(&th);
-        let cat = exec.concat_cols(&[re.clone(), g.clone()]);
+        let cat = exec.concat_cols(&[&re, &g]);
         let sl = exec.slice_cols(&cat, 1, 4);
         let rs = exec.reshape(&sl, 3, 4);
         let row = exec.row_sum(&rs);
         let sm = exec.softmax_rows(&rs);
+        let sms = exec.softmax_rows_scaled(&rs, 0.37);
         let bm = exec.batched_matmul(&rs, &rs, 1, true);
         let det = exec.detach(&bm);
-        [cat, sl, row, sm, bm, det]
+        let gc = exec.gather_concat(
+            params,
+            &[ids[2], ids[2]],
+            &[vec![0, 2, 1, 0], vec![1, 1, 0, 2]],
+            &Matrix::from_vec(4, 2, vec![0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8]),
+        );
+        [cat, sl, row, sm, sms, la, bm, det, gc]
             .iter()
             .map(|v| exec.value(v).clone())
             .collect()
@@ -519,25 +996,216 @@ mod tests {
         ];
         let mut tape = Tape::new();
         let tape_out = run_all_ops(&mut tape, &params, &ids);
-        let mut vx = ValueExec::new();
-        let value_out = run_all_ops(&mut vx, &params, &ids);
-        assert_eq!(tape_out.len(), value_out.len());
-        for (i, (t, v)) in tape_out.iter().zip(&value_out).enumerate() {
-            assert_eq!(t.shape(), v.shape(), "output {i}");
-            assert_eq!(t.data(), v.data(), "output {i}");
+        for fused in [false, true] {
+            let mut vx = ValueExec::with_fusion(fused);
+            let value_out = run_all_ops(&mut vx, &params, &ids);
+            assert_eq!(tape_out.len(), value_out.len());
+            for (i, (t, v)) in tape_out.iter().zip(&value_out).enumerate() {
+                assert_eq!(t.shape(), v.shape(), "fused={fused}, output {i}");
+                assert_eq!(t.data(), v.data(), "fused={fused}, output {i}");
+            }
         }
     }
 
     #[test]
-    fn value_exec_has_no_state() {
-        // ValueExec is a ZST: constructing it allocates nothing, and ops are
-        // pure functions of their inputs.
-        assert_eq!(std::mem::size_of::<ValueExec>(), 0);
+    fn value_exec_is_one_flag_and_ops_are_pure() {
+        // ValueExec carries only the fusion flag — no per-op state, nothing
+        // heap-allocated — and ops are pure functions of their inputs.
+        assert_eq!(std::mem::size_of::<ValueExec>(), 1);
         let mut vx = ValueExec::new();
         let a = vx.input(Matrix::row_vector(&[1.0, 2.0]));
         let b = vx.input(Matrix::row_vector(&[3.0, 4.0]));
         let s1 = vx.add(&a, &b);
         let s2 = vx.add(&a, &b);
         assert_eq!(s1.data(), s2.data());
+    }
+
+    #[test]
+    fn fused_linear_act_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from_u64(7);
+        // Ragged width 13 exercises lane-kernel tails; 1 output unit
+        // exercises the n == 1 matvec path.
+        for (k, n) in [(13, 5), (32, 13), (9, 1)] {
+            let x = Matrix::randn(6, k, 1.0, &mut rng);
+            let w = Matrix::randn(k, n, 1.0, &mut rng);
+            let b = Matrix::randn(1, n, 1.0, &mut rng);
+            for act in [
+                ActKind::None,
+                ActKind::Relu,
+                ActKind::Tanh,
+                ActKind::Sigmoid,
+            ] {
+                let fused = ValueExec::with_fusion(true).linear_act(&x, &w, &b, act);
+                let unfused = ValueExec::with_fusion(false).linear_act(&x, &w, &b, act);
+                assert_eq!(fused.data(), unfused.data(), "k={k} n={n} {act:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scaled_softmax_matches_unfused_bitwise() {
+        let mut rng = Rng::seed_from_u64(8);
+        for cols in [1, 7, 17] {
+            let x = Matrix::randn(5, cols, 2.0, &mut rng);
+            for s in [0.25, 1.0, -0.6] {
+                let fused = ValueExec::with_fusion(true).softmax_rows_scaled(&x, s);
+                let unfused = ValueExec::with_fusion(false).softmax_rows_scaled(&x, s);
+                assert_eq!(fused.data(), unfused.data(), "cols={cols} s={s}");
+            }
+        }
+        // All-zero rows hit the ±0.0 corner of the fused max pass.
+        let zeros = Matrix::zeros(2, 4);
+        let fused = ValueExec::with_fusion(true).softmax_rows_scaled(&zeros, 3.0);
+        let unfused = ValueExec::with_fusion(false).softmax_rows_scaled(&zeros, 3.0);
+        assert_eq!(fused.data(), unfused.data());
+    }
+
+    #[test]
+    fn packed_gru_step_matches_unfused_reference_bitwise() {
+        let mut rng = Rng::seed_from_u64(11);
+        // Ragged hidden sizes (non-multiples of the lane widths) and an
+        // empty batch.
+        for (batch, in_dim, hidden) in [(4, 6, 5), (3, 9, 17), (0, 4, 3)] {
+            let gates: Vec<Matrix> = (0..3)
+                .flat_map(|_| {
+                    [
+                        Matrix::randn(in_dim, hidden, 0.5, &mut rng),
+                        Matrix::randn(hidden, hidden, 0.5, &mut rng),
+                        Matrix::randn(1, hidden, 0.5, &mut rng),
+                    ]
+                })
+                .collect();
+            let x = Matrix::randn(batch, in_dim, 1.0, &mut rng);
+            let h = Matrix::randn(batch, hidden, 1.0, &mut rng);
+            let mask = Matrix::from_fn(batch, 1, |r, _| if r % 2 == 0 { 1.0 } else { 0.0 });
+            let g = GruGates {
+                w_r: &gates[0],
+                u_r: &gates[1],
+                b_r: &gates[2],
+                w_z: &gates[3],
+                u_z: &gates[4],
+                b_z: &gates[5],
+                w_n: &gates[6],
+                u_n: &gates[7],
+                b_n: &gates[8],
+            };
+            let mut fused_vx = ValueExec::with_fusion(true);
+            let packed = fused_vx.pack_gru(g).expect("fused engine packs");
+            for m in [None, Some(&mask)] {
+                let fused = fused_vx.gru_step_packed(&packed, &x, &h, m);
+                // Reference: the default (sliced, unfused-op) body, forced by
+                // calling it through a non-overriding wrapper.
+                struct NoFuse(ValueExec);
+                impl Exec for NoFuse {
+                    type V = Matrix;
+                    fn input(&mut self, v: Matrix) -> Matrix {
+                        self.0.input(v)
+                    }
+                    fn param(&mut self, p: &Params, id: ParamId) -> Matrix {
+                        self.0.param(p, id)
+                    }
+                    fn gather(&mut self, p: &Params, id: ParamId, r: &[usize]) -> Matrix {
+                        self.0.gather(p, id, r)
+                    }
+                    fn detach(&mut self, x: &Matrix) -> Matrix {
+                        self.0.detach(x)
+                    }
+                    fn value<'a>(&'a self, x: &'a Matrix) -> &'a Matrix {
+                        x
+                    }
+                    fn matmul(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+                        self.0.matmul(a, b)
+                    }
+                    fn linear(&mut self, x: &Matrix, w: &Matrix, b: &Matrix) -> Matrix {
+                        self.0.linear(x, w, b)
+                    }
+                    fn batched_matmul(
+                        &mut self,
+                        a: &Matrix,
+                        b: &Matrix,
+                        batch: usize,
+                        t: bool,
+                    ) -> Matrix {
+                        self.0.batched_matmul(a, b, batch, t)
+                    }
+                    fn add(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+                        self.0.add(a, b)
+                    }
+                    fn sub(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+                        self.0.sub(a, b)
+                    }
+                    fn mul(&mut self, a: &Matrix, b: &Matrix) -> Matrix {
+                        self.0.mul(a, b)
+                    }
+                    fn add_row(&mut self, a: &Matrix, r: &Matrix) -> Matrix {
+                        self.0.add_row(a, r)
+                    }
+                    fn mul_col(&mut self, a: &Matrix, c: &Matrix) -> Matrix {
+                        self.0.mul_col(a, c)
+                    }
+                    fn affine(&mut self, x: &Matrix, m: f32, a: f32) -> Matrix {
+                        self.0.affine(x, m, a)
+                    }
+                    fn sigmoid(&mut self, x: &Matrix) -> Matrix {
+                        self.0.sigmoid(x)
+                    }
+                    fn tanh(&mut self, x: &Matrix) -> Matrix {
+                        self.0.tanh(x)
+                    }
+                    fn relu(&mut self, x: &Matrix) -> Matrix {
+                        self.0.relu(x)
+                    }
+                    fn concat_cols(&mut self, p: &[&Matrix]) -> Matrix {
+                        self.0.concat_cols(p)
+                    }
+                    fn slice_cols(&mut self, x: &Matrix, s: usize, e: usize) -> Matrix {
+                        self.0.slice_cols(x, s, e)
+                    }
+                    fn reshape(&mut self, x: &Matrix, r: usize, c: usize) -> Matrix {
+                        self.0.reshape(x, r, c)
+                    }
+                    fn row_sum(&mut self, x: &Matrix) -> Matrix {
+                        self.0.row_sum(x)
+                    }
+                    fn softmax_rows(&mut self, x: &Matrix) -> Matrix {
+                        self.0.softmax_rows(x)
+                    }
+                }
+                let reference =
+                    NoFuse(ValueExec::with_fusion(false)).gru_step_packed(&packed, &x, &h, m);
+                assert_eq!(
+                    fused.data(),
+                    reference.data(),
+                    "batch={batch} hidden={hidden} mask={}",
+                    m.is_some()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_params_skip_materialization_count() {
+        let mut rng = Rng::seed_from_u64(21);
+        let mut params = Params::new();
+        let w = params.add("w", Matrix::randn(4, 4, 1.0, &mut rng));
+        let mut exec = ValueExec::new();
+
+        reset_exec_stats();
+        let deep = exec.param(&params, w);
+        let _ = exec.param(&params, w);
+        assert_eq!(exec_stats().param_materializations, 2);
+
+        params.freeze();
+        reset_exec_stats();
+        let shared = exec.param(&params, w);
+        let _ = exec.param(&params, w);
+        assert_eq!(
+            exec_stats().param_materializations,
+            0,
+            "frozen params must clone as handles, not memcpys"
+        );
+        assert!(shared.is_shared());
+        assert_eq!(shared, deep, "freezing must not change values");
+        reset_exec_stats();
     }
 }

@@ -41,6 +41,7 @@
 //! assert!(params.grad_norm() > 0.0);
 //! ```
 
+pub mod arena;
 pub mod backend;
 pub mod exec;
 pub mod gradcheck;
@@ -50,12 +51,16 @@ pub mod rng;
 pub mod serialize;
 pub mod tape;
 
+pub use arena::{arena_enabled, arena_stats, reset_arena_stats, with_arena, ArenaStats};
 pub use backend::{
     dispatch_stats, emit_backend_telemetry, kernel_mode, num_threads, reset_dispatch_stats,
     reset_scratch_stats, scratch_stats, with_kernel_mode, with_num_threads, with_pool_disabled,
     DispatchStats, KernelMode, ScratchStats,
 };
-pub use exec::{Exec, ValueExec};
+pub use exec::{
+    exec_stats, fusion_enabled, reset_exec_stats, with_fusion, ActKind, Exec, ExecStats, GruGates,
+    GruPacked, ValueExec,
+};
 pub use matrix::Matrix;
 pub use params::{ParamId, Params};
 pub use rng::{Rng, RngState};

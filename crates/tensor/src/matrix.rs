@@ -5,14 +5,73 @@
 //! of shape `(batch, m, n)` is stored as a `(batch·m) × n` matrix and
 //! interpreted by the batched ops in [`crate::tape`].
 
+use std::sync::Arc;
+
+use crate::arena;
 use crate::backend;
 use crate::rng::Rng;
+
+/// Backing storage for a [`Matrix`]: a pooled heap buffer, a bump-allocated
+/// lease from the per-batch inference arena (see [`crate::arena`]), or a
+/// shared reference-counted buffer for frozen serving weights (see
+/// [`Matrix::freeze`]). Which one a matrix gets is decided once, in
+/// [`Matrix::uninit`] or [`Matrix::freeze`]; everything else sees a plain
+/// `[f32]` through `Deref`.
+pub(crate) enum Store {
+    Heap(Vec<f32>),
+    Arena(arena::Lease),
+    Shared(Arc<Vec<f32>>),
+}
+
+impl Default for Store {
+    fn default() -> Self {
+        Store::Heap(Vec::new())
+    }
+}
+
+impl std::ops::Deref for Store {
+    type Target = [f32];
+    #[inline]
+    fn deref(&self) -> &[f32] {
+        match self {
+            Store::Heap(v) => v,
+            Store::Arena(l) => l.slice(),
+            Store::Shared(a) => a,
+        }
+    }
+}
+
+impl std::ops::DerefMut for Store {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut [f32] {
+        if let Store::Shared(a) = self {
+            // Copy-on-write: the first mutable access to a frozen buffer
+            // materializes a private heap copy, so mutation can never be
+            // observed through the other handles.
+            let mut v = backend::take_uninit(a.len());
+            v.copy_from_slice(a);
+            *self = Store::Heap(v);
+        }
+        match self {
+            Store::Heap(v) => v,
+            Store::Arena(l) => l.slice_mut(),
+            Store::Shared(_) => unreachable!("shared store survived copy-on-write"),
+        }
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(&**self, f)
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 ///
 /// Allocations come from (and return to, on drop) the thread-local scratch
-/// pool in [`crate::backend`], so tape-heavy loops reuse buffers instead of
-/// hitting the allocator for every op.
+/// pool in [`crate::backend`] — or, inside an [`crate::arena::scoped`]
+/// inference region, from the per-batch bump arena — so tape-heavy loops and
+/// serve scoring reuse buffers instead of hitting the allocator for every op.
 ///
 /// ```
 /// use uae_tensor::Matrix;
@@ -25,55 +84,73 @@ use crate::rng::Rng;
 /// let d = c.map(|v| v * 0.5);
 /// assert_eq!(d.get(1, 0), 19.5);
 /// ```
-#[derive(Debug, PartialEq)]
+#[derive(Debug)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
-    data: Vec<f32>,
+    data: Store,
+}
+
+impl PartialEq for Matrix {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows && self.cols == other.cols && *self.data == *other.data
+    }
 }
 
 impl Clone for Matrix {
     fn clone(&self) -> Self {
+        if let Store::Shared(a) = &self.data {
+            // Frozen weights clone as O(1) handle copies (no data movement).
+            return Matrix {
+                rows: self.rows,
+                cols: self.cols,
+                data: Store::Shared(Arc::clone(a)),
+            };
+        }
         let mut out = Matrix::uninit(self.rows, self.cols);
         out.data.copy_from_slice(&self.data);
         out
     }
 
     fn clone_from(&mut self, source: &Self) {
-        if self.data.len() == source.data.len() {
+        if matches!(source.data, Store::Shared(_)) || self.data.len() != source.data.len() {
+            *self = source.clone();
+        } else {
             self.rows = source.rows;
             self.cols = source.cols;
             self.data.copy_from_slice(&source.data);
-        } else {
-            *self = source.clone();
         }
     }
 }
 
 impl Drop for Matrix {
     fn drop(&mut self) {
-        backend::recycle(std::mem::take(&mut self.data));
+        match std::mem::take(&mut self.data) {
+            Store::Heap(v) => backend::recycle(v),
+            Store::Arena(lease) => drop(lease),
+            Store::Shared(handle) => drop(handle),
+        }
     }
 }
 
 impl Matrix {
-    /// A matrix whose buffer is pooled and whose contents are unspecified
-    /// (stale but initialized floats). Callers must overwrite every element.
+    /// A matrix whose contents are unspecified (stale but initialized
+    /// floats). Callers must overwrite every element. This is the single
+    /// allocation chokepoint: inside an [`crate::arena::scoped`] region the
+    /// buffer is bump-allocated; otherwise it comes from the scratch pool.
     pub(crate) fn uninit(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: backend::take_uninit(rows * cols),
-        }
+        let data = match arena::alloc(rows * cols) {
+            Some(lease) => Store::Arena(lease),
+            None => Store::Heap(backend::take_uninit(rows * cols)),
+        };
+        Matrix { rows, cols, data }
     }
 
     /// An all-zeros matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix {
-            rows,
-            cols,
-            data: backend::take_zeroed(rows * cols),
-        }
+        let mut out = Matrix::uninit(rows, cols);
+        out.data.fill(0.0);
+        out
     }
 
     /// A matrix filled with a constant.
@@ -91,7 +168,11 @@ impl Matrix {
             "Matrix::from_vec: {} values for a {rows}x{cols} matrix",
             data.len()
         );
-        Matrix { rows, cols, data }
+        Matrix {
+            rows,
+            cols,
+            data: Store::Heap(data),
+        }
     }
 
     /// Builds a matrix by evaluating `f(row, col)` in row-major order.
@@ -107,12 +188,16 @@ impl Matrix {
 
     /// A single-row matrix from a slice.
     pub fn row_vector(values: &[f32]) -> Self {
-        Matrix::from_vec(1, values.len(), values.to_vec())
+        let mut out = Matrix::uninit(1, values.len());
+        out.data.copy_from_slice(values);
+        out
     }
 
     /// A single-column matrix from a slice.
     pub fn col_vector(values: &[f32]) -> Self {
-        Matrix::from_vec(values.len(), 1, values.to_vec())
+        let mut out = Matrix::uninit(values.len(), 1);
+        out.data.copy_from_slice(values);
+        out
     }
 
     /// A 1×1 matrix.
@@ -125,7 +210,7 @@ impl Matrix {
     /// of pooling and thread configuration.
     pub fn randn(rows: usize, cols: usize, std: f32, rng: &mut Rng) -> Self {
         let mut out = Matrix::uninit(rows, cols);
-        for o in &mut out.data {
+        for o in out.data.iter_mut() {
             *o = rng.normal_with(0.0, std as f64) as f32;
         }
         out
@@ -134,7 +219,7 @@ impl Matrix {
     /// Uniform-initialised matrix on `[-limit, limit]` (sequential draws).
     pub fn rand_uniform(rows: usize, cols: usize, limit: f32, rng: &mut Rng) -> Self {
         let mut out = Matrix::uninit(rows, cols);
-        for o in &mut out.data {
+        for o in out.data.iter_mut() {
             *o = rng.range_f64(-limit as f64, limit as f64) as f32;
         }
         out
@@ -165,6 +250,29 @@ impl Matrix {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+
+    /// Converts the backing store to a shared, reference-counted buffer so
+    /// later `clone()`s are O(1) handle copies instead of deep copies. A
+    /// frozen matrix is still mutable: the first mutable access quietly
+    /// copies-on-write back to a private heap buffer. The serving scorers
+    /// freeze their parameters once at construction so `ValueExec::param`
+    /// stops memcpy-ing every weight matrix on every batch.
+    pub fn freeze(&mut self) {
+        if matches!(self.data, Store::Shared(_)) {
+            return;
+        }
+        let shared = Arc::new(self.data.to_vec());
+        match std::mem::replace(&mut self.data, Store::Shared(shared)) {
+            Store::Heap(v) => backend::recycle(v),
+            other => drop(other),
+        }
+    }
+
+    /// Whether the backing store is a shared (frozen) buffer.
+    #[inline]
+    pub fn is_shared(&self) -> bool {
+        matches!(self.data, Store::Shared(_))
     }
 
     /// Raw row-major data.
@@ -218,12 +326,16 @@ impl Matrix {
             "matmul: {}x{} · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let data = backend::matmul(self.rows, self.cols, rhs.cols, &self.data, &rhs.data);
-        Matrix {
-            rows: self.rows,
-            cols: rhs.cols,
-            data,
-        }
+        let mut out = Matrix::uninit(self.rows, rhs.cols);
+        backend::matmul(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
     }
 
     /// `self · rhs + bias` with `bias` a `1 × rhs.cols` row broadcast over
@@ -240,14 +352,17 @@ impl Matrix {
             "matmul_bias: bias must be 1x{}",
             rhs.cols
         );
-        let data = backend::matmul_bias(
-            self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &bias.data,
+        let mut out = Matrix::uninit(self.rows, rhs.cols);
+        backend::matmul_bias(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &bias.data,
+            &mut out.data,
         );
-        Matrix {
-            rows: self.rows,
-            cols: rhs.cols,
-            data,
-        }
+        out
     }
 
     /// `selfᵀ · rhs` without materialising the transpose.
@@ -257,12 +372,16 @@ impl Matrix {
             "matmul_tn: ({}x{})ᵀ · {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let data = backend::matmul_tn(self.rows, self.cols, rhs.cols, &self.data, &rhs.data);
-        Matrix {
-            rows: self.cols,
-            cols: rhs.cols,
-            data,
-        }
+        let mut out = Matrix::uninit(self.cols, rhs.cols);
+        backend::matmul_tn(
+            self.rows,
+            self.cols,
+            rhs.cols,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
     }
 
     /// `self · rhsᵀ` without materialising the transpose.
@@ -272,12 +391,16 @@ impl Matrix {
             "matmul_nt: {}x{} · ({}x{})ᵀ",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let data = backend::matmul_nt(self.rows, self.cols, rhs.rows, &self.data, &rhs.data);
-        Matrix {
-            rows: self.rows,
-            cols: rhs.rows,
-            data,
-        }
+        let mut out = Matrix::uninit(self.rows, rhs.rows);
+        backend::matmul_nt(
+            self.rows,
+            self.cols,
+            rhs.rows,
+            &self.data,
+            &rhs.data,
+            &mut out.data,
+        );
+        out
     }
 
     /// The explicit transpose.
@@ -291,28 +414,24 @@ impl Matrix {
         out
     }
 
-    /// Element-wise map into a new (pooled) matrix.
+    /// Element-wise map into a new (pooled or arena-backed) matrix.
     pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> Matrix {
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: backend::map_elems(&self.data, &f),
-        }
+        let mut out = Matrix::uninit(self.rows, self.cols);
+        backend::map_elems(&self.data, &mut out.data, &f);
+        out
     }
 
     /// Element-wise combination of two same-shape matrices.
     pub fn zip_map(&self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32 + Sync) -> Matrix {
         assert_eq!(self.shape(), rhs.shape(), "zip_map shape mismatch");
-        Matrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: backend::zip_map_elems(&self.data, &rhs.data, &f),
-        }
+        let mut out = Matrix::uninit(self.rows, self.cols);
+        backend::zip_map_elems(&self.data, &rhs.data, &mut out.data, &f);
+        out
     }
 
     /// Applies `f` to every element in place (no allocation).
     pub fn apply(&mut self, f: impl Fn(f32) -> f32) {
-        for a in &mut self.data {
+        for a in self.data.iter_mut() {
             *a = f(*a);
         }
     }
@@ -320,7 +439,7 @@ impl Matrix {
     /// `self[i] = f(self[i], rhs[i])` element-wise in place (no allocation).
     pub fn zip_apply(&mut self, rhs: &Matrix, f: impl Fn(f32, f32) -> f32) {
         assert_eq!(self.shape(), rhs.shape(), "zip_apply shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a = f(*a, b);
         }
     }
@@ -328,7 +447,7 @@ impl Matrix {
     /// `self += rhs` element-wise.
     pub fn add_assign(&mut self, rhs: &Matrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_assign shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += b;
         }
     }
@@ -336,14 +455,14 @@ impl Matrix {
     /// `self += scale · rhs` element-wise (AXPY).
     pub fn add_scaled(&mut self, rhs: &Matrix, scale: f32) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&rhs.data) {
+        for (a, &b) in self.data.iter_mut().zip(rhs.data.iter()) {
             *a += scale * b;
         }
     }
 
     /// Multiplies every element by `s` in place.
     pub fn scale_in_place(&mut self, s: f32) {
-        for a in &mut self.data {
+        for a in self.data.iter_mut() {
             *a *= s;
         }
     }
@@ -433,7 +552,7 @@ impl Matrix {
         assert_eq!(self.shape(), rhs.shape());
         self.data
             .iter()
-            .zip(&rhs.data)
+            .zip(rhs.data.iter())
             .map(|(&a, &b)| (a - b).abs())
             .fold(0.0, f32::max)
     }
@@ -480,6 +599,43 @@ mod tests {
             let c = m.clone();
             assert_eq!(m, c);
         }
+    }
+
+    #[test]
+    fn frozen_clone_shares_then_copies_on_write() {
+        let mut a = m(2, 3, &[1., 2., 3., 4., 5., 6.]);
+        a.freeze();
+        assert!(a.is_shared());
+        let mut b = a.clone();
+        assert!(b.is_shared(), "clone of a frozen matrix must share");
+        assert_eq!(a, b);
+        // Mutating the clone must detach it without touching the original.
+        b.set(0, 0, 99.0);
+        assert!(!b.is_shared(), "mutable access must copy-on-write");
+        assert!(a.is_shared());
+        assert_eq!(a.get(0, 0), 1.0);
+        assert_eq!(b.get(0, 0), 99.0);
+        // Freezing twice is a no-op; reads never detach.
+        a.freeze();
+        assert_eq!(a.row(1), &[4., 5., 6.]);
+        assert!(a.is_shared());
+    }
+
+    #[test]
+    fn frozen_matrix_computes_identically() {
+        let mut rng = Rng::seed_from_u64(11);
+        let a = Matrix::randn(4, 6, 1.0, &mut rng);
+        let b = Matrix::randn(6, 3, 1.0, &mut rng);
+        let plain = a.matmul(&b);
+        let mut fa = a.clone();
+        let mut fb = b.clone();
+        fa.freeze();
+        fb.freeze();
+        assert_eq!(
+            fa.matmul(&fb),
+            plain,
+            "frozen operands must be bitwise identical"
+        );
     }
 
     #[test]

@@ -61,6 +61,17 @@ impl Params {
         &mut self.values[id.0]
     }
 
+    /// Freezes every parameter value into a shared, reference-counted
+    /// buffer (see [`Matrix::freeze`]): the clones handed out by the
+    /// tape-free engine's `param` become O(1) handle copies instead of
+    /// per-batch memcpys. Serving scorers call this once at construction.
+    /// Training after freezing still works — mutation copies-on-write.
+    pub fn freeze(&mut self) {
+        for v in &mut self.values {
+            v.freeze();
+        }
+    }
+
     /// The accumulated gradient of a parameter.
     pub fn grad(&self, id: ParamId) -> &Matrix {
         &self.grads[id.0]

@@ -565,7 +565,9 @@ impl Tape {
                     } else {
                         bv.cols()
                     };
-                    let (ga_data, gb_data) = backend::batched_matmul_grads(
+                    let mut ga = Matrix::uninit(av.rows(), av.cols());
+                    let mut gb = Matrix::uninit(bv.rows(), bv.cols());
+                    backend::batched_matmul_grads(
                         *batch,
                         m,
                         p,
@@ -574,9 +576,9 @@ impl Tape {
                         av.data(),
                         bv.data(),
                         g.data(),
+                        ga.data_mut(),
+                        gb.data_mut(),
                     );
-                    let ga = Matrix::from_vec(av.rows(), av.cols(), ga_data);
-                    let gb = Matrix::from_vec(bv.rows(), bv.cols(), gb_data);
                     acc(&mut grads, a.0, ga);
                     acc(&mut grads, b.0, gb);
                 }

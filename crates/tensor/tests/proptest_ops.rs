@@ -4,7 +4,7 @@
 
 use proptest::prelude::*;
 use uae_tensor::gradcheck::check_params;
-use uae_tensor::{with_num_threads, Matrix, Params, Rng, Tape};
+use uae_tensor::{with_kernel_mode, with_num_threads, KernelMode, Matrix, Params, Rng, Tape};
 
 fn matrix_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
     proptest::collection::vec(-2.0f32..2.0, rows * cols)
@@ -201,5 +201,53 @@ proptest! {
         for (a, b) in once.data().iter().zip(twice.data()) {
             prop_assert!((2.0 * a - b).abs() < 1e-5 + 1e-4 * a.abs());
         }
+    }
+
+    /// The blocked lane kernels (`dot8`/`dot16` matvec fast path, 4×-unrolled
+    /// GEMM spans) agree with the `Naive` oracle within float-reassociation
+    /// tolerance at every shape. `k` ranges past 32 to cross the
+    /// `dot8 → dot16` selection threshold, and `n == 1` exercises the matvec
+    /// path.
+    #[test]
+    fn lane_kernels_match_naive_oracle(
+        (m, k, n) in (1usize..6, 1usize..70, 1usize..6),
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(m, k, 1.0, &mut rng);
+        let b = Matrix::randn(k, n, 1.0, &mut rng);
+        let bias = Matrix::randn(1, n, 1.0, &mut rng);
+        let blocked = (a.matmul(&b), a.matmul_bias(&b, &bias));
+        let naive = with_kernel_mode(KernelMode::Naive, || {
+            (a.matmul(&b), a.matmul_bias(&b, &bias))
+        });
+        let tol = 1e-5 * (k as f32).sqrt().max(1.0) * 8.0;
+        prop_assert!(
+            blocked.0.max_abs_diff(&naive.0) < tol,
+            "matmul {}x{}x{} diff {}", m, k, n, blocked.0.max_abs_diff(&naive.0)
+        );
+        prop_assert!(
+            blocked.1.max_abs_diff(&naive.1) < tol,
+            "matmul_bias {}x{}x{} diff {}", m, k, n, blocked.1.max_abs_diff(&naive.1)
+        );
+    }
+
+    /// Lane-kernel selection is shape-only, so repeated runs and thread
+    /// counts are bitwise identical — including the `n == 1` matvec path
+    /// and `k ≥ 32` dot16 widths.
+    #[test]
+    fn lane_kernels_are_bitwise_deterministic(
+        k in 1usize..70,
+        threads in 2usize..8,
+        seed in 0u64..1000,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let a = Matrix::randn(7, k, 1.0, &mut rng);
+        let v = Matrix::randn(k, 1, 1.0, &mut rng);
+        let bias = Matrix::randn(1, 1, 1.0, &mut rng);
+        let serial = with_num_threads(1, || (a.matmul(&v), a.matmul_bias(&v, &bias)));
+        let par = with_num_threads(threads, || (a.matmul(&v), a.matmul_bias(&v, &bias)));
+        prop_assert_eq!(&serial.0, &par.0, "matvec k={} @ {}t", k, threads);
+        prop_assert_eq!(&serial.1, &par.1, "matvec_bias k={} @ {}t", k, threads);
     }
 }

@@ -9,11 +9,16 @@
 //! kernels are deterministic and row-partitioned, so the engine must not
 //! care), and CI re-runs the whole suite under `UAE_NUM_THREADS=1` and `=4`.
 
-use uae::core::{AttentionNet, LocalPropensityNet, PropensityNet};
+use uae::core::{
+    AttentionEstimator, AttentionNet, LocalPropensityNet, PropensityNet, Uae, UaeConfig,
+};
 use uae::data::{generate, infer_seq_batches, FlatData, SimConfig};
 use uae::models::{predict, train, LabelMode, ModelConfig, ModelKind, TrainConfig};
-use uae::serve::{FrozenRecommender, RecScorer};
-use uae::tensor::{with_num_threads, Exec, Params, Rng, Tape, ValueExec, Var};
+use uae::serve::{FrozenModel, FrozenRecommender, RecScorer, Scorer, ScorerConfig};
+use uae::tensor::{
+    arena_enabled, arena_stats, reset_arena_stats, with_fusion, with_num_threads, Exec, Params,
+    Rng, Tape, ValueExec, Var,
+};
 
 /// The full attention + propensity stack of UAE, forward under both engines
 /// over padded session batches, compared logit-by-logit.
@@ -128,6 +133,121 @@ fn every_recommender_matches_bitwise_under_both_engines() {
             });
         }
     }
+}
+
+/// Fusion transparency at ragged shapes: the fused composites (packed GRU
+/// step, fused linear+activation, fused scaled softmax) must be bitwise
+/// equal to both the unfused value path and the tape oracle at hidden widths
+/// that are not lane multiples (5, 17), at `hidden == 1` (where GRU packing
+/// is deliberately skipped to keep the `n == 1` matvec summation order), on
+/// length-1 session streams, and on an empty session set — at one thread
+/// and at four.
+#[test]
+fn fusion_is_bitwise_transparent_at_ragged_shapes() {
+    let ds = generate(&SimConfig::tiny(), 31);
+    let all: Vec<usize> = (0..ds.sessions.len()).collect();
+    for hidden in [1usize, 5, 17] {
+        let mut rng = Rng::seed_from_u64(40 + hidden as u64);
+        let mut params_g = Params::new();
+        let g = AttentionNet::new("g", &ds.schema, 3, hidden, &[9], &mut params_g, &mut rng);
+        let mut params_h = Params::new();
+        let h = PropensityNet::new("h", hidden, 5, &[7], &mut params_h, &mut rng);
+        let shapes: [(&[usize], Option<usize>); 3] =
+            [(&all, None), (&all[..1], Some(1)), (&[], None)];
+        for (sessions, max_len) in shapes {
+            let batches = infer_seq_batches(&ds, sessions, 4, max_len);
+            for threads in [1usize, 4] {
+                with_num_threads(threads, || {
+                    for b in &batches {
+                        let mut tape = Tape::new();
+                        let gf = g.forward(&mut tape, &params_g, b);
+                        let z1_detached: Vec<Var> =
+                            gf.z1.iter().map(|z| Exec::detach(&mut tape, z)).collect();
+                        let h_logits = h.forward(&mut tape, &params_h, b, &z1_detached);
+                        for fused in [false, true] {
+                            with_fusion(fused, || {
+                                let mut vx = ValueExec::new();
+                                let gv = g.forward(&mut vx, &params_g, b);
+                                let z1_free: Vec<_> = gv.z1.iter().map(|z| vx.detach(z)).collect();
+                                let hv = h.forward(&mut vx, &params_h, b, &z1_free);
+                                for t in 0..b.steps {
+                                    assert_eq!(
+                                        tape.value(gf.logits[t]).data(),
+                                        gv.logits[t].data(),
+                                        "attention: hidden={hidden} t={t} fused={fused} threads={threads}"
+                                    );
+                                    assert_eq!(
+                                        tape.value(h_logits[t]).data(),
+                                        hv[t].data(),
+                                        "propensity: hidden={hidden} t={t} fused={fused} threads={threads}"
+                                    );
+                                }
+                            });
+                        }
+                    }
+                });
+            }
+        }
+    }
+}
+
+/// The allocation acceptance criterion: after one warm-up request, serve
+/// scoring bump-allocates every intermediate from retained arena chunks —
+/// zero fresh heap chunks, zero retires — through both the UAE scorer and
+/// the recommender scorer.
+#[test]
+fn steady_state_serve_scoring_is_arena_allocation_free() {
+    if !arena_enabled() {
+        return; // UAE_EXEC_ARENA=off: nothing to assert.
+    }
+    let ds = generate(&SimConfig::tiny(), 33);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let cfg = UaeConfig {
+        gru_hidden: 8,
+        mlp_hidden: vec![8],
+        epochs: 1,
+        seed: 3,
+        ..Default::default()
+    };
+    let mut uae = Uae::new(&ds.schema, cfg);
+    uae.fit(&ds, &sessions);
+    let scorer = Scorer::with_config(
+        FrozenModel::from_uae(&uae, &ds.schema, 15.0),
+        ScorerConfig {
+            batch_size: 8,
+            max_len: None,
+        },
+    )
+    .expect("frozen model rebuilds");
+    let warm = scorer.score(&ds, &sessions);
+    reset_arena_stats();
+    let steady = scorer.score(&ds, &sessions);
+    assert_eq!(steady.attention, warm.attention, "warm-up changed results");
+    let stats = arena_stats();
+    assert!(stats.allocs > 0, "arena saw no traffic — scoping broken?");
+    assert_eq!(
+        stats.heap_allocs, 0,
+        "steady-state UAE scoring allocated fresh chunks: {stats:?}"
+    );
+    assert_eq!(stats.retires, 0, "leaked leases forced a retire: {stats:?}");
+
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    let mut rng = Rng::seed_from_u64(9);
+    let (_, params) = ModelKind::Dcn.build(&ds.schema, &ModelConfig::default(), &mut rng);
+    let frozen =
+        FrozenRecommender::new(&ds.schema, ModelKind::Dcn, &ModelConfig::default(), &params);
+    let rec = RecScorer::with_batch_size(frozen, 16).expect("frozen recommender rebuilds");
+    let warm = rec.score(&flat);
+    reset_arena_stats();
+    let steady = rec.score(&flat);
+    assert_eq!(steady, warm, "warm-up changed recommender results");
+    let stats = arena_stats();
+    assert!(stats.allocs > 0, "arena saw no recommender traffic");
+    assert_eq!(
+        stats.heap_allocs, 0,
+        "steady-state recommender scoring allocated fresh chunks: {stats:?}"
+    );
+    assert_eq!(stats.retires, 0, "leaked leases forced a retire: {stats:?}");
 }
 
 /// The serving acceptance criterion: a downstream recommender exported to a
