@@ -14,8 +14,8 @@ echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo test -q --features proptest (property suites)"
-cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core \
-    --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest
+cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core -p uae-obs \
+    --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest,uae-obs/proptest
 
 # The unfused ValueExec path must stay green and bit-identical to the tape:
 # fusion is an optimization, never a semantic switch.
@@ -67,8 +67,16 @@ assert d['zero_dropped'], 'a daemon request was dropped without a response'
 assert d['steady_p99_ms'] < 50.0, f'steady p99 {d[\"steady_p99_ms\"]} ms over the 50 ms budget'
 assert d['chaos_answer_rate'] == 1.0, f'malformed frames went unanswered: {d[\"chaos_answer_rate\"]}'
 assert d['overload_shed_fraction'] > 0.5, 'overload regime barely shed (not actually overloaded)'
+# Observability gates: tracing must cost <= 5% throughput against the
+# untraced regime, and every minted trace must have been closed.
+obs = daemon['observability']
+assert d['obs_overhead_pct'] <= 5.0, f'tracing overhead {d[\"obs_overhead_pct\"]}% over the 5% budget'
+assert d['zero_orphan_traces'], 'a trace was minted but never closed'
+assert obs['traces_started'] == obs['traces_completed'] > 0, obs
 print(f'perf_daemon gate OK: p99 {d[\"steady_p99_ms\"]:.1f} ms, zero drops, '
-      f'{d[\"overload_shed_fraction\"]:.0%} shed under overload, all chaos frames answered')
+      f'{d[\"overload_shed_fraction\"]:.0%} shed under overload, all chaos frames answered, '
+      f'tracing overhead {d[\"obs_overhead_pct\"]:.1f}% (<= 5%), '
+      f'{obs[\"traces_completed\"]} traces all closed')
 "
 
 echo "==> bench smoke (perf_backend rewrites BENCH_perf.json; perf_serve and perf_daemon splice in)"
@@ -89,7 +97,9 @@ for cfg in ('tape_single', 'tape_batched', 'serve_single', 'serve_batched',
     assert serve['configs'][f'{cfg}_events_per_sec'] > 0, cfg
 daemon = doc['perf_daemon']
 assert daemon['derived']['zero_dropped'], 'smoke daemon bench dropped a request'
+assert daemon['derived']['zero_orphan_traces'], 'smoke daemon bench orphaned a trace'
 assert daemon['steady']['ok'] > 0 and daemon['overload']['shed'] > 0
+assert daemon['observability']['traces_completed'] > 0
 print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve + perf_daemon')
 "
 # The smoke runs overwrite the committed (full-size) numbers; restore them.
@@ -126,14 +136,20 @@ grep -q "events/s" <<< "$score_out"
 ./target/release/uae summarize /tmp/uae_ci_serve.jsonl | grep -q "serving:"
 
 echo "==> daemon smoke + chaos (serve, load, hot-swap, rollback, panic injection, shutdown)"
-rm -f /tmp/uae_ci_daemon.log /tmp/uae_ci_model2.uaem /tmp/uae_ci_corrupt.uaem
+rm -f /tmp/uae_ci_daemon.log /tmp/uae_ci_model2.uaem /tmp/uae_ci_corrupt.uaem \
+    /tmp/uae_ci_daemon_telemetry.jsonl
+rm -rf /tmp/uae_ci_flight && mkdir -p /tmp/uae_ci_flight
 ./target/release/uae export /tmp/uae_ci_model2.uaem --fast >/dev/null
 head -c 512 /tmp/uae_ci_model.uaem > /tmp/uae_ci_corrupt.uaem
 # Port 0 binds an ephemeral port; the daemon prints it in a parse-stable
 # line. UAE_FAULT_PANIC_EVERY makes every 10th micro-batch panic inside a
 # worker, so the loads below exercise the restart path on a real process.
 # stderr goes to the log too: injected panics print backtraces by design.
-UAE_FAULT_PANIC_EVERY=10 ./target/release/uae serve /tmp/uae_ci_model.uaem > /tmp/uae_ci_daemon.log 2>&1 &
+# Telemetry on with a fast MetricsSnapshot period, and the flight
+# recorder pointed at a scratch dir so panic/rollback dumps land there.
+UAE_FAULT_PANIC_EVERY=10 UAE_TELEMETRY=/tmp/uae_ci_daemon_telemetry.jsonl \
+    UAE_METRICS_INTERVAL_MS=200 UAE_FLIGHT_RECORDER_DIR=/tmp/uae_ci_flight \
+    ./target/release/uae serve /tmp/uae_ci_model.uaem > /tmp/uae_ci_daemon.log 2>&1 &
 daemon_pid=$!
 for _ in $(seq 1 100); do
     grep -q "listening on" /tmp/uae_ci_daemon.log && break
@@ -145,7 +161,11 @@ test -n "$addr" || { echo "daemon never reported its address"; kill "$daemon_pid
 # Well-formed load, then chaos load (malformed frames + mid-request
 # disconnects): the zero-drop contract must hold through both, worker
 # panics included — they come back as typed errors, never silence.
-./target/release/uae serve-load "$addr" --fast --requests 10 | grep -q "all_accounted true"
+# Capture serve-load output (it prints past the grep target; a -q reader
+# would SIGPIPE it) and check both the zero-drop and zero-orphan lines.
+load_out=$(./target/release/uae serve-load "$addr" --fast --requests 10)
+grep -q "all_accounted true" <<< "$load_out"
+grep -q "zero_orphans true" <<< "$load_out"
 chaos_out=$(./target/release/uae serve-load "$addr" --fast --chaos --requests 25)
 grep -q "all_accounted true" <<< "$chaos_out"
 grep -q "chaos: injected" <<< "$chaos_out"
@@ -155,14 +175,48 @@ grep -q "chaos: injected" <<< "$chaos_out"
 if ./target/release/uae serve-ctl "$addr" swap /tmp/uae_ci_corrupt.uaem 2>/dev/null; then
     echo "corrupt swap unexpectedly succeeded"; kill "$daemon_pid"; exit 1
 fi
-./target/release/uae serve-load "$addr" --fast --requests 5 | grep -q "generations seen: \[2\]"
+postswap_out=$(./target/release/uae serve-load "$addr" --fast --requests 5)
+grep -q "generations seen: \[2\]" <<< "$postswap_out"
 stats_out=$(./target/release/uae serve-ctl "$addr" stats)
 grep -q "swap_rollbacks 1" <<< "$stats_out"
 restarts=$(sed -n 's/.*worker_restarts \([0-9]*\).*/\1/p' <<< "$stats_out")
 test "${restarts:-0}" -ge 1 || { echo "panic injection never fired (worker_restarts=$restarts)"; kill "$daemon_pid"; exit 1; }
+# Trace-complete check: the loads above are closed-loop, so at this quiet
+# point every minted trace must have been closed — started == completed.
+grep -q "request_us" <<< "$stats_out"
+t_started=$(sed -n 's/.*traces started \([0-9]*\).*/\1/p' <<< "$stats_out")
+t_done=$(sed -n 's/.*completed \([0-9]*\).*/\1/p' <<< "$stats_out")
+test -n "$t_started" && test "$t_started" -ge 1 && test "$t_started" = "$t_done" \
+    || { echo "trace ledger unbalanced (started=$t_started completed=$t_done)"; kill "$daemon_pid"; exit 1; }
+# Flight-recorder dump on demand, readable by summarize.
+dump_out=$(./target/release/uae serve-ctl "$addr" dump)
+dump_path=$(sed -n 's/.*traces to //p' <<< "$dump_out")
+test -s "$dump_path" || { echo "serve-ctl dump produced no file ($dump_out)"; kill "$daemon_pid"; exit 1; }
+./target/release/uae summarize "$dump_path" | grep -q "traces:"
+# One live-dashboard poll of the stats frame. Capture instead of piping
+# into grep -q (early-exiting reader would SIGPIPE the CLI mid-print).
+top_out=$(./target/release/uae top "$addr" --iterations 1)
+grep -q "uae top" <<< "$top_out"
+grep -q "request_us" <<< "$top_out"
 ./target/release/uae serve-ctl "$addr" shutdown | grep -q "shutting down"
 wait "$daemon_pid"
-echo "daemon smoke OK: swap+rollback, $restarts worker restarts, clean shutdown"
+# The injected panics must also have dumped the flight recorder.
+ls /tmp/uae_ci_flight/uae-flight-*.jsonl >/dev/null \
+    || { echo "worker panics never dumped the flight recorder"; exit 1; }
+# The daemon telemetry log must carry periodic MetricsSnapshot events with
+# real histogram quantiles.
+python3 -c "
+import json
+recs = [json.loads(l) for l in open('/tmp/uae_ci_daemon_telemetry.jsonl') if l.strip()]
+snaps = [r for r in recs if r['type'] == 'metrics_snapshot']
+assert snaps, 'no metrics_snapshot events in the daemon telemetry log'
+names = {h['name'] for s in snaps for h in s.get('hists', [])}
+assert 'request_us' in names, f'no request_us histogram in snapshots: {sorted(names)}'
+last = [h for h in snaps[-1]['hists'] if h['name'] == 'request_us'][0]
+assert last['count'] > 0 and last['p50'] <= last['p99'] <= last['max'], last
+print(f'daemon telemetry OK: {len(snaps)} metrics snapshots, hists: {sorted(names)}')
+"
+echo "daemon smoke OK: swap+rollback, $restarts worker restarts, trace ledger $t_started/$t_done, clean shutdown"
 
 echo "==> downstream-recommender serving smoke (export --model -> sniffing score)"
 rm -f /tmp/uae_ci_rec.uaem

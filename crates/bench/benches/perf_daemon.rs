@@ -4,7 +4,11 @@
 //! drives it with the closed-loop load generator under three regimes:
 //!
 //! * `steady`   — well-formed load at the default queue/worker config:
-//!   the headline p50/p99 request latency and events/sec numbers.
+//!   the headline p50/p99 request latency and events/sec numbers
+//!   (tracing on, the default — this is the production configuration).
+//! * `untraced` — the same load with `trace: false`, giving the
+//!   observability overhead as a throughput ratio (`obs_overhead_pct`,
+//!   CI-gated at 5%).
 //! * `overload` — 12 closed-loop clients against one deliberately slowed
 //!   worker behind an 8-session queue: throughput *under* overload, where
 //!   the contract is typed sheds, not silent drops or death.
@@ -117,6 +121,28 @@ fn main() {
         },
     );
 
+    // Observability overhead: the identical steady load against a daemon
+    // with tracing disabled. The gated estimator is the *throughput* delta
+    // (closed-loop events/sec integrates the per-request tracing cost over
+    // the whole run); the p99 delta is reported too, but tail quantiles of
+    // two short runs are dominated by scheduler noise, so the stable
+    // average is what CI bounds at 5%.
+    let untraced = regime(
+        "untraced",
+        &ds,
+        DaemonConfig {
+            trace: false,
+            ..DaemonConfig::default()
+        },
+        FaultPlan::none(),
+        LoadgenConfig {
+            clients: 4,
+            requests_per_client: per_client,
+            sessions_per_request: 4,
+            ..LoadgenConfig::default()
+        },
+    );
+
     // Overload: one worker slowed to ~2 ms/batch behind an 8-session
     // queue, hammered by 12 closed-loop clients. The offered load exceeds
     // service capacity by construction, so a healthy daemon sheds.
@@ -152,9 +178,26 @@ fn main() {
         },
     );
 
-    let zero_dropped = steady.all_accounted() && overload.all_accounted() && chaos.all_accounted();
+    let zero_dropped = steady.all_accounted()
+        && untraced.all_accounted()
+        && overload.all_accounted()
+        && chaos.all_accounted();
+    let zero_orphans =
+        steady.zero_orphan_traces() && overload.zero_orphan_traces() && chaos.zero_orphan_traces();
     let chaos_answer_rate = if chaos.chaos_injected > 0 {
         chaos.chaos_answered as f64 / chaos.chaos_injected as f64
+    } else {
+        0.0
+    };
+    // Tracing overhead as a throughput ratio (negative = noise in favor of
+    // the traced run); p99 delta reported alongside for the curious.
+    let obs_overhead_pct = if steady.events_per_sec > 0.0 {
+        (untraced.events_per_sec / steady.events_per_sec - 1.0) * 100.0
+    } else {
+        0.0
+    };
+    let obs_overhead_p99_pct = if untraced.p99_ms > 0.0 {
+        (steady.p99_ms / untraced.p99_ms - 1.0) * 100.0
     } else {
         0.0
     };
@@ -162,11 +205,17 @@ fn main() {
         "  \"perf_daemon\": {{\n    \"smoke\": {},\n    \
          \"steady\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"p50_ms\": {:.3},\n      \
          \"p99_ms\": {:.3},\n      \"max_ms\": {:.3},\n      \"events_per_sec\": {:.0}\n    }},\n    \
+         \"observability\": {{\n      \"untraced_p50_ms\": {:.3},\n      \
+         \"untraced_p99_ms\": {:.3},\n      \"untraced_events_per_sec\": {:.0},\n      \
+         \"overhead_pct\": {:.3},\n      \"overhead_p99_pct\": {:.3},\n      \
+         \"traces_started\": {},\n      \"traces_completed\": {},\n      \
+         \"zero_orphan_traces\": {}\n    }},\n    \
          \"overload\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"shed\": {},\n      \
          \"p99_ms\": {:.3},\n      \"events_per_sec\": {:.0}\n    }},\n    \
          \"chaos\": {{\n      \"sent\": {},\n      \"ok\": {},\n      \"chaos_injected\": {},\n      \
          \"chaos_answered\": {},\n      \"chaos_disconnects\": {},\n      \"p99_ms\": {:.3}\n    }},\n    \
          \"derived\": {{\n      \"zero_dropped\": {},\n      \"steady_p99_ms\": {:.3},\n      \
+         \"obs_overhead_pct\": {:.3},\n      \"zero_orphan_traces\": {},\n      \
          \"overload_shed_fraction\": {:.3},\n      \"overload_ok_events_per_sec\": {:.0},\n      \
          \"chaos_answer_rate\": {:.3}\n    }}\n  }}",
         smoke(),
@@ -176,6 +225,14 @@ fn main() {
         steady.p99_ms,
         steady.max_ms,
         steady.events_per_sec,
+        untraced.p50_ms,
+        untraced.p99_ms,
+        untraced.events_per_sec,
+        obs_overhead_pct,
+        obs_overhead_p99_pct,
+        steady.traces_started,
+        steady.traces_completed,
+        steady.zero_orphan_traces(),
         overload.sent,
         overload.ok,
         overload.shed,
@@ -189,6 +246,8 @@ fn main() {
         chaos.p99_ms,
         zero_dropped,
         steady.p99_ms,
+        obs_overhead_pct,
+        zero_orphans,
         overload.shed as f64 / overload.sent.max(1) as f64,
         overload.events_per_sec,
         chaos_answer_rate,
@@ -204,6 +263,7 @@ fn main() {
     print!("{json}");
 
     assert!(zero_dropped, "a request was dropped without a response");
+    assert!(zero_orphans, "a trace was minted but never closed");
     assert_eq!(
         chaos.chaos_answered, chaos.chaos_injected,
         "an injected malformed frame went unanswered"

@@ -96,6 +96,14 @@ pub struct LoadReport {
     pub events_scored: u64,
     /// Distinct serving generations observed in ok answers (sorted).
     pub generations_seen: Vec<u64>,
+    /// Distinct daemon-side trace ids observed in ok answers (0 when the
+    /// daemon runs untraced).
+    pub traces_seen: u64,
+    /// The daemon's `traces_started` counter from a final stats probe
+    /// after the load drained (0 if the probe failed or tracing is off).
+    pub traces_started: u64,
+    /// The daemon's `traces_completed` counter from the same probe.
+    pub traces_completed: u64,
     /// Latency digest over answered score requests, milliseconds.
     pub p50_ms: f64,
     pub p99_ms: f64,
@@ -123,6 +131,18 @@ impl LoadReport {
     pub fn all_accounted(&self) -> bool {
         self.answered() == self.sent
     }
+
+    /// The tracing counterpart of [`all_accounted`](Self::all_accounted):
+    /// after the load drained, every trace the daemon minted was closed
+    /// with an outcome (`traces_started == traces_completed`), and the ids
+    /// we saw in replies are a subset of what was minted. Vacuously true
+    /// when the daemon runs with tracing off.
+    pub fn zero_orphan_traces(&self) -> bool {
+        if self.traces_started == 0 && self.traces_completed == 0 {
+            return true; // untraced daemon (or no stats probe): nothing to orphan
+        }
+        self.traces_started == self.traces_completed && self.traces_seen <= self.traces_started
+    }
 }
 
 /// Extracts up to `limit` sessions of a dataset into wire form, skipping
@@ -139,6 +159,7 @@ struct ClientTally {
     report: LoadReport,
     latencies_ms: Vec<f64>,
     generations: std::collections::BTreeSet<u64>,
+    trace_ids: std::collections::BTreeSet<u64>,
 }
 
 fn classify(tally: &mut ClientTally, err: &UaeError) {
@@ -162,6 +183,7 @@ fn run_client(
         report: LoadReport::default(),
         latencies_ms: Vec::with_capacity(cfg.requests_per_client),
         generations: std::collections::BTreeSet::new(),
+        trace_ids: std::collections::BTreeSet::new(),
     };
     let mut rng = Rng::seed_from_u64(cfg.seed ^ client_id.wrapping_mul(0x9E37_79B9_7F4A_7C15));
     let mut client = ServeClient::connect(&cfg.addr)?;
@@ -200,12 +222,15 @@ fn run_client(
         let events: u64 = sessions.iter().map(|s| s.len() as u64).sum();
         tally.report.sent += 1;
         let start = Instant::now();
-        match client.score(sessions, cfg.deadline_ms) {
-            Ok((generation, scored)) => {
+        match client.score_traced(sessions, cfg.deadline_ms) {
+            Ok((generation, trace_id, scored)) => {
                 tally.latencies_ms.push(start.elapsed().as_secs_f64() * 1e3);
                 tally.report.ok += 1;
                 tally.report.events_scored += events;
                 tally.generations.insert(generation);
+                if trace_id != 0 {
+                    tally.trace_ids.insert(trace_id);
+                }
                 debug_assert_eq!(
                     scored.iter().map(|s| s.attention.len() as u64).sum::<u64>(),
                     events
@@ -271,6 +296,7 @@ pub fn run_loadgen(cfg: &LoadgenConfig, dataset: &Dataset) -> Result<LoadReport,
     let mut merged = LoadReport::default();
     let mut latencies: Vec<f64> = Vec::new();
     let mut generations = std::collections::BTreeSet::new();
+    let mut trace_ids = std::collections::BTreeSet::new();
     for tally in tallies {
         let t = tally?;
         merged.sent += t.report.sent;
@@ -287,6 +313,18 @@ pub fn run_loadgen(cfg: &LoadgenConfig, dataset: &Dataset) -> Result<LoadReport,
         merged.events_scored += t.report.events_scored;
         latencies.extend(t.latencies_ms);
         generations.extend(t.generations);
+        trace_ids.extend(t.trace_ids);
+    }
+    merged.traces_seen = trace_ids.len() as u64;
+    // Final stats probe: the daemon's trace ledger after the load drained.
+    // Every request above already has its answer, so in a quiet daemon
+    // started == completed here; a failed probe (daemon gone) leaves zeros,
+    // which `zero_orphan_traces` treats as vacuous.
+    if let Ok(mut probe) = ServeClient::connect(&cfg.addr) {
+        if let Ok(stats) = probe.stats() {
+            merged.traces_started = stats.traces_started;
+            merged.traces_completed = stats.traces_completed;
+        }
     }
     latencies.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
     merged.p50_ms = percentile(&latencies, 0.50);
@@ -326,6 +364,21 @@ mod tests {
         assert!(r.all_accounted());
         r.sent += 1; // one silent drop breaks the contract
         assert!(!r.all_accounted());
+    }
+
+    #[test]
+    fn orphan_trace_contract() {
+        let mut r = LoadReport {
+            traces_seen: 6,
+            traces_started: 10,
+            traces_completed: 10,
+            ..LoadReport::default()
+        };
+        assert!(r.zero_orphan_traces());
+        r.traces_completed = 9; // one trace never closed
+        assert!(!r.zero_orphan_traces());
+        // Untraced daemon: all zeros is vacuously fine.
+        assert!(LoadReport::default().zero_orphan_traces());
     }
 
     #[test]

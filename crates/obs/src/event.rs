@@ -5,7 +5,8 @@
 //! schema table. Decoding is total: unknown types and missing fields are
 //! rejected with a descriptive message, never a panic.
 
-use crate::json::{parse, Json, ObjWriter};
+use crate::json::{arr_of, parse, Json, ObjWriter};
+use crate::trace::{StageTimes, TraceSummary};
 
 /// Identity of one telemetry run: emitted as the first record of a JSONL log
 /// so downstream tooling knows exactly what produced the stream.
@@ -24,6 +25,63 @@ pub struct Manifest {
     pub kernel_mode: String,
     /// Free-form config key/value pairs, order-preserving.
     pub config: Vec<(String, String)>,
+}
+
+/// Quantile summary of one named histogram, as carried inside a
+/// [`Event::MetricsSnapshot`]. Values are in the histogram's native unit
+/// (microseconds for latency histograms, counts for sizes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistStat {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+}
+
+impl HistStat {
+    /// Builds the wire-facing stat row from a histogram summary.
+    pub fn from_summary(name: &str, s: &crate::HistogramSummary) -> HistStat {
+        HistStat {
+            name: name.to_string(),
+            count: s.count,
+            sum: s.sum,
+            max: s.max,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+            p999: s.p999,
+        }
+    }
+
+    fn to_json(&self) -> String {
+        let mut w = ObjWriter::new();
+        w.str("name", &self.name)
+            .u64("count", self.count)
+            .u64("sum", self.sum)
+            .u64("max", self.max)
+            .u64("p50", self.p50)
+            .u64("p90", self.p90)
+            .u64("p99", self.p99)
+            .u64("p999", self.p999);
+        w.finish()
+    }
+
+    fn from_json(v: &Json) -> Result<HistStat, String> {
+        Ok(HistStat {
+            name: req_str(v, "name")?,
+            count: req_u64(v, "count")?,
+            sum: req_u64(v, "sum")?,
+            max: req_u64(v, "max")?,
+            p50: req_u64(v, "p50")?,
+            p90: req_u64(v, "p90")?,
+            p99: req_u64(v, "p99")?,
+            p999: req_u64(v, "p999")?,
+        })
+    }
 }
 
 /// One telemetry event. See each variant for the emitting site.
@@ -103,11 +161,35 @@ pub enum Event {
     /// stable low-cardinality kind (`worker_panic`, `deadline_miss`,
     /// `overload_shed`, `protocol_error`, `swap_decode_failure`, …);
     /// `action` describes the degradation taken instead of crashing.
-    ServeFault { fault: String, action: String },
+    /// `trace_id` attributes the fault to a specific request when one was
+    /// in scope (sheds and deadline misses always carry it).
+    ServeFault {
+        fault: String,
+        action: String,
+        trace_id: Option<u64>,
+    },
     /// A model hot-swap attempt on the serving daemon: the generation it
     /// produced (or kept, on rollback) and the outcome (`active`,
     /// `rolled_back: …`).
     Swap { generation: u64, outcome: String },
+    /// One finished serve-request trace: identity, size, per-stage
+    /// timings, and outcome. These are the lines a flight-recorder dump is
+    /// made of.
+    Trace(TraceSummary),
+    /// Periodic serving metrics emitted by the daemon
+    /// (`UAE_METRICS_INTERVAL_MS`): uptime, headline counters, and the
+    /// quantile summaries of every live histogram.
+    MetricsSnapshot {
+        uptime_ms: u64,
+        generation: u64,
+        queue_depth: u64,
+        requests: u64,
+        shed: u64,
+        deadline_miss: u64,
+        traces_started: u64,
+        traces_completed: u64,
+        hists: Vec<HistStat>,
+    },
     /// A record whose `type` tag this build does not recognize (e.g. a log
     /// written by a newer emitter). Parsed tolerantly so readers count
     /// unfamiliar kinds instead of rejecting the whole log.
@@ -137,6 +219,8 @@ impl Event {
             Event::SeedEnd { .. } => "seed_end",
             Event::ServeFault { .. } => "serve_fault",
             Event::Swap { .. } => "swap",
+            Event::Trace(_) => "trace",
+            Event::MetricsSnapshot { .. } => "metrics_snapshot",
             Event::Unknown { kind } => kind,
         }
     }
@@ -257,14 +341,54 @@ impl Event {
             Event::SeedEnd { seed, outcome } => {
                 w.u64("seed", *seed).str("outcome", outcome);
             }
-            Event::ServeFault { fault, action } => {
+            Event::ServeFault {
+                fault,
+                action,
+                trace_id,
+            } => {
                 w.str("fault", fault).str("action", action);
+                if let Some(id) = trace_id {
+                    w.u64("trace_id", *id);
+                }
             }
             Event::Swap {
                 generation,
                 outcome,
             } => {
                 w.u64("generation", *generation).str("outcome", outcome);
+            }
+            Event::Trace(t) => {
+                w.u64("id", t.id)
+                    .u64("sessions", t.sessions)
+                    .u64("events", t.events)
+                    .u64("generation", t.generation)
+                    .str("outcome", &t.outcome)
+                    .u64("total_us", t.total_us)
+                    .u64("queue_wait_us", t.stages.queue_wait_us)
+                    .u64("batch_assemble_us", t.stages.batch_assemble_us)
+                    .u64("score_us", t.stages.score_us)
+                    .u64("reply_write_us", t.stages.reply_write_us);
+            }
+            Event::MetricsSnapshot {
+                uptime_ms,
+                generation,
+                queue_depth,
+                requests,
+                shed,
+                deadline_miss,
+                traces_started,
+                traces_completed,
+                hists,
+            } => {
+                w.u64("uptime_ms", *uptime_ms)
+                    .u64("generation", *generation)
+                    .u64("queue_depth", *queue_depth)
+                    .u64("requests", *requests)
+                    .u64("shed", *shed)
+                    .u64("deadline_miss", *deadline_miss)
+                    .u64("traces_started", *traces_started)
+                    .u64("traces_completed", *traces_completed)
+                    .raw("hists", &arr_of(hists.iter().map(HistStat::to_json)));
             }
             // The tag itself (written above via `kind()`) is all we have.
             Event::Unknown { .. } => {}
@@ -310,6 +434,16 @@ fn opt_f64(v: &Json, key: &str) -> Result<Option<f64>, String> {
             .as_f64()
             .map(Some)
             .ok_or_else(|| format!("field '{key}' is not a number")),
+    }
+}
+
+fn opt_u64(v: &Json, key: &str) -> Result<Option<u64>, String> {
+    match v.get(key) {
+        None => Ok(None),
+        Some(j) => j
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| format!("field '{key}' is not a u64")),
     }
 }
 
@@ -421,10 +555,41 @@ impl Record {
             "serve_fault" => Event::ServeFault {
                 fault: req_str(&v, "fault")?,
                 action: req_str(&v, "action")?,
+                trace_id: opt_u64(&v, "trace_id")?,
             },
             "swap" => Event::Swap {
                 generation: req_u64(&v, "generation")?,
                 outcome: req_str(&v, "outcome")?,
+            },
+            "trace" => Event::Trace(TraceSummary {
+                id: req_u64(&v, "id")?,
+                sessions: req_u64(&v, "sessions")?,
+                events: req_u64(&v, "events")?,
+                generation: req_u64(&v, "generation")?,
+                outcome: req_str(&v, "outcome")?,
+                total_us: req_u64(&v, "total_us")?,
+                stages: StageTimes {
+                    queue_wait_us: req_u64(&v, "queue_wait_us")?,
+                    batch_assemble_us: req_u64(&v, "batch_assemble_us")?,
+                    score_us: req_u64(&v, "score_us")?,
+                    reply_write_us: req_u64(&v, "reply_write_us")?,
+                },
+            }),
+            "metrics_snapshot" => Event::MetricsSnapshot {
+                uptime_ms: req_u64(&v, "uptime_ms")?,
+                generation: req_u64(&v, "generation")?,
+                queue_depth: req_u64(&v, "queue_depth")?,
+                requests: req_u64(&v, "requests")?,
+                shed: req_u64(&v, "shed")?,
+                deadline_miss: req_u64(&v, "deadline_miss")?,
+                traces_started: req_u64(&v, "traces_started")?,
+                traces_completed: req_u64(&v, "traces_completed")?,
+                hists: req(&v, "hists")?
+                    .as_arr()
+                    .ok_or("field 'hists' is not an array")?
+                    .iter()
+                    .map(HistStat::from_json)
+                    .collect::<Result<Vec<_>, _>>()?,
             },
             other => Event::Unknown {
                 kind: other.to_string(),
@@ -523,10 +688,73 @@ mod tests {
             Event::ServeFault {
                 fault: "worker_panic".into(),
                 action: "restart after 100 ms backoff (attempt 2)".into(),
+                trace_id: None,
+            },
+            Event::ServeFault {
+                fault: "deadline_miss".into(),
+                action: "typed error (queue_wait=900us batch_assemble=3us ...)".into(),
+                trace_id: Some(17),
             },
             Event::Swap {
                 generation: 3,
                 outcome: "rolled_back: checkpoint rejected: bad magic".into(),
+            },
+            Event::Trace(TraceSummary {
+                id: 42,
+                sessions: 3,
+                events: 57,
+                generation: 2,
+                outcome: "ok".into(),
+                total_us: 1234,
+                stages: StageTimes {
+                    queue_wait_us: 10,
+                    batch_assemble_us: 4,
+                    score_us: 1100,
+                    reply_write_us: 20,
+                },
+            }),
+            Event::MetricsSnapshot {
+                uptime_ms: 60_000,
+                generation: 2,
+                queue_depth: 5,
+                requests: 1000,
+                shed: 7,
+                deadline_miss: 1,
+                traces_started: 1008,
+                traces_completed: 1008,
+                hists: vec![
+                    HistStat {
+                        name: "request_us".into(),
+                        count: 1000,
+                        sum: 2_000_000,
+                        max: 90_000,
+                        p50: 1500,
+                        p90: 4000,
+                        p99: 20_000,
+                        p999: 88_000,
+                    },
+                    HistStat {
+                        name: "batch_sessions".into(),
+                        count: 400,
+                        sum: 1000,
+                        max: 8,
+                        p50: 2,
+                        p90: 4,
+                        p99: 8,
+                        p999: 8,
+                    },
+                ],
+            },
+            Event::MetricsSnapshot {
+                uptime_ms: 1,
+                generation: 1,
+                queue_depth: 0,
+                requests: 0,
+                shed: 0,
+                deadline_miss: 0,
+                traces_started: 0,
+                traces_completed: 0,
+                hists: vec![],
             },
             Event::Unknown {
                 kind: "from_the_future".into(),

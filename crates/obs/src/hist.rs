@@ -1,0 +1,385 @@
+//! Fixed-memory log-bucketed quantile histograms.
+//!
+//! The serving daemon needs latency distributions, not just totals, and it
+//! needs them without allocation on the record path and without unbounded
+//! memory. A [`Histogram`] is a flat array of 593 `u64` bucket counts
+//! (~4.6 KiB): values below 16 get one exact bucket each, and every
+//! power-of-two octave above that is split into 16 sub-buckets, so the
+//! relative quantile error is bounded by 1/16 (6.25%). Values at or above
+//! 2^40 (≈ 13 days in microseconds) saturate into a final overflow bucket.
+//!
+//! Histograms are mergeable (bucket-wise addition — associative and
+//! commutative, property-tested) and snapshot-able: [`Histogram::summary`]
+//! yields p50/p90/p99/p999 plus a sparse bucket dump for wire export.
+//! [`AtomicHistogram`] is the same layout with relaxed atomic buckets for
+//! lock-free concurrent recording on the serve hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// log2 of the sub-buckets per octave.
+const SUB_BITS: u32 = 4;
+/// Sub-buckets per octave; also the count of exact low-value buckets.
+const SUB: usize = 1 << SUB_BITS;
+/// Highest octave tracked exactly; values with a higher leading bit saturate.
+const MAX_OCTAVE: u32 = 39;
+/// Total bucket count: 16 exact + 36 octaves × 16 + 1 overflow.
+const N_BUCKETS: usize = SUB + (MAX_OCTAVE - SUB_BITS + 1) as usize * SUB + 1;
+
+/// Largest value that lands in a non-overflow bucket.
+pub const HIST_MAX_TRACKED: u64 = (1u64 << (MAX_OCTAVE + 1)) - 1;
+
+/// Bucket index for a value. Total over all of `u64`.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        return v as usize;
+    }
+    let h = 63 - v.leading_zeros();
+    if h > MAX_OCTAVE {
+        return N_BUCKETS - 1;
+    }
+    let sub = ((v >> (h - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+    SUB + (h - SUB_BITS) as usize * SUB + sub
+}
+
+/// Inclusive upper bound of bucket `idx` — the value quantiles report.
+fn bucket_high(idx: usize) -> u64 {
+    if idx < SUB {
+        return idx as u64;
+    }
+    if idx == N_BUCKETS - 1 {
+        return HIST_MAX_TRACKED.saturating_add(1);
+    }
+    let h = SUB_BITS + ((idx - SUB) / SUB) as u32;
+    let sub = ((idx - SUB) % SUB) as u64;
+    (1u64 << h) + (sub + 1) * (1u64 << (h - SUB_BITS)) - 1
+}
+
+/// Snapshot of a histogram's shape: headline quantiles plus a sparse bucket
+/// dump (only nonzero buckets), cheap to serialize over the stats wire frame.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct HistogramSummary {
+    pub count: u64,
+    /// Sum of recorded values (saturating), for mean computation.
+    pub sum: u64,
+    /// Largest recorded value, exact (not bucket-rounded).
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    /// Nonzero buckets as `(inclusive upper bound, count)`, in value order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl HistogramSummary {
+    /// Mean of recorded values (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+}
+
+/// A fixed-memory log-bucketed histogram. See the module docs for the
+/// bucket scheme and error bound.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    buckets: Box<[u64]>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0u64; N_BUCKETS].into_boxed_slice(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    /// Records one value.
+    #[inline]
+    pub fn record(&mut self, v: u64) {
+        self.buckets[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Bucket-wise addition. Associative and commutative, so per-thread
+    /// histograms can be folded in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Nearest-rank quantile, reported as the inclusive upper bound of the
+    /// bucket holding that rank: at most 6.25% above the exact value (and
+    /// exact for values < 16). Returns 0 on an empty histogram; `q` is
+    /// clamped to [0, 1].
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                if idx == N_BUCKETS - 1 {
+                    // The overflow bucket has no meaningful upper bound;
+                    // the exact max is the best statement available.
+                    return self.max;
+                }
+                // Never report past the true maximum (the top occupied
+                // bucket's upper bound can overshoot it).
+                return bucket_high(idx).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Headline quantiles plus the sparse bucket dump.
+    pub fn summary(&self) -> HistogramSummary {
+        HistogramSummary {
+            count: self.count,
+            sum: self.sum,
+            max: self.max,
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            buckets: self
+                .buckets
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(i, &c)| (bucket_high(i), c))
+                .collect(),
+        }
+    }
+}
+
+/// The same bucket layout with relaxed atomic counters: safe to record from
+/// many threads concurrently without a lock (one `fetch_add` per record).
+/// Snapshots are not point-in-time consistent under concurrent writes —
+/// each bucket is read individually — which is fine for monitoring.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AtomicHistogram {
+    pub fn new() -> Self {
+        AtomicHistogram {
+            buckets: (0..N_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one value (three relaxed atomic RMWs plus a `fetch_max`).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Copies the current counts into a plain [`Histogram`].
+    pub fn snapshot(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for (dst, src) in h.buckets.iter_mut().zip(self.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        // Derive count from the buckets so quantile ranks are consistent
+        // with what was copied, even mid-record on another thread.
+        h.count = h.buckets.iter().sum();
+        h.sum = self.sum.load(Ordering::Relaxed);
+        h.max = self.max.load(Ordering::Relaxed);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(0.999), 0);
+        let s = h.summary();
+        assert_eq!(s.count, 0);
+        assert_eq!(s.mean(), 0.0);
+        assert!(s.buckets.is_empty());
+    }
+
+    #[test]
+    fn single_sample_reports_itself_at_every_quantile() {
+        for v in [0u64, 1, 15, 16, 17, 1000, 123_456_789] {
+            let mut h = Histogram::new();
+            h.record(v);
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                assert_eq!(h.quantile(q), v, "v={v} q={q}");
+            }
+            assert_eq!(h.max(), v);
+            assert_eq!(h.sum(), v);
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let mut h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        // 16 samples: nearest-rank p50 is the 8th value (index 7).
+        assert_eq!(h.quantile(0.5), 7);
+        assert_eq!(h.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantile_error_is_bounded_by_one_sixteenth() {
+        let mut h = Histogram::new();
+        let mut values: Vec<u64> = Vec::new();
+        let mut x = 1u64;
+        for i in 0..2000u64 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let v = (x >> 20) % (1 + i * i);
+            values.push(v);
+            h.record(v);
+        }
+        values.sort_unstable();
+        for q in [0.1, 0.5, 0.9, 0.99, 0.999] {
+            let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+            let exact = values[rank - 1];
+            let got = h.quantile(q);
+            assert!(got >= exact, "q={q}: {got} < exact {exact}");
+            let bound = exact + exact / 16 + 1;
+            assert!(got <= bound, "q={q}: {got} > bound {bound} (exact {exact})");
+        }
+    }
+
+    #[test]
+    fn saturating_bucket_catches_huge_values() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(HIST_MAX_TRACKED + 1);
+        h.record(5);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(0.0), 5);
+        // Overflow values report the saturation bound capped at the true max.
+        assert_eq!(h.quantile(1.0), u64::MAX);
+        let s = h.summary();
+        assert_eq!(s.buckets.len(), 2);
+        assert_eq!(s.buckets[0], (5, 1));
+        assert_eq!(s.buckets[1].1, 2);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 0..500u64 {
+            let v = v * 37 % 10_000;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, whole);
+    }
+
+    #[test]
+    fn bucket_bounds_are_monotone_and_cover_u64() {
+        let mut prev = 0u64;
+        for idx in 0..N_BUCKETS {
+            let hi = bucket_high(idx);
+            assert!(idx == 0 || hi > prev, "idx {idx}: {hi} <= {prev}");
+            prev = hi;
+            // The upper bound itself must land in its own bucket (except the
+            // overflow representative, which is only a display value).
+            if idx < N_BUCKETS - 1 {
+                assert_eq!(bucket_index(hi), idx, "upper bound {hi} misfiles");
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), N_BUCKETS - 1);
+        assert_eq!(bucket_index(0), 0);
+    }
+
+    #[test]
+    fn atomic_histogram_matches_plain_under_threads() {
+        let ah = AtomicHistogram::new();
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let ah = &ah;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        ah.record(t * 1_000_000 + i * 17);
+                    }
+                });
+            }
+        });
+        let mut plain = Histogram::new();
+        for t in 0..4u64 {
+            for i in 0..1000u64 {
+                plain.record(t * 1_000_000 + i * 17);
+            }
+        }
+        assert_eq!(ah.snapshot(), plain);
+    }
+}

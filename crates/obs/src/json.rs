@@ -67,6 +67,13 @@ impl Json {
             _ => None,
         }
     }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
 }
 
 /// Appends a JSON string literal (with escaping) to `out`.
@@ -164,10 +171,32 @@ impl ObjWriter {
         self
     }
 
+    /// Appends a pre-serialized JSON value under `k`. The caller owns the
+    /// value's well-formedness (used for nested arrays of objects).
+    pub fn raw(&mut self, k: &str, json: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(json);
+        self
+    }
+
     pub fn finish(mut self) -> String {
         self.buf.push('}');
         self.buf
     }
+}
+
+/// Joins pre-serialized JSON values into an array literal, for use with
+/// [`ObjWriter::raw`].
+pub fn arr_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut buf = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            buf.push(',');
+        }
+        buf.push_str(&item);
+    }
+    buf.push(']');
+    buf
 }
 
 /// Parses one complete JSON value; trailing non-whitespace is an error.

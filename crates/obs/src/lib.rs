@@ -24,16 +24,24 @@
 
 mod error;
 mod event;
+mod hist;
 mod json;
+mod recorder;
 mod sink;
 mod span;
 mod summary;
+mod trace;
 
 pub use error::ObsError;
-pub use event::{Event, Manifest, Record};
-pub use sink::{parse_jsonl, read_jsonl, Handle, JsonlSink, MemorySink, NullSink, Sink};
+pub use event::{Event, HistStat, Manifest, Record};
+pub use hist::{AtomicHistogram, Histogram, HistogramSummary, HIST_MAX_TRACKED};
+pub use recorder::FlightRecorder;
+pub use sink::{
+    parse_jsonl, parse_jsonl_tolerant, read_jsonl, Handle, JsonlSink, MemorySink, NullSink, Sink,
+};
 pub use span::Span;
 pub use summary::summarize;
+pub use trace::{StageTimes, TraceSummary};
 
 use std::cell::{Cell, RefCell};
 use std::path::Path;

@@ -1,0 +1,185 @@
+//! The flight recorder: a lock-light ring of the last N trace summaries.
+//!
+//! The daemon pushes every finished trace here (one slot mutex, never
+//! contended across slots, no allocation beyond the summary itself). When a
+//! worker panics, a swap rolls back, or an operator asks via `serve-ctl
+//! dump`, the ring is dumped to a JSONL file — a [`crate::Manifest`] first
+//! so the dump is a well-formed telemetry log that `uae summarize` can
+//! read, then one [`crate::Event::Trace`] line per summary, oldest first.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::error::ObsError;
+use crate::event::{Event, Manifest};
+use crate::trace::TraceSummary;
+
+/// One ring slot: the claim ticket (monotonic push index) and the trace
+/// recorded under it, absent until the ring wraps past the slot once.
+type Slot = Mutex<Option<(u64, TraceSummary)>>;
+
+/// Fixed-capacity concurrent ring of trace summaries. Writers claim a
+/// ticket with one atomic `fetch_add`, then lock only their own slot, so
+/// concurrent pushes to different slots never contend.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    slots: Box<[Slot]>,
+    next_ticket: AtomicU64,
+}
+
+impl FlightRecorder {
+    /// Creates a ring holding the last `n` traces (`n` is clamped to ≥ 1).
+    pub fn new(n: usize) -> Self {
+        let n = n.max(1);
+        FlightRecorder {
+            slots: (0..n).map(|_| Mutex::new(None)).collect(),
+            next_ticket: AtomicU64::new(0),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of traces currently held (≤ capacity).
+    pub fn len(&self) -> usize {
+        (self.next_ticket.load(Ordering::Relaxed) as usize).min(self.slots.len())
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.next_ticket.load(Ordering::Relaxed) == 0
+    }
+
+    /// Records one trace, evicting the oldest once the ring is full.
+    pub fn push(&self, trace: TraceSummary) {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let slot = (ticket % self.slots.len() as u64) as usize;
+        let mut guard = self.slots[slot].lock().unwrap_or_else(|p| p.into_inner());
+        // A lagging writer must not clobber a newer ticket that lapped it.
+        if guard.as_ref().is_none_or(|(t, _)| *t < ticket) {
+            *guard = Some((ticket, trace));
+        }
+    }
+
+    /// The held traces, oldest first.
+    pub fn snapshot(&self) -> Vec<TraceSummary> {
+        let mut entries: Vec<(u64, TraceSummary)> = self
+            .slots
+            .iter()
+            .filter_map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).clone())
+            .collect();
+        entries.sort_unstable_by_key(|(t, _)| *t);
+        entries.into_iter().map(|(_, t)| t).collect()
+    }
+
+    /// Dumps the ring to a JSONL file readable by `uae summarize`: the
+    /// manifest at `seq` 0, then one `trace` line per summary, oldest
+    /// first. Returns the number of traces written.
+    pub fn dump_jsonl(&self, path: &Path, manifest: Manifest) -> Result<usize, ObsError> {
+        use std::io::Write as _;
+        let traces = self.snapshot();
+        let mut out = String::new();
+        out.push_str(&Event::RunManifest(manifest).to_json_line(0));
+        out.push('\n');
+        for (i, t) in traces.iter().enumerate() {
+            out.push_str(&Event::Trace(t.clone()).to_json_line(i as u64 + 1));
+            out.push('\n');
+        }
+        let io = |e: std::io::Error| ObsError::Io(format!("{}: {e}", path.display()));
+        let mut f = std::fs::File::create(path).map_err(io)?;
+        f.write_all(out.as_bytes()).map_err(io)?;
+        f.flush().map_err(io)?;
+        Ok(traces.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sink::parse_jsonl;
+    use crate::trace::StageTimes;
+
+    fn trace(id: u64) -> TraceSummary {
+        TraceSummary {
+            id,
+            sessions: 2,
+            events: 20,
+            generation: 1,
+            outcome: "ok".into(),
+            total_us: 100 + id,
+            stages: StageTimes {
+                queue_wait_us: 1,
+                batch_assemble_us: 2,
+                score_us: 90,
+                reply_write_us: 3,
+            },
+        }
+    }
+
+    fn manifest() -> Manifest {
+        Manifest {
+            run: "flight-recorder".into(),
+            version: "test".into(),
+            seed: 0,
+            threads: 1,
+            kernel_mode: "Blocked".into(),
+            config: vec![],
+        }
+    }
+
+    #[test]
+    fn ring_keeps_the_last_n_in_order() {
+        let r = FlightRecorder::new(4);
+        assert!(r.is_empty());
+        for id in 0..10 {
+            r.push(trace(id));
+        }
+        assert_eq!(r.len(), 4);
+        let ids: Vec<u64> = r.snapshot().iter().map(|t| t.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn concurrent_pushes_lose_nothing_recent() {
+        let r = FlightRecorder::new(64);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let r = &r;
+                s.spawn(move || {
+                    for i in 0..16 {
+                        r.push(trace(t * 100 + i));
+                    }
+                });
+            }
+        });
+        // 64 pushes into a 64-slot ring: every trace survives.
+        assert_eq!(r.len(), 64);
+        let mut ids: Vec<u64> = r.snapshot().iter().map(|t| t.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 64);
+    }
+
+    #[test]
+    fn dump_round_trips_through_the_jsonl_parser() {
+        let r = FlightRecorder::new(8);
+        for id in 0..3 {
+            r.push(trace(id));
+        }
+        let dir = std::env::temp_dir().join("uae_obs_recorder_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("dump.jsonl");
+        let n = r.dump_jsonl(&path, manifest()).unwrap();
+        assert_eq!(n, 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let recs = parse_jsonl(&text).unwrap();
+        assert_eq!(recs.len(), 4);
+        assert!(matches!(recs[0].event, Event::RunManifest(_)));
+        match &recs[2].event {
+            Event::Trace(t) => assert_eq!(*t, trace(1)),
+            other => panic!("{other:?}"),
+        }
+        std::fs::remove_file(&path).ok();
+    }
+}

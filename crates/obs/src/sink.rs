@@ -160,6 +160,33 @@ pub fn parse_jsonl(text: &str) -> Result<Vec<Record>, ObsError> {
     Ok(out)
 }
 
+/// Like [`parse_jsonl`], but tolerates a malformed FINAL line — the shape a
+/// crash-truncated flight-recorder dump takes when the process died
+/// mid-write. Interior malformed lines are still typed errors (they mean
+/// corruption, not truncation). Returns the parsed records plus the parse
+/// failure detail of the dropped tail line, if any.
+pub fn parse_jsonl_tolerant(text: &str) -> Result<(Vec<Record>, Option<String>), ObsError> {
+    let lines: Vec<(usize, &str)> = text
+        .lines()
+        .enumerate()
+        .filter(|(_, l)| !l.trim().is_empty())
+        .collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (pos, &(i, line)) in lines.iter().enumerate() {
+        match Record::from_json_line(line) {
+            Ok(rec) => out.push(rec),
+            Err(detail) if pos == lines.len() - 1 => return Ok((out, Some(detail))),
+            Err(detail) => {
+                return Err(ObsError::Malformed {
+                    line: i + 1,
+                    detail,
+                })
+            }
+        }
+    }
+    Ok((out, None))
+}
+
 /// Reads and parses a JSONL telemetry log from disk.
 pub fn read_jsonl(path: &Path) -> Result<Vec<Record>, ObsError> {
     let file = File::open(path).map_err(|e| ObsError::Io(format!("{}: {e}", path.display())))?;
@@ -239,5 +266,82 @@ mod tests {
             Err(ObsError::Malformed { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected Malformed, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn tolerant_parse_drops_only_a_truncated_tail() {
+        let a = Event::Counter {
+            name: "a".into(),
+            value: 1,
+        }
+        .to_json_line(0);
+        let b = Event::Counter {
+            name: "b".into(),
+            value: 2,
+        }
+        .to_json_line(1);
+
+        // A crash-truncated tail is tolerated and reported.
+        let text = format!("{a}\n{b}\n{{\"seq\":2,\"type\":\"cou");
+        let (recs, dropped) = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert!(dropped.is_some());
+
+        // A fully well-formed log parses with no drop.
+        let text = format!("{a}\n{b}\n");
+        let (recs, dropped) = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(dropped, None);
+
+        // Interior corruption is still a typed error with the line number.
+        let text = format!("{a}\nnot json\n{b}\n");
+        match parse_jsonl_tolerant(&text) {
+            Err(ObsError::Malformed { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn interleaved_multi_thread_seqs_round_trip() {
+        // Four threads share one Handle: the file's physical line order is
+        // racy but every seq id appears exactly once, and both parsers must
+        // accept the (non-densely-ordered) result.
+        let dir = std::env::temp_dir().join("uae_obs_sink_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("interleaved.jsonl");
+        let h = Arc::new(Handle::new(Arc::new(JsonlSink::create(&path).unwrap())));
+        h.emit(&Event::RunManifest(Manifest {
+            run: "interleave".into(),
+            version: "0".into(),
+            seed: 1,
+            threads: 4,
+            kernel_mode: "Blocked".into(),
+            config: vec![],
+        }));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let h = h.clone();
+                s.spawn(move || {
+                    for i in 0..50u64 {
+                        h.emit(&Event::Counter {
+                            name: format!("thread{t}"),
+                            value: i,
+                        });
+                    }
+                });
+            }
+        });
+        h.flush();
+        let text = std::fs::read_to_string(&path).unwrap();
+        let recs = parse_jsonl(&text).unwrap();
+        assert_eq!(recs.len(), 201);
+        let mut seqs: Vec<u64> = recs.iter().map(|r| r.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..201).collect::<Vec<u64>>(), "seq ids not unique");
+        let (recs2, dropped) = parse_jsonl_tolerant(&text).unwrap();
+        assert_eq!(recs2.len(), 201);
+        assert_eq!(dropped, None);
+        assert!(crate::summarize(&recs).is_ok());
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -8,6 +8,7 @@ use std::fmt::Write as _;
 
 use crate::error::ObsError;
 use crate::event::{Event, Record};
+use crate::hist::Histogram;
 
 /// Summarizes a telemetry stream. The first record must be a run manifest
 /// (as every facade-installed JSONL sink guarantees); otherwise
@@ -48,10 +49,26 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
     let mut last_step: Option<(u64, f64, f64)> = None;
     let mut counters: BTreeMap<&str, u64> = BTreeMap::new();
     let mut gauges: BTreeMap<&str, f64> = BTreeMap::new();
-    let mut spans: BTreeMap<&str, (u64, u64)> = BTreeMap::new(); // name -> (count, total µs)
+    // name -> per-span latency histogram (count/p50/p99 come from here).
+    let mut spans: BTreeMap<&str, Histogram> = BTreeMap::new();
     let mut unknown: BTreeMap<&str, u64> = BTreeMap::new(); // tag -> occurrences
-    let mut serve_faults: BTreeMap<(&str, &str), u64> = BTreeMap::new(); // (fault, action) -> count
+                                                            // fault kind -> (count, last action seen). Aggregated by kind because
+                                                            // actions can carry per-request detail (stage timings, trace ids).
+    let mut serve_faults: BTreeMap<&str, (u64, &str)> = BTreeMap::new();
     let mut swaps: Vec<(u64, &str)> = Vec::new(); // (generation, outcome)
+    let mut last_metrics: Option<&Event> = None;
+    let mut trace_outcomes: BTreeMap<&str, u64> = BTreeMap::new();
+    // Decode-to-reply and per-stage latency across all trace events.
+    let mut trace_stages: Vec<(&str, Histogram)> = [
+        "total",
+        "queue_wait",
+        "batch_assemble",
+        "score",
+        "reply_write",
+    ]
+    .iter()
+    .map(|n| (*n, Histogram::new()))
+    .collect();
 
     for r in records {
         match &r.event {
@@ -78,17 +95,30 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
                 gauges.insert(name, *value);
             }
             Event::Span { name, micros, .. } => {
-                let e = spans.entry(name).or_insert((0, 0));
-                e.0 += 1;
-                e.1 += micros;
+                spans.entry(name).or_default().record(*micros);
             }
-            Event::ServeFault { fault, action } => {
-                *serve_faults.entry((fault, action)).or_insert(0) += 1;
+            Event::ServeFault { fault, action, .. } => {
+                let e = serve_faults.entry(fault).or_insert((0, action));
+                e.0 += 1;
+                e.1 = action;
             }
             Event::Swap {
                 generation,
                 outcome,
             } => swaps.push((*generation, outcome.as_str())),
+            Event::MetricsSnapshot { .. } => last_metrics = Some(&r.event),
+            Event::Trace(t) => {
+                *trace_outcomes.entry(t.outcome.as_str()).or_insert(0) += 1;
+                for (name, h) in trace_stages.iter_mut() {
+                    h.record(match *name {
+                        "total" => t.total_us,
+                        "queue_wait" => t.stages.queue_wait_us,
+                        "batch_assemble" => t.stages.batch_assemble_us,
+                        "score" => t.stages.score_us,
+                        _ => t.stages.reply_write_us,
+                    });
+                }
+            }
             Event::Unknown { kind } => *unknown.entry(kind).or_insert(0) += 1,
             _ => {}
         }
@@ -216,22 +246,100 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
                 let _ = writeln!(out, "  {key:<32} {v}");
             }
         }
-        if let Some((count, micros)) = spans.get("serve.batch") {
+        if let Some(h) = spans.get("serve.batch") {
+            let micros = h.sum();
             let _ = writeln!(
                 out,
                 "  {:<32} {:>6}x  {:>10.1} ms total",
                 "serve.batch",
-                count,
-                *micros as f64 / 1000.0
+                h.count(),
+                micros as f64 / 1000.0
             );
-            if let (Some(events), true) = (counters.get("serve.events"), *micros > 0) {
+            if let (Some(events), true) = (counters.get("serve.events"), micros > 0) {
                 let _ = writeln!(
                     out,
                     "  {:<32} {:.0} events/s",
                     "batched throughput",
-                    *events as f64 / (*micros as f64 / 1e6)
+                    *events as f64 / (micros as f64 / 1e6)
                 );
             }
+        }
+    }
+
+    // The daemon's periodic metrics snapshot: live quantiles replace raw
+    // event counts wherever a distribution exists.
+    if let Some(Event::MetricsSnapshot {
+        uptime_ms,
+        generation,
+        queue_depth,
+        requests,
+        shed,
+        deadline_miss,
+        traces_started,
+        traces_completed,
+        hists,
+    }) = last_metrics
+    {
+        let _ = writeln!(
+            out,
+            "\nserving metrics (last snapshot, uptime {:.1} s):",
+            *uptime_ms as f64 / 1000.0
+        );
+        let _ = writeln!(
+            out,
+            "  generation {generation}  queue_depth {queue_depth}  requests {requests}  \
+             shed {shed}  deadline_miss {deadline_miss}"
+        );
+        let _ = writeln!(
+            out,
+            "  traces started {traces_started} / completed {traces_completed}{}",
+            if traces_started == traces_completed {
+                " (all closed)"
+            } else {
+                " (ORPHANED TRACES)"
+            }
+        );
+        if !hists.is_empty() {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+                "histogram", "count", "p50", "p90", "p99", "p999", "max"
+            );
+            for h in hists {
+                let _ = writeln!(
+                    out,
+                    "  {:<24} {:>8}  {:>8}  {:>8}  {:>8}  {:>8}  {:>8}",
+                    h.name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
+                );
+            }
+        }
+    }
+
+    // Flight-recorder dumps are logs of trace events; render where the
+    // time went, stage by stage.
+    let n_traces: u64 = trace_outcomes.values().sum();
+    if n_traces > 0 {
+        let outcomes = trace_outcomes
+            .iter()
+            .map(|(o, c)| format!("{o} {c}"))
+            .collect::<Vec<_>>()
+            .join(", ");
+        let _ = writeln!(out, "\ntraces: {n_traces} ({outcomes})");
+        let _ = writeln!(
+            out,
+            "  {:<20} {:>8}  {:>10}  {:>10}  {:>10}",
+            "stage", "count", "p50 us", "p99 us", "max us"
+        );
+        for (name, h) in &trace_stages {
+            let _ = writeln!(
+                out,
+                "  {:<20} {:>8}  {:>10}  {:>10}  {:>10}",
+                name,
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.max()
+            );
         }
     }
 
@@ -240,8 +348,8 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
         for (generation, outcome) in &swaps {
             let _ = writeln!(out, "  swap -> generation {generation}: {outcome}");
         }
-        for ((fault, action), count) in &serve_faults {
-            let _ = writeln!(out, "  fault {fault:<24} {count:>5}x  -> {action}");
+        for (fault, (count, last_action)) in &serve_faults {
+            let _ = writeln!(out, "  fault {fault:<24} {count:>5}x  -> {last_action}");
         }
         // Queue/served finals live in counters; surface the headline ones
         // here so the daemon's degradation story reads in one place.
@@ -259,16 +367,23 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
     }
 
     if !spans.is_empty() {
-        let _ = writeln!(out, "\nspans (total wall-clock by name):");
+        let _ = writeln!(out, "\nspans (latency by name):");
+        let _ = writeln!(
+            out,
+            "  {:<32} {:>6}   {:>10}  {:>10}  {:>12}",
+            "name", "count", "p50 us", "p99 us", "total ms"
+        );
         let mut rows: Vec<_> = spans.into_iter().collect();
-        rows.sort_by_key(|row| std::cmp::Reverse(row.1 .1));
-        for (name, (count, micros)) in rows {
+        rows.sort_by_key(|(_, h)| std::cmp::Reverse(h.sum()));
+        for (name, h) in rows {
             let _ = writeln!(
                 out,
-                "  {:<32} {:>6}x  {:>10.1} ms",
+                "  {:<32} {:>6}x  {:>10}  {:>10}  {:>12.1}",
                 name,
-                count,
-                micros as f64 / 1000.0
+                h.count(),
+                h.quantile(0.50),
+                h.quantile(0.99),
+                h.sum() as f64 / 1000.0
             );
         }
     }
@@ -407,6 +522,7 @@ mod tests {
                 Event::ServeFault {
                     fault: "worker_panic".into(),
                     action: "restart after 50 ms backoff".into(),
+                    trace_id: Some(3),
                 },
             ),
             rec(
@@ -415,6 +531,58 @@ mod tests {
                     name: "serve.daemon.shed".into(),
                     value: 7,
                 },
+            ),
+            rec(
+                12,
+                Event::MetricsSnapshot {
+                    uptime_ms: 2500,
+                    generation: 2,
+                    queue_depth: 1,
+                    requests: 40,
+                    shed: 7,
+                    deadline_miss: 0,
+                    traces_started: 47,
+                    traces_completed: 47,
+                    hists: vec![crate::HistStat {
+                        name: "request_us".into(),
+                        count: 40,
+                        sum: 80_000,
+                        max: 9_000,
+                        p50: 1_800,
+                        p90: 4_100,
+                        p99: 8_700,
+                        p999: 9_000,
+                    }],
+                },
+            ),
+            rec(
+                13,
+                Event::Trace(crate::TraceSummary {
+                    id: 1,
+                    sessions: 2,
+                    events: 30,
+                    generation: 2,
+                    outcome: "ok".into(),
+                    total_us: 2_000,
+                    stages: crate::StageTimes {
+                        queue_wait_us: 100,
+                        batch_assemble_us: 10,
+                        score_us: 1_800,
+                        reply_write_us: 50,
+                    },
+                }),
+            ),
+            rec(
+                14,
+                Event::Trace(crate::TraceSummary {
+                    id: 2,
+                    sessions: 1,
+                    events: 10,
+                    generation: 2,
+                    outcome: "shed".into(),
+                    total_us: 40,
+                    stages: crate::StageTimes::default(),
+                }),
             ),
         ];
         let text = summarize(&records).unwrap();
@@ -435,6 +603,12 @@ mod tests {
             "swap -> generation 2: active",
             "fault worker_panic",
             "serve.daemon.shed",
+            "serving metrics (last snapshot, uptime 2.5 s):",
+            "traces started 47 / completed 47 (all closed)",
+            "request_us",
+            "traces: 2 (ok 1, shed 1)",
+            "queue_wait",
+            "spans (latency by name):",
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }

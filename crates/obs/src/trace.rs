@@ -1,0 +1,82 @@
+//! Request-scoped trace types for the serving daemon.
+//!
+//! A trace is minted when a score request's frame is decoded and follows the
+//! request through queue admission → micro-batch assembly → worker scoring →
+//! reply write. Each stage records wall-clock microseconds into a
+//! [`StageTimes`], and the finished request is condensed into a
+//! [`TraceSummary`] — small enough to keep the last N of them in the
+//! flight-recorder ring and to serialize as an [`crate::Event::Trace`]
+//! JSONL line.
+
+/// Per-stage wall-clock microseconds for one request's lifecycle.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimes {
+    /// Enqueue to worker pop (admission to batch assembly).
+    pub queue_wait_us: u64,
+    /// Worker pop to scoring start (batch coalescing + generation pin).
+    pub batch_assemble_us: u64,
+    /// Time inside the scorer (shared across the micro-batch).
+    pub score_us: u64,
+    /// Serializing and writing the reply frame.
+    pub reply_write_us: u64,
+}
+
+impl StageTimes {
+    /// Sum of the recorded stages (the daemon-side portion of latency).
+    pub fn staged_total_us(&self) -> u64 {
+        self.queue_wait_us + self.batch_assemble_us + self.score_us + self.reply_write_us
+    }
+
+    /// Compact human-readable rendering, attached to fault events so every
+    /// shed or deadline miss is attributable to a stage.
+    pub fn render(&self) -> String {
+        format!(
+            "queue_wait={}us batch_assemble={}us score={}us reply_write={}us",
+            self.queue_wait_us, self.batch_assemble_us, self.score_us, self.reply_write_us
+        )
+    }
+}
+
+/// One finished request, condensed: identity, size, where the time went,
+/// and how it ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// Daemon-unique trace id (minted at frame decode, 1-based).
+    pub id: u64,
+    /// Sessions in the request.
+    pub sessions: u64,
+    /// Events across those sessions.
+    pub events: u64,
+    /// Model generation that answered (0 if the request never reached one).
+    pub generation: u64,
+    /// `ok`, `shed`, `deadline_miss`, `worker_panic`, `protocol_error`, …
+    pub outcome: String,
+    /// Decode-to-reply wall clock.
+    pub total_us: u64,
+    pub stages: StageTimes,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_render_names_every_stage() {
+        let s = StageTimes {
+            queue_wait_us: 1,
+            batch_assemble_us: 2,
+            score_us: 3,
+            reply_write_us: 4,
+        };
+        assert_eq!(s.staged_total_us(), 10);
+        let r = s.render();
+        for needle in [
+            "queue_wait=1us",
+            "batch_assemble=2us",
+            "score=3us",
+            "reply_write=4us",
+        ] {
+            assert!(r.contains(needle), "{r}");
+        }
+    }
+}

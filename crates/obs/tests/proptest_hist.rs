@@ -1,0 +1,100 @@
+//! Property-based tests of the log-bucketed histogram: merge is
+//! associative/commutative and equivalent to recording into one histogram,
+//! and every quantile stays within the bucket scheme's error bound of an
+//! exact nearest-rank oracle.
+
+#![cfg(feature = "proptest")]
+
+use proptest::prelude::*;
+use uae_obs::Histogram;
+
+fn hist_of(values: &[u64]) -> Histogram {
+    let mut h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h
+}
+
+/// Nearest-rank quantile on the raw values — the exact oracle.
+fn oracle(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Mixes magnitudes from exact small buckets through multi-octave values.
+fn value_strategy() -> impl Strategy<Value = u64> {
+    (0u64..4, 0u64..u64::MAX / 2).prop_map(|(scale, v)| match scale {
+        0 => v % 16,
+        1 => v % 1000,
+        2 => v % 1_000_000,
+        _ => v,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// (a ∪ b) ∪ c = a ∪ (b ∪ c), and merge order never matters.
+    #[test]
+    fn merge_is_associative_and_commutative(
+        a in proptest::collection::vec(value_strategy(), 0..60),
+        b in proptest::collection::vec(value_strategy(), 0..60),
+        c in proptest::collection::vec(value_strategy(), 0..60),
+    ) {
+        let (ha, hb, hc) = (hist_of(&a), hist_of(&b), hist_of(&c));
+
+        let mut left = ha.clone();
+        left.merge(&hb);
+        left.merge(&hc);
+
+        let mut bc = hb.clone();
+        bc.merge(&hc);
+        let mut right = ha.clone();
+        right.merge(&bc);
+
+        prop_assert_eq!(&left, &right);
+
+        let mut swapped = hb.clone();
+        swapped.merge(&ha);
+        swapped.merge(&hc);
+        prop_assert_eq!(&left, &swapped);
+
+        // Merging equals recording everything into one histogram.
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        all.extend_from_slice(&c);
+        prop_assert_eq!(&left, &hist_of(&all));
+    }
+
+    /// Quantiles never undershoot the oracle and overshoot by at most one
+    /// sub-bucket width (relative error 1/16, +1 for integer rounding).
+    #[test]
+    fn quantiles_stay_within_the_bucket_error_bound(
+        mut values in proptest::collection::vec(0u64..100_000_000, 1..300),
+        qs in proptest::collection::vec(0.0f64..1.0, 1..8),
+    ) {
+        let h = hist_of(&values);
+        values.sort_unstable();
+        for q in qs {
+            let exact = oracle(&values, q);
+            let got = h.quantile(q);
+            prop_assert!(got >= exact, "q={}: {} < exact {}", q, got, exact);
+            let bound = exact + exact / 16 + 1;
+            prop_assert!(got <= bound, "q={}: {} > {} (exact {})", q, got, bound, exact);
+        }
+    }
+
+    /// Summaries agree with the histogram they came from.
+    #[test]
+    fn summary_is_consistent(values in proptest::collection::vec(value_strategy(), 0..200)) {
+        let h = hist_of(&values);
+        let s = h.summary();
+        prop_assert_eq!(s.count, values.len() as u64);
+        prop_assert_eq!(s.max, values.iter().copied().max().unwrap_or(0));
+        prop_assert_eq!(s.p50, h.quantile(0.50));
+        prop_assert_eq!(s.p999, h.quantile(0.999));
+        let bucket_total: u64 = s.buckets.iter().map(|(_, c)| c).sum();
+        prop_assert_eq!(bucket_total, s.count);
+    }
+}

@@ -68,6 +68,19 @@ impl ServeClient {
         sessions: Vec<WireSession>,
         deadline_ms: u32,
     ) -> Result<(u64, Vec<SessionScores>), UaeError> {
+        self.score_traced(sessions, deadline_ms)
+            .map(|(generation, _trace_id, scored)| (generation, scored))
+    }
+
+    /// Like [`score`](ServeClient::score) but also returns the daemon-side
+    /// trace id (0 when the daemon runs with `UAE_TRACE=0`), so load
+    /// generators can account for every admitted request against the
+    /// daemon's `traces_started` / `traces_completed` counters.
+    pub fn score_traced(
+        &mut self,
+        sessions: Vec<WireSession>,
+        deadline_ms: u32,
+    ) -> Result<(u64, u64, Vec<SessionScores>), UaeError> {
         let req = Request::Score {
             deadline_ms,
             sessions,
@@ -75,8 +88,9 @@ impl ServeClient {
         match self.call(&req)? {
             Response::Scored {
                 generation,
+                trace_id,
                 sessions,
-            } => Ok((generation, sessions)),
+            } => Ok((generation, trace_id, sessions)),
             other => Err(unexpected("Scored", &other)),
         }
     }
@@ -96,6 +110,16 @@ impl ServeClient {
         match self.call(&req)? {
             Response::Swapped { generation } => Ok(generation),
             other => Err(unexpected("Swapped", &other)),
+        }
+    }
+
+    /// Asks the daemon to dump its flight recorder (the last N trace
+    /// summaries) to a JSONL file on the *daemon's* filesystem. Returns
+    /// the dump path and the number of traces written.
+    pub fn dump(&mut self) -> Result<(String, u64), UaeError> {
+        match self.call(&Request::Dump)? {
+            Response::Dumped { path, traces } => Ok((path, traces)),
+            other => Err(unexpected("Dumped", &other)),
         }
     }
 

@@ -31,27 +31,38 @@
 //!   generation's refcount to drain (in-flight batches hold clones). A
 //!   failed decode or schema mismatch rolls back to last-good and answers
 //!   [`UaeError::SwapRejected`].
+//! * **Request-scoped tracing** — every `Score` request gets a trace id
+//!   minted at decode (`UAE_TRACE`, on by default) and carried through
+//!   admission → batch assembly → scoring → reply; per-stage timings land
+//!   in fixed-memory [`AtomicHistogram`]s exported through `Stats`, and a
+//!   [`FlightRecorder`] ring keeps the last N trace summaries
+//!   (`UAE_FLIGHT_RECORDER_N`), dumped to JSONL on worker panic, swap
+//!   rollback, or a `Dump` request. Tracing never changes scores — it only
+//!   observes — so replies are bit-identical with it on or off.
 //! * **Telemetry** — `serve.daemon.*` counters, `serve.queue_depth` /
 //!   `serve.swap_generation` gauges, and `ServeFault` / `Swap` events flow
 //!   to the obs handle captured when the daemon was bound, so spawned
-//!   threads join the caller's JSONL stream.
+//!   threads join the caller's JSONL stream. With `UAE_METRICS_INTERVAL_MS`
+//!   set, a metrics thread additionally emits a periodic
+//!   [`uae_obs::Event::MetricsSnapshot`] carrying the histogram state.
 
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::sync_channel;
 use std::sync::{Arc, Mutex, RwLock};
 use std::time::{Duration, Instant};
 
 use uae_data::{Dataset, Event, FeatureSchema, Feedback, Session, Truth};
+use uae_obs::{AtomicHistogram, FlightRecorder, HistStat, StageTimes, TraceSummary};
 use uae_runtime::{Backoff, UaeError};
 
 use crate::fault::FaultPlan;
 use crate::model::FrozenModel;
 use crate::queue::{Job, ServeQueue};
 use crate::scorer::{Scorer, ScorerConfig};
-use crate::wire::{self, Request, Response, SessionScores, StatsSnapshot, WireSession};
+use crate::wire::{self, Request, Response, SessionScores, StatsSnapshot, WireHist, WireSession};
 
 /// How long the daemon waits for in-flight batches to release an old
 /// generation before declaring the swap active anyway (in-flight batches
@@ -62,7 +73,7 @@ const SWAP_DRAIN_BUDGET: Duration = Duration::from_secs(5);
 /// Poll interval of the non-blocking accept loop and connection peek loop.
 const POLL_INTERVAL: Duration = Duration::from_millis(20);
 
-/// Serving knobs (`UAE_SERVE_*`).
+/// Serving knobs (`UAE_SERVE_*` plus the observability family).
 #[derive(Debug, Clone)]
 pub struct DaemonConfig {
     /// Listen address (`UAE_SERVE_ADDR`, default `127.0.0.1:0` — port 0
@@ -83,6 +94,19 @@ pub struct DaemonConfig {
     pub default_deadline_ms: u32,
     /// Most sessions one request may carry (default 1024).
     pub max_sessions_per_request: usize,
+    /// Request-scoped tracing (`UAE_TRACE`, default on; `0`/`false`/`off`
+    /// disables). Tracing records stage timings into histograms and the
+    /// flight recorder; scores are bit-identical either way.
+    pub trace: bool,
+    /// Flight-recorder ring capacity in traces (`UAE_FLIGHT_RECORDER_N`,
+    /// default 256).
+    pub flight_recorder_n: usize,
+    /// Period of the `MetricsSnapshot` telemetry event in milliseconds
+    /// (`UAE_METRICS_INTERVAL_MS`, default 0 = no metrics thread).
+    pub metrics_interval_ms: u64,
+    /// Directory flight-recorder dumps are written to
+    /// (`UAE_FLIGHT_RECORDER_DIR`, default the system temp dir).
+    pub flight_dir: PathBuf,
 }
 
 impl Default for DaemonConfig {
@@ -95,15 +119,21 @@ impl Default for DaemonConfig {
             queue_capacity: 256,
             default_deadline_ms: 0,
             max_sessions_per_request: 1024,
+            trace: true,
+            flight_recorder_n: 256,
+            metrics_interval_ms: 0,
+            flight_dir: std::env::temp_dir(),
         }
     }
 }
 
 impl DaemonConfig {
     /// Reads `UAE_SERVE_ADDR` / `UAE_SERVE_BATCH` / `UAE_SERVE_MAX_LEN` /
-    /// `UAE_SERVE_WORKERS` / `UAE_SERVE_QUEUE` / `UAE_SERVE_DEADLINE_MS`
-    /// over the defaults. Unparsable or zero numeric values keep the
-    /// default — a typo in a knob must not change admission semantics.
+    /// `UAE_SERVE_WORKERS` / `UAE_SERVE_QUEUE` / `UAE_SERVE_DEADLINE_MS` /
+    /// `UAE_TRACE` / `UAE_FLIGHT_RECORDER_N` / `UAE_METRICS_INTERVAL_MS` /
+    /// `UAE_FLIGHT_RECORDER_DIR` over the defaults. Unparsable or zero
+    /// numeric values keep the default — a typo in a knob must not change
+    /// admission semantics.
     pub fn from_env() -> DaemonConfig {
         let mut cfg = DaemonConfig::default();
         if let Ok(v) = std::env::var("UAE_SERVE_ADDR") {
@@ -130,6 +160,21 @@ impl DaemonConfig {
         if let Some(n) = parse("UAE_SERVE_DEADLINE_MS") {
             cfg.default_deadline_ms = n.min(u32::MAX as usize) as u32;
         }
+        if let Ok(v) = std::env::var("UAE_TRACE") {
+            let v = v.trim().to_ascii_lowercase();
+            cfg.trace = !matches!(v.as_str(), "0" | "false" | "off" | "no");
+        }
+        if let Some(n) = parse("UAE_FLIGHT_RECORDER_N") {
+            cfg.flight_recorder_n = n;
+        }
+        if let Some(n) = parse("UAE_METRICS_INTERVAL_MS") {
+            cfg.metrics_interval_ms = n as u64;
+        }
+        if let Ok(v) = std::env::var("UAE_FLIGHT_RECORDER_DIR") {
+            if !v.trim().is_empty() {
+                cfg.flight_dir = PathBuf::from(v.trim());
+            }
+        }
         cfg
     }
 }
@@ -155,6 +200,90 @@ struct Stats {
     protocol_errors: AtomicU64,
     swaps: AtomicU64,
     swap_rollbacks: AtomicU64,
+    traces_started: AtomicU64,
+    traces_completed: AtomicU64,
+}
+
+/// The daemon's fixed-memory latency and value distributions: lock-free
+/// atomic histograms recorded on the serve hot path, snapshot into
+/// [`WireHist`] rows for `Stats` and [`HistStat`] rows for the periodic
+/// `MetricsSnapshot` event. Value distributions (attention / propensity /
+/// weight) are recorded in milli-units so the integer buckets resolve the
+/// \[0, 1\] probability range.
+struct Hists {
+    request_us: AtomicHistogram,
+    queue_wait_us: AtomicHistogram,
+    batch_assemble_us: AtomicHistogram,
+    score_us: AtomicHistogram,
+    reply_write_us: AtomicHistogram,
+    batch_sessions: AtomicHistogram,
+    queue_depth: AtomicHistogram,
+    attention_milli: AtomicHistogram,
+    propensity_milli: AtomicHistogram,
+    weight_milli: AtomicHistogram,
+}
+
+impl Hists {
+    fn new() -> Hists {
+        Hists {
+            request_us: AtomicHistogram::new(),
+            queue_wait_us: AtomicHistogram::new(),
+            batch_assemble_us: AtomicHistogram::new(),
+            score_us: AtomicHistogram::new(),
+            reply_write_us: AtomicHistogram::new(),
+            batch_sessions: AtomicHistogram::new(),
+            queue_depth: AtomicHistogram::new(),
+            attention_milli: AtomicHistogram::new(),
+            propensity_milli: AtomicHistogram::new(),
+            weight_milli: AtomicHistogram::new(),
+        }
+    }
+
+    /// Nonempty histograms as `(name, summary)` rows, in a stable order.
+    fn summaries(&self) -> Vec<(&'static str, uae_obs::HistogramSummary)> {
+        [
+            ("request_us", &self.request_us),
+            ("queue_wait_us", &self.queue_wait_us),
+            ("batch_assemble_us", &self.batch_assemble_us),
+            ("score_us", &self.score_us),
+            ("reply_write_us", &self.reply_write_us),
+            ("batch_sessions", &self.batch_sessions),
+            ("queue_depth", &self.queue_depth),
+            ("attention_milli", &self.attention_milli),
+            ("propensity_milli", &self.propensity_milli),
+            ("weight_milli", &self.weight_milli),
+        ]
+        .into_iter()
+        .filter(|(_, h)| h.count() > 0)
+        .map(|(name, h)| (name, h.snapshot().summary()))
+        .collect()
+    }
+
+    fn wire(&self) -> Vec<WireHist> {
+        self.summaries()
+            .iter()
+            .map(|(name, s)| WireHist::from_summary(name, s))
+            .collect()
+    }
+
+    fn stat_rows(&self) -> Vec<HistStat> {
+        self.summaries()
+            .iter()
+            .map(|(name, s)| HistStat::from_summary(name, s))
+            .collect()
+    }
+}
+
+/// Everything a connection thread needs to close a request's trace after
+/// the reply frame is on the wire.
+struct TraceCtx {
+    id: u64,
+    enqueued: Instant,
+    sessions: u64,
+    events: u64,
+    generation: u64,
+    outcome: String,
+    stages: StageTimes,
 }
 
 struct Shared {
@@ -168,6 +297,11 @@ struct Shared {
     /// interleave).
     swap_serial: Mutex<()>,
     obs: Option<Arc<uae_obs::Handle>>,
+    started: Instant,
+    trace_serial: AtomicU64,
+    hists: Hists,
+    recorder: FlightRecorder,
+    dump_serial: AtomicU64,
 }
 
 impl Shared {
@@ -186,6 +320,14 @@ impl Shared {
             protocol_errors: self.stats.protocol_errors.load(Ordering::Relaxed),
             swaps: self.stats.swaps.load(Ordering::Relaxed),
             swap_rollbacks: self.stats.swap_rollbacks.load(Ordering::Relaxed),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            snapshot_unix_ms: std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .map(|d| d.as_millis() as u64)
+                .unwrap_or(0),
+            traces_started: self.stats.traces_started.load(Ordering::Relaxed),
+            traces_completed: self.stats.traces_completed.load(Ordering::Relaxed),
+            hists: self.hists.wire(),
         }
     }
 
@@ -194,10 +336,52 @@ impl Shared {
         self.queue.close();
     }
 
-    fn fault_event(&self, fault: &str, action: String) {
+    fn fault_event(&self, fault: &str, action: String, trace_id: Option<u64>) {
         uae_obs::emit(|| uae_obs::Event::ServeFault {
             fault: fault.to_string(),
             action,
+            trace_id,
+        });
+    }
+
+    /// Mints the next trace id (and counts the trace as started), or
+    /// returns 0 when tracing is off.
+    fn mint_trace(&self) -> u64 {
+        if !self.cfg.trace {
+            return 0;
+        }
+        self.stats.traces_started.fetch_add(1, Ordering::Relaxed);
+        self.trace_serial.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Closes a trace: records its timings into the histograms, pushes the
+    /// summary onto the flight-recorder ring, and counts it completed.
+    /// Every minted trace must pass through here exactly once — the
+    /// `traces_started == traces_completed` invariant is what lets clients
+    /// assert zero orphaned traces.
+    fn close_trace(&self, ctx: TraceCtx) {
+        let total_us = ctx.enqueued.elapsed().as_micros() as u64;
+        self.hists.request_us.record(total_us);
+        // Shed and malformed requests never reach a worker; folding their
+        // all-zero stage rows into the stage histograms would drag the
+        // percentiles toward zero, so only traced *scoring* work lands there.
+        if !matches!(ctx.outcome.as_str(), "shed" | "protocol_error") {
+            self.hists.queue_wait_us.record(ctx.stages.queue_wait_us);
+            self.hists
+                .batch_assemble_us
+                .record(ctx.stages.batch_assemble_us);
+            self.hists.score_us.record(ctx.stages.score_us);
+            self.hists.reply_write_us.record(ctx.stages.reply_write_us);
+        }
+        self.stats.traces_completed.fetch_add(1, Ordering::Relaxed);
+        self.recorder.push(TraceSummary {
+            id: ctx.id,
+            sessions: ctx.sessions,
+            events: ctx.events,
+            generation: ctx.generation,
+            outcome: ctx.outcome,
+            total_us,
+            stages: ctx.stages,
         });
     }
 }
@@ -245,8 +429,8 @@ impl Daemon {
             detail: format!("local_addr: {e}"),
         })?;
         let queue = ServeQueue::new(cfg.queue_capacity);
+        let recorder = FlightRecorder::new(cfg.flight_recorder_n);
         let shared = Arc::new(Shared {
-            cfg,
             queue,
             generation: RwLock::new(Arc::new(Generation {
                 id: 1,
@@ -258,6 +442,12 @@ impl Daemon {
             fault,
             swap_serial: Mutex::new(()),
             obs: uae_obs::current_handle(),
+            started: Instant::now(),
+            trace_serial: AtomicU64::new(0),
+            hists: Hists::new(),
+            recorder,
+            dump_serial: AtomicU64::new(0),
+            cfg,
         });
         Ok(Daemon {
             shared,
@@ -272,7 +462,7 @@ impl Daemon {
     }
 
     /// Serves until a `Shutdown` request arrives, then drains the queue,
-    /// joins every worker and connection thread, and returns.
+    /// joins every worker, metrics, and connection thread, and returns.
     pub fn run(self) -> Result<(), UaeError> {
         let shared = self.shared;
         let mut workers = Vec::with_capacity(shared.cfg.workers.max(1));
@@ -288,6 +478,20 @@ impl Daemon {
                     })?,
             );
         }
+        let metrics = if shared.cfg.metrics_interval_ms > 0 {
+            let sh = Arc::clone(&shared);
+            let obs = sh.obs.clone();
+            Some(
+                std::thread::Builder::new()
+                    .name("uae-serve-metrics".into())
+                    .spawn(move || run_with_obs(obs, || metrics_loop(&sh)))
+                    .map_err(|e| UaeError::Unavailable {
+                        detail: format!("spawn metrics thread: {e}"),
+                    })?,
+            )
+        } else {
+            None
+        };
         self.listener
             .set_nonblocking(true)
             .map_err(|e| UaeError::Unavailable {
@@ -310,7 +514,7 @@ impl Daemon {
                 Err(e) => {
                     // Transient accept failures (EMFILE, ECONNABORTED) must
                     // not take the daemon down; record and keep listening.
-                    shared.fault_event("accept_error", format!("kept listening: {e}"));
+                    shared.fault_event("accept_error", format!("kept listening: {e}"), None);
                     std::thread::sleep(POLL_INTERVAL);
                 }
             }
@@ -320,11 +524,79 @@ impl Daemon {
         for h in workers {
             let _ = h.join();
         }
+        if let Some(h) = metrics {
+            let _ = h.join();
+        }
         for h in conns {
             let _ = h.join();
         }
         Ok(())
     }
+}
+
+/// Periodic `MetricsSnapshot` emitter: one event per interval plus a final
+/// one at shutdown, so even a short-lived daemon leaves a snapshot behind.
+fn metrics_loop(shared: &Shared) {
+    let interval = Duration::from_millis(shared.cfg.metrics_interval_ms.max(1));
+    let mut next = Instant::now() + interval;
+    while !shared.shutdown.load(Ordering::Relaxed) {
+        std::thread::sleep(POLL_INTERVAL.min(interval));
+        if Instant::now() < next {
+            continue;
+        }
+        next = Instant::now() + interval;
+        emit_metrics(shared);
+    }
+    emit_metrics(shared);
+}
+
+fn emit_metrics(shared: &Shared) {
+    uae_obs::emit(|| {
+        let s = shared.snapshot();
+        uae_obs::Event::MetricsSnapshot {
+            uptime_ms: s.uptime_ms,
+            generation: s.generation,
+            queue_depth: s.queue_depth,
+            requests: s.requests,
+            shed: s.shed,
+            deadline_miss: s.deadline_miss,
+            traces_started: s.traces_started,
+            traces_completed: s.traces_completed,
+            hists: shared.hists.stat_rows(),
+        }
+    });
+}
+
+/// Writes the flight-recorder ring to `<flight_dir>/uae-flight-<pid>-<n>.jsonl`
+/// and returns the path and trace count. Called on worker panic, swap
+/// rollback, and `serve-ctl dump` — the three moments an operator wants
+/// the requests that led up to the fault.
+fn dump_recorder(shared: &Shared, reason: &str) -> Result<(String, u64), UaeError> {
+    let serial = shared.dump_serial.fetch_add(1, Ordering::Relaxed);
+    let path = shared
+        .cfg
+        .flight_dir
+        .join(format!("uae-flight-{}-{serial}.jsonl", std::process::id()));
+    let generation = shared.generation.read().map(|g| g.id).unwrap_or(0);
+    let manifest = uae_obs::Manifest {
+        run: format!("flight-recorder:{reason}"),
+        version: env!("CARGO_PKG_VERSION").into(),
+        seed: 0,
+        threads: shared.cfg.workers as u64,
+        kernel_mode: "serve".into(),
+        config: vec![
+            ("reason".into(), reason.into()),
+            ("generation".into(), generation.to_string()),
+            ("capacity".into(), shared.recorder.capacity().to_string()),
+        ],
+    };
+    let n = shared
+        .recorder
+        .dump_jsonl(&path, manifest)
+        .map_err(|e| UaeError::Unavailable {
+            detail: format!("flight-recorder dump: {e}"),
+        })?;
+    Ok((path.display().to_string(), n as u64))
 }
 
 /// A neutral truth block for wire-built events — inference never reads it
@@ -363,8 +635,10 @@ fn to_session(ws: &WireSession) -> Session {
 /// Scores every session of every job in one coalesced request and splits
 /// the flat outputs back per job. Per-session scores do not depend on the
 /// coalescing (row-independent forward), so this is bit-identical to
-/// scoring each request alone.
-fn score_jobs(gen: &Generation, jobs: &[Job]) -> Vec<Vec<SessionScores>> {
+/// scoring each request alone. Returns the batch-level assemble and score
+/// stage times alongside the per-job outputs.
+fn score_jobs(gen: &Generation, jobs: &[Job]) -> (Vec<Vec<SessionScores>>, u64, u64) {
+    let assemble_started = Instant::now();
     let sessions: Vec<Session> = jobs
         .iter()
         .flat_map(|j| j.sessions.iter().map(to_session))
@@ -375,7 +649,10 @@ fn score_jobs(gen: &Generation, jobs: &[Job]) -> Vec<Vec<SessionScores>> {
         schema: gen.schema.clone(),
         sessions,
     };
+    let assemble_us = assemble_started.elapsed().as_micros() as u64;
+    let score_started = Instant::now();
     let out = gen.scorer.score(&ds, &indices);
+    let score_us = score_started.elapsed().as_micros() as u64;
     let mut result = Vec::with_capacity(jobs.len());
     let mut off = 0usize;
     for job in jobs {
@@ -391,24 +668,29 @@ fn score_jobs(gen: &Generation, jobs: &[Job]) -> Vec<Vec<SessionScores>> {
         }
         result.push(per);
     }
-    result
+    (result, assemble_us, score_us)
 }
 
-fn miss(shared: &Shared, job: &Job, now: Instant) {
+fn miss(shared: &Shared, job: &Job, now: Instant, stages: StageTimes) {
     shared.stats.deadline_miss.fetch_add(1, Ordering::Relaxed);
     uae_obs::counter("serve.daemon.deadline_miss", 1);
     shared.fault_event(
         "deadline_miss",
         format!(
-            "answered with typed DeadlineExceeded after {} ms against a {} ms budget",
+            "answered with typed DeadlineExceeded after {} ms against a {} ms budget [{}]",
             job.waited_ms(now),
-            job.deadline_ms
+            job.deadline_ms,
+            stages.render(),
         ),
+        (job.trace_id != 0).then_some(job.trace_id),
     );
-    let _ = job.reply.send(Err(UaeError::DeadlineExceeded {
-        waited_ms: job.waited_ms(now),
-        budget_ms: u64::from(job.deadline_ms),
-    }));
+    let _ = job.reply.send((
+        Err(UaeError::DeadlineExceeded {
+            waited_ms: job.waited_ms(now),
+            budget_ms: u64::from(job.deadline_ms),
+        }),
+        stages,
+    ));
 }
 
 fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
@@ -423,18 +705,23 @@ fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
 
 /// One scorer worker: pop a micro-batch, drop expired jobs with typed
 /// misses, score the rest under `catch_unwind`, reply, repeat. A panic
-/// answers the batch's jobs with [`UaeError::WorkerPanic`] and backs off
-/// deterministically before the next batch ("restart" = the isolation
-/// boundary, not a new thread).
+/// answers the batch's jobs with [`UaeError::WorkerPanic`], dumps the
+/// flight recorder, sleeps a deterministic [`Backoff`] step, and keeps
+/// serving ("restart" = the isolation boundary, not a new thread).
 fn worker_loop(shared: &Shared) {
     let mut backoff = Backoff::for_worker_restart();
     while let Some(jobs) = shared.queue.pop_batch(shared.cfg.batch) {
         uae_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
         let now = Instant::now();
+        let wait_us = |job: &Job| now.saturating_duration_since(job.enqueued).as_micros() as u64;
         let mut live = Vec::with_capacity(jobs.len());
         for job in jobs {
             if job.expired(now) {
-                miss(shared, &job, now);
+                let stages = StageTimes {
+                    queue_wait_us: wait_us(&job),
+                    ..StageTimes::default()
+                };
+                miss(shared, &job, now, stages);
             } else {
                 live.push(job);
             }
@@ -451,17 +738,40 @@ fn worker_loop(shared: &Shared) {
             score_jobs(&gen, &live)
         }));
         match outcome {
-            Ok(per_job) => {
+            Ok((per_job, assemble_us, score_us)) => {
                 backoff.reset();
                 let done = Instant::now();
+                if shared.cfg.trace {
+                    let total: u64 = live.iter().map(|j| j.sessions.len() as u64).sum();
+                    shared.hists.batch_sessions.record(total);
+                }
                 for (job, scored) in live.iter().zip(per_job) {
+                    let stages = StageTimes {
+                        queue_wait_us: wait_us(job),
+                        batch_assemble_us: assemble_us,
+                        score_us,
+                        reply_write_us: 0,
+                    };
                     // Re-check after scoring: a stalled forward (slow-scorer
                     // fault, overload) must surface as a typed miss too.
                     if job.expired(done) {
-                        miss(shared, job, done);
+                        miss(shared, job, done, stages);
                         continue;
                     }
                     let events: usize = scored.iter().map(|s| s.attention.len()).sum();
+                    if shared.cfg.trace {
+                        for s in &scored {
+                            for &v in &s.attention {
+                                shared.hists.attention_milli.record(milli(v));
+                            }
+                            for &v in &s.propensity {
+                                shared.hists.propensity_milli.record(milli(v));
+                            }
+                            for &v in &s.weights {
+                                shared.hists.weight_milli.record(milli(v));
+                            }
+                        }
+                    }
                     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                     shared
                         .stats
@@ -472,7 +782,7 @@ fn worker_loop(shared: &Shared) {
                         .events
                         .fetch_add(events as u64, Ordering::Relaxed);
                     uae_obs::counter("serve.daemon.requests", 1);
-                    let _ = job.reply.send(Ok((gen.id, scored)));
+                    let _ = job.reply.send((Ok((gen.id, scored)), stages));
                 }
             }
             Err(payload) => {
@@ -480,18 +790,30 @@ fn worker_loop(shared: &Shared) {
                 shared.stats.worker_restarts.fetch_add(1, Ordering::Relaxed);
                 let delay = backoff.next_delay();
                 uae_obs::counter("serve.daemon.worker_restarts", 1);
+                let dump = match dump_recorder(shared, "worker_panic") {
+                    Ok((path, n)) => format!("flight dump of {n} traces at {path}"),
+                    Err(e) => format!("flight dump failed: {e}"),
+                };
                 shared.fault_event(
                     "worker_panic",
                     format!(
-                        "worker restarted after {} ms backoff (attempt {}): {detail}",
+                        "worker restarted after {} ms backoff (attempt {}); {dump}: {detail}",
                         delay.as_millis(),
                         backoff.attempt(),
                     ),
+                    None,
                 );
                 for job in &live {
-                    let _ = job.reply.send(Err(UaeError::WorkerPanic {
-                        detail: detail.clone(),
-                    }));
+                    let stages = StageTimes {
+                        queue_wait_us: wait_us(job),
+                        ..StageTimes::default()
+                    };
+                    let _ = job.reply.send((
+                        Err(UaeError::WorkerPanic {
+                            detail: detail.clone(),
+                        }),
+                        stages,
+                    ));
                 }
                 std::thread::sleep(delay);
             }
@@ -523,7 +845,15 @@ fn handle_swap(shared: &Shared, path: &str) -> Result<u64, UaeError> {
             generation: current.id,
             outcome: format!("rolled_back: {detail}"),
         });
-        shared.fault_event("swap_decode_failure", "kept last-good generation".into());
+        let dump = match dump_recorder(shared, "swap_rollback") {
+            Ok((path, n)) => format!("; flight dump of {n} traces at {path}"),
+            Err(e) => format!("; flight dump failed: {e}"),
+        };
+        shared.fault_event(
+            "swap_decode_failure",
+            format!("kept last-good generation{dump}"),
+            None,
+        );
         UaeError::SwapRejected { detail }
     };
     let frozen = match FrozenModel::read_from(Path::new(path)) {
@@ -574,6 +904,7 @@ fn handle_swap(shared: &Shared, path: &str) -> Result<u64, UaeError> {
             shared.fault_event(
                 "swap_drain_timeout",
                 "activated new generation with old-generation batches still in flight".into(),
+                None,
             );
             break;
         }
@@ -589,6 +920,12 @@ fn handle_swap(shared: &Shared, path: &str) -> Result<u64, UaeError> {
     Ok(next_id)
 }
 
+/// A score value in milli-units for the value-distribution histograms
+/// (clamped at zero; probabilities and importance weights are nonnegative).
+fn milli(v: f32) -> u64 {
+    (f64::from(v).max(0.0) * 1000.0) as u64
+}
+
 fn protocol_error(shared: &Shared, err: &UaeError, dropped_conn: bool) {
     shared.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
     uae_obs::counter("serve.daemon.protocol_errors", 1);
@@ -597,32 +934,55 @@ fn protocol_error(shared: &Shared, err: &UaeError, dropped_conn: bool) {
     } else {
         format!("typed error reply, connection kept: {err}")
     };
-    shared.fault_event("protocol_error", action);
+    shared.fault_event("protocol_error", action, None);
 }
 
 /// Handles one `Score` request end to end on the connection thread:
-/// validate, admit (or shed), then block on the reply channel until a
-/// worker answers.
+/// mint a trace, validate, admit (or shed), then block on the reply
+/// channel until a worker answers. Returns the reply plus the open trace
+/// context — the connection loop closes the trace after timing the
+/// reply-write stage.
 fn handle_score(
     shared: &Shared,
     deadline_ms: u32,
     sessions: Vec<WireSession>,
-) -> Result<Response, UaeError> {
-    let schema = shared
-        .generation
-        .read()
-        .map_err(|_| UaeError::Unavailable {
-            detail: "generation lock poisoned".into(),
-        })?
-        .schema
-        .clone();
-    wire::validate_sessions(
+) -> (Result<Response, UaeError>, Option<TraceCtx>) {
+    let trace_id = shared.mint_trace();
+    let mut ctx = shared.cfg.trace.then(|| TraceCtx {
+        id: trace_id,
+        enqueued: Instant::now(),
+        sessions: sessions.len() as u64,
+        events: sessions.iter().map(|s| s.events.len() as u64).sum(),
+        generation: 0,
+        outcome: "ok".into(),
+        stages: StageTimes::default(),
+    });
+    let schema = match shared.generation.read() {
+        Ok(g) => g.schema.clone(),
+        Err(_) => {
+            if let Some(c) = &mut ctx {
+                c.outcome = "error".into();
+            }
+            return (
+                Err(UaeError::Unavailable {
+                    detail: "generation lock poisoned".into(),
+                }),
+                ctx,
+            );
+        }
+    };
+    if let Err(e) = wire::validate_sessions(
         &sessions,
         &schema,
         shared.cfg.max_sessions_per_request,
         shared.cfg.max_len,
-    )
-    .inspect_err(|e| protocol_error(shared, e, false))?;
+    ) {
+        protocol_error(shared, &e, false);
+        if let Some(c) = &mut ctx {
+            c.outcome = "protocol_error".into();
+        }
+        return (Err(e), ctx);
+    }
     let budget = if deadline_ms == 0 {
         shared.cfg.default_deadline_ms
     } else {
@@ -630,6 +990,7 @@ fn handle_score(
     };
     let (tx, rx) = sync_channel(1);
     let job = Job {
+        trace_id,
         sessions,
         enqueued: Instant::now(),
         deadline_ms: budget,
@@ -642,27 +1003,67 @@ fn handle_score(
             shared.fault_event(
                 "overload_shed",
                 "request answered with typed Overload (queue at capacity)".into(),
+                (trace_id != 0).then_some(trace_id),
             );
+            if let Some(c) = &mut ctx {
+                c.outcome = "shed".into();
+            }
+        } else if let Some(c) = &mut ctx {
+            c.outcome = "error".into();
         }
-        return Err(e);
+        return (Err(e), ctx);
     }
-    uae_obs::gauge("serve.queue_depth", shared.queue.depth() as f64);
+    let depth = shared.queue.depth();
+    if shared.cfg.trace {
+        shared.hists.queue_depth.record(depth as u64);
+    }
+    uae_obs::gauge("serve.queue_depth", depth as f64);
     match rx.recv() {
-        Ok(Ok((generation, scored))) => Ok(Response::Scored {
-            generation,
-            sessions: scored,
-        }),
-        Ok(Err(e)) => Err(e),
-        Err(_) => Err(UaeError::Unavailable {
-            detail: "worker dropped the reply channel".into(),
-        }),
+        Ok((Ok((generation, scored)), stages)) => {
+            if let Some(c) = &mut ctx {
+                c.generation = generation;
+                c.stages = stages;
+            }
+            (
+                Ok(Response::Scored {
+                    generation,
+                    trace_id,
+                    sessions: scored,
+                }),
+                ctx,
+            )
+        }
+        Ok((Err(e), stages)) => {
+            if let Some(c) = &mut ctx {
+                c.stages = stages;
+                c.outcome = match &e {
+                    UaeError::DeadlineExceeded { .. } => "deadline_miss".into(),
+                    UaeError::WorkerPanic { .. } => "worker_panic".into(),
+                    _ => "error".into(),
+                };
+            }
+            (Err(e), ctx)
+        }
+        Err(_) => {
+            if let Some(c) = &mut ctx {
+                c.outcome = "error".into();
+            }
+            (
+                Err(UaeError::Unavailable {
+                    detail: "worker dropped the reply channel".into(),
+                }),
+                ctx,
+            )
+        }
     }
 }
 
 /// One connection: peek-poll for frames (so shutdown is noticed within one
 /// poll interval), decode, dispatch, reply. Malformed frames get a typed
 /// error; if framing itself is lost the connection is dropped after the
-/// error reply.
+/// error reply. Score requests carry an open trace across the dispatch;
+/// the trace is closed here once the reply frame is written (or the write
+/// fails), so every minted trace completes exactly once.
 fn handle_conn(shared: &Shared, stream: TcpStream) {
     let mut stream = stream;
     let _ = stream.set_nodelay(true);
@@ -700,21 +1101,27 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             }
         };
         let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
-        let reply = match wire::decode_request(&payload) {
+        let (reply, trace) = match wire::decode_request(&payload) {
             Err(e) => {
                 // The frame boundary held; the connection can continue.
                 protocol_error(shared, &e, false);
-                Err(e)
+                (Err(e), None)
             }
-            Ok(Request::Ping) => Ok(Response::Pong),
-            Ok(Request::Stats) => Ok(Response::Stats(shared.snapshot())),
+            Ok(Request::Ping) => (Ok(Response::Pong), None),
+            Ok(Request::Stats) => (Ok(Response::Stats(shared.snapshot())), None),
             Ok(Request::Score {
                 deadline_ms,
                 sessions,
             }) => handle_score(shared, deadline_ms, sessions),
-            Ok(Request::Swap { path }) => {
-                handle_swap(shared, &path).map(|generation| Response::Swapped { generation })
-            }
+            Ok(Request::Swap { path }) => (
+                handle_swap(shared, &path).map(|generation| Response::Swapped { generation }),
+                None,
+            ),
+            Ok(Request::Dump) => (
+                dump_recorder(shared, "serve_ctl_dump")
+                    .map(|(path, traces)| Response::Dumped { path, traces }),
+                None,
+            ),
             Ok(Request::Shutdown) => {
                 let _ =
                     wire::write_frame(&mut stream, &wire::encode_response(&Response::ShuttingDown));
@@ -726,7 +1133,13 @@ fn handle_conn(shared: &Shared, stream: TcpStream) {
             Ok(resp) => wire::encode_response(resp),
             Err(e) => wire::encode_error(e),
         };
-        if wire::write_frame(&mut stream, &frame).is_err() {
+        let write_started = Instant::now();
+        let wrote = wire::write_frame(&mut stream, &frame);
+        if let Some(mut ctx) = trace {
+            ctx.stages.reply_write_us = write_started.elapsed().as_micros() as u64;
+            shared.close_trace(ctx);
+        }
+        if wrote.is_err() {
             return; // peer went away mid-reply
         }
     }

@@ -53,9 +53,11 @@
 //! Knobs: `UAE_SERVE_BATCH` (sessions per batch, default 64) and
 //! `UAE_SERVE_MAX_LEN` (optional truncation); the daemon adds
 //! `UAE_SERVE_ADDR` / `UAE_SERVE_WORKERS` / `UAE_SERVE_QUEUE` /
-//! `UAE_SERVE_DEADLINE_MS` plus the `UAE_FAULT_*` chaos knobs. Thread
-//! count and kernel selection come from the compute backend
-//! (`UAE_NUM_THREADS`, `UAE_KERNELS`).
+//! `UAE_SERVE_DEADLINE_MS` plus the `UAE_FAULT_*` chaos knobs, and the
+//! observability layer adds `UAE_TRACE` / `UAE_FLIGHT_RECORDER_N` /
+//! `UAE_METRICS_INTERVAL_MS` / `UAE_FLIGHT_RECORDER_DIR` (see
+//! [`daemon`]). Thread count and kernel selection come from the compute
+//! backend (`UAE_NUM_THREADS`, `UAE_KERNELS`).
 
 pub mod client;
 pub mod daemon;
@@ -72,4 +74,4 @@ pub use fault::FaultPlan;
 pub use model::FrozenModel;
 pub use recommender::{FrozenArtifact, FrozenRecommender, RecScorer};
 pub use scorer::{ScoreOutput, Scorer, ScorerConfig};
-pub use wire::{SessionScores, StatsSnapshot, WireEvent, WireSession};
+pub use wire::{SessionScores, StatsSnapshot, WireEvent, WireHist, WireSession};

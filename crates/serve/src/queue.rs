@@ -18,12 +18,21 @@ use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use uae_obs::StageTimes;
 use uae_runtime::UaeError;
 
 use crate::wire::{SessionScores, WireSession};
 
+/// What a worker sends back to the connection thread: the scored result (or
+/// typed error) plus the per-stage timings measured so far. The connection
+/// thread fills in `reply_write_us` after flushing the frame and closes the
+/// trace.
+pub type ReplyPayload = (Result<(u64, Vec<SessionScores>), UaeError>, StageTimes);
+
 /// One admitted `Score` request, queued for a worker.
 pub struct Job {
+    /// Request-scoped trace id, minted at frame decode (`0` = tracing off).
+    pub trace_id: u64,
     /// The sessions to score, exactly as decoded off the wire.
     pub sessions: Vec<WireSession>,
     /// When the request was admitted (starts the deadline clock).
@@ -33,7 +42,7 @@ pub struct Job {
     /// Where the scored result (or typed error) goes; the connection thread
     /// holds the receiving end. A dropped receiver (client disconnected
     /// mid-request) makes `send` fail, which workers ignore.
-    pub reply: SyncSender<Result<(u64, Vec<SessionScores>), UaeError>>,
+    pub reply: SyncSender<ReplyPayload>,
 }
 
 impl Job {
@@ -161,6 +170,7 @@ mod tests {
     fn job(n_sessions: usize) -> Job {
         let (tx, _rx) = sync_channel(1);
         Job {
+            trace_id: 0,
             sessions: vec![WireSession { events: Vec::new() }; n_sessions],
             enqueued: Instant::now(),
             deadline_ms: 0,

@@ -37,6 +37,7 @@ pub(crate) const KIND_SCORE: u8 = 1;
 pub(crate) const KIND_STATS: u8 = 2;
 pub(crate) const KIND_SWAP: u8 = 3;
 pub(crate) const KIND_SHUTDOWN: u8 = 4;
+pub(crate) const KIND_DUMP: u8 = 5;
 
 /// Response status byte.
 pub(crate) const STATUS_OK: u8 = 0;
@@ -101,6 +102,9 @@ pub enum Request {
     /// Hot-reload the `.uaem` artifact at `path`, draining in-flight
     /// batches; a failed decode rolls back to the last-good generation.
     Swap { path: String },
+    /// Dump the flight recorder (the last N trace summaries) to a JSONL
+    /// file on the daemon's host; answered with the path written.
+    Dump,
     /// Drain and exit.
     Shutdown,
 }
@@ -121,17 +125,64 @@ pub enum Response {
         /// Model generation that served the request (for hot-swap
         /// determinism checks).
         generation: u64,
+        /// The daemon-side trace id minted for this request (0 when
+        /// tracing is disabled), so clients can correlate replies with
+        /// flight-recorder dumps and assert zero orphaned traces.
+        trace_id: u64,
         sessions: Vec<SessionScores>,
     },
     Stats(StatsSnapshot),
     Swapped {
         generation: u64,
     },
+    /// Flight recorder written to `path` with `traces` trace summaries.
+    Dumped {
+        path: String,
+        traces: u64,
+    },
     ShuttingDown,
 }
 
+/// Quantile summary plus sparse bucket dump of one daemon histogram, as
+/// carried in the stats frame. Latency histograms are in microseconds;
+/// size histograms (batch sessions, queue depth) are raw counts; value
+/// histograms (propensity/attention/weight) are in milli-units.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WireHist {
+    pub name: String,
+    pub count: u64,
+    pub sum: u64,
+    pub max: u64,
+    pub p50: u64,
+    pub p90: u64,
+    pub p99: u64,
+    pub p999: u64,
+    /// Nonzero buckets as `(inclusive upper bound, count)`, value order.
+    pub buckets: Vec<(u64, u64)>,
+}
+
+impl WireHist {
+    /// Builds the wire row from a histogram summary.
+    pub fn from_summary(name: &str, s: &uae_obs::HistogramSummary) -> WireHist {
+        WireHist {
+            name: name.to_string(),
+            count: s.count,
+            sum: s.sum,
+            max: s.max,
+            p50: s.p50,
+            p90: s.p90,
+            p99: s.p99,
+            p999: s.p999,
+            buckets: s.buckets.clone(),
+        }
+    }
+}
+
 /// Point-in-time daemon health: readiness plus the counters the probes and
-/// the chaos harness assert on.
+/// the chaos harness assert on. `uptime_ms` (monotonic since daemon start)
+/// and `snapshot_unix_ms` (wall clock at snapshot time) make client-side
+/// deltas between two stats calls computable: rates are
+/// `Δcounter / Δuptime_ms`, and staleness is visible instead of guessed.
 #[derive(Debug, Clone, PartialEq, Default)]
 pub struct StatsSnapshot {
     pub ready: bool,
@@ -146,6 +197,18 @@ pub struct StatsSnapshot {
     pub protocol_errors: u64,
     pub swaps: u64,
     pub swap_rollbacks: u64,
+    /// Milliseconds since the daemon bound its listener (monotonic).
+    pub uptime_ms: u64,
+    /// Wall-clock milliseconds since the unix epoch when this snapshot was
+    /// taken.
+    pub snapshot_unix_ms: u64,
+    /// Traces minted at frame decode (score requests only).
+    pub traces_started: u64,
+    /// Traces closed with an outcome. Equal to `traces_started` when no
+    /// request is in flight — the trace-complete contract.
+    pub traces_completed: u64,
+    /// Live histogram summaries (empty when tracing is disabled).
+    pub hists: Vec<WireHist>,
 }
 
 /// Stable wire codes for [`UaeError`] variants a daemon can answer with.
@@ -205,6 +268,7 @@ pub fn encode_request(req: &Request) -> Vec<u8> {
             w.put_u8(KIND_SWAP);
             w.put_bytes(path.as_bytes());
         }
+        Request::Dump => w.put_u8(KIND_DUMP),
         Request::Shutdown => w.put_u8(KIND_SHUTDOWN),
     }
     w.into_bytes()
@@ -270,6 +334,7 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, UaeError> {
                 .map_err(|_| proto("swap path is not utf-8"))?;
             Request::Swap { path }
         }
+        KIND_DUMP => Request::Dump,
         KIND_SHUTDOWN => Request::Shutdown,
         other => return Err(proto(format!("unknown request kind {other}"))),
     };
@@ -342,10 +407,12 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
         Response::Pong => w.put_u8(KIND_PING),
         Response::Scored {
             generation,
+            trace_id,
             sessions,
         } => {
             w.put_u8(KIND_SCORE);
             w.put_u64(*generation);
+            w.put_u64(*trace_id);
             w.put_u32(sessions.len() as u32);
             for s in sessions {
                 w.put_u32(s.attention.len() as u32);
@@ -375,13 +442,34 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.protocol_errors,
                 s.swaps,
                 s.swap_rollbacks,
+                s.uptime_ms,
+                s.snapshot_unix_ms,
+                s.traces_started,
+                s.traces_completed,
             ] {
                 w.put_u64(v);
+            }
+            w.put_u32(s.hists.len() as u32);
+            for h in &s.hists {
+                w.put_bytes(h.name.as_bytes());
+                for v in [h.count, h.sum, h.max, h.p50, h.p90, h.p99, h.p999] {
+                    w.put_u64(v);
+                }
+                w.put_u32(h.buckets.len() as u32);
+                for &(hi, c) in &h.buckets {
+                    w.put_u64(hi);
+                    w.put_u64(c);
+                }
             }
         }
         Response::Swapped { generation } => {
             w.put_u8(KIND_SWAP);
             w.put_u64(*generation);
+        }
+        Response::Dumped { path, traces } => {
+            w.put_u8(KIND_DUMP);
+            w.put_bytes(path.as_bytes());
+            w.put_u64(*traces);
         }
         Response::ShuttingDown => w.put_u8(KIND_SHUTDOWN),
     }
@@ -455,6 +543,7 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, UaeError> {
         KIND_PING => Response::Pong,
         KIND_SCORE => {
             let generation = r.get_u64().map_err(codec)?;
+            let trace_id = r.get_u64().map_err(codec)?;
             let n_sessions = r.get_u32().map_err(codec)? as usize;
             if n_sessions > bytes.len() / 4 {
                 return Err(proto("declared session count exceeds frame capacity"));
@@ -483,29 +572,76 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, UaeError> {
             }
             Response::Scored {
                 generation,
+                trace_id,
                 sessions,
             }
         }
         KIND_STATS => {
             let ready = r.get_u8().map_err(codec)? != 0;
-            let mut next = || r.get_u64().map_err(codec);
-            Response::Stats(StatsSnapshot {
-                ready,
-                generation: next()?,
-                queue_depth: next()?,
-                requests: next()?,
-                sessions: next()?,
-                events: next()?,
-                shed: next()?,
-                deadline_miss: next()?,
-                worker_restarts: next()?,
-                protocol_errors: next()?,
-                swaps: next()?,
-                swap_rollbacks: next()?,
-            })
+            let mut snap = {
+                let mut next = || r.get_u64().map_err(codec);
+                StatsSnapshot {
+                    ready,
+                    generation: next()?,
+                    queue_depth: next()?,
+                    requests: next()?,
+                    sessions: next()?,
+                    events: next()?,
+                    shed: next()?,
+                    deadline_miss: next()?,
+                    worker_restarts: next()?,
+                    protocol_errors: next()?,
+                    swaps: next()?,
+                    swap_rollbacks: next()?,
+                    uptime_ms: next()?,
+                    snapshot_unix_ms: next()?,
+                    traces_started: next()?,
+                    traces_completed: next()?,
+                    hists: Vec::new(),
+                }
+            };
+            let n_hists = r.get_u32().map_err(codec)? as usize;
+            // Each histogram row costs at least 64 bytes of fixed fields.
+            if n_hists > bytes.len() / 64 {
+                return Err(proto("declared histogram count exceeds frame capacity"));
+            }
+            for _ in 0..n_hists {
+                let name = String::from_utf8(r.get_bytes().map_err(codec)?)
+                    .map_err(|_| proto("histogram name is not utf-8"))?;
+                let mut next = || r.get_u64().map_err(codec);
+                let (count, sum, max) = (next()?, next()?, next()?);
+                let (p50, p90, p99, p999) = (next()?, next()?, next()?, next()?);
+                let n_buckets = r.get_u32().map_err(codec)? as usize;
+                if n_buckets > bytes.len() / 16 {
+                    return Err(proto("declared bucket count exceeds frame capacity"));
+                }
+                let mut buckets = Vec::with_capacity(n_buckets);
+                for _ in 0..n_buckets {
+                    let hi = r.get_u64().map_err(codec)?;
+                    let c = r.get_u64().map_err(codec)?;
+                    buckets.push((hi, c));
+                }
+                snap.hists.push(WireHist {
+                    name,
+                    count,
+                    sum,
+                    max,
+                    p50,
+                    p90,
+                    p99,
+                    p999,
+                    buckets,
+                });
+            }
+            Response::Stats(snap)
         }
         KIND_SWAP => Response::Swapped {
             generation: r.get_u64().map_err(codec)?,
+        },
+        KIND_DUMP => Response::Dumped {
+            path: String::from_utf8(r.get_bytes().map_err(codec)?)
+                .map_err(|_| proto("dump path is not utf-8"))?,
+            traces: r.get_u64().map_err(codec)?,
         },
         KIND_SHUTDOWN => Response::ShuttingDown,
         other => return Err(proto(format!("unknown response kind {other}"))),
@@ -593,6 +729,7 @@ mod tests {
             Request::Swap {
                 path: "/tmp/model.uaem".into(),
             },
+            Request::Dump,
             Request::Shutdown,
         ] {
             let bytes = encode_request(&req);
@@ -606,6 +743,7 @@ mod tests {
             Response::Pong,
             Response::Scored {
                 generation: 7,
+                trace_id: 42,
                 sessions: vec![SessionScores {
                     attention: vec![0.25, 0.5],
                     propensity: vec![0.75, 1.0],
@@ -625,8 +763,41 @@ mod tests {
                 protocol_errors: 4,
                 swaps: 2,
                 swap_rollbacks: 1,
+                uptime_ms: 60_000,
+                snapshot_unix_ms: 1_754_600_000_000,
+                traces_started: 107,
+                traces_completed: 107,
+                hists: vec![
+                    WireHist {
+                        name: "request_us".into(),
+                        count: 100,
+                        sum: 250_000,
+                        max: 30_000,
+                        p50: 2_000,
+                        p90: 5_000,
+                        p99: 20_000,
+                        p999: 30_000,
+                        buckets: vec![(2047, 60), (4095, 30), (32_767, 10)],
+                    },
+                    WireHist {
+                        name: "queue_depth".into(),
+                        count: 100,
+                        sum: 150,
+                        max: 6,
+                        p50: 1,
+                        p90: 3,
+                        p99: 6,
+                        p999: 6,
+                        buckets: vec![(1, 70), (3, 24), (6, 6)],
+                    },
+                ],
             }),
+            Response::Stats(StatsSnapshot::default()),
             Response::Swapped { generation: 4 },
+            Response::Dumped {
+                path: "/tmp/uae-flight-1.jsonl".into(),
+                traces: 12,
+            },
             Response::ShuttingDown,
         ] {
             let bytes = encode_response(&resp);

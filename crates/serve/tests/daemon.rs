@@ -403,6 +403,207 @@ fn shutdown_answers_queued_work_before_exiting() {
     );
 }
 
+#[test]
+fn stats_exposes_quantile_histograms_and_a_balanced_trace_ledger() {
+    let (ds, bytes) = tiny_fixture();
+    let (addr, handle) = start_daemon(&bytes, DaemonConfig::default(), FaultPlan::none());
+    let mut client = connect(addr);
+    let indices = nonempty(&ds, 3);
+
+    let mut trace_ids = std::collections::BTreeSet::new();
+    for _ in 0..5 {
+        let (_, trace_id, _) = client
+            .score_traced(wire_sessions(&ds, &indices), 0)
+            .expect("score succeeds");
+        assert_ne!(trace_id, 0, "tracing is on by default");
+        trace_ids.insert(trace_id);
+    }
+    assert_eq!(trace_ids.len(), 5, "every request gets a distinct trace id");
+
+    let stats = client.stats().expect("stats snapshot");
+    assert!(stats.uptime_ms > 0, "uptime is monotonic since start");
+    assert!(stats.snapshot_unix_ms > 0, "wall clock is stamped");
+    assert_eq!(stats.traces_started, 5);
+    assert_eq!(
+        stats.traces_completed, 5,
+        "every minted trace was closed with an outcome"
+    );
+    let request = stats
+        .hists
+        .iter()
+        .find(|h| h.name == "request_us")
+        .expect("request latency histogram is exported");
+    assert_eq!(request.count, 5);
+    assert!(request.p50 <= request.p99 && request.p99 <= request.max);
+    assert!(request.max > 0, "a real request takes nonzero microseconds");
+    let bucket_total: u64 = request.buckets.iter().map(|&(_, c)| c).sum();
+    assert_eq!(bucket_total, request.count, "bucket dump accounts for all");
+    for name in [
+        "queue_wait_us",
+        "score_us",
+        "reply_write_us",
+        "batch_sessions",
+    ] {
+        assert!(
+            stats.hists.iter().any(|h| h.name == name && h.count == 5),
+            "{name} histogram missing or undercounted: {:?}",
+            stats
+                .hists
+                .iter()
+                .map(|h| (&h.name, h.count))
+                .collect::<Vec<_>>()
+        );
+    }
+    shutdown(addr, handle);
+}
+
+#[test]
+fn scores_are_bit_identical_with_tracing_on_and_off() {
+    let (ds, bytes) = tiny_fixture();
+    let traced = start_daemon(&bytes, DaemonConfig::default(), FaultPlan::none());
+    let untraced_cfg = DaemonConfig {
+        trace: false,
+        ..DaemonConfig::default()
+    };
+    let untraced = start_daemon(&bytes, untraced_cfg, FaultPlan::none());
+
+    let indices = nonempty(&ds, 4);
+    let mut on = connect(traced.0);
+    let mut off = connect(untraced.0);
+    let (_, on_id, a) = on
+        .score_traced(wire_sessions(&ds, &indices), 0)
+        .expect("traced daemon scores");
+    let (_, off_id, b) = off
+        .score_traced(wire_sessions(&ds, &indices), 0)
+        .expect("untraced daemon scores");
+    assert_ne!(on_id, 0);
+    assert_eq!(off_id, 0, "UAE_TRACE=0 mints no trace ids");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.attention, y.attention, "attention moved under tracing");
+        assert_eq!(x.propensity, y.propensity, "propensity moved under tracing");
+        assert_eq!(x.weights, y.weights, "weights moved under tracing");
+    }
+    let stats = off.stats().unwrap();
+    assert_eq!(stats.traces_started, 0);
+    assert_eq!(stats.traces_completed, 0);
+    shutdown(traced.0, traced.1);
+    shutdown(untraced.0, untraced.1);
+}
+
+/// Reads the flight-recorder dumps under `dir` back through the JSONL
+/// parser and returns the decoded trace summaries of each file.
+fn read_dumps(dir: &std::path::Path) -> Vec<Vec<uae_obs::TraceSummary>> {
+    let mut files: Vec<_> = std::fs::read_dir(dir)
+        .expect("flight dir exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| {
+            p.file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with("uae-flight-") && n.ends_with(".jsonl"))
+        })
+        .collect();
+    files.sort();
+    files
+        .iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(path).expect("dump readable");
+            let records = uae_obs::parse_jsonl(&text).expect("dump is well-formed JSONL");
+            assert!(
+                matches!(records[0].event, uae_obs::Event::RunManifest(_)),
+                "dump starts with a manifest"
+            );
+            // The dump is also renderable by `uae summarize`.
+            let report = uae_obs::summarize(&records).expect("summarize renders the dump");
+            assert!(report.contains("traces:"), "summary lacks a trace section");
+            records
+                .into_iter()
+                .filter_map(|r| match r.event {
+                    uae_obs::Event::Trace(t) => Some(t),
+                    _ => None,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn worker_panic_dumps_the_flight_recorder_with_preceding_traces() {
+    let (ds, bytes) = tiny_fixture();
+    let dir = std::env::temp_dir().join(format!("uae_flight_panic_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let cfg = DaemonConfig {
+        workers: 1,
+        flight_dir: dir.clone(),
+        ..DaemonConfig::default()
+    };
+    // Every second micro-batch panics; the dump taken at the panic must
+    // contain the trace of the successful request that preceded it.
+    let fault = FaultPlan::with(0, 2);
+    let (addr, handle) = start_daemon(&bytes, cfg, fault);
+    let mut client = connect(addr);
+    let indices = nonempty(&ds, 2);
+
+    client
+        .score(wire_sessions(&ds, &indices), 0)
+        .expect("first batch scores");
+    let second = client.score(wire_sessions(&ds, &indices), 0);
+    assert!(
+        matches!(second, Err(UaeError::WorkerPanic { .. })),
+        "second batch panics: {second:?}"
+    );
+
+    let dumps = read_dumps(&dir);
+    assert_eq!(dumps.len(), 1, "one panic, one dump");
+    let traces = &dumps[0];
+    assert!(
+        traces
+            .iter()
+            .any(|t| t.outcome == "ok" && t.stages.score_us > 0),
+        "dump holds the preceding ok trace with stage timings: {traces:?}"
+    );
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn swap_rollback_and_serve_ctl_dump_both_write_flight_dumps() {
+    let (ds, bytes) = tiny_fixture();
+    let dir = std::env::temp_dir().join(format!("uae_flight_swap_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let bad = dir.join("corrupt.uaem");
+    std::fs::write(&bad, &bytes[..bytes.len() / 3]).unwrap();
+    let cfg = DaemonConfig {
+        flight_dir: dir.clone(),
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = start_daemon(&bytes, cfg, FaultPlan::none());
+    let mut client = connect(addr);
+    let indices = nonempty(&ds, 2);
+    client
+        .score(wire_sessions(&ds, &indices), 0)
+        .expect("warm-up request");
+
+    // A rejected swap rolls back AND leaves a flight dump behind.
+    assert!(matches!(
+        client.swap(bad.to_str().unwrap()),
+        Err(UaeError::SwapRejected { .. })
+    ));
+    assert_eq!(read_dumps(&dir).len(), 1, "rollback wrote a dump");
+
+    // An operator dump via the wire writes another and reports its path.
+    let (path, traces) = client.dump().expect("serve-ctl dump");
+    assert!(traces >= 1, "the warm-up trace is in the ring");
+    assert!(
+        std::path::Path::new(&path).is_file(),
+        "reported path exists"
+    );
+    assert_eq!(read_dumps(&dir).len(), 2);
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 /// Re-run the swap determinism claim under whatever `UAE_NUM_THREADS` the
 /// harness sets (ci runs the suite at 1 and 4): coalesced scoring through a
 /// generation swap must be bit-identical to isolated pre-swap scoring.

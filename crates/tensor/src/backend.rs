@@ -147,6 +147,11 @@ thread_local! {
     static SERIAL_REGIONS: Cell<u64> = const { Cell::new(0) };
     static PAR_WORKERS: Cell<u64> = const { Cell::new(0) };
     static KERNEL_NANOS: Cell<u64> = const { Cell::new(0) };
+    /// Per-dispatch wall-clock distribution in microseconds, telemetry
+    /// sessions only (the totals above can't distinguish one slow dispatch
+    /// from many fast ones; the tail quantiles can).
+    static KERNEL_US_HIST: RefCell<uae_obs::Histogram> =
+        RefCell::new(uae_obs::Histogram::new());
 }
 
 /// Kernel-dispatch counters for the calling thread. Counts are maintained
@@ -203,6 +208,14 @@ pub fn reset_dispatch_stats() {
     SERIAL_REGIONS.with(|c| c.set(0));
     PAR_WORKERS.with(|c| c.set(0));
     KERNEL_NANOS.with(|c| c.set(0));
+    KERNEL_US_HIST.with(|h| *h.borrow_mut() = uae_obs::Histogram::new());
+}
+
+/// This thread's per-dispatch kernel latency distribution (microseconds),
+/// populated only while a telemetry sink is installed. Mergeable across
+/// threads by the caller via [`uae_obs::Histogram::merge`].
+pub fn kernel_latency_histogram() -> uae_obs::Histogram {
+    KERNEL_US_HIST.with(|h| h.borrow().clone())
 }
 
 #[inline]
@@ -234,7 +247,9 @@ impl Drop for KernelTimer {
     #[inline]
     fn drop(&mut self) {
         if let Some(start) = self.start {
-            bump(&KERNEL_NANOS, start.elapsed().as_nanos() as u64);
+            let nanos = start.elapsed().as_nanos() as u64;
+            bump(&KERNEL_NANOS, nanos);
+            KERNEL_US_HIST.with(|h| h.borrow_mut().record(nanos / 1_000));
         }
     }
 }
@@ -253,6 +268,12 @@ pub fn emit_backend_telemetry() {
     uae_obs::counter("backend.serial_regions", d.serial_regions);
     uae_obs::gauge("backend.mean_par_workers", d.mean_par_workers());
     uae_obs::gauge("backend.kernel_ms", d.kernel_nanos as f64 / 1e6);
+    let kh = kernel_latency_histogram();
+    if !kh.is_empty() {
+        uae_obs::gauge("backend.kernel_us_p50", kh.quantile(0.50) as f64);
+        uae_obs::gauge("backend.kernel_us_p99", kh.quantile(0.99) as f64);
+        uae_obs::gauge("backend.kernel_us_max", kh.max() as f64);
+    }
     let s = scratch_stats();
     uae_obs::counter("scratch.hits", s.hits);
     uae_obs::counter("scratch.misses", s.misses);

@@ -53,9 +53,9 @@ pub mod tape;
 
 pub use arena::{arena_enabled, arena_stats, reset_arena_stats, with_arena, ArenaStats};
 pub use backend::{
-    dispatch_stats, emit_backend_telemetry, kernel_mode, num_threads, reset_dispatch_stats,
-    reset_scratch_stats, scratch_stats, with_kernel_mode, with_num_threads, with_pool_disabled,
-    DispatchStats, KernelMode, ScratchStats,
+    dispatch_stats, emit_backend_telemetry, kernel_latency_histogram, kernel_mode, num_threads,
+    reset_dispatch_stats, reset_scratch_stats, scratch_stats, with_kernel_mode, with_num_threads,
+    with_pool_disabled, DispatchStats, KernelMode, ScratchStats,
 };
 pub use exec::{
     exec_stats, fusion_enabled, reset_exec_stats, with_fusion, ActKind, Exec, ExecStats, GruGates,

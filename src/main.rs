@@ -19,12 +19,18 @@
 //! uae serve  <model.uaem>   # long-running scoring daemon (TCP, micro-
 //!                           # batching, deadlines, hot-swap; UAE_SERVE_*
 //!                           # and UAE_FAULT_* knobs — see README)
-//! uae serve-ctl <addr> <ping|stats|swap <model.uaem>|shutdown>
-//!                           # probe or control a running daemon
+//! uae serve-ctl <addr> <ping|stats|swap <model.uaem>|dump|shutdown>
+//!                           # probe or control a running daemon (`stats`
+//!                           # includes latency quantiles; `dump` writes
+//!                           # the flight recorder to JSONL)
+//! uae top <addr> [--interval-ms N] [--iterations N]
+//!                           # live dashboard: throughput, shed rate,
+//!                           # latency quantiles, sparklines
 //! uae serve-load <addr> [--chaos] [--clients N] [--requests N]
 //!                [--sessions N] [--deadline MS]
 //!                           # closed-loop load (+ optional chaos) against
 //!                           # a daemon; prints the latency/outcome report
+//!                           # and the zero-orphan trace accounting
 //! uae smoke                 # tiny telemetry-exercising train (CI)
 //! uae summarize <run.jsonl> # render a telemetry log as a report
 //! ```
@@ -297,6 +303,29 @@ fn cmd_serve_ctl(addr: &str, verb: &str, arg: Option<&str>) -> Result<(), uae::r
                 s.shed, s.deadline_miss, s.worker_restarts, s.protocol_errors
             );
             println!("swaps {}  swap_rollbacks {}", s.swaps, s.swap_rollbacks);
+            println!(
+                "uptime {:.1} s  traces started {} / completed {}",
+                s.uptime_ms as f64 / 1e3,
+                s.traces_started,
+                s.traces_completed
+            );
+            if !s.hists.is_empty() {
+                println!("histograms (us unless noted):");
+                println!(
+                    "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                    "name", "count", "p50", "p90", "p99", "p999", "max"
+                );
+                for h in &s.hists {
+                    println!(
+                        "  {:<18} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
+                        h.name, h.count, h.p50, h.p90, h.p99, h.p999, h.max
+                    );
+                }
+            }
+        }
+        "dump" => {
+            let (path, traces) = client.dump()?;
+            println!("dumped {traces} traces to {path}");
         }
         "swap" => {
             let Some(path) = arg else {
@@ -313,7 +342,7 @@ fn cmd_serve_ctl(addr: &str, verb: &str, arg: Option<&str>) -> Result<(), uae::r
         }
         other => {
             return Err(uae::runtime::UaeError::Protocol {
-                detail: format!("unknown serve-ctl verb {other:?} (ping|stats|swap|shutdown)"),
+                detail: format!("unknown serve-ctl verb {other:?} (ping|stats|swap|dump|shutdown)"),
             });
         }
     }
@@ -366,6 +395,13 @@ fn cmd_serve_load(
         r.generations_seen,
         r.all_accounted()
     );
+    println!(
+        "traces: seen {}  started {}  completed {}  zero_orphans {}",
+        r.traces_seen,
+        r.traces_started,
+        r.traces_completed,
+        r.zero_orphan_traces()
+    );
     if !r.all_accounted() {
         return Err(uae::runtime::UaeError::Unavailable {
             detail: format!(
@@ -376,6 +412,112 @@ fn cmd_serve_load(
         });
     }
     Ok(())
+}
+
+/// Unicode sparkline over a sparse histogram bucket dump (each glyph one
+/// nonzero bucket, height ∝ count relative to the fullest bucket).
+fn sparkline(buckets: &[(u64, u64)]) -> String {
+    const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let peak = buckets.iter().map(|&(_, c)| c).max().unwrap_or(0).max(1);
+    buckets
+        .iter()
+        .map(|&(_, c)| BARS[((c * 7).div_ceil(peak)).min(7) as usize])
+        .collect()
+}
+
+/// One `uae top` refresh: headline gauges, rates over the previous sample
+/// (client-side deltas via the monotonic `uptime_ms`), and the latency
+/// quantiles/sparklines from the daemon's histograms.
+fn render_top(addr: &str, s: &uae::serve::StatsSnapshot, prev: Option<&uae::serve::StatsSnapshot>) {
+    use std::io::IsTerminal;
+    if std::io::stdout().is_terminal() {
+        print!("\x1b[2J\x1b[H"); // clear + home, live-dashboard style
+    }
+    println!(
+        "uae top — {addr}  ready {}  generation {}  uptime {:.1} s",
+        s.ready,
+        s.generation,
+        s.uptime_ms as f64 / 1e3
+    );
+    let (req_rate, evt_rate, shed_rate) = match prev {
+        Some(p) if s.uptime_ms > p.uptime_ms => {
+            let dt = (s.uptime_ms - p.uptime_ms) as f64 / 1e3;
+            (
+                (s.requests.saturating_sub(p.requests)) as f64 / dt,
+                (s.events.saturating_sub(p.events)) as f64 / dt,
+                (s.shed.saturating_sub(p.shed)) as f64 / dt,
+            )
+        }
+        _ => {
+            let dt = (s.uptime_ms as f64 / 1e3).max(1e-9);
+            (
+                s.requests as f64 / dt,
+                s.events as f64 / dt,
+                s.shed as f64 / dt,
+            )
+        }
+    };
+    println!(
+        "throughput {req_rate:.1} req/s  {evt_rate:.0} events/s  shed {shed_rate:.1}/s  \
+         queue_depth {}",
+        s.queue_depth
+    );
+    println!(
+        "totals: requests {}  shed {}  deadline_miss {}  worker_restarts {}  swaps {} \
+         (rollbacks {})",
+        s.requests, s.shed, s.deadline_miss, s.worker_restarts, s.swaps, s.swap_rollbacks
+    );
+    println!(
+        "traces started {} / completed {}",
+        s.traces_started, s.traces_completed
+    );
+    let show = [
+        "request_us",
+        "queue_wait_us",
+        "score_us",
+        "reply_write_us",
+        "batch_sessions",
+    ];
+    for name in show {
+        if let Some(h) = s.hists.iter().find(|h| h.name == name) {
+            println!(
+                "{:<15} p50 {:>8}  p99 {:>8}  max {:>8}  n {:>7}  {}",
+                h.name,
+                h.p50,
+                h.p99,
+                h.max,
+                h.count,
+                sparkline(&h.buckets)
+            );
+        }
+    }
+}
+
+/// Live dashboard over `serve-ctl stats`: polls the daemon every
+/// `--interval-ms` (default 1000) and redraws; `--iterations N` bounds the
+/// run for scripting (default 0 = until interrupted or the daemon leaves).
+fn cmd_top(addr: &str, args: &[String]) -> Result<(), uae::runtime::UaeError> {
+    let flag = |name: &str| -> Option<usize> {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse().ok())
+    };
+    let interval = std::time::Duration::from_millis(flag("--interval-ms").unwrap_or(1000) as u64);
+    let iterations = flag("--iterations").unwrap_or(0);
+    let mut client = uae::serve::ServeClient::connect(addr)?;
+    let mut prev: Option<uae::serve::StatsSnapshot> = None;
+    let mut done = 0usize;
+    loop {
+        let s = client.stats()?;
+        render_top(addr, &s, prev.as_ref());
+        prev = Some(s);
+        done += 1;
+        if iterations > 0 && done >= iterations {
+            return Ok(());
+        }
+        std::thread::sleep(interval);
+    }
 }
 
 fn cmd_summarize(path: &str) -> Result<(), uae::obs::ObsError> {
@@ -477,11 +619,23 @@ fn main() {
         }
         Some("serve-ctl") => {
             let (Some(addr), Some(verb)) = (args.get(1), args.get(2)) else {
-                eprintln!("usage: uae serve-ctl <addr> <ping|stats|swap <model.uaem>|shutdown>");
+                eprintln!(
+                    "usage: uae serve-ctl <addr> <ping|stats|swap <model.uaem>|dump|shutdown>"
+                );
                 std::process::exit(2);
             };
             if let Err(e) = cmd_serve_ctl(addr, verb, args.get(3).map(String::as_str)) {
                 eprintln!("serve-ctl failed: {e}");
+                std::process::exit(1);
+            }
+        }
+        Some("top") => {
+            let Some(addr) = args.get(1).filter(|a| !a.starts_with("--")) else {
+                eprintln!("usage: uae top <addr> [--interval-ms N] [--iterations N]");
+                std::process::exit(2);
+            };
+            if let Err(e) = cmd_top(addr, &args[2..]) {
+                eprintln!("top failed: {e}");
                 std::process::exit(1);
             }
         }
@@ -514,7 +668,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|serve [model.uaem]|serve-ctl <addr> <verb>|serve-load <addr>|smoke|summarize <run.jsonl>> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|serve [model.uaem]|serve-ctl <addr> <verb>|top <addr>|serve-load <addr>|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);
