@@ -14,8 +14,8 @@ echo "==> cargo test -q"
 cargo test -q
 
 echo "==> cargo test -q --features proptest (property suites)"
-cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core -p uae-obs \
-    --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest,uae-obs/proptest
+cargo test -q -p uae-tensor -p uae-data -p uae-metrics -p uae-core -p uae-obs -p uae-nn \
+    --features uae-tensor/proptest,uae-data/proptest,uae-metrics/proptest,uae-core/proptest,uae-obs/proptest,uae-nn/proptest
 
 # The unfused ValueExec path must stay green and bit-identical to the tape:
 # fusion is an optimization, never a semantic switch.
@@ -77,13 +77,38 @@ print(f'perf_daemon gate OK: p99 {d[\"steady_p99_ms\"]:.1f} ms, zero drops, '
       f'{d[\"overload_shed_fraction\"]:.0%} shed under overload, all chaos frames answered, '
       f'tracing overhead {d[\"obs_overhead_pct\"]:.1f}% (<= 5%), '
       f'{obs[\"traces_completed\"]} traces all closed')
+embed = doc['perf_embed']
+assert not embed['smoke'], 'committed perf_embed numbers must come from a full run'
+assert embed['num_users'] >= 1_000_000, 'perf_embed must run the million-user preset'
+e = embed['derived']
+# Cold start: memory-mapping the v3 arena must beat copy-decoding the same
+# file by at least 5x (committed run: >1000x — the mmap path is O(header)).
+assert e['mmap_vs_copy_decode_speedup'] >= 5.0, \
+    f'mmap cold load only {e[\"mmap_vs_copy_decode_speedup\"]:.1f}x faster than copy decode'
+# Accuracy: the gate is one-sided — hashing may not COST more than 0.05
+# AUC vs dense. (In the sparse million-user regime it actually helps:
+# dense per-id rows seen once or twice stay at random init, while hashed
+# buckets aggregate gradients. A better hashed AUC passes.)
+assert e['hashed_vs_dense_auc_delta'] <= 0.05, \
+    f'hashed embeddings cost {e[\"hashed_vs_dense_auc_delta\"]:.3f} AUC vs dense (> 0.05)'
+# Size: hashing must actually shrink the artifact.
+assert e['dense_vs_hashed_bytes_ratio'] >= 2.0, \
+    f'hashed artifact only {e[\"dense_vs_hashed_bytes_ratio\"]:.1f}x smaller than dense'
+# Collisions must be measured and sane at the committed bucket count.
+h = embed['hashed']
+assert 0.0 <= h['mean_collision_rate'] <= h['max_collision_rate'] <= 1.0, h
+print(f'perf_embed gate OK: mmap {e[\"mmap_vs_copy_decode_speedup\"]:.0f}x faster cold load, '
+      f'artifact {e[\"dense_vs_hashed_bytes_ratio\"]:.1f}x smaller, '
+      f'AUC delta {e[\"hashed_vs_dense_auc_delta\"]:+.4f} (gate <= +0.05), '
+      f'max collision rate {h[\"max_collision_rate\"]:.2e}')
 "
 
-echo "==> bench smoke (perf_backend rewrites BENCH_perf.json; perf_serve and perf_daemon splice in)"
+echo "==> bench smoke (perf_backend rewrites BENCH_perf.json; perf_serve/perf_daemon/perf_embed splice in)"
 cp BENCH_perf.json /tmp/BENCH_perf.committed.json
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_backend >/dev/null
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_serve >/dev/null
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_daemon >/dev/null 2>&1
+UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_embed >/dev/null
 python3 -c "
 import json, sys
 with open('BENCH_perf.json') as f:
@@ -100,7 +125,13 @@ assert daemon['derived']['zero_dropped'], 'smoke daemon bench dropped a request'
 assert daemon['derived']['zero_orphan_traces'], 'smoke daemon bench orphaned a trace'
 assert daemon['steady']['ok'] > 0 and daemon['overload']['shed'] > 0
 assert daemon['observability']['traces_completed'] > 0
-print('BENCH_perf.json valid:', ', '.join(doc['configs']), '+ perf_serve + perf_daemon')
+embed = doc['perf_embed']
+assert embed['smoke'], 'perf_embed smoke run did not mark itself as smoke'
+assert embed['dense']['artifact_bytes'] > embed['hashed']['artifact_bytes'] > 0
+assert embed['dense']['cold_load_copy_ms'] > 0 and embed['dense']['cold_load_mmap_ms'] > 0
+assert 0.0 <= embed['hashed']['max_collision_rate'] <= 1.0
+print('BENCH_perf.json valid:', ', '.join(doc['configs']),
+      '+ perf_serve + perf_daemon + perf_embed')
 "
 # The smoke runs overwrite the committed (full-size) numbers; restore them.
 mv /tmp/BENCH_perf.committed.json BENCH_perf.json
@@ -227,6 +258,64 @@ grep -q "DCN" <<< "$rec_out"
 
 echo "==> cargo doc --no-deps (rustdoc warnings are errors)"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --quiet
+
+echo "==> docs gate (markdown links resolve; every UAE_* env var is documented)"
+python3 -c "
+import os, re, sys
+
+# --- 1. Relative markdown links in the handbook set must resolve. ---
+docs = ['README.md', 'DESIGN.md'] + sorted(
+    os.path.join('docs', f) for f in os.listdir('docs') if f.endswith('.md'))
+link_re = re.compile(r'\[[^\]]+\]\(([^)\s]+)\)')
+
+def slug(heading):
+    # GitHub-style anchor: lowercase, drop punctuation, spaces become dashes.
+    h = heading.strip().lower()
+    h = re.sub(r'[^\w\- ]', '', h, flags=re.UNICODE)
+    return h.replace(' ', '-')
+
+anchors = {}
+for doc in docs:
+    with open(doc) as f:
+        text = f.read()
+    heads = re.findall(r'^#+ +(.+)$', text, flags=re.M)
+    anchors[doc] = {slug(h) for h in heads}
+
+bad = []
+for doc in docs:
+    base = os.path.dirname(doc)
+    with open(doc) as f:
+        text = f.read()
+    for target in link_re.findall(text):
+        if target.startswith(('http://', 'https://', 'mailto:')):
+            continue
+        path, _, frag = target.partition('#')
+        dest = doc if not path else os.path.normpath(os.path.join(base, path))
+        if path and not os.path.exists(dest):
+            bad.append(f'{doc}: broken link target {target}')
+            continue
+        if frag and dest in anchors and frag not in anchors[dest]:
+            bad.append(f'{doc}: broken anchor {target}')
+for b in bad:
+    print(b, file=sys.stderr)
+assert not bad, f'{len(bad)} broken markdown link(s)'
+
+# --- 2. Every UAE_* env var read in code appears in docs/OPERATIONS.md. ---
+var_re = re.compile(r'\"(UAE_[A-Z0-9_]+)\"')
+used = set()
+for root in ('crates', 'src'):
+    for dirpath, _, files in os.walk(root):
+        for name in files:
+            if name.endswith('.rs'):
+                with open(os.path.join(dirpath, name)) as f:
+                    used.update(var_re.findall(f.read()))
+with open('docs/OPERATIONS.md') as f:
+    ops = f.read()
+undocumented = sorted(v for v in used if v not in ops)
+assert not undocumented, f'env vars read in code but missing from docs/OPERATIONS.md: {undocumented}'
+print(f'docs gate OK: {len(docs)} files link-checked, '
+      f'{len(used)} UAE_* env vars all documented in docs/OPERATIONS.md')
+"
 
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings

@@ -40,7 +40,8 @@ fn bench_uae_training_step(c: &mut Criterion) {
     let batches = seq_batches(&ds, &sessions, 32, 20, &mut rng);
     let batch = batches[batches.len() - 1].clone();
     let mut params = Params::new();
-    let net = uae_core::AttentionNet::new("g", &ds.schema, 8, 32, &[32], &mut params, &mut rng);
+    let net =
+        uae_core::AttentionNet::new("g", &ds.schema, 8, 32, &[32], None, &mut params, &mut rng);
     c.bench_function("attention_net_fwd_bwd", |bench| {
         bench.iter(|| {
             let mut tape = Tape::new();

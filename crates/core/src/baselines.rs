@@ -67,6 +67,7 @@ impl BiasedAttentionBaseline {
             cfg.embed_dim,
             cfg.gru_hidden,
             &cfg.mlp_hidden,
+            cfg.hash_spec(),
             &mut params,
             &mut rng,
         );

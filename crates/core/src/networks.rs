@@ -16,7 +16,7 @@
 //! tape-free for serving, bit-identically.
 
 use uae_data::{FeatureSchema, SeqBatch};
-use uae_nn::{Activation, FieldEmbeddings, GruCell, Mlp};
+use uae_nn::{Activation, EmbeddingBank, GruCell, HashConfig, Mlp};
 use uae_tensor::{Exec, Matrix, Params, Rng};
 
 /// Per-step outputs of an attention forward pass. `V` is the execution
@@ -31,26 +31,29 @@ pub struct AttentionForward<V> {
 
 /// The attention network `g` (GRU₁ + MLP₁).
 pub struct AttentionNet {
-    emb: FieldEmbeddings,
+    emb: EmbeddingBank,
     gru: GruCell,
     head: Mlp,
     num_dense: usize,
 }
 
 impl AttentionNet {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         name: &str,
         schema: &FeatureSchema,
         embed_dim: usize,
         gru_hidden: usize,
         mlp_hidden: &[usize],
+        hash: Option<HashConfig>,
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let emb = FieldEmbeddings::new(
+        let emb = EmbeddingBank::new(
             &format!("{name}.emb"),
             &schema.cat_cardinalities,
             embed_dim,
+            hash,
             params,
             rng,
         );
@@ -78,7 +81,14 @@ impl AttentionNet {
         self.gru.hidden()
     }
 
-    /// Builds the per-step input `x_t` (embeddings ⧺ dense).
+    /// The embedding bank (for collision telemetry when hashed).
+    pub fn embeddings(&self) -> &EmbeddingBank {
+        &self.emb
+    }
+
+    /// Builds the per-step input `x_t` (embeddings ⧺ dense). A dense bank
+    /// rides the fused gather-concat; a hashed bank expands to multi-hash
+    /// gathers — one forward body either way.
     fn step_input<E: Exec>(
         &self,
         exec: &mut E,
@@ -87,7 +97,8 @@ impl AttentionNet {
         t: usize,
     ) -> E::V {
         debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
-        exec.gather_concat(params, self.emb.tables(), &batch.cat[t], &batch.dense[t])
+        self.emb
+            .encode_full(exec, params, &batch.cat[t], &batch.dense[t])
     }
 
     /// Full forward over a padded session batch. GRU and head parameters are
@@ -178,7 +189,7 @@ impl PropensityNet {
 
 /// SAR's propensity head: embeddings + MLP over *current* features only.
 pub struct LocalPropensityNet {
-    emb: FieldEmbeddings,
+    emb: EmbeddingBank,
     head: Mlp,
     num_dense: usize,
 }
@@ -189,13 +200,15 @@ impl LocalPropensityNet {
         schema: &FeatureSchema,
         embed_dim: usize,
         mlp_hidden: &[usize],
+        hash: Option<HashConfig>,
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let emb = FieldEmbeddings::new(
+        let emb = EmbeddingBank::new(
             &format!("{name}.emb"),
             &schema.cat_cardinalities,
             embed_dim,
+            hash,
             params,
             rng,
         );
@@ -216,16 +229,20 @@ impl LocalPropensityNet {
         }
     }
 
+    /// The embedding bank (for collision telemetry when hashed).
+    pub fn embeddings(&self) -> &EmbeddingBank {
+        &self.emb
+    }
+
     /// Per-step logits using only `x_t`.
     pub fn forward<E: Exec>(&self, exec: &mut E, params: &Params, batch: &SeqBatch) -> Vec<E::V> {
         let head_vars = self.head.param_vars(exec, params);
         (0..batch.steps)
             .map(|t| {
-                let fields = self.emb.forward_fields(exec, params, &batch.cat[t]);
-                let emb = exec.concat_cols(&fields.iter().collect::<Vec<_>>());
                 debug_assert_eq!(batch.dense[t].cols(), self.num_dense);
-                let dense = exec.input(batch.dense[t].clone());
-                let x = exec.concat_cols(&[&emb, &dense]);
+                let x = self
+                    .emb
+                    .encode_full(exec, params, &batch.cat[t], &batch.dense[t]);
                 self.head.forward_with(exec, &head_vars, &x)
             })
             .collect()
@@ -251,7 +268,7 @@ mod tests {
         let (ds, b) = batch();
         let mut rng = Rng::seed_from_u64(2);
         let mut params = Params::new();
-        let net = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params, &mut rng);
+        let net = AttentionNet::new("g", &ds.schema, 4, 8, &[8], None, &mut params, &mut rng);
         let mut tape = Tape::new();
         let out = net.forward(&mut tape, &params, &b);
         assert_eq!(out.logits.len(), b.steps);
@@ -267,7 +284,7 @@ mod tests {
         let (ds, b) = batch();
         let mut rng = Rng::seed_from_u64(3);
         let mut params_g = Params::new();
-        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params_g, &mut rng);
+        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], None, &mut params_g, &mut rng);
         let mut params_h = Params::new();
         let h = PropensityNet::new("h", 8, 6, &[8], &mut params_h, &mut rng);
 
@@ -299,7 +316,7 @@ mod tests {
         let (ds, b) = batch();
         let mut rng = Rng::seed_from_u64(7);
         let mut params = Params::new();
-        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params, &mut rng);
+        let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], None, &mut params, &mut rng);
         let mut tape = Tape::new();
         let gf = g.forward(&mut tape, &params, &b);
         let mut vx = ValueExec::new();
@@ -327,7 +344,7 @@ mod tests {
         }
         let mut rng = Rng::seed_from_u64(4);
         let mut params = Params::new();
-        let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], &mut params, &mut rng);
+        let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], None, &mut params, &mut rng);
         let mut t1 = Tape::new();
         let l1 = net.forward(&mut t1, &params, &b);
         let mut t2 = Tape::new();

@@ -43,6 +43,13 @@ pub struct UaeConfig {
     pub clamp_nonneg: bool,
     pub grad_clip: Option<f32>,
     pub seed: u64,
+    /// When nonzero, categorical fields embed through hashed tables capped
+    /// at this many buckets (see [`uae_nn::HashedEmbedding`]). Zero keeps
+    /// dense one-row-per-category tables. This is part of the model
+    /// architecture: a serving artifact must rebuild with the same value.
+    pub hash_buckets: usize,
+    /// Hash functions per lookup when `hash_buckets > 0`.
+    pub hash_k: usize,
 }
 
 impl Default for UaeConfig {
@@ -63,6 +70,21 @@ impl Default for UaeConfig {
             clamp_nonneg: true,
             grad_clip: Some(5.0),
             seed: 0,
+            hash_buckets: 0,
+            hash_k: 2,
+        }
+    }
+}
+
+impl UaeConfig {
+    /// The embedding-bank switch derived from `hash_buckets`/`hash_k`
+    /// (`None` = dense). The hash seed is the fixed format constant, never
+    /// the training seed: serving must bucket exactly like training.
+    pub fn hash_spec(&self) -> Option<uae_nn::HashConfig> {
+        if self.hash_buckets == 0 {
+            None
+        } else {
+            Some(uae_nn::HashConfig::new(self.hash_buckets, self.hash_k))
         }
     }
 }
@@ -98,6 +120,7 @@ impl Uae {
             cfg.embed_dim,
             cfg.gru_hidden,
             &cfg.mlp_hidden,
+            cfg.hash_spec(),
             &mut params_g,
             &mut rng,
         );
@@ -131,6 +154,7 @@ impl Uae {
             cfg.embed_dim,
             cfg.gru_hidden,
             &cfg.mlp_hidden,
+            cfg.hash_spec(),
             &mut params_g,
             &mut rng,
         );
@@ -140,6 +164,7 @@ impl Uae {
             schema,
             cfg.embed_dim,
             &cfg.mlp_hidden,
+            cfg.hash_spec(),
             &mut params_h,
             &mut rng,
         );

@@ -6,7 +6,7 @@
 //! 1.73M songs, 44 features, 6 feedback types). Neither is available here,
 //! so [`crate::gen::generate`] synthesises datasets whose *causal structure*
 //! matches the paper's (features → attention α → propensity p | attention →
-//! observed feedback e, with E[e] = p·α) and whose headline statistics match
+//! observed feedback e, with E\[e\] = p·α) and whose headline statistics match
 //! Figures 2–3. The presets default to laptop-scale sizes; `scale` grows
 //! them proportionally for the benches.
 
@@ -196,6 +196,23 @@ impl SimConfig {
         cfg.name = "tiny".into();
         cfg
     }
+
+    /// A scale-out preset: production-shaped behaviour with a 1.2M-user
+    /// population and a 40k-song catalogue, but a modest session count so
+    /// generation and training stay tractable. The point is the *schema* —
+    /// `user_id` cardinality in the millions makes dense per-id embedding
+    /// tables the dominant memory cost, which is exactly the regime hashed
+    /// embeddings and memory-mapped `.uaem` arenas exist for (see
+    /// `perf_embed` in the bench crate).
+    pub fn million_users() -> Self {
+        let mut cfg = SimConfig::product(0.33);
+        cfg.name = "million-users".into();
+        cfg.num_users = 1_200_000;
+        cfg.num_songs = 40_000;
+        cfg.num_artists = 5_000;
+        cfg.num_albums = 12_000;
+        cfg
+    }
 }
 
 #[cfg(test)]
@@ -230,5 +247,15 @@ mod tests {
         let cfg = SimConfig::thirty_music(1e-6);
         assert!(cfg.num_users >= 1);
         assert!(cfg.num_sessions >= 1);
+    }
+
+    #[test]
+    fn million_users_is_wide_but_shallow() {
+        let cfg = SimConfig::million_users();
+        assert!(cfg.num_users >= 1_000_000, "the preset's whole point");
+        // Session volume stays modest so generation/training are tractable;
+        // only the id *cardinalities* blow up.
+        assert!(cfg.num_sessions <= SimConfig::product(1.0).num_sessions);
+        assert!(cfg.product_feedback);
     }
 }

@@ -27,7 +27,14 @@ impl AutoInt {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("autoint.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "autoint.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let k = config.embed_dim;
         let dense_proj = Linear::new(
             "autoint.dense_proj",

@@ -24,7 +24,14 @@ impl Dcn {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("dcn.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "dcn.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let dim = encoder.full_dim();
         let cross = (0..config.cross_layers.max(1))
             .map(|i| CrossLayerV1::new(&format!("dcn.cross{i}"), dim, params, rng))
@@ -82,7 +89,14 @@ impl DcnV2 {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("dcnv2.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "dcnv2.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let dim = encoder.full_dim();
         let cross = (0..config.cross_layers.max(1))
             .map(|i| CrossLayerV2::new(&format!("dcnv2.cross{i}"), dim, params, rng))

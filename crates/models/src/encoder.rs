@@ -1,13 +1,13 @@
 //! Shared input encoding: categorical field embeddings plus dense features.
 
 use uae_data::{FeatureSchema, FlatBatch};
-use uae_nn::FieldEmbeddings;
+use uae_nn::{EmbeddingBank, HashConfig};
 use uae_tensor::{Exec, Matrix, Params, Rng};
 
 /// Embedding-based feature encoder shared by all deep models.
 #[derive(Debug, Clone)]
 pub struct Encoder {
-    emb: FieldEmbeddings,
+    emb: EmbeddingBank,
     num_dense: usize,
 }
 
@@ -31,13 +31,26 @@ impl Encoder {
         name: &str,
         schema: &FeatureSchema,
         embed_dim: usize,
+        hash: Option<HashConfig>,
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
         Encoder {
-            emb: FieldEmbeddings::new(name, &schema.cat_cardinalities, embed_dim, params, rng),
+            emb: EmbeddingBank::new(
+                name,
+                &schema.cat_cardinalities,
+                embed_dim,
+                hash,
+                params,
+                rng,
+            ),
             num_dense: schema.num_dense(),
         }
+    }
+
+    /// The embedding bank (for collision telemetry when hashed).
+    pub fn embeddings(&self) -> &EmbeddingBank {
+        &self.emb
     }
 
     pub fn embed_dim(&self) -> usize {
@@ -77,12 +90,13 @@ impl Encoder {
         }
     }
 
-    /// Encodes only the [`Encoded::full`] view via the fused
-    /// [`Exec::gather_concat`] — the fast path for models that consume
-    /// nothing else (DCN's cross/deep input, Wide&Deep's deep tower).
-    /// Bitwise identical to `encode(..).full`.
+    /// Encodes only the [`Encoded::full`] view — the fast path for models
+    /// that consume nothing else (DCN's cross/deep input, Wide&Deep's deep
+    /// tower). A dense bank rides the fused [`Exec::gather_concat`]; a
+    /// hashed bank expands to multi-hash gathers. Bitwise identical to
+    /// `encode(..).full` either way.
     pub fn encode_full<E: Exec>(&self, exec: &mut E, params: &Params, batch: &FlatBatch) -> E::V {
-        exec.gather_concat(params, self.emb.tables(), &batch.cat, &batch.dense)
+        self.emb.encode_full(exec, params, &batch.cat, &batch.dense)
     }
 }
 
@@ -90,18 +104,25 @@ impl Encoder {
 /// bias — the "wide"/linear component of FM, Wide&Deep and DeepFM.
 #[derive(Debug, Clone)]
 pub struct LinearTerm {
-    weights: FieldEmbeddings,
+    weights: EmbeddingBank,
     dense_w: uae_tensor::ParamId,
     bias: uae_tensor::ParamId,
 }
 
 impl LinearTerm {
-    pub fn new(name: &str, schema: &FeatureSchema, params: &mut Params, rng: &mut Rng) -> Self {
+    pub fn new(
+        name: &str,
+        schema: &FeatureSchema,
+        hash: Option<HashConfig>,
+        params: &mut Params,
+        rng: &mut Rng,
+    ) -> Self {
         LinearTerm {
-            weights: FieldEmbeddings::new(
+            weights: EmbeddingBank::new(
                 &format!("{name}.w1"),
                 &schema.cat_cardinalities,
                 1,
+                hash,
                 params,
                 rng,
             ),
@@ -149,7 +170,7 @@ mod tests {
         let (ds, b) = batch();
         let mut rng = Rng::seed_from_u64(2);
         let mut params = Params::new();
-        let enc = Encoder::new("e", &ds.schema, 4, &mut params, &mut rng);
+        let enc = Encoder::new("e", &ds.schema, 4, None, &mut params, &mut rng);
         let mut tape = Tape::new();
         let out = enc.encode(&mut tape, &params, &b);
         assert_eq!(out.fields.len(), ds.schema.num_cat_fields());
@@ -166,7 +187,7 @@ mod tests {
         let (ds, b) = batch();
         let mut rng = Rng::seed_from_u64(3);
         let mut params = Params::new();
-        let lin = LinearTerm::new("l", &ds.schema, &mut params, &mut rng);
+        let lin = LinearTerm::new("l", &ds.schema, None, &mut params, &mut rng);
         let mut tape = Tape::new();
         let out = lin.forward(&mut tape, &params, &b);
         assert_eq!(tape.value(out).shape(), (6, 1));

@@ -41,8 +41,15 @@ impl Fm {
         rng: &mut Rng,
     ) -> Self {
         Fm {
-            linear: LinearTerm::new("fm.lin", schema, params, rng),
-            encoder: Encoder::new("fm.emb", schema, config.embed_dim, params, rng),
+            linear: LinearTerm::new("fm.lin", schema, config.hash_spec(), params, rng),
+            encoder: Encoder::new(
+                "fm.emb",
+                schema,
+                config.embed_dim,
+                config.hash_spec(),
+                params,
+                rng,
+            ),
         }
     }
 }
@@ -74,7 +81,14 @@ impl DeepFm {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("deepfm.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "deepfm.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let deep = Mlp::new(
             "deepfm.deep",
             encoder.full_dim(),
@@ -86,7 +100,7 @@ impl DeepFm {
             rng,
         );
         DeepFm {
-            linear: LinearTerm::new("deepfm.lin", schema, params, rng),
+            linear: LinearTerm::new("deepfm.lin", schema, config.hash_spec(), params, rng),
             encoder,
             deep,
         }

@@ -23,6 +23,13 @@ pub struct ModelConfig {
     pub attn_heads: usize,
     pub attn_head_dim: usize,
     pub attn_layers: usize,
+    /// When nonzero, categorical fields (second- *and* first-order tables)
+    /// embed through hashed tables capped at this many buckets (see
+    /// [`uae_nn::HashedEmbedding`]). Zero keeps dense tables. Architectural:
+    /// a serving artifact must rebuild with the same value.
+    pub hash_buckets: usize,
+    /// Hash functions per lookup when `hash_buckets > 0`.
+    pub hash_k: usize,
 }
 
 impl Default for ModelConfig {
@@ -34,6 +41,8 @@ impl Default for ModelConfig {
             attn_heads: 2,
             attn_head_dim: 8,
             attn_layers: 1,
+            hash_buckets: 0,
+            hash_k: 2,
         }
     }
 }
@@ -48,6 +57,18 @@ impl ModelConfig {
             attn_heads: 2,
             attn_head_dim: 16,
             attn_layers: 2,
+            hash_buckets: 0,
+            hash_k: 2,
+        }
+    }
+
+    /// The embedding-bank switch derived from `hash_buckets`/`hash_k`
+    /// (`None` = dense). Uses the fixed format hash seed, never a run seed.
+    pub fn hash_spec(&self) -> Option<uae_nn::HashConfig> {
+        if self.hash_buckets == 0 {
+            None
+        } else {
+            Some(uae_nn::HashConfig::new(self.hash_buckets, self.hash_k))
         }
     }
 }

@@ -23,7 +23,14 @@ impl WideDeep {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("wd.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "wd.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let deep = Mlp::new(
             "wd.deep",
             encoder.full_dim(),
@@ -35,7 +42,7 @@ impl WideDeep {
             rng,
         );
         WideDeep {
-            wide: LinearTerm::new("wd.wide", schema, params, rng),
+            wide: LinearTerm::new("wd.wide", schema, config.hash_spec(), params, rng),
             encoder,
             deep,
         }
@@ -68,7 +75,14 @@ impl YoutubeNet {
         params: &mut Params,
         rng: &mut Rng,
     ) -> Self {
-        let encoder = Encoder::new("yt.emb", schema, config.embed_dim, params, rng);
+        let encoder = Encoder::new(
+            "yt.emb",
+            schema,
+            config.embed_dim,
+            config.hash_spec(),
+            params,
+            rng,
+        );
         let tower = Mlp::new(
             "yt.tower",
             encoder.full_dim(),

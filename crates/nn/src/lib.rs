@@ -5,6 +5,8 @@
 //!
 //! * [`linear::Linear`] / [`linear::Mlp`] — dense stacks (all models).
 //! * [`embedding::FieldEmbeddings`] — per-field categorical embeddings.
+//! * [`hashed::HashedEmbedding`] / [`hashed::EmbeddingBank`] — bucketed
+//!   multi-hash embeddings for high-cardinality fields, switchable per model.
 //! * [`gru::GruCell`] — the sequence encoder of both UAE networks.
 //! * [`attention::InteractingLayer`] — AutoInt's field self-attention.
 //! * [`cross::CrossLayerV1`] / [`cross::CrossLayerV2`] — DCN / DCN-V2.
@@ -15,6 +17,7 @@ pub mod attention;
 pub mod cross;
 pub mod embedding;
 pub mod gru;
+pub mod hashed;
 pub mod init;
 pub mod linear;
 pub mod optim;
@@ -23,5 +26,6 @@ pub use attention::InteractingLayer;
 pub use cross::{CrossLayerV1, CrossLayerV2};
 pub use embedding::FieldEmbeddings;
 pub use gru::{GruCell, GruVars};
+pub use hashed::{mix64, EmbeddingBank, HashConfig, HashedEmbedding, DEFAULT_HASH_SEED};
 pub use linear::{Activation, Linear, LinearVars, Mlp, MlpVars};
 pub use optim::{Adam, AdamState, Optimizer, Sgd};

@@ -1,7 +1,11 @@
 //! # uae-obs — zero-dependency structured telemetry
 //!
 //! A lightweight facade over typed events, scoped timing spans, and
-//! counters/gauges, draining to pluggable sinks:
+//! counters/gauges, plus the serving-grade layer built on the same core:
+//! log-bucketed quantile [`Histogram`]s (lock-free [`AtomicHistogram`]
+//! variant for hot paths), request-scoped [`TraceBuilder`]/[`TraceSummary`]
+//! stage timings, and the last-N [`FlightRecorder`] ring the daemon dumps
+//! on faults. Everything drains to pluggable sinks:
 //!
 //! * [`JsonlSink`] — one self-describing JSON object per line, monotonic
 //!   per-sink `seq` ids, run manifest as the first record.

@@ -202,6 +202,11 @@ struct Stats {
     swap_rollbacks: AtomicU64,
     traces_started: AtomicU64,
     traces_completed: AtomicU64,
+    /// Traces excluded from the *stage* histograms (shed / protocol-error
+    /// outcomes never reach a worker, so their all-zero stage rows are kept
+    /// out — see [`Shared::close_trace`]). Exported so operators can
+    /// reconcile `request_us.count == queue_wait_us.count + hist_excluded`.
+    hist_excluded: AtomicU64,
 }
 
 /// The daemon's fixed-memory latency and value distributions: lock-free
@@ -302,6 +307,12 @@ struct Shared {
     hists: Hists,
     recorder: FlightRecorder,
     dump_serial: AtomicU64,
+    /// Sessions scored per feature-hash shard (one slot per worker). The
+    /// micro-batcher groups each batch's sessions into contiguous hash
+    /// ranges of the leading categorical feature — the same `mix64` space
+    /// hashed embeddings bucket in — so a worker's embedding reads cluster
+    /// per range. Occupancy shows whether traffic spreads across shards.
+    shard_hits: Vec<AtomicU64>,
 }
 
 impl Shared {
@@ -327,6 +338,12 @@ impl Shared {
                 .unwrap_or(0),
             traces_started: self.stats.traces_started.load(Ordering::Relaxed),
             traces_completed: self.stats.traces_completed.load(Ordering::Relaxed),
+            hist_excluded: self.stats.hist_excluded.load(Ordering::Relaxed),
+            shard_occupancy: self
+                .shard_hits
+                .iter()
+                .map(|s| s.load(Ordering::Relaxed))
+                .collect(),
             hists: self.hists.wire(),
         }
     }
@@ -372,6 +389,10 @@ impl Shared {
                 .record(ctx.stages.batch_assemble_us);
             self.hists.score_us.record(ctx.stages.score_us);
             self.hists.reply_write_us.record(ctx.stages.reply_write_us);
+        } else {
+            // Count the exclusion so `request_us.count` always reconciles
+            // with `queue_wait_us.count + hist_excluded` in `Stats`.
+            self.stats.hist_excluded.fetch_add(1, Ordering::Relaxed);
         }
         self.stats.traces_completed.fetch_add(1, Ordering::Relaxed);
         self.recorder.push(TraceSummary {
@@ -430,6 +451,7 @@ impl Daemon {
         })?;
         let queue = ServeQueue::new(cfg.queue_capacity);
         let recorder = FlightRecorder::new(cfg.flight_recorder_n);
+        let shard_hits = (0..cfg.workers.max(1)).map(|_| AtomicU64::new(0)).collect();
         let shared = Arc::new(Shared {
             queue,
             generation: RwLock::new(Arc::new(Generation {
@@ -447,6 +469,7 @@ impl Daemon {
             hists: Hists::new(),
             recorder,
             dump_serial: AtomicU64::new(0),
+            shard_hits,
             cfg,
         });
         Ok(Daemon {
@@ -551,6 +574,12 @@ fn metrics_loop(shared: &Shared) {
 }
 
 fn emit_metrics(shared: &Shared) {
+    for (i, slot) in shared.shard_hits.iter().enumerate() {
+        uae_obs::gauge(
+            &format!("serve.shard_occupancy.{i}"),
+            slot.load(Ordering::Relaxed) as f64,
+        );
+    }
     uae_obs::emit(|| {
         let s = shared.snapshot();
         uae_obs::Event::MetricsSnapshot {
@@ -632,16 +661,52 @@ fn to_session(ws: &WireSession) -> Session {
     }
 }
 
+/// Maps a session to its feature-hash shard: `mix64` of the first event's
+/// leading categorical id, range-partitioned over `[0, shards)`. The same
+/// mixer hashed embeddings bucket with, so a shard's sessions cluster in
+/// embedding-table row space and a worker's gathers stay range-local.
+fn shard_of(ws: &WireSession, shards: usize) -> usize {
+    let key = ws
+        .events
+        .first()
+        .and_then(|e| e.cat.first())
+        .copied()
+        .unwrap_or(0) as u64;
+    let h = uae_nn::mix64(key ^ uae_nn::DEFAULT_HASH_SEED);
+    ((h as u128 * shards as u128) >> 64) as usize
+}
+
 /// Scores every session of every job in one coalesced request and splits
-/// the flat outputs back per job. Per-session scores do not depend on the
-/// coalescing (row-independent forward), so this is bit-identical to
-/// scoring each request alone. Returns the batch-level assemble and score
-/// stage times alongside the per-job outputs.
-fn score_jobs(gen: &Generation, jobs: &[Job]) -> (Vec<Vec<SessionScores>>, u64, u64) {
+/// the flat outputs back per job. Sessions are grouped into contiguous
+/// feature-hash shard ranges before the forward (embedding reads cluster
+/// per range; occupancy lands in `shard_hits`), then scattered back to
+/// request order. Per-session scores do not depend on batch composition
+/// *or* order (row-independent forward), so both the coalescing and the
+/// shard regrouping are bit-invisible to clients. Returns the batch-level
+/// assemble and score stage times alongside the per-job outputs.
+fn score_jobs(
+    gen: &Generation,
+    jobs: &[Job],
+    shard_hits: &[AtomicU64],
+) -> (Vec<Vec<SessionScores>>, u64, u64) {
     let assemble_started = Instant::now();
-    let sessions: Vec<Session> = jobs
+    let wire_sessions: Vec<&WireSession> = jobs.iter().flat_map(|j| j.sessions.iter()).collect();
+    let shards = shard_hits.len().max(1);
+    let keys: Vec<usize> = wire_sessions
         .iter()
-        .flat_map(|j| j.sessions.iter().map(to_session))
+        .map(|ws| shard_of(ws, shards))
+        .collect();
+    // Stable sort: within a shard, request order is preserved.
+    let mut order: Vec<usize> = (0..wire_sessions.len()).collect();
+    order.sort_by_key(|&i| keys[i]);
+    for &i in &order {
+        if let Some(slot) = shard_hits.get(keys[i]) {
+            slot.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+    let sessions: Vec<Session> = order
+        .iter()
+        .map(|&i| to_session(wire_sessions[i]))
         .collect();
     let indices: Vec<usize> = (0..sessions.len()).collect();
     let ds = Dataset {
@@ -653,20 +718,29 @@ fn score_jobs(gen: &Generation, jobs: &[Job]) -> (Vec<Vec<SessionScores>>, u64, 
     let score_started = Instant::now();
     let out = gen.scorer.score(&ds, &indices);
     let score_us = score_started.elapsed().as_micros() as u64;
-    let mut result = Vec::with_capacity(jobs.len());
+    // Scatter the flat shard-ordered outputs back to request order via the
+    // inverse permutation, then split per job.
+    let mut scattered: Vec<Option<SessionScores>> = vec![None; wire_sessions.len()];
     let mut off = 0usize;
+    for &i in &order {
+        let n = wire_sessions[i].events.len();
+        scattered[i] = Some(SessionScores {
+            attention: out.attention[off..off + n].to_vec(),
+            propensity: out.propensity[off..off + n].to_vec(),
+            weights: out.weights[off..off + n].to_vec(),
+        });
+        off += n;
+    }
+    let mut scattered = scattered.into_iter();
+    let mut result = Vec::with_capacity(jobs.len());
     for job in jobs {
-        let mut per = Vec::with_capacity(job.sessions.len());
-        for ws in &job.sessions {
-            let n = ws.events.len();
-            per.push(SessionScores {
-                attention: out.attention[off..off + n].to_vec(),
-                propensity: out.propensity[off..off + n].to_vec(),
-                weights: out.weights[off..off + n].to_vec(),
-            });
-            off += n;
-        }
-        result.push(per);
+        result.push(
+            scattered
+                .by_ref()
+                .take(job.sessions.len())
+                .map(|s| s.expect("every session scored exactly once"))
+                .collect(),
+        );
     }
     (result, assemble_us, score_us)
 }
@@ -735,7 +809,7 @@ fn worker_loop(shared: &Shared) {
         };
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             shared.fault.before_batch();
-            score_jobs(&gen, &live)
+            score_jobs(&gen, &live, &shared.shard_hits)
         }));
         match outcome {
             Ok((per_job, assemble_us, score_us)) => {

@@ -6,15 +6,22 @@
 //! scores request batches through inference-only kernels that never touch
 //! the tape, while staying **bit-identical** to the training forward.
 //!
-//! Artifacts — one `.uaem` container (magic `UAEM`, version 2), three
-//! variants discriminated by a variant byte:
+//! Artifacts — one `.uaem` container (magic `UAEM`, version 3; version-2
+//! files still decode), three variants discriminated by a variant byte:
 //!
 //! - [`FrozenModel`] (variants 0/1) — a versioned, self-describing snapshot
 //!   of the attention network `g`, the propensity network `h`, the feature
-//!   schema they were trained against, and the Eq. (19) exponent γ.
-//!   Exportable from a live [`uae_core::Uae`] or from a training
-//!   checkpoint, validated on load through the existing
-//!   [`uae_runtime::UaeError`] taxonomy.
+//!   schema they were trained against, the Eq. (19) exponent γ, and (v3)
+//!   the hashed-embedding config. v3 lays every tensor out in one
+//!   16-byte-aligned `f32` arena at fixed header-recorded offsets, so
+//!   [`FrozenModel::open`] can memory-map the file and serve the arena
+//!   *in place* — cold-start decode is microseconds regardless of
+//!   artifact size, and resident memory is only the pages scoring
+//!   touches. [`FrozenModel::read_from`] copy-decodes both versions
+//!   anywhere. Exportable from a live [`uae_core::Uae`] or from a
+//!   training checkpoint, validated on load through the existing
+//!   [`uae_runtime::UaeError`] taxonomy (hostile offsets, truncations,
+//!   and bit flips are typed errors on both load paths — fuzz-tested).
 //! - [`FrozenRecommender`] (variant 2) — any Table-IV downstream model
 //!   (FM … DCN-V2): the [`uae_models::ModelKind`] tag, its
 //!   [`uae_models::ModelConfig`], and the trained parameter arena.

@@ -113,6 +113,9 @@ impl FrozenRecommender {
         w.put_u32(self.config.attn_heads as u32);
         w.put_u32(self.config.attn_head_dim as u32);
         w.put_u32(self.config.attn_layers as u32);
+        // v3: hashed-embedding config words.
+        w.put_u32(self.config.hash_buckets as u32);
+        w.put_u32(self.config.hash_k as u32);
         // Arena.
         w.put_bytes(&self.params);
         w.into_bytes()
@@ -121,21 +124,22 @@ impl FrozenRecommender {
     /// Decodes `.uaem` bytes; rejects non-recommender variants. Sniff with
     /// [`FrozenArtifact::decode`] when the variant is not known up front.
     pub fn decode(bytes: &[u8]) -> Result<FrozenRecommender, UaeError> {
-        let mut r = check_header(bytes)?;
+        let (mut r, version) = check_header(bytes)?;
         let inner = |r: &mut ByteReader| -> Result<FrozenRecommender, CheckpointError> {
             if r.get_u8()? != VARIANT_RECOMMENDER {
                 return Err(CheckpointError::Corrupt(
                     "not a downstream-recommender artifact; decode via FrozenArtifact",
                 ));
             }
-            FrozenRecommender::decode_body(r)
+            FrozenRecommender::decode_body(r, version)
         };
         inner(&mut r).map_err(UaeError::Checkpoint)
     }
 
     /// Decodes the payload after the variant byte (shared with the
-    /// [`FrozenArtifact`] sniffing path).
-    fn decode_body(r: &mut ByteReader) -> Result<FrozenRecommender, CheckpointError> {
+    /// [`FrozenArtifact`] sniffing path). v2 predates hashed embeddings,
+    /// so its config decodes dense (0 buckets).
+    fn decode_body(r: &mut ByteReader, version: u32) -> Result<FrozenRecommender, CheckpointError> {
         let kind = kind_from_tag(r.get_u8()?)?;
         let schema = get_schema(r)?;
         let embed_dim = r.get_u32()? as usize;
@@ -144,13 +148,24 @@ impl FrozenRecommender {
         for _ in 0..n_hidden {
             hidden.push(r.get_u32()? as usize);
         }
+        let cross_layers = r.get_u32()? as usize;
+        let attn_heads = r.get_u32()? as usize;
+        let attn_head_dim = r.get_u32()? as usize;
+        let attn_layers = r.get_u32()? as usize;
+        let (hash_buckets, hash_k) = if version >= crate::model::VERSION {
+            (r.get_u32()? as usize, r.get_u32()? as usize)
+        } else {
+            (0, 2)
+        };
         let config = ModelConfig {
             embed_dim,
             hidden,
-            cross_layers: r.get_u32()? as usize,
-            attn_heads: r.get_u32()? as usize,
-            attn_head_dim: r.get_u32()? as usize,
-            attn_layers: r.get_u32()? as usize,
+            cross_layers,
+            attn_heads,
+            attn_head_dim,
+            attn_layers,
+            hash_buckets,
+            hash_k,
         };
         let params = r.get_bytes()?;
         Ok(FrozenRecommender {
@@ -188,10 +203,10 @@ pub enum FrozenArtifact {
 impl FrozenArtifact {
     /// Decodes either artifact variant by sniffing the variant byte.
     pub fn decode(bytes: &[u8]) -> Result<FrozenArtifact, UaeError> {
-        let mut r = check_header(bytes)?;
+        let (mut r, version) = check_header(bytes)?;
         let variant = r.get_u8().map_err(UaeError::Checkpoint)?;
         if variant == VARIANT_RECOMMENDER {
-            FrozenRecommender::decode_body(&mut r)
+            FrozenRecommender::decode_body(&mut r, version)
                 .map(FrozenArtifact::Recommender)
                 .map_err(UaeError::Checkpoint)
         } else {

@@ -207,8 +207,17 @@ pub struct StatsSnapshot {
     /// Traces closed with an outcome. Equal to `traces_started` when no
     /// request is in flight — the trace-complete contract.
     pub traces_completed: u64,
+    /// Traces excluded from the *stage* histograms: shed and protocol-error
+    /// outcomes never reach a worker, so they land in `request_us` but not
+    /// in `queue_wait_us`/`assemble_us`/`score_us`/`reply_us`. Operators can
+    /// reconcile `request_us.count == queue_wait_us.count + hist_excluded`.
+    pub hist_excluded: u64,
     /// Live histogram summaries (empty when tracing is disabled).
     pub hists: Vec<WireHist>,
+    /// Sessions scored per feature-hash shard since daemon start (one slot
+    /// per worker). Skew here means the leading categorical feature is hot
+    /// in one hash range, not that a worker thread is slow.
+    pub shard_occupancy: Vec<u64>,
 }
 
 /// Stable wire codes for [`UaeError`] variants a daemon can answer with.
@@ -446,6 +455,7 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                 s.snapshot_unix_ms,
                 s.traces_started,
                 s.traces_completed,
+                s.hist_excluded,
             ] {
                 w.put_u64(v);
             }
@@ -460,6 +470,10 @@ pub fn encode_response(resp: &Response) -> Vec<u8> {
                     w.put_u64(hi);
                     w.put_u64(c);
                 }
+            }
+            w.put_u32(s.shard_occupancy.len() as u32);
+            for &hits in &s.shard_occupancy {
+                w.put_u64(hits);
             }
         }
         Response::Swapped { generation } => {
@@ -597,7 +611,9 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, UaeError> {
                     snapshot_unix_ms: next()?,
                     traces_started: next()?,
                     traces_completed: next()?,
+                    hist_excluded: next()?,
                     hists: Vec::new(),
+                    shard_occupancy: Vec::new(),
                 }
             };
             let n_hists = r.get_u32().map_err(codec)? as usize;
@@ -632,6 +648,13 @@ pub fn decode_response(bytes: &[u8]) -> Result<Response, UaeError> {
                     p999,
                     buckets,
                 });
+            }
+            let n_shards = r.get_u32().map_err(codec)? as usize;
+            if n_shards > bytes.len() / 8 {
+                return Err(proto("declared shard count exceeds frame capacity"));
+            }
+            for _ in 0..n_shards {
+                snap.shard_occupancy.push(r.get_u64().map_err(codec)?);
             }
             Response::Stats(snap)
         }
@@ -767,6 +790,7 @@ mod tests {
                 snapshot_unix_ms: 1_754_600_000_000,
                 traces_started: 107,
                 traces_completed: 107,
+                hist_excluded: 9,
                 hists: vec![
                     WireHist {
                         name: "request_us".into(),
@@ -791,6 +815,7 @@ mod tests {
                         buckets: vec![(1, 70), (3, 24), (6, 6)],
                     },
                 ],
+                shard_occupancy: vec![40, 55, 62, 63],
             }),
             Response::Stats(StatsSnapshot::default()),
             Response::Swapped { generation: 4 },

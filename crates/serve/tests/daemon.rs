@@ -667,3 +667,100 @@ fn swap_determinism_holds_under_concurrent_scoring() {
     shutdown(addr, handle);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Shed and protocol-error traces never reach a worker, so the stage
+/// histograms exclude them; `hist_excluded` surfaces the exclusion so
+/// `request_us.count == queue_wait_us.count + hist_excluded` reconciles.
+#[test]
+fn stage_histograms_exclude_shed_traffic_and_the_ledger_reconciles() {
+    let (ds, bytes) = tiny_fixture();
+    let (addr, handle) = start_daemon(&bytes, DaemonConfig::default(), FaultPlan::none());
+    let mut client = connect(addr);
+
+    let indices = nonempty(&ds, 2);
+    client
+        .score(wire_sessions(&ds, &indices), 0)
+        .expect("clean request scores");
+
+    // A schema violation closes its trace with a protocol-error outcome —
+    // the request histogram records it, the stage histograms must not.
+    let mut bad = wire_sessions(&ds, &indices);
+    bad[0].events[0].cat.push(0);
+    assert!(matches!(
+        client.score(bad, 0),
+        Err(UaeError::Protocol { .. })
+    ));
+
+    let stats = client.stats().unwrap();
+    assert!(
+        stats.hist_excluded >= 1,
+        "the protocol-error trace must be counted as excluded"
+    );
+    let count = |name: &str| {
+        stats
+            .hists
+            .iter()
+            .find(|h| h.name == name)
+            .map(|h| h.count)
+            .unwrap_or(0)
+    };
+    assert_eq!(
+        count("request_us"),
+        count("queue_wait_us") + stats.hist_excluded,
+        "request_us must equal queue_wait_us plus the excluded traces"
+    );
+    shutdown(addr, handle);
+}
+
+/// The micro-batcher groups each batch's sessions into contiguous
+/// feature-hash shard ranges before scoring. The regrouping must be
+/// invisible in the replies (scores bit-identical, in request order) and
+/// visible in the stats (per-shard occupancy counters sum to the sessions
+/// scored).
+#[test]
+fn shard_regrouping_is_score_invisible_and_occupancy_accounts_every_session() {
+    let (ds, bytes) = tiny_fixture();
+    let cfg = DaemonConfig {
+        workers: 4,
+        ..DaemonConfig::default()
+    };
+    let (addr, handle) = start_daemon(&bytes, cfg, FaultPlan::none());
+    let mut client = connect(addr);
+
+    let indices = nonempty(&ds, 8);
+    let (_, scored) = client
+        .score(wire_sessions(&ds, &indices), 0)
+        .expect("score succeeds");
+
+    // Request order and bit-identity against the local reference.
+    let local = Scorer::with_config(
+        FrozenModel::decode(&bytes).unwrap(),
+        ScorerConfig::default(),
+    )
+    .unwrap();
+    let out = local.score(&ds, &indices);
+    let mut off = 0usize;
+    for (k, &i) in indices.iter().enumerate() {
+        let n = ds.sessions[i].events.len();
+        assert_eq!(
+            scored[k].attention,
+            out.attention[off..off + n].to_vec(),
+            "session {k} came back out of order or perturbed"
+        );
+        off += n;
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(
+        stats.shard_occupancy.len(),
+        4,
+        "one occupancy slot per worker"
+    );
+    let total: u64 = stats.shard_occupancy.iter().sum();
+    assert_eq!(
+        total,
+        indices.len() as u64,
+        "every scored session lands in exactly one shard"
+    );
+    shutdown(addr, handle);
+}

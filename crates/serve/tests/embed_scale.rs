@@ -1,0 +1,108 @@
+//! End-to-end contracts of the embedding scale-out PR: a dense model
+//! exported as `.uaem` v2 and v3 must score bit-identically, the
+//! memory-mapped v3 path must match the copy path bit-for-bit, and hashed
+//! artifacts must round-trip with their bucket config intact.
+
+use uae_core::{Uae, UaeConfig};
+use uae_data::{generate, Dataset, SimConfig};
+use uae_serve::{FrozenModel, Scorer};
+
+fn trained(hash_buckets: usize) -> (Dataset, Uae) {
+    let ds = generate(&SimConfig::tiny(), 17);
+    let cfg = UaeConfig {
+        gru_hidden: 8,
+        mlp_hidden: vec![8],
+        epochs: 1,
+        hash_buckets,
+        ..UaeConfig::default()
+    };
+    let mut uae = Uae::new(&ds.schema, cfg);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let mut sup = uae_runtime::Supervisor::disabled();
+    uae.fit_supervised(&ds, &sessions, &mut sup).unwrap();
+    (ds, uae)
+}
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("uae_embed_scale_{tag}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The headline format contract: the container version is transport, not
+/// semantics. One trained model exported as v2 (opaque blobs) and as v3
+/// (mapped arena), loaded back through the copy decoder *and* through the
+/// zero-copy `open`, produces bit-identical attention/propensity scores.
+#[test]
+fn v2_and_v3_exports_score_bit_identically() {
+    let (ds, uae) = trained(0);
+    let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+    let dir = scratch("v2v3");
+    let v2_path = dir.join("model_v2.uaem");
+    let v3_path = dir.join("model_v3.uaem");
+    std::fs::write(&v2_path, frozen.encode_v2()).unwrap();
+    frozen.write_to(&v3_path).unwrap();
+
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let score = |frozen: FrozenModel| {
+        let out = Scorer::new(frozen).unwrap().score(&ds, &sessions);
+        (out.attention, out.propensity, out.weights)
+    };
+    let base = score(FrozenModel::read_from(&v2_path).unwrap());
+    let v3_copy = score(FrozenModel::read_from(&v3_path).unwrap());
+    assert_eq!(base, v3_copy, "v3 copy decode diverged from v2");
+    let v3_mapped = FrozenModel::open(&v3_path).unwrap();
+    assert!(
+        v3_mapped.mapped().is_some(),
+        "open() should map a v3 file zero-copy"
+    );
+    assert_eq!(base, score(v3_mapped), "mapped v3 diverged from v2");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A hashed model survives the v3 round trip (bucket config is
+/// architectural) and the rebuilt artifact scores bit-identically to the
+/// in-memory original — including through the mapped path.
+#[test]
+fn hashed_artifact_round_trips_and_scores_identically() {
+    let (ds, uae) = trained(32);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+    assert_eq!(frozen.hash_buckets, 32);
+
+    let dir = scratch("hashed");
+    let path = dir.join("hashed.uaem");
+    frozen.write_to(&path).unwrap();
+
+    let cfg = uae_serve::ScorerConfig::default();
+    let base = Scorer::from_uae(uae, 15.0, cfg).score(&ds, &sessions);
+    for frozen in [
+        FrozenModel::read_from(&path).unwrap(),
+        FrozenModel::open(&path).unwrap(),
+    ] {
+        assert_eq!(frozen.hash_buckets, 32, "bucket config lost in transit");
+        let out = Scorer::new(frozen).unwrap().score(&ds, &sessions);
+        assert_eq!(out.attention, base.attention);
+        assert_eq!(out.propensity, base.propensity);
+        assert_eq!(out.weights, base.weights);
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Thread count must not perturb hashed scoring (the daemon shards work
+/// across per-core workers; scores have to be placement-invariant).
+#[test]
+fn hashed_scoring_is_thread_count_invariant() {
+    let (ds, uae) = trained(32);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let frozen = FrozenModel::from_uae(&uae, &ds.schema, 15.0);
+    let run = |threads: usize| {
+        uae_tensor::with_num_threads(threads, || {
+            Scorer::new(frozen.clone()).unwrap().score(&ds, &sessions)
+        })
+    };
+    let one = run(1);
+    let four = run(4);
+    assert_eq!(one.attention, four.attention);
+    assert_eq!(one.propensity, four.propensity);
+}

@@ -12,7 +12,7 @@ use uae_data::{generate, SimConfig};
 use uae_runtime::UaeError;
 use uae_serve::{FrozenArtifact, FrozenModel};
 
-fn tiny_artifact() -> Vec<u8> {
+fn tiny_frozen() -> FrozenModel {
     let ds = generate(&SimConfig::tiny(), 41);
     let cfg = UaeConfig {
         gru_hidden: 4,
@@ -20,7 +20,11 @@ fn tiny_artifact() -> Vec<u8> {
         ..UaeConfig::default()
     };
     let uae = uae_core::Uae::new(&ds.schema, cfg);
-    FrozenModel::from_uae(&uae, &ds.schema, 15.0).encode()
+    FrozenModel::from_uae(&uae, &ds.schema, 15.0)
+}
+
+fn tiny_artifact() -> Vec<u8> {
+    tiny_frozen().encode()
 }
 
 /// Decode must return `Result`, not unwind, for arbitrary input.
@@ -135,6 +139,73 @@ fn garbage_and_empty_inputs_are_typed_errors() {
             other => panic!("{} bytes of garbage: {other:?}", bytes.len()),
         }
     }
+}
+
+/// The legacy v2 layout (opaque embedded blobs) keeps its full corruption
+/// guarantees now that `encode` emits v3: every truncation of a v2 file is
+/// still a typed error, and the intact file still decodes.
+#[test]
+fn v2_truncations_stay_typed_errors() {
+    let bytes = tiny_frozen().encode_v2();
+    assert!(
+        FrozenModel::decode(&bytes).is_ok(),
+        "v2 baseline must decode"
+    );
+    for cut in 0..bytes.len() {
+        match decode_never_panics(&bytes[..cut]) {
+            Some(Err(UaeError::Checkpoint(_))) => {}
+            Some(Err(other)) => panic!("cut={cut}: unexpected error kind {other:?}"),
+            Some(Ok(_)) => panic!("cut={cut}: truncated v2 artifact decoded"),
+            None => panic!("cut={cut}: decode panicked"),
+        }
+    }
+}
+
+/// The memory-mapped open path must give the same typed-error guarantees as
+/// the byte-slice decoder: truncated files, bit flips, and hostile header
+/// fields come back as `Err`, never a panic and never a wild pointer read.
+#[test]
+fn open_survives_truncations_and_flips() {
+    let dir = std::env::temp_dir().join(format!("uaem_fuzz_open_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let bytes = tiny_artifact();
+    let path = dir.join("fuzz.uaem");
+
+    std::fs::write(&path, &bytes).unwrap();
+    let baseline = FrozenModel::open(&path).expect("baseline must open");
+    assert!(
+        catch_unwind(AssertUnwindSafe(|| baseline.build())).is_ok(),
+        "baseline build panicked"
+    );
+
+    // Truncations (strided; the dense sweep is covered on the slice path).
+    for cut in (0..bytes.len()).step_by(23).chain([bytes.len() - 1]) {
+        std::fs::write(&path, &bytes[..cut]).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| FrozenModel::open(&path))).ok() {
+            Some(Err(UaeError::Checkpoint(_))) => {}
+            Some(Err(other)) => panic!("cut={cut}: unexpected error kind {other:?}"),
+            Some(Ok(_)) => panic!("cut={cut}: truncated file opened"),
+            None => panic!("cut={cut}: open panicked"),
+        }
+    }
+
+    // Bit flips: whatever opens must also build (or error) without panics —
+    // a flipped arena offset that slipped validation would fault here.
+    for pos in (0..bytes.len()).step_by(41) {
+        let mut mutated = bytes.clone();
+        mutated[pos] ^= 0xFF;
+        std::fs::write(&path, &mutated).unwrap();
+        match catch_unwind(AssertUnwindSafe(|| FrozenModel::open(&path))).ok() {
+            Some(Err(UaeError::Checkpoint(_))) => {}
+            Some(Err(other)) => panic!("pos={pos}: unexpected error kind {other:?}"),
+            Some(Ok(frozen)) => {
+                let built = catch_unwind(AssertUnwindSafe(|| frozen.build()));
+                assert!(built.is_ok(), "pos={pos}: build() panicked");
+            }
+            None => panic!("pos={pos}: open panicked"),
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
 }
 
 #[test]

@@ -20,6 +20,17 @@
 //!   paper as per-example positive/negative weights.
 //! * [`gradcheck`] — finite-difference gradient verification, exported so
 //!   downstream crates can check their composed architectures.
+//! * [`exec`] — the [`exec::Exec`] op vocabulary: every layer writes its
+//!   forward once, generic over the trait; [`tape::Tape`] (training) and
+//!   [`exec::ValueExec`] (serving, with operator fusion) both implement it
+//!   through the same kernels, so the engines are bit-identical by
+//!   construction.
+//! * [`arena`] — the tape-free inference arena: a per-batch bump allocator
+//!   that makes warmed-up serve scoring allocation-free (CI gates the
+//!   heap-alloc counter at zero).
+//! * [`mmap`] — read-only [`mmap::MmapRegion`] file mappings backing
+//!   [`matrix::Matrix`] storage directly (`.uaem` v3 arenas are served in
+//!   place from the page cache; mapped matrices are copy-on-write).
 //!
 //! ## Example
 //!
@@ -46,6 +57,7 @@ pub mod backend;
 pub mod exec;
 pub mod gradcheck;
 pub mod matrix;
+pub mod mmap;
 pub mod params;
 pub mod rng;
 pub mod serialize;
@@ -62,6 +74,7 @@ pub use exec::{
     GruPacked, ValueExec,
 };
 pub use matrix::Matrix;
+pub use mmap::MmapRegion;
 pub use params::{ParamId, Params};
 pub use rng::{Rng, RngState};
 pub use serialize::{decode_params, load_params, save_params, DecodeError};

@@ -9,18 +9,28 @@ use std::sync::Arc;
 
 use crate::arena;
 use crate::backend;
+use crate::mmap::MmapRegion;
 use crate::rng::Rng;
 
 /// Backing storage for a [`Matrix`]: a pooled heap buffer, a bump-allocated
-/// lease from the per-batch inference arena (see [`crate::arena`]), or a
+/// lease from the per-batch inference arena (see [`crate::arena`]), a
 /// shared reference-counted buffer for frozen serving weights (see
-/// [`Matrix::freeze`]). Which one a matrix gets is decided once, in
-/// [`Matrix::uninit`] or [`Matrix::freeze`]; everything else sees a plain
-/// `[f32]` through `Deref`.
+/// [`Matrix::freeze`]), or a window into a memory-mapped artifact file (see
+/// [`Matrix::from_mmap`]). Which one a matrix gets is decided once, in
+/// [`Matrix::uninit`], [`Matrix::freeze`] or [`Matrix::from_mmap`];
+/// everything else sees a plain `[f32]` through `Deref`.
 pub(crate) enum Store {
     Heap(Vec<f32>),
     Arena(arena::Lease),
     Shared(Arc<Vec<f32>>),
+    /// `len` f32s starting `offset` bytes into a mapped file. The offset is
+    /// 16-byte-aligned against a page-aligned base, so the pointer cast in
+    /// `deref` is always in-bounds and aligned.
+    Mapped {
+        region: Arc<MmapRegion>,
+        offset: usize,
+        len: usize,
+    },
 }
 
 impl Default for Store {
@@ -37,6 +47,16 @@ impl std::ops::Deref for Store {
             Store::Heap(v) => v,
             Store::Arena(l) => l.slice(),
             Store::Shared(a) => a,
+            Store::Mapped {
+                region,
+                offset,
+                len,
+            } => unsafe {
+                // Bounds and 16-byte alignment were validated in
+                // `Matrix::from_mmap`; the region is immutable and outlives
+                // this store via the Arc.
+                std::slice::from_raw_parts(region.bytes().as_ptr().add(*offset) as *const f32, *len)
+            },
         }
     }
 }
@@ -44,18 +64,24 @@ impl std::ops::Deref for Store {
 impl std::ops::DerefMut for Store {
     #[inline]
     fn deref_mut(&mut self) -> &mut [f32] {
-        if let Store::Shared(a) = self {
-            // Copy-on-write: the first mutable access to a frozen buffer
-            // materializes a private heap copy, so mutation can never be
-            // observed through the other handles.
-            let mut v = backend::take_uninit(a.len());
-            v.copy_from_slice(a);
+        if matches!(self, Store::Shared(_) | Store::Mapped { .. }) {
+            // Copy-on-write: the first mutable access to a frozen or mapped
+            // buffer materializes a private heap copy, so mutation can never
+            // be observed through the other handles (or write to the map).
+            let v = {
+                let src: &[f32] = self;
+                let mut v = backend::take_uninit(src.len());
+                v.copy_from_slice(src);
+                v
+            };
             *self = Store::Heap(v);
         }
         match self {
             Store::Heap(v) => v,
             Store::Arena(l) => l.slice_mut(),
-            Store::Shared(_) => unreachable!("shared store survived copy-on-write"),
+            Store::Shared(_) | Store::Mapped { .. } => {
+                unreachable!("shared store survived copy-on-write")
+            }
         }
     }
 }
@@ -99,13 +125,32 @@ impl PartialEq for Matrix {
 
 impl Clone for Matrix {
     fn clone(&self) -> Self {
-        if let Store::Shared(a) = &self.data {
+        match &self.data {
             // Frozen weights clone as O(1) handle copies (no data movement).
-            return Matrix {
-                rows: self.rows,
-                cols: self.cols,
-                data: Store::Shared(Arc::clone(a)),
-            };
+            Store::Shared(a) => {
+                return Matrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: Store::Shared(Arc::clone(a)),
+                }
+            }
+            // Mapped weights likewise: cloning bumps the region refcount.
+            Store::Mapped {
+                region,
+                offset,
+                len,
+            } => {
+                return Matrix {
+                    rows: self.rows,
+                    cols: self.cols,
+                    data: Store::Mapped {
+                        region: Arc::clone(region),
+                        offset: *offset,
+                        len: *len,
+                    },
+                }
+            }
+            _ => {}
         }
         let mut out = Matrix::uninit(self.rows, self.cols);
         out.data.copy_from_slice(&self.data);
@@ -113,7 +158,9 @@ impl Clone for Matrix {
     }
 
     fn clone_from(&mut self, source: &Self) {
-        if matches!(source.data, Store::Shared(_)) || self.data.len() != source.data.len() {
+        if matches!(source.data, Store::Shared(_) | Store::Mapped { .. })
+            || self.data.len() != source.data.len()
+        {
             *self = source.clone();
         } else {
             self.rows = source.rows;
@@ -129,6 +176,7 @@ impl Drop for Matrix {
             Store::Heap(v) => backend::recycle(v),
             Store::Arena(lease) => drop(lease),
             Store::Shared(handle) => drop(handle),
+            Store::Mapped { region, .. } => drop(region),
         }
     }
 }
@@ -259,7 +307,9 @@ impl Matrix {
     /// freeze their parameters once at construction so `ValueExec::param`
     /// stops memcpy-ing every weight matrix on every batch.
     pub fn freeze(&mut self) {
-        if matches!(self.data, Store::Shared(_)) {
+        // Mapped matrices are already zero-copy-cloneable; freezing them
+        // onto the heap would defeat the mmap.
+        if matches!(self.data, Store::Shared(_) | Store::Mapped { .. }) {
             return;
         }
         let shared = Arc::new(self.data.to_vec());
@@ -269,10 +319,45 @@ impl Matrix {
         }
     }
 
-    /// Whether the backing store is a shared (frozen) buffer.
+    /// Whether the backing store is a shared (frozen) or memory-mapped
+    /// buffer, i.e. `clone()` is an O(1) handle copy.
     #[inline]
     pub fn is_shared(&self) -> bool {
-        matches!(self.data, Store::Shared(_))
+        matches!(self.data, Store::Shared(_) | Store::Mapped { .. })
+    }
+
+    /// Builds a matrix whose data is a pointer-cast view into `region` at
+    /// byte `offset` — the `.uaem` v3 zero-copy load path. The offset must
+    /// be 16-byte-aligned (so SIMD loads on the mapped weights are legal)
+    /// and `rows * cols` `f32`s must fit inside the region.
+    pub fn from_mmap(
+        region: Arc<MmapRegion>,
+        offset: usize,
+        rows: usize,
+        cols: usize,
+    ) -> Result<Matrix, &'static str> {
+        let len = rows
+            .checked_mul(cols)
+            .ok_or("mapped matrix shape overflows")?;
+        let bytes = len.checked_mul(4).ok_or("mapped matrix size overflows")?;
+        if !offset.is_multiple_of(16) {
+            return Err("mapped matrix offset not 16-byte aligned");
+        }
+        let end = offset
+            .checked_add(bytes)
+            .ok_or("mapped matrix extent overflows")?;
+        if end > region.len() {
+            return Err("mapped matrix extends past end of region");
+        }
+        Ok(Matrix {
+            rows,
+            cols,
+            data: Store::Mapped {
+                region,
+                offset,
+                len,
+            },
+        })
     }
 
     /// Raw row-major data.
@@ -742,5 +827,67 @@ mod tests {
         let var = a.squared_norm() / a.len() as f32 - mean * mean;
         assert!(mean.abs() < 0.01);
         assert!((var.sqrt() - 0.1).abs() < 0.01);
+    }
+
+    fn mapped_fixture(floats: &[f32]) -> (std::path::PathBuf, Arc<MmapRegion>) {
+        let path = std::env::temp_dir().join(format!(
+            "uae_matrix_mmap_{}_{}",
+            std::process::id(),
+            floats.len()
+        ));
+        let mut bytes = Vec::with_capacity(floats.len() * 4);
+        for v in floats {
+            bytes.extend_from_slice(&v.to_le_bytes());
+        }
+        std::fs::write(&path, &bytes).unwrap();
+        let region = Arc::new(MmapRegion::map(&path).unwrap());
+        (path, region)
+    }
+
+    #[test]
+    fn mapped_matrix_reads_and_computes_like_heap() {
+        let data = [1.0f32, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let (path, region) = mapped_fixture(&data);
+        let mapped = Matrix::from_mmap(region, 0, 2, 3).unwrap();
+        let heap = Matrix::from_vec(2, 3, data.to_vec());
+        assert_eq!(mapped, heap);
+        let v = Matrix::col_vector(&[1.0, 1.0, 1.0]);
+        assert_eq!(mapped.matmul(&v), heap.matmul(&v));
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_matrix_clone_is_handle_copy_and_mutation_copies_on_write() {
+        let data = [9.0f32, 8.0, 7.0, 6.0];
+        let (path, region) = mapped_fixture(&data);
+        let a = Matrix::from_mmap(region, 0, 2, 2).unwrap();
+        assert!(a.is_shared());
+        let mut b = a.clone();
+        assert!(b.is_shared());
+        b.data_mut()[0] = 100.0;
+        // Mutating the clone detached it; the original still sees the file.
+        assert_eq!(a.data()[0], 9.0);
+        assert_eq!(b.data()[0], 100.0);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn mapped_matrix_freeze_is_noop() {
+        let (path, region) = mapped_fixture(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let mut a = Matrix::from_mmap(region, 0, 5, 1).unwrap();
+        a.freeze();
+        assert!(a.is_shared());
+        assert_eq!(a.data(), &[1.0, 2.0, 3.0, 4.0, 5.0]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn from_mmap_validates_alignment_and_bounds() {
+        let (path, region) = mapped_fixture(&[0.0; 8]);
+        assert!(Matrix::from_mmap(Arc::clone(&region), 4, 2, 2).is_err());
+        assert!(Matrix::from_mmap(Arc::clone(&region), 16, 2, 3).is_err());
+        assert!(Matrix::from_mmap(Arc::clone(&region), 0, usize::MAX, 2).is_err());
+        assert!(Matrix::from_mmap(region, 16, 2, 2).is_ok());
+        std::fs::remove_file(&path).unwrap();
     }
 }

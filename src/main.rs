@@ -309,6 +309,11 @@ fn cmd_serve_ctl(addr: &str, verb: &str, arg: Option<&str>) -> Result<(), uae::r
                 s.traces_started,
                 s.traces_completed
             );
+            println!("hist_excluded {} (shed/protocol traces)", s.hist_excluded);
+            if !s.shard_occupancy.is_empty() {
+                let occ: Vec<String> = s.shard_occupancy.iter().map(|h| h.to_string()).collect();
+                println!("shard_occupancy [{}]", occ.join(", "));
+            }
             if !s.hists.is_empty() {
                 println!("histograms (us unless noted):");
                 println!(
@@ -468,9 +473,14 @@ fn render_top(addr: &str, s: &uae::serve::StatsSnapshot, prev: Option<&uae::serv
         s.requests, s.shed, s.deadline_miss, s.worker_restarts, s.swaps, s.swap_rollbacks
     );
     println!(
-        "traces started {} / completed {}",
-        s.traces_started, s.traces_completed
+        "traces started {} / completed {}  hist_excluded {}",
+        s.traces_started, s.traces_completed, s.hist_excluded
     );
+    if !s.shard_occupancy.is_empty() {
+        let total: u64 = s.shard_occupancy.iter().sum();
+        let occ: Vec<String> = s.shard_occupancy.iter().map(|h| h.to_string()).collect();
+        println!("shards [{}]  total {total}", occ.join(", "));
+    }
     let show = [
         "request_us",
         "queue_wait_us",

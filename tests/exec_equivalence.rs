@@ -29,7 +29,7 @@ fn uae_networks_match_bitwise_under_both_engines() {
     let batches = infer_seq_batches(&ds, &sessions, 8, None);
     let mut rng = Rng::seed_from_u64(5);
     let mut params_g = Params::new();
-    let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], &mut params_g, &mut rng);
+    let g = AttentionNet::new("g", &ds.schema, 4, 8, &[8], None, &mut params_g, &mut rng);
     let mut params_h = Params::new();
     let h = PropensityNet::new("h", 8, 6, &[8], &mut params_h, &mut rng);
 
@@ -72,7 +72,7 @@ fn local_propensity_matches_bitwise_under_both_engines() {
     let batches = infer_seq_batches(&ds, &sessions, 8, None);
     let mut rng = Rng::seed_from_u64(6);
     let mut params = Params::new();
-    let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], &mut params, &mut rng);
+    let net = LocalPropensityNet::new("sar", &ds.schema, 4, &[8], None, &mut params, &mut rng);
     for threads in [1usize, 4] {
         with_num_threads(threads, || {
             for b in &batches {
@@ -149,7 +149,16 @@ fn fusion_is_bitwise_transparent_at_ragged_shapes() {
     for hidden in [1usize, 5, 17] {
         let mut rng = Rng::seed_from_u64(40 + hidden as u64);
         let mut params_g = Params::new();
-        let g = AttentionNet::new("g", &ds.schema, 3, hidden, &[9], &mut params_g, &mut rng);
+        let g = AttentionNet::new(
+            "g",
+            &ds.schema,
+            3,
+            hidden,
+            &[9],
+            None,
+            &mut params_g,
+            &mut rng,
+        );
         let mut params_h = Params::new();
         let h = PropensityNet::new("h", hidden, 5, &[7], &mut params_h, &mut rng);
         let shapes: [(&[usize], Option<usize>); 3] =
