@@ -101,6 +101,26 @@ print(f'perf_embed gate OK: mmap {e[\"mmap_vs_copy_decode_speedup\"]:.0f}x faste
       f'artifact {e[\"dense_vs_hashed_bytes_ratio\"]:.1f}x smaller, '
       f'AUC delta {e[\"hashed_vs_dense_auc_delta\"]:+.4f} (gate <= +0.05), '
       f'max collision rate {h[\"max_collision_rate\"]:.2e}')
+matrix = doc['perf_matrix']
+assert not matrix['smoke'], 'committed perf_matrix numbers must come from a full run'
+assert len(matrix['scenarios']) >= 4, f'matrix covers only {matrix[\"scenarios\"]}'
+for est in ('uae', 'pn', 'ndb', 'rel-mf', 'biser', 'adpu'):
+    assert est in matrix['estimators'], f'estimator {est} missing from the matrix'
+cells = {(c['scenario'], c['estimator']): c for c in matrix['cells']}
+assert len(cells) == len(matrix['scenarios']) * len(matrix['estimators']), \
+    'matrix has missing cells'
+for c in cells.values():
+    assert 0.0 <= c['auc'] <= 1.0 and abs(c['bias']) <= 1.0 and c['variance'] >= 0.0, c
+# The headline claim of the paper, held as a standing gate: the unbiased
+# dual estimator must rank attention better than naive PN on the baseline
+# (Product-like) scenario.
+uae_auc = cells[('baseline', 'uae')]['auc']
+pn_auc = cells[('baseline', 'pn')]['auc']
+assert uae_auc > pn_auc, \
+    f'UAE baseline attention AUC {uae_auc:.4f} does not beat PN {pn_auc:.4f}'
+print(f'perf_matrix gate OK: {len(matrix[\"scenarios\"])} scenarios x '
+      f'{len(matrix[\"estimators\"])} estimators, '
+      f'baseline AUC uae {uae_auc:.4f} > pn {pn_auc:.4f}')
 "
 
 echo "==> bench smoke (perf_backend rewrites BENCH_perf.json; perf_serve/perf_daemon/perf_embed splice in)"
@@ -109,6 +129,7 @@ UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_backend >/dev/null
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_serve >/dev/null
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_daemon >/dev/null 2>&1
 UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_embed >/dev/null
+UAE_BENCH_SMOKE=1 cargo bench -p uae-bench --bench perf_matrix >/dev/null
 python3 -c "
 import json, sys
 with open('BENCH_perf.json') as f:
@@ -130,8 +151,13 @@ assert embed['smoke'], 'perf_embed smoke run did not mark itself as smoke'
 assert embed['dense']['artifact_bytes'] > embed['hashed']['artifact_bytes'] > 0
 assert embed['dense']['cold_load_copy_ms'] > 0 and embed['dense']['cold_load_mmap_ms'] > 0
 assert 0.0 <= embed['hashed']['max_collision_rate'] <= 1.0
+matrix = doc['perf_matrix']
+assert matrix['smoke'], 'perf_matrix smoke run did not mark itself as smoke'
+assert len(matrix['cells']) == len(matrix['scenarios']) * len(matrix['estimators'])
+for c in matrix['cells']:
+    assert 0.0 <= c['auc'] <= 1.0, c
 print('BENCH_perf.json valid:', ', '.join(doc['configs']),
-      '+ perf_serve + perf_daemon + perf_embed')
+      '+ perf_serve + perf_daemon + perf_embed + perf_matrix')
 "
 # The smoke runs overwrite the committed (full-size) numbers; restore them.
 mv /tmp/BENCH_perf.committed.json BENCH_perf.json
@@ -155,7 +181,34 @@ for k in ('phase_start', 'phase_end', 'fit_epoch', 'train_step', 'epoch', 'count
 assert [r['seq'] for r in records] == list(range(len(records))), 'seq not dense'
 print(f'telemetry smoke OK: {len(records)} records, kinds: {sorted(kinds)}')
 "
-./target/release/uae summarize /tmp/uae_ci_telemetry.jsonl | grep -q "alternating optimization"
+sum_out=$(./target/release/uae summarize /tmp/uae_ci_telemetry.jsonl)
+grep -q "alternating optimization" <<< "$sum_out"
+# The unified fit path tags its telemetry with the estimator's name and
+# summarize renders the per-estimator table.
+grep -q "estimators:" <<< "$sum_out"
+
+echo "==> estimator round-trip (uae fit --estimator / UAE_ESTIMATOR / matrix smoke)"
+# Each new related-work estimator must train end to end from the CLI.
+for est in rel-mf biser adpu; do
+    fit_out=$(./target/release/uae fit --estimator "$est" --scenario position-bias --fast)
+    grep -q "test attention AUC" <<< "$fit_out"
+done
+# An unknown estimator name must fail loudly, not fall back silently.
+if ./target/release/uae fit --estimator not-an-estimator --fast 2>/dev/null; then
+    echo "unknown estimator name was accepted"; exit 1
+fi
+# The UAE_ESTIMATOR knob swaps the smoke's estimator, and the estimator
+# telemetry round-trips through the JSONL sink into summarize's table.
+rm -f /tmp/uae_ci_est_telemetry.jsonl
+est_smoke=$(UAE_ESTIMATOR=rel-mf UAE_TELEMETRY=/tmp/uae_ci_est_telemetry.jsonl \
+    ./target/release/uae smoke)
+grep -q "smoke: Rel-MF" <<< "$est_smoke"
+est_sum=$(./target/release/uae summarize /tmp/uae_ci_est_telemetry.jsonl)
+grep -q "rel-mf" <<< "$est_sum"
+# Matrix smoke slice: 2 estimators x 2 scenarios from the CLI.
+matrix_out=$(./target/release/uae matrix --fast)
+grep -q "attention AUC" <<< "$matrix_out"
+grep -q "position-bias" <<< "$matrix_out"
 
 echo "==> serving smoke (export -> score -> summarize serving section)"
 rm -f /tmp/uae_ci_model.uaem /tmp/uae_ci_serve.jsonl

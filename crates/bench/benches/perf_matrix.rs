@@ -1,0 +1,105 @@
+//! The estimator × scenario benchmark matrix (perf_matrix).
+//!
+//! Trains every [`EstimatorSpec`] on every simulator scenario and scores
+//! the resulting α̂ intrinsically on held-out sessions (attention AUC,
+//! signed bias of the mean estimate, across-seed variance of the mean).
+//! Three artifacts come out of a full run:
+//!
+//! * `MATRIX.md` — the committed human-readable matrix,
+//! * `MATRIX.jsonl` — one JSON object per cell, machine-readable,
+//! * a `perf_matrix` section in `BENCH_perf.json` — what the CI gates
+//!   check (UAE must beat PN on baseline AUC; all estimators and ≥4
+//!   scenarios must be present).
+//!
+//! `UAE_BENCH_SMOKE=1` runs a 2×2 slice in seconds and skips the committed
+//! `MATRIX.*` files (CI restores `BENCH_perf.json` around the smoke).
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use uae_eval::{run_matrix, MatrixConfig};
+
+fn smoke() -> bool {
+    std::env::var("UAE_BENCH_SMOKE")
+        .map(|v| v == "1")
+        .unwrap_or(false)
+}
+
+fn main() {
+    let cfg = if smoke() {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::full()
+    };
+    eprintln!(
+        "perf_matrix: {} scenarios × {} estimators × {} seeds (scale {}, smoke={})",
+        cfg.scenarios.len(),
+        cfg.estimators.len(),
+        cfg.seeds.len(),
+        cfg.scale,
+        smoke()
+    );
+    let t0 = Instant::now();
+    let report = run_matrix(&cfg);
+    let wall_s = t0.elapsed().as_secs_f64();
+    eprint!("{}", report.render());
+    eprintln!("  matrix wall-clock: {wall_s:.1} s");
+
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    if !smoke() {
+        // The committed artifacts only come from full runs; a smoke slice
+        // would clobber them with a 2×2 corner.
+        std::fs::write(format!("{root}/MATRIX.md"), report.render_markdown())
+            .expect("write MATRIX.md");
+        std::fs::write(format!("{root}/MATRIX.jsonl"), report.to_jsonl())
+            .expect("write MATRIX.jsonl");
+        eprintln!("wrote MATRIX.md + MATRIX.jsonl");
+    }
+
+    let cells = report
+        .cells
+        .iter()
+        .map(|c| {
+            format!(
+                "      {{\"scenario\": \"{}\", \"estimator\": \"{}\", \"auc\": {:.4}, \
+                 \"bias\": {:.4}, \"variance\": {:.8}}}",
+                c.scenario, c.estimator, c.auc, c.bias, c.variance
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scenarios = cfg
+        .scenarios
+        .iter()
+        .map(|s| format!("\"{s}\""))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let estimators = cfg
+        .estimators
+        .iter()
+        .map(|e| format!("\"{}\"", e.cli_name()))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let section = format!(
+        "  \"perf_matrix\": {{\n    \"smoke\": {},\n    \"scale\": {},\n    \
+         \"seeds\": {},\n    \"wall_s\": {:.1},\n    \
+         \"scenarios\": [{}],\n    \"estimators\": [{}],\n    \
+         \"cells\": [\n{}\n    ]\n  }}",
+        smoke(),
+        cfg.scale,
+        cfg.seeds.len(),
+        wall_s,
+        scenarios,
+        estimators,
+        cells,
+    );
+
+    let path = format!("{root}/BENCH_perf.json");
+    let existing = std::fs::read_to_string(&path)
+        .expect("read BENCH_perf.json (run the perf_backend bench first)");
+    let json = uae_bench::splice_perf_section(&existing, "perf_matrix", &section);
+    let mut f = std::fs::File::create(&path).expect("create BENCH_perf.json");
+    f.write_all(json.as_bytes()).expect("write BENCH_perf.json");
+    eprintln!("wrote {path}");
+    print!("{json}");
+}

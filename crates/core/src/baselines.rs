@@ -1,140 +1,59 @@
 //! Learned attention baselines: PN (naive supervised learning, Eq. 4) and
 //! NDB (heuristic negative sampling, Eq. 5).
 //!
-//! Both use the same GRU+MLP architecture as UAE's attention network but
-//! train with their (biased) risks; the contrast isolates the value of the
-//! unbiased sequential PU-learning objective. EDM (the training-free decay
-//! heuristic) lives in [`crate::estimator`]; SAR is the [`crate::uae::Uae`]
-//! variant with a local propensity head.
+//! Both are thin wrappers over [`crate::uae::Uae`] with the matching
+//! single-network [`crate::estimators::RiskEstimator`] plugged in: the same
+//! GRU+MLP attention architecture and the same training loop as UAE, with
+//! only the (biased) weight grids swapped — the contrast isolates the value
+//! of the unbiased sequential PU-learning objective. EDM (the training-free
+//! decay heuristic) lives in [`crate::estimator`]; SAR is the
+//! [`crate::uae::Uae`] variant with a local propensity head.
 
-use uae_data::{seq_batches, Dataset, SeqBatch};
-use uae_nn::{Adam, Optimizer};
-use uae_tensor::{Params, Rng, Tape};
+use uae_data::Dataset;
 
 use crate::estimator::{AttentionEstimator, FitReport};
-use crate::networks::AttentionNet;
-use crate::risks::{masked_sequence_bce, ndb_weights, pn_weights, WeightGrid};
-use crate::uae::UaeConfig;
-
-/// How a single-network baseline weights each step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-enum WeightRule {
-    Pn,
-    Ndb { window: usize },
-}
-
-impl WeightRule {
-    fn weights(self, batch: &SeqBatch) -> (WeightGrid, WeightGrid) {
-        match self {
-            WeightRule::Pn => pn_weights(batch),
-            WeightRule::Ndb { window } => ndb_weights(batch, window),
-        }
-    }
-}
+use crate::estimators::EstimatorSpec;
+use crate::uae::{Uae, UaeConfig};
 
 /// A GRU attention network trained with a fixed (biased) weighting rule.
 pub struct BiasedAttentionBaseline {
-    net: AttentionNet,
-    params: Params,
-    cfg: UaeConfig,
-    rule: WeightRule,
-    name: &'static str,
+    inner: Uae,
 }
 
 impl BiasedAttentionBaseline {
     /// PN: every passive step is a negative (Eq. 4).
     pub fn pn(schema: &uae_data::FeatureSchema, cfg: UaeConfig) -> Self {
-        Self::build(schema, cfg, WeightRule::Pn, "PN")
+        Self::with_spec(schema, cfg, EstimatorSpec::Pn)
     }
 
     /// NDB: a passive step is a negative only after `window` consecutive
     /// passive steps (Eq. 5; the paper's rule uses 10 songs).
     pub fn ndb(schema: &uae_data::FeatureSchema, cfg: UaeConfig, window: usize) -> Self {
-        Self::build(schema, cfg, WeightRule::Ndb { window }, "NDB")
+        Self::with_spec(schema, cfg, EstimatorSpec::Ndb { window })
     }
 
-    fn build(
-        schema: &uae_data::FeatureSchema,
-        cfg: UaeConfig,
-        rule: WeightRule,
-        name: &'static str,
-    ) -> Self {
-        let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x6261_7365);
-        let mut params = Params::new();
-        let net = AttentionNet::new(
-            name,
-            schema,
-            cfg.embed_dim,
-            cfg.gru_hidden,
-            &cfg.mlp_hidden,
-            cfg.hash_spec(),
-            &mut params,
-            &mut rng,
-        );
+    fn with_spec(schema: &uae_data::FeatureSchema, cfg: UaeConfig, spec: EstimatorSpec) -> Self {
+        let cfg = UaeConfig {
+            estimator: spec,
+            ..cfg
+        };
         BiasedAttentionBaseline {
-            net,
-            params,
-            cfg,
-            rule,
-            name,
+            inner: Uae::new(schema, cfg),
         }
     }
 }
 
 impl AttentionEstimator for BiasedAttentionBaseline {
     fn name(&self) -> &'static str {
-        self.name
+        self.inner.name()
     }
 
     fn fit(&mut self, dataset: &Dataset, sessions: &[usize]) -> FitReport {
-        let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x6669_7462);
-        let batches = seq_batches(
-            dataset,
-            sessions,
-            self.cfg.session_batch,
-            self.cfg.max_len,
-            &mut rng,
-        );
-        let mut opt = Adam::new(self.cfg.lr_attention);
-        let mut report = FitReport::default();
-        let mut order: Vec<usize> = (0..batches.len()).collect();
-        let epochs = self.cfg.epochs * (self.cfg.n_a + self.cfg.n_p).max(1);
-        for _epoch in 0..epochs {
-            rng.shuffle(&mut order);
-            let mut loss_sum = 0.0;
-            let mut steps = 0usize;
-            for &bi in &order {
-                let batch = &batches[bi];
-                let (pos, neg) = self.rule.weights(batch);
-                let mut tape = Tape::new();
-                let out = self.net.forward(&mut tape, &self.params, batch);
-                let divisor = batch.valid_steps().max(1) as f32;
-                let loss = masked_sequence_bce(&mut tape, &out.logits, &pos, &neg, divisor, false);
-                loss_sum += tape.value(loss).item() as f64;
-                steps += 1;
-                self.params.zero_grads();
-                tape.backward(loss, &mut self.params);
-                if let Some(c) = self.cfg.grad_clip {
-                    self.params.clip_grad_norm(c);
-                }
-                opt.step(&mut self.params);
-            }
-            report.attention_loss.push(loss_sum / steps.max(1) as f64);
-        }
-        report
+        self.inner.fit(dataset, sessions)
     }
 
     fn predict(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
-        let mut rng = Rng::seed_from_u64(3);
-        let max_len = dataset.sessions.iter().map(|s| s.len()).max().unwrap_or(1);
-        let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
-        let mut out = crate::uae::flat_slots(dataset, sessions);
-        for b in &batches {
-            let mut tape = Tape::new();
-            let gf = self.net.forward(&mut tape, &self.params, b);
-            crate::uae::scatter_predictions(&tape, &gf.logits, b, dataset, sessions, &mut out);
-        }
-        out
+        self.inner.predict(dataset, sessions)
     }
 }
 
@@ -192,5 +111,22 @@ mod tests {
             ndb_mean > pn_mean + 0.02,
             "NDB mean {ndb_mean:.3} vs PN mean {pn_mean:.3}"
         );
+    }
+
+    #[test]
+    fn baselines_share_the_unified_training_path() {
+        // The wrapper must report the estimator's name and train without a
+        // propensity head (predict_propensity is the uninformative prior).
+        let ds = generate(&SimConfig::tiny(), 33);
+        let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+        let mut pn = BiasedAttentionBaseline::pn(&ds.schema, fast_cfg(3));
+        assert_eq!(pn.name(), "PN");
+        let report = pn.fit(&ds, &sessions);
+        assert_eq!(report.attention_loss.len(), 1);
+        assert!(pn
+            .inner
+            .predict_propensity(&ds, &sessions)
+            .iter()
+            .all(|&p| p == 0.5));
     }
 }

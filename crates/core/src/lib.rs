@@ -7,12 +7,17 @@
 //!
 //! * [`uae::Uae`] — the dual-estimator model (GRU₁+MLP₁ attention network,
 //!   GRU₂+MLP₂ sequential propensity network) trained with alternating
-//!   optimization (Algorithm 1); also hosts the SAR baseline variant.
+//!   optimization (Algorithm 1); also hosts the SAR baseline variant and,
+//!   via [`estimators::EstimatorSpec`], every other risk estimator.
+//! * [`estimators`] — the `RiskEstimator` trait: the paper's dual unbiased
+//!   risks plus PN/NDB/ideal/oracle and the related-work schemes (rel-MF,
+//!   BISER, automatic-debiased PU), all behind one interface.
 //! * [`risks`] — the paper's risk functions (Eq. 3/4/5/16/17) as weight
-//!   grids over padded session batches.
+//!   grids over padded session batches (wrappers over [`estimators`]).
 //! * [`baselines`] — PN and NDB (biased learned baselines).
 //! * [`estimator`] — the `AttentionEstimator` trait and EDM.
-//! * [`reweight`] — Eq. (19), attention → downstream confidence weights.
+//! * [`reweight`] — Eq. (18)/(19), attention → downstream confidence
+//!   weights, NaN-guarded.
 //! * [`theory`] — closed-form and Monte-Carlo checks of Theorems 1–6.
 //!
 //! ```no_run
@@ -29,6 +34,7 @@
 
 pub mod baselines;
 pub mod estimator;
+pub mod estimators;
 pub mod networks;
 pub mod reweight;
 pub mod risks;
@@ -37,8 +43,13 @@ pub mod uae;
 
 pub use baselines::BiasedAttentionBaseline;
 pub use estimator::{AttentionEstimator, Edm, FitReport};
+pub use estimators::{
+    clipped_inverse_weights, AdpuRisk, BiserRisk, ClipCounts, ClipPolicy, EstimatorSpec, IdealRisk,
+    NdbRisk, OraclePropensityRisk, Phase, PhaseInputs, PnRisk, RelMfRisk, RiskEstimator,
+    UaeDualRisk, WeightBuild, WeightCtx,
+};
 pub use networks::{AttentionNet, LocalPropensityNet, PropensityNet};
-pub use reweight::{downstream_weights, reweight, reweight_curve};
+pub use reweight::{downstream_weights, event_pos_neg, reweight, reweight_curve};
 pub use risks::{
     ideal_attention_weights, masked_sequence_bce, ndb_weights, pn_weights, uae_attention_weights,
     uae_propensity_weights, WeightGrid,

@@ -1,5 +1,8 @@
-//! Eq. (19): turning estimated attention into confidence weights for
-//! passive training samples of the downstream recommender.
+//! Eq. (18)/(19): turning estimated attention into confidence weights for
+//! passive training samples of the downstream recommender. This is the one
+//! code path every estimator's downstream weighting flows through: any
+//! `RiskEstimator`'s α̂ vector goes to [`downstream_weights`] (Eq. 19) and
+//! then [`event_pos_neg`] (Eq. 18) inside `uae-models`' trainer.
 
 /// The paper's power-law re-weighting function
 /// `w = 1 − (α̂ + 1)^(−γ)`, mapping `α̂ ∈ [0, 1]` to `w ∈ [0, 1)`.
@@ -7,14 +10,52 @@
 /// Monotone increasing in `α̂`; larger `γ` pushes weights toward 1 (passive
 /// samples trusted more). The paper finds γ ≈ 15 optimal and the curve
 /// insensitive for γ ≥ 10 (Fig. 6).
+///
+/// Total on all inputs (an estimator's α̂ may be garbage; a weight must
+/// never be): α̂ outside `[0, 1]` is clamped, a NaN α̂ drops the sample
+/// (weight 0), and a non-positive or non-finite γ — for which the power law
+/// is degenerate (`w(α; 0) ≡ 0`) or numerically NaN/inf — also yields 0.
 pub fn reweight(alpha_hat: f32, gamma: f32) -> f32 {
-    assert!(gamma > 0.0, "gamma must be positive");
+    if gamma <= 0.0 || !gamma.is_finite() {
+        return 0.0;
+    }
+    if alpha_hat.is_nan() {
+        return 0.0;
+    }
     1.0 - (alpha_hat.clamp(0.0, 1.0) + 1.0).powf(-gamma)
 }
 
-/// Applies [`reweight`] to a vector of attention estimates.
+/// Applies [`reweight`] to a vector of attention estimates. Inherits
+/// [`reweight`]'s totality: no NaN/inf weight can come out, whatever the
+/// estimator put in.
 pub fn downstream_weights(alpha_hat: &[f32], gamma: f32) -> Vec<f32> {
     alpha_hat.iter().map(|&a| reweight(a, gamma)).collect()
+}
+
+/// Eq. (18)'s per-event weight split, shared by every downstream trainer:
+/// active events always carry weight 1, passive events carry the supplied
+/// confidence weight (`None` ⇒ all-ones, the "Base" construction), and the
+/// weight lands on the positive or negative BCE term according to the
+/// observed label. `idx[bi]` maps batch row `bi` to its event index in
+/// `weights`.
+pub fn event_pos_neg(
+    weights: Option<&[f32]>,
+    idx: &[usize],
+    active: &[bool],
+    labels: &[bool],
+) -> (Vec<f32>, Vec<f32>) {
+    let mut pos = Vec::with_capacity(idx.len());
+    let mut neg = Vec::with_capacity(idx.len());
+    for (bi, &i) in idx.iter().enumerate() {
+        let w = match weights {
+            Some(ws) if !active[bi] => ws[i],
+            _ => 1.0,
+        };
+        let y = labels[bi] as u8 as f32;
+        pos.push(w * y);
+        neg.push(w * (1.0 - y));
+    }
+    (pos, neg)
 }
 
 /// Samples of the re-weight curve for a γ (Fig. 6(a)); `steps + 1` points
@@ -79,6 +120,46 @@ mod tests {
     fn out_of_range_alpha_is_clamped() {
         assert_eq!(reweight(-0.5, 10.0), reweight(0.0, 10.0));
         assert_eq!(reweight(1.5, 10.0), reweight(1.0, 10.0));
+    }
+
+    /// Pins the boundary behavior of the guarded Eq. (19): no input —
+    /// however degenerate — may produce a NaN or infinite weight.
+    #[test]
+    fn degenerate_inputs_yield_zero_weights() {
+        // NaN α̂: the sample is dropped.
+        assert_eq!(reweight(f32::NAN, 15.0), 0.0);
+        // γ = 0 is the degenerate power law (w ≡ 0), not a panic.
+        assert_eq!(reweight(0.5, 0.0), 0.0);
+        // Negative, NaN, or infinite γ are configuration garbage: drop.
+        assert_eq!(reweight(0.5, -3.0), 0.0);
+        assert_eq!(reweight(0.5, f32::NAN), 0.0);
+        assert_eq!(reweight(0.5, f32::INFINITY), 0.0);
+        // Out-of-range α̂ still clamps rather than extrapolating.
+        assert_eq!(reweight(f32::INFINITY, 10.0), reweight(1.0, 10.0));
+        assert_eq!(reweight(f32::NEG_INFINITY, 10.0), reweight(0.0, 10.0));
+        // The vector path inherits totality.
+        let ws = downstream_weights(&[f32::NAN, -2.0, 0.5, 2.0], 15.0);
+        assert!(ws.iter().all(|w| w.is_finite() && (0.0..=1.0).contains(w)));
+        assert_eq!(ws[0], 0.0);
+    }
+
+    #[test]
+    fn event_pos_neg_routes_weights_by_label_and_activity() {
+        let weights = [0.25f32, 0.5, 0.75, 1.0];
+        let idx = [2usize, 0, 3];
+        let active = [false, true, false];
+        let labels = [true, true, false];
+        let (pos, neg) = event_pos_neg(Some(&weights), &idx, &active, &labels);
+        // Passive positive: weight from the table lands on pos.
+        assert_eq!((pos[0], neg[0]), (0.75, 0.0));
+        // Active events always carry weight 1 regardless of the table.
+        assert_eq!((pos[1], neg[1]), (1.0, 0.0));
+        // Passive negative: weight lands on neg.
+        assert_eq!((pos[2], neg[2]), (0.0, 1.0));
+        // None ⇒ all-ones (the "Base" rows of Tables IV–V).
+        let (pos, neg) = event_pos_neg(None, &idx, &active, &labels);
+        assert_eq!(pos, vec![1.0, 1.0, 0.0]);
+        assert_eq!(neg, vec![0.0, 0.0, 1.0]);
     }
 
     #[test]

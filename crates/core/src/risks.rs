@@ -12,9 +12,18 @@
 //! | UAE attention (Eq. 10/16) | `e/p̂` | `1 − e/p̂` |
 //! | UAE propensity (Eq. 14/17) | `e/α̂` | `1 − e/α̂` |
 //! | ideal (Eq. 3, oracle) | `α` | `1−α` |
+//!
+//! The weight math itself lives in [`crate::estimators`] (one
+//! [`crate::estimators::RiskEstimator`] impl per scheme); the free
+//! functions below are thin compatibility wrappers over those impls.
 
 use uae_data::SeqBatch;
 use uae_tensor::{Tape, Var};
+
+use crate::estimators::{
+    clipped_inverse_weights, ClipPolicy, IdealRisk, NdbRisk, Phase, PnRisk, RiskEstimator,
+    WeightCtx,
+};
 
 /// A `[t][i]` grid of per-step weights.
 pub type WeightGrid = Vec<Vec<f32>>;
@@ -44,46 +53,19 @@ pub fn masked_sequence_bce(
     total.expect("at least one step")
 }
 
-fn zero_grid(batch: &SeqBatch) -> WeightGrid {
-    vec![vec![0.0; batch.batch]; batch.steps]
-}
-
 /// PN (ordinary supervised learning, Eq. 4): all passives are negatives.
 pub fn pn_weights(batch: &SeqBatch) -> (WeightGrid, WeightGrid) {
-    let mut pos = zero_grid(batch);
-    let mut neg = zero_grid(batch);
-    for t in 0..batch.steps {
-        for i in 0..batch.batch {
-            if batch.mask[t][i] > 0.0 {
-                pos[t][i] = batch.e[t][i];
-                neg[t][i] = 1.0 - batch.e[t][i];
-            }
-        }
-    }
-    (pos, neg)
+    PnRisk
+        .weights(Phase::Attention, &WeightCtx::bare(batch))
+        .into_grids()
 }
 
 /// NDB (Eq. 5): a passive step is a negative only when the previous `window`
 /// steps were all passive (`d_t = 1`); other passive steps are dropped.
 pub fn ndb_weights(batch: &SeqBatch, window: usize) -> (WeightGrid, WeightGrid) {
-    let mut pos = zero_grid(batch);
-    let mut neg = zero_grid(batch);
-    for i in 0..batch.batch {
-        let mut run_passive = 0usize; // consecutive passives ending at t-1
-        for t in 0..batch.steps {
-            if batch.mask[t][i] == 0.0 {
-                continue;
-            }
-            let e = batch.e[t][i];
-            if e > 0.0 {
-                pos[t][i] = 1.0;
-            } else if run_passive >= window {
-                neg[t][i] = 1.0;
-            }
-            run_passive = if e > 0.0 { 0 } else { run_passive + 1 };
-        }
-    }
-    (pos, neg)
+    NdbRisk { window }
+        .weights(Phase::Attention, &WeightCtx::bare(batch))
+        .into_grids()
 }
 
 /// UAE's unbiased attention risk (Eq. 10/16) with clipped estimated
@@ -96,19 +78,7 @@ pub fn uae_attention_weights(
     p_hat: &WeightGrid,
     clip: f32,
 ) -> (WeightGrid, WeightGrid) {
-    assert!(clip > 0.0, "propensity clip must be positive");
-    let mut pos = zero_grid(batch);
-    let mut neg = zero_grid(batch);
-    for t in 0..batch.steps {
-        for i in 0..batch.batch {
-            if batch.mask[t][i] > 0.0 {
-                let inv = batch.e[t][i] / p_hat[t][i].max(clip);
-                pos[t][i] = inv;
-                neg[t][i] = 1.0 - inv;
-            }
-        }
-    }
-    (pos, neg)
+    clipped_inverse_weights(batch, p_hat, ClipPolicy::new(clip)).into_grids()
 }
 
 /// UAE's unbiased propensity risk (Eq. 14/17) with clipped estimated
@@ -118,35 +88,15 @@ pub fn uae_propensity_weights(
     alpha_hat: &WeightGrid,
     clip: f32,
 ) -> (WeightGrid, WeightGrid) {
-    assert!(clip > 0.0, "attention clip must be positive");
-    let mut pos = zero_grid(batch);
-    let mut neg = zero_grid(batch);
-    for t in 0..batch.steps {
-        for i in 0..batch.batch {
-            if batch.mask[t][i] > 0.0 {
-                let inv = batch.e[t][i] / alpha_hat[t][i].max(clip);
-                pos[t][i] = inv;
-                neg[t][i] = 1.0 - inv;
-            }
-        }
-    }
-    (pos, neg)
+    clipped_inverse_weights(batch, alpha_hat, ClipPolicy::new(clip)).into_grids()
 }
 
 /// The infeasible ideal risk (Eq. 3) using the simulator's true α — used to
 /// validate Theorem 1 and as an oracle ablation.
 pub fn ideal_attention_weights(batch: &SeqBatch) -> (WeightGrid, WeightGrid) {
-    let mut pos = zero_grid(batch);
-    let mut neg = zero_grid(batch);
-    for t in 0..batch.steps {
-        for i in 0..batch.batch {
-            if batch.mask[t][i] > 0.0 {
-                pos[t][i] = batch.true_alpha[t][i];
-                neg[t][i] = 1.0 - batch.true_alpha[t][i];
-            }
-        }
-    }
-    (pos, neg)
+    IdealRisk
+        .weights(Phase::Attention, &WeightCtx::bare(batch))
+        .into_grids()
 }
 
 /// Oracle variant of the attention risk using the *true* propensities — for
@@ -155,8 +105,7 @@ pub fn oracle_propensity_attention_weights(
     batch: &SeqBatch,
     clip: f32,
 ) -> (WeightGrid, WeightGrid) {
-    let p: WeightGrid = batch.true_propensity.clone();
-    uae_attention_weights(batch, &p, clip)
+    clipped_inverse_weights(batch, &batch.true_propensity, ClipPolicy::new(clip)).into_grids()
 }
 
 #[cfg(test)]

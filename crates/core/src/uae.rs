@@ -10,10 +10,9 @@ use uae_runtime::UaeError;
 use uae_tensor::{sigmoid, Exec, Matrix, Params, Rng, Tape, ValueExec, Var};
 
 use crate::estimator::{AttentionEstimator, FitReport};
+use crate::estimators::{ClipCounts, EstimatorSpec, Phase, RiskEstimator, WeightCtx};
 use crate::networks::{AttentionNet, LocalPropensityNet, PropensityNet};
-use crate::risks::{
-    masked_sequence_bce, uae_attention_weights, uae_propensity_weights, WeightGrid,
-};
+use crate::risks::{masked_sequence_bce, WeightGrid};
 
 /// Hyper-parameters of UAE (defaults follow §VI-A scaled to the simulator:
 /// embedding 8, Adam, `N_a = 1`, `N_p = 2`, risk clipping on).
@@ -50,6 +49,11 @@ pub struct UaeConfig {
     pub hash_buckets: usize,
     /// Hash functions per lookup when `hash_buckets > 0`.
     pub hash_k: usize,
+    /// Which [`RiskEstimator`] drives the alternating optimization. The
+    /// default is the paper's dual unbiased estimator; see
+    /// [`EstimatorSpec`] for the full catalogue (PN, NDB, ideal/oracle,
+    /// rel-MF, BISER, ADPU).
+    pub estimator: EstimatorSpec,
 }
 
 impl Default for UaeConfig {
@@ -72,6 +76,7 @@ impl Default for UaeConfig {
             seed: 0,
             hash_buckets: 0,
             hash_k: 2,
+            estimator: EstimatorSpec::default(),
         }
     }
 }
@@ -95,23 +100,32 @@ pub(crate) enum PropensityHead {
     Sequential(PropensityNet),
     /// SAR: MLP over current features only (local labelling assumption).
     Local(LocalPropensityNet),
+    /// Single-network estimators (PN, NDB, ideal, oracle, rel-MF): no
+    /// propensity model is trained at all.
+    None,
 }
 
-/// The UAE model: attention network `g`, propensity head `h`, and the
-/// alternating learning algorithm. Also implements the SAR baseline when
-/// constructed with [`Uae::new_sar`] (identical algorithm, local propensity).
+/// The UAE model: attention network `g`, an optional propensity head `h`,
+/// and the alternating learning algorithm, driven by a pluggable
+/// [`RiskEstimator`] (selected via [`UaeConfig::estimator`]). Also
+/// implements the SAR baseline when constructed with [`Uae::new_sar`]
+/// (identical algorithm, local propensity head).
 pub struct Uae {
     pub(crate) g: AttentionNet,
     pub(crate) params_g: Params,
     pub(crate) h: PropensityHead,
     pub(crate) params_h: Params,
     pub(crate) cfg: UaeConfig,
+    estimator: Box<dyn RiskEstimator>,
     name: &'static str,
 }
 
 impl Uae {
-    /// Builds UAE with the sequential propensity estimator.
+    /// Builds the model `cfg.estimator` asks for: the paper's UAE by
+    /// default, or any other [`RiskEstimator`] from the catalogue.
+    /// Single-network estimators skip the propensity head entirely.
     pub fn new(schema: &uae_data::FeatureSchema, cfg: UaeConfig) -> Self {
+        let estimator = cfg.estimator.build(&cfg);
         let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7561_6531);
         let mut params_g = Params::new();
         let g = AttentionNet::new(
@@ -125,27 +139,39 @@ impl Uae {
             &mut rng,
         );
         let mut params_h = Params::new();
-        let h = PropensityNet::new(
-            "uae.h",
-            cfg.gru_hidden,
-            cfg.gru_hidden.max(4) / 2,
-            &cfg.mlp_hidden,
-            &mut params_h,
-            &mut rng,
-        );
+        let h = if estimator.dual() {
+            PropensityHead::Sequential(PropensityNet::new(
+                "uae.h",
+                cfg.gru_hidden,
+                cfg.gru_hidden.max(4) / 2,
+                &cfg.mlp_hidden,
+                &mut params_h,
+                &mut rng,
+            ))
+        } else {
+            PropensityHead::None
+        };
+        let name = estimator.name();
         Uae {
             g,
             params_g,
-            h: PropensityHead::Sequential(h),
+            h,
             params_h,
             cfg,
-            name: "UAE",
+            estimator,
+            name,
         }
     }
 
-    /// Builds the SAR baseline: same alternating optimization, but the
+    /// Builds the SAR baseline: same alternating optimization (always with
+    /// the dual UAE risks — `cfg.estimator` is overridden), but the
     /// propensity depends on the current features only.
     pub fn new_sar(schema: &uae_data::FeatureSchema, cfg: UaeConfig) -> Self {
+        let cfg = UaeConfig {
+            estimator: EstimatorSpec::UaeDual,
+            ..cfg
+        };
+        let estimator = cfg.estimator.build(&cfg);
         let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7361_7233);
         let mut params_g = Params::new();
         let g = AttentionNet::new(
@@ -174,12 +200,16 @@ impl Uae {
             h: PropensityHead::Local(h),
             params_h,
             cfg,
+            estimator,
             name: "SAR",
         }
     }
 
     /// Forward of the propensity head with detached `z₁` (on the tape the
     /// values re-enter as constants; tape-free, detaching is a plain copy).
+    /// Only reachable when a head exists: the fit loop consults the
+    /// estimator's [`PhaseInputs`] before calling, and single-network
+    /// estimators never request p̂.
     fn propensity_logits<E: Exec>(&self, exec: &mut E, batch: &SeqBatch, z1: &[E::V]) -> Vec<E::V> {
         match &self.h {
             PropensityHead::Sequential(net) => {
@@ -187,6 +217,10 @@ impl Uae {
                 net.forward(exec, &self.params_h, batch, &z1_detached)
             }
             PropensityHead::Local(net) => net.forward(exec, &self.params_h, batch),
+            PropensityHead::None => panic!(
+                "{} is a single-network estimator: it has no propensity head",
+                self.name
+            ),
         }
     }
 
@@ -203,28 +237,42 @@ impl Uae {
     /// backward) and on the gradient norm (before the optimizer step), so a
     /// tripped sentinel leaves the parameters untouched.
     ///
-    /// `clip_counts` accumulates `(clipped, total)` masked p̂ estimates
-    /// below the Eq. (16) clip — only while telemetry is enabled, and
-    /// without feeding back into the update.
+    /// `clip_counts` accumulates the estimator's clip tally for this phase
+    /// (diagnostic only — it never feeds back into the update).
     fn attention_step(
         &mut self,
         tape: &mut Tape,
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
-        clip_counts: &mut (u64, u64),
+        clip_counts: &mut ClipCounts,
     ) -> Result<f64, Anomaly> {
         tape.clear();
         let gf = self.g.forward(tape, &self.params_g, batch);
-        let h_logits = self.propensity_logits(tape, batch, &gf.z1);
-        let p_hat = Self::probs_grid(tape, &h_logits);
-        if uae_obs::enabled() {
-            accumulate_clip_counts(batch, &p_hat, self.cfg.propensity_clip, clip_counts);
-        }
-        let (pos, neg) = uae_attention_weights(batch, &p_hat, self.cfg.propensity_clip);
+        let need = self.estimator.inputs(Phase::Attention);
+        let p_hat = need.p_hat.then(|| {
+            let h_logits = self.propensity_logits(tape, batch, &gf.z1);
+            Self::probs_grid(tape, &h_logits)
+        });
+        let alpha_hat = need.alpha_hat.then(|| Self::probs_grid(tape, &gf.logits));
+        let wb = self.estimator.weights(
+            Phase::Attention,
+            &WeightCtx {
+                batch,
+                alpha_hat: alpha_hat.as_ref(),
+                p_hat: p_hat.as_ref(),
+            },
+        );
+        clip_counts.merge(&wb.clip);
         let divisor = batch.valid_steps().max(1) as f32;
-        let loss =
-            masked_sequence_bce(tape, &gf.logits, &pos, &neg, divisor, self.cfg.clamp_nonneg);
+        let loss = masked_sequence_bce(
+            tape,
+            &gf.logits,
+            &wb.pos,
+            &wb.neg,
+            divisor,
+            self.cfg.clamp_nonneg,
+        );
         let value = tape.value(loss).item() as f64;
         if guard {
             sentinel::check_loss(value)?;
@@ -244,25 +292,39 @@ impl Uae {
     }
 
     /// One gradient step of the propensity phase on `batch` (same sentinel
-    /// contract as [`Uae::attention_step`]).
+    /// contract as [`Uae::attention_step`]). Only runs for dual estimators.
     fn propensity_step(
         &mut self,
         tape: &mut Tape,
         batch: &SeqBatch,
         opt: &mut Adam,
         guard: bool,
-        clip_counts: &mut (u64, u64),
+        clip_counts: &mut ClipCounts,
     ) -> Result<f64, Anomaly> {
         tape.clear();
         let gf = self.g.forward(tape, &self.params_g, batch);
-        let alpha_hat = Self::probs_grid(tape, &gf.logits);
-        if uae_obs::enabled() {
-            accumulate_clip_counts(batch, &alpha_hat, self.cfg.attention_clip, clip_counts);
-        }
+        let need = self.estimator.inputs(Phase::Propensity);
+        let alpha_hat = need.alpha_hat.then(|| Self::probs_grid(tape, &gf.logits));
         let h_logits = self.propensity_logits(tape, batch, &gf.z1);
-        let (pos, neg) = uae_propensity_weights(batch, &alpha_hat, self.cfg.attention_clip);
+        let p_hat = need.p_hat.then(|| Self::probs_grid(tape, &h_logits));
+        let wb = self.estimator.weights(
+            Phase::Propensity,
+            &WeightCtx {
+                batch,
+                alpha_hat: alpha_hat.as_ref(),
+                p_hat: p_hat.as_ref(),
+            },
+        );
+        clip_counts.merge(&wb.clip);
         let divisor = batch.valid_steps().max(1) as f32;
-        let loss = masked_sequence_bce(tape, &h_logits, &pos, &neg, divisor, self.cfg.clamp_nonneg);
+        let loss = masked_sequence_bce(
+            tape,
+            &h_logits,
+            &wb.pos,
+            &wb.neg,
+            divisor,
+            self.cfg.clamp_nonneg,
+        );
         let value = tape.value(loss).item() as f64;
         if guard {
             sentinel::check_loss(value)?;
@@ -403,6 +465,20 @@ impl Uae {
         sessions: &[usize],
         sup: &mut Supervisor,
     ) -> Result<FitReport, UaeError> {
+        // Plug-in estimators (e.g. rel-MF) fit their statistics on the
+        // observed training split before any gradient step.
+        self.estimator.prepare(dataset, sessions);
+        // Single-network estimators have no propensity phase; they inherit
+        // its sweep budget so every estimator performs the same number of
+        // sweeps per epoch.
+        let dual = self.estimator.dual();
+        let att_passes = if dual {
+            self.cfg.n_a
+        } else {
+            (self.cfg.n_a + self.cfg.n_p).max(1)
+        };
+        let pro_passes = if dual { self.cfg.n_p } else { 0 };
+        let est_tag = self.name.to_ascii_lowercase();
         let mut rng = Rng::seed_from_u64(self.cfg.seed ^ 0x6669_7400);
         let batches = seq_batches(
             dataset,
@@ -441,18 +517,18 @@ impl Uae {
             for epoch in start_epoch..self.cfg.epochs {
                 let mut att = (0.0f64, 0usize);
                 let mut pro = (0.0f64, 0usize);
-                // (clipped, total) masked estimates per phase, telemetry only.
-                let mut att_clip = (0u64, 0u64);
-                let mut pro_clip = (0u64, 0u64);
+                // Clip tallies per phase, telemetry only.
+                let mut att_clip = ClipCounts::default();
+                let mut pro_clip = ClipCounts::default();
                 let mut anomaly: Option<Anomaly> = None;
                 'phases: {
-                    // Phase 1: unbiased attention risk minimizer (lines 3–7).
+                    // Phase 1: attention risk minimizer (lines 3–7).
                     uae_obs::emit(|| uae_obs::Event::PhaseStart {
                         name: "attention".into(),
                         epoch: epoch as u64,
                     });
                     let phase_start = std::time::Instant::now();
-                    for _ in 0..self.cfg.n_a {
+                    for _ in 0..att_passes {
                         rng.shuffle(&mut order);
                         for &bi in &order {
                             match self.attention_step(
@@ -481,41 +557,44 @@ impl Uae {
                         mean_risk: att.0 / att.1.max(1) as f64,
                         micros: phase_start.elapsed().as_micros() as u64,
                     });
-                    // Phase 2: unbiased propensity risk minimizer (lines 8–12).
-                    uae_obs::emit(|| uae_obs::Event::PhaseStart {
-                        name: "propensity".into(),
-                        epoch: epoch as u64,
-                    });
-                    let phase_start = std::time::Instant::now();
-                    for _ in 0..self.cfg.n_p {
-                        rng.shuffle(&mut order);
-                        for &bi in &order {
-                            match self.propensity_step(
-                                &mut tape,
-                                &batches[bi],
-                                &mut opt_h,
-                                sup.enabled(),
-                                &mut pro_clip,
-                            ) {
-                                Ok(v) => {
-                                    pro.0 += v;
-                                    pro.1 += 1;
-                                    step += 1;
-                                }
-                                Err(a) => {
-                                    anomaly = Some(a);
-                                    break 'phases;
+                    // Phase 2: propensity risk minimizer (lines 8–12) —
+                    // dual estimators only.
+                    if pro_passes > 0 {
+                        uae_obs::emit(|| uae_obs::Event::PhaseStart {
+                            name: "propensity".into(),
+                            epoch: epoch as u64,
+                        });
+                        let phase_start = std::time::Instant::now();
+                        for _ in 0..pro_passes {
+                            rng.shuffle(&mut order);
+                            for &bi in &order {
+                                match self.propensity_step(
+                                    &mut tape,
+                                    &batches[bi],
+                                    &mut opt_h,
+                                    sup.enabled(),
+                                    &mut pro_clip,
+                                ) {
+                                    Ok(v) => {
+                                        pro.0 += v;
+                                        pro.1 += 1;
+                                        step += 1;
+                                    }
+                                    Err(a) => {
+                                        anomaly = Some(a);
+                                        break 'phases;
+                                    }
                                 }
                             }
                         }
+                        uae_obs::emit(|| uae_obs::Event::PhaseEnd {
+                            name: "propensity".into(),
+                            epoch: epoch as u64,
+                            steps: pro.1 as u64,
+                            mean_risk: pro.0 / pro.1.max(1) as f64,
+                            micros: phase_start.elapsed().as_micros() as u64,
+                        });
                     }
-                    uae_obs::emit(|| uae_obs::Event::PhaseEnd {
-                        name: "propensity".into(),
-                        epoch: epoch as u64,
-                        steps: pro.1 as u64,
-                        mean_risk: pro.0 / pro.1.max(1) as f64,
-                        micros: phase_start.elapsed().as_micros() as u64,
-                    });
                 }
                 // Sentinel 3: never accept a checkpoint with poisoned arenas.
                 if anomaly.is_none() && sup.enabled() && sup.should_checkpoint(epoch) {
@@ -551,16 +630,41 @@ impl Uae {
                         Recovery::Abort(e) => return Err(e),
                     }
                 }
-                report.attention_loss.push(att.0 / att.1.max(1) as f64);
-                report.propensity_loss.push(pro.0 / pro.1.max(1) as f64);
-                // The attention phase clips p̂ (Eq. 16); the propensity
-                // phase clips α̂ (Eq. 17) — hence the crossed naming.
+                self.estimator.on_epoch(epoch);
+                let att_risk = att.0 / att.1.max(1) as f64;
+                let pro_risk = pro.0 / pro.1.max(1) as f64;
+                report.attention_loss.push(att_risk);
+                report.propensity_loss.push(pro_risk);
                 uae_obs::emit(|| uae_obs::Event::FitEpoch {
                     epoch: epoch as u64,
-                    attention_risk: att.0 / att.1.max(1) as f64,
-                    propensity_risk: pro.0 / pro.1.max(1) as f64,
-                    propensity_clip_rate: clip_rate(att_clip),
-                    attention_clip_rate: clip_rate(pro_clip),
+                    attention_risk: att_risk,
+                    propensity_risk: pro_risk,
+                    propensity_clip_rate: att_clip.rate(),
+                    attention_clip_rate: pro_clip.rate(),
+                });
+                // Per-estimator telemetry (`estimator.<name>.*`) — what
+                // `uae summarize` renders into the estimator table.
+                uae_obs::emit(|| uae_obs::Event::Gauge {
+                    name: format!("estimator.{est_tag}.attention_risk"),
+                    value: att_risk,
+                });
+                uae_obs::emit(|| uae_obs::Event::Gauge {
+                    name: format!("estimator.{est_tag}.clip_rate.attention"),
+                    value: att_clip.rate(),
+                });
+                if dual {
+                    uae_obs::emit(|| uae_obs::Event::Gauge {
+                        name: format!("estimator.{est_tag}.propensity_risk"),
+                        value: pro_risk,
+                    });
+                    uae_obs::emit(|| uae_obs::Event::Gauge {
+                        name: format!("estimator.{est_tag}.clip_rate.propensity"),
+                        value: pro_clip.rate(),
+                    });
+                }
+                uae_obs::emit(|| uae_obs::Event::Counter {
+                    name: format!("estimator.{est_tag}.epochs"),
+                    value: (epoch + 1) as u64,
                 });
                 uae_tensor::emit_backend_telemetry();
                 if sup.should_checkpoint(epoch) {
@@ -590,6 +694,11 @@ impl Uae {
     /// theory benches and diagnostics; downstream recommendation only needs
     /// the attention side (Remark 3).
     pub fn predict_propensity(&self, dataset: &Dataset, sessions: &[usize]) -> Vec<f32> {
+        if matches!(self.h, PropensityHead::None) {
+            // Single-network estimators carry no propensity model; the
+            // uninformative 0.5 prior fills every slot.
+            return flat_slots(dataset, sessions);
+        }
         let mut rng = Rng::seed_from_u64(1);
         let max_len = dataset.sessions.iter().map(|s| s.len()).max().unwrap_or(1);
         let batches = seq_batches(dataset, sessions, self.cfg.session_batch, max_len, &mut rng);
@@ -682,30 +791,6 @@ impl FitBookkeeping {
             order,
             grad_clip,
         })
-    }
-}
-
-/// Counts masked grid entries whose estimate falls below the lower clip —
-/// the "how hard are the inverse weights leaning on the clip" diagnostic
-/// that debiased-learning ablations track. Accumulates `(clipped, total)`.
-fn accumulate_clip_counts(batch: &SeqBatch, grid: &WeightGrid, clip: f32, counts: &mut (u64, u64)) {
-    for (row, mask_row) in grid.iter().zip(&batch.mask) {
-        for (&est, &m) in row.iter().zip(mask_row) {
-            if m > 0.0 {
-                counts.1 += 1;
-                if est < clip {
-                    counts.0 += 1;
-                }
-            }
-        }
-    }
-}
-
-fn clip_rate(counts: (u64, u64)) -> f64 {
-    if counts.1 == 0 {
-        0.0
-    } else {
-        counts.0 as f64 / counts.1 as f64
     }
 }
 

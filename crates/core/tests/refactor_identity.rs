@@ -1,0 +1,80 @@
+//! Pins the UAE training path to its pre-refactor behavior, byte for byte.
+//!
+//! The fingerprints below were captured on the exact same training
+//! configuration *before* the `RiskEstimator` refactor (and verified
+//! identical at `UAE_NUM_THREADS=1` and `4`). The refactored path must
+//! reproduce them exactly: same parameter bytes for both networks, same
+//! `.uaec` checkpoint bytes, same predictions. Any change to the order or
+//! identity of float operations, RNG draws, or tape ops in the UAE fit
+//! path will break this test — which is the point.
+
+use uae_core::{AttentionEstimator, Uae, UaeConfig};
+use uae_data::{generate, SimConfig};
+use uae_runtime::{Supervisor, SupervisorConfig};
+use uae_tensor::save_params;
+
+/// FNV-1a 64 over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Captured pre-refactor (identical at 1 and 4 threads).
+const EXPECT_G: u64 = 0xe743a0002b6e211c;
+const EXPECT_H: u64 = 0x9d31a70750b5722e;
+const EXPECT_UAEC: u64 = 0x15c4dc8e39b201cc;
+const EXPECT_PRED: u64 = 0xa3ca88009de297b1;
+
+fn fingerprints() -> (u64, u64, u64, u64) {
+    let ds = generate(&SimConfig::product(0.15), 77);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let cfg = UaeConfig {
+        gru_hidden: 12,
+        mlp_hidden: vec![12],
+        epochs: 2,
+        session_batch: 32,
+        max_len: 20,
+        seed: 5,
+        ..Default::default()
+    };
+    let mut uae = Uae::new(&ds.schema, cfg);
+    let mut sup = Supervisor::new(SupervisorConfig::default(), "capture");
+    uae.fit_supervised(&ds, &sessions, &mut sup).unwrap();
+    let g = fnv1a(&save_params(uae.attention_params()));
+    let h = fnv1a(&save_params(uae.propensity_params()));
+    let uaec = fnv1a(&sup.last_good().expect("checkpoint recorded").encode());
+    let pred = uae.predict(&ds, &sessions);
+    let pred_bytes: Vec<u8> = pred.iter().flat_map(|p| p.to_le_bytes()).collect();
+    (g, h, uaec, fnv1a(&pred_bytes))
+}
+
+fn assert_pinned(threads: usize) {
+    let (g, h, uaec, pred) = uae_tensor::with_num_threads(threads, fingerprints);
+    assert_eq!(g, EXPECT_G, "attention params drifted at {threads} threads");
+    assert_eq!(
+        h, EXPECT_H,
+        "propensity params drifted at {threads} threads"
+    );
+    assert_eq!(
+        uaec, EXPECT_UAEC,
+        ".uaec bytes drifted at {threads} threads"
+    );
+    assert_eq!(
+        pred, EXPECT_PRED,
+        "predictions drifted at {threads} threads"
+    );
+}
+
+#[test]
+fn uae_checkpoints_match_pre_refactor_at_one_thread() {
+    assert_pinned(1);
+}
+
+#[test]
+fn uae_checkpoints_match_pre_refactor_at_four_threads() {
+    assert_pinned(4);
+}

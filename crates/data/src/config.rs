@@ -197,6 +197,62 @@ impl SimConfig {
         cfg
     }
 
+    /// The benchmark-matrix scenarios: named stress variants of the Product
+    /// preset, each bending one causal mechanism the debiasing estimators
+    /// differ on. `scale` grows counts proportionally as in [`Self::product`].
+    /// Returns `None` for an unknown name; see [`scenario_names`] for the
+    /// catalogue.
+    ///
+    /// * `baseline` — the unmodified Product preset.
+    /// * `position-bias` — attention and propensity both decay much harder
+    ///   with play rank, the classic position-bias regime rel-MF's
+    ///   rank-bucketed propensities target.
+    /// * `cold-start` — 4× the users with a quarter of the sessions each and
+    ///   noisier appeal: little per-user history, weak features.
+    /// * `adversarial-propensity` — the willingness to act is dominated by
+    ///   the *latent* activeness trait rather than the observable feedback
+    ///   history, so learned propensities are systematically misspecified
+    ///   (stress for the IPS-style estimators' clipping).
+    /// * `podcast` — long background sessions (40+ songs) with a lower base
+    ///   willingness to act: sparse positives over long horizons, the NDB
+    ///   window's home turf.
+    pub fn scenario(name: &str, scale: f64) -> Option<Self> {
+        let mut cfg = SimConfig::product(scale);
+        match name {
+            "baseline" => {}
+            "position-bias" => {
+                cfg.attention.rank = 4.0;
+                cfg.attention.bias = -0.2;
+                cfg.propensity.rank = 2.2;
+                cfg.propensity.first_song = 2.4;
+            }
+            "cold-start" => {
+                let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+                cfg.num_users = s(12_000);
+                cfg.num_sessions = s(4500);
+                cfg.appeal_noise = 0.55;
+            }
+            "adversarial-propensity" => {
+                cfg.propensity.last_active = 0.8;
+                cfg.propensity.recent_active = 0.05;
+                cfg.propensity.activeness = 2.5;
+                cfg.propensity.bias = -1.6;
+                cfg.appeal_noise = 0.45;
+            }
+            "podcast" => {
+                let s = |x: usize| ((x as f64 * scale).round() as usize).max(1);
+                cfg.min_session_len = 40;
+                cfg.mean_extra_len = 40.0;
+                cfg.num_sessions = s(1500);
+                cfg.propensity.bias = -4.3;
+                cfg.attention.bias = -1.6;
+            }
+            _ => return None,
+        }
+        cfg.name = name.into();
+        Some(cfg)
+    }
+
     /// A scale-out preset: production-shaped behaviour with a 1.2M-user
     /// population and a 40k-song catalogue, but a modest session count so
     /// generation and training stay tractable. The point is the *schema* —
@@ -213,6 +269,17 @@ impl SimConfig {
         cfg.num_albums = 12_000;
         cfg
     }
+}
+
+/// The scenario catalogue, in the order the benchmark matrix reports them.
+pub fn scenario_names() -> &'static [&'static str] {
+    &[
+        "baseline",
+        "position-bias",
+        "cold-start",
+        "adversarial-propensity",
+        "podcast",
+    ]
 }
 
 #[cfg(test)]
@@ -247,6 +314,36 @@ mod tests {
         let cfg = SimConfig::thirty_music(1e-6);
         assert!(cfg.num_users >= 1);
         assert!(cfg.num_sessions >= 1);
+    }
+
+    #[test]
+    fn every_scenario_name_resolves_and_unknowns_do_not() {
+        for &name in scenario_names() {
+            let cfg = SimConfig::scenario(name, 1.0).expect(name);
+            assert_eq!(cfg.name, name);
+            assert!(cfg.num_sessions >= 1);
+        }
+        assert!(SimConfig::scenario("no-such-scenario", 1.0).is_none());
+    }
+
+    #[test]
+    fn scenarios_bend_the_mechanisms_they_claim_to() {
+        let base = SimConfig::scenario("baseline", 1.0).unwrap();
+        let pb = SimConfig::scenario("position-bias", 1.0).unwrap();
+        assert!(pb.attention.rank > base.attention.rank * 2.0);
+        assert!(pb.propensity.rank > base.propensity.rank);
+        let cs = SimConfig::scenario("cold-start", 1.0).unwrap();
+        assert!(cs.num_users > base.num_users * 3);
+        assert!(cs.appeal_noise > base.appeal_noise);
+        let adv = SimConfig::scenario("adversarial-propensity", 1.0).unwrap();
+        assert!(adv.propensity.activeness > base.propensity.activeness * 2.0);
+        assert!(adv.propensity.last_active < base.propensity.last_active / 2.0);
+        let pod = SimConfig::scenario("podcast", 1.0).unwrap();
+        assert!(pod.min_session_len >= 40);
+        assert!(pod.propensity.bias < base.propensity.bias);
+        // Scaling applies to scenario-specific counts too.
+        let cs_half = SimConfig::scenario("cold-start", 0.5).unwrap();
+        assert_eq!(cs_half.num_users, cs.num_users / 2);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub use batch::{
     infer_seq_batches, minibatch_indices, seq_batches, split_by_day, split_by_ratio, FlatBatch,
     FlatData, SeqBatch, Split,
 };
-pub use config::{AttentionParams, PropensityParams, SimConfig};
+pub use config::{scenario_names, AttentionParams, PropensityParams, SimConfig};
 pub use gen::{generate, schema_for, SessionContext, Simulator};
 pub use io::{from_tsv, to_tsv, ParseError};
 pub use schema::{Dataset, DatasetSummary, Event, FeatureSchema, Feedback, Session, Truth};

@@ -12,6 +12,7 @@
 //! | [`gamma`] | Fig. 6 — sensitivity to the re-weight parameter γ |
 //! | [`ab`] | Fig. 7 — a paired 7-day online A/B serving simulation |
 //! | [`loadgen`] | closed-loop load + chaos generator for the serving daemon |
+//! | [`matrix`] | estimator × scenario benchmark matrix (extension) |
 //! | [`table`] | plain-text rendering of all of the above |
 //!
 //! Dataset statistics (Figs. 2–3, Table III) live in `uae-data::stats`; the
@@ -23,6 +24,7 @@ pub mod convergence;
 pub mod gamma;
 pub mod harness;
 pub mod loadgen;
+pub mod matrix;
 pub mod table;
 pub mod table4;
 pub mod table5;
@@ -35,6 +37,7 @@ pub use harness::{
     HarnessConfig, PreparedData, Preset, RunOutcome, SeedFanout, SeedOutcome,
 };
 pub use loadgen::{run_loadgen, session_pool, LoadReport, LoadgenConfig};
+pub use matrix::{run_matrix, MatrixCell, MatrixConfig, MatrixReport};
 pub use table::{pct, rela, starred, TextTable};
 pub use table4::{run_table4, Table4, Table4Entry};
 pub use table5::{

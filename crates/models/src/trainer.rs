@@ -53,6 +53,12 @@ pub struct TrainConfig {
     /// Cap on the number of examples used for per-epoch AUC tracking.
     pub eval_subsample: usize,
     pub seed: u64,
+    /// Provenance of `sample_weights`: the CLI name of the attention
+    /// estimator whose α̂ produced them (`None` for Base / hand-built
+    /// weights). Purely observational — recorded as an
+    /// `estimator.<name>.downstream_runs` counter so serving telemetry can
+    /// attribute downstream models to the estimator that weighted them.
+    pub weight_estimator: Option<String>,
 }
 
 impl Default for TrainConfig {
@@ -65,6 +71,7 @@ impl Default for TrainConfig {
             early_stop_patience: Some(3),
             eval_subsample: 50_000,
             seed: 0,
+            weight_estimator: None,
         }
     }
 }
@@ -355,6 +362,9 @@ pub fn train_supervised(
             });
         }
     }
+    if let Some(name) = &cfg.weight_estimator {
+        uae_obs::counter(&format!("estimator.{name}.downstream_runs"), 1);
+    }
     let mut rng = Rng::seed_from_u64(cfg.seed ^ 0x7472_6169);
     let mut opt = Adam::new(cfg.learning_rate);
     let mut current_clip = cfg.clip_norm;
@@ -423,17 +433,8 @@ pub fn train_supervised(
                 uae_data::minibatch_indices(train_data.len(), cfg.batch_size, &mut rng)
             {
                 let batch = train_data.gather(&idx);
-                let mut pos = Vec::with_capacity(idx.len());
-                let mut neg = Vec::with_capacity(idx.len());
-                for (bi, &i) in idx.iter().enumerate() {
-                    let w = match sample_weights {
-                        Some(ws) if !batch.active[bi] => ws[i],
-                        _ => 1.0,
-                    };
-                    let y = batch.label[bi] as u8 as f32;
-                    pos.push(w * y);
-                    neg.push(w * (1.0 - y));
-                }
+                let (pos, neg) =
+                    uae_core::event_pos_neg(sample_weights, &idx, &batch.active, &batch.label);
                 tape.clear();
                 let logits = model.forward(&mut tape, params, &batch);
                 let loss = tape.weighted_bce(logits, &pos, &neg, idx.len() as f32, false);

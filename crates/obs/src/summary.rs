@@ -237,6 +237,55 @@ pub fn summarize(records: &[Record]) -> Result<String, ObsError> {
         }
     }
 
+    // `estimator.<name>.<metric>` gauges/counters → one row per estimator:
+    // the risk-estimator telemetry emitted by the unified fit path (risks,
+    // clip rates, epoch counts) and the downstream provenance counter.
+    let mut estimators: BTreeMap<&str, BTreeMap<&str, f64>> = BTreeMap::new();
+    let named_values = gauges
+        .iter()
+        .map(|(n, v)| (*n, *v))
+        .chain(counters.iter().map(|(n, v)| (*n, *v as f64)));
+    for (name, value) in named_values {
+        if let Some(rest) = name.strip_prefix("estimator.") {
+            if let Some((est, metric)) = rest.split_once('.') {
+                estimators.entry(est).or_default().insert(metric, value);
+            }
+        }
+    }
+    if !estimators.is_empty() {
+        let _ = writeln!(out, "\nestimators:");
+        let _ = writeln!(
+            out,
+            "  {:<12} {:>12}  {:>12}  {:>10}  {:>10}  {:>6}  {:>10}",
+            "name", "att_risk", "prop_risk", "att_clip%", "prop_clip%", "epochs", "downstream"
+        );
+        let fmt_risk = |m: &BTreeMap<&str, f64>, key: &str| match m.get(key) {
+            Some(v) => format!("{v:.6}"),
+            None => "—".into(),
+        };
+        let fmt_pct = |m: &BTreeMap<&str, f64>, key: &str| match m.get(key) {
+            Some(v) => format!("{:.2}%", v * 100.0),
+            None => "—".into(),
+        };
+        let fmt_count = |m: &BTreeMap<&str, f64>, key: &str| match m.get(key) {
+            Some(v) => format!("{}", *v as u64),
+            None => "—".into(),
+        };
+        for (name, metrics) in &estimators {
+            let _ = writeln!(
+                out,
+                "  {:<12} {:>12}  {:>12}  {:>10}  {:>10}  {:>6}  {:>10}",
+                name,
+                fmt_risk(metrics, "attention_risk"),
+                fmt_risk(metrics, "propensity_risk"),
+                fmt_pct(metrics, "clip_rate.attention"),
+                fmt_pct(metrics, "clip_rate.propensity"),
+                fmt_count(metrics, "epochs"),
+                fmt_count(metrics, "downstream_runs"),
+            );
+        }
+    }
+
     let has_serve = counters.keys().any(|k| k.starts_with("serve."))
         || spans.keys().any(|k| k.starts_with("serve."));
     if has_serve {
@@ -612,5 +661,71 @@ mod tests {
         ] {
             assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
         }
+    }
+
+    #[test]
+    fn summarize_renders_the_estimator_table() {
+        let mut records = vec![rec(
+            0,
+            Event::RunManifest(Manifest {
+                run: "fit".into(),
+                version: "0.1.0".into(),
+                seed: 1,
+                threads: 1,
+                kernel_mode: "Blocked".into(),
+                config: vec![],
+            }),
+        )];
+        // A dual estimator with both phases, and a single-network one with
+        // only the attention metrics — its missing columns render as "—".
+        for (seq, name, value) in [
+            (1, "estimator.uae.attention_risk", 0.512345),
+            (2, "estimator.uae.clip_rate.attention", 0.03),
+            (3, "estimator.uae.propensity_risk", 0.401),
+            (4, "estimator.uae.clip_rate.propensity", 0.25),
+            (5, "estimator.rel-mf.attention_risk", 0.61),
+            (6, "estimator.rel-mf.clip_rate.attention", 0.0),
+        ] {
+            records.push(rec(
+                seq,
+                Event::Gauge {
+                    name: name.into(),
+                    value,
+                },
+            ));
+        }
+        records.push(rec(
+            7,
+            Event::Counter {
+                name: "estimator.uae.epochs".into(),
+                value: 3,
+            },
+        ));
+        records.push(rec(
+            8,
+            Event::Counter {
+                name: "estimator.uae.downstream_runs".into(),
+                value: 2,
+            },
+        ));
+        let text = summarize(&records).unwrap();
+        for needle in [
+            "estimators:",
+            "att_clip%",
+            "0.512345",
+            "3.00%",
+            "25.00%",
+            "rel-mf",
+            "0.610000",
+            "—",
+        ] {
+            assert!(text.contains(needle), "missing {needle:?} in:\n{text}");
+        }
+        // The uae row carries its epoch and downstream-run counts.
+        let uae_row = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("uae "))
+            .expect("uae row");
+        assert!(uae_row.contains('3') && uae_row.contains('2'), "{uae_row}");
     }
 }

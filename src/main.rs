@@ -7,6 +7,15 @@
 //! uae fig5   [--fast]      # convergence curves
 //! uae fig6   [--fast]      # γ sweep
 //! uae fig7   [--fast]      # 7-day A/B simulation
+//! uae fit [--estimator <name>] [--scenario <name>] [--fast]
+//!                           # train one attention estimator (uae, pn, ndb,
+//!                           # ideal, oracle, rel-mf, biser, adpu) on one
+//!                           # simulator scenario and report its intrinsic
+//!                           # quality on held-out sessions
+//! uae matrix [--fast] [--md <path>] [--jsonl <path>]
+//!                           # the estimator × scenario benchmark matrix
+//!                           # (AUC / bias / variance per cell); --md and
+//!                           # --jsonl also write the committed artifacts
 //! uae export-data <path.tsv> # dump a simulated Product dataset to TSV
 //! uae export <model.uaem> [--model <kind>]
 //!                           # freeze a trained model to a .uaem snapshot:
@@ -44,11 +53,12 @@
 //! structured event of the run (see DESIGN.md §9). Render it afterwards with
 //! `uae summarize /path/run.jsonl`.
 
-use uae::core::{AttentionEstimator, Uae, UaeConfig};
-use uae::data::{feedback_by_rank, generate, to_tsv, transition_matrix};
+use uae::core::{AttentionEstimator, EstimatorSpec, Uae, UaeConfig};
+use uae::data::{feedback_by_rank, generate, to_tsv, transition_matrix, SimConfig};
 use uae::eval::{
     paper_gammas, prepare, render_reweight_curves, run_ab_test, run_convergence, run_gamma_sweep,
-    run_model, run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig, Preset,
+    run_matrix, run_model, run_table4, run_table5, AbConfig, AttentionMethod, HarnessConfig,
+    MatrixConfig, Preset,
 };
 use uae::models::{train, LabelMode, ModelKind, TrainConfig};
 
@@ -123,11 +133,36 @@ fn install_telemetry(run: &str, cfg: &HarnessConfig) {
 /// (train steps, epochs, backend counters). CI runs this with
 /// `UAE_TELEMETRY` set and validates the emitted JSONL.
 fn cmd_smoke(cfg: &HarnessConfig) {
+    // `UAE_ESTIMATOR` swaps the attention estimator the smoke run trains
+    // (any `EstimatorSpec` CLI name); unset means the default UAE dual.
+    let spec = match std::env::var("UAE_ESTIMATOR") {
+        Ok(name) if !name.trim().is_empty() => match EstimatorSpec::parse(name.trim()) {
+            Some(spec) => spec,
+            None => {
+                eprintln!(
+                    "unknown UAE_ESTIMATOR {name:?}; expected one of: {}",
+                    EstimatorSpec::all()
+                        .iter()
+                        .map(|s| s.cli_name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            }
+        },
+        _ => EstimatorSpec::default(),
+    };
+    // Record which estimator produced the downstream weights (the
+    // `estimator.<name>.downstream_runs` provenance counter).
+    let mut cfg = cfg.clone();
+    cfg.train.weight_estimator = Some(spec.cli_name().to_string());
+    let cfg = &cfg;
     let data = prepare(Preset::Product, cfg);
     let seed = cfg.seeds.first().copied().unwrap_or(1);
     let mut est = Uae::new(
         &data.dataset.schema,
         UaeConfig {
+            estimator: spec,
             seed,
             ..cfg.uae.clone()
         },
@@ -137,11 +172,78 @@ fn cmd_smoke(cfg: &HarnessConfig) {
         uae::core::downstream_weights(&est.predict(&data.dataset, &data.split.train), cfg.gamma);
     let out = run_model(ModelKind::Fm, Some(&weights[..]), &data, cfg, seed);
     println!(
-        "smoke: uae fit {} epochs (final attention risk {:.4}), FM test AUC {:.4}",
+        "smoke: {} fit {} epochs (final attention risk {:.4}), FM test AUC {:.4}",
+        est.name(),
         report.attention_loss.len(),
         report.attention_loss.last().copied().unwrap_or(f64::NAN),
         out.result.auc
     );
+}
+
+/// Trains one attention estimator on one simulator scenario and reports its
+/// intrinsic quality (attention AUC, mean bias) on held-out sessions — the
+/// single-cell version of `uae matrix`.
+fn cmd_fit(spec: EstimatorSpec, scenario: &str, cfg: &HarnessConfig) {
+    let Some(sim) = SimConfig::scenario(scenario, cfg.data_scale) else {
+        eprintln!(
+            "unknown scenario {scenario:?}; expected one of: {}",
+            uae::data::scenario_names().join(", ")
+        );
+        std::process::exit(2);
+    };
+    let ds = generate(&sim, cfg.data_seed);
+    let mut rng = uae::tensor::Rng::seed_from_u64(cfg.data_seed ^ 0x73_706c);
+    let split = uae::data::split_by_ratio(&ds, 0.8, 0.1, &mut rng);
+    let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let mut est = Uae::new(
+        &ds.schema,
+        UaeConfig {
+            estimator: spec,
+            seed,
+            ..cfg.uae.clone()
+        },
+    );
+    let report = est.fit(&ds, &split.train);
+    let alpha_hat = est.predict(&ds, &split.test);
+    let test = uae::data::FlatData::from_sessions(&ds, &split.test);
+    let auc = uae::metrics::auc(&alpha_hat, &test.true_attention).unwrap_or(0.5);
+    let mean = |v: &[f32]| v.iter().map(|&x| x as f64).sum::<f64>() / v.len().max(1) as f64;
+    println!(
+        "fit: {} on `{scenario}` — {} epochs (final attention risk {:.4}), \
+         test attention AUC {:.4}, mean α̂ {:.4} (true mean α {:.4})",
+        est.name(),
+        report.attention_loss.len(),
+        report.attention_loss.last().copied().unwrap_or(f64::NAN),
+        auc,
+        mean(&alpha_hat),
+        mean(&test.true_alpha),
+    );
+}
+
+/// Runs the estimator × scenario benchmark matrix and prints it; `--md` /
+/// `--jsonl` additionally write the committed artifact files.
+fn cmd_matrix(fast: bool, md: Option<&str>, jsonl: Option<&str>) {
+    let cfg = if fast {
+        MatrixConfig::smoke()
+    } else {
+        MatrixConfig::full()
+    };
+    let report = run_matrix(&cfg);
+    print!("{}", report.render());
+    if let Some(path) = md {
+        if let Err(e) = std::fs::write(path, report.render_markdown()) {
+            eprintln!("matrix: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
+    if let Some(path) = jsonl {
+        if let Err(e) = std::fs::write(path, report.to_jsonl()) {
+            eprintln!("matrix: cannot write {path}: {e}");
+            std::process::exit(1);
+        }
+        println!("wrote {path}");
+    }
 }
 
 /// Trains UAE on a simulated Product split and freezes it to `path` as a
@@ -580,6 +682,37 @@ fn main() {
             };
             println!("{}", run_ab_test(&cfg, &ab).render());
         }
+        Some("fit") => {
+            let flag_val = |flag: &str| {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str)
+            };
+            let est_name = flag_val("--estimator").unwrap_or("uae");
+            let Some(spec) = EstimatorSpec::parse(est_name) else {
+                eprintln!(
+                    "unknown estimator {est_name:?}; expected one of: {}",
+                    EstimatorSpec::all()
+                        .iter()
+                        .map(|s| s.cli_name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                );
+                std::process::exit(2);
+            };
+            let scenario = flag_val("--scenario").unwrap_or("baseline");
+            cmd_fit(spec, scenario, &cfg);
+        }
+        Some("matrix") => {
+            let flag_val = |flag: &str| {
+                args.iter()
+                    .position(|a| a == flag)
+                    .and_then(|i| args.get(i + 1))
+                    .map(String::as_str)
+            };
+            cmd_matrix(fast, flag_val("--md"), flag_val("--jsonl"));
+        }
         Some("export-data") => {
             let path = args.get(1).map(String::as_str).unwrap_or("product.uae.tsv");
             let ds = generate(&Preset::Product.config(cfg.data_scale), cfg.data_seed);
@@ -678,7 +811,7 @@ fn main() {
         }
         _ => {
             eprintln!(
-                "usage: uae <stats|table4|table5|fig5|fig6|fig7|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|serve [model.uaem]|serve-ctl <addr> <verb>|top <addr>|serve-load <addr>|smoke|summarize <run.jsonl>> [--fast]\n\
+                "usage: uae <stats|table4|table5|fig5|fig6|fig7|fit [--estimator <name>] [--scenario <name>]|matrix [--md <path>] [--jsonl <path>]|export-data [path.tsv]|export [model.uaem] [--model <kind>]|score [model.uaem]|serve [model.uaem]|serve-ctl <addr> <verb>|top <addr>|serve-load <addr>|smoke|summarize <run.jsonl>> [--fast]\n\
                  Regenerates the paper's tables/figures; see README.md."
             );
             std::process::exit(2);

@@ -1,0 +1,115 @@
+//! Integration tests of the `RiskEstimator` family end to end: every
+//! estimator selectable from `UaeConfig` must train through the one unified
+//! fit path, produce valid probabilities, and emit its `estimator.*`
+//! telemetry; the benchmark-matrix harness must cover the full grid.
+
+use std::sync::Arc;
+use uae::core::{AttentionEstimator, EstimatorSpec, Uae, UaeConfig};
+use uae::data::{generate, scenario_names, FlatData, SimConfig};
+use uae::eval::{run_matrix, MatrixConfig};
+use uae::obs::{with_sink, Event, MemorySink};
+
+fn fast_cfg(spec: EstimatorSpec, seed: u64) -> UaeConfig {
+    UaeConfig {
+        estimator: spec,
+        gru_hidden: 12,
+        mlp_hidden: vec![12],
+        epochs: 1,
+        session_batch: 32,
+        max_len: 20,
+        seed,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn every_estimator_trains_end_to_end_and_predicts_probabilities() {
+    let ds = generate(&SimConfig::tiny(), 91);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    let flat = FlatData::from_sessions(&ds, &sessions);
+    for spec in EstimatorSpec::all() {
+        let mut est = Uae::new(&ds.schema, fast_cfg(spec, 5));
+        let report = est.fit(&ds, &sessions);
+        assert_eq!(report.attention_loss.len(), 1, "{spec:?}");
+        assert!(
+            report.attention_loss.iter().all(|l| l.is_finite()),
+            "{spec:?} diverged: {:?}",
+            report.attention_loss
+        );
+        let pred = est.predict(&ds, &sessions);
+        assert_eq!(pred.len(), flat.len(), "{spec:?}");
+        assert!(
+            pred.iter()
+                .all(|p| p.is_finite() && (0.0..=1.0).contains(p)),
+            "{spec:?} produced out-of-range α̂"
+        );
+        // Single-network estimators expose the uninformative propensity
+        // prior; dual ones expose a real p̂.
+        let prop = est.predict_propensity(&ds, &sessions);
+        if spec.dual() {
+            assert!(
+                prop.iter().any(|&p| (p - 0.5).abs() > 1e-6),
+                "{spec:?} claims dual but its p̂ never moved"
+            );
+        } else {
+            assert!(prop.iter().all(|&p| p == 0.5), "{spec:?}");
+        }
+    }
+}
+
+#[test]
+fn every_estimator_emits_named_telemetry() {
+    let ds = generate(&SimConfig::tiny(), 92);
+    let sessions: Vec<usize> = (0..ds.sessions.len()).collect();
+    for spec in [EstimatorSpec::RelMf { eta: 0.5 }, EstimatorSpec::UaeDual] {
+        let sink = Arc::new(MemorySink::new());
+        with_sink(sink.clone(), || {
+            let mut est = Uae::new(&ds.schema, fast_cfg(spec, 6));
+            est.fit(&ds, &sessions);
+        });
+        let tag = spec.cli_name();
+        let events = sink.events();
+        let has_gauge = |name: &str| {
+            events.iter().any(
+                |e| matches!(e, Event::Gauge { name: n, .. } if n == &format!("estimator.{tag}.{name}")),
+            )
+        };
+        assert!(has_gauge("attention_risk"), "{spec:?}");
+        assert!(has_gauge("clip_rate.attention"), "{spec:?}");
+        assert_eq!(
+            has_gauge("propensity_risk"),
+            spec.dual(),
+            "{spec:?} propensity telemetry should track dual-ness"
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| matches!(e, Event::Counter { name, .. }
+                if name == &format!("estimator.{tag}.epochs"))),
+            "{spec:?}"
+        );
+    }
+}
+
+#[test]
+fn matrix_smoke_covers_the_grid_and_names_real_scenarios() {
+    let cfg = MatrixConfig::smoke();
+    for s in &cfg.scenarios {
+        assert!(scenario_names().contains(&s.as_str()), "{s}");
+    }
+    let report = run_matrix(&cfg);
+    assert_eq!(
+        report.cells.len(),
+        cfg.scenarios.len() * cfg.estimators.len()
+    );
+    // The full config spans ≥4 scenarios and all estimators, including the
+    // three related-work additions.
+    let full = MatrixConfig::full();
+    assert!(full.scenarios.len() >= 4);
+    for name in ["rel-mf", "biser", "adpu"] {
+        assert!(
+            full.estimators.iter().any(|e| e.cli_name() == name),
+            "{name} missing from the full matrix"
+        );
+    }
+}
